@@ -1,0 +1,667 @@
+//! The ARMv8 CPU model: exception entry/return and system-register access.
+//!
+//! [`ArmCpu`] is a *functional* model — it owns the register files of
+//! [`crate::regs`]/[`crate::el2`] and implements the transition semantics
+//! the paper's analysis is built on (trap to EL2, ERET, exception routing,
+//! VHE redirection). It deliberately charges no cycles: timing lives in
+//! `hvx-core`'s cost model, so that correctness of the mechanism and
+//! calibration of its cost are independently testable.
+
+use crate::{
+    resolve, El1SysRegs, El2Regs, ExceptionLevel, FpRegs, GpRegs, HcrEl2, PhysReg, SysReg,
+    SysRegError, Syndrome, TimerRegs, TrapCause,
+};
+use core::fmt;
+
+/// Architecture revision of the modelled part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum ArchVersion {
+    /// ARMv8.0 — the paper's Applied Micro Atlas class hardware.
+    V8_0,
+    /// ARMv8.1 — adds the Virtualization Host Extensions (§VI).
+    V8_1,
+}
+
+impl ArchVersion {
+    /// Returns `true` if this revision implements VHE.
+    pub fn has_vhe(self) -> bool {
+        matches!(self, ArchVersion::V8_1)
+    }
+}
+
+/// Error returned by [`ArmCpu::eret`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EretError {
+    /// ERET executed at EL0, which has no exception-return state.
+    EretFromEl0,
+    /// The SPSR names a target at or above the current level — an illegal
+    /// exception return.
+    IllegalReturn {
+        /// Level the ERET executed at.
+        from: ExceptionLevel,
+        /// Level the SPSR named.
+        to: ExceptionLevel,
+    },
+}
+
+impl fmt::Display for EretError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EretError::EretFromEl0 => write!(f, "ERET executed at EL0"),
+            EretError::IllegalReturn { from, to } => {
+                write!(f, "illegal exception return from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EretError {}
+
+/// Error returned by [`ArmCpu::enable_vhe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VheError {
+    /// The part is ARMv8.0 and has no E2H bit.
+    NotSupported,
+    /// E2H may only be programmed from EL2.
+    NotAtEl2,
+}
+
+impl fmt::Display for VheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VheError::NotSupported => write!(f, "VHE requires ARMv8.1"),
+            VheError::NotAtEl2 => write!(f, "E2H can only be set from EL2"),
+        }
+    }
+}
+
+impl std::error::Error for VheError {}
+
+/// PSTATE.I — the IRQ mask bit.
+pub const PSTATE_I: u64 = 1 << 7;
+
+/// PSTATE `M[3:0]` mode encoding for an exception level (handler-SP forms).
+fn mode_bits(el: ExceptionLevel) -> u64 {
+    match el {
+        ExceptionLevel::El0 => 0b0000, // EL0t
+        ExceptionLevel::El1 => 0b0101, // EL1h
+        ExceptionLevel::El2 => 0b1001, // EL2h
+    }
+}
+
+/// Decodes the target EL from SPSR `M[3:0]`.
+fn el_of_mode(m: u64) -> ExceptionLevel {
+    match m & 0b1100 {
+        0b0000 => ExceptionLevel::El0,
+        0b0100 => ExceptionLevel::El1,
+        _ => ExceptionLevel::El2,
+    }
+}
+
+/// Vector-table offset for a synchronous exception from a lower EL.
+pub const VECTOR_LOWER_SYNC: u64 = 0x400;
+/// Vector-table offset for an IRQ from a lower EL.
+pub const VECTOR_LOWER_IRQ: u64 = 0x480;
+/// Vector-table offset for a synchronous exception from the current EL.
+pub const VECTOR_CURRENT_SYNC: u64 = 0x200;
+/// Vector-table offset for an IRQ from the current EL.
+pub const VECTOR_CURRENT_IRQ: u64 = 0x280;
+
+/// A functional ARMv8-A CPU with virtualization extensions.
+///
+/// # Examples
+///
+/// A hypercall round trip:
+///
+/// ```
+/// use hvx_arch::{ArchVersion, ArmCpu, ExceptionLevel, TrapCause};
+///
+/// let mut cpu = ArmCpu::new(ArchVersion::V8_0);
+/// cpu.start_at(ExceptionLevel::El1); // guest kernel running
+/// let taken_to = cpu.take_exception(TrapCause::HYPERCALL);
+/// assert_eq!(taken_to, ExceptionLevel::El2);
+/// assert_eq!(cpu.current_el(), ExceptionLevel::El2);
+/// let back = cpu.eret().unwrap();
+/// assert_eq!(back, ExceptionLevel::El1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmCpu {
+    /// General-purpose registers.
+    pub gp: GpRegs,
+    /// SIMD/FP registers.
+    pub fp: FpRegs,
+    /// EL1 system registers.
+    pub el1: El1SysRegs,
+    /// EL2 system and control registers.
+    pub el2: El2Regs,
+    /// Virtual timer registers.
+    pub timer: TimerRegs,
+    current_el: ExceptionLevel,
+    version: ArchVersion,
+}
+
+impl ArmCpu {
+    /// Creates a CPU booted at EL2 (where ARMv8 server firmware hands off)
+    /// with all registers zeroed and virtualization features disabled.
+    pub fn new(version: ArchVersion) -> Self {
+        let mut cpu = ArmCpu {
+            gp: GpRegs::default(),
+            fp: FpRegs::default(),
+            el1: El1SysRegs::default(),
+            el2: El2Regs::default(),
+            timer: TimerRegs::default(),
+            current_el: ExceptionLevel::El2,
+            version,
+        };
+        cpu.gp.pstate = mode_bits(ExceptionLevel::El2);
+        cpu
+    }
+
+    /// The architecture revision.
+    pub fn version(&self) -> ArchVersion {
+        self.version
+    }
+
+    /// The exception level currently executing.
+    pub fn current_el(&self) -> ExceptionLevel {
+        self.current_el
+    }
+
+    /// Returns `true` if `HCR_EL2.E2H` is set.
+    pub fn e2h(&self) -> bool {
+        self.el2.hcr_el2.vhe_enabled()
+    }
+
+    /// Returns `true` if PSTATE.I masks IRQs at the current level.
+    pub fn irqs_masked(&self) -> bool {
+        self.gp.pstate & PSTATE_I != 0
+    }
+
+    /// Sets PSTATE.I (the guest/host kernel masking interrupts).
+    pub fn mask_irqs(&mut self) {
+        self.gp.pstate |= PSTATE_I;
+    }
+
+    /// Clears PSTATE.I.
+    pub fn unmask_irqs(&mut self) {
+        self.gp.pstate &= !PSTATE_I;
+    }
+
+    /// Whether a physical IRQ would be taken right now: an IRQ routed to
+    /// a *higher* exception level is taken regardless of PSTATE.I (this
+    /// is how the hypervisor stays in control of "all physical
+    /// interrupts ... when running in a VM", §II, even when the guest
+    /// masks); an IRQ handled at the current level honours the mask.
+    pub fn should_take_irq(&self) -> bool {
+        let target = self.route_exception(TrapCause::Irq);
+        target > self.current_el || !self.irqs_masked()
+    }
+
+    /// Places execution at `el`, modelling boot-time hand-off (firmware
+    /// dropping into a kernel, or a hypervisor model installing a guest
+    /// context). PSTATE mode bits are kept consistent.
+    pub fn start_at(&mut self, el: ExceptionLevel) {
+        self.current_el = el;
+        self.gp.pstate = (self.gp.pstate & !0xF) | mode_bits(el);
+    }
+
+    /// Sets `HCR_EL2.E2H`, turning the part into a VHE host (§VI).
+    ///
+    /// # Errors
+    ///
+    /// [`VheError::NotSupported`] on ARMv8.0; [`VheError::NotAtEl2`] if not
+    /// executing at EL2.
+    pub fn enable_vhe(&mut self) -> Result<(), VheError> {
+        if !self.version.has_vhe() {
+            return Err(VheError::NotSupported);
+        }
+        if self.current_el != ExceptionLevel::El2 {
+            return Err(VheError::NotAtEl2);
+        }
+        self.el2.hcr_el2.insert(HcrEl2::E2H);
+        Ok(())
+    }
+
+    /// Computes where an exception raised at the current level routes,
+    /// without taking it.
+    ///
+    /// Routing rules modelled (ARM ARM D1.13, restricted to the cases the
+    /// paper exercises):
+    ///
+    /// * `HVC` always targets EL2.
+    /// * Stage-2 aborts, trapped `WFI`, trapped sysreg and FP accesses
+    ///   target EL2.
+    /// * Physical IRQ/FIQ target EL2 iff `HCR_EL2.IMO`/`FMO` is set and
+    ///   execution is below EL2 (or at EL2 already — then handled there);
+    ///   otherwise EL1.
+    /// * `SVC` from EL0 targets EL1, or EL2 when `E2H && TGE` (the VHE
+    ///   host-syscall fast path of §VI).
+    pub fn route_exception(&self, cause: TrapCause) -> ExceptionLevel {
+        let hcr = self.el2.hcr_el2;
+        match cause {
+            TrapCause::Sync(Syndrome::Hvc { .. }) => ExceptionLevel::El2,
+            TrapCause::Sync(Syndrome::Svc { .. }) => {
+                if hcr.vhe_enabled() && hcr.contains(HcrEl2::TGE) {
+                    ExceptionLevel::El2
+                } else {
+                    ExceptionLevel::El1
+                }
+            }
+            TrapCause::Sync(_) => ExceptionLevel::El2,
+            TrapCause::Irq => {
+                if hcr.contains(HcrEl2::IMO) || self.current_el == ExceptionLevel::El2 {
+                    ExceptionLevel::El2
+                } else {
+                    ExceptionLevel::El1
+                }
+            }
+            TrapCause::Fiq => {
+                if hcr.contains(HcrEl2::FMO) || self.current_el == ExceptionLevel::El2 {
+                    ExceptionLevel::El2
+                } else {
+                    ExceptionLevel::El1
+                }
+            }
+        }
+    }
+
+    /// Takes an exception: saves return state into the target level's
+    /// `ELR`/`SPSR`/`ESR`/`FAR`, switches to the target level, and vectors
+    /// the PC. Returns the level the exception was taken to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exception would route to a level below the current
+    /// one (architecturally impossible).
+    pub fn take_exception(&mut self, cause: TrapCause) -> ExceptionLevel {
+        let target = self.route_exception(cause);
+        assert!(
+            target.is_at_least(self.current_el),
+            "exception cannot route downward ({} -> {})",
+            self.current_el,
+            target
+        );
+        let ret_pc = self.gp.pc;
+        let ret_pstate = self.gp.pstate;
+        let (esr, far) = match cause {
+            TrapCause::Sync(s) => {
+                let far = match s {
+                    Syndrome::DataAbort { ipa, .. } | Syndrome::InstrAbort { ipa } => ipa,
+                    _ => 0,
+                };
+                (s.encode(), far)
+            }
+            TrapCause::Irq | TrapCause::Fiq => (0, 0),
+        };
+        let from_lower = target > self.current_el;
+        let sync = matches!(cause, TrapCause::Sync(_));
+        let offset = match (from_lower, sync) {
+            (true, true) => VECTOR_LOWER_SYNC,
+            (true, false) => VECTOR_LOWER_IRQ,
+            (false, true) => VECTOR_CURRENT_SYNC,
+            (false, false) => VECTOR_CURRENT_IRQ,
+        };
+        match target {
+            ExceptionLevel::El2 => {
+                self.el2.elr_el2 = ret_pc;
+                self.el2.spsr_el2 = ret_pstate;
+                if sync {
+                    self.el2.esr_el2 = esr;
+                    self.el2.far_el2 = far;
+                    if let TrapCause::Sync(Syndrome::DataAbort { ipa, .. }) = cause {
+                        self.el2.hpfar_el2 = ipa >> 8; // architected: IPA[47:12] in HPFAR[39:4]
+                    }
+                }
+                self.gp.pc = self.el2.vbar_el2.wrapping_add(offset);
+            }
+            ExceptionLevel::El1 => {
+                self.el1.elr_el1 = ret_pc;
+                self.el1.spsr_el1 = ret_pstate;
+                if sync {
+                    self.el1.esr_el1 = esr;
+                    self.el1.far_el1 = far;
+                }
+                self.gp.pc = self.el1.vbar_el1.wrapping_add(offset);
+            }
+            ExceptionLevel::El0 => unreachable!("exceptions never target EL0"),
+        }
+        self.current_el = target;
+        // Hardware masks IRQs and switches the mode bits on entry; the
+        // pre-exception PSTATE (with its own I bit) sits in the SPSR.
+        self.gp.pstate = (self.gp.pstate & !0xF) | mode_bits(target) | PSTATE_I;
+        target
+    }
+
+    /// Executes `ERET`: restores PC and PSTATE from the current level's
+    /// `ELR`/`SPSR` and drops to the level the SPSR names.
+    ///
+    /// # Errors
+    ///
+    /// [`EretError`] if executed at EL0 or if the SPSR names a level at or
+    /// above the current one.
+    pub fn eret(&mut self) -> Result<ExceptionLevel, EretError> {
+        let (elr, spsr) = match self.current_el {
+            ExceptionLevel::El2 => (self.el2.elr_el2, self.el2.spsr_el2),
+            ExceptionLevel::El1 => (self.el1.elr_el1, self.el1.spsr_el1),
+            ExceptionLevel::El0 => return Err(EretError::EretFromEl0),
+        };
+        let target = el_of_mode(spsr & 0xF);
+        if target >= self.current_el {
+            return Err(EretError::IllegalReturn {
+                from: self.current_el,
+                to: target,
+            });
+        }
+        self.gp.pc = elr;
+        self.gp.pstate = spsr;
+        self.current_el = target;
+        Ok(target)
+    }
+
+    /// Reads a system register by encoding, applying VHE redirection.
+    ///
+    /// # Errors
+    ///
+    /// See [`resolve`] for the UNDEFINED cases.
+    pub fn read_sysreg(&self, reg: SysReg) -> Result<u64, SysRegError> {
+        let phys = resolve(reg, self.current_el, self.e2h(), self.version.has_vhe())?;
+        Ok(self.phys_read(phys))
+    }
+
+    /// Writes a system register by encoding, applying VHE redirection.
+    ///
+    /// # Errors
+    ///
+    /// See [`resolve`] for the UNDEFINED cases.
+    pub fn write_sysreg(&mut self, reg: SysReg, value: u64) -> Result<(), SysRegError> {
+        let phys = resolve(reg, self.current_el, self.e2h(), self.version.has_vhe())?;
+        self.phys_write(phys, value);
+        Ok(())
+    }
+
+    fn phys_read(&self, phys: PhysReg) -> u64 {
+        match phys {
+            PhysReg::SctlrEl1 => self.el1.sctlr_el1,
+            PhysReg::Ttbr0El1 => self.el1.ttbr0_el1,
+            PhysReg::Ttbr1El1 => self.el1.ttbr1_el1,
+            PhysReg::TcrEl1 => self.el1.tcr_el1,
+            PhysReg::MairEl1 => self.el1.mair_el1,
+            PhysReg::VbarEl1 => self.el1.vbar_el1,
+            PhysReg::CpacrEl1 => self.el1.cpacr_el1,
+            PhysReg::EsrEl1 => self.el1.esr_el1,
+            PhysReg::FarEl1 => self.el1.far_el1,
+            PhysReg::ElrEl1 => self.el1.elr_el1,
+            PhysReg::SpsrEl1 => self.el1.spsr_el1,
+            PhysReg::CntkctlEl1 => self.el1.cntkctl_el1,
+            PhysReg::HcrEl2 => self.el2.hcr_el2.bits(),
+            PhysReg::VttbrEl2 => self.el2.vttbr_el2,
+            PhysReg::VtcrEl2 => self.el2.vtcr_el2,
+            PhysReg::SctlrEl2 => self.el2.sctlr_el2,
+            PhysReg::Ttbr0El2 => self.el2.ttbr0_el2,
+            PhysReg::Ttbr1El2 => self.el2.ttbr1_el2,
+            PhysReg::TcrEl2 => self.el2.tcr_el2,
+            PhysReg::MairEl2 => self.el2.mair_el2,
+            PhysReg::VbarEl2 => self.el2.vbar_el2,
+            PhysReg::CptrEl2 => self.el2.cpacr_el2,
+            PhysReg::EsrEl2 => self.el2.esr_el2,
+            PhysReg::ElrEl2 => self.el2.elr_el2,
+            PhysReg::SpsrEl2 => self.el2.spsr_el2,
+            PhysReg::FarEl2 => self.el2.far_el2,
+            PhysReg::TpidrEl2 => self.el2.tpidr_el2,
+            PhysReg::CnthctlEl2 => self.el2.cnthctl_el2,
+        }
+    }
+
+    fn phys_write(&mut self, phys: PhysReg, v: u64) {
+        match phys {
+            PhysReg::SctlrEl1 => self.el1.sctlr_el1 = v,
+            PhysReg::Ttbr0El1 => self.el1.ttbr0_el1 = v,
+            PhysReg::Ttbr1El1 => self.el1.ttbr1_el1 = v,
+            PhysReg::TcrEl1 => self.el1.tcr_el1 = v,
+            PhysReg::MairEl1 => self.el1.mair_el1 = v,
+            PhysReg::VbarEl1 => self.el1.vbar_el1 = v,
+            PhysReg::CpacrEl1 => self.el1.cpacr_el1 = v,
+            PhysReg::EsrEl1 => self.el1.esr_el1 = v,
+            PhysReg::FarEl1 => self.el1.far_el1 = v,
+            PhysReg::ElrEl1 => self.el1.elr_el1 = v,
+            PhysReg::SpsrEl1 => self.el1.spsr_el1 = v,
+            PhysReg::CntkctlEl1 => self.el1.cntkctl_el1 = v,
+            PhysReg::HcrEl2 => self.el2.hcr_el2 = HcrEl2::from_bits(v),
+            PhysReg::VttbrEl2 => self.el2.vttbr_el2 = v,
+            PhysReg::VtcrEl2 => self.el2.vtcr_el2 = v,
+            PhysReg::SctlrEl2 => self.el2.sctlr_el2 = v,
+            PhysReg::Ttbr0El2 => self.el2.ttbr0_el2 = v,
+            PhysReg::Ttbr1El2 => self.el2.ttbr1_el2 = v,
+            PhysReg::TcrEl2 => self.el2.tcr_el2 = v,
+            PhysReg::MairEl2 => self.el2.mair_el2 = v,
+            PhysReg::VbarEl2 => self.el2.vbar_el2 = v,
+            PhysReg::CptrEl2 => self.el2.cpacr_el2 = v,
+            PhysReg::EsrEl2 => self.el2.esr_el2 = v,
+            PhysReg::ElrEl2 => self.el2.elr_el2 = v,
+            PhysReg::SpsrEl2 => self.el2.spsr_el2 = v,
+            PhysReg::FarEl2 => self.el2.far_el2 = v,
+            PhysReg::TpidrEl2 => self.el2.tpidr_el2 = v,
+            PhysReg::CnthctlEl2 => self.el2.cnthctl_el2 = v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ExceptionLevel::*;
+
+    fn guest_cpu() -> ArmCpu {
+        let mut cpu = ArmCpu::new(ArchVersion::V8_0);
+        cpu.el2.hcr_el2 = HcrEl2::guest_running();
+        cpu.el2.vbar_el2 = 0x8000_0000;
+        cpu.el1.vbar_el1 = 0x4000_0000;
+        cpu.start_at(El1);
+        cpu
+    }
+
+    #[test]
+    fn boots_at_el2() {
+        let cpu = ArmCpu::new(ArchVersion::V8_0);
+        assert_eq!(cpu.current_el(), El2);
+        assert!(!cpu.e2h());
+    }
+
+    #[test]
+    fn hypercall_traps_to_el2_and_saves_return_state() {
+        let mut cpu = guest_cpu();
+        cpu.gp.pc = 0x1234;
+        let target = cpu.take_exception(TrapCause::HYPERCALL);
+        assert_eq!(target, El2);
+        assert_eq!(cpu.el2.elr_el2, 0x1234);
+        assert_eq!(Syndrome::class_of(cpu.el2.esr_el2), 0x16);
+        assert_eq!(cpu.gp.pc, 0x8000_0000 + VECTOR_LOWER_SYNC);
+        // SPSR remembers the interrupted mode (EL1h).
+        assert_eq!(cpu.el2.spsr_el2 & 0xF, 0b0101);
+    }
+
+    #[test]
+    fn eret_returns_to_interrupted_context() {
+        let mut cpu = guest_cpu();
+        cpu.gp.pc = 0xCAFE;
+        cpu.take_exception(TrapCause::HYPERCALL);
+        let back = cpu.eret().unwrap();
+        assert_eq!(back, El1);
+        assert_eq!(cpu.current_el(), El1);
+        assert_eq!(cpu.gp.pc, 0xCAFE);
+    }
+
+    #[test]
+    fn irq_routes_to_el2_when_imo_set() {
+        let mut cpu = guest_cpu();
+        assert_eq!(cpu.route_exception(TrapCause::Irq), El2);
+        let t = cpu.take_exception(TrapCause::Irq);
+        assert_eq!(t, El2);
+        assert_eq!(cpu.gp.pc, 0x8000_0000 + VECTOR_LOWER_IRQ);
+    }
+
+    #[test]
+    fn irq_routes_to_el1_when_virtualization_disabled() {
+        let mut cpu = guest_cpu();
+        cpu.el2.hcr_el2 = HcrEl2::new(); // host running, traps disabled
+        assert_eq!(cpu.route_exception(TrapCause::Irq), El1);
+        cpu.take_exception(TrapCause::Irq);
+        assert_eq!(cpu.current_el(), El1);
+        assert_eq!(cpu.gp.pc, 0x4000_0000 + VECTOR_CURRENT_IRQ);
+    }
+
+    #[test]
+    fn svc_from_el0_routes_to_el1_normally_el2_with_vhe_tge() {
+        let mut cpu = ArmCpu::new(ArchVersion::V8_1);
+        cpu.enable_vhe().unwrap();
+        cpu.el2.hcr_el2.insert(HcrEl2::TGE);
+        cpu.start_at(El0);
+        assert_eq!(
+            cpu.route_exception(TrapCause::Sync(Syndrome::Svc { imm: 0 })),
+            El2,
+            "VHE host syscalls go straight from EL0 to EL2 (Figure 5)"
+        );
+        let mut classic = ArmCpu::new(ArchVersion::V8_0);
+        classic.start_at(El0);
+        assert_eq!(
+            classic.route_exception(TrapCause::Sync(Syndrome::Svc { imm: 0 })),
+            El1
+        );
+    }
+
+    #[test]
+    fn stage2_abort_records_ipa_in_hpfar() {
+        let mut cpu = guest_cpu();
+        cpu.take_exception(TrapCause::Sync(Syndrome::DataAbort {
+            ipa: 0x0800_1000,
+            write: true,
+        }));
+        assert_eq!(cpu.el2.far_el2, 0x0800_1000);
+        assert_eq!(cpu.el2.hpfar_el2, 0x0800_1000 >> 8);
+    }
+
+    #[test]
+    fn eret_from_el0_is_an_error() {
+        let mut cpu = ArmCpu::new(ArchVersion::V8_0);
+        cpu.start_at(El0);
+        assert_eq!(cpu.eret(), Err(EretError::EretFromEl0));
+    }
+
+    #[test]
+    fn illegal_return_to_same_or_higher_level() {
+        let mut cpu = ArmCpu::new(ArchVersion::V8_0);
+        cpu.el2.spsr_el2 = 0b1001; // names EL2h
+        assert_eq!(
+            cpu.eret(),
+            Err(EretError::IllegalReturn { from: El2, to: El2 })
+        );
+    }
+
+    #[test]
+    fn enable_vhe_requires_v8_1_and_el2() {
+        let mut v80 = ArmCpu::new(ArchVersion::V8_0);
+        assert_eq!(v80.enable_vhe(), Err(VheError::NotSupported));
+        let mut v81 = ArmCpu::new(ArchVersion::V8_1);
+        v81.start_at(El1);
+        assert_eq!(v81.enable_vhe(), Err(VheError::NotAtEl2));
+        v81.start_at(El2);
+        assert!(v81.enable_vhe().is_ok());
+        assert!(v81.e2h());
+    }
+
+    #[test]
+    fn sysreg_access_routes_through_vhe_redirection() {
+        // The §VI worked example, end to end on the CPU.
+        let mut cpu = ArmCpu::new(ArchVersion::V8_1);
+        cpu.enable_vhe().unwrap();
+        cpu.el2.ttbr1_el2 = 0;
+        cpu.el1.ttbr1_el1 = 0xAAAA;
+        // Host kernel at EL2 executes `msr ttbr1_el1, 0xBBBB` — lands in EL2.
+        cpu.write_sysreg(SysReg::Ttbr1El1, 0xBBBB).unwrap();
+        assert_eq!(cpu.el2.ttbr1_el2, 0xBBBB);
+        assert_eq!(cpu.el1.ttbr1_el1, 0xAAAA, "guest state untouched");
+        // `mrs x1, ttbr1_el12` reaches the guest's register.
+        assert_eq!(cpu.read_sysreg(SysReg::Ttbr1El12).unwrap(), 0xAAAA);
+    }
+
+    #[test]
+    fn sysreg_access_is_direct_without_vhe() {
+        let mut cpu = ArmCpu::new(ArchVersion::V8_0);
+        cpu.write_sysreg(SysReg::Ttbr1El1, 0x77).unwrap();
+        assert_eq!(cpu.el1.ttbr1_el1, 0x77);
+        assert_eq!(cpu.el2.ttbr1_el2, 0);
+        assert!(cpu.read_sysreg(SysReg::Ttbr1El12).is_err());
+    }
+
+    #[test]
+    fn guest_el1_sysreg_access_unaffected_by_host_e2h() {
+        let mut cpu = ArmCpu::new(ArchVersion::V8_1);
+        cpu.enable_vhe().unwrap();
+        cpu.start_at(El1); // guest running
+        cpu.write_sysreg(SysReg::SctlrEl1, 0x1).unwrap();
+        assert_eq!(cpu.el1.sctlr_el1, 0x1);
+        assert_ne!(cpu.el2.sctlr_el2, 0x1);
+    }
+
+    #[test]
+    fn hcr_accessible_as_sysreg() {
+        let mut cpu = ArmCpu::new(ArchVersion::V8_0);
+        cpu.write_sysreg(SysReg::HcrEl2, HcrEl2::guest_running().bits())
+            .unwrap();
+        assert!(cpu.el2.hcr_el2.stage2_enabled());
+        assert_eq!(
+            cpu.read_sysreg(SysReg::HcrEl2).unwrap(),
+            HcrEl2::guest_running().bits()
+        );
+    }
+
+    #[test]
+    fn nested_trap_and_return_preserves_pstate_mode() {
+        let mut cpu = guest_cpu();
+        cpu.start_at(El0);
+        assert_eq!(cpu.gp.pstate & 0xF, 0b0000);
+        cpu.take_exception(TrapCause::Sync(Syndrome::Svc { imm: 0 }));
+        assert_eq!(cpu.current_el(), El1);
+        assert_eq!(cpu.gp.pstate & 0xF, 0b0101);
+        cpu.eret().unwrap();
+        assert_eq!(cpu.current_el(), El0);
+        assert_eq!(cpu.gp.pstate & 0xF, 0b0000);
+    }
+
+    #[test]
+    fn exception_entry_masks_irqs_and_eret_restores_the_mask() {
+        let mut cpu = guest_cpu();
+        assert!(!cpu.irqs_masked());
+        cpu.take_exception(TrapCause::HYPERCALL);
+        assert!(cpu.irqs_masked(), "hardware sets PSTATE.I on entry");
+        cpu.eret().unwrap();
+        assert!(!cpu.irqs_masked(), "SPSR restore clears it");
+    }
+
+    #[test]
+    fn guest_irq_mask_cannot_block_the_hypervisor() {
+        // §II: "all physical interrupts are taken to EL2 when running in
+        // a VM" — even a guest running with IRQs masked.
+        let mut cpu = guest_cpu();
+        cpu.mask_irqs();
+        assert!(cpu.irqs_masked());
+        assert!(cpu.should_take_irq(), "EL2-routed IRQ ignores guest mask");
+        // Natively (no IMO), the mask works.
+        let mut native = ArmCpu::new(ArchVersion::V8_0);
+        native.start_at(El1);
+        native.mask_irqs();
+        assert!(!native.should_take_irq());
+        native.unmask_irqs();
+        assert!(native.should_take_irq());
+    }
+
+    #[test]
+    fn exception_from_el2_to_el2_uses_current_vectors() {
+        let mut cpu = ArmCpu::new(ArchVersion::V8_0);
+        cpu.el2.vbar_el2 = 0x9000_0000;
+        cpu.take_exception(TrapCause::Irq);
+        assert_eq!(cpu.current_el(), El2);
+        assert_eq!(cpu.gp.pc, 0x9000_0000 + VECTOR_CURRENT_IRQ);
+    }
+}

@@ -1,0 +1,82 @@
+//! ARMv8 exception levels.
+//!
+//! The ARM virtualization extensions are "centered around a new CPU
+//! privilege level (also known as exception level), EL2, added to the
+//! existing user and kernel levels, EL0 and EL1" (§II). Unlike x86's
+//! root/non-root split, EL2 is *strictly more privileged* and a *different
+//! mode* with its own register bank — that asymmetry is the root of every
+//! Type-1 vs Type-2 difference the paper measures.
+
+use core::fmt;
+
+/// An ARMv8-A exception level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum ExceptionLevel {
+    /// EL0 — user mode (applications; VM userspace).
+    El0,
+    /// EL1 — kernel mode (guest OS kernels; for non-VHE KVM, also the host
+    /// kernel and the KVM "highvisor").
+    El1,
+    /// EL2 — hypervisor mode (Xen; the KVM "lowvisor"; with VHE, the whole
+    /// host kernel).
+    El2,
+}
+
+impl ExceptionLevel {
+    /// Returns `true` if `self` is at least as privileged as `other`.
+    ///
+    /// ```
+    /// use hvx_arch::ExceptionLevel::*;
+    /// assert!(El2.is_at_least(El1));
+    /// assert!(El1.is_at_least(El1));
+    /// assert!(!El0.is_at_least(El1));
+    /// ```
+    pub fn is_at_least(self, other: ExceptionLevel) -> bool {
+        self.rank() >= other.rank()
+    }
+
+    /// Numeric rank: EL0 = 0, EL1 = 1, EL2 = 2.
+    pub fn rank(self) -> u8 {
+        match self {
+            ExceptionLevel::El0 => 0,
+            ExceptionLevel::El1 => 1,
+            ExceptionLevel::El2 => 2,
+        }
+    }
+}
+
+impl fmt::Display for ExceptionLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExceptionLevel::El0 => "EL0",
+            ExceptionLevel::El1 => "EL1",
+            ExceptionLevel::El2 => "EL2",
+        };
+        f.pad(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ExceptionLevel::*;
+
+    #[test]
+    fn privilege_ordering() {
+        assert!(El2 > El1);
+        assert!(El1 > El0);
+        assert!(El2.is_at_least(El0));
+        assert!(!El1.is_at_least(El2));
+        assert_eq!(El0.rank(), 0);
+        assert_eq!(El1.rank(), 1);
+        assert_eq!(El2.rank(), 2);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(El0.to_string(), "EL0");
+        assert_eq!(El1.to_string(), "EL1");
+        assert_eq!(El2.to_string(), "EL2");
+    }
+}

@@ -1,0 +1,413 @@
+//! System-register encodings and VHE redirection.
+//!
+//! This module models the ARMv8.1 VHE access-redirection rules of §VI
+//! mechanically: a [`SysReg`] is the *encoding* an instruction names
+//! (`mrs x1, ttbr1_el1`), and [`resolve`] maps it to the *physical*
+//! register storage ([`PhysReg`]) it reaches given the current exception
+//! level and the `HCR_EL2.E2H` bit:
+//!
+//! * E2H clear (classic ARMv8): EL1 encodings reach EL1 registers
+//!   everywhere; EL2 encodings are only legal at EL2.
+//! * E2H set, executing at EL2: EL1 encodings are **transparently
+//!   rewritten** to the corresponding EL2 registers ("the software still
+//!   executes the same instruction, but the hardware actually accesses the
+//!   TTBR1_EL2 register"), and the new `*_EL12` encodings reach the guest's
+//!   EL1 registers.
+//! * `TTBR1_EL2` physically exists only on ARMv8.1 (VHE-capable) parts.
+
+use crate::ExceptionLevel;
+use core::fmt;
+
+/// A system-register *encoding* as named by an `MRS`/`MSR` instruction.
+///
+/// The modelled subset covers the registers the paper's analysis turns on:
+/// the twelve EL1/EL2 redirectable pairs plus the EL2-only virtualization
+/// controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)] // variants are architected register names
+pub enum SysReg {
+    // --- EL1-encoded registers (redirected to EL2 under E2H at EL2) ---
+    SctlrEl1,
+    Ttbr0El1,
+    Ttbr1El1,
+    TcrEl1,
+    MairEl1,
+    VbarEl1,
+    CpacrEl1,
+    EsrEl1,
+    FarEl1,
+    ElrEl1,
+    SpsrEl1,
+    CntkctlEl1,
+    // --- `_EL12` aliases (ARMv8.1): guest EL1 state, from E2H EL2 ---
+    SctlrEl12,
+    Ttbr0El12,
+    Ttbr1El12,
+    TcrEl12,
+    MairEl12,
+    VbarEl12,
+    CpacrEl12,
+    EsrEl12,
+    FarEl12,
+    ElrEl12,
+    SpsrEl12,
+    CntkctlEl12,
+    // --- EL2-encoded registers ---
+    HcrEl2,
+    VttbrEl2,
+    VtcrEl2,
+    SctlrEl2,
+    Ttbr0El2,
+    Ttbr1El2,
+    TcrEl2,
+    MairEl2,
+    VbarEl2,
+    CptrEl2,
+    EsrEl2,
+    ElrEl2,
+    SpsrEl2,
+    FarEl2,
+    TpidrEl2,
+    CnthctlEl2,
+}
+
+/// Physical register storage reached by an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum PhysReg {
+    SctlrEl1,
+    Ttbr0El1,
+    Ttbr1El1,
+    TcrEl1,
+    MairEl1,
+    VbarEl1,
+    CpacrEl1,
+    EsrEl1,
+    FarEl1,
+    ElrEl1,
+    SpsrEl1,
+    CntkctlEl1,
+    HcrEl2,
+    VttbrEl2,
+    VtcrEl2,
+    SctlrEl2,
+    Ttbr0El2,
+    Ttbr1El2,
+    TcrEl2,
+    MairEl2,
+    VbarEl2,
+    CptrEl2,
+    EsrEl2,
+    ElrEl2,
+    SpsrEl2,
+    FarEl2,
+    TpidrEl2,
+    CnthctlEl2,
+}
+
+/// Why a system-register access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum SysRegError {
+    /// The encoding is UNDEFINED at the executing exception level (e.g. an
+    /// `*_EL2` access from EL1, or any system register from EL0).
+    UndefinedAtEl {
+        /// The encoding that faulted.
+        reg: SysReg,
+        /// The level the access executed at.
+        el: ExceptionLevel,
+    },
+    /// An `*_EL12` encoding was used without `HCR_EL2.E2H` set.
+    RequiresE2h {
+        /// The encoding that faulted.
+        reg: SysReg,
+    },
+    /// The register does not exist on this silicon revision
+    /// (`TTBR1_EL2` on pre-VHE ARMv8.0).
+    NotImplemented {
+        /// The encoding that faulted.
+        reg: SysReg,
+    },
+}
+
+impl fmt::Display for SysRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysRegError::UndefinedAtEl { reg, el } => {
+                write!(f, "access to {reg:?} is UNDEFINED at {el}")
+            }
+            SysRegError::RequiresE2h { reg } => {
+                write!(f, "access to {reg:?} requires HCR_EL2.E2H")
+            }
+            SysRegError::NotImplemented { reg } => {
+                write!(f, "{reg:?} is not implemented on this architecture revision")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SysRegError {}
+
+impl SysReg {
+    /// For an EL1-encoded register, the EL1 physical storage.
+    fn el1_phys(self) -> Option<PhysReg> {
+        Some(match self {
+            SysReg::SctlrEl1 | SysReg::SctlrEl12 => PhysReg::SctlrEl1,
+            SysReg::Ttbr0El1 | SysReg::Ttbr0El12 => PhysReg::Ttbr0El1,
+            SysReg::Ttbr1El1 | SysReg::Ttbr1El12 => PhysReg::Ttbr1El1,
+            SysReg::TcrEl1 | SysReg::TcrEl12 => PhysReg::TcrEl1,
+            SysReg::MairEl1 | SysReg::MairEl12 => PhysReg::MairEl1,
+            SysReg::VbarEl1 | SysReg::VbarEl12 => PhysReg::VbarEl1,
+            SysReg::CpacrEl1 | SysReg::CpacrEl12 => PhysReg::CpacrEl1,
+            SysReg::EsrEl1 | SysReg::EsrEl12 => PhysReg::EsrEl1,
+            SysReg::FarEl1 | SysReg::FarEl12 => PhysReg::FarEl1,
+            SysReg::ElrEl1 | SysReg::ElrEl12 => PhysReg::ElrEl1,
+            SysReg::SpsrEl1 | SysReg::SpsrEl12 => PhysReg::SpsrEl1,
+            SysReg::CntkctlEl1 | SysReg::CntkctlEl12 => PhysReg::CntkctlEl1,
+            _ => return None,
+        })
+    }
+
+    /// For an EL1-encoded register, the EL2 register it redirects to under
+    /// E2H (the architected pairing of §VI).
+    fn e2h_redirect(self) -> Option<PhysReg> {
+        Some(match self {
+            SysReg::SctlrEl1 => PhysReg::SctlrEl2,
+            SysReg::Ttbr0El1 => PhysReg::Ttbr0El2,
+            SysReg::Ttbr1El1 => PhysReg::Ttbr1El2,
+            SysReg::TcrEl1 => PhysReg::TcrEl2,
+            SysReg::MairEl1 => PhysReg::MairEl2,
+            SysReg::VbarEl1 => PhysReg::VbarEl2,
+            SysReg::CpacrEl1 => PhysReg::CptrEl2,
+            SysReg::EsrEl1 => PhysReg::EsrEl2,
+            SysReg::FarEl1 => PhysReg::FarEl2,
+            SysReg::ElrEl1 => PhysReg::ElrEl2,
+            SysReg::SpsrEl1 => PhysReg::SpsrEl2,
+            SysReg::CntkctlEl1 => PhysReg::CnthctlEl2,
+            _ => return None,
+        })
+    }
+
+    /// `true` for the plain `*_EL1` encodings.
+    pub fn is_el1_encoded(self) -> bool {
+        self.e2h_redirect().is_some()
+    }
+
+    /// `true` for the ARMv8.1 `*_EL12` alias encodings.
+    pub fn is_el12(self) -> bool {
+        !self.is_el1_encoded() && self.el1_phys().is_some()
+    }
+
+    /// For an EL2-encoded register, the physical EL2 storage.
+    fn el2_phys(self) -> Option<PhysReg> {
+        Some(match self {
+            SysReg::HcrEl2 => PhysReg::HcrEl2,
+            SysReg::VttbrEl2 => PhysReg::VttbrEl2,
+            SysReg::VtcrEl2 => PhysReg::VtcrEl2,
+            SysReg::SctlrEl2 => PhysReg::SctlrEl2,
+            SysReg::Ttbr0El2 => PhysReg::Ttbr0El2,
+            SysReg::Ttbr1El2 => PhysReg::Ttbr1El2,
+            SysReg::TcrEl2 => PhysReg::TcrEl2,
+            SysReg::MairEl2 => PhysReg::MairEl2,
+            SysReg::VbarEl2 => PhysReg::VbarEl2,
+            SysReg::CptrEl2 => PhysReg::CptrEl2,
+            SysReg::EsrEl2 => PhysReg::EsrEl2,
+            SysReg::ElrEl2 => PhysReg::ElrEl2,
+            SysReg::SpsrEl2 => PhysReg::SpsrEl2,
+            SysReg::FarEl2 => PhysReg::FarEl2,
+            SysReg::TpidrEl2 => PhysReg::TpidrEl2,
+            SysReg::CnthctlEl2 => PhysReg::CnthctlEl2,
+            _ => return None,
+        })
+    }
+
+    /// `true` for `*_EL2` encodings.
+    pub fn is_el2_encoded(self) -> bool {
+        self.el2_phys().is_some()
+    }
+}
+
+/// Resolves an encoding to physical storage under the given execution
+/// state.
+///
+/// # Errors
+///
+/// Returns [`SysRegError`] when the access would be UNDEFINED on real
+/// hardware: system-register access from EL0, `*_EL2` access below EL2,
+/// `*_EL12` without E2H (or below EL2), or `TTBR1_EL2` on a non-VHE part.
+///
+/// # Examples
+///
+/// The §VI example — at E2H EL2, `mrs x1, ttbr1_el1` reaches `TTBR1_EL2`:
+///
+/// ```
+/// use hvx_arch::{resolve, ExceptionLevel, PhysReg, SysReg};
+/// let phys = resolve(SysReg::Ttbr1El1, ExceptionLevel::El2, true, true).unwrap();
+/// assert_eq!(phys, PhysReg::Ttbr1El2);
+/// ```
+pub fn resolve(
+    reg: SysReg,
+    el: ExceptionLevel,
+    e2h: bool,
+    vhe_capable: bool,
+) -> Result<PhysReg, SysRegError> {
+    if el == ExceptionLevel::El0 {
+        return Err(SysRegError::UndefinedAtEl { reg, el });
+    }
+    let phys = if let Some(el2_phys) = reg.el2_phys() {
+        // *_EL2 encodings: EL2 only.
+        if el != ExceptionLevel::El2 {
+            return Err(SysRegError::UndefinedAtEl { reg, el });
+        }
+        el2_phys
+    } else if reg.is_el12() {
+        // *_EL12 aliases: EL2 only, E2H only, v8.1 only.
+        if !vhe_capable {
+            return Err(SysRegError::NotImplemented { reg });
+        }
+        if el != ExceptionLevel::El2 {
+            return Err(SysRegError::UndefinedAtEl { reg, el });
+        }
+        if !e2h {
+            return Err(SysRegError::RequiresE2h { reg });
+        }
+        reg.el1_phys().expect("EL12 register has EL1 storage")
+    } else {
+        // Plain *_EL1 encodings.
+        if el == ExceptionLevel::El2 && e2h {
+            reg.e2h_redirect().expect("EL1 register has redirect")
+        } else {
+            reg.el1_phys().expect("EL1 register has EL1 storage")
+        }
+    };
+    if phys == PhysReg::Ttbr1El2 && !vhe_capable {
+        return Err(SysRegError::NotImplemented { reg });
+    }
+    Ok(phys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ExceptionLevel::*;
+
+    #[test]
+    fn el1_encodings_reach_el1_without_e2h() {
+        for el in [El1, El2] {
+            assert_eq!(
+                resolve(SysReg::Ttbr1El1, el, false, true).unwrap(),
+                PhysReg::Ttbr1El1
+            );
+        }
+    }
+
+    #[test]
+    fn e2h_redirects_all_twelve_pairs_at_el2() {
+        let pairs = [
+            (SysReg::SctlrEl1, PhysReg::SctlrEl2),
+            (SysReg::Ttbr0El1, PhysReg::Ttbr0El2),
+            (SysReg::Ttbr1El1, PhysReg::Ttbr1El2),
+            (SysReg::TcrEl1, PhysReg::TcrEl2),
+            (SysReg::MairEl1, PhysReg::MairEl2),
+            (SysReg::VbarEl1, PhysReg::VbarEl2),
+            (SysReg::CpacrEl1, PhysReg::CptrEl2),
+            (SysReg::EsrEl1, PhysReg::EsrEl2),
+            (SysReg::FarEl1, PhysReg::FarEl2),
+            (SysReg::ElrEl1, PhysReg::ElrEl2),
+            (SysReg::SpsrEl1, PhysReg::SpsrEl2),
+            (SysReg::CntkctlEl1, PhysReg::CnthctlEl2),
+        ];
+        for (enc, phys) in pairs {
+            assert_eq!(resolve(enc, El2, true, true).unwrap(), phys);
+        }
+    }
+
+    #[test]
+    fn e2h_redirection_does_not_apply_at_el1() {
+        // A guest at EL1 with a VHE host still reaches its own EL1 regs.
+        assert_eq!(
+            resolve(SysReg::Ttbr1El1, El1, true, true).unwrap(),
+            PhysReg::Ttbr1El1
+        );
+    }
+
+    #[test]
+    fn el12_aliases_reach_guest_el1_state() {
+        assert_eq!(
+            resolve(SysReg::Ttbr1El12, El2, true, true).unwrap(),
+            PhysReg::Ttbr1El1
+        );
+        assert_eq!(
+            resolve(SysReg::SpsrEl12, El2, true, true).unwrap(),
+            PhysReg::SpsrEl1
+        );
+    }
+
+    #[test]
+    fn el12_requires_e2h_el2_and_vhe() {
+        assert_eq!(
+            resolve(SysReg::Ttbr1El12, El2, false, true),
+            Err(SysRegError::RequiresE2h { reg: SysReg::Ttbr1El12 })
+        );
+        assert_eq!(
+            resolve(SysReg::Ttbr1El12, El1, true, true),
+            Err(SysRegError::UndefinedAtEl { reg: SysReg::Ttbr1El12, el: El1 })
+        );
+        assert_eq!(
+            resolve(SysReg::Ttbr1El12, El2, true, false),
+            Err(SysRegError::NotImplemented { reg: SysReg::Ttbr1El12 })
+        );
+    }
+
+    #[test]
+    fn el2_encodings_undefined_below_el2() {
+        assert_eq!(
+            resolve(SysReg::HcrEl2, El1, false, true),
+            Err(SysRegError::UndefinedAtEl { reg: SysReg::HcrEl2, el: El1 })
+        );
+        assert_eq!(
+            resolve(SysReg::VttbrEl2, El2, false, false).unwrap(),
+            PhysReg::VttbrEl2
+        );
+    }
+
+    #[test]
+    fn ttbr1_el2_does_not_exist_pre_vhe() {
+        // "without VHE, EL2 only has one page table base register,
+        // TTBR0_EL2" (§VI).
+        assert_eq!(
+            resolve(SysReg::Ttbr1El2, El2, false, false),
+            Err(SysRegError::NotImplemented { reg: SysReg::Ttbr1El2 })
+        );
+        assert!(resolve(SysReg::Ttbr0El2, El2, false, false).is_ok());
+        assert!(resolve(SysReg::Ttbr1El2, El2, false, true).is_ok());
+    }
+
+    #[test]
+    fn everything_undefined_at_el0() {
+        for reg in [SysReg::SctlrEl1, SysReg::HcrEl2, SysReg::Ttbr1El12] {
+            assert!(matches!(
+                resolve(reg, El0, true, true),
+                Err(SysRegError::UndefinedAtEl { el: El0, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(SysReg::Ttbr1El1.is_el1_encoded());
+        assert!(!SysReg::Ttbr1El1.is_el12());
+        assert!(SysReg::Ttbr1El12.is_el12());
+        assert!(!SysReg::Ttbr1El12.is_el2_encoded());
+        assert!(SysReg::HcrEl2.is_el2_encoded());
+        assert!(!SysReg::HcrEl2.is_el1_encoded());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SysRegError::RequiresE2h { reg: SysReg::Ttbr1El12 };
+        assert!(e.to_string().contains("E2H"));
+    }
+}

@@ -1,0 +1,336 @@
+//! The x86 hardware-virtualization model (VMX), the paper's baseline.
+//!
+//! x86 "support provides a mode switch, root vs. non-root mode, completely
+//! orthogonal from the CPU privilege rings" (§II). Transitions are
+//! "implemented with a VM Control Structure (VMCS) residing in normal
+//! memory, to and from which hardware state is automatically saved and
+//! restored when switching to and from root mode". The key contrasts with
+//! ARM that the model must preserve:
+//!
+//! * Root mode banks **no** extra register state — every VM exit bulk-moves
+//!   the full CPU state to the VMCS in memory and loads the host state,
+//!   and every VM entry does the reverse. Fast (done in hardware), but
+//!   never as fast as ARM's "switch a mode, keep your registers" EL2 entry.
+//! * The same mechanism serves Type 1 and Type 2 hypervisors identically,
+//!   which is why KVM x86 and Xen x86 have near-identical Hypercall costs
+//!   (Table II) while their ARM counterparts differ by 17×.
+//! * Interrupt completion (APIC EOI) traps to the hypervisor unless the
+//!   hardware has vAPIC support (§IV, Virtual IRQ Completion).
+
+use core::fmt;
+
+/// VMX operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum VmxMode {
+    /// Root mode — the hypervisor (and for KVM, the whole host OS).
+    Root,
+    /// Non-root mode — a VM.
+    NonRoot,
+}
+
+/// x86 privilege ring (orthogonal to [`VmxMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Default)]
+pub enum Ring {
+    /// Kernel privilege.
+    #[default]
+    Ring0,
+    /// User privilege.
+    Ring3,
+}
+
+/// The architectural state a VMCS transfer moves. One instance lives in
+/// the CPU ([`X86Cpu::live`]); the VMCS holds a guest copy and a host copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct X86State {
+    /// `rax`–`r15`.
+    pub gp: [u64; 16],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Flags register.
+    pub rflags: u64,
+    /// Control register 0 (PE/PG bits etc.).
+    pub cr0: u64,
+    /// Page-table base.
+    pub cr3: u64,
+    /// Control register 4 (VMXE etc.).
+    pub cr4: u64,
+    /// Extended feature enable MSR.
+    pub efer: u64,
+    /// Segment selectors/bases, collapsed to one word per segment
+    /// (cs, ss, ds, es, fs, gs).
+    pub segs: [u64; 6],
+    /// Descriptor-table bases (GDTR, IDTR).
+    pub dtrs: [u64; 2],
+    /// SYSENTER/SYSCALL MSRs (cs, esp, eip, star, lstar, sfmask).
+    pub sys_msrs: [u64; 6],
+    /// Current privilege ring.
+    pub ring: Ring,
+}
+
+
+impl X86State {
+    /// Fills the state with values derived from `seed` for round-trip
+    /// tests.
+    pub fn fill_pattern(seed: u64) -> Self {
+        use crate::regs::mix;
+        let mut s = X86State::default();
+        for (i, r) in s.gp.iter_mut().enumerate() {
+            *r = mix(seed, 800 + i as u64);
+        }
+        s.rip = mix(seed, 820);
+        s.rflags = mix(seed, 821);
+        s.cr0 = mix(seed, 822);
+        s.cr3 = mix(seed, 823);
+        s.cr4 = mix(seed, 824);
+        s.efer = mix(seed, 825);
+        for (i, r) in s.segs.iter_mut().enumerate() {
+            *r = mix(seed, 830 + i as u64);
+        }
+        for (i, r) in s.dtrs.iter_mut().enumerate() {
+            *r = mix(seed, 840 + i as u64);
+        }
+        for (i, r) in s.sys_msrs.iter_mut().enumerate() {
+            *r = mix(seed, 850 + i as u64);
+        }
+        s
+    }
+}
+
+/// Why a VM exit occurred (the modelled subset of VMX exit reasons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum ExitReason {
+    /// `VMCALL` — the hypercall instruction.
+    Vmcall,
+    /// External (physical) interrupt arrived while the VM ran.
+    ExternalInterrupt,
+    /// EPT violation (the x86 analog of an ARM Stage-2 abort).
+    EptViolation {
+        /// Faulting guest-physical address.
+        gpa: u64,
+    },
+    /// Access to the virtual APIC page (interrupt-controller emulation).
+    ApicAccess {
+        /// Offset within the APIC page.
+        offset: u64,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// `HLT` executed.
+    Hlt,
+    /// I/O instruction executed.
+    IoInstruction,
+    /// MSR write (e.g. x2APIC ICR for IPIs).
+    MsrWrite {
+        /// MSR index.
+        msr: u32,
+    },
+}
+
+/// Per-VMCS execution controls (the modelled subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct VmcsControls {
+    /// Hardware vAPIC: interrupt completion (EOI) in the VM without a VM
+    /// exit — "more recently, vAPIC support has been added to x86 with
+    /// similar functionality" to ARM's no-trap virtual IRQ completion (§IV).
+    pub vapic: bool,
+    /// EPT enabled (always true for the modelled hypervisors).
+    pub ept: bool,
+}
+
+/// A VM Control Structure: lives in ordinary memory, owned by the
+/// hypervisor, one per VCPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Vmcs {
+    /// Saved guest state (hardware-written on exit, hardware-read on entry).
+    pub guest: X86State,
+    /// Host state loaded on every exit (hypervisor-written at setup).
+    pub host: X86State,
+    /// Exit reason recorded by the last VM exit.
+    pub exit_reason: Option<ExitReason>,
+    /// Execution controls.
+    pub controls: VmcsControls,
+}
+
+/// Error from VMX operations used out of protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmxError {
+    /// `vmentry` attempted while already in non-root mode.
+    AlreadyNonRoot,
+    /// `vmexit` signalled while in root mode.
+    NotInNonRoot,
+}
+
+impl fmt::Display for VmxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmxError::AlreadyNonRoot => write!(f, "vmentry while already in non-root mode"),
+            VmxError::NotInNonRoot => write!(f, "vmexit while not in non-root mode"),
+        }
+    }
+}
+
+impl std::error::Error for VmxError {}
+
+/// A functional x86 CPU with VMX.
+///
+/// # Examples
+///
+/// A hypercall (VMCALL) round trip:
+///
+/// ```
+/// use hvx_arch::{ExitReason, Vmcs, X86Cpu, X86State, VmxMode};
+///
+/// let mut cpu = X86Cpu::new();
+/// let mut vmcs = Vmcs::default();
+/// vmcs.guest = X86State::fill_pattern(1);
+/// vmcs.host = X86State::fill_pattern(2);
+///
+/// cpu.vmentry(&mut vmcs).unwrap();
+/// assert_eq!(cpu.mode(), VmxMode::NonRoot);
+/// cpu.vmexit(&mut vmcs, ExitReason::Vmcall).unwrap();
+/// assert_eq!(cpu.mode(), VmxMode::Root);
+/// assert_eq!(vmcs.exit_reason, Some(ExitReason::Vmcall));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct X86Cpu {
+    /// The live architectural state.
+    pub live: X86State,
+    mode: VmxMode,
+}
+
+impl X86Cpu {
+    /// Creates a CPU in root mode (pre-`vmentry`), zeroed state.
+    pub fn new() -> Self {
+        X86Cpu {
+            live: X86State::default(),
+            mode: VmxMode::Root,
+        }
+    }
+
+    /// Current VMX mode.
+    pub fn mode(&self) -> VmxMode {
+        self.mode
+    }
+
+    /// Current privilege ring of the live context.
+    pub fn ring(&self) -> Ring {
+        self.live.ring
+    }
+
+    /// VM entry: hardware loads the guest state from the VMCS into the
+    /// CPU and switches to non-root mode. The live (host) state is *not*
+    /// implicitly saved — the host fields of the VMCS were programmed at
+    /// setup, exactly as on real hardware.
+    ///
+    /// # Errors
+    ///
+    /// [`VmxError::AlreadyNonRoot`] if executed from non-root mode.
+    pub fn vmentry(&mut self, vmcs: &mut Vmcs) -> Result<(), VmxError> {
+        if self.mode == VmxMode::NonRoot {
+            return Err(VmxError::AlreadyNonRoot);
+        }
+        self.live = vmcs.guest;
+        self.mode = VmxMode::NonRoot;
+        vmcs.exit_reason = None;
+        Ok(())
+    }
+
+    /// VM exit: hardware saves the full live state to the VMCS guest
+    /// area, records the exit reason, loads the host state, and switches
+    /// to root mode — "switching between the two modes involves switching
+    /// a substantial portion of the CPU register state to the VMCS in
+    /// memory" (§IV).
+    ///
+    /// # Errors
+    ///
+    /// [`VmxError::NotInNonRoot`] if executed from root mode.
+    pub fn vmexit(&mut self, vmcs: &mut Vmcs, reason: ExitReason) -> Result<(), VmxError> {
+        if self.mode != VmxMode::NonRoot {
+            return Err(VmxError::NotInNonRoot);
+        }
+        vmcs.guest = self.live;
+        vmcs.exit_reason = Some(reason);
+        self.live = vmcs.host;
+        self.mode = VmxMode::Root;
+        Ok(())
+    }
+}
+
+impl Default for X86Cpu {
+    fn default() -> Self {
+        X86Cpu::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_exit_round_trip_preserves_guest_state() {
+        let mut cpu = X86Cpu::new();
+        let mut vmcs = Vmcs {
+            guest: X86State::fill_pattern(11),
+            host: X86State::fill_pattern(22),
+            ..Vmcs::default()
+        };
+        let guest_snapshot = vmcs.guest;
+        cpu.vmentry(&mut vmcs).unwrap();
+        assert_eq!(cpu.live, guest_snapshot);
+        // Guest computes: live state diverges.
+        cpu.live.gp[0] = 0xDEAD;
+        cpu.vmexit(&mut vmcs, ExitReason::Vmcall).unwrap();
+        assert_eq!(cpu.live, vmcs.host, "host state loaded on exit");
+        assert_eq!(vmcs.guest.gp[0], 0xDEAD, "guest progress captured");
+        // Re-entry resumes exactly where the guest left off.
+        cpu.vmentry(&mut vmcs).unwrap();
+        assert_eq!(cpu.live.gp[0], 0xDEAD);
+    }
+
+    #[test]
+    fn exit_records_reason_and_entry_clears_it() {
+        let mut cpu = X86Cpu::new();
+        let mut vmcs = Vmcs::default();
+        cpu.vmentry(&mut vmcs).unwrap();
+        cpu.vmexit(&mut vmcs, ExitReason::EptViolation { gpa: 0x1000 })
+            .unwrap();
+        assert_eq!(vmcs.exit_reason, Some(ExitReason::EptViolation { gpa: 0x1000 }));
+        cpu.vmentry(&mut vmcs).unwrap();
+        assert_eq!(vmcs.exit_reason, None);
+    }
+
+    #[test]
+    fn protocol_violations_are_errors() {
+        let mut cpu = X86Cpu::new();
+        let mut vmcs = Vmcs::default();
+        assert_eq!(
+            cpu.vmexit(&mut vmcs, ExitReason::Hlt),
+            Err(VmxError::NotInNonRoot)
+        );
+        cpu.vmentry(&mut vmcs).unwrap();
+        assert_eq!(cpu.vmentry(&mut vmcs), Err(VmxError::AlreadyNonRoot));
+    }
+
+    #[test]
+    fn root_mode_supports_both_rings() {
+        // "x86 root mode supports the same full range of user and kernel
+        // mode functionality as its non-root mode" (§II) — the host OS
+        // runs user processes in root mode ring 3.
+        let mut cpu = X86Cpu::new();
+        cpu.live.ring = Ring::Ring3;
+        assert_eq!(cpu.mode(), VmxMode::Root);
+        assert_eq!(cpu.ring(), Ring::Ring3);
+    }
+
+    #[test]
+    fn pattern_states_differ_by_seed() {
+        assert_ne!(X86State::fill_pattern(1), X86State::fill_pattern(2));
+    }
+}

@@ -1,0 +1,55 @@
+//! Extension ablations beyond the paper's printed artifacts: the §III
+//! link-speed observation, the §IV vAPIC forward-looking note, the
+//! Table I oversubscription motivation, and the §V one-time Stage-2
+//! fault cost — each quantified on the models.
+//!
+//! Run with: `cargo bench --bench ablation_extensions`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvx_core::{KvmArm, XenArm};
+use hvx_suite::ablations;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Link-speed ablation (Section III) ===\n");
+    println!("{}", ablations::render_link_speed(&ablations::link_speed()));
+    println!("=== vAPIC ablation (Section IV) ===\n");
+    println!("{}", ablations::render_vapic(&ablations::vapic()));
+    println!("=== Oversubscription sweep (Table I motivation) ===\n");
+    println!("{}", ablations::render_oversubscription(&ablations::oversubscription()));
+    println!("=== Storage ablation (Section III devices) ===\n");
+    println!("{}", ablations::render_storage(&ablations::storage()));
+    println!("=== Stage-2 demand-fault cost (Section V aside) ===\n");
+    let mut kvm = KvmArm::new();
+    let mut vhe = KvmArm::new_vhe();
+    let mut xen = XenArm::new();
+    println!(
+        "  KVM ARM:       {:>6} cycles\n  KVM ARM + VHE: {:>6} cycles\n  Xen ARM:       {:>6} cycles\n",
+        kvm.stage2_fault(0).as_u64(),
+        vhe.stage2_fault(0).as_u64(),
+        xen.stage2_fault(0).as_u64()
+    );
+
+    let mut group = c.benchmark_group("extensions");
+    group.bench_function("stage2-fault/kvm-arm", |b| {
+        let mut hv = KvmArm::new();
+        b.iter(|| black_box(hv.stage2_fault(0)));
+    });
+    group.bench_function("stage2-fault/xen-arm", |b| {
+        let mut hv = XenArm::new();
+        b.iter(|| black_box(hv.stage2_fault(0)));
+    });
+    group.bench_function("credit-scheduler/period", |b| {
+        b.iter(|| {
+            black_box(hvx_core::sched::oversubscription_point(
+                4,
+                hvx_engine::Cycles::new(240_000),
+                hvx_engine::Cycles::new(8_799),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

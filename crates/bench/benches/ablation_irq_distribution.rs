@@ -1,0 +1,34 @@
+//! Regenerates the §V interrupt-distribution ablation (Apache/Memcached
+//! overhead with concentrated vs distributed virtual interrupts) and
+//! times the underlying request-server simulation.
+//!
+//! Run with: `cargo bench --bench ablation_irq_distribution`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvx_core::{KvmArm, VirqPolicy, XenArm};
+use hvx_suite::ablations;
+use hvx_suite::workloads::{self};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Section V ablation: virtual-interrupt distribution ===\n");
+    println!("{}", ablations::render_irq_distribution(&ablations::irq_distribution()));
+    let apache = workloads::catalog()
+        .into_iter()
+        .find(|w| w.name == "Apache")
+        .unwrap()
+        .mix;
+    let mut group = c.benchmark_group("irq_distribution");
+    group.bench_function("apache/kvm-arm/concentrated", |b| {
+        b.iter(|| black_box(workloads::run(&mut KvmArm::new(), apache, VirqPolicy::Vcpu0)));
+    });
+    group.bench_function("apache/xen-arm/distributed", |b| {
+        b.iter(|| {
+            black_box(workloads::run(&mut XenArm::new(), apache, VirqPolicy::RoundRobin))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates the §VI VHE projection (transition-cost collapse and its
+//! application-level effect) and times the VHE vs classic world switch.
+//!
+//! Run with: `cargo bench --bench ablation_vhe`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvx_core::{Hypervisor, KvmArm};
+use hvx_suite::ablations;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Section VI: VHE projection ===\n");
+    println!("{}", ablations::render_vhe(&ablations::vhe()));
+    let mut group = c.benchmark_group("vhe");
+    group.bench_function("hypercall/classic-split-mode", |b| {
+        let mut hv = KvmArm::new();
+        b.iter(|| black_box(hv.hypercall(0)));
+    });
+    group.bench_function("hypercall/vhe", |b| {
+        let mut hv = KvmArm::new_vhe();
+        b.iter(|| black_box(hv.hypercall(0)));
+    });
+    group.bench_function("io-in/vhe", |b| {
+        let mut hv = KvmArm::new_vhe();
+        b.iter(|| black_box(hv.io_latency_in(0)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

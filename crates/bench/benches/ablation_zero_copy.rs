@@ -1,0 +1,40 @@
+//! Regenerates the §V zero-copy analysis: grant copies vs mapped I/O
+//! under the two TLB-shootdown disciplines, and times the grant paths.
+//!
+//! Run with: `cargo bench --bench ablation_zero_copy`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvx_mem::{DomId, GrantTable, Ipa, Pa, PhysMemory, ShootdownMethod, TlbModel};
+use hvx_suite::ablations;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Section V: zero-copy trade analysis ===\n");
+    println!("{}", ablations::render_zero_copy(&ablations::zero_copy()));
+    let mut group = c.benchmark_group("zero_copy");
+    group.bench_function("grant-copy-per-packet", |b| {
+        let mut grants = GrantTable::new(64);
+        let mut mem = PhysMemory::new(8 << 20);
+        let gref = grants
+            .grant_access(DomId::DOM0, Pa::new(0x10_0000), false)
+            .unwrap();
+        b.iter(|| {
+            grants
+                .grant_copy(&mut mem, gref, DomId::DOM0, 0, Pa::new(0x20_0000), 1500, true)
+                .unwrap();
+            black_box(grants.copy_count())
+        });
+    });
+    group.bench_function("shootdown/ipi-8-cores", |b| {
+        let mut tlb = TlbModel::new(8, ShootdownMethod::IpiFlush);
+        b.iter(|| black_box(tlb.shootdown(0, Ipa::new(0x1000))));
+    });
+    group.bench_function("shootdown/broadcast-8-cores", |b| {
+        let mut tlb = TlbModel::new(8, ShootdownMethod::BroadcastTlbi);
+        b.iter(|| black_box(tlb.shootdown(0, Ipa::new(0x1000))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

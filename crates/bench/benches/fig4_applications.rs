@@ -1,0 +1,48 @@
+//! Regenerates Figure 4 (the nine application workloads × four
+//! hypervisors, normalized to native) and times representative workload
+//! simulations.
+//!
+//! Run with: `cargo bench --bench fig4_applications`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvx_core::{KvmArm, Native, VirqPolicy, XenArm};
+use hvx_suite::fig4::Figure4;
+use hvx_suite::workloads::{self, Mix};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 4: Application Benchmark Performance ===\n");
+    let fig = Figure4::measure();
+    println!("{}", fig.render());
+    println!(
+        "Worst deviation from a verbatim paper number: {:.2}\n",
+        fig.worst_verbatim_error()
+    );
+    let mut group = c.benchmark_group("fig4");
+    let rr = Mix::NetRr { transactions: 10 };
+    group.bench_function("tcp-rr/kvm-arm", |b| {
+        b.iter(|| {
+            black_box(workloads::run(&mut KvmArm::new(), rr, VirqPolicy::Vcpu0))
+        });
+    });
+    let stream = Mix::StreamRx { chunks: 44, chunk_len: 1_490, bursts: 12, link_mbit: 10_000 };
+    group.bench_function("tcp-stream/xen-arm", |b| {
+        b.iter(|| {
+            black_box(workloads::run(&mut XenArm::new(), stream, VirqPolicy::Vcpu0))
+        });
+    });
+    let apache = workloads::catalog()
+        .into_iter()
+        .find(|w| w.name == "Apache")
+        .unwrap()
+        .mix;
+    group.bench_function("apache/native-baseline", |b| {
+        b.iter(|| {
+            black_box(workloads::run(&mut Native::new(), apache, VirqPolicy::Vcpu0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

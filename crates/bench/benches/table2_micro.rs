@@ -1,0 +1,53 @@
+//! Regenerates Table II (the seven microbenchmarks × four hypervisors)
+//! and times the simulated operations with criterion.
+//!
+//! Run with: `cargo bench --bench table2_micro`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvx_core::{Hypervisor, KvmArm, KvmX86, XenArm, XenX86};
+use hvx_suite::micro::{Micro, Table2};
+use std::hint::black_box;
+
+fn print_table() {
+    println!("\n=== Table II: Microbenchmark Measurements (cycle counts) ===\n");
+    let t = Table2::measure(10);
+    println!("{}", t.render());
+    println!("Worst residual vs paper: {:.1}%\n", t.worst_error() * 100.0);
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("hypercall/kvm-arm", |b| {
+        let mut hv = KvmArm::new();
+        b.iter(|| black_box(hv.hypercall(0)));
+    });
+    group.bench_function("hypercall/xen-arm", |b| {
+        let mut hv = XenArm::new();
+        b.iter(|| black_box(hv.hypercall(0)));
+    });
+    group.bench_function("hypercall/kvm-x86", |b| {
+        let mut hv = KvmX86::new();
+        b.iter(|| black_box(hv.hypercall(0)));
+    });
+    group.bench_function("hypercall/xen-x86", |b| {
+        let mut hv = XenX86::new();
+        b.iter(|| black_box(hv.hypercall(0)));
+    });
+    group.bench_function("virtual-ipi/kvm-arm", |b| {
+        let mut hv = KvmArm::new();
+        b.iter(|| black_box(hv.virtual_ipi(0, 1)));
+    });
+    group.bench_function("full-suite/all-hypervisors", |b| {
+        b.iter(|| {
+            let mut hv = KvmArm::new();
+            for m in Micro::ALL {
+                black_box(m.run_once(&mut hv));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

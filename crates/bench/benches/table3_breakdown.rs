@@ -1,0 +1,29 @@
+//! Regenerates Table III (the KVM ARM hypercall save/restore breakdown)
+//! and times the traced world switch.
+//!
+//! Run with: `cargo bench --bench table3_breakdown`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvx_core::{Hypervisor, KvmArm};
+use hvx_suite::table3::Table3;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Table III: KVM ARM Hypercall Analysis (cycle counts) ===\n");
+    println!("{}", Table3::measure().render());
+    let mut group = c.benchmark_group("table3");
+    group.bench_function("traced-hypercall", |b| {
+        let mut kvm = KvmArm::new();
+        b.iter(|| {
+            kvm.machine_mut().trace_mut().clear();
+            black_box(kvm.hypercall(0))
+        });
+    });
+    group.bench_function("breakdown-extraction", |b| {
+        b.iter(|| black_box(Table3::measure()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

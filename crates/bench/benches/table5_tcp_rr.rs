@@ -1,0 +1,29 @@
+//! Regenerates Table V (the netperf TCP_RR latency decomposition) and
+//! times the closed-loop transaction simulation.
+//!
+//! Run with: `cargo bench --bench table5_tcp_rr`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvx_core::{KvmArm, Native, XenArm};
+use hvx_engine::Frequency;
+use hvx_suite::netperf::{run_rr, Table5};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Table V: Netperf TCP_RR Analysis on ARM ===\n");
+    println!("{}", Table5::measure(50).render());
+    let mut group = c.benchmark_group("table5");
+    group.bench_function("rr-transaction/native", |b| {
+        b.iter(|| black_box(run_rr(&mut Native::new(), 5, Frequency::ARM_M400)));
+    });
+    group.bench_function("rr-transaction/kvm-arm", |b| {
+        b.iter(|| black_box(run_rr(&mut KvmArm::new(), 5, Frequency::ARM_M400)));
+    });
+    group.bench_function("rr-transaction/xen-arm", |b| {
+        b.iter(|| black_box(run_rr(&mut XenArm::new(), 5, Frequency::ARM_M400)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,486 @@
+//! The calibrated cycle-cost model.
+//!
+//! Every primitive operation the hypervisor models perform carries a cost
+//! from this table. Constants fall into three calibration classes,
+//! documented on each field:
+//!
+//! 1. **Paper-verbatim** — taken directly from a measurement the paper
+//!    publishes (Table III's per-register-class save/restore costs, the
+//!    ≈3 µs grant-copy cost of §V).
+//! 2. **Paper-derived** — solved from a published total given the
+//!    composition of the modelled path (e.g. the x86 VM-exit/-entry split
+//!    from the §IV statement that the exit is "about 40% of the Hypercall
+//!    cost").
+//! 3. **Calibrated** — software-path constants (scheduler pick, backend
+//!    wake-ups) chosen so the *composed* paths land on Table II. These
+//!    are the model's free parameters; every one is listed here, and
+//!    `EXPERIMENTS.md` reports the residual error per Table II row.
+//!
+//! The composed microbenchmark results are **not** in this file — they
+//! emerge from executing the hypervisor code paths in
+//! [`crate::KvmArm`] / [`crate::XenArm`] / [`crate::KvmX86`] /
+//! [`crate::XenX86`].
+
+use hvx_engine::Cycles;
+
+/// Per-register-class context-switch costs — Table III, paper-verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassCosts {
+    /// Cost to save this class to memory.
+    pub save: Cycles,
+    /// Cost to restore this class from memory.
+    pub restore: Cycles,
+}
+
+const fn class(save: u64, restore: u64) -> ClassCosts {
+    ClassCosts {
+        save: Cycles::new(save),
+        restore: Cycles::new(restore),
+    }
+}
+
+/// The cycle-cost table for one simulated platform.
+///
+/// Obtain via [`CostModel::arm()`], [`CostModel::x86()`], or
+/// [`CostModel::uncalibrated()`]; adjust individual fields for ablations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    // ------------------------------------------------------------------
+    // ARM hardware transition costs
+    // ------------------------------------------------------------------
+    /// Hardware exception entry to EL2 (or EL1): bank ELR/SPSR/ESR,
+    /// vector. Calibrated; prior work cited in §IV says "the cost of the
+    /// trap between CPU modes itself is not very high".
+    pub hw_trap: Cycles,
+    /// Hardware ERET.
+    pub hw_eret: Cycles,
+    /// Guest access to the GIC *virtual* CPU interface (ack or EOI).
+    /// Paper-verbatim: Table II Virtual IRQ Completion = 71 on both ARM
+    /// hypervisors, entirely this operation.
+    pub gic_vif_access: Cycles,
+    /// Physical IPI (SGI) flight time between PCPUs, send-doorbell to
+    /// receiver exception. Calibrated.
+    pub ipi_wire: Cycles,
+    /// Physical GIC CPU-interface access (IAR read or EOIR write) from
+    /// the hypervisor/host. Calibrated.
+    pub gic_phys_access: Cycles,
+
+    // ------------------------------------------------------------------
+    // Table III register classes (paper-verbatim)
+    // ------------------------------------------------------------------
+    /// General-purpose registers, via KVM's memory save area.
+    pub gp: ClassCosts,
+    /// SIMD/FP registers.
+    pub fp: ClassCosts,
+    /// EL1 system registers.
+    pub el1_sys: ClassCosts,
+    /// VGIC control interface (the save is dominated by reading the list
+    /// registers and `GICH_*` state back from the GIC — §IV: "reading
+    /// back the VGIC state is expensive").
+    pub vgic: ClassCosts,
+    /// Virtual timer registers.
+    pub timer: ClassCosts,
+    /// Per-VM EL2 configuration registers.
+    pub el2_config: ClassCosts,
+    /// Per-VM EL2 virtual-memory registers (VTTBR/VTCR).
+    pub el2_vm: ClassCosts,
+
+    /// Xen's hypercall trap frame push/pop (stp-pair stack stores, much
+    /// lighter than KVM's save area). Paper-derived: solved so Xen's
+    /// hypercall path composes to Table II's 376 cycles.
+    pub xen_frame: ClassCosts,
+
+    // ------------------------------------------------------------------
+    // KVM ARM software paths (calibrated)
+    // ------------------------------------------------------------------
+    /// Toggling the virtualization features in EL2 per direction:
+    /// HCR_EL2 and VTTBR writes plus barriers — §IV overhead source #3.
+    pub kvm_toggle_traps: Cycles,
+    /// Exit-reason decode + `vcpu_run` loop bookkeeping in the host.
+    pub kvm_host_dispatch: Cycles,
+    /// MMIO exit decode down to the `kvm_io_bus` device match.
+    pub kvm_mmio_decode: Cycles,
+    /// Emulating one GIC distributor register access in the EL1 host.
+    pub kvm_gicd_emulate: Cycles,
+    /// `vgic` injection bookkeeping (ap_list, LR programming).
+    pub kvm_vgic_inject: Cycles,
+    /// Linux scheduler pick + `vcpu_load`/`vcpu_put` when switching VMs.
+    pub kvm_sched: Cycles,
+    /// ioeventfd signal (the `I/O Latency Out` endpoint on the host side).
+    pub kvm_ioeventfd: Cycles,
+    /// Waking the vhost worker thread on its PCPU.
+    pub kvm_vhost_wake: Cycles,
+    /// Host-side work on the I/O-in path before the guest can be entered:
+    /// vhost used-ring update, irqfd, VCPU-thread wakeup through the
+    /// Linux scheduler. Calibrated to Table II I/O Latency In.
+    pub kvm_io_in_host: Cycles,
+    /// vhost per-packet processing (ring parse, stage-2-visible copyless
+    /// handoff to the NIC).
+    pub kvm_vhost_per_packet: Cycles,
+
+    // ------------------------------------------------------------------
+    // Xen ARM software paths (calibrated)
+    // ------------------------------------------------------------------
+    /// Hypercall/trap dispatch inside Xen (EL2).
+    pub xen_dispatch: Cycles,
+    /// MMIO abort decode in Xen.
+    pub xen_mmio_decode: Cycles,
+    /// Emulating one GIC distributor access in EL2.
+    pub xen_gicd_emulate: Cycles,
+    /// `vgic` injection bookkeeping in Xen.
+    pub xen_vgic_inject: Cycles,
+    /// Credit-scheduler pick on a VM switch.
+    pub xen_sched: Cycles,
+    /// `EVTCHNOP_send` processing.
+    pub xen_evtchn_send: Cycles,
+    /// Delivering the event upcall into a domain (evtchn demux in the
+    /// guest kernel until the handler runs).
+    pub xen_event_upcall: Cycles,
+    /// netback/netfront per-packet software cost beyond the grant copy.
+    pub xen_net_per_packet: Cycles,
+    /// Grant copy per packet — §V paper-verbatim: "each data copy incurs
+    /// more than 3 µs of additional latency" ⇒ 3 µs × 2.4 GHz = 7,200;
+    /// includes establishing/tearing down the grant handle.
+    pub xen_grant_copy: Cycles,
+    /// Waking a blocked domain out of the idle domain: `vcpu_wake`,
+    /// credit-runqueue insert, `SCHEDULE` softirq, plus the woken
+    /// domain's internal wakeup (Dom0's kthread scheduling on I/O
+    /// paths). Calibrated to Table II I/O Latency Out (Xen ARM); §IV
+    /// attributes exactly this path: "Xen actually switches from Dom0 to
+    /// a special VM, called the idle domain, when Dom0 is idling ... it
+    /// must perform a VM switch from the idle domain to Dom0".
+    pub xen_wake_blocked: Cycles,
+
+    // ------------------------------------------------------------------
+    // x86 hardware (paper-derived)
+    // ------------------------------------------------------------------
+    /// VM exit: hardware saves the live state to the VMCS and loads host
+    /// state. Derived: §IV says the exit is "about 40% of the Hypercall
+    /// cost" of 1,300.
+    pub vmexit: Cycles,
+    /// VM entry: hardware loads guest state from the VMCS. Derived: the
+    /// remaining ~60% of the hypercall, less dispatch.
+    pub vmentry: Cycles,
+    /// x86 physical IPI flight time into a *running* guest (includes the
+    /// external-interrupt exit latency and pipeline drain; calibrated to
+    /// the Virtual IPI rows).
+    pub x86_ipi_wire: Cycles,
+    /// x86 cross-core doorbell (eventfd/evtchn kick of an idle core);
+    /// calibrated to the I/O latency rows.
+    pub x86_doorbell_wire: Cycles,
+
+    // ------------------------------------------------------------------
+    // x86 software paths (calibrated)
+    // ------------------------------------------------------------------
+    /// KVM x86 exit dispatch.
+    pub kvm_x86_dispatch: Cycles,
+    /// Xen x86 exit dispatch.
+    pub xen_x86_dispatch: Cycles,
+    /// Emulating an APIC access (EOI, ICR) in KVM x86.
+    pub kvm_x86_apic_emulate: Cycles,
+    /// Emulating an APIC access in Xen x86.
+    pub xen_x86_apic_emulate: Cycles,
+    /// Extra interrupt-controller-trap decode beyond the APIC emulate
+    /// (KVM x86's longer in-kernel MMIO path).
+    pub kvm_x86_mmio_decode: Cycles,
+    /// Same for Xen x86.
+    pub xen_x86_mmio_decode: Cycles,
+    /// KVM x86 scheduler + VMCS pointer switch on a VM switch.
+    pub kvm_x86_sched: Cycles,
+    /// Xen x86 scheduler path on a VM switch (heavier — Table II shows
+    /// 10,534 vs KVM's 4,812).
+    pub xen_x86_sched: Cycles,
+    /// KVM x86 I/O-in host path (vhost wake through to entry), calibrated
+    /// to Table II's 18,923.
+    pub kvm_x86_io_in_host: Cycles,
+    /// Xen x86 event-channel + idle-domain wake on I/O paths.
+    pub xen_x86_io_backend: Cycles,
+    /// Injecting a virtual interrupt on x86 (interrupt-window dance),
+    /// KVM path.
+    pub x86_inject: Cycles,
+    /// Same, Xen x86's heavier path (calibrated to its Virtual IPI row).
+    pub xen_x86_inject: Cycles,
+    /// KVM x86 ioeventfd signal (I/O Latency Out endpoint; derived:
+    /// 560 − vmexit).
+    pub kvm_x86_ioeventfd: Cycles,
+    /// Xen x86 wake-from-idle on the Dom0 side (I/O out path residual).
+    pub xen_x86_wake_blocked: Cycles,
+    /// Xen x86 wake of the receiving DomU (I/O in path residual).
+    pub xen_x86_wake_domu: Cycles,
+
+    // ------------------------------------------------------------------
+    // Native / guest-neutral costs
+    // ------------------------------------------------------------------
+    /// Allocating and clearing a guest page plus updating the Stage-2 /
+    /// EPT tables on a demand fault — the "one-time page fault costs at
+    /// start up" §V sets aside, quantified by the `stage2_fault`
+    /// extension benchmark.
+    pub page_alloc: Cycles,
+    /// Native physical-IRQ handling (entry to driver handler) — the
+    /// baseline the paper's "delivering virtual interrupts is more
+    /// expensive than handling physical interrupts" comparison needs.
+    pub native_irq: Cycles,
+    /// Guest/native network-stack cost per transmitted packet (driver +
+    /// qdisc), independent of virtualization.
+    pub stack_tx_per_packet: Cycles,
+    /// Guest/native network-stack cost per received packet.
+    pub stack_rx_per_packet: Cycles,
+    /// CPU cost per payload byte through the stack (checksum/touch).
+    pub stack_per_byte_milli: u64,
+    /// Host-kernel (KVM) / Dom0 (Xen) network-stack cost per received
+    /// packet before the virtual device: physical driver, NAPI, bridge,
+    /// TAP/vif hand-off. Calibrated to Table V's `recv to VM recv`
+    /// decomposition (21.1 µs for KVM; the same Linux stack runs in
+    /// Dom0).
+    pub host_net_rx: Cycles,
+    /// Host/Dom0 network-stack cost per transmitted packet after the
+    /// virtual device. Calibrated to Table V's `VM send to send`.
+    pub host_net_tx: Cycles,
+    /// NIC DMA setup + descriptor processing per packet (both
+    /// directions, native and virtualized alike).
+    pub nic_dma: Cycles,
+    /// Guest-side virtio-net driver overhead per packet beyond the plain
+    /// native stack (vring management, notification suppression).
+    /// Calibrated to Table V's `VM recv to VM send` (16.9 µs vs the
+    /// native 14.5 µs window).
+    pub kvm_guest_virtio: Cycles,
+    /// Guest-side Xen netfront overhead per packet (grant issue/retire,
+    /// request/response ring). Calibrated to Table V (17.4 µs window).
+    pub xen_guest_pv: Cycles,
+}
+
+impl CostModel {
+    /// The calibrated ARM (HP m400, 2.4 GHz) model.
+    pub const fn arm() -> Self {
+        CostModel {
+            hw_trap: Cycles::new(76),
+            hw_eret: Cycles::new(64),
+            gic_vif_access: Cycles::new(71), // Table II, paper-verbatim
+            ipi_wire: Cycles::new(350),
+            gic_phys_access: Cycles::new(130),
+            // Table III, paper-verbatim:
+            gp: class(152, 184),
+            fp: class(282, 310),
+            el1_sys: class(230, 511),
+            vgic: class(3250, 181),
+            timer: class(104, 106),
+            el2_config: class(92, 107),
+            el2_vm: class(92, 107),
+            // Derived so Xen hypercall composes to 376:
+            // 76 + 80 + 60 + 96 + 64 = 376.
+            xen_frame: class(80, 96),
+            // KVM ARM: hypercall = 2*(trap+eret) + save(4202) + restore(1506)
+            //        + 2*toggle + dispatch = 280 + 5708 + 172 + 340 = 6500.
+            kvm_toggle_traps: Cycles::new(86),
+            kvm_host_dispatch: Cycles::new(340),
+            // ICT = hypercall + decode + emulate = 6500 + 500 + 370 = 7370.
+            kvm_mmio_decode: Cycles::new(500),
+            kvm_gicd_emulate: Cycles::new(370),
+            kvm_vgic_inject: Cycles::new(250),
+            // VM switch = 10,387 (Table II); see KvmArm::vm_switch.
+            kvm_sched: Cycles::new(4227),
+            kvm_ioeventfd: Cycles::new(150),
+            kvm_vhost_wake: Cycles::new(538),
+            kvm_io_in_host: Cycles::new(7353),
+            kvm_vhost_per_packet: Cycles::new(1800),
+            xen_dispatch: Cycles::new(60),
+            // ICT = 376 + 600 + 380 = 1,356.
+            xen_mmio_decode: Cycles::new(600),
+            xen_gicd_emulate: Cycles::new(380),
+            xen_vgic_inject: Cycles::new(250),
+            // VM switch = 8,799; see XenArm::vm_switch.
+            xen_sched: Cycles::new(2871),
+            xen_evtchn_send: Cycles::new(500),
+            xen_event_upcall: Cycles::new(800),
+            xen_net_per_packet: Cycles::new(1500),
+            xen_grant_copy: Cycles::new(7200), // 3 us at 2.4 GHz (§V)
+            xen_wake_blocked: Cycles::new(9804),
+            // x86 costs unused on ARM but kept valid.
+            vmexit: Cycles::new(500),
+            vmentry: Cycles::new(700),
+            x86_ipi_wire: Cycles::new(2474),
+            x86_doorbell_wire: Cycles::new(400),
+            kvm_x86_dispatch: Cycles::new(100),
+            xen_x86_dispatch: Cycles::new(28),
+            kvm_x86_apic_emulate: Cycles::new(356),
+            xen_x86_apic_emulate: Cycles::new(264),
+            kvm_x86_mmio_decode: Cycles::new(728),
+            xen_x86_mmio_decode: Cycles::new(242),
+            kvm_x86_sched: Cycles::new(3612),
+            xen_x86_sched: Cycles::new(9334),
+            kvm_x86_io_in_host: Cycles::new(16663),
+            xen_x86_io_backend: Cycles::new(9000),
+            x86_inject: Cycles::new(600),
+            xen_x86_inject: Cycles::new(1096),
+            kvm_x86_ioeventfd: Cycles::new(60),
+            xen_x86_wake_blocked: Cycles::new(8334),
+            xen_x86_wake_domu: Cycles::new(6826),
+            page_alloc: Cycles::new(1500),
+            native_irq: Cycles::new(600),
+            stack_tx_per_packet: Cycles::new(13000),
+            stack_rx_per_packet: Cycles::new(19000),
+            stack_per_byte_milli: 850,
+            host_net_rx: Cycles::new(41000),
+            host_net_tx: Cycles::new(27500),
+            nic_dma: Cycles::new(800),
+            kvm_guest_virtio: Cycles::new(7000),
+            xen_guest_pv: Cycles::new(8400),
+        }
+    }
+
+    /// The calibrated x86 (Dell r320, 2.1 GHz) model. Shares the ARM
+    /// field layout; ARM-only fields keep their defaults and are unused
+    /// by the x86 hypervisor models.
+    pub const fn x86() -> Self {
+        let mut m = CostModel::arm();
+        // Native stack costs differ slightly with the platform; the
+        // paper's Figure 4 normalizes per-platform, so only ratios
+        // matter. Keep the ARM values.
+        m.native_irq = Cycles::new(500);
+        m
+    }
+
+    /// A round-number model for mechanism tests: every constant is a
+    /// distinct power of ten-ish value so traces are easy to eyeball,
+    /// with no claim of realism.
+    pub const fn uncalibrated() -> Self {
+        CostModel {
+            hw_trap: Cycles::new(100),
+            hw_eret: Cycles::new(100),
+            gic_vif_access: Cycles::new(10),
+            ipi_wire: Cycles::new(1000),
+            gic_phys_access: Cycles::new(10),
+            gp: class(10, 10),
+            fp: class(20, 20),
+            el1_sys: class(30, 30),
+            vgic: class(40, 40),
+            timer: class(50, 50),
+            el2_config: class(60, 60),
+            el2_vm: class(70, 70),
+            xen_frame: class(10, 10),
+            kvm_toggle_traps: Cycles::new(5),
+            kvm_host_dispatch: Cycles::new(100),
+            kvm_mmio_decode: Cycles::new(100),
+            kvm_gicd_emulate: Cycles::new(100),
+            kvm_vgic_inject: Cycles::new(100),
+            kvm_sched: Cycles::new(1000),
+            kvm_ioeventfd: Cycles::new(100),
+            kvm_vhost_wake: Cycles::new(100),
+            kvm_io_in_host: Cycles::new(1000),
+            kvm_vhost_per_packet: Cycles::new(100),
+            xen_dispatch: Cycles::new(100),
+            xen_mmio_decode: Cycles::new(100),
+            xen_gicd_emulate: Cycles::new(100),
+            xen_vgic_inject: Cycles::new(100),
+            xen_sched: Cycles::new(1000),
+            xen_evtchn_send: Cycles::new(100),
+            xen_event_upcall: Cycles::new(100),
+            xen_net_per_packet: Cycles::new(100),
+            xen_grant_copy: Cycles::new(1000),
+            xen_wake_blocked: Cycles::new(1000),
+            vmexit: Cycles::new(100),
+            vmentry: Cycles::new(100),
+            x86_ipi_wire: Cycles::new(1000),
+            x86_doorbell_wire: Cycles::new(1000),
+            kvm_x86_dispatch: Cycles::new(100),
+            xen_x86_dispatch: Cycles::new(100),
+            kvm_x86_apic_emulate: Cycles::new(100),
+            xen_x86_apic_emulate: Cycles::new(100),
+            kvm_x86_mmio_decode: Cycles::new(100),
+            xen_x86_mmio_decode: Cycles::new(100),
+            kvm_x86_sched: Cycles::new(1000),
+            xen_x86_sched: Cycles::new(1000),
+            kvm_x86_io_in_host: Cycles::new(1000),
+            xen_x86_io_backend: Cycles::new(1000),
+            x86_inject: Cycles::new(100),
+            xen_x86_inject: Cycles::new(100),
+            kvm_x86_ioeventfd: Cycles::new(100),
+            xen_x86_wake_blocked: Cycles::new(1000),
+            xen_x86_wake_domu: Cycles::new(1000),
+            page_alloc: Cycles::new(100),
+            native_irq: Cycles::new(100),
+            stack_tx_per_packet: Cycles::new(1000),
+            stack_rx_per_packet: Cycles::new(1000),
+            stack_per_byte_milli: 1000,
+            host_net_rx: Cycles::new(1000),
+            host_net_tx: Cycles::new(1000),
+            nic_dma: Cycles::new(100),
+            kvm_guest_virtio: Cycles::new(100),
+            xen_guest_pv: Cycles::new(100),
+        }
+    }
+
+    /// Sum of all register-class save costs — the full KVM ARM
+    /// switch-out (Table III save column).
+    pub fn full_save(&self) -> Cycles {
+        self.gp.save
+            + self.fp.save
+            + self.el1_sys.save
+            + self.vgic.save
+            + self.timer.save
+            + self.el2_config.save
+            + self.el2_vm.save
+    }
+
+    /// Sum of all register-class restore costs (Table III restore
+    /// column).
+    pub fn full_restore(&self) -> Cycles {
+        self.gp.restore
+            + self.fp.restore
+            + self.el1_sys.restore
+            + self.vgic.restore
+            + self.timer.restore
+            + self.el2_config.restore
+            + self.el2_vm.restore
+    }
+
+    /// Per-byte network-stack cost for `len` payload bytes.
+    pub fn stack_bytes(&self, len: usize) -> Cycles {
+        Cycles::new(len as u64 * self.stack_per_byte_milli / 1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_columns_sum_as_published() {
+        let m = CostModel::arm();
+        assert_eq!(m.full_save(), Cycles::new(4202));
+        assert_eq!(m.full_restore(), Cycles::new(1506));
+    }
+
+    #[test]
+    fn virtual_irq_completion_is_verbatim() {
+        assert_eq!(CostModel::arm().gic_vif_access, Cycles::new(71));
+    }
+
+    #[test]
+    fn grant_copy_is_three_micros_at_2400mhz() {
+        let m = CostModel::arm();
+        assert_eq!(m.xen_grant_copy, Cycles::new(7200));
+    }
+
+    #[test]
+    fn x86_exit_entry_split_matches_40_percent_statement() {
+        let m = CostModel::x86();
+        // exit ≈ 40% of the 1300-cycle KVM hypercall (§IV).
+        let hypercall = m.vmexit + m.kvm_x86_dispatch + m.vmentry;
+        assert_eq!(hypercall, Cycles::new(1300));
+        let ratio = m.vmexit.as_f64() / hypercall.as_f64();
+        assert!((0.35..=0.45).contains(&ratio), "exit ratio {ratio}");
+    }
+
+    #[test]
+    fn stack_bytes_scales() {
+        let m = CostModel::arm();
+        assert_eq!(m.stack_bytes(0), Cycles::ZERO);
+        assert_eq!(m.stack_bytes(1000), Cycles::new(850));
+    }
+
+    #[test]
+    fn uncalibrated_differs_from_calibrated() {
+        assert_ne!(CostModel::arm(), CostModel::uncalibrated());
+    }
+}

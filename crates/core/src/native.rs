@@ -1,0 +1,307 @@
+//! The native (bare-metal Linux) baseline.
+//!
+//! Figure 4 normalizes every virtualized result to native execution on
+//! the same platform; Table V's first column is native netperf. This
+//! model runs the same workload primitives with no hypervisor in the
+//! loop: physical interrupts go straight to the kernel, the network
+//! stack runs once (no host/Dom0 second stack), and there are no
+//! VM transitions at all.
+
+use crate::{CostModel, HvKind, Hypervisor, VirqPolicy};
+use hvx_engine::{Cycles, Machine, Topology, TraceKind};
+
+/// Bare-metal Linux on the paper's server topology (capped at 4 cores +
+/// 12 GB like every configuration, §III).
+#[derive(Debug)]
+pub struct Native {
+    machine: Machine,
+    cost: CostModel,
+    policy: VirqPolicy,
+    rr_next: usize,
+}
+
+impl Native {
+    /// Creates the native ARM baseline.
+    pub fn new() -> Self {
+        Native::with_cost(CostModel::arm())
+    }
+
+    /// Creates a native baseline with an explicit cost model (e.g.
+    /// [`CostModel::x86`] for the x86 normalization).
+    pub fn with_cost(cost: CostModel) -> Self {
+        Native {
+            machine: Machine::new(Topology::paper_default()),
+            cost,
+            policy: VirqPolicy::Vcpu0,
+            rr_next: 0,
+        }
+    }
+
+    fn pick_irq_core(&mut self) -> usize {
+        match self.policy {
+            VirqPolicy::Vcpu0 => 0,
+            VirqPolicy::RoundRobin => {
+                let v = self.rr_next % self.num_vcpus();
+                self.rr_next += 1;
+                v
+            }
+        }
+    }
+}
+
+impl Default for Native {
+    fn default() -> Self {
+        Native::new()
+    }
+}
+
+impl Hypervisor for Native {
+    fn kind(&self) -> HvKind {
+        HvKind::Native
+    }
+
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn num_vcpus(&self) -> usize {
+        self.machine.topology().guest_cores().len()
+    }
+
+    fn set_virq_policy(&mut self, policy: VirqPolicy) {
+        self.policy = policy;
+    }
+
+    /// Natively there is no hypervisor to call; the operation is free.
+    /// The microbenchmark suite never reports native rows for Table II.
+    fn hypercall(&mut self, _vcpu: usize) -> Cycles {
+        Cycles::ZERO
+    }
+
+    /// Natively the interrupt controller is real hardware: a plain
+    /// device-register access.
+    fn gicd_trap(&mut self, vcpu: usize) -> Cycles {
+        let core = self.machine.topology().guest_core(vcpu);
+        let t0 = self.machine.now(core);
+        self.machine.charge(
+            core,
+            "gic:phys-access",
+            TraceKind::Host,
+            self.cost.gic_phys_access,
+        );
+        self.machine.now(core) - t0
+    }
+
+    /// A native rescheduling IPI: doorbell, wire, receiver IRQ entry and
+    /// acknowledge — the baseline the paper's virtual IPI numbers sit on
+    /// top of.
+    fn virtual_ipi(&mut self, from: usize, to: usize) -> Cycles {
+        assert_ne!(from, to);
+        let from_core = self.machine.topology().guest_core(from);
+        let to_core = self.machine.topology().guest_core(to);
+        let t0 = self.machine.now(from_core);
+        self.machine.charge(
+            from_core,
+            "gic:sgi-send",
+            TraceKind::Host,
+            self.cost.gic_phys_access,
+        );
+        let arrival = self.machine.signal(from_core, to_core, self.cost.ipi_wire);
+        self.machine.wait_until(to_core, arrival);
+        self.machine
+            .charge(to_core, "host:irq", TraceKind::Host, self.cost.native_irq);
+        self.machine.charge(
+            to_core,
+            "gic:phys-ack",
+            TraceKind::Host,
+            self.cost.gic_phys_access,
+        );
+        self.machine.now(to_core) - t0
+    }
+
+    /// Completing a physical interrupt: one EOI register write.
+    fn virq_complete(&mut self, vcpu: usize) -> Cycles {
+        let core = self.machine.topology().guest_core(vcpu);
+        let t0 = self.machine.now(core);
+        self.machine.charge(
+            core,
+            "gic:phys-eoi",
+            TraceKind::Host,
+            self.cost.gic_phys_access,
+        );
+        self.machine.now(core) - t0
+    }
+
+    /// There are no VMs to switch natively.
+    fn vm_switch(&mut self) -> Cycles {
+        Cycles::ZERO
+    }
+
+    /// No virtual I/O devices exist natively.
+    fn io_latency_out(&mut self, _vcpu: usize) -> Cycles {
+        Cycles::ZERO
+    }
+
+    /// No virtual I/O devices exist natively.
+    fn io_latency_in(&mut self, _vcpu: usize) -> Cycles {
+        Cycles::ZERO
+    }
+
+    fn guest_compute(&mut self, vcpu: usize, work: Cycles) {
+        let core = self.machine.topology().guest_core(vcpu);
+        self.machine
+            .charge(core, "native:compute", TraceKind::Guest, work);
+    }
+
+    fn transmit(&mut self, vcpu: usize, len: usize) -> Cycles {
+        let c = self.cost;
+        let core = self.machine.topology().guest_core(vcpu);
+        self.machine.charge(
+            core,
+            "native:net-stack-tx",
+            TraceKind::Guest,
+            c.stack_tx_per_packet + c.stack_bytes(len),
+        );
+        self.machine
+            .charge(core, "nic:dma", TraceKind::Io, c.nic_dma);
+        self.machine.now(core)
+    }
+
+    fn receive(&mut self, len: usize, arrival: Cycles) -> (Cycles, usize) {
+        let c = self.cost;
+        let target = self.pick_irq_core();
+        let core = self.machine.topology().guest_core(target);
+        self.machine.wait_until(core, arrival);
+        self.machine
+            .charge(core, "host:irq", TraceKind::Host, c.native_irq);
+        self.machine
+            .charge(core, "gic:phys-ack", TraceKind::Host, c.gic_phys_access);
+        self.machine.charge(
+            core,
+            "native:net-stack-rx",
+            TraceKind::Guest,
+            c.stack_rx_per_packet + c.stack_bytes(len),
+        );
+        (self.machine.now(core), target)
+    }
+
+    /// A native timer interrupt.
+    fn deliver_virq(&mut self, vcpu: usize) -> Cycles {
+        let core = self.machine.topology().guest_core(vcpu);
+        let t0 = self.machine.now(core);
+        self.machine
+            .charge(core, "host:irq", TraceKind::Host, self.cost.native_irq);
+        self.machine.charge(
+            core,
+            "gic:phys-ack",
+            TraceKind::Host,
+            self.cost.gic_phys_access,
+        );
+        self.machine.now(core) - t0
+    }
+
+    fn next_irq_vcpu(&mut self) -> usize {
+        self.pick_irq_core()
+    }
+
+    fn deliver_virq_blocked(&mut self, vcpu: usize) -> Cycles {
+        // Natively a physical interrupt wakes an idle core directly.
+        self.deliver_virq(vcpu)
+    }
+
+    fn receive_burst(
+        &mut self,
+        chunks: usize,
+        chunk_len: usize,
+        arrival: Cycles,
+    ) -> (Cycles, usize) {
+        let c = self.cost;
+        let total = chunks * chunk_len;
+        let target = self.pick_irq_core();
+        let core = self.machine.topology().guest_core(target);
+        self.machine.wait_until(core, arrival);
+        // One coalesced interrupt; GRO folds the burst through the stack
+        // once. The NIC DMAs straight to kernel buffers.
+        self.machine
+            .charge(core, "host:irq", TraceKind::Host, c.native_irq);
+        self.machine
+            .charge(core, "gic:phys-ack", TraceKind::Host, c.gic_phys_access);
+        self.machine.charge(
+            core,
+            "native:net-stack-rx",
+            TraceKind::Guest,
+            c.stack_rx_per_packet + c.stack_bytes(total),
+        );
+        (self.machine.now(core), target)
+    }
+
+    fn transmit_burst(&mut self, vcpu: usize, chunks: usize, chunk_len: usize) -> Cycles {
+        let c = self.cost;
+        let total = chunks * chunk_len;
+        let core = self.machine.topology().guest_core(vcpu);
+        self.machine.charge(
+            core,
+            "native:net-stack-tx",
+            TraceKind::Guest,
+            c.stack_tx_per_packet + c.stack_bytes(total),
+        );
+        self.machine
+            .charge(core, "nic:dma", TraceKind::Io, c.nic_dma);
+        self.machine.now(core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_has_no_vm_transitions() {
+        let mut n = Native::new();
+        assert_eq!(n.hypercall(0), Cycles::ZERO);
+        assert_eq!(n.vm_switch(), Cycles::ZERO);
+        assert_eq!(n.io_latency_out(0), Cycles::ZERO);
+    }
+
+    #[test]
+    fn physical_irq_completion_is_cheap_but_not_free() {
+        let mut n = Native::new();
+        let c = n.virq_complete(0);
+        assert!(c > Cycles::ZERO && c < Cycles::new(500));
+    }
+
+    #[test]
+    fn native_ipi_is_much_cheaper_than_virtual() {
+        let mut n = Native::new();
+        let mut kvm = crate::KvmArm::new();
+        let native = n.virtual_ipi(0, 1);
+        let virt = kvm.virtual_ipi(0, 1);
+        assert!(
+            virt.as_u64() > 5 * native.as_u64(),
+            "virtual IPI {virt} should dwarf native {native}"
+        );
+    }
+
+    #[test]
+    fn native_rx_path_is_single_stack() {
+        let mut n = Native::new();
+        let (done, core) = n.receive(1, Cycles::ZERO);
+        assert_eq!(core, 0);
+        // irq 600 + ack 130 + stack 19000 + ~0 bytes.
+        assert_eq!(done, Cycles::new(600 + 130 + 19000));
+    }
+
+    #[test]
+    fn deliver_virq_is_native_interrupt_cost() {
+        let mut n = Native::new();
+        assert_eq!(n.deliver_virq(0), Cycles::new(730));
+    }
+}

@@ -1,0 +1,346 @@
+//! Cycle-denominated simulated time.
+//!
+//! The paper reports all microbenchmark results in CPU cycles "to provide a
+//! useful comparison across server hardware with different CPU frequencies"
+//! (§IV). We adopt the same convention: the engine's base unit of time is
+//! one CPU cycle, wrapped in the [`Cycles`] newtype so that cycle counts
+//! cannot be confused with ordinary integers, IRQ numbers, or addresses.
+//!
+//! Conversion to wall-clock time requires a [`Frequency`]; the two reference
+//! platforms of the study are exposed as [`Frequency::ARM_M400`] (2.4 GHz
+//! Applied Micro Atlas) and [`Frequency::X86_R320`] (2.1 GHz Xeon ES-2450).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration (or instant, when measured from simulation start) in CPU
+/// cycles.
+///
+/// `Cycles` is a transparent `u64` newtype with saturating-free checked
+/// semantics: arithmetic panics on overflow in debug builds exactly like
+/// `u64`, which is fine because a simulation would need ~244 years of
+/// simulated 2.4 GHz time to overflow.
+///
+/// # Examples
+///
+/// ```
+/// use hvx_engine::Cycles;
+///
+/// let trap = Cycles::new(160);
+/// let eret = Cycles::new(120);
+/// assert_eq!((trap + eret).as_u64(), 280);
+/// assert!(trap > eret);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// The zero duration.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// The maximum representable duration; used as an "infinite" horizon.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Creates a duration of `n` cycles.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the raw cycle count as `f64` (for statistics).
+    #[inline]
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Returns `true` if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs > self`.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Cycles) -> Option<Cycles> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Cycles(v)),
+            None => None,
+        }
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+
+    /// Converts this cycle count to microseconds at `freq`.
+    ///
+    /// ```
+    /// use hvx_engine::{Cycles, Frequency};
+    /// // 2.4 GHz: 2400 cycles per microsecond.
+    /// assert_eq!(Cycles::new(2400).to_micros(Frequency::ARM_M400), 1.0);
+    /// ```
+    #[inline]
+    pub fn to_micros(self, freq: Frequency) -> f64 {
+        self.0 as f64 / freq.cycles_per_micro()
+    }
+
+    /// Builds a cycle count from microseconds at `freq`, rounding to the
+    /// nearest cycle.
+    #[inline]
+    pub fn from_micros(us: f64, freq: Frequency) -> Cycles {
+        Cycles((us * freq.cycles_per_micro()).round() as u64)
+    }
+}
+
+impl fmt::Display for Cycles {
+    /// Formats with thousands separators, matching the paper's tables
+    /// (e.g. `6,500`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0.to_string();
+        let bytes = s.as_bytes();
+        let mut out = String::with_capacity(s.len() + s.len() / 3);
+        for (i, b) in bytes.iter().enumerate() {
+            if i > 0 && (bytes.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(*b as char);
+        }
+        f.pad(&out)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Cycles {
+    #[inline]
+    fn from(n: u64) -> Cycles {
+        Cycles(n)
+    }
+}
+
+impl From<Cycles> for u64 {
+    #[inline]
+    fn from(c: Cycles) -> u64 {
+        c.0
+    }
+}
+
+/// A CPU clock frequency, used only to convert [`Cycles`] to wall time for
+/// the latency tables the paper reports in microseconds (Table V).
+///
+/// # Examples
+///
+/// ```
+/// use hvx_engine::Frequency;
+/// let f = Frequency::from_mhz(2400);
+/// assert_eq!(f.as_hz(), 2_400_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Frequency {
+    hz: u64,
+}
+
+impl Frequency {
+    /// 2.4 GHz — the HP Moonshot m400's Applied Micro Atlas SoC (§III).
+    pub const ARM_M400: Frequency = Frequency { hz: 2_400_000_000 };
+
+    /// 2.1 GHz — the Dell PowerEdge r320's Xeon ES-2450 (§III).
+    pub const X86_R320: Frequency = Frequency { hz: 2_100_000_000 };
+
+    /// Creates a frequency from Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    pub const fn from_hz(hz: u64) -> Frequency {
+        assert!(hz > 0, "frequency must be non-zero");
+        Frequency { hz }
+    }
+
+    /// Creates a frequency from MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub const fn from_mhz(mhz: u64) -> Frequency {
+        Frequency::from_hz(mhz * 1_000_000)
+    }
+
+    /// Returns the frequency in Hz.
+    #[inline]
+    pub const fn as_hz(self) -> u64 {
+        self.hz
+    }
+
+    /// Cycles elapsing per microsecond at this frequency.
+    #[inline]
+    pub fn cycles_per_micro(self) -> f64 {
+        self.hz as f64 / 1e6
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} GHz", self.hz as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = Cycles::new(1500);
+        let b = Cycles::new(500);
+        assert_eq!(a + b, Cycles::new(2000));
+        assert_eq!(a - b, Cycles::new(1000));
+        assert_eq!(a * 3, Cycles::new(4500));
+        assert_eq!(a / 3, Cycles::new(500));
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        assert_eq!(Cycles::new(5).saturating_sub(Cycles::new(9)), Cycles::ZERO);
+        assert_eq!(
+            Cycles::new(9).saturating_sub(Cycles::new(5)),
+            Cycles::new(4)
+        );
+    }
+
+    #[test]
+    fn checked_sub_reports_underflow() {
+        assert_eq!(Cycles::new(5).checked_sub(Cycles::new(9)), None);
+        assert_eq!(
+            Cycles::new(9).checked_sub(Cycles::new(5)),
+            Some(Cycles::new(4))
+        );
+    }
+
+    #[test]
+    fn min_max_select_endpoints() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_uses_thousands_separators() {
+        assert_eq!(Cycles::new(6500).to_string(), "6,500");
+        assert_eq!(Cycles::new(71).to_string(), "71");
+        assert_eq!(Cycles::new(1_234_567).to_string(), "1,234,567");
+        assert_eq!(Cycles::new(0).to_string(), "0");
+        assert_eq!(Cycles::new(1000).to_string(), "1,000");
+    }
+
+    #[test]
+    fn micros_conversion_matches_platform_frequencies() {
+        // The paper's ARM platform: 2.4 GHz, so 41.8 us = 100,320 cycles.
+        let native_rr = Cycles::from_micros(41.8, Frequency::ARM_M400);
+        assert_eq!(native_rr, Cycles::new(100_320));
+        let back = native_rr.to_micros(Frequency::ARM_M400);
+        assert!((back - 41.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycles = [152u64, 282, 230, 3250, 104, 92, 92]
+            .into_iter()
+            .map(Cycles::new)
+            .sum();
+        // Table III save column sums to 4,202 cycles.
+        assert_eq!(total, Cycles::new(4202));
+    }
+
+    #[test]
+    fn frequency_constructors() {
+        assert_eq!(Frequency::from_mhz(2400), Frequency::ARM_M400);
+        assert_eq!(Frequency::ARM_M400.to_string(), "2.4 GHz");
+        assert_eq!(Frequency::X86_R320.cycles_per_micro(), 2100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be non-zero")]
+    fn zero_frequency_rejected() {
+        let _ = Frequency::from_hz(0);
+    }
+}

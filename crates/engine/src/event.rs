@@ -1,0 +1,162 @@
+//! A deterministic future-event queue.
+//!
+//! Application-level simulations (netperf streams, Apache request storms,
+//! memcached closed loops) need a calendar of future happenings: packet
+//! arrivals from the client machine, timer expiries, deferred backend
+//! work. [`EventQueue`] is a plain min-heap keyed by [`Cycles`] with a
+//! monotonic sequence number breaking ties, so two events scheduled for the
+//! same instant pop in scheduling order and runs are bit-for-bit
+//! reproducible.
+
+use crate::Cycles;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue: `(when, seq, payload)` with reversed ordering so
+/// the `BinaryHeap` max-heap behaves as a min-heap on `(when, seq)`.
+#[derive(Debug)]
+struct Entry<T> {
+    when: Cycles,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.when == other.when && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earliest (when, seq) is the heap maximum.
+        (other.when, other.seq).cmp(&(self.when, self.seq))
+    }
+}
+
+/// A future-event calendar ordered by instant, FIFO among equal instants.
+///
+/// # Examples
+///
+/// ```
+/// use hvx_engine::{Cycles, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycles::new(200), "later");
+/// q.schedule(Cycles::new(100), "sooner");
+/// q.schedule(Cycles::new(100), "sooner-but-second");
+///
+/// assert_eq!(q.pop(), Some((Cycles::new(100), "sooner")));
+/// assert_eq!(q.pop(), Some((Cycles::new(100), "sooner-but-second")));
+/// assert_eq!(q.pop(), Some((Cycles::new(200), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to occur at `when`.
+    pub fn schedule(&mut self, when: Cycles, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { when, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Cycles, T)> {
+        self.heap.pop().map(|e| (e.when, e.payload))
+    }
+
+    /// The instant of the earliest event without removing it.
+    pub fn peek_when(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.when)
+    }
+
+    /// Removes the earliest event only if it occurs at or before `now`.
+    pub fn pop_due(&mut self, now: Cycles) -> Option<(Cycles, T)> {
+        match self.peek_when() {
+            Some(w) if w <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(30), 3);
+        q.schedule(Cycles::new(10), 1);
+        q.schedule(Cycles::new(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_instants_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycles::new(42), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(100), "a");
+        q.schedule(Cycles::new(200), "b");
+        assert_eq!(q.pop_due(Cycles::new(50)), None);
+        assert_eq!(q.pop_due(Cycles::new(100)), Some((Cycles::new(100), "a")));
+        assert_eq!(q.pop_due(Cycles::new(150)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_when(), None);
+        q.schedule(Cycles::new(7), ());
+        assert_eq!(q.peek_when(), Some(Cycles::new(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

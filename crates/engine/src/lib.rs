@@ -1,0 +1,53 @@
+//! # hvx-engine — deterministic discrete-event core for the hvx simulator
+//!
+//! This crate is the time substrate for hvx, a mechanistic reproduction of
+//! *"ARM Virtualization: Performance and Architectural Implications"*
+//! (Dall, Li, Lim, Nieh, Koloventzos — ISCA 2016). Everything the study
+//! measures is, at bottom, cycle-stamped activity on the cores of a
+//! multi-core server; this crate provides exactly that and nothing more:
+//!
+//! * [`Cycles`] / [`Frequency`] — cycle-denominated time, convertible to
+//!   microseconds for the paper's latency tables;
+//! * [`CoreId`] / [`Topology`] — the 8-core, pinned-VCPU machine layout of
+//!   the paper's experimental design (§III);
+//! * [`Machine`] — per-core clocks, cost charging, cross-core signals;
+//! * [`TraceLog`] — the per-step decomposition that regenerates the paper's
+//!   breakdown tables and lets tests assert exact transition sequences;
+//! * [`EventQueue`] — a deterministic calendar for workload simulations;
+//! * [`Samples`] / [`Summary`] — iteration statistics.
+//!
+//! Higher layers (architectural state, interrupt controller, memory, I/O,
+//! the hypervisor models themselves) all express their costs through
+//! [`Machine::charge`], which is what makes every composite number in the
+//! reproduced tables decomposable and auditable.
+//!
+//! # Example
+//!
+//! ```
+//! use hvx_engine::{Machine, Topology, TraceKind, Cycles};
+//!
+//! let mut m = Machine::new(Topology::paper_default());
+//! let vcpu0 = m.topology().guest_core(0);
+//! m.charge(vcpu0, "trap:el1-to-el2", TraceKind::Trap, Cycles::new(160));
+//! m.charge(vcpu0, "save:gp", TraceKind::ContextSave, Cycles::new(152));
+//! assert_eq!(m.now(vcpu0), Cycles::new(312));
+//! assert_eq!(m.trace().labels(), ["trap:el1-to-el2", "save:gp"]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cycles;
+mod event;
+mod machine;
+mod stats;
+pub mod timeline;
+mod topology;
+mod trace;
+
+pub use cycles::{Cycles, Frequency};
+pub use event::EventQueue;
+pub use machine::Machine;
+pub use stats::{Histogram, Samples, Summary};
+pub use topology::{CoreId, Topology};
+pub use trace::{TraceEvent, TraceKind, TraceLog};

@@ -1,0 +1,286 @@
+//! The simulated multi-core machine: per-core cycle clocks plus the trace.
+//!
+//! hvx models time the way the paper measures it: with per-physical-core
+//! cycle counters ("measurements were obtained using cycle counters ... to
+//! ensure consistency across multiple CPUs", §IV). Each core owns a
+//! monotonically advancing clock. Sequential work on a core advances that
+//! core's clock; cross-core interactions (physical IPIs, wire deliveries)
+//! produce an *arrival instant* which the receiving core synchronizes to
+//! with [`Machine::wait_until`] — if the receiver was busy past the arrival,
+//! the signal simply finds it later, which is precisely how queueing delay
+//! emerges in the application-level simulations.
+
+use crate::{CoreId, Cycles, Topology, TraceEvent, TraceKind, TraceLog};
+
+/// A simulated multi-core machine.
+///
+/// # Examples
+///
+/// Two cores exchanging a signal:
+///
+/// ```
+/// use hvx_engine::{Machine, Topology, TraceKind, CoreId, Cycles};
+///
+/// let mut m = Machine::new(Topology::split(2, 1));
+/// let a = CoreId::new(0);
+/// let b = CoreId::new(1);
+/// m.charge(a, "guest:work", TraceKind::Guest, Cycles::new(1000));
+/// // Core a sends an IPI costing 400 cycles of wire latency.
+/// let arrival = m.signal(a, b, Cycles::new(400));
+/// m.wait_until(b, arrival);
+/// assert_eq!(m.now(b), Cycles::new(1400));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    topology: Topology,
+    clocks: Vec<Cycles>,
+    /// Cycles each core spent doing charged work (clock time minus time
+    /// skipped by [`Machine::wait_until`] — i.e. minus idle waiting).
+    busy: Vec<Cycles>,
+    trace: TraceLog,
+}
+
+impl Machine {
+    /// Creates a machine with all core clocks at zero and tracing enabled.
+    pub fn new(topology: Topology) -> Self {
+        let clocks = vec![Cycles::ZERO; topology.num_cores()];
+        let busy = clocks.clone();
+        Machine {
+            topology,
+            clocks,
+            busy,
+            trace: TraceLog::new(),
+        }
+    }
+
+    /// Creates a machine with tracing disabled (bulk workload runs).
+    pub fn without_tracing(topology: Topology) -> Self {
+        let mut m = Machine::new(topology);
+        m.trace = TraceLog::disabled();
+        m
+    }
+
+    /// The machine's core topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The current instant on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is not part of the topology.
+    #[inline]
+    pub fn now(&self, core: CoreId) -> Cycles {
+        self.clocks[core.index()]
+    }
+
+    /// The latest instant across all cores.
+    pub fn global_now(&self) -> Cycles {
+        self.clocks.iter().copied().fold(Cycles::ZERO, Cycles::max)
+    }
+
+    /// Spends `cost` cycles of labelled work on `core`, advancing its clock
+    /// and recording a trace event.
+    ///
+    /// Zero-cost charges still record an event (they mark a causal step,
+    /// e.g. a register write that is free but architecturally significant).
+    ///
+    /// Returns the instant the work completed.
+    pub fn charge(
+        &mut self,
+        core: CoreId,
+        label: &'static str,
+        kind: TraceKind,
+        cost: Cycles,
+    ) -> Cycles {
+        let start = self.clocks[core.index()];
+        self.trace.record(TraceEvent {
+            core,
+            start,
+            duration: cost,
+            kind,
+            label,
+        });
+        let end = start + cost;
+        self.clocks[core.index()] = end;
+        self.busy[core.index()] += cost;
+        end
+    }
+
+    /// Advances `core`'s clock to `instant` if it is currently earlier;
+    /// does nothing if the core is already past `instant`. Returns the
+    /// core's (possibly unchanged) clock.
+    ///
+    /// This models a core blocking until a cross-core signal arrives — or
+    /// discovering, when it next looks, that the signal already arrived.
+    pub fn wait_until(&mut self, core: CoreId, instant: Cycles) -> Cycles {
+        let clock = &mut self.clocks[core.index()];
+        *clock = (*clock).max(instant);
+        *clock
+    }
+
+    /// Sends a point-to-point signal (physical IPI, doorbell, wire packet)
+    /// from `from` to `to`, taking `latency` cycles in flight. The send
+    /// itself is free on the sending core (charge any send-side cost
+    /// separately); the returned instant is when the signal becomes visible
+    /// at `to`. The receiving core's clock is *not* advanced — pair with
+    /// [`Machine::wait_until`] on the receive path.
+    pub fn signal(&mut self, from: CoreId, to: CoreId, latency: Cycles) -> Cycles {
+        let depart = self.now(from);
+        let arrival = depart + latency;
+        self.trace.record(TraceEvent {
+            core: to,
+            start: depart,
+            duration: latency,
+            kind: TraceKind::Ipi,
+            label: "signal:in-flight",
+        });
+        arrival
+    }
+
+    /// Synchronizes every core's clock to the global maximum. Used between
+    /// benchmark iterations so each iteration starts from a common instant,
+    /// mirroring the paper's barriers between measurements.
+    pub fn barrier(&mut self) -> Cycles {
+        let now = self.global_now();
+        for c in &mut self.clocks {
+            *c = now;
+        }
+        now
+    }
+
+    /// Cycles `core` spent on charged work (its clock minus idle time
+    /// skipped by [`Machine::wait_until`]).
+    #[inline]
+    pub fn busy(&self, core: CoreId) -> Cycles {
+        self.busy[core.index()]
+    }
+
+    /// The fraction of the interval `[0, global_now]` that `core` spent
+    /// busy — the quantity behind §V's bottleneck analysis ("fully
+    /// utilizes the underlying PCPU").
+    pub fn utilization(&self, core: CoreId) -> f64 {
+        let total = self.global_now().as_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.busy[core.index()].as_f64() / total
+    }
+
+    /// Shared access to the trace log.
+    #[inline]
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Mutable access to the trace log (e.g. to clear between phases).
+    #[inline]
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_core_machine() -> Machine {
+        Machine::new(Topology::split(2, 1))
+    }
+
+    #[test]
+    fn charge_advances_only_target_core() {
+        let mut m = two_core_machine();
+        let end = m.charge(CoreId::new(0), "a", TraceKind::Guest, Cycles::new(100));
+        assert_eq!(end, Cycles::new(100));
+        assert_eq!(m.now(CoreId::new(0)), Cycles::new(100));
+        assert_eq!(m.now(CoreId::new(1)), Cycles::ZERO);
+        assert_eq!(m.global_now(), Cycles::new(100));
+    }
+
+    #[test]
+    fn zero_cost_charge_still_traces() {
+        let mut m = two_core_machine();
+        m.charge(CoreId::new(0), "mark", TraceKind::Other, Cycles::ZERO);
+        assert_eq!(m.trace().len(), 1);
+        assert_eq!(m.now(CoreId::new(0)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn wait_until_never_rewinds() {
+        let mut m = two_core_machine();
+        m.charge(CoreId::new(0), "a", TraceKind::Guest, Cycles::new(500));
+        // Waiting for an instant in the past leaves the clock alone.
+        let t = m.wait_until(CoreId::new(0), Cycles::new(100));
+        assert_eq!(t, Cycles::new(500));
+        // Waiting for the future advances.
+        let t = m.wait_until(CoreId::new(0), Cycles::new(900));
+        assert_eq!(t, Cycles::new(900));
+    }
+
+    #[test]
+    fn signal_latency_composes_with_receiver_clock() {
+        let mut m = two_core_machine();
+        let (a, b) = (CoreId::new(0), CoreId::new(1));
+        m.charge(a, "w", TraceKind::Guest, Cycles::new(1000));
+        let arrival = m.signal(a, b, Cycles::new(250));
+        assert_eq!(arrival, Cycles::new(1250));
+        // Busy receiver: signal waits for the receiver, not vice versa.
+        m.charge(b, "busy", TraceKind::Host, Cycles::new(2000));
+        let t = m.wait_until(b, arrival);
+        assert_eq!(t, Cycles::new(2000));
+    }
+
+    #[test]
+    fn barrier_aligns_all_clocks() {
+        let mut m = two_core_machine();
+        m.charge(CoreId::new(0), "a", TraceKind::Guest, Cycles::new(77));
+        let t = m.barrier();
+        assert_eq!(t, Cycles::new(77));
+        assert_eq!(m.now(CoreId::new(1)), Cycles::new(77));
+    }
+
+    #[test]
+    fn without_tracing_drops_events_but_keeps_time() {
+        let mut m = Machine::without_tracing(Topology::split(2, 1));
+        m.charge(CoreId::new(0), "a", TraceKind::Guest, Cycles::new(10));
+        assert!(m.trace().is_empty());
+        assert_eq!(m.now(CoreId::new(0)), Cycles::new(10));
+    }
+
+    #[test]
+    fn busy_time_excludes_idle_waits() {
+        let mut m = two_core_machine();
+        let (a, b) = (CoreId::new(0), CoreId::new(1));
+        m.charge(a, "w", TraceKind::Guest, Cycles::new(1_000));
+        let arrival = m.signal(a, b, Cycles::new(500));
+        m.wait_until(b, arrival); // b idled for 1,500 cycles
+        m.charge(b, "h", TraceKind::Host, Cycles::new(500));
+        assert_eq!(m.busy(a), Cycles::new(1_000));
+        assert_eq!(m.busy(b), Cycles::new(500));
+        assert_eq!(m.now(b), Cycles::new(2_000));
+        assert!((m.utilization(a) - 0.5).abs() < 1e-9);
+        assert!((m.utilization(b) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_of_fresh_machine_is_zero() {
+        let m = two_core_machine();
+        assert_eq!(m.utilization(CoreId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn trace_records_interval_and_order() {
+        let mut m = two_core_machine();
+        m.charge(CoreId::new(0), "first", TraceKind::Trap, Cycles::new(160));
+        m.charge(CoreId::new(0), "second", TraceKind::Return, Cycles::new(120));
+        let evs = m.trace().events();
+        assert_eq!(evs[0].label, "first");
+        assert_eq!(evs[0].start, Cycles::ZERO);
+        assert_eq!(evs[0].end(), Cycles::new(160));
+        assert_eq!(evs[1].start, Cycles::new(160));
+        assert_eq!(evs[1].end(), Cycles::new(280));
+    }
+}

@@ -1,0 +1,211 @@
+//! ASCII timeline rendering of a trace — the simulator's answer to the
+//! paper's hand-drawn transition diagrams.
+//!
+//! A [`TraceLog`] holds per-core, cycle-stamped intervals; [`render`]
+//! lays them out as one lane per core so cross-core causality (an IPI
+//! leaving one core and work starting on another) is visible at a
+//! glance. Used by the quickstart example and by humans debugging new
+//! hypervisor paths.
+
+use crate::{Cycles, TraceKind, TraceLog};
+use std::collections::BTreeMap;
+
+/// Options for timeline rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineOptions {
+    /// Total character width of the time axis.
+    pub width: usize,
+    /// Drop events shorter than this many cycles (keeps dense traces
+    /// readable).
+    pub min_duration: Cycles,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions {
+            width: 72,
+            min_duration: Cycles::ZERO,
+        }
+    }
+}
+
+fn glyph(kind: TraceKind) -> char {
+    match kind {
+        TraceKind::Trap => 'T',
+        TraceKind::Return => 'R',
+        TraceKind::ContextSave => 'S',
+        TraceKind::ContextRestore => 'r',
+        TraceKind::Emulation => 'e',
+        TraceKind::Ipi => '>',
+        TraceKind::Io => 'i',
+        TraceKind::Copy => 'C',
+        TraceKind::Guest => 'g',
+        TraceKind::Host => 'h',
+        TraceKind::Sched => 's',
+        TraceKind::Wire => 'w',
+        TraceKind::Other => '.',
+    }
+}
+
+/// Renders the trace as one lane per core plus a legend.
+///
+/// Each lane shows the core's activity across the trace's time span,
+/// with one glyph per time bucket chosen from the event covering most of
+/// that bucket.
+///
+/// # Examples
+///
+/// ```
+/// use hvx_engine::{timeline, Machine, Topology, TraceKind, Cycles};
+///
+/// let mut m = Machine::new(Topology::split(2, 1));
+/// let c = m.topology().guest_core(0);
+/// m.charge(c, "guest:work", TraceKind::Guest, Cycles::new(100));
+/// m.charge(c, "hw:trap", TraceKind::Trap, Cycles::new(50));
+/// let art = timeline::render(m.trace(), timeline::TimelineOptions::default());
+/// assert!(art.contains("pcpu0"));
+/// ```
+pub fn render(trace: &TraceLog, opts: TimelineOptions) -> String {
+    let events: Vec<_> = trace
+        .events()
+        .iter()
+        .filter(|e| e.duration >= opts.min_duration)
+        .collect();
+    if events.is_empty() {
+        return "(empty trace)\n".to_string();
+    }
+    let t0 = events.iter().map(|e| e.start).min().expect("non-empty");
+    let t1 = events.iter().map(|e| e.end()).max().expect("non-empty");
+    let span = (t1 - t0).as_u64().max(1);
+    let width = opts.width.max(8);
+
+    // Per-core lanes: for each bucket keep the event covering it longest.
+    let mut lanes: BTreeMap<usize, Vec<(char, u64)>> = BTreeMap::new();
+    for e in &events {
+        let lane = lanes
+            .entry(e.core.index())
+            .or_insert_with(|| vec![(' ', 0); width]);
+        let sb = ((e.start - t0).as_u64() * width as u64 / span) as usize;
+        let eb = (((e.end() - t0).as_u64() * width as u64).div_ceil(span) as usize).min(width);
+        for slot in lane.iter_mut().take(eb.max(sb + 1).min(width)).skip(sb) {
+            if e.duration.as_u64() >= slot.1 {
+                *slot = (glyph(e.kind), e.duration.as_u64());
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline: {} .. {} cycles ({} per column)\n",
+        t0,
+        t1,
+        Cycles::new(span / width as u64)
+    ));
+    for (core, lane) in &lanes {
+        out.push_str(&format!("  pcpu{core:<2} |"));
+        for (ch, _) in lane {
+            out.push(*ch);
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(
+        "  key: T trap  R eret/entry  S save  r restore  e emulate  s sched\n\
+         \x20      g guest  h host  i io  C copy  > ipi  w wire\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreId, Machine, Topology};
+
+    fn sample_machine() -> Machine {
+        let mut m = Machine::new(Topology::split(2, 1));
+        let a = CoreId::new(0);
+        let b = CoreId::new(1);
+        m.charge(a, "guest:run", TraceKind::Guest, Cycles::new(500));
+        m.charge(a, "hw:trap", TraceKind::Trap, Cycles::new(100));
+        let arr = m.signal(a, b, Cycles::new(200));
+        m.wait_until(b, arr);
+        m.charge(b, "host:work", TraceKind::Host, Cycles::new(300));
+        m
+    }
+
+    #[test]
+    fn renders_one_lane_per_active_core() {
+        let m = sample_machine();
+        let art = render(m.trace(), TimelineOptions::default());
+        assert!(art.contains("pcpu0"));
+        assert!(art.contains("pcpu1"));
+        assert!(art.contains('g'), "guest glyph present:\n{art}");
+        assert!(art.contains('h'), "host glyph present:\n{art}");
+        assert!(art.contains('T'), "trap glyph present:\n{art}");
+    }
+
+    #[test]
+    fn empty_trace_is_explicit() {
+        let log = TraceLog::new();
+        assert_eq!(render(&log, TimelineOptions::default()), "(empty trace)\n");
+    }
+
+    #[test]
+    fn min_duration_filters_noise() {
+        let m = sample_machine();
+        let art = render(
+            m.trace(),
+            TimelineOptions {
+                width: 40,
+                min_duration: Cycles::new(450),
+            },
+        );
+        // Only the 500-cycle guest run survives the filter (inspect the
+        // lanes, not the legend).
+        let lanes: String = art
+            .lines()
+            .filter(|l| l.contains("pcpu"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(lanes.contains('g'), "{art}");
+        assert!(!lanes.contains('h'), "{art}");
+    }
+
+    #[test]
+    fn lanes_have_constant_width() {
+        let m = sample_machine();
+        let opts = TimelineOptions {
+            width: 30,
+            min_duration: Cycles::ZERO,
+        };
+        let art = render(m.trace(), opts);
+        for line in art.lines().filter(|l| l.contains("|")) {
+            let inner = line.split('|').nth(1).unwrap();
+            assert_eq!(inner.chars().count(), 30, "{line}");
+        }
+    }
+
+    #[test]
+    fn longer_events_win_bucket_conflicts() {
+        let mut m = Machine::new(Topology::split(2, 1));
+        let c = CoreId::new(0);
+        // A long event followed by a tiny one in the same bucket.
+        m.charge(c, "big", TraceKind::Guest, Cycles::new(10_000));
+        m.charge(c, "tiny", TraceKind::Trap, Cycles::new(1));
+        let art = render(
+            m.trace(),
+            TimelineOptions {
+                width: 10,
+                min_duration: Cycles::ZERO,
+            },
+        );
+        let lane: String = art
+            .lines()
+            .find(|l| l.contains("pcpu0"))
+            .unwrap()
+            .split('|')
+            .nth(1)
+            .unwrap()
+            .to_string();
+        assert!(lane.chars().all(|ch| ch == 'g'), "{lane}");
+    }
+}

@@ -1,0 +1,212 @@
+//! Physical CPU identifiers and machine topology.
+//!
+//! The study runs every configuration as a 4-way SMP guest on an 8-core
+//! host, with VCPUs pinned to dedicated PCPUs and host/Dom0 work confined
+//! to a disjoint PCPU set (§III). [`Topology`] captures exactly that
+//! partitioning so hypervisor models can reproduce the paper's pinning
+//! discipline, and so tests can assert that e.g. a vhost kick really does
+//! cross cores.
+
+use core::fmt;
+
+/// Identifier of a physical CPU core.
+///
+/// # Examples
+///
+/// ```
+/// use hvx_engine::CoreId;
+/// let c = CoreId::new(3);
+/// assert_eq!(c.index(), 3);
+/// assert_eq!(c.to_string(), "pcpu3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core identifier with the given index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        CoreId(index)
+    }
+
+    /// Returns the zero-based core index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pcpu{}", self.0)
+    }
+}
+
+/// The physical-core layout used by every experiment in the paper:
+/// 8 physical cores, of which 4 run pinned guest VCPUs and 4 are reserved
+/// for the hypervisor side (host OS interrupt/vhost threads for KVM, Dom0
+/// VCPUs for Xen).
+///
+/// # Examples
+///
+/// ```
+/// use hvx_engine::Topology;
+/// let topo = Topology::paper_default();
+/// assert_eq!(topo.num_cores(), 8);
+/// assert_eq!(topo.guest_cores().len(), 4);
+/// assert_eq!(topo.host_cores().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Topology {
+    num_cores: u16,
+    guest: Vec<CoreId>,
+    host: Vec<CoreId>,
+}
+
+impl Topology {
+    /// The paper's configuration: PCPUs 0–3 for the guest's 4 VCPUs,
+    /// PCPUs 4–7 for host/Dom0 work (§III: "we pinned each VCPU to a
+    /// specific physical CPU and generally ensured that no other work was
+    /// scheduled on that PCPU").
+    pub fn paper_default() -> Self {
+        Topology::split(8, 4)
+    }
+
+    /// Builds a topology with `num_cores` cores of which the first
+    /// `num_guest` are guest cores and the rest are host cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_guest` is zero, or `num_guest >= num_cores`.
+    pub fn split(num_cores: u16, num_guest: u16) -> Self {
+        assert!(num_guest > 0, "need at least one guest core");
+        assert!(
+            num_guest < num_cores,
+            "need at least one host core ({num_guest} guest of {num_cores} total)"
+        );
+        Topology {
+            num_cores,
+            guest: (0..num_guest).map(CoreId::new).collect(),
+            host: (num_guest..num_cores).map(CoreId::new).collect(),
+        }
+    }
+
+    /// Total number of physical cores.
+    #[inline]
+    pub fn num_cores(&self) -> usize {
+        self.num_cores as usize
+    }
+
+    /// Cores dedicated to guest VCPUs, in VCPU order (VCPU *i* is pinned
+    /// to `guest_cores()[i]`).
+    #[inline]
+    pub fn guest_cores(&self) -> &[CoreId] {
+        &self.guest
+    }
+
+    /// Cores reserved for the hypervisor side (host kernel threads,
+    /// device interrupts, Dom0 VCPUs).
+    #[inline]
+    pub fn host_cores(&self) -> &[CoreId] {
+        &self.host
+    }
+
+    /// The core a given guest VCPU is pinned to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpu` is out of range for the guest core set.
+    #[inline]
+    pub fn guest_core(&self, vcpu: usize) -> CoreId {
+        self.guest[vcpu]
+    }
+
+    /// The host core that handles physical device interrupts (the paper
+    /// assigns "all of the host's device interrupts and processes ... to
+    /// run on a specific set of PCPUs"); we use the first host core.
+    #[inline]
+    pub fn io_core(&self) -> CoreId {
+        self.host[0]
+    }
+
+    /// The host core running the I/O backend thread (vhost worker or Dom0
+    /// netback VCPU). Kept distinct from [`Topology::io_core`] when enough
+    /// host cores exist, mirroring the multi-core I/O paths of §IV.
+    #[inline]
+    pub fn backend_core(&self) -> CoreId {
+        if self.host.len() > 1 {
+            self.host[1]
+        } else {
+            self.host[0]
+        }
+    }
+
+    /// Returns `true` if `core` is one of the guest cores.
+    pub fn is_guest_core(&self, core: CoreId) -> bool {
+        self.guest.contains(&core)
+    }
+
+    /// Iterates over every core in the machine.
+    pub fn all_cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        (0..self.num_cores).map(CoreId::new)
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_experimental_design() {
+        let t = Topology::paper_default();
+        assert_eq!(t.num_cores(), 8);
+        assert_eq!(t.guest_cores(), &[0, 1, 2, 3].map(CoreId::new));
+        assert_eq!(t.host_cores(), &[4, 5, 6, 7].map(CoreId::new));
+        assert_eq!(t.guest_core(2), CoreId::new(2));
+        assert!(t.is_guest_core(CoreId::new(0)));
+        assert!(!t.is_guest_core(CoreId::new(5)));
+    }
+
+    #[test]
+    fn io_and_backend_cores_are_distinct_host_cores() {
+        let t = Topology::paper_default();
+        assert_ne!(t.io_core(), t.backend_core());
+        assert!(!t.is_guest_core(t.io_core()));
+        assert!(!t.is_guest_core(t.backend_core()));
+    }
+
+    #[test]
+    fn tiny_topology_shares_backend_and_io_core() {
+        let t = Topology::split(2, 1);
+        assert_eq!(t.io_core(), t.backend_core());
+    }
+
+    #[test]
+    fn all_cores_enumerates_everything() {
+        let t = Topology::split(3, 2);
+        let cores: Vec<_> = t.all_cores().collect();
+        assert_eq!(cores.len(), 3);
+        assert_eq!(cores[2], CoreId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host core")]
+    fn all_guest_topology_rejected() {
+        let _ = Topology::split(4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one guest core")]
+    fn zero_guest_topology_rejected() {
+        let _ = Topology::split(4, 0);
+    }
+}

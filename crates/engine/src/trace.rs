@@ -1,0 +1,339 @@
+//! Transition tracing.
+//!
+//! The paper's methodology instruments every VM↔hypervisor transition with
+//! cycle counters and explains composite costs by decomposing them into
+//! primitive steps (Table III decomposes the KVM ARM hypercall into
+//! per-register-class save/restore costs; Table V decomposes a netperf
+//! transaction into five segments). The engine makes the same decomposition
+//! a first-class artifact: every cost a hypervisor model charges is recorded
+//! as a [`TraceEvent`] in a [`TraceLog`], so tests can assert *which* steps
+//! executed in *which order* on *which core*, and harnesses can aggregate
+//! per-step totals to regenerate the paper's breakdown tables.
+
+use crate::{CoreId, Cycles};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Broad classification of a traced step, used for coarse aggregation
+/// (e.g. "how much of this hypercall was context switching?").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum TraceKind {
+    /// Hardware trap entry (EL1→EL2, VM exit, interrupt entry).
+    Trap,
+    /// Return from the hypervisor to a lower level (ERET, VM entry).
+    Return,
+    /// Saving register state to memory.
+    ContextSave,
+    /// Restoring register state from memory.
+    ContextRestore,
+    /// Software emulation work in the hypervisor (GIC distributor access,
+    /// instruction decode, hypercall handling).
+    Emulation,
+    /// Physical inter-processor interrupt in flight.
+    Ipi,
+    /// I/O backend work (vhost handler, netback, device driver).
+    Io,
+    /// Data copy (grant copy, bounce buffer).
+    Copy,
+    /// Work executing inside a guest (or native application) context.
+    Guest,
+    /// Work executing in host OS / Dom0 context other than I/O backends.
+    Host,
+    /// Scheduler activity (VM switch, idle-domain wake).
+    Sched,
+    /// Time on the physical wire between machines.
+    Wire,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::Trap => "trap",
+            TraceKind::Return => "return",
+            TraceKind::ContextSave => "save",
+            TraceKind::ContextRestore => "restore",
+            TraceKind::Emulation => "emulation",
+            TraceKind::Ipi => "ipi",
+            TraceKind::Io => "io",
+            TraceKind::Copy => "copy",
+            TraceKind::Guest => "guest",
+            TraceKind::Host => "host",
+            TraceKind::Sched => "sched",
+            TraceKind::Wire => "wire",
+            TraceKind::Other => "other",
+        };
+        f.pad(s)
+    }
+}
+
+/// One traced step: a labelled, cycle-stamped interval on a core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct TraceEvent {
+    /// Core the step executed on.
+    pub core: CoreId,
+    /// Instant the step began.
+    pub start: Cycles,
+    /// Duration of the step.
+    pub duration: Cycles,
+    /// Step classification.
+    pub kind: TraceKind,
+    /// Stable, machine-readable step label, e.g. `"save:vgic"` or
+    /// `"xen:signal-dom0"`. Labels are namespaced with `:`.
+    pub label: &'static str,
+}
+
+impl TraceEvent {
+    /// Instant the step ended.
+    #[inline]
+    pub fn end(&self) -> Cycles {
+        self.start + self.duration
+    }
+}
+
+/// An append-only log of [`TraceEvent`]s.
+///
+/// Recording can be disabled ([`TraceLog::disabled`]) for bulk workload
+/// simulations where only aggregate time matters; charging costs then skips
+/// the per-event allocation entirely.
+///
+/// # Examples
+///
+/// ```
+/// use hvx_engine::{TraceLog, TraceEvent, TraceKind, CoreId, Cycles};
+///
+/// let mut log = TraceLog::new();
+/// log.record(TraceEvent {
+///     core: CoreId::new(0),
+///     start: Cycles::ZERO,
+///     duration: Cycles::new(152),
+///     kind: TraceKind::ContextSave,
+///     label: "save:gp",
+/// });
+/// assert_eq!(log.total_by_label("save:gp"), Cycles::new(152));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// Creates an enabled, empty log.
+    pub fn new() -> Self {
+        TraceLog {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a log that drops every event (for bulk simulations).
+    pub fn disabled() -> Self {
+        TraceLog {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Returns `true` if events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables recording (already-recorded events are kept).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Appends an event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// All recorded events in recording order.
+    #[inline]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events were recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// The labels of all events, in order — convenient for asserting the
+    /// exact step sequence of a code path.
+    pub fn labels(&self) -> Vec<&'static str> {
+        self.events.iter().map(|e| e.label).collect()
+    }
+
+    /// Sum of durations of all events with the given label.
+    pub fn total_by_label(&self, label: &str) -> Cycles {
+        self.events
+            .iter()
+            .filter(|e| e.label == label)
+            .map(|e| e.duration)
+            .sum()
+    }
+
+    /// Sum of durations of all events of the given kind.
+    pub fn total_by_kind(&self, kind: TraceKind) -> Cycles {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.duration)
+            .sum()
+    }
+
+    /// Aggregates total duration per label, sorted by label — the shape of
+    /// the paper's Table III.
+    pub fn totals_by_label(&self) -> BTreeMap<&'static str, Cycles> {
+        let mut out: BTreeMap<&'static str, Cycles> = BTreeMap::new();
+        for e in &self.events {
+            *out.entry(e.label).or_insert(Cycles::ZERO) += e.duration;
+        }
+        out
+    }
+
+    /// Returns the events that executed on `core`, in order.
+    pub fn events_on(&self, core: CoreId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.core == core)
+    }
+
+    /// Returns `true` if `needle` occurs as a (not necessarily contiguous)
+    /// subsequence of the recorded label sequence. Useful for asserting
+    /// that a path passed through required steps in order without pinning
+    /// every intermediate step.
+    pub fn contains_label_subsequence(&self, needle: &[&str]) -> bool {
+        let mut it = needle.iter();
+        let mut want = match it.next() {
+            Some(w) => *w,
+            None => return true,
+        };
+        for e in &self.events {
+            if e.label == want {
+                match it.next() {
+                    Some(w) => want = *w,
+                    None => return true,
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(label: &'static str, kind: TraceKind, dur: u64) -> TraceEvent {
+        TraceEvent {
+            core: CoreId::new(0),
+            start: Cycles::ZERO,
+            duration: Cycles::new(dur),
+            kind,
+            label,
+        }
+    }
+
+    #[test]
+    fn record_and_aggregate_by_label() {
+        let mut log = TraceLog::new();
+        log.record(ev("save:gp", TraceKind::ContextSave, 152));
+        log.record(ev("save:vgic", TraceKind::ContextSave, 3250));
+        log.record(ev("save:gp", TraceKind::ContextSave, 152));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_by_label("save:gp"), Cycles::new(304));
+        assert_eq!(log.total_by_label("save:vgic"), Cycles::new(3250));
+        assert_eq!(log.total_by_label("missing"), Cycles::ZERO);
+        let totals = log.totals_by_label();
+        assert_eq!(totals["save:gp"], Cycles::new(304));
+        assert_eq!(totals.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_by_kind() {
+        let mut log = TraceLog::new();
+        log.record(ev("trap:el2", TraceKind::Trap, 160));
+        log.record(ev("save:gp", TraceKind::ContextSave, 152));
+        log.record(ev("restore:gp", TraceKind::ContextRestore, 184));
+        assert_eq!(log.total_by_kind(TraceKind::ContextSave), Cycles::new(152));
+        assert_eq!(log.total_by_kind(TraceKind::Trap), Cycles::new(160));
+        assert_eq!(log.total_by_kind(TraceKind::Wire), Cycles::ZERO);
+    }
+
+    #[test]
+    fn disabled_log_drops_events() {
+        let mut log = TraceLog::disabled();
+        log.record(ev("x", TraceKind::Other, 1));
+        assert!(log.is_empty());
+        log.set_enabled(true);
+        log.record(ev("x", TraceKind::Other, 1));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn label_subsequence_matching() {
+        let mut log = TraceLog::new();
+        for l in ["trap:el2", "save:gp", "save:vgic", "restore:gp", "eret"] {
+            log.record(ev(l, TraceKind::Other, 1));
+        }
+        assert!(log.contains_label_subsequence(&["trap:el2", "save:vgic", "eret"]));
+        assert!(log.contains_label_subsequence(&[]));
+        assert!(!log.contains_label_subsequence(&["eret", "trap:el2"]));
+        assert!(!log.contains_label_subsequence(&["nope"]));
+    }
+
+    #[test]
+    fn events_on_core_filters() {
+        let mut log = TraceLog::new();
+        log.record(TraceEvent {
+            core: CoreId::new(1),
+            ..ev("a", TraceKind::Other, 5)
+        });
+        log.record(ev("b", TraceKind::Other, 5));
+        assert_eq!(log.events_on(CoreId::new(1)).count(), 1);
+        assert_eq!(log.events_on(CoreId::new(0)).count(), 1);
+        assert_eq!(log.events_on(CoreId::new(9)).count(), 0);
+    }
+
+    #[test]
+    fn event_end_is_start_plus_duration() {
+        let e = TraceEvent {
+            core: CoreId::new(0),
+            start: Cycles::new(100),
+            duration: Cycles::new(50),
+            kind: TraceKind::Guest,
+            label: "guest:run",
+        };
+        assert_eq!(e.end(), Cycles::new(150));
+    }
+
+    #[test]
+    fn clear_empties_log() {
+        let mut log = TraceLog::new();
+        log.record(ev("a", TraceKind::Other, 1));
+        log.clear();
+        assert!(log.is_empty());
+        assert!(log.is_enabled());
+    }
+}

@@ -1,0 +1,219 @@
+//! The x86 local APIC analog, for the cross-architecture baseline.
+//!
+//! On the paper's x86 test hardware, interrupt-controller virtualization
+//! traps: a guest EOI write exits to the hypervisor, which is why Virtual
+//! IRQ Completion costs ~1,500 cycles on x86 against 71 on ARM (Table II).
+//! Newer parts add hardware vAPIC ("so that newer x86 hardware with vAPIC
+//! support should perform more comparably to ARM", §IV) — modelled as the
+//! [`Lapic::vapic`] flag, which the vAPIC ablation flips.
+
+use core::fmt;
+
+/// Effects of a local-APIC register write that the virtualizing
+/// hypervisor must carry out.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LapicEffect {
+    /// IPIs to deliver: `(destination APIC id, vector)`.
+    pub ipis: Vec<(usize, u8)>,
+}
+
+/// Errors from local-APIC operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LapicError {
+    /// EOI with an empty in-service stack.
+    NoInService,
+    /// Vectors 0–31 are reserved for exceptions.
+    ReservedVector {
+        /// The offending vector.
+        vector: u8,
+    },
+}
+
+impl fmt::Display for LapicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LapicError::NoInService => write!(f, "EOI with no interrupt in service"),
+            LapicError::ReservedVector { vector } => {
+                write!(f, "vector {vector} is reserved")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LapicError {}
+
+/// A (virtual) local APIC: request/in-service vector tracking plus the
+/// ICR-based IPI mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use hvx_gic::Lapic;
+///
+/// let mut apic = Lapic::new(false);
+/// apic.set_irr(0x40).unwrap();
+/// assert_eq!(apic.ack(), Some(0x40));
+/// assert!(apic.eoi_traps(), "pre-vAPIC hardware exits on EOI");
+/// apic.eoi().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lapic {
+    /// Interrupt request register: one bit per vector.
+    irr: [bool; 256],
+    /// In-service register, as a priority stack of vectors.
+    isr: Vec<u8>,
+    /// Hardware vAPIC: EOI does not exit.
+    vapic: bool,
+}
+
+impl Lapic {
+    /// Creates an idle APIC. `vapic` selects hardware-assisted interrupt
+    /// virtualization (no EOI exits).
+    pub fn new(vapic: bool) -> Self {
+        Lapic {
+            irr: [false; 256],
+            isr: Vec::new(),
+            vapic,
+        }
+    }
+
+    /// Returns `true` if this APIC has hardware vAPIC assistance.
+    pub fn has_vapic(&self) -> bool {
+        self.vapic
+    }
+
+    /// Returns `true` if a guest EOI write causes a VM exit on this
+    /// hardware.
+    pub fn eoi_traps(&self) -> bool {
+        !self.vapic
+    }
+
+    /// Marks `vector` as requested.
+    ///
+    /// # Errors
+    ///
+    /// [`LapicError::ReservedVector`] for vectors 0–31.
+    pub fn set_irr(&mut self, vector: u8) -> Result<(), LapicError> {
+        if vector < 32 {
+            return Err(LapicError::ReservedVector { vector });
+        }
+        self.irr[vector as usize] = true;
+        Ok(())
+    }
+
+    /// Highest requested vector above the current in-service priority, if
+    /// any — what the CPU will take next.
+    pub fn pending(&self) -> Option<u8> {
+        let floor = self.isr.last().copied().unwrap_or(0);
+        (32..=255u16)
+            .rev()
+            .map(|v| v as u8)
+            .find(|&v| self.irr[v as usize] && v > floor)
+    }
+
+    /// Takes the highest pending vector into service.
+    pub fn ack(&mut self) -> Option<u8> {
+        let v = self.pending()?;
+        self.irr[v as usize] = false;
+        self.isr.push(v);
+        Some(v)
+    }
+
+    /// Completes the in-service interrupt.
+    ///
+    /// # Errors
+    ///
+    /// [`LapicError::NoInService`] if nothing is in service.
+    pub fn eoi(&mut self) -> Result<u8, LapicError> {
+        self.isr.pop().ok_or(LapicError::NoInService)
+    }
+
+    /// Writes the interrupt command register: sends an IPI with `vector`
+    /// to `dest`. On the modelled hardware this is a trapped access
+    /// (x2APIC ICR MSR write); the returned effect tells the hypervisor
+    /// what to deliver.
+    ///
+    /// # Errors
+    ///
+    /// [`LapicError::ReservedVector`] for vectors 0–31.
+    pub fn icr_write(&mut self, dest: usize, vector: u8) -> Result<LapicEffect, LapicError> {
+        if vector < 32 {
+            return Err(LapicError::ReservedVector { vector });
+        }
+        Ok(LapicEffect {
+            ipis: vec![(dest, vector)],
+        })
+    }
+
+    /// Number of vectors currently in service (nesting depth).
+    pub fn in_service_depth(&self) -> usize {
+        self.isr.len()
+    }
+}
+
+impl Default for Lapic {
+    fn default() -> Self {
+        Lapic::new(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ack_eoi_lifecycle() {
+        let mut a = Lapic::new(false);
+        a.set_irr(0x50).unwrap();
+        assert_eq!(a.pending(), Some(0x50));
+        assert_eq!(a.ack(), Some(0x50));
+        assert_eq!(a.pending(), None);
+        assert_eq!(a.in_service_depth(), 1);
+        assert_eq!(a.eoi().unwrap(), 0x50);
+        assert_eq!(a.in_service_depth(), 0);
+    }
+
+    #[test]
+    fn higher_vector_preempts() {
+        let mut a = Lapic::new(false);
+        a.set_irr(0x40).unwrap();
+        assert_eq!(a.ack(), Some(0x40));
+        // A higher vector can nest above the in-service one ...
+        a.set_irr(0x60).unwrap();
+        assert_eq!(a.pending(), Some(0x60));
+        assert_eq!(a.ack(), Some(0x60));
+        // ... but a lower one must wait.
+        a.set_irr(0x35).unwrap();
+        assert_eq!(a.pending(), None);
+        a.eoi().unwrap();
+        a.eoi().unwrap();
+        assert_eq!(a.pending(), Some(0x35));
+    }
+
+    #[test]
+    fn eoi_without_service_is_error() {
+        let mut a = Lapic::new(false);
+        assert_eq!(a.eoi(), Err(LapicError::NoInService));
+    }
+
+    #[test]
+    fn reserved_vectors_rejected() {
+        let mut a = Lapic::new(false);
+        assert_eq!(a.set_irr(3), Err(LapicError::ReservedVector { vector: 3 }));
+        assert!(a.icr_write(1, 0).is_err());
+    }
+
+    #[test]
+    fn icr_write_produces_ipi_effect() {
+        let mut a = Lapic::new(false);
+        let eff = a.icr_write(2, 0xF0).unwrap();
+        assert_eq!(eff.ipis, vec![(2, 0xF0)]);
+    }
+
+    #[test]
+    fn vapic_flag_controls_eoi_exit() {
+        assert!(Lapic::new(false).eoi_traps());
+        assert!(!Lapic::new(true).eoi_traps());
+        assert!(Lapic::new(true).has_vapic());
+    }
+}

@@ -1,0 +1,138 @@
+//! The three address spaces of Stage-2 translation.
+//!
+//! "When Stage-2 translation is enabled, the ARM architecture defines
+//! three address spaces: Virtual Addresses (VA), Intermediate Physical
+//! Addresses (IPA), and Physical Addresses (PA). Stage-2 translation,
+//! configured in EL2, translates from IPAs to PAs" (§II). Newtypes keep
+//! the spaces from being mixed — a guest's idea of "physical" is never a
+//! machine address.
+
+use core::fmt;
+use core::ops::Add;
+
+/// Bytes per page (4 KiB granule).
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of the page size.
+pub const PAGE_SHIFT: u32 = 12;
+
+macro_rules! address_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        #[derive(serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw address.
+            #[inline]
+            pub const fn new(addr: u64) -> Self {
+                $name(addr)
+            }
+
+            /// The raw address value.
+            #[inline]
+            pub const fn value(self) -> u64 {
+                self.0
+            }
+
+            /// The page number (address >> 12).
+            #[inline]
+            pub const fn page(self) -> u64 {
+                self.0 >> PAGE_SHIFT
+            }
+
+            /// The offset within the page.
+            #[inline]
+            pub const fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// Rounds down to the page boundary.
+            #[inline]
+            pub const fn page_base(self) -> Self {
+                $name(self.0 & !(PAGE_SIZE - 1))
+            }
+
+            /// Returns `true` if page-aligned.
+            #[inline]
+            pub const fn is_page_aligned(self) -> bool {
+                self.page_offset() == 0
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, ":{:#x}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+address_type!(
+    /// A virtual address, translated by Stage-1 (guest- or host-owned)
+    /// page tables.
+    Va,
+    "VA"
+);
+
+address_type!(
+    /// An intermediate physical address — what a guest believes is
+    /// physical. Stage-2 translates IPAs to PAs.
+    Ipa,
+    "IPA"
+);
+
+address_type!(
+    /// A machine physical address.
+    Pa,
+    "PA"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic() {
+        let a = Ipa::new(0x12345);
+        assert_eq!(a.page(), 0x12);
+        assert_eq!(a.page_offset(), 0x345);
+        assert_eq!(a.page_base(), Ipa::new(0x12000));
+        assert!(!a.is_page_aligned());
+        assert!(a.page_base().is_page_aligned());
+    }
+
+    #[test]
+    fn spaces_are_distinct_types() {
+        // This is a compile-time property; assert the display tags differ.
+        assert_eq!(Va::new(0x1000).to_string(), "VA:0x1000");
+        assert_eq!(Ipa::new(0x1000).to_string(), "IPA:0x1000");
+        assert_eq!(Pa::new(0x1000).to_string(), "PA:0x1000");
+    }
+
+    #[test]
+    fn add_offsets() {
+        assert_eq!(Pa::new(0x1000) + 0x40, Pa::new(0x1040));
+    }
+
+    #[test]
+    fn conversion_from_u64() {
+        let p: Pa = 0x2000u64.into();
+        assert_eq!(p.value(), 0x2000);
+    }
+}

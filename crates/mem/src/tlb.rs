@@ -1,0 +1,185 @@
+//! TLB maintenance models: broadcast invalidation vs. IPI shootdown.
+//!
+//! The paper's zero-copy discussion (§V) turns on this difference:
+//! supporting zero-copy on Xen "requires signaling all physical CPUs to
+//! locally invalidate TLBs when removing grant table entries for shared
+//! pages, which proved more expensive than simply copying the data" — on
+//! x86, where invalidation is software-driven via IPIs. ARM "has hardware
+//! support for broadcast TLB invalidate requests across multiple PCPUs",
+//! which the paper flags as the open question for Xen ARM zero-copy; the
+//! zero-copy ablation bench explores exactly that trade.
+
+use crate::Ipa;
+use std::collections::HashSet;
+
+/// How a multi-core TLB invalidation is carried out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum ShootdownMethod {
+    /// ARM `TLBI ...IS` — a single broadcast instruction invalidates the
+    /// inner-shareable domain; remote cores need not be interrupted.
+    BroadcastTlbi,
+    /// x86 — the initiating core IPIs every other core, each runs an
+    /// `invlpg` handler and acknowledges.
+    IpiFlush,
+}
+
+/// The work plan for one shootdown, in units the cost model prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShootdownPlan {
+    /// Method used.
+    pub method: ShootdownMethod,
+    /// IPIs that must be sent (0 for broadcast).
+    pub ipis: u32,
+    /// Remote flush handlers that must run (0 for broadcast).
+    pub remote_handlers: u32,
+    /// Local invalidate operations (always ≥ 1).
+    pub local_invalidates: u32,
+}
+
+/// A per-core TLB: a set of cached IPA-page translations, plus the
+/// machine-wide shootdown policy.
+///
+/// # Examples
+///
+/// ```
+/// use hvx_mem::{Ipa, ShootdownMethod, TlbModel};
+///
+/// let mut tlb = TlbModel::new(4, ShootdownMethod::IpiFlush);
+/// tlb.fill(0, Ipa::new(0x8000_0000));
+/// assert!(tlb.hit(0, Ipa::new(0x8000_0123)));
+/// let plan = tlb.shootdown(0, Ipa::new(0x8000_0000));
+/// assert_eq!(plan.ipis, 3, "x86 interrupts every other core");
+/// assert!(!tlb.hit(0, Ipa::new(0x8000_0000)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TlbModel {
+    per_core: Vec<HashSet<u64>>,
+    method: ShootdownMethod,
+    shootdowns: u64,
+}
+
+impl TlbModel {
+    /// Creates TLBs for `num_cores` cores with the given shootdown policy.
+    pub fn new(num_cores: usize, method: ShootdownMethod) -> Self {
+        TlbModel {
+            per_core: vec![HashSet::new(); num_cores],
+            method,
+            shootdowns: 0,
+        }
+    }
+
+    /// The configured shootdown method.
+    pub fn method(&self) -> ShootdownMethod {
+        self.method
+    }
+
+    /// Caches the translation for `ipa`'s page on `core`.
+    pub fn fill(&mut self, core: usize, ipa: Ipa) {
+        self.per_core[core].insert(ipa.page());
+    }
+
+    /// Returns `true` if `core` has `ipa`'s page cached.
+    pub fn hit(&self, core: usize, ipa: Ipa) -> bool {
+        self.per_core[core].contains(&ipa.page())
+    }
+
+    /// Entries cached on `core`.
+    pub fn entries(&self, core: usize) -> usize {
+        self.per_core[core].len()
+    }
+
+    /// Invalidates `ipa`'s page everywhere, initiated by `initiator`.
+    /// Returns the work plan whose components the cost model prices.
+    pub fn shootdown(&mut self, initiator: usize, ipa: Ipa) -> ShootdownPlan {
+        let page = ipa.page();
+        let others = self.per_core.len() as u32 - 1;
+        for core in &mut self.per_core {
+            core.remove(&page);
+        }
+        self.shootdowns += 1;
+        let _ = initiator;
+        match self.method {
+            ShootdownMethod::BroadcastTlbi => ShootdownPlan {
+                method: self.method,
+                ipis: 0,
+                remote_handlers: 0,
+                local_invalidates: 1,
+            },
+            ShootdownMethod::IpiFlush => ShootdownPlan {
+                method: self.method,
+                ipis: others,
+                remote_handlers: others,
+                local_invalidates: 1,
+            },
+        }
+    }
+
+    /// Invalidates everything on every core (e.g. VMID rollover).
+    pub fn flush_all(&mut self) {
+        for core in &mut self.per_core {
+            core.clear();
+        }
+    }
+
+    /// Cumulative shootdowns performed.
+    pub fn shootdown_count(&self) -> u64 {
+        self.shootdowns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_hit_within_page_granularity() {
+        let mut t = TlbModel::new(2, ShootdownMethod::BroadcastTlbi);
+        t.fill(0, Ipa::new(0x5000));
+        assert!(t.hit(0, Ipa::new(0x5FFF)));
+        assert!(!t.hit(0, Ipa::new(0x6000)));
+        assert!(!t.hit(1, Ipa::new(0x5000)), "TLBs are per-core");
+    }
+
+    #[test]
+    fn broadcast_plan_needs_no_ipis() {
+        let mut t = TlbModel::new(8, ShootdownMethod::BroadcastTlbi);
+        for c in 0..8 {
+            t.fill(c, Ipa::new(0x7000));
+        }
+        let plan = t.shootdown(2, Ipa::new(0x7000));
+        assert_eq!(plan.ipis, 0);
+        assert_eq!(plan.remote_handlers, 0);
+        assert_eq!(plan.local_invalidates, 1);
+        for c in 0..8 {
+            assert!(!t.hit(c, Ipa::new(0x7000)));
+        }
+    }
+
+    #[test]
+    fn ipi_plan_scales_with_core_count() {
+        let mut t = TlbModel::new(8, ShootdownMethod::IpiFlush);
+        let plan = t.shootdown(0, Ipa::new(0x7000));
+        assert_eq!(plan.ipis, 7);
+        assert_eq!(plan.remote_handlers, 7);
+        let mut t2 = TlbModel::new(2, ShootdownMethod::IpiFlush);
+        assert_eq!(t2.shootdown(0, Ipa::new(0)).ipis, 1);
+    }
+
+    #[test]
+    fn flush_all_clears_everything() {
+        let mut t = TlbModel::new(2, ShootdownMethod::BroadcastTlbi);
+        t.fill(0, Ipa::new(0x1000));
+        t.fill(1, Ipa::new(0x2000));
+        t.flush_all();
+        assert_eq!(t.entries(0) + t.entries(1), 0);
+    }
+
+    #[test]
+    fn shootdown_counter_accumulates() {
+        let mut t = TlbModel::new(2, ShootdownMethod::IpiFlush);
+        t.shootdown(0, Ipa::new(0x1000));
+        t.shootdown(0, Ipa::new(0x2000));
+        assert_eq!(t.shootdown_count(), 2);
+    }
+}

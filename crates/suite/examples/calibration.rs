@@ -1,0 +1,20 @@
+//! Internal calibration report: prints every reproduced artifact with
+//! residuals so cost-model tuning is auditable.
+use hvx_suite::*;
+
+fn main() {
+    println!("=== Table II ===");
+    println!("{}", micro::Table2::measure(3).render());
+    println!("=== Table III ===");
+    println!("{}", table3::Table3::measure().render());
+    println!("=== Table V ===");
+    println!("{}", netperf::Table5::measure(20).render());
+    println!("=== Figure 4 ===");
+    println!("{}", fig4::Figure4::measure().render());
+    println!("=== IRQ distribution ablation ===");
+    println!("{}", ablations::render_irq_distribution(&ablations::irq_distribution()));
+    println!("=== VHE projection ===");
+    println!("{}", ablations::render_vhe(&ablations::vhe()));
+    println!("=== Zero copy ===");
+    println!("{}", ablations::render_zero_copy(&ablations::zero_copy()));
+}

@@ -1,0 +1,147 @@
+//! `hvx-repro` — one-command reproduction of every artifact in the
+//! paper, with optional JSON export.
+//!
+//! ```text
+//! hvx-repro [--json DIR] [ARTIFACT...]
+//!
+//! ARTIFACTs: table2 table3 table5 fig4 irq vhe zerocopy link vapic
+//!            oversub all   (default: all)
+//! ```
+
+use hvx_suite::{ablations, fig4, micro, netperf, table3};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+struct Args {
+    json_dir: Option<PathBuf>,
+    artifacts: BTreeSet<String>,
+}
+
+const ALL: [&str; 11] = [
+    "table2", "table3", "table5", "fig4", "irq", "vhe", "zerocopy", "link", "vapic", "oversub",
+    "storage",
+];
+
+fn parse_args() -> Result<Args, String> {
+    let mut json_dir = None;
+    let mut artifacts = BTreeSet::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let dir = it.next().ok_or("--json requires a directory")?;
+                json_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: hvx-repro [--json DIR] [ARTIFACT...]\nartifacts: {} all",
+                    ALL.join(" ")
+                ));
+            }
+            "all" => artifacts.extend(ALL.iter().map(|s| s.to_string())),
+            a if ALL.contains(&a) => {
+                artifacts.insert(a.to_string());
+            }
+            other => return Err(format!("unknown artifact '{other}'; try --help")),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts.extend(ALL.iter().map(|s| s.to_string()));
+    }
+    Ok(Args {
+        json_dir,
+        artifacts,
+    })
+}
+
+fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+    let Some(dir) = dir else { return };
+    std::fs::create_dir_all(dir).expect("create json dir");
+    let path = dir.join(format!("{name}.json"));
+    let data = serde_json::to_string_pretty(value).expect("serialize");
+    std::fs::write(&path, data).expect("write json");
+    eprintln!("wrote {}", path.display());
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let want = |name: &str| args.artifacts.contains(name);
+
+    println!("hvx — reproducing \"ARM Virtualization: Performance and Architectural");
+    println!("Implications\" (ISCA 2016) on the simulator. Paper values in parentheses.\n");
+
+    if want("table2") {
+        println!("== Table II: microbenchmark cycle counts ==\n");
+        let t = micro::Table2::measure(10);
+        println!("{}", t.render());
+        println!("worst residual: {:.1}%\n", t.worst_error() * 100.0);
+        write_json(&args.json_dir, "table2", &t);
+    }
+    if want("table3") {
+        println!("== Table III: KVM ARM hypercall breakdown ==\n");
+        let t = table3::Table3::measure();
+        println!("{}", t.render());
+        write_json(&args.json_dir, "table3", &t);
+    }
+    if want("table5") {
+        println!("== Table V: netperf TCP_RR decomposition ==\n");
+        let t = netperf::Table5::measure(50);
+        println!("{}", t.render());
+        write_json(&args.json_dir, "table5", &t);
+    }
+    if want("fig4") {
+        println!("{}", hvx_suite::workloads::render_table4());
+        println!("== Figure 4: application benchmarks ==\n");
+        let f = fig4::Figure4::measure();
+        println!("{}", f.render());
+        write_json(&args.json_dir, "fig4", &f);
+    }
+    if want("irq") {
+        println!("== Section V: interrupt-distribution ablation ==\n");
+        let rows = ablations::irq_distribution();
+        println!("{}", ablations::render_irq_distribution(&rows));
+        write_json(&args.json_dir, "irq_distribution", &rows);
+    }
+    if want("vhe") {
+        println!("== Section VI: VHE projection ==\n");
+        let p = ablations::vhe();
+        println!("{}", ablations::render_vhe(&p));
+        write_json(&args.json_dir, "vhe", &p);
+    }
+    if want("zerocopy") {
+        println!("== Section V: zero-copy trade ==\n");
+        let z = ablations::zero_copy();
+        println!("{}", ablations::render_zero_copy(&z));
+        write_json(&args.json_dir, "zero_copy", &z);
+    }
+    if want("link") {
+        println!("== Section III: link-speed observation ==\n");
+        let l = ablations::link_speed();
+        println!("{}", ablations::render_link_speed(&l));
+        write_json(&args.json_dir, "link_speed", &l);
+    }
+    if want("vapic") {
+        println!("== Section IV: vAPIC note ==\n");
+        let v = ablations::vapic();
+        println!("{}", ablations::render_vapic(&v));
+        write_json(&args.json_dir, "vapic", &v);
+    }
+    if want("storage") {
+        println!("== Section III devices: storage ablation ==\n");
+        let st = ablations::storage();
+        println!("{}", ablations::render_storage(&st));
+        write_json(&args.json_dir, "storage", &st);
+    }
+    if want("oversub") {
+        println!("== Table I motivation: oversubscription sweep ==\n");
+        let o = ablations::oversubscription();
+        println!("{}", ablations::render_oversubscription(&o));
+        write_json(&args.json_dir, "oversubscription", &o);
+    }
+}

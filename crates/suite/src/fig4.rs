@@ -1,0 +1,235 @@
+//! Figure 4: normalized application performance for all four measured
+//! configurations.
+
+use crate::paper::{self, TargetSource};
+use crate::workloads::{self, Workload};
+use hvx_core::{CostModel, Hypervisor, HvKind, KvmArm, KvmX86, Native, VirqPolicy, XenArm, XenX86};
+use serde::Serialize;
+
+/// One reproduced Figure 4 bar.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Bar {
+    /// Configuration.
+    pub hv: HvKind,
+    /// Measured normalized overhead (1.0 = native; `None` when the
+    /// configuration cannot run the workload, mirroring the paper's
+    /// missing Apache/Xen-x86 bar).
+    pub measured: Option<f64>,
+    /// Paper target and its provenance.
+    pub paper: (f64, TargetSource),
+}
+
+/// One bar group (a workload).
+#[derive(Debug, Clone, Serialize)]
+pub struct BarGroup {
+    /// The workload.
+    pub workload: Workload,
+    /// The four bars in column order.
+    pub bars: Vec<Bar>,
+}
+
+/// The reproduced figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure4 {
+    /// One group per workload.
+    pub groups: Vec<BarGroup>,
+}
+
+fn build(kind: HvKind) -> Box<dyn Hypervisor> {
+    match kind {
+        HvKind::KvmArm => Box::new(KvmArm::new()),
+        HvKind::XenArm => Box::new(XenArm::new()),
+        HvKind::KvmX86 => Box::new(KvmX86::new()),
+        HvKind::XenX86 => Box::new(XenX86::new()),
+        HvKind::KvmArmVhe => Box::new(KvmArm::new_vhe()),
+        HvKind::Native => Box::new(Native::new()),
+    }
+}
+
+fn native_for(kind: HvKind) -> Native {
+    match kind.platform() {
+        hvx_core::Platform::X86 => Native::with_cost(CostModel::x86()),
+        _ => Native::new(),
+    }
+}
+
+/// Measures one workload on one configuration (against its platform's
+/// native baseline). Returns `None` for the paper's unrunnable
+/// combination (Apache on Xen x86 — Dom0 kernel panic, §V).
+pub fn measure_bar(workload: &Workload, kind: HvKind, policy: VirqPolicy) -> Option<f64> {
+    if workload.name == "Apache" && kind == HvKind::XenX86 {
+        return None;
+    }
+    let mut hv = build(kind);
+    let mut native = native_for(kind);
+    Some(workloads::overhead(
+        hv.as_mut(),
+        &mut native,
+        workload.mix,
+        policy,
+    ))
+}
+
+impl Figure4 {
+    /// Reproduces the full figure (36 bars, one missing).
+    pub fn measure() -> Figure4 {
+        let cat = workloads::catalog();
+        let mut groups = Vec::new();
+        for (wi, w) in cat.iter().enumerate() {
+            let targets = paper::FIG4[wi];
+            debug_assert_eq!(targets.workload, w.name);
+            let mut bars = Vec::new();
+            for (ci, kind) in paper::COLUMNS.into_iter().enumerate() {
+                bars.push(Bar {
+                    hv: kind,
+                    measured: measure_bar(w, kind, VirqPolicy::Vcpu0),
+                    paper: targets.bars[ci],
+                });
+            }
+            groups.push(BarGroup { workload: *w, bars });
+        }
+        Figure4 { groups }
+    }
+
+    /// Renders the figure as a table plus ASCII bars.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14}{:>22}{:>22}{:>22}{:>22}\n",
+            "Workload", "KVM ARM", "Xen ARM", "KVM x86", "Xen x86"
+        ));
+        out.push_str(&format!(
+            "{:<14}{:>22}{:>22}{:>22}{:>22}\n",
+            "", "meas (paper)", "meas (paper)", "meas (paper)", "meas (paper)"
+        ));
+        out.push_str(&"-".repeat(14 + 4 * 22));
+        out.push('\n');
+        for g in &self.groups {
+            out.push_str(&format!("{:<14}", g.workload.name));
+            for b in &g.bars {
+                let cell = match (b.measured, b.paper.1) {
+                    (None, _) | (_, TargetSource::Unavailable) => "n/a (n/a)".to_string(),
+                    (Some(m), src) => {
+                        let tag = if src == TargetSource::Estimated { "est." } else { "" };
+                        format!("{m:.2} ({:.2}{tag})", b.paper.0)
+                    }
+                };
+                out.push_str(&format!("{cell:>22}"));
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+        out.push_str("Normalized overhead, 1.0 = native (lower is better):\n");
+        for g in &self.groups {
+            out.push_str(&format!("{}\n", g.workload.name));
+            for b in &g.bars {
+                match b.measured {
+                    Some(m) => {
+                        let len = (m * 20.0).round() as usize;
+                        out.push_str(&format!(
+                            "  {:<9} {:5.2} |{}\n",
+                            b.hv.to_string(),
+                            m,
+                            "#".repeat(len.min(100))
+                        ));
+                    }
+                    None => out.push_str(&format!("  {:<9}   n/a |\n", b.hv.to_string())),
+                }
+            }
+        }
+        out
+    }
+
+    /// Worst absolute deviation from a verbatim (non-estimated) paper
+    /// target.
+    pub fn worst_verbatim_error(&self) -> f64 {
+        self.groups
+            .iter()
+            .flat_map(|g| g.bars.iter())
+            .filter(|b| b.paper.1 == TargetSource::Verbatim)
+            .filter_map(|b| b.measured.map(|m| (m - b.paper.0).abs()))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apache_xen_x86_is_unavailable_like_the_paper() {
+        let w = workloads::catalog()
+            .into_iter()
+            .find(|w| w.name == "Apache")
+            .unwrap();
+        assert!(measure_bar(&w, HvKind::XenX86, VirqPolicy::Vcpu0).is_none());
+        assert!(measure_bar(&w, HvKind::KvmX86, VirqPolicy::Vcpu0).is_some());
+    }
+
+    #[test]
+    fn verbatim_targets_reproduce_within_tolerance() {
+        let fig = Figure4::measure();
+        for g in &fig.groups {
+            for b in &g.bars {
+                let (target, src) = b.paper;
+                let Some(m) = b.measured else { continue };
+                match src {
+                    TargetSource::Verbatim => assert!(
+                        (m - target).abs() <= 0.35,
+                        "{} {}: measured {m:.2} vs verbatim {target:.2}",
+                        g.workload.name,
+                        b.hv
+                    ),
+                    TargetSource::Estimated => assert!(
+                        (m - target).abs() <= 0.45,
+                        "{} {}: measured {m:.2} vs estimated {target:.2}",
+                        g.workload.name,
+                        b.hv
+                    ),
+                    TargetSource::Unavailable => {}
+                }
+            }
+        }
+        assert!(fig.worst_verbatim_error() <= 0.35);
+    }
+
+    #[test]
+    fn who_wins_matches_the_paper_everywhere() {
+        // The headline shape claims of §V, checked bar by bar.
+        let fig = Figure4::measure();
+        let get = |w: &str, hv: HvKind| {
+            fig.groups
+                .iter()
+                .find(|g| g.workload.name == w)
+                .and_then(|g| g.bars.iter().find(|b| b.hv == hv))
+                .and_then(|b| b.measured)
+                .unwrap()
+        };
+        // KVM ARM meets or exceeds Xen ARM on every I/O workload.
+        for w in ["TCP_RR", "TCP_STREAM", "TCP_MAERTS", "Apache", "Memcached", "MySQL"] {
+            assert!(
+                get(w, HvKind::KvmArm) < get(w, HvKind::XenArm),
+                "{w}: KVM ARM should beat Xen ARM"
+            );
+        }
+        // Xen wins (slightly) on Hackbench thanks to fast virtual IPIs.
+        assert!(get("Hackbench", HvKind::XenArm) < get("Hackbench", HvKind::KvmArm));
+        // ARM hypervisors achieve similar or lower overhead than x86
+        // counterparts on CPU-bound work (within a few points).
+        assert!(get("Kernbench", HvKind::KvmArm) < get("Kernbench", HvKind::KvmX86) + 0.06);
+        // Xen's STREAM overhead is architecture-independent (the I/O
+        // model, not the hardware, is the cause).
+        assert!((get("TCP_STREAM", HvKind::XenArm) - get("TCP_STREAM", HvKind::XenX86)).abs() < 0.4);
+    }
+
+    #[test]
+    fn render_has_all_nine_groups() {
+        // Use a reduced measure for speed: rendering path only.
+        let fig = Figure4::measure();
+        let s = fig.render();
+        for name in ["Kernbench", "TCP_STREAM", "MySQL"] {
+            assert!(s.contains(name));
+        }
+        assert_eq!(fig.groups.len(), 9);
+    }
+}

@@ -1,0 +1,27 @@
+//! # hvx-suite — the paper's benchmark suite over the hvx models
+//!
+//! Reproduces every quantitative artifact of *"ARM Virtualization:
+//! Performance and Architectural Implications"* (ISCA 2016):
+//!
+//! * [`micro`] — the seven Table I microbenchmarks and the Table II
+//!   runner ([`micro::Table2`]);
+//! * [`table3`] — the KVM ARM hypercall save/restore breakdown,
+//!   regenerated from the transition trace;
+//! * [`netperf`] — netperf TCP_RR with the Table V latency
+//!   decomposition extracted from trace instants;
+//! * [`workloads`] / [`fig4`] — the nine Figure 4 application workloads
+//!   as operation mixes with emergent overheads;
+//! * [`ablations`] — the §V interrupt-distribution ablation, the §V
+//!   zero-copy analysis, and the §VI VHE projection;
+//! * [`paper`] — the published numbers every report compares against.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod fig4;
+pub mod micro;
+pub mod netperf;
+pub mod paper;
+pub mod table3;
+pub mod workloads;

@@ -1,0 +1,124 @@
+//! Error type for the paravirtual I/O substrate.
+
+use core::fmt;
+use hvx_mem::{GrantError, MemError, Stage2Fault};
+
+/// Errors from virtqueue, vhost, event-channel, and Xen PV operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VioError {
+    /// Virtqueue size must be a nonzero power of two.
+    BadQueueSize {
+        /// The rejected size.
+        size: u16,
+    },
+    /// No free descriptors for the requested chain.
+    QueueFull,
+    /// A descriptor chain must contain at least one buffer.
+    EmptyChain,
+    /// A descriptor index did not name a live descriptor.
+    BadDescriptor {
+        /// The offending index.
+        index: u16,
+    },
+    /// No receive buffer was posted — the packet is dropped (§V's
+    /// netback must wait for DomU to replenish RX grants).
+    NoRxBuffer,
+    /// The posted buffer is too small for the packet.
+    BufferTooSmall {
+        /// Packet length.
+        need: usize,
+        /// Buffer capacity.
+        have: usize,
+    },
+    /// Stage-2 translation of a guest buffer failed.
+    Translation(Stage2Fault),
+    /// Physical memory access failed.
+    Mem(MemError),
+    /// Grant-table operation failed.
+    Grant(GrantError),
+    /// Event-channel port does not exist or is unbound.
+    BadPort {
+        /// The offending port number.
+        port: u32,
+    },
+    /// The notifying domain is not an endpoint of the channel.
+    NotEndpoint,
+}
+
+impl fmt::Display for VioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VioError::BadQueueSize { size } => {
+                write!(f, "virtqueue size {size} is not a nonzero power of two")
+            }
+            VioError::QueueFull => write!(f, "virtqueue has no free descriptors"),
+            VioError::EmptyChain => write!(f, "descriptor chain is empty"),
+            VioError::BadDescriptor { index } => write!(f, "descriptor {index} is not live"),
+            VioError::NoRxBuffer => write!(f, "no receive buffer posted"),
+            VioError::BufferTooSmall { need, have } => {
+                write!(f, "buffer too small: need {need}, have {have}")
+            }
+            VioError::Translation(e) => write!(f, "guest buffer translation failed: {e}"),
+            VioError::Mem(e) => write!(f, "memory access failed: {e}"),
+            VioError::Grant(e) => write!(f, "grant operation failed: {e}"),
+            VioError::BadPort { port } => write!(f, "event channel port {port} is not bound"),
+            VioError::NotEndpoint => write!(f, "domain is not an endpoint of the channel"),
+        }
+    }
+}
+
+impl std::error::Error for VioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VioError::Translation(e) => Some(e),
+            VioError::Mem(e) => Some(e),
+            VioError::Grant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<Stage2Fault> for VioError {
+    fn from(e: Stage2Fault) -> Self {
+        VioError::Translation(e)
+    }
+}
+
+impl From<MemError> for VioError {
+    fn from(e: MemError) -> Self {
+        VioError::Mem(e)
+    }
+}
+
+impl From<GrantError> for VioError {
+    fn from(e: GrantError) -> Self {
+        VioError::Grant(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvx_mem::Ipa;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(VioError::QueueFull.to_string().contains("free"));
+        assert!(VioError::BadPort { port: 5 }.to_string().contains('5'));
+        let t = VioError::from(Stage2Fault::Translation {
+            ipa: Ipa::new(0x1000),
+            level: 3,
+        });
+        assert!(t.to_string().contains("0x1000"));
+    }
+
+    #[test]
+    fn source_chains_to_inner_errors() {
+        use std::error::Error;
+        let e = VioError::from(MemError::OutOfRange {
+            pa: hvx_mem::Pa::new(1),
+        });
+        assert!(e.source().is_some());
+        assert!(VioError::QueueFull.source().is_none());
+    }
+}

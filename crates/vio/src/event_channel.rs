@@ -1,0 +1,244 @@
+//! Xen event channels — the asynchronous notification fabric between
+//! domains.
+//!
+//! When a Xen VM performs I/O "it involves trapping to the hypervisor,
+//! signaling Dom0, scheduling Dom0, and handling the I/O request in Dom0"
+//! (§II). The "signaling" step is an event channel: a port pair bound
+//! between two domains; notifying one end sets a pending bit for the
+//! peer, which Xen turns into a virtual interrupt (and, if the peer runs
+//! on another PCPU, a physical IPI — the cost §IV charges to I/O Latency
+//! Out).
+
+use crate::VioError;
+use hvx_mem::DomId;
+use std::collections::BTreeSet;
+
+/// An event-channel port number (global in this model; real Xen ports
+/// are per-domain, a bookkeeping difference only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Port(pub u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Channel {
+    a: DomId,
+    b: DomId,
+}
+
+/// The hypervisor's event-channel table plus per-domain pending/mask
+/// state.
+///
+/// # Examples
+///
+/// ```
+/// use hvx_mem::DomId;
+/// use hvx_vio::EventChannels;
+///
+/// let mut ec = EventChannels::new();
+/// let port = ec.bind_interdomain(DomId(1), DomId::DOM0)?;
+/// // DomU kicks its TX ring:
+/// let peer = ec.notify(port, DomId(1))?;
+/// assert_eq!(peer, DomId::DOM0);
+/// assert_eq!(ec.pending_ports(DomId::DOM0), vec![port]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventChannels {
+    channels: Vec<Option<Channel>>,
+    /// Pending ports per domain id (sparse).
+    pending: Vec<BTreeSet<Port>>,
+    masked: Vec<BTreeSet<Port>>,
+    notifications: u64,
+}
+
+impl EventChannels {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        EventChannels::default()
+    }
+
+    fn dom_slot(&mut self, dom: DomId) -> usize {
+        let idx = dom.0 as usize;
+        while self.pending.len() <= idx {
+            self.pending.push(BTreeSet::new());
+            self.masked.push(BTreeSet::new());
+        }
+        idx
+    }
+
+    /// Binds a new channel between two domains, returning its port.
+    ///
+    /// # Errors
+    ///
+    /// None currently; `Result` reserved for per-domain port quotas.
+    pub fn bind_interdomain(&mut self, a: DomId, b: DomId) -> Result<Port, VioError> {
+        self.dom_slot(a);
+        self.dom_slot(b);
+        let port = Port(self.channels.len() as u32);
+        self.channels.push(Some(Channel { a, b }));
+        Ok(port)
+    }
+
+    /// Closes a channel.
+    ///
+    /// # Errors
+    ///
+    /// [`VioError::BadPort`] for an unknown or already-closed port.
+    pub fn close(&mut self, port: Port) -> Result<(), VioError> {
+        let slot = self
+            .channels
+            .get_mut(port.0 as usize)
+            .ok_or(VioError::BadPort { port: port.0 })?;
+        if slot.take().is_none() {
+            return Err(VioError::BadPort { port: port.0 });
+        }
+        for p in &mut self.pending {
+            p.remove(&port);
+        }
+        for m in &mut self.masked {
+            m.remove(&port);
+        }
+        Ok(())
+    }
+
+    fn channel(&self, port: Port) -> Result<Channel, VioError> {
+        self.channels
+            .get(port.0 as usize)
+            .copied()
+            .flatten()
+            .ok_or(VioError::BadPort { port: port.0 })
+    }
+
+    /// Notifies the channel from `sender`'s side; the peer's pending bit
+    /// is set (unless masked) and the peer domain is returned so the
+    /// hypervisor can raise its event virtual interrupt.
+    ///
+    /// # Errors
+    ///
+    /// [`VioError::BadPort`] / [`VioError::NotEndpoint`].
+    pub fn notify(&mut self, port: Port, sender: DomId) -> Result<DomId, VioError> {
+        let ch = self.channel(port)?;
+        let peer = if ch.a == sender {
+            ch.b
+        } else if ch.b == sender {
+            ch.a
+        } else {
+            return Err(VioError::NotEndpoint);
+        };
+        let slot = self.dom_slot(peer);
+        if !self.masked[slot].contains(&port) {
+            self.pending[slot].insert(port);
+        }
+        self.notifications += 1;
+        Ok(peer)
+    }
+
+    /// Ports pending for `dom`, in ascending order.
+    pub fn pending_ports(&self, dom: DomId) -> Vec<Port> {
+        self.pending
+            .get(dom.0 as usize)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns `true` if `dom` has any pending port.
+    pub fn has_pending(&self, dom: DomId) -> bool {
+        self.pending
+            .get(dom.0 as usize)
+            .is_some_and(|s| !s.is_empty())
+    }
+
+    /// Clears a pending port (the domain's event handler consumed it).
+    /// Returns whether it was pending.
+    pub fn clear_pending(&mut self, dom: DomId, port: Port) -> bool {
+        let slot = self.dom_slot(dom);
+        self.pending[slot].remove(&port)
+    }
+
+    /// Masks a port for `dom` — notifications are dropped while masked.
+    pub fn mask(&mut self, dom: DomId, port: Port) {
+        let slot = self.dom_slot(dom);
+        self.masked[slot].insert(port);
+    }
+
+    /// Unmasks a port for `dom`.
+    pub fn unmask(&mut self, dom: DomId, port: Port) {
+        let slot = self.dom_slot(dom);
+        self.masked[slot].remove(&port);
+    }
+
+    /// Total notifications delivered (for trace assertions).
+    pub fn notification_count(&self) -> u64 {
+        self.notifications
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOMU: DomId = DomId(1);
+
+    #[test]
+    fn notify_sets_peer_pending_bidirectionally() {
+        let mut ec = EventChannels::new();
+        let port = ec.bind_interdomain(DOMU, DomId::DOM0).unwrap();
+        assert_eq!(ec.notify(port, DOMU).unwrap(), DomId::DOM0);
+        assert!(ec.has_pending(DomId::DOM0));
+        assert!(!ec.has_pending(DOMU));
+        assert!(ec.clear_pending(DomId::DOM0, port));
+        // Reverse direction.
+        assert_eq!(ec.notify(port, DomId::DOM0).unwrap(), DOMU);
+        assert_eq!(ec.pending_ports(DOMU), vec![port]);
+    }
+
+    #[test]
+    fn non_endpoint_cannot_notify() {
+        let mut ec = EventChannels::new();
+        let port = ec.bind_interdomain(DOMU, DomId::DOM0).unwrap();
+        assert_eq!(ec.notify(port, DomId(9)), Err(VioError::NotEndpoint));
+    }
+
+    #[test]
+    fn masked_port_drops_notifications() {
+        let mut ec = EventChannels::new();
+        let port = ec.bind_interdomain(DOMU, DomId::DOM0).unwrap();
+        ec.mask(DomId::DOM0, port);
+        ec.notify(port, DOMU).unwrap();
+        assert!(!ec.has_pending(DomId::DOM0), "masked: bit not set");
+        ec.unmask(DomId::DOM0, port);
+        ec.notify(port, DOMU).unwrap();
+        assert!(ec.has_pending(DomId::DOM0));
+    }
+
+    #[test]
+    fn close_invalidates_port() {
+        let mut ec = EventChannels::new();
+        let port = ec.bind_interdomain(DOMU, DomId::DOM0).unwrap();
+        ec.notify(port, DOMU).unwrap();
+        ec.close(port).unwrap();
+        assert!(!ec.has_pending(DomId::DOM0), "pending cleared on close");
+        assert_eq!(ec.notify(port, DOMU), Err(VioError::BadPort { port: 0 }));
+        assert_eq!(ec.close(port), Err(VioError::BadPort { port: 0 }));
+    }
+
+    #[test]
+    fn multiple_channels_have_distinct_ports() {
+        let mut ec = EventChannels::new();
+        let p1 = ec.bind_interdomain(DOMU, DomId::DOM0).unwrap();
+        let p2 = ec.bind_interdomain(DomId(2), DomId::DOM0).unwrap();
+        assert_ne!(p1, p2);
+        ec.notify(p1, DOMU).unwrap();
+        ec.notify(p2, DomId(2)).unwrap();
+        assert_eq!(ec.pending_ports(DomId::DOM0), vec![p1, p2]);
+        assert_eq!(ec.notification_count(), 2);
+    }
+
+    #[test]
+    fn clear_of_clean_port_returns_false() {
+        let mut ec = EventChannels::new();
+        let port = ec.bind_interdomain(DOMU, DomId::DOM0).unwrap();
+        assert!(!ec.clear_pending(DomId::DOM0, port));
+    }
+}

@@ -1,0 +1,38 @@
+//! # hvx-vio — paravirtual I/O substrate for the hvx simulator
+//!
+//! The two virtual I/O stacks whose contrast drives the application
+//! results of *"ARM Virtualization: Performance and Architectural
+//! Implications"* (ISCA 2016):
+//!
+//! * **Virtio/VHOST** (KVM): [`Virtqueue`] descriptor rings carrying IPA
+//!   pointers, consumed by the in-kernel [`VhostNet`] backend which has
+//!   the machine's full Stage-2 view of guest memory — the zero-copy
+//!   path.
+//! * **Xen PV**: [`EventChannels`] for notification, plus
+//!   [`NetFront`]/[`NetBack`] shared-ring networking over grant tables —
+//!   one mandatory data copy per packet in each direction, or a
+//!   TLB-shootdown-per-packet mapped variant.
+//!
+//! Plus the hardware at the edges: [`Nic`] and the 10 GbE [`Wire`].
+//! All state is functional; costs are charged by `hvx-core`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod blk;
+mod error;
+mod event_channel;
+mod nic;
+mod packet;
+mod vhost;
+mod virtqueue;
+mod xen_net;
+
+pub use blk::{BlkOp, BlkRequest, Disk, VirtioBlkBackend, XenBlkBackend, XenBlkRequest, SECTOR_SIZE};
+pub use error::VioError;
+pub use event_channel::{EventChannels, Port};
+pub use nic::Nic;
+pub use packet::{Packet, Wire};
+pub use vhost::{translate_guest_buffer, VhostNet};
+pub use virtqueue::{DescChain, Descriptor, Virtqueue};
+pub use xen_net::{NetBack, NetFront, RxRequest, RxResponse, TxRequest, TxResponse, XenNetRing};

@@ -1,0 +1,107 @@
+//! The physical NIC model.
+//!
+//! A dual-port Mellanox 10 GbE adapter in the paper; here, a queue pair
+//! with an SPI interrupt line. The NIC is deliberately dumb: DMA and
+//! interrupt *costs* are charged by the hypervisor models, and the wire
+//! itself is [`crate::Wire`].
+
+use crate::Packet;
+use hvx_gic::IntId;
+use std::collections::VecDeque;
+
+/// A physical network interface.
+///
+/// # Examples
+///
+/// ```
+/// use hvx_gic::IntId;
+/// use hvx_vio::{Nic, Packet};
+///
+/// let mut nic = Nic::new(IntId::spi(43));
+/// nic.receive_from_wire(Packet::new(0, &b"hi"[..]));
+/// assert!(nic.has_rx());
+/// assert_eq!(nic.take_rx().unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nic {
+    irq: IntId,
+    rx_queue: VecDeque<Packet>,
+    tx_count: u64,
+    rx_count: u64,
+}
+
+impl Nic {
+    /// Creates a NIC raising `irq` on packet reception.
+    pub fn new(irq: IntId) -> Self {
+        Nic {
+            irq,
+            rx_queue: VecDeque::new(),
+            tx_count: 0,
+            rx_count: 0,
+        }
+    }
+
+    /// The SPI this NIC asserts.
+    pub fn irq(&self) -> IntId {
+        self.irq
+    }
+
+    /// Transmits a packet onto the wire (returns it for the wire model to
+    /// carry; the NIC just counts).
+    pub fn transmit(&mut self, packet: Packet) -> Packet {
+        self.tx_count += 1;
+        packet
+    }
+
+    /// A packet arrived from the wire; it queues until the driver reads
+    /// it. The caller should raise [`Nic::irq`] on the machine's
+    /// interrupt controller.
+    pub fn receive_from_wire(&mut self, packet: Packet) {
+        self.rx_count += 1;
+        self.rx_queue.push_back(packet);
+    }
+
+    /// Returns `true` if received packets await the driver.
+    pub fn has_rx(&self) -> bool {
+        !self.rx_queue.is_empty()
+    }
+
+    /// Driver-side: takes the next received packet.
+    pub fn take_rx(&mut self) -> Option<Packet> {
+        self.rx_queue.pop_front()
+    }
+
+    /// Packets transmitted.
+    pub fn tx_count(&self) -> u64 {
+        self.tx_count
+    }
+
+    /// Packets received.
+    pub fn rx_count(&self) -> u64 {
+        self.rx_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rx_queue_is_fifo() {
+        let mut nic = Nic::new(IntId::spi(43));
+        nic.receive_from_wire(Packet::new(1, &b"a"[..]));
+        nic.receive_from_wire(Packet::new(2, &b"b"[..]));
+        assert_eq!(nic.take_rx().unwrap().id, 1);
+        assert_eq!(nic.take_rx().unwrap().id, 2);
+        assert!(nic.take_rx().is_none());
+        assert_eq!(nic.rx_count(), 2);
+    }
+
+    #[test]
+    fn transmit_counts() {
+        let mut nic = Nic::new(IntId::spi(43));
+        nic.transmit(Packet::new(0, &b"x"[..]));
+        assert_eq!(nic.tx_count(), 1);
+        assert_eq!(nic.irq(), IntId::spi(43));
+    }
+}

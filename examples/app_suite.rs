@@ -1,0 +1,16 @@
+//! Reproduces Figure 4: normalized performance of the nine application
+//! workloads on all four configurations, plus the §V interrupt
+//! distribution ablation.
+//!
+//! Run with: `cargo run --release --example app_suite`
+
+use hvx::suite::{ablations, fig4::Figure4};
+
+fn main() {
+    println!("Figure 4: application benchmark performance (normalized to native)\n");
+    let fig = Figure4::measure();
+    println!("{}", fig.render());
+    println!("Section V ablation: distributing virtual interrupts across VCPUs\n");
+    let rows = ablations::irq_distribution();
+    println!("{}", ablations::render_irq_distribution(&rows));
+}

@@ -1,0 +1,20 @@
+//! Reproduces Table II: the seven microbenchmarks on all four measured
+//! configurations, with the paper's numbers and residuals alongside.
+//!
+//! Run with: `cargo run --release --example microbench_table`
+
+use hvx::suite::micro::{Micro, Table2};
+
+fn main() {
+    println!("Table I: microbenchmark definitions\n");
+    for m in Micro::ALL {
+        println!("{m}:\n  {}\n", m.description());
+    }
+    println!("Table II: measurements (cycle counts)\n");
+    let table = Table2::measure(10);
+    println!("{}", table.render());
+    println!(
+        "Worst residual vs the paper: {:.1}%",
+        table.worst_error() * 100.0
+    );
+}

@@ -1,0 +1,16 @@
+//! Reproduces the §VI projection: what the ARMv8.1 Virtualization Host
+//! Extensions do to KVM ARM's transition costs and I/O workloads, and
+//! the zero-copy analysis behind Xen's I/O model.
+//!
+//! Run with: `cargo run --release --example vhe_projection`
+
+use hvx::suite::ablations;
+
+fn main() {
+    println!("Section VI: Virtualization Host Extensions projection\n");
+    let p = ablations::vhe();
+    println!("{}", ablations::render_vhe(&p));
+    println!("Section V: the zero-copy trade\n");
+    let z = ablations::zero_copy();
+    println!("{}", ablations::render_zero_copy(&z));
+}

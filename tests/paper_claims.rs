@@ -1,0 +1,209 @@
+//! Integration tests asserting the paper's cross-cutting claims on the
+//! assembled system — each test cites the section it reproduces.
+
+use hvx::core::{Hypervisor, KvmArm, KvmX86, Native, VirqPolicy, XenArm, XenX86};
+use hvx::engine::Cycles;
+
+fn all_measured() -> Vec<Box<dyn Hypervisor>> {
+    vec![
+        Box::new(KvmArm::new()),
+        Box::new(XenArm::new()),
+        Box::new(KvmX86::new()),
+        Box::new(XenX86::new()),
+    ]
+}
+
+#[test]
+fn abstract_claim_type1_transitions_much_faster_on_arm() {
+    // "Type 1 hypervisors, such as Xen, can transition between the VM
+    // and the hypervisor much faster than Type 2 hypervisors, such as
+    // KVM, on ARM."
+    let k = KvmArm::new().hypercall(0);
+    let x = XenArm::new().hypercall(0);
+    assert!(k > x * 10, "{k} vs {x}");
+}
+
+#[test]
+fn abstract_claim_arm_type1_faster_than_x86() {
+    // "ARM can enable significantly faster transitions between the VM
+    // and a Type 1 hypervisor compared to x86."
+    let arm = XenArm::new().hypercall(0);
+    let x86 = XenX86::new().hypercall(0);
+    assert!(arm * 3 < x86, "{arm} vs {x86}");
+}
+
+#[test]
+fn abstract_claim_arm_type2_slower_than_x86() {
+    // "Type 2 hypervisors such as KVM, incur much higher overhead on
+    // ARM for VM-to-hypervisor transitions compared to x86."
+    let arm = KvmArm::new().hypercall(0);
+    let x86 = KvmX86::new().hypercall(0);
+    assert!(arm > x86 * 4, "{arm} vs {x86}");
+}
+
+#[test]
+fn abstract_claim_vm_switch_roughly_equal_on_arm() {
+    // "for some more complicated hypervisor operations, such as
+    // switching between VMs, Type 1 and Type 2 hypervisors perform
+    // equally fast on ARM."
+    let k = KvmArm::new().vm_switch().as_f64();
+    let x = XenArm::new().vm_switch().as_f64();
+    let ratio = k / x;
+    assert!((0.8..1.4).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn section4_xen_wins_interrupt_benchmarks_by_hypercall_margin() {
+    // "Xen ARM is faster than KVM ARM by roughly the same difference as
+    // for the Hypercall microbenchmark."
+    let mut kvm = KvmArm::new();
+    let mut xen = XenArm::new();
+    let hc_gap = kvm.hypercall(0).as_f64() - xen.hypercall(0).as_f64();
+    kvm.machine_mut().barrier();
+    xen.machine_mut().barrier();
+    let ict_gap = kvm.gicd_trap(0).as_f64() - xen.gicd_trap(0).as_f64();
+    assert!((ict_gap / hc_gap - 1.0).abs() < 0.1, "{ict_gap} vs {hc_gap}");
+}
+
+#[test]
+fn section4_arm_completes_virtual_irqs_without_trapping_x86_does_not() {
+    // Virtual IRQ Completion: 71 on both ARM hypervisors (no trap),
+    // ~1.5k on both x86 hypervisors (EOI exit).
+    for mut hv in all_measured() {
+        let c = hv.virq_complete(0);
+        match hv.kind().platform() {
+            hvx::core::Platform::Arm => assert_eq!(c, Cycles::new(71), "{}", hv.kind()),
+            hvx::core::Platform::X86 => {
+                assert!(c > Cycles::new(1_000), "{}: {c}", hv.kind())
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn section4_xen_loses_both_io_latency_benchmarks_on_arm() {
+    // "a surprising result is that Xen ARM is slower than KVM ARM in
+    // both directions."
+    let mut kvm = KvmArm::new();
+    let mut xen = XenArm::new();
+    assert!(xen.io_latency_out(0) > kvm.io_latency_out(0));
+    kvm.machine_mut().barrier();
+    xen.machine_mut().barrier();
+    assert!(xen.io_latency_in(0) > kvm.io_latency_in(0));
+}
+
+#[test]
+fn section4_kvm_x86_io_out_is_fastest_of_all() {
+    // "It is interesting to note that KVM x86 is much faster than
+    // everything else on I/O Latency Out."
+    let kvm_x86 = KvmX86::new().io_latency_out(0);
+    for mut hv in [
+        Box::new(KvmArm::new()) as Box<dyn Hypervisor>,
+        Box::new(XenArm::new()),
+        Box::new(XenX86::new()),
+    ] {
+        assert!(hv.io_latency_out(0) > kvm_x86 * 5, "{}", hv.kind());
+    }
+}
+
+#[test]
+fn section4_kvm_arm_exit_dearer_than_entry_unlike_x86() {
+    // "On ARM, it is much more expensive to transition from the VM to
+    // the hypervisor than from the hypervisor to the VM, because
+    // reading back the VGIC state is expensive" — while on x86 the exit
+    // is only ~40% of the round trip.
+    let mut kvm = KvmArm::new();
+    kvm.machine_mut().trace_mut().clear();
+    kvm.hypercall(0);
+    let trace = kvm.machine().trace();
+    let save: u64 = ["save:gp", "save:fp", "save:el1-sys", "save:vgic", "save:timer",
+                     "save:el2-config", "save:el2-vm"]
+        .iter()
+        .map(|l| trace.total_by_label(l).as_u64())
+        .sum();
+    let restore: u64 = ["restore:gp", "restore:fp", "restore:el1-sys", "restore:vgic",
+                        "restore:timer", "restore:el2-config", "restore:el2-vm"]
+        .iter()
+        .map(|l| trace.total_by_label(l).as_u64())
+        .sum();
+    assert!(save > 2 * restore, "save {save} vs restore {restore}");
+}
+
+#[test]
+fn section5_irq_distribution_restores_parity() {
+    // After distributing virqs, KVM and Xen overheads converge (14% vs
+    // 16% in the paper).
+    use hvx::suite::workloads::{self, Mix};
+    let mix = Mix::RequestServer {
+        app_work: 240_000,
+        request_bytes: 170,
+        response_chunks: 10,
+        events_x2: 5,
+        stack_scale_pct: 50,
+        type1_extra_events_x2: 2,
+        requests: 32,
+    };
+    let kvm = workloads::overhead(
+        &mut KvmArm::new(),
+        &mut Native::new(),
+        mix,
+        VirqPolicy::RoundRobin,
+    );
+    let xen = workloads::overhead(
+        &mut XenArm::new(),
+        &mut Native::new(),
+        mix,
+        VirqPolicy::RoundRobin,
+    );
+    assert!((kvm - xen).abs() < 0.15, "post-distribution parity: {kvm} vs {xen}");
+}
+
+#[test]
+fn conclusion_kvm_arm_exceeds_xen_arm_on_io_workloads() {
+    // "KVM ARM actually exceeds the performance of Xen ARM for most
+    // real application workloads involving I/O."
+    use hvx::suite::workloads::{self, Mix};
+    for mix in [
+        Mix::NetRr { transactions: 10 },
+        Mix::StreamRx { chunks: 44, chunk_len: 1_490, bursts: 8, link_mbit: 10_000 },
+    ] {
+        let kvm = workloads::overhead(&mut KvmArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
+        let xen = workloads::overhead(&mut XenArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
+        assert!(kvm < xen, "{mix:?}: {kvm} vs {xen}");
+    }
+}
+
+#[test]
+fn conclusion_arm_hypervisors_similar_overhead_to_x86_counterparts() {
+    // "We show that ARM hypervisors have similar overhead to their x86
+    // counterparts on real applications."
+    use hvx::suite::fig4::Figure4;
+    let fig = Figure4::measure();
+    for g in &fig.groups {
+        let arm_kvm = g.bars[0].measured;
+        let x86_kvm = g.bars[2].measured;
+        if let (Some(a), Some(x)) = (arm_kvm, x86_kvm) {
+            assert!(
+                (a - x).abs() < 0.5,
+                "{}: KVM ARM {a} vs KVM x86 {x}",
+                g.workload.name
+            );
+        }
+    }
+}
+
+#[test]
+fn microbenchmarks_do_not_predict_application_performance() {
+    // The paper's core finding: Xen ARM dominates the transition
+    // microbenchmarks yet loses the I/O application benchmarks.
+    let mut kvm = KvmArm::new();
+    let mut xen = XenArm::new();
+    let micro_winner_is_xen = xen.hypercall(0) < kvm.hypercall(0);
+    assert!(micro_winner_is_xen);
+    use hvx::suite::workloads::{self, Mix};
+    let mix = Mix::StreamRx { chunks: 44, chunk_len: 1_490, bursts: 8, link_mbit: 10_000 };
+    let app_winner_is_kvm = workloads::overhead(&mut KvmArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0)
+        < workloads::overhead(&mut XenArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
+    assert!(app_winner_is_kvm);
+}

@@ -1,0 +1,123 @@
+//! The full workload × configuration matrix: every catalog workload runs
+//! on every hypervisor (including VHE and native) under both interrupt
+//! policies, with sane emergent overheads.
+
+use hvx::core::{CostModel, Hypervisor, KvmArm, KvmX86, Native, VirqPolicy, XenArm, XenX86};
+use hvx::suite::workloads::{self, Mix};
+
+type HvBuilder = fn() -> Box<dyn Hypervisor>;
+
+fn virtualized() -> Vec<(&'static str, HvBuilder)> {
+    vec![
+        ("kvm-arm", || Box::new(KvmArm::new())),
+        ("kvm-arm-vhe", || Box::new(KvmArm::new_vhe())),
+        ("xen-arm", || Box::new(XenArm::new())),
+        ("kvm-x86", || Box::new(KvmX86::new())),
+        ("xen-x86", || Box::new(XenX86::new())),
+    ]
+}
+
+/// Shrinks a mix so the matrix stays fast.
+fn shrink(mix: Mix) -> Mix {
+    match mix {
+        Mix::CpuBound { unit_work, ticks_per_unit, .. } => {
+            Mix::CpuBound { unit_work, ticks_per_unit, units: 8 }
+        }
+        Mix::IpiBound { unit_work, ipis_per_unit, .. } => {
+            Mix::IpiBound { unit_work, ipis_per_unit, units: 8 }
+        }
+        Mix::NetRr { .. } => Mix::NetRr { transactions: 6 },
+        Mix::StreamRx { chunks, chunk_len, link_mbit, .. } => {
+            Mix::StreamRx { chunks, chunk_len, bursts: 6, link_mbit }
+        }
+        Mix::StreamTx { chunks, chunk_len, tso_capped_chunks, link_mbit, .. } => {
+            Mix::StreamTx { chunks, chunk_len, bursts: 6, tso_capped_chunks, link_mbit }
+        }
+        Mix::DiskIo { sectors, device, .. } => {
+            Mix::DiskIo { requests: 6, sectors, device }
+        }
+        Mix::RequestServer {
+            app_work,
+            request_bytes,
+            response_chunks,
+            events_x2,
+            stack_scale_pct,
+            type1_extra_events_x2,
+            ..
+        } => Mix::RequestServer {
+            app_work,
+            request_bytes,
+            response_chunks,
+            events_x2,
+            stack_scale_pct,
+            type1_extra_events_x2,
+            requests: 12,
+        },
+    }
+}
+
+#[test]
+fn every_workload_runs_on_every_configuration() {
+    for w in workloads::catalog() {
+        let mix = shrink(w.mix);
+        for policy in [VirqPolicy::Vcpu0, VirqPolicy::RoundRobin] {
+            for (name, build) in virtualized() {
+                let native_cost = if name.contains("x86") {
+                    CostModel::x86()
+                } else {
+                    CostModel::arm()
+                };
+                let mut hv = build();
+                let mut native = Native::with_cost(native_cost);
+                let oh = workloads::overhead(hv.as_mut(), &mut native, mix, policy);
+                assert!(
+                    (0.85..6.0).contains(&oh),
+                    "{} on {name} ({policy:?}): implausible overhead {oh:.2}",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vhe_never_loses_to_classic_kvm_arm() {
+    // §VI's promise, checked across the entire catalog.
+    for w in workloads::catalog() {
+        let mix = shrink(w.mix);
+        let classic = workloads::overhead(
+            &mut KvmArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
+        let vhe = workloads::overhead(
+            &mut KvmArm::new_vhe(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
+        assert!(
+            vhe <= classic + 0.01,
+            "{}: VHE {vhe:.3} vs classic {classic:.3}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn distribution_never_hurts() {
+    // Spreading interrupts can only relieve the bottleneck core.
+    for w in workloads::catalog() {
+        let mix = shrink(w.mix);
+        for (name, build) in virtualized() {
+            let conc = workloads::run(build().as_mut(), mix, VirqPolicy::Vcpu0);
+            let dist = workloads::run(build().as_mut(), mix, VirqPolicy::RoundRobin);
+            assert!(
+                dist.as_u64() <= conc.as_u64() + conc.as_u64() / 20,
+                "{} on {name}: distribution regressed {conc} -> {dist}",
+                w.name
+            );
+        }
+    }
+}
