@@ -8,14 +8,13 @@
 //! calibration of its cost are independently testable.
 
 use crate::{
-    resolve, El1SysRegs, El2Regs, ExceptionLevel, FpRegs, GpRegs, HcrEl2, PhysReg, SysReg,
-    SysRegError, Syndrome, TimerRegs, TrapCause,
+    resolve, El1SysRegs, El2Regs, ExceptionLevel, FpRegs, GpRegs, HcrEl2, PhysReg, Syndrome,
+    SysReg, SysRegError, TimerRegs, TrapCause,
 };
 use core::fmt;
 
 /// Architecture revision of the modelled part.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ArchVersion {
     /// ARMv8.0 — the paper's Applied Micro Atlas class hardware.
     V8_0,

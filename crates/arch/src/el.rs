@@ -10,8 +10,9 @@
 use core::fmt;
 
 /// An ARMv8-A exception level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum ExceptionLevel {
     /// EL0 — user mode (applications; VM userspace).
     El0,

@@ -22,8 +22,9 @@ use core::fmt;
 /// assert!(hcr.contains(HcrEl2::VM));
 /// assert!(!hcr.contains(HcrEl2::E2H));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Default, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct HcrEl2(u64);
 
 impl HcrEl2 {
@@ -63,9 +64,7 @@ impl HcrEl2 {
     /// The bit set a hypervisor programs while a VM runs: Stage-2 enabled,
     /// physical interrupts routed to EL2, WFI trapping on.
     pub const fn guest_running() -> Self {
-        HcrEl2(
-            Self::VM.0 | Self::SWIO.0 | Self::FMO.0 | Self::IMO.0 | Self::AMO.0 | Self::TWI.0,
-        )
+        HcrEl2(Self::VM.0 | Self::SWIO.0 | Self::FMO.0 | Self::IMO.0 | Self::AMO.0 | Self::TWI.0)
     }
 
     /// Raw register value.
@@ -120,8 +119,7 @@ impl fmt::Display for HcrEl2 {
 
 /// The remaining EL2 state the KVM ARM world switch moves: Table III's
 /// "EL2 Config Regs" and "EL2 Virtual Memory Regs" rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct El2Regs {
     /// Hypervisor configuration (trap enables, Stage-2 enable, E2H).
     pub hcr_el2: HcrEl2,

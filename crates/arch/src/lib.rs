@@ -48,8 +48,8 @@ mod trap;
 mod x86;
 
 pub use cpu::{
-    ArchVersion, ArmCpu, EretError, VheError, PSTATE_I, VECTOR_CURRENT_IRQ,
-    VECTOR_CURRENT_SYNC, VECTOR_LOWER_IRQ, VECTOR_LOWER_SYNC,
+    ArchVersion, ArmCpu, EretError, VheError, PSTATE_I, VECTOR_CURRENT_IRQ, VECTOR_CURRENT_SYNC,
+    VECTOR_LOWER_IRQ, VECTOR_LOWER_SYNC,
 };
 pub use el::ExceptionLevel;
 pub use el2::{El2Regs, HcrEl2};

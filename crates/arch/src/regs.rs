@@ -13,8 +13,7 @@
 /// This is the *only* state Xen ARM needs to switch on a hypercall (§IV:
 /// "Xen ARM which only incurs the relatively small cost of saving and
 /// restoring the general-purpose registers").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct GpRegs {
     /// `x0`–`x30`.
     pub x: [u64; 31],
@@ -42,9 +41,7 @@ impl GpRegs {
 }
 
 /// The SIMD/floating-point register file: `v0`–`v31` plus control/status.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
 pub struct FpRegs {
     /// `v0`–`v31`, 128 bits each.
     pub v: [u128; 32],
@@ -53,7 +50,6 @@ pub struct FpRegs {
     /// Floating-point status register.
     pub fpsr: u64,
 }
-
 
 impl FpRegs {
     /// Fills every register with a value derived from `seed`.
@@ -74,8 +70,7 @@ impl FpRegs {
 /// host OS").
 ///
 /// Field set mirrors the KVM/ARM `sysreg` save/restore list for Linux 4.0.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct El1SysRegs {
     /// System control register (MMU enable, caches, alignment).
     pub sctlr_el1: u64,
@@ -164,8 +159,7 @@ impl El1SysRegs {
 /// The virtual-timer registers a world switch moves (Table III "Timer
 /// Regs"). The VM programs these without trapping; the hypervisor switches
 /// them between VMs and translates firings into virtual interrupts (§II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct TimerRegs {
     /// Virtual timer control (enable, mask, istatus).
     pub cntv_ctl: u64,

@@ -23,8 +23,7 @@ use core::fmt;
 /// The modelled subset covers the registers the paper's analysis turns on:
 /// the twelve EL1/EL2 redirectable pairs plus the EL2-only virtualization
 /// controls.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 #[allow(missing_docs)] // variants are architected register names
 pub enum SysReg {
     // --- EL1-encoded registers (redirected to EL2 under E2H at EL2) ---
@@ -73,8 +72,7 @@ pub enum SysReg {
 }
 
 /// Physical register storage reached by an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 #[allow(missing_docs)]
 pub enum PhysReg {
     SctlrEl1,
@@ -108,8 +106,7 @@ pub enum PhysReg {
 }
 
 /// Why a system-register access faulted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum SysRegError {
     /// The encoding is UNDEFINED at the executing exception level (e.g. an
     /// `*_EL2` access from EL1, or any system register from EL0).
@@ -142,7 +139,10 @@ impl fmt::Display for SysRegError {
                 write!(f, "access to {reg:?} requires HCR_EL2.E2H")
             }
             SysRegError::NotImplemented { reg } => {
-                write!(f, "{reg:?} is not implemented on this architecture revision")
+                write!(
+                    f,
+                    "{reg:?} is not implemented on this architecture revision"
+                )
             }
         }
     }
@@ -349,15 +349,22 @@ mod tests {
     fn el12_requires_e2h_el2_and_vhe() {
         assert_eq!(
             resolve(SysReg::Ttbr1El12, El2, false, true),
-            Err(SysRegError::RequiresE2h { reg: SysReg::Ttbr1El12 })
+            Err(SysRegError::RequiresE2h {
+                reg: SysReg::Ttbr1El12
+            })
         );
         assert_eq!(
             resolve(SysReg::Ttbr1El12, El1, true, true),
-            Err(SysRegError::UndefinedAtEl { reg: SysReg::Ttbr1El12, el: El1 })
+            Err(SysRegError::UndefinedAtEl {
+                reg: SysReg::Ttbr1El12,
+                el: El1
+            })
         );
         assert_eq!(
             resolve(SysReg::Ttbr1El12, El2, true, false),
-            Err(SysRegError::NotImplemented { reg: SysReg::Ttbr1El12 })
+            Err(SysRegError::NotImplemented {
+                reg: SysReg::Ttbr1El12
+            })
         );
     }
 
@@ -365,7 +372,10 @@ mod tests {
     fn el2_encodings_undefined_below_el2() {
         assert_eq!(
             resolve(SysReg::HcrEl2, El1, false, true),
-            Err(SysRegError::UndefinedAtEl { reg: SysReg::HcrEl2, el: El1 })
+            Err(SysRegError::UndefinedAtEl {
+                reg: SysReg::HcrEl2,
+                el: El1
+            })
         );
         assert_eq!(
             resolve(SysReg::VttbrEl2, El2, false, false).unwrap(),
@@ -379,7 +389,9 @@ mod tests {
         // TTBR0_EL2" (§VI).
         assert_eq!(
             resolve(SysReg::Ttbr1El2, El2, false, false),
-            Err(SysRegError::NotImplemented { reg: SysReg::Ttbr1El2 })
+            Err(SysRegError::NotImplemented {
+                reg: SysReg::Ttbr1El2
+            })
         );
         assert!(resolve(SysReg::Ttbr0El2, El2, false, false).is_ok());
         assert!(resolve(SysReg::Ttbr1El2, El2, false, true).is_ok());
@@ -407,7 +419,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = SysRegError::RequiresE2h { reg: SysReg::Ttbr1El12 };
+        let e = SysRegError::RequiresE2h {
+            reg: SysReg::Ttbr1El12,
+        };
         assert!(e.to_string().contains("E2H"));
     }
 }

@@ -8,8 +8,7 @@
 use core::fmt;
 
 /// Why an exception was taken.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum TrapCause {
     /// Synchronous exception described by a [`Syndrome`] (HVC, trapped
     /// instruction, stage-2 abort, ...).
@@ -28,8 +27,7 @@ impl TrapCause {
 }
 
 /// Synchronous exception syndrome — the modelled subset of `ESR_ELx`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Syndrome {
     /// `HVC` instruction executed (hypercall from EL1).
     Hvc {
@@ -109,7 +107,11 @@ impl fmt::Display for Syndrome {
             Syndrome::SysRegTrap { write: true } => write!(f, "MSR trap"),
             Syndrome::SysRegTrap { write: false } => write!(f, "MRS trap"),
             Syndrome::DataAbort { ipa, write } => {
-                write!(f, "stage-2 data abort @{ipa:#x} ({})", if *write { "W" } else { "R" })
+                write!(
+                    f,
+                    "stage-2 data abort @{ipa:#x} ({})",
+                    if *write { "W" } else { "R" }
+                )
             }
             Syndrome::InstrAbort { ipa } => write!(f, "stage-2 instr abort @{ipa:#x}"),
             Syndrome::FpAccess => write!(f, "FP/SIMD access trap"),
@@ -126,7 +128,11 @@ mod tests {
         assert_eq!(Syndrome::Hvc { imm: 0 }.exception_class(), 0x16);
         assert_eq!(Syndrome::Svc { imm: 0 }.exception_class(), 0x15);
         assert_eq!(
-            Syndrome::DataAbort { ipa: 0, write: false }.exception_class(),
+            Syndrome::DataAbort {
+                ipa: 0,
+                write: false
+            }
+            .exception_class(),
             0x24
         );
         assert_eq!(Syndrome::WfiWfe.exception_class(), 0x01);
@@ -140,7 +146,10 @@ mod tests {
         for s in [
             Syndrome::Hvc { imm: 42 },
             Syndrome::WfiWfe,
-            Syndrome::DataAbort { ipa: 0x800_0000, write: true },
+            Syndrome::DataAbort {
+                ipa: 0x800_0000,
+                write: true,
+            },
         ] {
             let esr = s.encode();
             assert_eq!(Syndrome::class_of(esr), s.exception_class());
@@ -156,14 +165,20 @@ mod tests {
 
     #[test]
     fn hypercall_constant_is_hvc_zero() {
-        assert_eq!(TrapCause::HYPERCALL, TrapCause::Sync(Syndrome::Hvc { imm: 0 }));
+        assert_eq!(
+            TrapCause::HYPERCALL,
+            TrapCause::Sync(Syndrome::Hvc { imm: 0 })
+        );
     }
 
     #[test]
     fn display_is_informative() {
         assert_eq!(Syndrome::Hvc { imm: 3 }.to_string(), "HVC #3");
-        assert!(Syndrome::DataAbort { ipa: 0x1000, write: true }
-            .to_string()
-            .contains("0x1000"));
+        assert!(Syndrome::DataAbort {
+            ipa: 0x1000,
+            write: true
+        }
+        .to_string()
+        .contains("0x1000"));
     }
 }

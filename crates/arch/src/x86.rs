@@ -20,8 +20,7 @@
 use core::fmt;
 
 /// VMX operating mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum VmxMode {
     /// Root mode — the hypervisor (and for KVM, the whole host OS).
     Root,
@@ -30,9 +29,9 @@ pub enum VmxMode {
 }
 
 /// x86 privilege ring (orthogonal to [`VmxMode`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, Default,
+)]
 pub enum Ring {
     /// Kernel privilege.
     #[default]
@@ -43,8 +42,7 @@ pub enum Ring {
 
 /// The architectural state a VMCS transfer moves. One instance lives in
 /// the CPU ([`X86Cpu::live`]); the VMCS holds a guest copy and a host copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct X86State {
     /// `rax`–`r15`.
     pub gp: [u64; 16],
@@ -70,7 +68,6 @@ pub struct X86State {
     /// Current privilege ring.
     pub ring: Ring,
 }
-
 
 impl X86State {
     /// Fills the state with values derived from `seed` for round-trip
@@ -101,8 +98,7 @@ impl X86State {
 }
 
 /// Why a VM exit occurred (the modelled subset of VMX exit reasons).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ExitReason {
     /// `VMCALL` — the hypercall instruction.
     Vmcall,
@@ -132,8 +128,7 @@ pub enum ExitReason {
 }
 
 /// Per-VMCS execution controls (the modelled subset).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct VmcsControls {
     /// Hardware vAPIC: interrupt completion (EOI) in the VM without a VM
     /// exit — "more recently, vAPIC support has been added to x86 with
@@ -145,8 +140,7 @@ pub struct VmcsControls {
 
 /// A VM Control Structure: lives in ordinary memory, owned by the
 /// hypervisor, one per VCPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct Vmcs {
     /// Saved guest state (hardware-written on exit, hardware-read on entry).
     pub guest: X86State,
@@ -301,7 +295,10 @@ mod tests {
         cpu.vmentry(&mut vmcs).unwrap();
         cpu.vmexit(&mut vmcs, ExitReason::EptViolation { gpa: 0x1000 })
             .unwrap();
-        assert_eq!(vmcs.exit_reason, Some(ExitReason::EptViolation { gpa: 0x1000 }));
+        assert_eq!(
+            vmcs.exit_reason,
+            Some(ExitReason::EptViolation { gpa: 0x1000 })
+        );
         cpu.vmentry(&mut vmcs).unwrap();
         assert_eq!(vmcs.exit_reason, None);
     }

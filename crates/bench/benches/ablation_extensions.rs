@@ -16,7 +16,10 @@ fn bench(c: &mut Criterion) {
     println!("=== vAPIC ablation (Section IV) ===\n");
     println!("{}", ablations::render_vapic(&ablations::vapic()));
     println!("=== Oversubscription sweep (Table I motivation) ===\n");
-    println!("{}", ablations::render_oversubscription(&ablations::oversubscription()));
+    println!(
+        "{}",
+        ablations::render_oversubscription(&ablations::oversubscription())
+    );
     println!("=== Storage ablation (Section III devices) ===\n");
     println!("{}", ablations::render_storage(&ablations::storage()));
     println!("=== Stage-2 demand-fault cost (Section V aside) ===\n");

@@ -12,7 +12,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n=== Section V ablation: virtual-interrupt distribution ===\n");
-    println!("{}", ablations::render_irq_distribution(&ablations::irq_distribution()));
+    println!(
+        "{}",
+        ablations::render_irq_distribution(&ablations::irq_distribution())
+    );
     let apache = workloads::catalog()
         .into_iter()
         .find(|w| w.name == "Apache")
@@ -20,11 +23,21 @@ fn bench(c: &mut Criterion) {
         .mix;
     let mut group = c.benchmark_group("irq_distribution");
     group.bench_function("apache/kvm-arm/concentrated", |b| {
-        b.iter(|| black_box(workloads::run(&mut KvmArm::new(), apache, VirqPolicy::Vcpu0)));
+        b.iter(|| {
+            black_box(workloads::run(
+                &mut KvmArm::new(),
+                apache,
+                VirqPolicy::Vcpu0,
+            ))
+        });
     });
     group.bench_function("apache/xen-arm/distributed", |b| {
         b.iter(|| {
-            black_box(workloads::run(&mut XenArm::new(), apache, VirqPolicy::RoundRobin))
+            black_box(workloads::run(
+                &mut XenArm::new(),
+                apache,
+                VirqPolicy::RoundRobin,
+            ))
         });
     });
     group.finish();

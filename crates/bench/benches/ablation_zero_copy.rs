@@ -20,7 +20,15 @@ fn bench(c: &mut Criterion) {
             .unwrap();
         b.iter(|| {
             grants
-                .grant_copy(&mut mem, gref, DomId::DOM0, 0, Pa::new(0x20_0000), 1500, true)
+                .grant_copy(
+                    &mut mem,
+                    gref,
+                    DomId::DOM0,
+                    0,
+                    Pa::new(0x20_0000),
+                    1500,
+                    true,
+                )
                 .unwrap();
             black_box(grants.copy_count())
         });

@@ -21,14 +21,21 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4");
     let rr = Mix::NetRr { transactions: 10 };
     group.bench_function("tcp-rr/kvm-arm", |b| {
-        b.iter(|| {
-            black_box(workloads::run(&mut KvmArm::new(), rr, VirqPolicy::Vcpu0))
-        });
+        b.iter(|| black_box(workloads::run(&mut KvmArm::new(), rr, VirqPolicy::Vcpu0)));
     });
-    let stream = Mix::StreamRx { chunks: 44, chunk_len: 1_490, bursts: 12, link_mbit: 10_000 };
+    let stream = Mix::StreamRx {
+        chunks: 44,
+        chunk_len: 1_490,
+        bursts: 12,
+        link_mbit: 10_000,
+    };
     group.bench_function("tcp-stream/xen-arm", |b| {
         b.iter(|| {
-            black_box(workloads::run(&mut XenArm::new(), stream, VirqPolicy::Vcpu0))
+            black_box(workloads::run(
+                &mut XenArm::new(),
+                stream,
+                VirqPolicy::Vcpu0,
+            ))
         });
     });
     let apache = workloads::catalog()
@@ -38,7 +45,11 @@ fn bench(c: &mut Criterion) {
         .mix;
     group.bench_function("apache/native-baseline", |b| {
         b.iter(|| {
-            black_box(workloads::run(&mut Native::new(), apache, VirqPolicy::Vcpu0))
+            black_box(workloads::run(
+                &mut Native::new(),
+                apache,
+                VirqPolicy::Vcpu0,
+            ))
         });
     });
     group.finish();

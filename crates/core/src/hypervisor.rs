@@ -114,8 +114,12 @@ pub trait Hypervisor {
     /// the design imposes them — most importantly Xen's page-granular
     /// grant copies (§V: the TCP_STREAM root cause). Returns the instant
     /// the guest has the data and the receiving VCPU.
-    fn receive_burst(&mut self, chunks: usize, chunk_len: usize, arrival: Cycles)
-        -> (Cycles, usize);
+    fn receive_burst(
+        &mut self,
+        chunks: usize,
+        chunk_len: usize,
+        arrival: Cycles,
+    ) -> (Cycles, usize);
 
     /// Transmits a TSO-style burst of `chunks` × `chunk_len` bytes with
     /// one kick and one completion. Returns the wire-departure instant of
@@ -138,6 +142,23 @@ pub trait HypervisorExt: Hypervisor {
             samples.push(op(self));
         }
         samples
+    }
+
+    /// Like [`HypervisorExt::sample`] but folds iterations into a
+    /// constant-space [`hvx_engine::Streaming`] accumulator instead of
+    /// storing every sample — the allocation-free path used by the
+    /// artifact runner's microbenchmark sweeps. The summary's mean is
+    /// bit-identical to the stored-samples mean.
+    fn sample_streaming<F>(&mut self, iters: usize, mut op: F) -> hvx_engine::Streaming
+    where
+        F: FnMut(&mut Self) -> Cycles,
+    {
+        let mut stream = hvx_engine::Streaming::new();
+        for _ in 0..iters {
+            self.machine_mut().barrier();
+            stream.record(op(self));
+        }
+        stream
     }
 }
 

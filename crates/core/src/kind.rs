@@ -3,8 +3,7 @@
 use core::fmt;
 
 /// Hypervisor design archetype (Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum HvType {
     /// Bare-metal hypervisor; I/O via a privileged service VM (Xen).
     Type1,
@@ -13,8 +12,7 @@ pub enum HvType {
 }
 
 /// Hardware platform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Platform {
     /// ARMv8 server (HP Moonshot m400 class).
     Arm,
@@ -26,8 +24,7 @@ pub enum Platform {
 
 /// The configurations the paper measures, plus the §VI projection and the
 /// native baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum HvKind {
     /// Split-mode KVM on ARMv8.
     KvmArm,
@@ -89,8 +86,9 @@ impl fmt::Display for HvKind {
 /// How virtual device interrupts are spread over VCPUs — the §V ablation
 /// ("we verified this by distributing virtual interrupts across multiple
 /// VCPUs").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum VirqPolicy {
     /// All device interrupts to VCPU0 — the measured default whose
     /// saturation causes the Apache/Memcached overheads.

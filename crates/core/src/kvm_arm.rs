@@ -259,7 +259,12 @@ impl KvmArm {
         let c = self.cost;
         let m = &mut self.machine;
         if self.vhe {
-            m.charge(core, "vhe:frame-save", TraceKind::ContextSave, c.xen_frame.save);
+            m.charge(
+                core,
+                "vhe:frame-save",
+                TraceKind::ContextSave,
+                c.xen_frame.save,
+            );
             // Host == hypervisor: already running in EL2; nothing else.
             self.guest_loaded[core.index()] = None;
             return;
@@ -271,7 +276,12 @@ impl KvmArm {
         m.charge(core, "save:el1-sys", TraceKind::ContextSave, c.el1_sys.save);
         m.charge(core, "save:vgic", TraceKind::ContextSave, c.vgic.save);
         m.charge(core, "save:timer", TraceKind::ContextSave, c.timer.save);
-        m.charge(core, "save:el2-config", TraceKind::ContextSave, c.el2_config.save);
+        m.charge(
+            core,
+            "save:el2-config",
+            TraceKind::ContextSave,
+            c.el2_config.save,
+        );
         m.charge(core, "save:el2-vm", TraceKind::ContextSave, c.el2_vm.save);
 
         // Capture the real context. The guest PC was banked into ELR_EL2
@@ -338,12 +348,42 @@ impl KvmArm {
         if !lazy_fp {
             m.charge(core, "restore:fp", TraceKind::ContextRestore, c.fp.restore);
         }
-        m.charge(core, "restore:el1-sys", TraceKind::ContextRestore, c.el1_sys.restore);
-        m.charge(core, "restore:vgic", TraceKind::ContextRestore, c.vgic.restore);
-        m.charge(core, "restore:timer", TraceKind::ContextRestore, c.timer.restore);
-        m.charge(core, "restore:el2-config", TraceKind::ContextRestore, c.el2_config.restore);
-        m.charge(core, "restore:el2-vm", TraceKind::ContextRestore, c.el2_vm.restore);
-        m.charge(core, "kvm:enable-virt", TraceKind::Emulation, c.kvm_toggle_traps);
+        m.charge(
+            core,
+            "restore:el1-sys",
+            TraceKind::ContextRestore,
+            c.el1_sys.restore,
+        );
+        m.charge(
+            core,
+            "restore:vgic",
+            TraceKind::ContextRestore,
+            c.vgic.restore,
+        );
+        m.charge(
+            core,
+            "restore:timer",
+            TraceKind::ContextRestore,
+            c.timer.restore,
+        );
+        m.charge(
+            core,
+            "restore:el2-config",
+            TraceKind::ContextRestore,
+            c.el2_config.restore,
+        );
+        m.charge(
+            core,
+            "restore:el2-vm",
+            TraceKind::ContextRestore,
+            c.el2_vm.restore,
+        );
+        m.charge(
+            core,
+            "kvm:enable-virt",
+            TraceKind::Emulation,
+            c.kvm_toggle_traps,
+        );
 
         let ctx = if self.alt_loaded && idx == 0 {
             self.alt_vm.ctxs[0]
@@ -366,11 +406,12 @@ impl KvmArm {
     /// device.
     fn mmio_trap(&mut self, core: CoreId, vcpu: usize, ipa: u64, write: bool) {
         // The access really has no Stage-2 mapping:
-        debug_assert!(self.vm.s2.translate(Ipa::new(ipa), hvx_mem::Access::Read).is_err());
-        self.trap_to_el2(
-            core,
-            TrapCause::Sync(Syndrome::DataAbort { ipa, write }),
-        );
+        debug_assert!(self
+            .vm
+            .s2
+            .translate(Ipa::new(ipa), hvx_mem::Access::Read)
+            .is_err());
+        self.trap_to_el2(core, TrapCause::Sync(Syndrome::DataAbort { ipa, write }));
         self.switch_out(core, vcpu, true);
         // Every exit passes through the vcpu_run dispatch loop before the
         // MMIO emulation proper.
@@ -400,15 +441,14 @@ impl KvmArm {
         let core = self.machine.topology().guest_core(vcpu);
         // Pick the next unmapped page past the initial RAM allocation.
         let ipa = Ipa::new(GUEST_RAM_IPA + self.vm.s2.mapped_pages() * PAGE_SIZE);
-        debug_assert!(self
-            .vm
-            .s2
-            .translate(ipa, hvx_mem::Access::Write)
-            .is_err());
+        debug_assert!(self.vm.s2.translate(ipa, hvx_mem::Access::Write).is_err());
         let t0 = self.machine.now(core);
         self.trap_to_el2(
             core,
-            TrapCause::Sync(Syndrome::DataAbort { ipa: ipa.value(), write: true }),
+            TrapCause::Sync(Syndrome::DataAbort {
+                ipa: ipa.value(),
+                write: true,
+            }),
         );
         self.switch_out(core, vcpu, true);
         self.machine.charge(
@@ -441,8 +481,7 @@ impl KvmArm {
             self.alt_loaded = false;
             let core = self.machine.topology().guest_core(0);
             let idx = core.index();
-            self.alt_vm.ctxs[0] =
-                ArmGuestContext::capture(&self.cpus[idx], &self.vgics[idx]);
+            self.alt_vm.ctxs[0] = ArmGuestContext::capture(&self.cpus[idx], &self.vgics[idx]);
             let ctx = self.vm.ctxs[0];
             ctx.install(&mut self.cpus[idx], &mut self.vgics[idx]);
             self.cpus[idx].start_at(ExceptionLevel::El1);
@@ -967,8 +1006,12 @@ impl Hypervisor for KvmArm {
         self.machine.wait_until(backend, arrival);
         self.machine
             .charge(backend, "kvm:vhost-wake", TraceKind::Io, c.kvm_vhost_wake);
-        self.machine
-            .charge(backend, "kvm:vhost-tx", TraceKind::Io, c.kvm_vhost_per_packet);
+        self.machine.charge(
+            backend,
+            "kvm:vhost-tx",
+            TraceKind::Io,
+            c.kvm_vhost_per_packet,
+        );
         self.machine
             .charge(backend, "host:net-stack-tx", TraceKind::Host, c.host_net_tx);
         self.machine
@@ -1022,10 +1065,7 @@ mod tests {
         // (modulo the PC, which the trap banked — same value here).
         let core = kvm.machine.topology().guest_core(1);
         assert_eq!(kvm.guest_loaded[core.index()], Some(1));
-        let after = ArmGuestContext::capture(
-            &kvm.cpus[core.index()],
-            &kvm.vgics[core.index()],
-        );
+        let after = ArmGuestContext::capture(&kvm.cpus[core.index()], &kvm.vgics[core.index()]);
         assert_eq!(after.el1, before.el1);
         assert_eq!(after.fp, before.fp);
         assert_eq!(after.timer, before.timer);
@@ -1076,13 +1116,12 @@ mod tests {
     fn virtual_ipi_crosses_cores() {
         let mut kvm = KvmArm::new();
         let lat = kvm.virtual_ipi(0, 1);
-        assert!(lat > Cycles::new(8000), "cross-core path is expensive: {lat}");
+        assert!(
+            lat > Cycles::new(8000),
+            "cross-core path is expensive: {lat}"
+        );
         // The physical kick must appear in the trace.
-        assert!(kvm
-            .machine()
-            .trace()
-            .labels()
-            .contains(&"signal:in-flight"));
+        assert!(kvm.machine().trace().labels().contains(&"signal:in-flight"));
     }
 
     #[test]
@@ -1108,8 +1147,14 @@ mod tests {
             "§VI: VHE removes the split-mode cost: {a} vs {b}"
         );
         // And no EL1 state motion appears in the VHE trace.
-        assert_eq!(vhe.machine().trace().total_by_label("save:vgic"), Cycles::ZERO);
-        assert_eq!(vhe.machine().trace().total_by_label("save:el1-sys"), Cycles::ZERO);
+        assert_eq!(
+            vhe.machine().trace().total_by_label("save:vgic"),
+            Cycles::ZERO
+        );
+        assert_eq!(
+            vhe.machine().trace().total_by_label("save:el1-sys"),
+            Cycles::ZERO
+        );
     }
 
     #[test]
@@ -1145,7 +1190,10 @@ mod tests {
         // cheaper — the §VI claim extends to fault handling.
         let mut vhe = KvmArm::new_vhe();
         let vhe_cost = vhe.stage2_fault(0);
-        assert!(vhe_cost.as_u64() * 3 < cost.as_u64(), "{cost} vs {vhe_cost}");
+        assert!(
+            vhe_cost.as_u64() * 3 < cost.as_u64(),
+            "{cost} vs {vhe_cost}"
+        );
     }
 
     #[test]

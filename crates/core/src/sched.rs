@@ -206,8 +206,7 @@ impl CreditScheduler {
             return;
         }
         for e in &mut self.entries {
-            let share =
-                CREDITS_PER_PERIOD * i64::from(e.weight) / total_weight as i64;
+            let share = CREDITS_PER_PERIOD * i64::from(e.weight) / total_weight as i64;
             e.credit = (e.credit + share).min(CREDITS_PER_PERIOD);
             if e.priority != CreditPriority::Boost {
                 e.priority = if e.credit > 0 {

@@ -188,12 +188,20 @@ impl X86Hv {
         self.exit(core, vcpu, ExitReason::EptViolation { gpa: 0x8000_0000 });
         self.machine.charge(
             core,
-            if self.is_kvm() { "kvm:x86-dispatch" } else { "xen:x86-dispatch" },
+            if self.is_kvm() {
+                "kvm:x86-dispatch"
+            } else {
+                "xen:x86-dispatch"
+            },
             TraceKind::Host,
             self.dispatch_cost(),
         );
-        self.machine
-            .charge(core, "x86:page-alloc", TraceKind::Host, self.cost.page_alloc);
+        self.machine.charge(
+            core,
+            "x86:page-alloc",
+            TraceKind::Host,
+            self.cost.page_alloc,
+        );
         self.enter(core, vcpu);
         self.machine.now(core) - t0
     }
@@ -259,7 +267,14 @@ impl X86Hv {
     fn guest_eoi(&mut self, vcpu: usize) {
         let core = self.machine.topology().guest_core(vcpu);
         if self.lapics[vcpu].eoi_traps() {
-            self.exit(core, vcpu, ExitReason::ApicAccess { offset: 0xB0, write: true });
+            self.exit(
+                core,
+                vcpu,
+                ExitReason::ApicAccess {
+                    offset: 0xB0,
+                    write: true,
+                },
+            );
             self.machine.charge(
                 core,
                 "x86:apic-eoi-emulate",
@@ -269,12 +284,8 @@ impl X86Hv {
             self.lapics[vcpu].eoi().expect("in service");
             self.enter(core, vcpu);
         } else {
-            self.machine.charge(
-                core,
-                "x86:vapic-eoi",
-                TraceKind::Guest,
-                Cycles::new(100),
-            );
+            self.machine
+                .charge(core, "x86:vapic-eoi", TraceKind::Guest, Cycles::new(100));
             self.lapics[vcpu].eoi().expect("in service");
         }
     }
@@ -312,7 +323,11 @@ impl Hypervisor for X86Hv {
         self.exit(core, vcpu, ExitReason::Vmcall);
         self.machine.charge(
             core,
-            if self.is_kvm() { "kvm:x86-dispatch" } else { "xen:x86-dispatch" },
+            if self.is_kvm() {
+                "kvm:x86-dispatch"
+            } else {
+                "xen:x86-dispatch"
+            },
             TraceKind::Host,
             self.dispatch_cost(),
         );
@@ -325,10 +340,21 @@ impl Hypervisor for X86Hv {
         // The x86 analog: a trapped APIC-page access.
         let core = self.machine.topology().guest_core(vcpu);
         let t0 = self.machine.now(core);
-        self.exit(core, vcpu, ExitReason::ApicAccess { offset: 0x20, write: false });
+        self.exit(
+            core,
+            vcpu,
+            ExitReason::ApicAccess {
+                offset: 0x20,
+                write: false,
+            },
+        );
         self.machine.charge(
             core,
-            if self.is_kvm() { "kvm:x86-dispatch" } else { "xen:x86-dispatch" },
+            if self.is_kvm() {
+                "kvm:x86-dispatch"
+            } else {
+                "xen:x86-dispatch"
+            },
             TraceKind::Host,
             self.dispatch_cost(),
         );
@@ -361,7 +387,11 @@ impl Hypervisor for X86Hv {
         self.exit(from_core, from, ExitReason::MsrWrite { msr: 0x830 });
         self.machine.charge(
             from_core,
-            if self.is_kvm() { "kvm:x86-dispatch" } else { "xen:x86-dispatch" },
+            if self.is_kvm() {
+                "kvm:x86-dispatch"
+            } else {
+                "xen:x86-dispatch"
+            },
             TraceKind::Host,
             self.dispatch_cost(),
         );
@@ -399,7 +429,11 @@ impl Hypervisor for X86Hv {
         self.exit(core, 0, ExitReason::Hlt);
         self.machine.charge(
             core,
-            if self.is_kvm() { "kvm:x86-sched" } else { "xen:x86-sched" },
+            if self.is_kvm() {
+                "kvm:x86-sched"
+            } else {
+                "xen:x86-sched"
+            },
             TraceKind::Sched,
             if self.is_kvm() {
                 self.cost.kvm_x86_sched
@@ -555,8 +589,12 @@ impl Hypervisor for X86Hv {
         );
         self.exit(core, vcpu, ExitReason::IoInstruction);
         if self.is_kvm() {
-            self.machine
-                .charge(core, "kvm:x86-ioeventfd", TraceKind::Io, c.kvm_x86_ioeventfd);
+            self.machine.charge(
+                core,
+                "kvm:x86-ioeventfd",
+                TraceKind::Io,
+                c.kvm_x86_ioeventfd,
+            );
             let arrival = self.machine.signal(core, backend, c.x86_doorbell_wire);
             self.enter(core, vcpu);
             self.machine.wait_until(backend, arrival);
@@ -569,8 +607,12 @@ impl Hypervisor for X86Hv {
                 c.kvm_vhost_per_packet,
             );
         } else {
-            self.machine
-                .charge(core, "xen:evtchn-send", TraceKind::Emulation, c.xen_evtchn_send);
+            self.machine.charge(
+                core,
+                "xen:evtchn-send",
+                TraceKind::Emulation,
+                c.xen_evtchn_send,
+            );
             let arrival = self.machine.signal(core, backend, c.x86_doorbell_wire);
             self.enter(core, vcpu);
             self.machine.wait_until(backend, arrival);
@@ -580,8 +622,12 @@ impl Hypervisor for X86Hv {
                 TraceKind::Sched,
                 c.xen_x86_wake_blocked,
             );
-            self.machine
-                .charge(backend, "xen:netback-tx", TraceKind::Io, c.xen_net_per_packet);
+            self.machine.charge(
+                backend,
+                "xen:netback-tx",
+                TraceKind::Io,
+                c.xen_net_per_packet,
+            );
             self.machine
                 .charge(backend, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
         }
@@ -619,8 +665,12 @@ impl Hypervisor for X86Hv {
                 .charge(io, "xen:netback-rx", TraceKind::Io, c.xen_net_per_packet);
             self.machine
                 .charge(io, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
-            self.machine
-                .charge(io, "xen:evtchn-send", TraceKind::Emulation, c.xen_evtchn_send);
+            self.machine.charge(
+                io,
+                "xen:evtchn-send",
+                TraceKind::Emulation,
+                c.xen_evtchn_send,
+            );
         }
         self.inject_running(io, vcpu, VIRTIO_VECTOR, c.x86_doorbell_wire);
         self.guest_eoi(vcpu);
@@ -698,8 +748,12 @@ impl Hypervisor for X86Hv {
                 self.machine
                     .charge(io, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
             }
-            self.machine
-                .charge(io, "xen:evtchn-send", TraceKind::Emulation, c.xen_evtchn_send);
+            self.machine.charge(
+                io,
+                "xen:evtchn-send",
+                TraceKind::Emulation,
+                c.xen_evtchn_send,
+            );
         }
         self.inject_running(io, vcpu, VIRTIO_VECTOR, c.x86_doorbell_wire);
         self.guest_eoi(vcpu);
@@ -737,18 +791,30 @@ impl Hypervisor for X86Hv {
         );
         self.exit(core, vcpu, ExitReason::IoInstruction);
         if self.is_kvm() {
-            self.machine
-                .charge(core, "kvm:x86-ioeventfd", TraceKind::Io, c.kvm_x86_ioeventfd);
+            self.machine.charge(
+                core,
+                "kvm:x86-ioeventfd",
+                TraceKind::Io,
+                c.kvm_x86_ioeventfd,
+            );
             let arrival = self.machine.signal(core, backend, c.x86_doorbell_wire);
             self.enter(core, vcpu);
             self.machine.wait_until(backend, arrival);
             self.machine
                 .charge(backend, "kvm:vhost-wake", TraceKind::Io, c.kvm_vhost_wake);
-            self.machine
-                .charge(backend, "kvm:vhost-tx", TraceKind::Io, c.kvm_vhost_per_packet);
+            self.machine.charge(
+                backend,
+                "kvm:vhost-tx",
+                TraceKind::Io,
+                c.kvm_vhost_per_packet,
+            );
         } else {
-            self.machine
-                .charge(core, "xen:evtchn-send", TraceKind::Emulation, c.xen_evtchn_send);
+            self.machine.charge(
+                core,
+                "xen:evtchn-send",
+                TraceKind::Emulation,
+                c.xen_evtchn_send,
+            );
             let arrival = self.machine.signal(core, backend, c.x86_doorbell_wire);
             self.enter(core, vcpu);
             self.machine.wait_until(backend, arrival);
@@ -758,8 +824,12 @@ impl Hypervisor for X86Hv {
                 TraceKind::Sched,
                 c.xen_x86_wake_blocked,
             );
-            self.machine
-                .charge(backend, "xen:netback-tx", TraceKind::Io, c.xen_net_per_packet);
+            self.machine.charge(
+                backend,
+                "xen:netback-tx",
+                TraceKind::Io,
+                c.xen_net_per_packet,
+            );
             for _ in 0..chunks {
                 self.machine
                     .charge(backend, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);

@@ -24,7 +24,7 @@ use hvx_arch::{ArchVersion, ArmCpu, ExceptionLevel, Syndrome, TrapCause};
 use hvx_engine::{CoreId, Cycles, Machine, Topology, TraceKind};
 use hvx_gic::{dist_reg, Distributor, IntId, VgicCpuInterface};
 use hvx_mem::{DomId, GrantTable, Ipa, Pa, PhysMemory, S2Perms, Stage2Tables, PAGE_SIZE};
-use hvx_vio::{EventChannels, Nic, NetBack, NetFront, Port, XenNetRing};
+use hvx_vio::{EventChannels, NetBack, NetFront, Nic, Port, XenNetRing};
 
 use crate::kvm_arm::{GUEST_IPI_SGI, GUEST_RAM_IPA, GUEST_RAM_PAGES, NIC_SPI};
 
@@ -233,8 +233,12 @@ impl XenArm {
                 .charge(core, "save:vgic", TraceKind::ContextSave, c.vgic.save);
             self.machine
                 .charge(core, "save:timer", TraceKind::ContextSave, c.timer.save);
-            self.machine
-                .charge(core, "save:el2-config", TraceKind::ContextSave, c.el2_config.save);
+            self.machine.charge(
+                core,
+                "save:el2-config",
+                TraceKind::ContextSave,
+                c.el2_config.save,
+            );
             self.machine
                 .charge(core, "save:el2-vm", TraceKind::ContextSave, c.el2_vm.save);
             let ctx = ArmGuestContext::capture(&self.cpus[idx], &self.vgics[idx]);
@@ -262,18 +266,30 @@ impl XenArm {
                 TraceKind::ContextRestore,
                 c.el1_sys.restore,
             );
-            self.machine
-                .charge(core, "restore:vgic", TraceKind::ContextRestore, c.vgic.restore);
-            self.machine
-                .charge(core, "restore:timer", TraceKind::ContextRestore, c.timer.restore);
+            self.machine.charge(
+                core,
+                "restore:vgic",
+                TraceKind::ContextRestore,
+                c.vgic.restore,
+            );
+            self.machine.charge(
+                core,
+                "restore:timer",
+                TraceKind::ContextRestore,
+                c.timer.restore,
+            );
             self.machine.charge(
                 core,
                 "restore:el2-config",
                 TraceKind::ContextRestore,
                 c.el2_config.restore,
             );
-            self.machine
-                .charge(core, "restore:el2-vm", TraceKind::ContextRestore, c.el2_vm.restore);
+            self.machine.charge(
+                core,
+                "restore:el2-vm",
+                TraceKind::ContextRestore,
+                c.el2_vm.restore,
+            );
             let ctx = match to {
                 Running::DomU(v) => {
                     if self.alt_loaded && idx == 0 {
@@ -299,12 +315,8 @@ impl XenArm {
     /// ERET into the domain. Charges the §IV idle-domain-switch path.
     fn wake_into(&mut self, core: CoreId, target: Running, extra_wake: bool, charge_upcall: bool) {
         let c = self.cost;
-        self.machine.charge(
-            core,
-            "gic:phys-ack",
-            TraceKind::Host,
-            c.gic_phys_access,
-        );
+        self.machine
+            .charge(core, "gic:phys-ack", TraceKind::Host, c.gic_phys_access);
         self.machine
             .charge(core, "xen:sched", TraceKind::Sched, c.xen_sched);
         self.domain_switch(core, target);
@@ -369,8 +381,12 @@ impl XenArm {
             c.xen_vgic_inject,
         );
         let _ = self.vgics[core.index()].inject(virq.raw(), 0x80);
-        self.machine
-            .charge(core, "restore:vgic", TraceKind::ContextRestore, c.vgic.restore);
+        self.machine.charge(
+            core,
+            "restore:vgic",
+            TraceKind::ContextRestore,
+            c.vgic.restore,
+        );
         self.xen_return(core);
         self.machine
             .charge(core, "gic:vif-ack", TraceKind::Guest, c.gic_vif_access);
@@ -394,7 +410,10 @@ impl XenArm {
         let t0 = self.machine.now(core);
         self.xen_trap(
             core,
-            TrapCause::Sync(Syndrome::DataAbort { ipa: ipa.value(), write: true }),
+            TrapCause::Sync(Syndrome::DataAbort {
+                ipa: ipa.value(),
+                write: true,
+            }),
         );
         self.machine.charge(
             core,
@@ -402,8 +421,12 @@ impl XenArm {
             TraceKind::Emulation,
             self.cost.xen_dispatch,
         );
-        self.machine
-            .charge(core, "xen:page-alloc", TraceKind::Host, self.cost.page_alloc);
+        self.machine.charge(
+            core,
+            "xen:page-alloc",
+            TraceKind::Host,
+            self.cost.page_alloc,
+        );
         let pa = Pa::new(DOMU_RAM_PA + self.domu.s2.mapped_pages() * PAGE_SIZE);
         self.domu
             .s2
@@ -579,7 +602,8 @@ impl Hypervisor for XenArm {
     fn virq_complete(&mut self, vcpu: usize) -> Cycles {
         let core = self.machine.topology().guest_core(vcpu);
         let vgic = &mut self.vgics[core.index()];
-        vgic.inject(GUEST_IPI_SGI.raw(), 0x80).expect("LR available");
+        vgic.inject(GUEST_IPI_SGI.raw(), 0x80)
+            .expect("LR available");
         vgic.guest_ack().expect("pending virq");
         let t0 = self.machine.now(core);
         self.machine.charge(
@@ -631,10 +655,7 @@ impl Hypervisor for XenArm {
             TraceKind::Emulation,
             self.cost.xen_evtchn_send,
         );
-        let peer = self
-            .evtchn
-            .notify(self.io_port, DOMU)
-            .expect("bound port");
+        let peer = self.evtchn.notify(self.io_port, DOMU).expect("bound port");
         debug_assert_eq!(peer, DomId::DOM0);
         // Dom0 idles on another PCPU: physical IPI + idle→Dom0 switch.
         let arrival = self.machine.signal(core, backend_core, self.cost.ipi_wire);
@@ -817,8 +838,12 @@ impl Hypervisor for XenArm {
         self.xen_trap(io, TrapCause::HYPERCALL);
         self.machine
             .charge(io, "xen:dispatch", TraceKind::Emulation, c.xen_dispatch);
-        self.machine
-            .charge(io, "xen:evtchn-send", TraceKind::Emulation, c.xen_evtchn_send);
+        self.machine.charge(
+            io,
+            "xen:evtchn-send",
+            TraceKind::Emulation,
+            c.xen_evtchn_send,
+        );
         self.evtchn
             .notify(self.io_port, DomId::DOM0)
             .expect("bound port");
@@ -831,7 +856,12 @@ impl Hypervisor for XenArm {
         let core = self.machine.topology().guest_core(vcpu);
         let got = self
             .front
-            .reap_rx(&mut self.ring, &mut self.grants, &self.domu.s2, &mut self.mem)
+            .reap_rx(
+                &mut self.ring,
+                &mut self.grants,
+                &self.domu.s2,
+                &mut self.mem,
+            )
             .expect("response ring valid");
         debug_assert_eq!(got.len(), 1);
         debug_assert_eq!(got[0].len(), len);
@@ -908,8 +938,12 @@ impl Hypervisor for XenArm {
         self.xen_trap(io, TrapCause::HYPERCALL);
         self.machine
             .charge(io, "xen:dispatch", TraceKind::Emulation, c.xen_dispatch);
-        self.machine
-            .charge(io, "xen:evtchn-send", TraceKind::Emulation, c.xen_evtchn_send);
+        self.machine.charge(
+            io,
+            "xen:evtchn-send",
+            TraceKind::Emulation,
+            c.xen_evtchn_send,
+        );
         self.evtchn
             .notify(self.io_port, DomId::DOM0)
             .expect("bound port");
@@ -943,8 +977,12 @@ impl Hypervisor for XenArm {
         self.xen_trap(core, TrapCause::HYPERCALL);
         self.machine
             .charge(core, "xen:dispatch", TraceKind::Emulation, c.xen_dispatch);
-        self.machine
-            .charge(core, "xen:evtchn-send", TraceKind::Emulation, c.xen_evtchn_send);
+        self.machine.charge(
+            core,
+            "xen:evtchn-send",
+            TraceKind::Emulation,
+            c.xen_evtchn_send,
+        );
         self.evtchn.notify(self.io_port, DOMU).expect("bound port");
         let arrival = self.machine.signal(core, backend_core, c.ipi_wire);
         self.xen_return(core);

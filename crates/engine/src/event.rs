@@ -3,41 +3,37 @@
 //! Application-level simulations (netperf streams, Apache request storms,
 //! memcached closed loops) need a calendar of future happenings: packet
 //! arrivals from the client machine, timer expiries, deferred backend
-//! work. [`EventQueue`] is a plain min-heap keyed by [`Cycles`] with a
-//! monotonic sequence number breaking ties, so two events scheduled for the
+//! work. [`EventQueue`] is a min-heap keyed by `(Cycles, seq)` where the
+//! monotonic sequence number breaks ties, so two events scheduled for the
 //! same instant pop in scheduling order and runs are bit-for-bit
 //! reproducible.
+//!
+//! # Layout
+//!
+//! The heap is a *flat four-ary* array rather than `BinaryHeap`'s binary
+//! layout: sift-down touches one cache line of children per level and the
+//! tree is half as deep, which measurably cuts pop cost in the simulation
+//! hot loop (see `benches/` and DESIGN.md §5). Entries store `(when, seq)`
+//! inline next to the payload, so ordering never chases a pointer, and
+//! [`EventQueue::clear`] retains the allocation so scenario resets in the
+//! parallel runner are allocation-free.
 
 use crate::Cycles;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-/// An entry in the queue: `(when, seq, payload)` with reversed ordering so
-/// the `BinaryHeap` max-heap behaves as a min-heap on `(when, seq)`.
-#[derive(Debug)]
+const ARITY: usize = 4;
+
+/// A heap slot: key fields inline, compared as the tuple `(when, seq)`.
+#[derive(Debug, Clone)]
 struct Entry<T> {
     when: Cycles,
     seq: u64,
     payload: T,
 }
 
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.when == other.when && self.seq == other.seq
-    }
-}
-impl<T> Eq for Entry<T> {}
-
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: earliest (when, seq) is the heap maximum.
-        (other.when, other.seq).cmp(&(self.when, self.seq))
+impl<T> Entry<T> {
+    #[inline]
+    fn key(&self) -> (Cycles, u64) {
+        (self.when, self.seq)
     }
 }
 
@@ -58,9 +54,9 @@ impl<T> Ord for Entry<T> {
 /// assert_eq!(q.pop(), Some((Cycles::new(200), "later")));
 /// assert_eq!(q.pop(), None);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
+    slots: Vec<Entry<T>>,
     next_seq: u64,
 }
 
@@ -68,26 +64,72 @@ impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: Vec::new(),
             next_seq: 0,
         }
+    }
+
+    /// Creates an empty queue that can hold `capacity` events without
+    /// reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            slots: Vec::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// Empties the queue, **keeping** its allocation and resetting the
+    /// FIFO sequence counter — the scenario-reset path of the parallel
+    /// runner, which reuses one queue across scenarios allocation-free.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.next_seq = 0;
     }
 
     /// Schedules `payload` to occur at `when`.
     pub fn schedule(&mut self, when: Cycles, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { when, seq, payload });
+        self.slots.push(Entry { when, seq, payload });
+        self.sift_up(self.slots.len() - 1);
+    }
+
+    /// Schedules `payload` at `now + delta`, saturating at the cycle
+    /// horizon, and returns the scheduled instant. Sugar for the common
+    /// "this happens `delta` cycles from now" pattern.
+    pub fn schedule_after(&mut self, now: Cycles, delta: Cycles, payload: T) -> Cycles {
+        let when = Cycles::new(now.as_u64().saturating_add(delta.as_u64()));
+        self.schedule(when, payload);
+        when
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(Cycles, T)> {
-        self.heap.pop().map(|e| (e.when, e.payload))
+        if self.slots.is_empty() {
+            return None;
+        }
+        let last = self.slots.len() - 1;
+        self.slots.swap(0, last);
+        let entry = self.slots.pop().expect("checked non-empty");
+        if !self.slots.is_empty() {
+            self.sift_down(0);
+        }
+        Some((entry.when, entry.payload))
     }
 
     /// The instant of the earliest event without removing it.
     pub fn peek_when(&self) -> Option<Cycles> {
-        self.heap.peek().map(|e| e.when)
+        self.slots.first().map(|e| e.when)
     }
 
     /// Removes the earliest event only if it occurs at or before `now`.
@@ -100,12 +142,49 @@ impl<T> EventQueue<T> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.slots.len()
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.slots.is_empty()
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / ARITY;
+            if self.slots[idx].key() >= self.slots[parent].key() {
+                break;
+            }
+            self.slots.swap(idx, parent);
+            idx = parent;
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut idx: usize) {
+        let len = self.slots.len();
+        loop {
+            let first_child = idx * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let last_child = (first_child + ARITY).min(len);
+            // The four children are adjacent, so this scan is one cache
+            // line in the common case.
+            let mut smallest = first_child;
+            for child in first_child + 1..last_child {
+                if self.slots[child].key() < self.slots[smallest].key() {
+                    smallest = child;
+                }
+            }
+            if self.slots[smallest].key() >= self.slots[idx].key() {
+                break;
+            }
+            self.slots.swap(idx, smallest);
+            idx = smallest;
+        }
     }
 }
 
@@ -158,5 +237,63 @@ mod tests {
         assert_eq!(q.peek_when(), Some(Cycles::new(7)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn schedule_after_offsets_and_saturates() {
+        let mut q = EventQueue::new();
+        let when = q.schedule_after(Cycles::new(100), Cycles::new(40), "x");
+        assert_eq!(when, Cycles::new(140));
+        assert_eq!(q.pop(), Some((Cycles::new(140), "x")));
+        let horizon = q.schedule_after(Cycles::MAX, Cycles::new(1), "clamped");
+        assert_eq!(horizon, Cycles::MAX);
+    }
+
+    #[test]
+    fn clear_keeps_allocation_and_resets_fifo() {
+        let mut q = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        assert!(cap >= 64);
+        for i in 0..50 {
+            q.schedule(Cycles::new(5), i);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), cap, "clear must keep the allocation");
+        // Sequence counter restarts: FIFO order is per-lifetime again.
+        q.schedule(Cycles::new(9), 100);
+        q.schedule(Cycles::new(9), 200);
+        assert_eq!(q.pop(), Some((Cycles::new(9), 100)));
+        assert_eq!(q.pop(), Some((Cycles::new(9), 200)));
+    }
+
+    #[test]
+    fn reserve_grows_capacity() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.reserve(128);
+        assert!(q.capacity() >= 128);
+    }
+
+    #[test]
+    fn random_interleaving_matches_sorted_order() {
+        // Deterministic LCG; no external rand needed here.
+        let mut state = 0x2545F491_4F6CDD1Du64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u64
+        };
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        for i in 0..5_000 {
+            let t = next() % 997;
+            q.schedule(Cycles::new(t), i);
+            expected.push((t, i));
+        }
+        expected.sort(); // (time, insertion index) == (when, seq) order
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(w, p)| (w.as_u64(), p))).collect();
+        assert_eq!(got, expected);
     }
 }

@@ -48,6 +48,6 @@ mod trace;
 pub use cycles::{Cycles, Frequency};
 pub use event::EventQueue;
 pub use machine::Machine;
-pub use stats::{Histogram, Samples, Summary};
+pub use stats::{Histogram, Samples, Streaming, Summary};
 pub use topology::{CoreId, Topology};
-pub use trace::{TraceEvent, TraceKind, TraceLog};
+pub use trace::{TraceEvent, TraceKind, TraceLog, TraceMode};

@@ -60,6 +60,15 @@ impl Machine {
         m
     }
 
+    /// Creates a machine whose trace keeps only per-`(kind, label)`
+    /// totals — breakdown tables stay exact while [`Machine::charge`]
+    /// never allocates per step (microbenchmark iteration loops).
+    pub fn with_aggregate_trace(topology: Topology) -> Self {
+        let mut m = Machine::new(topology);
+        m.trace = TraceLog::aggregate();
+        m
+    }
+
     /// The machine's core topology.
     #[inline]
     pub fn topology(&self) -> &Topology {
@@ -275,7 +284,12 @@ mod tests {
     fn trace_records_interval_and_order() {
         let mut m = two_core_machine();
         m.charge(CoreId::new(0), "first", TraceKind::Trap, Cycles::new(160));
-        m.charge(CoreId::new(0), "second", TraceKind::Return, Cycles::new(120));
+        m.charge(
+            CoreId::new(0),
+            "second",
+            TraceKind::Return,
+            Cycles::new(120),
+        );
         let evs = m.trace().events();
         assert_eq!(evs[0].label, "first");
         assert_eq!(evs[0].start, Cycles::ZERO);

@@ -112,8 +112,7 @@ fn percentile_of(sorted: &[Cycles], pct: f64) -> Cycles {
 }
 
 /// Descriptive statistics over a [`Samples`] set.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -144,8 +143,148 @@ impl fmt::Display for Summary {
         write!(
             f,
             "n={} min={} mean={} median={} p95={} max={} sd={:.1}",
-            self.count, self.min, self.mean_cycles(), self.median, self.p95, self.max, self.std_dev
+            self.count,
+            self.min,
+            self.mean_cycles(),
+            self.median,
+            self.p95,
+            self.max,
+            self.std_dev
         )
+    }
+}
+
+/// Constant-space streaming statistics: the hot-path replacement for
+/// [`Samples`] when only the summary matters.
+///
+/// Where [`Samples`] stores every value (an allocation per batch and a
+/// sort per summary), `Streaming` folds each sample into O(1) state:
+/// exact integer total (so the mean is **bit-identical** to
+/// [`Samples::summary`]'s), exact min/max/count, Welford's recurrence for
+/// the standard deviation, and a power-of-two [`Histogram`] giving
+/// bucket-resolution median and p95. The deterministic microbenchmarks
+/// have degenerate distributions (all iterations equal), for which every
+/// field — including the percentiles — is exact.
+///
+/// # Examples
+///
+/// ```
+/// use hvx_engine::{Cycles, Streaming};
+///
+/// let mut s = Streaming::new();
+/// for v in [10, 20, 30] {
+///     s.record(Cycles::new(v));
+/// }
+/// let sum = s.summary();
+/// assert_eq!(sum.mean, 20.0);
+/// assert_eq!(sum.min, Cycles::new(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Streaming {
+    count: u64,
+    total: u128,
+    min: Cycles,
+    max: Cycles,
+    /// Welford running mean and sum of squared deviations.
+    welford_mean: f64,
+    welford_m2: f64,
+    hist: Histogram,
+}
+
+impl Default for Streaming {
+    fn default() -> Self {
+        Streaming::new()
+    }
+}
+
+impl Streaming {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Streaming {
+            count: 0,
+            total: 0,
+            min: Cycles::MAX,
+            max: Cycles::ZERO,
+            welford_mean: 0.0,
+            welford_m2: 0.0,
+            hist: Histogram::new(),
+        }
+    }
+
+    /// Folds in one sample.
+    pub fn record(&mut self, v: Cycles) {
+        self.count += 1;
+        self.total += u128::from(v.as_u64());
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let x = v.as_f64();
+        let delta = x - self.welford_mean;
+        self.welford_mean += delta / self.count as f64;
+        self.welford_m2 += delta * (x - self.welford_mean);
+        self.hist.record(v);
+    }
+
+    /// Number of samples folded in.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Returns `true` if no samples were folded in.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The underlying latency histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Summarizes the stream. Mean, min, max and count are exact;
+    /// median/p95 are bucket-resolution approximations unless the
+    /// distribution is degenerate (all samples equal), in which case they
+    /// are exact too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn summary(&self) -> Summary {
+        assert!(self.count > 0, "cannot summarize zero samples");
+        let (median, p95) = if self.min == self.max {
+            // Degenerate distribution: every percentile is the value.
+            (self.min, self.min)
+        } else {
+            (
+                self.hist.approx_percentile(50.0),
+                self.hist.approx_percentile(95.0),
+            )
+        };
+        Summary {
+            count: self.count as usize,
+            min: self.min,
+            max: self.max,
+            mean: self.total as f64 / self.count as f64,
+            median,
+            p95,
+            std_dev: (self.welford_m2 / self.count as f64).sqrt(),
+        }
+    }
+}
+
+impl FromIterator<Cycles> for Streaming {
+    fn from_iter<I: IntoIterator<Item = Cycles>>(iter: I) -> Self {
+        let mut s = Streaming::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<Cycles> for Streaming {
+    fn extend<I: IntoIterator<Item = Cycles>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
     }
 }
 
@@ -334,6 +473,55 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.approx_percentile(99.0), Cycles::ZERO);
         assert!(h.render().contains("no samples"));
+    }
+
+    #[test]
+    fn streaming_mean_min_max_match_samples_exactly() {
+        let vals = [6500u64, 120, 981, 44, 6500, 3250, 7, 999_983];
+        let stored = samples(&vals);
+        let streamed: Streaming = vals.iter().copied().map(Cycles::new).collect();
+        let (a, b) = (stored.summary(), streamed.summary());
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+        assert_eq!(
+            a.mean.to_bits(),
+            b.mean.to_bits(),
+            "streaming mean must be bit-identical to the stored mean"
+        );
+        assert!((a.std_dev - b.std_dev).abs() < 1e-6 * a.std_dev.max(1.0));
+    }
+
+    #[test]
+    fn streaming_is_exact_for_degenerate_distributions() {
+        let streamed: Streaming = std::iter::repeat(Cycles::new(6500)).take(50).collect();
+        let sum = streamed.summary();
+        assert_eq!(sum.median, Cycles::new(6500));
+        assert_eq!(sum.p95, Cycles::new(6500));
+        assert_eq!(sum.mean, 6500.0);
+        assert_eq!(sum.std_dev, 0.0);
+    }
+
+    #[test]
+    fn streaming_percentiles_are_bucket_bounded() {
+        let mut s = Streaming::new();
+        for v in 1..=1000u64 {
+            s.record(Cycles::new(v));
+        }
+        let sum = s.summary();
+        // Nearest-rank p50 of 1..=1000 is 500; the bucket bound is the
+        // next power of two above it.
+        assert!(sum.median >= Cycles::new(500) && sum.median <= Cycles::new(1024));
+        assert!(sum.p95 >= Cycles::new(950));
+        assert_eq!(s.len(), 1000);
+        assert!(!s.is_empty());
+        assert_eq!(s.histogram().count(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn streaming_empty_summary_panics() {
+        let _ = Streaming::new().summary();
     }
 
     #[test]

@@ -19,8 +19,9 @@ use core::fmt;
 /// assert_eq!(c.index(), 3);
 /// assert_eq!(c.to_string(), "pcpu3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct CoreId(u16);
 
@@ -58,8 +59,7 @@ impl fmt::Display for CoreId {
 /// assert_eq!(topo.guest_cores().len(), 4);
 /// assert_eq!(topo.host_cores().len(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Topology {
     num_cores: u16,
     guest: Vec<CoreId>,

@@ -16,8 +16,9 @@ use std::fmt;
 
 /// Broad classification of a traced step, used for coarse aggregation
 /// (e.g. "how much of this hypercall was context switching?").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum TraceKind {
     /// Hardware trap entry (EL1→EL2, VM exit, interrupt entry).
     Trap,
@@ -70,8 +71,7 @@ impl fmt::Display for TraceKind {
 }
 
 /// One traced step: a labelled, cycle-stamped interval on a core.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct TraceEvent {
     /// Core the step executed on.
     pub core: CoreId,
@@ -94,11 +94,28 @@ impl TraceEvent {
     }
 }
 
+/// How a [`TraceLog`] stores what it is told.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Every [`TraceEvent`] is stored in order (assertable sequences,
+    /// timeline rendering, instant extraction).
+    #[default]
+    Full,
+    /// Only per-`(kind, label)` duration totals are folded into a small
+    /// flat map; no event is ever stored, so the simulation hot path
+    /// performs **zero allocations** per charged step. Label/kind totals
+    /// match [`TraceMode::Full`] exactly; ordering queries see an empty
+    /// log.
+    Aggregate,
+}
+
 /// An append-only log of [`TraceEvent`]s.
 ///
 /// Recording can be disabled ([`TraceLog::disabled`]) for bulk workload
 /// simulations where only aggregate time matters; charging costs then skips
-/// the per-event allocation entirely.
+/// the per-event allocation entirely. Between the extremes sits
+/// [`TraceLog::aggregate`]: per-`(kind, label)` totals are kept (enough for
+/// the paper's breakdown tables) without storing any event.
 ///
 /// # Examples
 ///
@@ -118,14 +135,21 @@ impl TraceEvent {
 #[derive(Debug, Clone, Default)]
 pub struct TraceLog {
     events: Vec<TraceEvent>,
+    /// Per-`(kind, label)` duration totals, only fed in aggregate mode.
+    /// A flat vec beats a map here: breakdowns have a few dozen distinct
+    /// labels and the hot path usually re-hits the most recent ones.
+    totals: Vec<(TraceKind, &'static str, Cycles)>,
+    mode: TraceMode,
     enabled: bool,
 }
 
 impl TraceLog {
-    /// Creates an enabled, empty log.
+    /// Creates an enabled, empty log storing full events.
     pub fn new() -> Self {
         TraceLog {
             events: Vec::new(),
+            totals: Vec::new(),
+            mode: TraceMode::Full,
             enabled: true,
         }
     }
@@ -133,9 +157,31 @@ impl TraceLog {
     /// Creates a log that drops every event (for bulk simulations).
     pub fn disabled() -> Self {
         TraceLog {
-            events: Vec::new(),
             enabled: false,
+            ..TraceLog::new()
         }
+    }
+
+    /// Creates a log that keeps only per-`(kind, label)` totals —
+    /// allocation-free per recorded step once the small totals table has
+    /// seen every distinct label.
+    pub fn aggregate() -> Self {
+        TraceLog {
+            mode: TraceMode::Aggregate,
+            ..TraceLog::new()
+        }
+    }
+
+    /// The storage mode.
+    #[inline]
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Switches storage mode. Already-accumulated events/totals are kept;
+    /// only future [`TraceLog::record`] calls are affected.
+    pub fn set_mode(&mut self, mode: TraceMode) {
+        self.mode = mode;
     }
 
     /// Returns `true` if events are being recorded.
@@ -149,11 +195,30 @@ impl TraceLog {
         self.enabled = enabled;
     }
 
-    /// Appends an event (no-op when disabled).
+    /// Appends an event (no-op when disabled). In aggregate mode the
+    /// event itself is discarded after folding its duration into the
+    /// `(kind, label)` totals.
     #[inline]
     pub fn record(&mut self, ev: TraceEvent) {
-        if self.enabled {
-            self.events.push(ev);
+        if !self.enabled {
+            return;
+        }
+        match self.mode {
+            TraceMode::Full => self.events.push(ev),
+            TraceMode::Aggregate => {
+                // Pointer comparison first: labels are `&'static str`
+                // literals, so the same call site always re-hits its slot
+                // without a byte-wise compare. Two distinct literals with
+                // equal contents may occupy two slots; every query below
+                // sums all content-equal slots, so totals stay exact.
+                if let Some(slot) = self.totals.iter_mut().find(|(k, l, _)| {
+                    *k == ev.kind && (std::ptr::eq(*l, ev.label) || *l == ev.label)
+                }) {
+                    slot.2 += ev.duration;
+                } else {
+                    self.totals.push((ev.kind, ev.label, ev.duration));
+                }
+            }
         }
     }
 
@@ -163,21 +228,24 @@ impl TraceLog {
         &self.events
     }
 
-    /// Number of recorded events.
+    /// Number of **stored** events. Always 0 in aggregate mode — the
+    /// whole point is that nothing is stored per step.
     #[inline]
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// Returns `true` if no events were recorded.
+    /// Returns `true` if no events are stored (always `true` in
+    /// aggregate mode).
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
-    /// Discards all recorded events.
+    /// Discards all recorded events and totals, keeping allocations.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.totals.clear();
     }
 
     /// The labels of all events, in order — convenient for asserting the
@@ -186,30 +254,51 @@ impl TraceLog {
         self.events.iter().map(|e| e.label).collect()
     }
 
-    /// Sum of durations of all events with the given label.
+    /// Sum of durations of all events with the given label. Exact in
+    /// both full and aggregate mode.
     pub fn total_by_label(&self, label: &str) -> Cycles {
-        self.events
+        let stored: Cycles = self
+            .events
             .iter()
             .filter(|e| e.label == label)
             .map(|e| e.duration)
-            .sum()
+            .sum();
+        let folded: Cycles = self
+            .totals
+            .iter()
+            .filter(|(_, l, _)| *l == label)
+            .map(|(_, _, d)| *d)
+            .sum();
+        stored + folded
     }
 
-    /// Sum of durations of all events of the given kind.
+    /// Sum of durations of all events of the given kind. Exact in both
+    /// full and aggregate mode.
     pub fn total_by_kind(&self, kind: TraceKind) -> Cycles {
-        self.events
+        let stored: Cycles = self
+            .events
             .iter()
             .filter(|e| e.kind == kind)
             .map(|e| e.duration)
-            .sum()
+            .sum();
+        let folded: Cycles = self
+            .totals
+            .iter()
+            .filter(|(k, _, _)| *k == kind)
+            .map(|(_, _, d)| *d)
+            .sum();
+        stored + folded
     }
 
     /// Aggregates total duration per label, sorted by label — the shape of
-    /// the paper's Table III.
+    /// the paper's Table III. Exact in both full and aggregate mode.
     pub fn totals_by_label(&self) -> BTreeMap<&'static str, Cycles> {
         let mut out: BTreeMap<&'static str, Cycles> = BTreeMap::new();
         for e in &self.events {
             *out.entry(e.label).or_insert(Cycles::ZERO) += e.duration;
+        }
+        for (_, label, d) in &self.totals {
+            *out.entry(label).or_insert(Cycles::ZERO) += *d;
         }
         out
     }
@@ -335,5 +424,50 @@ mod tests {
         log.clear();
         assert!(log.is_empty());
         assert!(log.is_enabled());
+    }
+
+    #[test]
+    fn aggregate_mode_stores_nothing_but_totals_match_full() {
+        let steps = [
+            ("save:gp", TraceKind::ContextSave, 152u64),
+            ("save:vgic", TraceKind::ContextSave, 3250),
+            ("save:gp", TraceKind::ContextSave, 152),
+            ("trap:el2", TraceKind::Trap, 160),
+            ("save:gp", TraceKind::ContextSave, 152),
+        ];
+        let mut full = TraceLog::new();
+        let mut agg = TraceLog::aggregate();
+        for (l, k, d) in steps {
+            full.record(ev(l, k, d));
+            agg.record(ev(l, k, d));
+        }
+        assert_eq!(agg.mode(), TraceMode::Aggregate);
+        assert_eq!(agg.len(), 0, "aggregate mode must not store events");
+        assert!(agg.is_empty());
+        assert_eq!(full.len(), 5);
+        assert_eq!(agg.totals_by_label(), full.totals_by_label());
+        for label in ["save:gp", "save:vgic", "trap:el2", "missing"] {
+            assert_eq!(agg.total_by_label(label), full.total_by_label(label));
+        }
+        for kind in [TraceKind::ContextSave, TraceKind::Trap, TraceKind::Wire] {
+            assert_eq!(agg.total_by_kind(kind), full.total_by_kind(kind));
+        }
+    }
+
+    #[test]
+    fn aggregate_clear_resets_totals() {
+        let mut agg = TraceLog::aggregate();
+        agg.record(ev("x", TraceKind::Other, 9));
+        agg.clear();
+        assert_eq!(agg.total_by_label("x"), Cycles::ZERO);
+        assert!(agg.totals_by_label().is_empty());
+    }
+
+    #[test]
+    fn disabled_aggregate_drops_everything() {
+        let mut agg = TraceLog::aggregate();
+        agg.set_enabled(false);
+        agg.record(ev("x", TraceKind::Other, 9));
+        assert_eq!(agg.total_by_label("x"), Cycles::ZERO);
     }
 }

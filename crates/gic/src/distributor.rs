@@ -19,8 +19,7 @@ use crate::IntId;
 use core::fmt;
 
 /// Per-interrupt bookkeeping.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 struct IrqState {
     enabled: bool,
     pending: bool,
@@ -515,7 +514,9 @@ mod tests {
         let mut g = gic();
         assert_eq!(
             g.complete(0, IntId::spi(1)),
-            Err(GicError::NotActive { intid: IntId::spi(1) })
+            Err(GicError::NotActive {
+                intid: IntId::spi(1)
+            })
         );
     }
 
@@ -628,9 +629,14 @@ mod tests {
     fn mmio_priority_and_target() {
         let mut g = gic();
         let irq = IntId::spi(2); // INTID 34
-        g.mmio_write(dist_reg::GICD_IPRIORITYR + 34, 0x20, 0).unwrap();
-        assert_eq!(g.mmio_read(dist_reg::GICD_IPRIORITYR + 34, 0).unwrap(), 0x20);
-        g.mmio_write(dist_reg::GICD_ITARGETSR + 34, 0b0100, 0).unwrap();
+        g.mmio_write(dist_reg::GICD_IPRIORITYR + 34, 0x20, 0)
+            .unwrap();
+        assert_eq!(
+            g.mmio_read(dist_reg::GICD_IPRIORITYR + 34, 0).unwrap(),
+            0x20
+        );
+        g.mmio_write(dist_reg::GICD_ITARGETSR + 34, 0b0100, 0)
+            .unwrap();
         assert_eq!(g.target_of(irq), Some(2));
     }
 

@@ -17,8 +17,9 @@ use core::fmt;
 /// assert!(IntId::VTIMER.is_ppi());
 /// assert!(IntId::spi(42).is_spi());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct IntId(u32);
 

@@ -23,8 +23,7 @@ use core::fmt;
 pub const NUM_LRS: usize = 4;
 
 /// State of one list register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum LrState {
     /// Empty / available for injection.
     #[default]
@@ -38,8 +37,7 @@ pub enum LrState {
 }
 
 /// One list register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct ListRegister {
     /// The virtual INTID presented to the guest.
     pub virq: u32,
@@ -55,8 +53,7 @@ pub struct ListRegister {
 /// The register state of one virtual CPU interface — the "VGIC Regs" row
 /// of Table III. KVM ARM copies this to/from memory on every transition;
 /// Xen ARM only on VM switches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct VgicSnapshot {
     /// `GICH_HCR` — virtual interface control (global enable, underflow
     /// maintenance-interrupt enable).
@@ -99,7 +96,9 @@ impl fmt::Display for VgicError {
         match self {
             VgicError::NoFreeLr { virq } => write!(f, "no free list register for vIRQ {virq}"),
             VgicError::NotActive { virq } => write!(f, "vIRQ {virq} is not active"),
-            VgicError::AlreadyListed { virq } => write!(f, "vIRQ {virq} already in a list register"),
+            VgicError::AlreadyListed { virq } => {
+                write!(f, "vIRQ {virq} already in a list register")
+            }
         }
     }
 }
@@ -194,7 +193,12 @@ impl VgicCpuInterface {
     /// # Errors
     ///
     /// As for [`VgicCpuInterface::inject`].
-    pub fn inject_hw(&mut self, virq: u32, priority: u8, hw_intid: u32) -> Result<usize, VgicError> {
+    pub fn inject_hw(
+        &mut self,
+        virq: u32,
+        priority: u8,
+        hw_intid: u32,
+    ) -> Result<usize, VgicError> {
         let idx = self.inject(virq, priority)?;
         self.regs.lrs[idx].hw_intid = Some(hw_intid);
         Ok(idx)
@@ -222,7 +226,9 @@ impl VgicCpuInterface {
             .regs
             .lrs
             .iter_mut()
-            .find(|lr| lr.virq == virq && matches!(lr.state, LrState::Pending | LrState::PendingActive))
+            .find(|lr| {
+                lr.virq == virq && matches!(lr.state, LrState::Pending | LrState::PendingActive)
+            })
             .expect("pending_virq returned a listed interrupt");
         lr.state = match lr.state {
             LrState::Pending => LrState::Active,
@@ -451,5 +457,4 @@ mod tests {
         assert_eq!(v.pending_virq(), None);
         assert_eq!(v.guest_ack(), None);
     }
-
 }

@@ -10,12 +10,13 @@
 //! on all CPUs, which is why zero-copy was abandoned on Xen x86 and never
 //! built for ARM.
 
-use crate::{Pa, PhysMemory, MemError};
+use crate::{MemError, Pa, PhysMemory};
 use core::fmt;
 
 /// A domain identifier (Dom0 is domain 0).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct DomId(pub u16);
 
@@ -31,8 +32,7 @@ impl fmt::Display for DomId {
 }
 
 /// A reference into a domain's grant table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 #[serde(transparent)]
 pub struct GrantRef(pub u32);
 
@@ -311,10 +311,15 @@ mod tests {
     #[test]
     fn grant_map_unmap_end_lifecycle() {
         let mut gt = GrantTable::new(4);
-        let gref = gt.grant_access(DomId::DOM0, Pa::new(0x5123), false).unwrap();
+        let gref = gt
+            .grant_access(DomId::DOM0, Pa::new(0x5123), false)
+            .unwrap();
         let frame = gt.map(gref, DomId::DOM0).unwrap();
         assert_eq!(frame, Pa::new(0x5000), "grants are frame-granular");
-        assert_eq!(gt.end_access(gref), Err(GrantError::StillMapped { mappings: 1 }));
+        assert_eq!(
+            gt.end_access(gref),
+            Err(GrantError::StillMapped { mappings: 1 })
+        );
         gt.unmap(gref, DomId::DOM0).unwrap();
         gt.end_access(gref).unwrap();
         assert_eq!(gt.live_entries(), 0);
@@ -337,7 +342,9 @@ mod tests {
         let mut gt = GrantTable::new(4);
         let mut mem = PhysMemory::new(1 << 20);
         mem.write(Pa::new(0x9000), b"from-dom0-dma-buffer").unwrap();
-        let gref = gt.grant_access(DomId::DOM0, Pa::new(0x3000), false).unwrap();
+        let gref = gt
+            .grant_access(DomId::DOM0, Pa::new(0x3000), false)
+            .unwrap();
         // Netback RX: copy from Dom0 buffer into the granted DomU frame.
         gt.grant_copy(&mut mem, gref, DomId::DOM0, 0x10, Pa::new(0x9000), 20, true)
             .unwrap();
@@ -346,8 +353,16 @@ mod tests {
         assert_eq!(&buf, b"from-dom0-dma-buffer");
         assert_eq!(gt.copy_count(), 1);
         // TX direction: copy out of the granted frame.
-        gt.grant_copy(&mut mem, gref, DomId::DOM0, 0x10, Pa::new(0xA000), 20, false)
-            .unwrap();
+        gt.grant_copy(
+            &mut mem,
+            gref,
+            DomId::DOM0,
+            0x10,
+            Pa::new(0xA000),
+            20,
+            false,
+        )
+        .unwrap();
         assert_eq!(gt.copy_count(), 2);
     }
 
@@ -369,8 +384,10 @@ mod tests {
     #[test]
     fn table_exhaustion() {
         let mut gt = GrantTable::new(2);
-        gt.grant_access(DomId::DOM0, Pa::new(0x1000), false).unwrap();
-        gt.grant_access(DomId::DOM0, Pa::new(0x2000), false).unwrap();
+        gt.grant_access(DomId::DOM0, Pa::new(0x1000), false)
+            .unwrap();
+        gt.grant_access(DomId::DOM0, Pa::new(0x2000), false)
+            .unwrap();
         assert_eq!(
             gt.grant_access(DomId::DOM0, Pa::new(0x3000), false),
             Err(GrantError::TableFull)
@@ -380,16 +397,22 @@ mod tests {
     #[test]
     fn unmap_without_map_is_error() {
         let mut gt = GrantTable::new(2);
-        let gref = gt.grant_access(DomId::DOM0, Pa::new(0x1000), false).unwrap();
+        let gref = gt
+            .grant_access(DomId::DOM0, Pa::new(0x1000), false)
+            .unwrap();
         assert_eq!(gt.unmap(gref, DomId::DOM0), Err(GrantError::NotMapped));
     }
 
     #[test]
     fn refs_are_recycled_after_end_access() {
         let mut gt = GrantTable::new(1);
-        let g1 = gt.grant_access(DomId::DOM0, Pa::new(0x1000), false).unwrap();
+        let g1 = gt
+            .grant_access(DomId::DOM0, Pa::new(0x1000), false)
+            .unwrap();
         gt.end_access(g1).unwrap();
-        let g2 = gt.grant_access(DomId::DOM0, Pa::new(0x2000), false).unwrap();
+        let g2 = gt
+            .grant_access(DomId::DOM0, Pa::new(0x2000), false)
+            .unwrap();
         assert_eq!(g1, g2, "single-entry table recycles the ref");
     }
 }

@@ -27,7 +27,5 @@ mod tlb;
 pub use addr::{Ipa, Pa, Va, PAGE_SHIFT, PAGE_SIZE};
 pub use grant::{DomId, GrantError, GrantRef, GrantTable};
 pub use memory::{MemError, PhysMemory};
-pub use stage2::{
-    Access, MapError, S2Perms, Stage2Fault, Stage2Tables, Translation, BLOCK_SIZE,
-};
+pub use stage2::{Access, MapError, S2Perms, Stage2Fault, Stage2Tables, Translation, BLOCK_SIZE};
 pub use tlb::{ShootdownMethod, ShootdownPlan, TlbModel};

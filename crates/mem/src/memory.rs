@@ -82,7 +82,11 @@ impl PhysMemory {
     }
 
     fn check(&self, pa: Pa, len: usize) -> Result<(), MemError> {
-        if pa.value().checked_add(len as u64).is_none_or(|end| end > self.size) {
+        if pa
+            .value()
+            .checked_add(len as u64)
+            .is_none_or(|end| end > self.size)
+        {
             return Err(MemError::OutOfRange { pa });
         }
         Ok(())

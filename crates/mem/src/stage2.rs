@@ -12,8 +12,7 @@ use crate::{Ipa, Pa, PAGE_SHIFT, PAGE_SIZE};
 use core::fmt;
 
 /// Access permissions of a Stage-2 mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct S2Perms {
     /// Readable by the guest.
     pub read: bool,
@@ -54,8 +53,7 @@ impl S2Perms {
 }
 
 /// Kind of memory access being translated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Access {
     /// Data read.
     Read,
@@ -67,8 +65,7 @@ pub enum Access {
 
 /// A Stage-2 translation fault — delivered to the hypervisor as a
 /// stage-2 data/instruction abort.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Stage2Fault {
     /// No mapping exists at this IPA (MMIO emulation and demand paging
     /// arrive this way).
@@ -409,14 +406,20 @@ mod tests {
         let s2 = Stage2Tables::new();
         assert_eq!(
             s2.translate(Ipa::new(0x1000), Access::Read),
-            Err(Stage2Fault::Translation { ipa: Ipa::new(0x1000), level: 0 })
+            Err(Stage2Fault::Translation {
+                ipa: Ipa::new(0x1000),
+                level: 0
+            })
         );
         let mut s2 = Stage2Tables::new();
         s2.map_page(Ipa::new(0), Pa::new(0), S2Perms::RWX).unwrap();
         // Sibling page in the same leaf table: walk reaches level 3.
         assert_eq!(
             s2.translate(Ipa::new(0x1000), Access::Read),
-            Err(Stage2Fault::Translation { ipa: Ipa::new(0x1000), level: 3 })
+            Err(Stage2Fault::Translation {
+                ipa: Ipa::new(0x1000),
+                level: 3
+            })
         );
     }
 
@@ -428,7 +431,10 @@ mod tests {
         assert!(s2.translate(Ipa::new(0x2000), Access::Read).is_ok());
         assert_eq!(
             s2.translate(Ipa::new(0x2000), Access::Write),
-            Err(Stage2Fault::Permission { ipa: Ipa::new(0x2000), access: Access::Write })
+            Err(Stage2Fault::Permission {
+                ipa: Ipa::new(0x2000),
+                access: Access::Write
+            })
         );
         assert!(s2.translate(Ipa::new(0x2000), Access::Exec).is_err());
     }
@@ -451,13 +457,23 @@ mod tests {
     fn map_range_uses_blocks_where_aligned() {
         let mut s2 = Stage2Tables::new();
         // 4 MiB starting 2 MiB-aligned: 2 blocks.
-        s2.map_range(Ipa::new(0x4000_0000), Pa::new(0x8000_0000), 1024, S2Perms::RWX)
-            .unwrap();
-        assert!(s2.translate(Ipa::new(0x4000_0000), Access::Read).unwrap().block);
-        assert!(s2
-            .translate(Ipa::new(0x4020_0000), Access::Read)
-            .unwrap()
-            .block);
+        s2.map_range(
+            Ipa::new(0x4000_0000),
+            Pa::new(0x8000_0000),
+            1024,
+            S2Perms::RWX,
+        )
+        .unwrap();
+        assert!(
+            s2.translate(Ipa::new(0x4000_0000), Access::Read)
+                .unwrap()
+                .block
+        );
+        assert!(
+            s2.translate(Ipa::new(0x4020_0000), Access::Read)
+                .unwrap()
+                .block
+        );
         assert_eq!(s2.mapped_pages(), 1024);
         // Unaligned start: pages until a block boundary.
         let mut s2 = Stage2Tables::new();
@@ -474,7 +490,9 @@ mod tests {
             .unwrap();
         assert_eq!(
             s2.map_page(Ipa::new(0x1000), Pa::new(0x9000), S2Perms::RWX),
-            Err(MapError::AlreadyMapped { ipa: Ipa::new(0x1000) })
+            Err(MapError::AlreadyMapped {
+                ipa: Ipa::new(0x1000)
+            })
         );
         // Can't lay a block over existing pages either.
         let mut s2 = Stage2Tables::new();
@@ -495,7 +513,9 @@ mod tests {
         assert!(s2.translate(Ipa::new(0x1000), Access::Read).is_err());
         assert_eq!(
             s2.unmap(Ipa::new(0x1000)),
-            Err(MapError::NotMapped { ipa: Ipa::new(0x1000) })
+            Err(MapError::NotMapped {
+                ipa: Ipa::new(0x1000)
+            })
         );
         s2.map_block(Ipa::new(0x4000_0000), Pa::new(0), S2Perms::RWX)
             .unwrap();

@@ -13,8 +13,7 @@ use crate::Ipa;
 use std::collections::HashSet;
 
 /// How a multi-core TLB invalidation is carried out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ShootdownMethod {
     /// ARM `TLBI ...IS` — a single broadcast instruction invalidates the
     /// inner-shareable domain; remote cores need not be interrupted.

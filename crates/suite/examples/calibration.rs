@@ -12,7 +12,10 @@ fn main() {
     println!("=== Figure 4 ===");
     println!("{}", fig4::Figure4::measure().render());
     println!("=== IRQ distribution ablation ===");
-    println!("{}", ablations::render_irq_distribution(&ablations::irq_distribution()));
+    println!(
+        "{}",
+        ablations::render_irq_distribution(&ablations::irq_distribution())
+    );
     println!("=== VHE projection ===");
     println!("{}", ablations::render_vhe(&ablations::vhe()));
     println!("=== Zero copy ===");

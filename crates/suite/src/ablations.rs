@@ -12,7 +12,7 @@
 //!   broadcast TLBI could make mapping cheap).
 
 use crate::workloads::{self, DiskDevice, Mix};
-use hvx_core::{Hypervisor, HvKind, KvmArm, Native, VirqPolicy, XenArm};
+use hvx_core::{HvKind, Hypervisor, KvmArm, Native, VirqPolicy, XenArm};
 use hvx_engine::Cycles;
 use hvx_mem::{Ipa, ShootdownMethod, TlbModel};
 use serde::Serialize;
@@ -142,16 +142,24 @@ pub fn vhe() -> VheProjection {
             .find(|w| w.name == name)
             .expect("catalog workload")
             .mix;
-        let classic =
-            workloads::overhead(&mut KvmArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
+        let classic = workloads::overhead(
+            &mut KvmArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
         let vhe = workloads::overhead(
             &mut KvmArm::new_vhe(),
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
         );
-        let xen =
-            workloads::overhead(&mut XenArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
+        let xen = workloads::overhead(
+            &mut XenArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
         wl.push((name, classic, vhe, xen));
     }
     VheProjection {
@@ -233,7 +241,12 @@ pub fn zero_copy() -> ZeroCopyAnalysis {
     let bcast_cost = map_unmap + Cycles::new(150);
 
     // Project TCP_STREAM with the cheaper maintenance.
-    let mix = Mix::StreamRx { chunks: 44, chunk_len: 1_490, bursts: 24, link_mbit: 10_000 };
+    let mix = Mix::StreamRx {
+        chunks: 44,
+        chunk_len: 1_490,
+        bursts: 24,
+        link_mbit: 10_000,
+    };
     let stream_copy = workloads::overhead(
         &mut XenArm::new(),
         &mut Native::new(),
@@ -243,12 +256,8 @@ pub fn zero_copy() -> ZeroCopyAnalysis {
     let mut mapped_cost = cost;
     mapped_cost.xen_grant_copy = bcast_cost;
     let mut mapped_xen = XenArm::with_cost(mapped_cost);
-    let stream_mapped = workloads::overhead(
-        &mut mapped_xen,
-        &mut Native::new(),
-        mix,
-        VirqPolicy::Vcpu0,
-    );
+    let stream_mapped =
+        workloads::overhead(&mut mapped_xen, &mut Native::new(), mix, VirqPolicy::Vcpu0);
 
     ZeroCopyAnalysis {
         copy: cost.xen_grant_copy.as_u64(),
@@ -285,7 +294,6 @@ pub fn render_zero_copy(z: &ZeroCopyAnalysis) -> String {
     )
 }
 
-
 // ---------------------------------------------------------------------
 // Link speed
 // ---------------------------------------------------------------------
@@ -305,10 +313,25 @@ pub struct LinkSpeedAblation {
 /// hide behind the slow wire and every overhead collapses toward 1.0.
 pub fn link_speed() -> LinkSpeedAblation {
     let run = |link_mbit: u64| -> (f64, f64) {
-        let mix = Mix::StreamRx { chunks: 44, chunk_len: 1_490, bursts: 24, link_mbit };
+        let mix = Mix::StreamRx {
+            chunks: 44,
+            chunk_len: 1_490,
+            bursts: 24,
+            link_mbit,
+        };
         (
-            workloads::overhead(&mut KvmArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0),
-            workloads::overhead(&mut XenArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0),
+            workloads::overhead(
+                &mut KvmArm::new(),
+                &mut Native::new(),
+                mix,
+                VirqPolicy::Vcpu0,
+            ),
+            workloads::overhead(
+                &mut XenArm::new(),
+                &mut Native::new(),
+                mix,
+                VirqPolicy::Vcpu0,
+            ),
         )
     };
     LinkSpeedAblation {
@@ -327,7 +350,14 @@ pub fn render_link_speed(l: &LinkSpeedAblation) -> String {
          At 1 GbE the wire hides the hypervisors entirely (S III: 'many\n\
          benchmarks were unaffected by virtualization when run over 1 Gb\n\
          Ethernet, because the network itself became the bottleneck').\n",
-        "", "KVM ARM", "Xen ARM", "10 GbE", l.ten_gbe.0, l.ten_gbe.1, "1 GbE", l.one_gbe.0,
+        "",
+        "KVM ARM",
+        "Xen ARM",
+        "10 GbE",
+        l.ten_gbe.0,
+        l.ten_gbe.1,
+        "1 GbE",
+        l.one_gbe.0,
         l.one_gbe.1
     )
 }
@@ -453,10 +483,24 @@ pub struct StorageAblation {
 /// grant copy).
 pub fn storage() -> StorageAblation {
     let run = |device: DiskDevice, requests: u32| -> (f64, f64) {
-        let mix = Mix::DiskIo { requests, sectors: 8, device };
+        let mix = Mix::DiskIo {
+            requests,
+            sectors: 8,
+            device,
+        };
         (
-            workloads::overhead(&mut KvmArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0),
-            workloads::overhead(&mut XenArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0),
+            workloads::overhead(
+                &mut KvmArm::new(),
+                &mut Native::new(),
+                mix,
+                VirqPolicy::Vcpu0,
+            ),
+            workloads::overhead(
+                &mut XenArm::new(),
+                &mut Native::new(),
+                mix,
+                VirqPolicy::Vcpu0,
+            ),
         )
     };
     StorageAblation {
@@ -475,8 +519,15 @@ pub fn render_storage(st: &StorageAblation) -> String {
          The slow RAID5 array hides the paravirtual block stack the same\n\
          way 1 GbE hid the network stack; the SSD exposes it, and Xen's\n\
          per-request grant copy on top.\n",
-        "", "KVM ARM", "Xen ARM", "SSD (m400)", st.ssd.0, st.ssd.1, "RAID5 (r320)",
-        st.raid5.0, st.raid5.1
+        "",
+        "KVM ARM",
+        "Xen ARM",
+        "SSD (m400)",
+        st.ssd.0,
+        st.ssd.1,
+        "RAID5 (r320)",
+        st.raid5.0,
+        st.raid5.1
     )
 }
 
@@ -560,7 +611,11 @@ mod tests {
     fn storage_mirrors_the_link_speed_story() {
         let st = storage();
         assert!(st.ssd.1 > st.ssd.0, "Xen pays more on SSD: {:?}", st.ssd);
-        assert!(st.raid5.0 < 1.02 && st.raid5.1 < 1.05, "RAID5 hides: {:?}", st.raid5);
+        assert!(
+            st.raid5.0 < 1.02 && st.raid5.1 < 1.05,
+            "RAID5 hides: {:?}",
+            st.raid5
+        );
     }
 
     #[test]

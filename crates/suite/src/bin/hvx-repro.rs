@@ -1,30 +1,52 @@
 //! `hvx-repro` — one-command reproduction of every artifact in the
-//! paper, with optional JSON export.
+//! paper, with optional JSON export and a parallel scenario runner.
 //!
 //! ```text
-//! hvx-repro [--json DIR] [ARTIFACT...]
+//! hvx-repro [--json DIR] [--jobs N] [--timing] [--bench FILE] [ARTIFACT...]
 //!
 //! ARTIFACTs: table2 table3 table5 fig4 irq vhe zerocopy link vapic
-//!            oversub all   (default: all)
+//!            oversub storage all   (default: all)
 //! ```
+//!
+//! `--jobs N` fans independent scenarios (each Figure 4 cell, each
+//! table, each ablation) across N OS threads; output is byte-identical
+//! to `--jobs 1`. `--timing` reports per-artifact wall-clock on stderr.
+//! `--bench FILE` times the full suite serial then parallel, checks the
+//! outputs match byte-for-byte, and writes the measurements to FILE.
 
-use hvx_suite::{ablations, fig4, micro, netperf, table3};
-use std::collections::BTreeSet;
+use hvx_suite::runner::{self, ArtifactId};
+use serde::Serialize;
 use std::path::PathBuf;
+use std::time::Instant;
 
 struct Args {
     json_dir: Option<PathBuf>,
-    artifacts: BTreeSet<String>,
+    jobs: usize,
+    timing: bool,
+    bench: Option<PathBuf>,
+    artifacts: Vec<ArtifactId>,
 }
 
-const ALL: [&str; 11] = [
-    "table2", "table3", "table5", "fig4", "irq", "vhe", "zerocopy", "link", "vapic", "oversub",
-    "storage",
-];
+fn usage() -> String {
+    let names: Vec<&str> = ArtifactId::ALL.iter().map(|a| a.cli_name()).collect();
+    format!(
+        "usage: hvx-repro [--json DIR] [--jobs N] [--timing] [--bench FILE] [ARTIFACT...]\n\
+         artifacts: {} all",
+        names.join(" ")
+    )
+}
 
-fn parse_args() -> Result<Args, String> {
+enum Parsed {
+    Run(Args),
+    Help,
+}
+
+fn parse_args() -> Result<Parsed, String> {
     let mut json_dir = None;
-    let mut artifacts = BTreeSet::new();
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut timing = false;
+    let mut bench = None;
+    let mut requested = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -32,116 +54,144 @@ fn parse_args() -> Result<Args, String> {
                 let dir = it.next().ok_or("--json requires a directory")?;
                 json_dir = Some(PathBuf::from(dir));
             }
-            "--help" | "-h" => {
-                return Err(format!(
-                    "usage: hvx-repro [--json DIR] [ARTIFACT...]\nartifacts: {} all",
-                    ALL.join(" ")
-                ));
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs requires a count")?;
+                jobs = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got '{n}'"))?;
             }
-            "all" => artifacts.extend(ALL.iter().map(|s| s.to_string())),
-            a if ALL.contains(&a) => {
-                artifacts.insert(a.to_string());
+            "--timing" => timing = true,
+            "--bench" => {
+                let file = it.next().ok_or("--bench requires an output file")?;
+                bench = Some(PathBuf::from(file));
             }
-            other => return Err(format!("unknown artifact '{other}'; try --help")),
+            "--help" | "-h" => return Ok(Parsed::Help),
+            "all" => requested.extend(ArtifactId::ALL),
+            other => match ArtifactId::parse(other) {
+                Some(a) => requested.push(a),
+                None => return Err(format!("unknown artifact '{other}'; try --help")),
+            },
         }
     }
-    if artifacts.is_empty() {
-        artifacts.extend(ALL.iter().map(|s| s.to_string()));
+    if requested.is_empty() {
+        requested.extend(ArtifactId::ALL);
     }
-    Ok(Args {
+    // Print order is fixed (the ALL order); requests only select.
+    let artifacts: Vec<ArtifactId> = ArtifactId::ALL
+        .into_iter()
+        .filter(|a| requested.contains(a))
+        .collect();
+    Ok(Parsed::Run(Args {
         json_dir,
+        jobs,
+        timing,
+        bench,
         artifacts,
-    })
+    }))
 }
 
-fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
-    let Some(dir) = dir else { return };
-    std::fs::create_dir_all(dir).expect("create json dir");
-    let path = dir.join(format!("{name}.json"));
-    let data = serde_json::to_string_pretty(value).expect("serialize");
-    std::fs::write(&path, data).expect("write json");
-    eprintln!("wrote {}", path.display());
+#[derive(Serialize)]
+struct BenchArtifact {
+    name: &'static str,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    jobs: usize,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+    speedup: f64,
+    artifacts: Vec<BenchArtifact>,
+}
+
+/// Runs the full suite serial then parallel, asserts the outputs are
+/// byte-identical, and writes the wall-clock comparison to `path`.
+fn bench(path: &PathBuf, jobs: usize) {
+    let artifacts = ArtifactId::ALL;
+    eprintln!("bench: running full suite with --jobs 1 ...");
+    let t0 = Instant::now();
+    let serial = runner::run_artifacts(&artifacts, 1);
+    let serial_seconds = t0.elapsed().as_secs_f64();
+    eprintln!("bench: running full suite with --jobs {jobs} ...");
+    let t1 = Instant::now();
+    let parallel = runner::run_artifacts(&artifacts, jobs);
+    let parallel_seconds = t1.elapsed().as_secs_f64();
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.text, p.text, "{} text diverged", s.id.cli_name());
+        assert_eq!(s.json, p.json, "{} JSON diverged", s.id.cli_name());
+    }
+    let report = BenchReport {
+        jobs,
+        serial_seconds,
+        parallel_seconds,
+        speedup: serial_seconds / parallel_seconds,
+        artifacts: serial
+            .iter()
+            .zip(&parallel)
+            .map(|(s, p)| BenchArtifact {
+                name: s.id.cli_name(),
+                serial_seconds: s.wall.as_secs_f64(),
+                parallel_seconds: p.wall.as_secs_f64(),
+            })
+            .collect(),
+    };
+    let data = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(path, data).expect("write bench report");
+    eprintln!(
+        "bench: serial {serial_seconds:.3}s, parallel {parallel_seconds:.3}s \
+         ({:.2}x, outputs byte-identical), wrote {}",
+        report.speedup,
+        path.display()
+    );
 }
 
 fn main() {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(Parsed::Run(a)) => a,
+        Ok(Parsed::Help) => {
+            println!("{}", usage());
+            return;
+        }
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);
         }
     };
-    let want = |name: &str| args.artifacts.contains(name);
+
+    if let Some(path) = &args.bench {
+        bench(path, args.jobs);
+        return;
+    }
 
     println!("hvx — reproducing \"ARM Virtualization: Performance and Architectural");
     println!("Implications\" (ISCA 2016) on the simulator. Paper values in parentheses.\n");
 
-    if want("table2") {
-        println!("== Table II: microbenchmark cycle counts ==\n");
-        let t = micro::Table2::measure(10);
-        println!("{}", t.render());
-        println!("worst residual: {:.1}%\n", t.worst_error() * 100.0);
-        write_json(&args.json_dir, "table2", &t);
+    let reports = runner::run_artifacts(&args.artifacts, args.jobs);
+    for r in &reports {
+        print!("{}", r.text);
+        if let Some(dir) = &args.json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = dir.join(format!("{}.json", r.id.json_name()));
+            std::fs::write(&path, &r.json).expect("write json");
+            eprintln!("wrote {}", path.display());
+        }
+        if args.timing {
+            eprintln!(
+                "[timing] {:<10} {:>9.3}s",
+                r.id.cli_name(),
+                r.wall.as_secs_f64()
+            );
+        }
     }
-    if want("table3") {
-        println!("== Table III: KVM ARM hypercall breakdown ==\n");
-        let t = table3::Table3::measure();
-        println!("{}", t.render());
-        write_json(&args.json_dir, "table3", &t);
-    }
-    if want("table5") {
-        println!("== Table V: netperf TCP_RR decomposition ==\n");
-        let t = netperf::Table5::measure(50);
-        println!("{}", t.render());
-        write_json(&args.json_dir, "table5", &t);
-    }
-    if want("fig4") {
-        println!("{}", hvx_suite::workloads::render_table4());
-        println!("== Figure 4: application benchmarks ==\n");
-        let f = fig4::Figure4::measure();
-        println!("{}", f.render());
-        write_json(&args.json_dir, "fig4", &f);
-    }
-    if want("irq") {
-        println!("== Section V: interrupt-distribution ablation ==\n");
-        let rows = ablations::irq_distribution();
-        println!("{}", ablations::render_irq_distribution(&rows));
-        write_json(&args.json_dir, "irq_distribution", &rows);
-    }
-    if want("vhe") {
-        println!("== Section VI: VHE projection ==\n");
-        let p = ablations::vhe();
-        println!("{}", ablations::render_vhe(&p));
-        write_json(&args.json_dir, "vhe", &p);
-    }
-    if want("zerocopy") {
-        println!("== Section V: zero-copy trade ==\n");
-        let z = ablations::zero_copy();
-        println!("{}", ablations::render_zero_copy(&z));
-        write_json(&args.json_dir, "zero_copy", &z);
-    }
-    if want("link") {
-        println!("== Section III: link-speed observation ==\n");
-        let l = ablations::link_speed();
-        println!("{}", ablations::render_link_speed(&l));
-        write_json(&args.json_dir, "link_speed", &l);
-    }
-    if want("vapic") {
-        println!("== Section IV: vAPIC note ==\n");
-        let v = ablations::vapic();
-        println!("{}", ablations::render_vapic(&v));
-        write_json(&args.json_dir, "vapic", &v);
-    }
-    if want("storage") {
-        println!("== Section III devices: storage ablation ==\n");
-        let st = ablations::storage();
-        println!("{}", ablations::render_storage(&st));
-        write_json(&args.json_dir, "storage", &st);
-    }
-    if want("oversub") {
-        println!("== Table I motivation: oversubscription sweep ==\n");
-        let o = ablations::oversubscription();
-        println!("{}", ablations::render_oversubscription(&o));
-        write_json(&args.json_dir, "oversubscription", &o);
+    if args.timing {
+        let total: f64 = reports.iter().map(|r| r.wall.as_secs_f64()).sum();
+        eprintln!(
+            "[timing] {:<10} {total:>9.3}s (sum over scenarios, --jobs {})",
+            "total", args.jobs
+        );
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::paper::{self, TargetSource};
 use crate::workloads::{self, Workload};
-use hvx_core::{CostModel, Hypervisor, HvKind, KvmArm, KvmX86, Native, VirqPolicy, XenArm, XenX86};
+use hvx_core::{CostModel, HvKind, Hypervisor, KvmArm, KvmX86, Native, VirqPolicy, XenArm, XenX86};
 use serde::Serialize;
 
 /// One reproduced Figure 4 bar.
@@ -74,6 +74,33 @@ impl Figure4 {
     /// Reproduces the full figure (36 bars, one missing).
     pub fn measure() -> Figure4 {
         let cat = workloads::catalog();
+        let cells: Vec<Option<f64>> = cat
+            .iter()
+            .flat_map(|w| {
+                paper::COLUMNS
+                    .into_iter()
+                    .map(|kind| measure_bar(w, kind, VirqPolicy::Vcpu0))
+            })
+            .collect();
+        Figure4::from_cells(&cells)
+    }
+
+    /// Assembles the figure from pre-measured cells in workload-major,
+    /// column-minor order (9 workloads × 4 columns). This is the single
+    /// assembly path shared by [`Figure4::measure`] and the parallel
+    /// scenario runner, so a parallel run is byte-identical to a serial
+    /// one by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly 36 cells are supplied.
+    pub fn from_cells(cells: &[Option<f64>]) -> Figure4 {
+        let cat = workloads::catalog();
+        assert_eq!(
+            cells.len(),
+            cat.len() * paper::COLUMNS.len(),
+            "need one cell per (workload, column)"
+        );
         let mut groups = Vec::new();
         for (wi, w) in cat.iter().enumerate() {
             let targets = paper::FIG4[wi];
@@ -82,7 +109,7 @@ impl Figure4 {
             for (ci, kind) in paper::COLUMNS.into_iter().enumerate() {
                 bars.push(Bar {
                     hv: kind,
-                    measured: measure_bar(w, kind, VirqPolicy::Vcpu0),
+                    measured: cells[wi * paper::COLUMNS.len() + ci],
                     paper: targets.bars[ci],
                 });
             }
@@ -110,7 +137,11 @@ impl Figure4 {
                 let cell = match (b.measured, b.paper.1) {
                     (None, _) | (_, TargetSource::Unavailable) => "n/a (n/a)".to_string(),
                     (Some(m), src) => {
-                        let tag = if src == TargetSource::Estimated { "est." } else { "" };
+                        let tag = if src == TargetSource::Estimated {
+                            "est."
+                        } else {
+                            ""
+                        };
                         format!("{m:.2} ({:.2}{tag})", b.paper.0)
                     }
                 };
@@ -206,7 +237,14 @@ mod tests {
                 .unwrap()
         };
         // KVM ARM meets or exceeds Xen ARM on every I/O workload.
-        for w in ["TCP_RR", "TCP_STREAM", "TCP_MAERTS", "Apache", "Memcached", "MySQL"] {
+        for w in [
+            "TCP_RR",
+            "TCP_STREAM",
+            "TCP_MAERTS",
+            "Apache",
+            "Memcached",
+            "MySQL",
+        ] {
             assert!(
                 get(w, HvKind::KvmArm) < get(w, HvKind::XenArm),
                 "{w}: KVM ARM should beat Xen ARM"
@@ -219,7 +257,9 @@ mod tests {
         assert!(get("Kernbench", HvKind::KvmArm) < get("Kernbench", HvKind::KvmX86) + 0.06);
         // Xen's STREAM overhead is architecture-independent (the I/O
         // model, not the hardware, is the cause).
-        assert!((get("TCP_STREAM", HvKind::XenArm) - get("TCP_STREAM", HvKind::XenX86)).abs() < 0.4);
+        assert!(
+            (get("TCP_STREAM", HvKind::XenArm) - get("TCP_STREAM", HvKind::XenX86)).abs() < 0.4
+        );
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   as operation mixes with emergent overheads;
 //! * [`ablations`] — the §V interrupt-distribution ablation, the §V
 //!   zero-copy analysis, and the §VI VHE projection;
+//! * [`runner`] — the parallel scenario runner fanning the full artifact
+//!   matrix across OS threads with byte-identical output to a serial run;
 //! * [`paper`] — the published numbers every report compares against.
 
 #![warn(missing_docs)]
@@ -23,5 +25,6 @@ pub mod fig4;
 pub mod micro;
 pub mod netperf;
 pub mod paper;
+pub mod runner;
 pub mod table3;
 pub mod workloads;

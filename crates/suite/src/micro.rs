@@ -1,7 +1,7 @@
 //! The Table I microbenchmark suite and the Table II runner.
 
 use crate::paper;
-use hvx_core::{Hypervisor, HvKind, HypervisorExt, KvmArm, KvmX86, XenArm, XenX86};
+use hvx_core::{HvKind, Hypervisor, HypervisorExt, KvmArm, KvmX86, XenArm, XenX86};
 use hvx_engine::Cycles;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -94,9 +94,13 @@ impl Micro {
     }
 
     /// Runs `iters` iterations with barriers between them and returns the
-    /// mean (the framework of §IV).
+    /// mean (the framework of §IV). Iterations fold into a streaming
+    /// accumulator — no per-sample storage — and the streaming mean is
+    /// bit-identical to the stored-samples mean.
     pub fn run(self, hv: &mut dyn Hypervisor, iters: usize) -> Cycles {
-        hv.sample(iters, |h| self.run_once(h)).summary().mean_cycles()
+        hv.sample_streaming(iters, |h| self.run_once(h))
+            .summary()
+            .mean_cycles()
     }
 }
 
@@ -145,6 +149,15 @@ impl Table2 {
             Box::new(KvmX86::new()),
             Box::new(XenX86::new()),
         ];
+        // Thousands of iterations × dozens of charged steps each: keep
+        // only (kind, label) totals instead of storing every TraceEvent.
+        // Breakdown queries stay exact; the charge hot path stops
+        // allocating.
+        for hv in &mut hvs {
+            hv.machine_mut()
+                .trace_mut()
+                .set_mode(hvx_engine::TraceMode::Aggregate);
+        }
         let mut rows = Vec::new();
         for (mi, micro) in Micro::ALL.into_iter().enumerate() {
             let paper_row = paper::TABLE2[mi].1;

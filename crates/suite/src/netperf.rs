@@ -226,7 +226,10 @@ impl Table5 {
                     None => out.push_str(&format!("{:>12}", "-")),
                 }
             }
-            out.push_str(&format!("   ({} / {} / {})\n", paper[0], paper[1], paper[2]));
+            out.push_str(&format!(
+                "   ({} / {} / {})\n",
+                paper[0], paper[1], paper[2]
+            ));
         }
         out
     }
@@ -254,25 +257,46 @@ mod tests {
     #[test]
     fn kvm_column_matches_paper_within_10_percent() {
         let t5 = Table5::measure(20);
-        assert!(close(t5.kvm.recv_to_vm_recv.unwrap(), 21.1, 10.0),
-            "recv_to_vm_recv {}", t5.kvm.recv_to_vm_recv.unwrap());
-        assert!(close(t5.kvm.vm_recv_to_vm_send.unwrap(), 16.9, 10.0),
-            "vm window {}", t5.kvm.vm_recv_to_vm_send.unwrap());
-        assert!(close(t5.kvm.vm_send_to_send.unwrap(), 15.0, 10.0),
-            "vm_send_to_send {}", t5.kvm.vm_send_to_send.unwrap());
-        assert!(close(t5.kvm.time_per_trans, 86.3, 10.0),
-            "time/trans {}", t5.kvm.time_per_trans);
+        assert!(
+            close(t5.kvm.recv_to_vm_recv.unwrap(), 21.1, 10.0),
+            "recv_to_vm_recv {}",
+            t5.kvm.recv_to_vm_recv.unwrap()
+        );
+        assert!(
+            close(t5.kvm.vm_recv_to_vm_send.unwrap(), 16.9, 10.0),
+            "vm window {}",
+            t5.kvm.vm_recv_to_vm_send.unwrap()
+        );
+        assert!(
+            close(t5.kvm.vm_send_to_send.unwrap(), 15.0, 10.0),
+            "vm_send_to_send {}",
+            t5.kvm.vm_send_to_send.unwrap()
+        );
+        assert!(
+            close(t5.kvm.time_per_trans, 86.3, 10.0),
+            "time/trans {}",
+            t5.kvm.time_per_trans
+        );
     }
 
     #[test]
     fn xen_column_matches_paper_within_12_percent() {
         let t5 = Table5::measure(20);
-        assert!(close(t5.xen.recv_to_vm_recv.unwrap(), 25.9, 12.0),
-            "recv_to_vm_recv {}", t5.xen.recv_to_vm_recv.unwrap());
-        assert!(close(t5.xen.vm_send_to_send.unwrap(), 21.4, 12.0),
-            "vm_send_to_send {}", t5.xen.vm_send_to_send.unwrap());
-        assert!(close(t5.xen.time_per_trans, 97.5, 12.0),
-            "time/trans {}", t5.xen.time_per_trans);
+        assert!(
+            close(t5.xen.recv_to_vm_recv.unwrap(), 25.9, 12.0),
+            "recv_to_vm_recv {}",
+            t5.xen.recv_to_vm_recv.unwrap()
+        );
+        assert!(
+            close(t5.xen.vm_send_to_send.unwrap(), 21.4, 12.0),
+            "vm_send_to_send {}",
+            t5.xen.vm_send_to_send.unwrap()
+        );
+        assert!(
+            close(t5.xen.time_per_trans, 97.5, 12.0),
+            "time/trans {}",
+            t5.xen.time_per_trans
+        );
     }
 
     #[test]

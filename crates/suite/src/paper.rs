@@ -51,14 +51,54 @@ pub struct Table5Row {
 
 /// Table V verbatim.
 pub const TABLE5: [Table5Row; 8] = [
-    Table5Row { label: "Trans/s", native: Some(23_911.0), kvm: Some(11_591.0), xen: Some(10_253.0) },
-    Table5Row { label: "Time/trans (us)", native: Some(41.8), kvm: Some(86.3), xen: Some(97.5) },
-    Table5Row { label: "Overhead (us)", native: None, kvm: Some(44.5), xen: Some(55.7) },
-    Table5Row { label: "send to recv (us)", native: Some(29.7), kvm: Some(29.8), xen: Some(33.9) },
-    Table5Row { label: "recv to send (us)", native: Some(14.5), kvm: Some(53.0), xen: Some(64.6) },
-    Table5Row { label: "recv to VM recv (us)", native: None, kvm: Some(21.1), xen: Some(25.9) },
-    Table5Row { label: "VM recv to VM send (us)", native: None, kvm: Some(16.9), xen: Some(17.4) },
-    Table5Row { label: "VM send to send (us)", native: None, kvm: Some(15.0), xen: Some(21.4) },
+    Table5Row {
+        label: "Trans/s",
+        native: Some(23_911.0),
+        kvm: Some(11_591.0),
+        xen: Some(10_253.0),
+    },
+    Table5Row {
+        label: "Time/trans (us)",
+        native: Some(41.8),
+        kvm: Some(86.3),
+        xen: Some(97.5),
+    },
+    Table5Row {
+        label: "Overhead (us)",
+        native: None,
+        kvm: Some(44.5),
+        xen: Some(55.7),
+    },
+    Table5Row {
+        label: "send to recv (us)",
+        native: Some(29.7),
+        kvm: Some(29.8),
+        xen: Some(33.9),
+    },
+    Table5Row {
+        label: "recv to send (us)",
+        native: Some(14.5),
+        kvm: Some(53.0),
+        xen: Some(64.6),
+    },
+    Table5Row {
+        label: "recv to VM recv (us)",
+        native: None,
+        kvm: Some(21.1),
+        xen: Some(25.9),
+    },
+    Table5Row {
+        label: "VM recv to VM send (us)",
+        native: None,
+        kvm: Some(16.9),
+        xen: Some(17.4),
+    },
+    Table5Row {
+        label: "VM send to send (us)",
+        native: None,
+        kvm: Some(15.0),
+        xen: Some(21.4),
+    },
 ];
 
 /// How a Figure 4 target was obtained.

@@ -1,0 +1,514 @@
+//! Parallel scenario runner for the full artifact matrix.
+//!
+//! Every artifact `hvx-repro` regenerates decomposes into independent
+//! **scenarios**: each Figure 4 workload×hypervisor cell is one scenario
+//! (36 of them), and each table/ablation is one more. Scenarios share no
+//! state — every one constructs its own hypervisor models and machine —
+//! so they can fan out across OS threads, and because each scenario is
+//! individually deterministic, the assembled artifacts are **byte-for-
+//! byte identical** no matter how many workers ran them. The runner
+//! guarantees this structurally: results land in per-scenario slots
+//! indexed by plan position, and assembly reads the slots in plan order.
+//!
+//! ```
+//! use hvx_suite::runner::{self, ArtifactId};
+//!
+//! let plan = runner::plan(&[ArtifactId::Table3]);
+//! let serial = runner::assemble(&[ArtifactId::Table3], &runner::run_scenarios(&plan, 1));
+//! let parallel = runner::assemble(&[ArtifactId::Table3], &runner::run_scenarios(&plan, 4));
+//! assert_eq!(serial[0].json, parallel[0].json);
+//! ```
+
+use crate::{ablations, fig4, micro, netperf, paper, table3, workloads};
+use hvx_core::VirqPolicy;
+use hvx_engine::{Cycles, EventQueue};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Iterations used for the Table II microbenchmark sweep.
+pub const TABLE2_ITERS: usize = 10;
+/// Transactions used for the Table V netperf decomposition.
+pub const TABLE5_TRANSACTIONS: usize = 50;
+
+/// One reproducible artifact of the paper, in `hvx-repro` output order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ArtifactId {
+    /// Table II: microbenchmark cycle counts.
+    Table2,
+    /// Table III: KVM ARM hypercall breakdown.
+    Table3,
+    /// Table V: netperf TCP_RR decomposition.
+    Table5,
+    /// Figure 4: application benchmark overheads.
+    Fig4,
+    /// §V interrupt-distribution ablation.
+    Irq,
+    /// §VI VHE projection.
+    Vhe,
+    /// §V zero-copy trade.
+    ZeroCopy,
+    /// §III link-speed observation.
+    Link,
+    /// §IV vAPIC note.
+    Vapic,
+    /// §III devices: storage ablation.
+    Storage,
+    /// Table I motivation: oversubscription sweep.
+    Oversub,
+}
+
+impl ArtifactId {
+    /// Every artifact, in the order `hvx-repro` prints them.
+    pub const ALL: [ArtifactId; 11] = [
+        ArtifactId::Table2,
+        ArtifactId::Table3,
+        ArtifactId::Table5,
+        ArtifactId::Fig4,
+        ArtifactId::Irq,
+        ArtifactId::Vhe,
+        ArtifactId::ZeroCopy,
+        ArtifactId::Link,
+        ArtifactId::Vapic,
+        ArtifactId::Storage,
+        ArtifactId::Oversub,
+    ];
+
+    /// The CLI name (`hvx-repro [ARTIFACT...]`).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            ArtifactId::Table2 => "table2",
+            ArtifactId::Table3 => "table3",
+            ArtifactId::Table5 => "table5",
+            ArtifactId::Fig4 => "fig4",
+            ArtifactId::Irq => "irq",
+            ArtifactId::Vhe => "vhe",
+            ArtifactId::ZeroCopy => "zerocopy",
+            ArtifactId::Link => "link",
+            ArtifactId::Vapic => "vapic",
+            ArtifactId::Storage => "storage",
+            ArtifactId::Oversub => "oversub",
+        }
+    }
+
+    /// The JSON export file stem (`<stem>.json`).
+    pub fn json_name(self) -> &'static str {
+        match self {
+            ArtifactId::Table2 => "table2",
+            ArtifactId::Table3 => "table3",
+            ArtifactId::Table5 => "table5",
+            ArtifactId::Fig4 => "fig4",
+            ArtifactId::Irq => "irq_distribution",
+            ArtifactId::Vhe => "vhe",
+            ArtifactId::ZeroCopy => "zero_copy",
+            ArtifactId::Link => "link_speed",
+            ArtifactId::Vapic => "vapic",
+            ArtifactId::Storage => "storage",
+            ArtifactId::Oversub => "oversubscription",
+        }
+    }
+
+    /// Parses a CLI artifact name.
+    pub fn parse(s: &str) -> Option<ArtifactId> {
+        ArtifactId::ALL.into_iter().find(|a| a.cli_name() == s)
+    }
+}
+
+/// One independent unit of measurement work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// The whole Table II microbenchmark sweep.
+    Table2 {
+        /// Iterations per microbenchmark.
+        iters: usize,
+    },
+    /// The Table III breakdown extraction.
+    Table3,
+    /// The Table V netperf decomposition.
+    Table5 {
+        /// TCP_RR transactions to simulate.
+        transactions: usize,
+    },
+    /// One Figure 4 cell: `workloads::catalog()[workload]` on
+    /// `paper::COLUMNS[column]`.
+    Fig4Cell {
+        /// Workload index into [`workloads::catalog`].
+        workload: usize,
+        /// Column index into [`paper::COLUMNS`].
+        column: usize,
+    },
+    /// One ablation study.
+    Ablation(ArtifactId),
+}
+
+impl Scenario {
+    /// Rough relative cost, used to schedule heavier scenarios first so
+    /// stragglers don't serialize the tail of a parallel run.
+    fn weight(self) -> u64 {
+        match self {
+            Scenario::Table2 { iters } => 40 + iters as u64,
+            Scenario::Table3 => 5,
+            Scenario::Table5 { transactions } => 10 + transactions as u64 / 5,
+            Scenario::Fig4Cell { .. } => 25,
+            Scenario::Ablation(ArtifactId::Oversub) => 15,
+            Scenario::Ablation(_) => 5,
+        }
+    }
+
+    /// Executes the scenario. Self-contained and deterministic: all
+    /// state is constructed here, so concurrent executions cannot
+    /// interact.
+    pub fn execute(self) -> Output {
+        match self {
+            Scenario::Table2 { iters } => Output::Table2(micro::Table2::measure(iters)),
+            Scenario::Table3 => Output::Table3(table3::Table3::measure()),
+            Scenario::Table5 { transactions } => {
+                Output::Table5(netperf::Table5::measure(transactions))
+            }
+            Scenario::Fig4Cell { workload, column } => {
+                let cat = workloads::catalog();
+                Output::Fig4Cell(fig4::measure_bar(
+                    &cat[workload],
+                    paper::COLUMNS[column],
+                    VirqPolicy::Vcpu0,
+                ))
+            }
+            Scenario::Ablation(ArtifactId::Irq) => Output::Irq(ablations::irq_distribution()),
+            Scenario::Ablation(ArtifactId::Vhe) => Output::Vhe(ablations::vhe()),
+            Scenario::Ablation(ArtifactId::ZeroCopy) => Output::ZeroCopy(ablations::zero_copy()),
+            Scenario::Ablation(ArtifactId::Link) => Output::Link(ablations::link_speed()),
+            Scenario::Ablation(ArtifactId::Vapic) => Output::Vapic(ablations::vapic()),
+            Scenario::Ablation(ArtifactId::Storage) => Output::Storage(ablations::storage()),
+            Scenario::Ablation(ArtifactId::Oversub) => {
+                Output::Oversub(ablations::oversubscription())
+            }
+            Scenario::Ablation(other) => unreachable!("{other:?} is not an ablation"),
+        }
+    }
+}
+
+/// What a [`Scenario`] produced.
+#[derive(Debug, Clone)]
+pub enum Output {
+    /// Table II result.
+    Table2(micro::Table2),
+    /// Table III result.
+    Table3(table3::Table3),
+    /// Table V result.
+    Table5(netperf::Table5),
+    /// One Figure 4 cell (`None` = unrunnable combination).
+    Fig4Cell(Option<f64>),
+    /// Interrupt-distribution rows.
+    Irq(Vec<ablations::IrqDistributionRow>),
+    /// VHE projection.
+    Vhe(ablations::VheProjection),
+    /// Zero-copy analysis.
+    ZeroCopy(ablations::ZeroCopyAnalysis),
+    /// Link-speed ablation.
+    Link(ablations::LinkSpeedAblation),
+    /// vAPIC ablation.
+    Vapic(ablations::VapicAblation),
+    /// Storage ablation.
+    Storage(ablations::StorageAblation),
+    /// Oversubscription sweep.
+    Oversub(ablations::OversubscriptionAblation),
+}
+
+/// A completed scenario with its wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// What ran.
+    pub scenario: Scenario,
+    /// What it produced.
+    pub output: Output,
+    /// How long it took on the host.
+    pub wall: Duration,
+}
+
+/// Expands the requested artifacts (in the given order) into the flat
+/// scenario plan: tables and ablations are one scenario each, Figure 4
+/// fans out into one scenario per cell.
+pub fn plan(artifacts: &[ArtifactId]) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for a in artifacts {
+        match a {
+            ArtifactId::Table2 => out.push(Scenario::Table2 {
+                iters: TABLE2_ITERS,
+            }),
+            ArtifactId::Table3 => out.push(Scenario::Table3),
+            ArtifactId::Table5 => out.push(Scenario::Table5 {
+                transactions: TABLE5_TRANSACTIONS,
+            }),
+            ArtifactId::Fig4 => {
+                let workloads = workloads::catalog().len();
+                for workload in 0..workloads {
+                    for column in 0..paper::COLUMNS.len() {
+                        out.push(Scenario::Fig4Cell { workload, column });
+                    }
+                }
+            }
+            ablation => out.push(Scenario::Ablation(*ablation)),
+        }
+    }
+    out
+}
+
+fn run_one(scenario: Scenario) -> ScenarioResult {
+    let start = Instant::now();
+    let output = scenario.execute();
+    ScenarioResult {
+        scenario,
+        output,
+        wall: start.elapsed(),
+    }
+}
+
+/// Runs every scenario in `plan` on up to `jobs` OS threads and returns
+/// the results **in plan order**.
+///
+/// `jobs == 1` runs inline on the caller's thread (no pool, no locks).
+/// With more jobs, workers pull from a shared heaviest-first queue and
+/// write into the slot matching the scenario's plan index, so the
+/// returned vector — and everything assembled from it — is identical to
+/// a serial run regardless of completion order.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0` or a worker thread panics.
+pub fn run_scenarios(plan: &[Scenario], jobs: usize) -> Vec<ScenarioResult> {
+    assert!(jobs >= 1, "need at least one job");
+    if jobs == 1 || plan.len() <= 1 {
+        return plan.iter().map(|s| run_one(*s)).collect();
+    }
+
+    // The work queue is the engine's own EventQueue: it pops the smallest
+    // (when, seq) key, so scheduling at `MAX - weight` makes heavier
+    // scenarios come out first, FIFO among equals.
+    let mut queue = EventQueue::with_capacity(plan.len());
+    for (idx, s) in plan.iter().enumerate() {
+        queue.schedule(Cycles::new(u64::MAX - s.weight()), idx);
+    }
+    let queue = Mutex::new(queue);
+    let slots: Vec<Mutex<Option<ScenarioResult>>> = plan.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(plan.len()) {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").pop();
+                let Some((_, idx)) = next else { break };
+                let result = run_one(plan[idx]);
+                *slots[idx].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every scheduled scenario ran")
+        })
+        .collect()
+}
+
+/// One assembled artifact: the exact text `hvx-repro` prints and the
+/// exact JSON it exports, plus the summed wall-clock of its scenarios.
+#[derive(Debug, Clone)]
+pub struct ArtifactReport {
+    /// Which artifact this is.
+    pub id: ArtifactId,
+    /// The full stdout block for this artifact (header included),
+    /// byte-identical to what the pre-runner `hvx-repro` printed.
+    pub text: String,
+    /// Pretty-printed JSON export.
+    pub json: String,
+    /// Sum of the artifact's scenario wall-clocks.
+    pub wall: Duration,
+}
+
+fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("serialize artifact")
+}
+
+/// Folds scenario results back into per-artifact reports. `artifacts`
+/// must be the same list (same order) that produced the plan; results
+/// must be in plan order, as returned by [`run_scenarios`].
+///
+/// # Panics
+///
+/// Panics if `results` does not match the plan of `artifacts`.
+pub fn assemble(artifacts: &[ArtifactId], results: &[ScenarioResult]) -> Vec<ArtifactReport> {
+    let mut reports = Vec::new();
+    let mut it = results.iter();
+    let mut next = || it.next().expect("results shorter than plan");
+    for id in artifacts {
+        let report = match id {
+            ArtifactId::Fig4 => {
+                let n_cells = workloads::catalog().len() * paper::COLUMNS.len();
+                let mut cells = Vec::with_capacity(n_cells);
+                let mut wall = Duration::ZERO;
+                for _ in 0..n_cells {
+                    let r = next();
+                    let Output::Fig4Cell(cell) = &r.output else {
+                        panic!(
+                            "plan/result mismatch: expected Fig4Cell, got {:?}",
+                            r.scenario
+                        )
+                    };
+                    cells.push(*cell);
+                    wall += r.wall;
+                }
+                let f = fig4::Figure4::from_cells(&cells);
+                ArtifactReport {
+                    id: *id,
+                    text: format!(
+                        "{}\n== Figure 4: application benchmarks ==\n\n{}\n",
+                        workloads::render_table4(),
+                        f.render()
+                    ),
+                    json: to_json(&f),
+                    wall,
+                }
+            }
+            _ => {
+                let r = next();
+                let (text, json) = match &r.output {
+                    Output::Table2(t) => (
+                        format!(
+                            "== Table II: microbenchmark cycle counts ==\n\n{}\nworst residual: {:.1}%\n\n",
+                            t.render(),
+                            t.worst_error() * 100.0
+                        ),
+                        to_json(t),
+                    ),
+                    Output::Table3(t) => (
+                        format!("== Table III: KVM ARM hypercall breakdown ==\n\n{}\n", t.render()),
+                        to_json(t),
+                    ),
+                    Output::Table5(t) => (
+                        format!("== Table V: netperf TCP_RR decomposition ==\n\n{}\n", t.render()),
+                        to_json(t),
+                    ),
+                    Output::Irq(rows) => (
+                        format!(
+                            "== Section V: interrupt-distribution ablation ==\n\n{}\n",
+                            ablations::render_irq_distribution(rows)
+                        ),
+                        to_json(rows),
+                    ),
+                    Output::Vhe(p) => (
+                        format!("== Section VI: VHE projection ==\n\n{}\n", ablations::render_vhe(p)),
+                        to_json(p),
+                    ),
+                    Output::ZeroCopy(z) => (
+                        format!(
+                            "== Section V: zero-copy trade ==\n\n{}\n",
+                            ablations::render_zero_copy(z)
+                        ),
+                        to_json(z),
+                    ),
+                    Output::Link(l) => (
+                        format!(
+                            "== Section III: link-speed observation ==\n\n{}\n",
+                            ablations::render_link_speed(l)
+                        ),
+                        to_json(l),
+                    ),
+                    Output::Vapic(v) => (
+                        format!("== Section IV: vAPIC note ==\n\n{}\n", ablations::render_vapic(v)),
+                        to_json(v),
+                    ),
+                    Output::Storage(s) => (
+                        format!(
+                            "== Section III devices: storage ablation ==\n\n{}\n",
+                            ablations::render_storage(s)
+                        ),
+                        to_json(s),
+                    ),
+                    Output::Oversub(o) => (
+                        format!(
+                            "== Table I motivation: oversubscription sweep ==\n\n{}\n",
+                            ablations::render_oversubscription(o)
+                        ),
+                        to_json(o),
+                    ),
+                    Output::Fig4Cell(_) => {
+                        panic!("plan/result mismatch: stray Fig4Cell for {id:?}")
+                    }
+                };
+                ArtifactReport {
+                    id: *id,
+                    text,
+                    json,
+                    wall: r.wall,
+                }
+            }
+        };
+        reports.push(report);
+    }
+    assert!(it.next().is_none(), "results longer than plan");
+    reports
+}
+
+/// Convenience wrapper: plan, run with `jobs` workers, assemble.
+pub fn run_artifacts(artifacts: &[ArtifactId], jobs: usize) -> Vec<ArtifactReport> {
+    let plan = plan(artifacts);
+    let results = run_scenarios(&plan, jobs);
+    assemble(artifacts, &results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fans_fig4_into_cells() {
+        let p = plan(&[ArtifactId::Fig4]);
+        assert_eq!(p.len(), 36);
+        assert!(matches!(
+            p[0],
+            Scenario::Fig4Cell {
+                workload: 0,
+                column: 0
+            }
+        ));
+        let p = plan(&[ArtifactId::Table2, ArtifactId::Vhe]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn artifact_names_round_trip() {
+        for a in ArtifactId::ALL {
+            assert_eq!(ArtifactId::parse(a.cli_name()), Some(a));
+            assert!(!a.json_name().is_empty());
+        }
+        assert_eq!(ArtifactId::parse("nope"), None);
+    }
+
+    #[test]
+    fn parallel_ablations_match_serial() {
+        let artifacts = [ArtifactId::Table3, ArtifactId::Vhe, ArtifactId::Link];
+        let p = plan(&artifacts);
+        let serial = assemble(&artifacts, &run_scenarios(&p, 1));
+        let parallel = assemble(&artifacts, &run_scenarios(&p, 3));
+        for (s, q) in serial.iter().zip(&parallel) {
+            assert_eq!(s.json, q.json, "{:?} diverged", s.id);
+            assert_eq!(s.text, q.text, "{:?} text diverged", s.id);
+        }
+    }
+
+    #[test]
+    fn fig4_cells_assemble_to_measure() {
+        let artifacts = [ArtifactId::Fig4];
+        let p = plan(&artifacts);
+        let reports = assemble(&artifacts, &run_scenarios(&p, 4));
+        let direct = fig4::Figure4::measure();
+        assert_eq!(reports[0].json, super::to_json(&direct));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_jobs_is_rejected() {
+        let _ = run_scenarios(&[], 0);
+    }
+}

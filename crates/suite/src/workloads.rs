@@ -12,7 +12,7 @@
 //! analysis) and otherwise chosen to represent the benchmark's
 //! documented character (Table IV).
 
-use hvx_core::{Hypervisor, HvType, VirqPolicy};
+use hvx_core::{HvType, Hypervisor, VirqPolicy};
 use hvx_engine::Cycles;
 use serde::{Deserialize, Serialize};
 
@@ -151,20 +151,32 @@ pub fn catalog() -> Vec<Workload> {
             name: "Kernbench",
             description: "Compilation of the Linux 3.17.0 kernel using the \
                           allnoconfig for ARM using GCC 4.8.2.",
-            mix: Mix::CpuBound { unit_work: 1_000_000, ticks_per_unit: 8, units: 64 },
+            mix: Mix::CpuBound {
+                unit_work: 1_000_000,
+                ticks_per_unit: 8,
+                units: 64,
+            },
         },
         Workload {
             name: "Hackbench",
             description: "hackbench using Unix domain sockets and 100 process \
                           groups running with 500 loops.",
-            mix: Mix::IpiBound { unit_work: 200_000, ipis_per_unit: 2, units: 64 },
+            mix: Mix::IpiBound {
+                unit_work: 200_000,
+                ipis_per_unit: 2,
+                units: 64,
+            },
         },
         Workload {
             name: "SPECjvm2008",
             description: "SPECjvm2008 benchmark running several real life \
                           applications and benchmarks chosen to benchmark the \
                           Java Runtime Environment.",
-            mix: Mix::CpuBound { unit_work: 2_000_000, ticks_per_unit: 4, units: 64 },
+            mix: Mix::CpuBound {
+                unit_work: 2_000_000,
+                ticks_per_unit: 4,
+                units: 64,
+            },
         },
         Workload {
             name: "TCP_RR",
@@ -176,13 +188,24 @@ pub fn catalog() -> Vec<Workload> {
             name: "TCP_STREAM",
             description: "netperf TCP_STREAM: bulk data from client to the \
                           server in the VM, measuring receive throughput.",
-            mix: Mix::StreamRx { chunks: 44, chunk_len: 1_490, bursts: 48, link_mbit: 10_000 },
+            mix: Mix::StreamRx {
+                chunks: 44,
+                chunk_len: 1_490,
+                bursts: 48,
+                link_mbit: 10_000,
+            },
         },
         Workload {
             name: "TCP_MAERTS",
             description: "netperf TCP_MAERTS: bulk data from the VM to the \
                           client, measuring transmit throughput.",
-            mix: Mix::StreamTx { chunks: 16, chunk_len: 4_096, bursts: 48, tso_capped_chunks: 4, link_mbit: 10_000 },
+            mix: Mix::StreamTx {
+                chunks: 16,
+                chunk_len: 4_096,
+                bursts: 48,
+                tso_capped_chunks: 4,
+                link_mbit: 10_000,
+            },
         },
         Workload {
             name: "Apache",
@@ -251,7 +274,11 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Cycles {
     let start = hv.machine_mut().barrier();
     let vcpus = hv.num_vcpus();
     match mix {
-        Mix::CpuBound { unit_work, ticks_per_unit, units } => {
+        Mix::CpuBound {
+            unit_work,
+            ticks_per_unit,
+            units,
+        } => {
             for u in 0..units {
                 let vcpu = u as usize % vcpus;
                 hv.guest_compute(vcpu, Cycles::new(unit_work));
@@ -260,7 +287,11 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Cycles {
                 }
             }
         }
-        Mix::IpiBound { unit_work, ipis_per_unit, units } => {
+        Mix::IpiBound {
+            unit_work,
+            ipis_per_unit,
+            units,
+        } => {
             for u in 0..units {
                 let from = u as usize % vcpus;
                 let to = (from + 1) % vcpus;
@@ -283,34 +314,44 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Cycles {
                 t_send = hv.transmit(vcpu, 1);
             }
         }
-        Mix::StreamRx { chunks, chunk_len, bursts, link_mbit } => {
+        Mix::StreamRx {
+            chunks,
+            chunk_len,
+            bursts,
+            link_mbit,
+        } => {
             // The wire delivers bursts at line rate; a server that can't
             // drain them falls behind and its makespan grows.
             let burst_bytes = chunks as u64 * chunk_len as u64;
-            let wire =
-                hvx_vio::Wire::from_link(link_mbit, 10.0, hvx_engine::Frequency::ARM_M400);
-            let spacing = Cycles::new(
-                (burst_bytes as f64 * wire.cycles_per_byte).round() as u64
-            );
+            let wire = hvx_vio::Wire::from_link(link_mbit, 10.0, hvx_engine::Frequency::ARM_M400);
+            let spacing = Cycles::new((burst_bytes as f64 * wire.cycles_per_byte).round() as u64);
             for b in 0..bursts {
                 let arrival = start + spacing * b as u64;
                 hv.receive_burst(chunks as usize, chunk_len as usize, arrival);
             }
         }
-        Mix::StreamTx { chunks, chunk_len, bursts, tso_capped_chunks, link_mbit } => {
+        Mix::StreamTx {
+            chunks,
+            chunk_len,
+            bursts,
+            tso_capped_chunks,
+            link_mbit,
+        } => {
             // The TSO-autosizing regression shrinks Xen's TX aggregates;
             // total bytes stay the same so the comparison is fair.
             let capped = matches!(hv.kind().hv_type(), Some(HvType::Type1));
             let (per_burst, n_bursts) = if capped {
-                (tso_capped_chunks, bursts * (chunks / tso_capped_chunks.max(1)))
+                (
+                    tso_capped_chunks,
+                    bursts * (chunks / tso_capped_chunks.max(1)),
+                )
             } else {
                 (chunks, bursts)
             };
             // The 10 GbE wire drains at line rate; a sender faster than
             // the wire is wire-bound (the paper's native/KVM case), a
             // slower one is CPU-bound (Xen).
-            let wire =
-                hvx_vio::Wire::from_link(link_mbit, 10.0, hvx_engine::Frequency::ARM_M400);
+            let wire = hvx_vio::Wire::from_link(link_mbit, 10.0, hvx_engine::Frequency::ARM_M400);
             let burst_wire = Cycles::new(
                 (per_burst as f64 * chunk_len as f64 * wire.cycles_per_byte).round() as u64,
             );
@@ -323,7 +364,11 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Cycles {
             let backend = hv.machine().topology().backend_core();
             hv.machine_mut().wait_until(backend, wire_free);
         }
-        Mix::DiskIo { requests, sectors, device } => {
+        Mix::DiskIo {
+            requests,
+            sectors,
+            device,
+        } => {
             run_disk_io(hv, requests, sectors, device);
         }
         Mix::RequestServer {
@@ -363,7 +408,6 @@ pub fn overhead(
     let base = run(native, mix, policy);
     virt.as_f64() / base.as_f64()
 }
-
 
 /// The DiskIo engine: a closed-loop random-read benchmark through the
 /// block stack. Per request: guest block-layer work, a kick (one
@@ -414,10 +458,20 @@ fn run_disk_io(hv: &mut dyn Hypervisor, requests: u32, sectors: u32, device: Dis
             let submitted = m.now(m.topology().guest_core(vcpu));
             m.wait_until(io_core, submitted);
             if type1 {
-                m.charge(io_core, "xen:blkback", TraceKind::Io, c.xen_net_per_packet / 2);
+                m.charge(
+                    io_core,
+                    "xen:blkback",
+                    TraceKind::Io,
+                    c.xen_net_per_packet / 2,
+                );
                 m.charge(io_core, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
             } else {
-                m.charge(io_core, "kvm:vhost-blk", TraceKind::Io, c.kvm_vhost_per_packet / 2);
+                m.charge(
+                    io_core,
+                    "kvm:vhost-blk",
+                    TraceKind::Io,
+                    c.kvm_vhost_per_packet / 2,
+                );
             }
             m.charge(io_core, "disk:service", TraceKind::Io, service);
             // The completion interrupt reaches the issuing VCPU, which
@@ -502,7 +556,12 @@ fn run_request_server(
                 scale(c.host_net_rx),
             );
             if type1 {
-                m.charge(io_core, "xen:netback-rx", TraceKind::Io, c.xen_net_per_packet);
+                m.charge(
+                    io_core,
+                    "xen:netback-rx",
+                    TraceKind::Io,
+                    c.xen_net_per_packet,
+                );
                 m.charge(io_core, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
                 for _ in 0..response_chunks {
                     m.charge(
@@ -519,7 +578,12 @@ fn run_request_server(
                     c.xen_net_per_packet,
                 );
             } else {
-                m.charge(io_core, "kvm:vhost-rx", TraceKind::Io, c.kvm_vhost_per_packet);
+                m.charge(
+                    io_core,
+                    "kvm:vhost-rx",
+                    TraceKind::Io,
+                    c.kvm_vhost_per_packet,
+                );
                 m.charge(
                     backend_core,
                     "kvm:vhost-tx",
@@ -592,8 +656,17 @@ mod tests {
 
     #[test]
     fn cpu_bound_overhead_is_small() {
-        let mix = Mix::CpuBound { unit_work: 1_000_000, ticks_per_unit: 8, units: 8 };
-        let oh = overhead(&mut KvmArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
+        let mix = Mix::CpuBound {
+            unit_work: 1_000_000,
+            ticks_per_unit: 8,
+            units: 8,
+        };
+        let oh = overhead(
+            &mut KvmArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
         assert!(oh > 1.0 && oh < 1.12, "CPU-bound overhead modest: {oh}");
     }
 
@@ -602,18 +675,47 @@ mod tests {
         // §V: "Despite this microbenchmark performance advantage ... the
         // resulting difference in Hackbench performance overhead is
         // small".
-        let mix = Mix::IpiBound { unit_work: 200_000, ipis_per_unit: 2, units: 16 };
-        let kvm = overhead(&mut KvmArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
-        let xen = overhead(&mut XenArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
+        let mix = Mix::IpiBound {
+            unit_work: 200_000,
+            ipis_per_unit: 2,
+            units: 16,
+        };
+        let kvm = overhead(
+            &mut KvmArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
+        let xen = overhead(
+            &mut XenArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
         assert!(kvm > xen, "Xen wins hackbench: {kvm} vs {xen}");
         assert!(kvm - xen < 0.10, "but only modestly: {kvm} vs {xen}");
     }
 
     #[test]
     fn stream_rx_xen_pays_grant_copies() {
-        let mix = Mix::StreamRx { chunks: 44, chunk_len: 1_490, bursts: 12, link_mbit: 10_000 };
-        let kvm = overhead(&mut KvmArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
-        let xen = overhead(&mut XenArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
+        let mix = Mix::StreamRx {
+            chunks: 44,
+            chunk_len: 1_490,
+            bursts: 12,
+            link_mbit: 10_000,
+        };
+        let kvm = overhead(
+            &mut KvmArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
+        let xen = overhead(
+            &mut XenArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
         assert!(kvm < 1.1, "KVM zero-copy keeps line rate: {kvm}");
         assert!(xen > 2.0, "Xen copies fall off line rate: {xen}");
     }
@@ -621,12 +723,35 @@ mod tests {
     #[test]
     fn request_server_bottleneck_is_the_interrupt_vcpu() {
         let mix = small_request_mix();
-        let kvm = overhead(&mut KvmArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
-        let xen = overhead(&mut XenArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
-        assert!(xen > kvm, "Xen's wake-on-target makes it worse: {xen} vs {kvm}");
+        let kvm = overhead(
+            &mut KvmArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
+        let xen = overhead(
+            &mut XenArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
+        assert!(
+            xen > kvm,
+            "Xen's wake-on-target makes it worse: {xen} vs {kvm}"
+        );
         // Distribution shrinks both dramatically (§V).
-        let kvm_rr = overhead(&mut KvmArm::new(), &mut Native::new(), mix, VirqPolicy::RoundRobin);
-        let xen_rr = overhead(&mut XenArm::new(), &mut Native::new(), mix, VirqPolicy::RoundRobin);
+        let kvm_rr = overhead(
+            &mut KvmArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::RoundRobin,
+        );
+        let xen_rr = overhead(
+            &mut XenArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::RoundRobin,
+        );
         assert!(kvm_rr < kvm - 0.05, "KVM improves: {kvm} -> {kvm_rr}");
         assert!(xen_rr < xen - 0.20, "Xen improves more: {xen} -> {xen_rr}");
     }
@@ -663,13 +788,39 @@ mod tests {
     fn disk_io_overhead_visible_on_ssd_hidden_on_raid5() {
         // The storage analog of the paper's 1 GbE observation: a slow
         // device hides the hypervisor.
-        let ssd = Mix::DiskIo { requests: 24, sectors: 8, device: DiskDevice::Ssd };
-        let hdd = Mix::DiskIo { requests: 6, sectors: 8, device: DiskDevice::Raid5 };
-        let kvm_ssd = overhead(&mut KvmArm::new(), &mut Native::new(), ssd, VirqPolicy::Vcpu0);
-        let xen_ssd = overhead(&mut XenArm::new(), &mut Native::new(), ssd, VirqPolicy::Vcpu0);
-        let kvm_hdd = overhead(&mut KvmArm::new(), &mut Native::new(), hdd, VirqPolicy::Vcpu0);
+        let ssd = Mix::DiskIo {
+            requests: 24,
+            sectors: 8,
+            device: DiskDevice::Ssd,
+        };
+        let hdd = Mix::DiskIo {
+            requests: 6,
+            sectors: 8,
+            device: DiskDevice::Raid5,
+        };
+        let kvm_ssd = overhead(
+            &mut KvmArm::new(),
+            &mut Native::new(),
+            ssd,
+            VirqPolicy::Vcpu0,
+        );
+        let xen_ssd = overhead(
+            &mut XenArm::new(),
+            &mut Native::new(),
+            ssd,
+            VirqPolicy::Vcpu0,
+        );
+        let kvm_hdd = overhead(
+            &mut KvmArm::new(),
+            &mut Native::new(),
+            hdd,
+            VirqPolicy::Vcpu0,
+        );
         assert!(kvm_ssd > 1.05, "SSD exposes the stack: {kvm_ssd}");
-        assert!(xen_ssd > kvm_ssd, "Xen pays the grant copy: {xen_ssd} vs {kvm_ssd}");
+        assert!(
+            xen_ssd > kvm_ssd,
+            "Xen pays the grant copy: {xen_ssd} vs {kvm_ssd}"
+        );
         assert!(kvm_hdd < 1.01, "RAID5 hides it: {kvm_hdd}");
     }
 

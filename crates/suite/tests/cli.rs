@@ -1,0 +1,73 @@
+//! End-to-end checks of the `hvx-repro` command-line surface.
+
+use std::process::Command;
+
+fn hvx_repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hvx-repro"))
+}
+
+/// `--help` and `-h` are successful invocations: usage on stdout, exit 0.
+#[test]
+fn help_exits_zero_with_usage_on_stdout() {
+    for flag in ["--help", "-h"] {
+        let out = hvx_repro().arg(flag).output().expect("run hvx-repro");
+        assert!(
+            out.status.success(),
+            "{flag} exited {:?}",
+            out.status.code()
+        );
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.starts_with("usage: hvx-repro"), "stdout: {stdout}");
+        assert!(stdout.contains("--jobs"));
+        assert!(stdout.contains("table2"));
+    }
+}
+
+/// Unknown artifacts are still a usage error: message on stderr, exit 2.
+#[test]
+fn unknown_artifact_exits_two() {
+    let out = hvx_repro()
+        .arg("not-a-thing")
+        .output()
+        .expect("run hvx-repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown artifact"));
+}
+
+/// Bad `--jobs` values are rejected up front.
+#[test]
+fn invalid_jobs_exits_two() {
+    for bad in ["0", "-1", "many"] {
+        let out = hvx_repro()
+            .args(["--jobs", bad, "table3"])
+            .output()
+            .expect("run hvx-repro");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--jobs {bad} should be rejected"
+        );
+    }
+}
+
+/// A parallel run of a cheap artifact prints the same stdout as serial,
+/// and `--timing` lines go to stderr only.
+#[test]
+fn jobs_and_timing_leave_stdout_byte_identical() {
+    let serial = hvx_repro()
+        .args(["--jobs", "1", "table3", "vhe"])
+        .output()
+        .expect("run hvx-repro");
+    let parallel = hvx_repro()
+        .args(["--jobs", "4", "--timing", "table3", "vhe"])
+        .output()
+        .expect("run hvx-repro");
+    assert!(serial.status.success() && parallel.status.success());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "stdout must not depend on --jobs/--timing"
+    );
+    let stderr = String::from_utf8(parallel.stderr).unwrap();
+    assert!(stderr.contains("[timing]"), "stderr: {stderr}");
+}

@@ -10,8 +10,8 @@
 //! references, both ending at a [`Disk`].
 
 use crate::{VioError, Virtqueue};
-use hvx_mem::{Access, DomId, GrantRef, GrantTable, Ipa, PhysMemory, Stage2Tables, PAGE_SIZE};
 use hvx_engine::Cycles;
+use hvx_mem::{Access, DomId, GrantRef, GrantTable, Ipa, PhysMemory, Stage2Tables, PAGE_SIZE};
 use std::collections::VecDeque;
 
 /// Bytes per disk sector.
@@ -340,9 +340,18 @@ mod tests {
         let buf = Ipa::new(0x8000_0000);
         let pa = s2.translate(buf, Access::Write).unwrap().pa;
         mem.write(pa, b"filesystem-block").unwrap();
-        vq.add_chain(&[Descriptor { addr: buf, len: 512, device_writes: false }])
-            .unwrap();
-        reqs.push_back(BlkRequest { op: BlkOp::Write, sector: 10, sectors: 1, buffer: buf });
+        vq.add_chain(&[Descriptor {
+            addr: buf,
+            len: 512,
+            device_writes: false,
+        }])
+        .unwrap();
+        reqs.push_back(BlkRequest {
+            op: BlkOp::Write,
+            sector: 10,
+            sectors: 1,
+            buffer: buf,
+        });
         backend
             .process(&mut vq, &mut reqs, &s2, &mut mem, &mut disk)
             .unwrap();
@@ -350,9 +359,18 @@ mod tests {
 
         // Then a READ into a different buffer.
         let rbuf = Ipa::new(0x8000_1000);
-        vq.add_chain(&[Descriptor { addr: rbuf, len: 512, device_writes: true }])
-            .unwrap();
-        reqs.push_back(BlkRequest { op: BlkOp::Read, sector: 10, sectors: 1, buffer: rbuf });
+        vq.add_chain(&[Descriptor {
+            addr: rbuf,
+            len: 512,
+            device_writes: true,
+        }])
+        .unwrap();
+        reqs.push_back(BlkRequest {
+            op: BlkOp::Read,
+            sector: 10,
+            sectors: 1,
+            buffer: rbuf,
+        });
         let t = backend
             .process(&mut vq, &mut reqs, &s2, &mut mem, &mut disk)
             .unwrap();
@@ -372,12 +390,20 @@ mod tests {
         let mut backend = XenBlkBackend::new(Pa::new(0x40_0000));
 
         // DomU grants its data frame for a WRITE.
-        let frame = s2.translate(Ipa::new(0x8000_0000), Access::Read).unwrap().pa;
+        let frame = s2
+            .translate(Ipa::new(0x8000_0000), Access::Read)
+            .unwrap()
+            .pa;
         mem.write(frame, b"xen-block-data").unwrap();
         let gref = grants.grant_access(DomId::DOM0, frame, false).unwrap();
         backend
             .process_one(
-                XenBlkRequest { op: BlkOp::Write, sector: 3, sectors: 1, gref },
+                XenBlkRequest {
+                    op: BlkOp::Write,
+                    sector: 3,
+                    sectors: 1,
+                    gref,
+                },
                 &mut grants,
                 &mut mem,
                 &mut disk,
@@ -389,7 +415,12 @@ mod tests {
         // READ back into a granted frame: second copy.
         backend
             .process_one(
-                XenBlkRequest { op: BlkOp::Read, sector: 3, sectors: 1, gref },
+                XenBlkRequest {
+                    op: BlkOp::Read,
+                    sector: 3,
+                    sectors: 1,
+                    gref,
+                },
                 &mut grants,
                 &mut mem,
                 &mut disk,

@@ -15,8 +15,9 @@ use std::collections::BTreeSet;
 
 /// An event-channel port number (global in this model; real Xen ports
 /// are per-domain, a bookkeeping difference only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct Port(pub u32);
 

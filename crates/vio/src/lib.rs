@@ -28,7 +28,9 @@ mod vhost;
 mod virtqueue;
 mod xen_net;
 
-pub use blk::{BlkOp, BlkRequest, Disk, VirtioBlkBackend, XenBlkBackend, XenBlkRequest, SECTOR_SIZE};
+pub use blk::{
+    BlkOp, BlkRequest, Disk, VirtioBlkBackend, XenBlkBackend, XenBlkRequest, SECTOR_SIZE,
+};
 pub use error::VioError;
 pub use event_channel::{EventChannels, Port};
 pub use nic::Nic;

@@ -211,8 +211,16 @@ mod tests {
         mem.write(Pa::new(0x10_0000), b"AAAA").unwrap();
         mem.write(Pa::new(0x10_1000), b"BB").unwrap();
         vq.add_chain(&[
-            Descriptor { addr: Ipa::new(0x8000_0000), len: 4, device_writes: false },
-            Descriptor { addr: Ipa::new(0x8000_1000), len: 2, device_writes: false },
+            Descriptor {
+                addr: Ipa::new(0x8000_0000),
+                len: 4,
+                device_writes: false,
+            },
+            Descriptor {
+                addr: Ipa::new(0x8000_1000),
+                len: 2,
+                device_writes: false,
+            },
         ])
         .unwrap();
         let pkts = vhost.process_tx(&mut vq, &s2, &mut mem).unwrap();

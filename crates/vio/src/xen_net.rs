@@ -409,7 +409,9 @@ mod tests {
         // DomU RAM: IPA 0x8000_0000.. -> PA 0x10_0000.., 16 pages.
         s2.map_range(Ipa::new(0x8000_0000), Pa::new(0x10_0000), 16, S2Perms::RW)
             .unwrap();
-        let tx_bufs = (0..4).map(|i| Ipa::new(0x8000_0000 + i * PAGE_SIZE)).collect();
+        let tx_bufs = (0..4)
+            .map(|i| Ipa::new(0x8000_0000 + i * PAGE_SIZE))
+            .collect();
         Rig {
             mem: PhysMemory::new(1 << 22),
             s2,
@@ -427,7 +429,10 @@ mod tests {
             .post_tx(&mut r.ring, &mut r.grants, &r.s2, &mut r.mem, b"xen-tx")
             .unwrap();
         assert_eq!(r.grants.copy_count(), 0);
-        let pkts = r.back.process_tx(&mut r.ring, &mut r.grants, &mut r.mem).unwrap();
+        let pkts = r
+            .back
+            .process_tx(&mut r.ring, &mut r.grants, &mut r.mem)
+            .unwrap();
         assert_eq!(pkts.len(), 1);
         assert_eq!(&pkts[0].data[..], b"xen-tx");
         assert_eq!(r.grants.copy_count(), 1, "one grant copy per TX packet");
@@ -462,7 +467,8 @@ mod tests {
         let mut r = rig();
         let pkt = Packet::new(0, &b"drop-me"[..]);
         assert_eq!(
-            r.back.deliver_rx(&mut r.ring, &mut r.grants, &mut r.mem, &pkt),
+            r.back
+                .deliver_rx(&mut r.ring, &mut r.grants, &mut r.mem, &pkt),
             Err(VioError::NoRxBuffer)
         );
     }
@@ -481,7 +487,9 @@ mod tests {
             Err(VioError::QueueFull)
         );
         // Backend progress frees the pool.
-        r.back.process_tx(&mut r.ring, &mut r.grants, &mut r.mem).unwrap();
+        r.back
+            .process_tx(&mut r.ring, &mut r.grants, &mut r.mem)
+            .unwrap();
         r.front.reap_tx(&mut r.ring, &mut r.grants).unwrap();
         assert!(r
             .front
@@ -522,7 +530,8 @@ mod tests {
         ));
         let pkt = Packet::new(0, big);
         assert!(matches!(
-            r.back.deliver_rx(&mut r.ring, &mut r.grants, &mut r.mem, &pkt),
+            r.back
+                .deliver_rx(&mut r.ring, &mut r.grants, &mut r.mem, &pkt),
             Err(VioError::BufferTooSmall { .. })
         ));
     }

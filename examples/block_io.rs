@@ -7,8 +7,8 @@
 
 use hvx::mem::{Access, DomId, GrantTable, Ipa, Pa, PhysMemory, S2Perms, Stage2Tables};
 use hvx::vio::{
-    BlkOp, BlkRequest, Descriptor, Disk, VirtioBlkBackend, Virtqueue, XenBlkBackend,
-    XenBlkRequest, SECTOR_SIZE,
+    BlkOp, BlkRequest, Descriptor, Disk, VirtioBlkBackend, Virtqueue, XenBlkBackend, XenBlkRequest,
+    SECTOR_SIZE,
 };
 use std::collections::VecDeque;
 
@@ -37,8 +37,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let buf = Ipa::new(0x8000_0000);
     let pa = s2.translate(buf, Access::Write)?.pa;
     mem.write(pa, b"ext4 superblock bytes")?;
-    vq.add_chain(&[Descriptor { addr: buf, len: 4096, device_writes: false }])?;
-    reqs.push_back(BlkRequest { op: BlkOp::Write, sector: 0, sectors: 8, buffer: buf });
+    vq.add_chain(&[Descriptor {
+        addr: buf,
+        len: 4096,
+        device_writes: false,
+    }])?;
+    reqs.push_back(BlkRequest {
+        op: BlkOp::Write,
+        sector: 0,
+        sectors: 8,
+        buffer: buf,
+    });
     let copies_before = mem.bytes_written();
     virtio.process(&mut vq, &mut reqs, &s2, &mut mem, &mut disk)?;
     println!(
@@ -54,7 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frame = s2.translate(buf, Access::Read)?.pa;
     let gref = grants.grant_access(DomId::DOM0, frame, false)?;
     xen.process_one(
-        XenBlkRequest { op: BlkOp::Write, sector: 100, sectors: 8, gref },
+        XenBlkRequest {
+            op: BlkOp::Write,
+            sector: 100,
+            sectors: 8,
+            gref,
+        },
         &mut grants,
         &mut mem,
         &mut disk,
@@ -66,6 +80,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let echo = disk.read_sectors(100, 21)?;
-    println!("\ndisk contents round-tripped: {:?}", String::from_utf8_lossy(&echo));
+    println!(
+        "\ndisk contents round-tripped: {:?}",
+        String::from_utf8_lossy(&echo)
+    );
     Ok(())
 }

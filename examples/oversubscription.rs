@@ -22,7 +22,10 @@ fn main() {
     }
 
     println!("\nCPU time lost to VM switching, 2 VMs per core:");
-    println!("{:<14}{:>10}{:>10}{:>10}{:>10}", "timeslice", "KVM ARM", "Xen ARM", "KVM x86", "Xen x86");
+    println!(
+        "{:<14}{:>10}{:>10}{:>10}{:>10}",
+        "timeslice", "KVM ARM", "Xen ARM", "KVM x86", "Xen x86"
+    );
     for ts_us in [10_000.0, 1_000.0, 100.0, 30.0] {
         let ts = Cycles::new((ts_us * 2_400.0) as u64);
         print!("{:<14}", format!("{ts_us} us"));
@@ -42,13 +45,17 @@ fn main() {
     s.add_vcpu(1, 256); // Dom0, blocked on I/O
     s.account();
     s.block(1);
-    println!("  Dom0 blocks; pick -> vcpu{:?} (batch runs)", s.pick().unwrap());
+    println!(
+        "  Dom0 blocks; pick -> vcpu{:?} (batch runs)",
+        s.pick().unwrap()
+    );
     s.charge(0, 50);
     let preempts = s.wake(1);
+    println!("  event arrives; wake(Dom0) -> boost, preempts batch: {preempts}");
     println!(
-        "  event arrives; wake(Dom0) -> boost, preempts batch: {preempts}"
+        "  pick -> vcpu{:?} (Dom0 runs its backend work)",
+        s.pick().unwrap()
     );
-    println!("  pick -> vcpu{:?} (Dom0 runs its backend work)", s.pick().unwrap());
     println!(
         "  switches so far: {} (each costing a Table II VM Switch)",
         s.switch_count()

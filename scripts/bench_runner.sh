@@ -1,0 +1,15 @@
+#!/bin/sh
+# Benchmarks the parallel scenario runner: times the full artifact suite
+# with --jobs 1 and --jobs N (default: all cores), asserts the two runs
+# are byte-identical, and writes per-artifact wall-clock numbers to
+# BENCH_runner.json in the repository root.
+#
+# usage: scripts/bench_runner.sh [JOBS]
+set -eu
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+OUT="${BENCH_OUT:-BENCH_runner.json}"
+
+cargo build --release -p hvx-suite
+./target/release/hvx-repro --bench "$OUT" --jobs "$JOBS"
+echo "bench: wrote $OUT"

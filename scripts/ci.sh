@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repo gate: formatting + the tier-1 verify from ROADMAP.md.
+# Run from the repository root. Fails fast on the first broken step.
+set -eu
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q (workspace) =="
+cargo test -q --workspace
+
+echo "ci: all checks passed"

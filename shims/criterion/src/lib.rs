@@ -1,0 +1,151 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness exposing the `Criterion` / `benchmark_group` /
+//! `bench_function` / `b.iter` surface the hvx benches use, plus the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! There is no statistical analysis, warm-up calibration, or HTML
+//! report — each benchmark runs a fixed warm-up then a timed batch and
+//! prints the mean per-iteration time. That is enough for the relative
+//! comparisons the benches exist for, with zero dependencies.
+
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u64 = 100;
+const TIMED_BATCHES: u64 = 5;
+const MIN_BATCH: Duration = Duration::from_millis(20);
+
+/// Top-level benchmark driver handed to each bench function.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Criterion { _private: () }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::new()
+    }
+}
+
+/// A named set of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark: calls `f` with a [`Bencher`] whose `iter`
+    /// times the closure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "  {}/{:<40} {:>12.1} ns/iter ({} iters)",
+            self.name,
+            id,
+            bencher.mean.as_nanos() as f64,
+            bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group (also implied by drop).
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` in a warm-up pass, then in timed batches, and
+    /// records the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        // Size a batch so each timed run lasts at least MIN_BATCH.
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (MIN_BATCH.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..TIMED_BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += per_batch;
+        }
+        self.mean = total / iters.max(1) as u32;
+        self.iters = iters;
+    }
+}
+
+/// Re-export so `criterion::black_box` also works.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_positive_mean() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+        group.finish();
+    }
+}

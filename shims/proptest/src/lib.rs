@@ -1,0 +1,306 @@
+//! Offline stand-in for `proptest`, sufficient for the hvx property
+//! tests: a [`Strategy`] trait with integer-range, tuple, `any`, `vec`
+//! and `btree_set` strategies, plus `proptest!`/`prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! corpus: each test runs a fixed number of cases drawn from a
+//! deterministic per-test RNG (seeded by the test's name), so failures
+//! reproduce exactly on re-run. That trades minimal counterexamples for
+//! zero dependencies, which is what this offline workspace needs.
+
+use std::ops::Range;
+
+/// Number of deterministic cases each `proptest!` test runs.
+pub const CASES: u64 = 32;
+
+/// A deterministic per-test random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the RNG for case `case` of the test named `name`.
+    /// The seed depends only on those inputs, so failures replay.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        (self.next_u64() as u128 * span) >> 64
+    }
+}
+
+/// Something that can produce values for a property test case.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Full-value-range sampling, the target of [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws a value from the type's whole range.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's full value range; see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy sampling the full value range of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Namespace mirror of `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Builds a `Vec` strategy: each case draws a length in `size`,
+        /// then that many elements.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.size.clone().generate(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet<S::Value>` with a target size in `size`.
+        #[derive(Debug, Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Builds a `BTreeSet` strategy. The element strategy's domain
+        /// must be at least `size.start` distinct values.
+        pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, size }
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.clone().generate(rng);
+                let mut out = BTreeSet::new();
+                // Duplicates don't grow the set, so cap the attempts; the
+                // minimum is still enforced below so a too-small element
+                // domain fails loudly instead of looping forever.
+                let mut attempts = 0usize;
+                while out.len() < target && attempts < 64 * target + 1024 {
+                    out.insert(self.element.generate(rng));
+                    attempts += 1;
+                }
+                assert!(
+                    out.len() >= self.size.start,
+                    "btree_set strategy could not reach minimum size {}",
+                    self.size.start
+                );
+                out
+            }
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    let mut __proptest_rng =
+                        $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $pat =
+                        $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($arg:tt)+) => { assert!($cond, $($arg)+) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($arg:tt)+) => { assert_eq!($left, $right, $($arg)+) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($arg:tt)+) => { assert_ne!($left, $right, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn range_strategy_stays_in_bounds() {
+        let mut rng = TestRng::for_case("range", 0);
+        for _ in 0..1_000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let s = (-4i32..9).generate(&mut rng);
+            assert!((-4..9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn collections_respect_size_bounds() {
+        let mut rng = TestRng::for_case("coll", 0);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u8..5, 2..9).generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            let s = prop::collection::btree_set(0u32..100, 1..12).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 12);
+        }
+    }
+
+    #[test]
+    fn same_name_and_case_replays() {
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        /// The macro itself works end to end, including tuples, `any`,
+        /// trailing commas, and `mut` patterns.
+        #[test]
+        fn macro_end_to_end(
+            (a, b) in (0u64..10, 1u8..4),
+            mut v in prop::collection::vec(any::<bool>(), 1..5),
+        ) {
+            prop_assert!(a < 10 && (1..4).contains(&b));
+            v.push(true);
+            prop_assert!(!v.is_empty(), "v = {:?}", v);
+        }
+    }
+}

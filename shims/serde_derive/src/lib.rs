@@ -1,0 +1,441 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-tree `serde` shim.
+//!
+//! The vendored registry is unreachable in this build environment, so the
+//! real `serde_derive` (and its `syn`/`quote` dependency tree) cannot be
+//! fetched. This crate re-implements the subset of the derive the hvx
+//! workspace actually uses, parsing the item's `TokenStream` directly:
+//!
+//! * structs with named fields → JSON objects (declaration field order);
+//! * newtype/tuple structs → the inner value / an array
+//!   (`#[serde(transparent)]` is accepted and is the newtype behaviour);
+//! * enums → externally tagged: unit variants as strings, data variants
+//!   as single-key objects, matching serde's default representation.
+//!
+//! Generics and unions are rejected with a compile error; nothing in the
+//! workspace needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Body {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with this arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Consumes a leading attribute (`#[...]`) if present.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#[...]` — the bracket group follows.
+                i += 1;
+                if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket) {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Skips one field type: everything up to a comma at angle-bracket depth 0.
+/// Parentheses/brackets arrive as groups, so only `<`/`>` need counting.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses the fields of a brace-delimited (named-field) body.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        i = skip_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found `{other}`"
+                ))
+            }
+        }
+        i = skip_type(&toks, i);
+        fields.push(name);
+        // Skip the separating comma, if any.
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a parenthesised (tuple) body.
+fn parse_tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        i = skip_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_type(&toks, i);
+        arity += 1;
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                Body::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream());
+                i += 1;
+                Body::Tuple(arity)
+            }
+            _ => Body::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+            }
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other:?}`")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the serde shim derive"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(parse_tuple_arity(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => return Err(format!("unsupported struct body: `{other:?}`")),
+            };
+            Ok(Item::Struct { name, body })
+        }
+        "enum" => {
+            let variants = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())?
+                }
+                other => return Err(format!("unsupported enum body: `{other:?}`")),
+            };
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let body_code = match body {
+                Body::Named(fields) => {
+                    let mut s = String::from(
+                        "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                    );
+                    for f in fields {
+                        s.push_str(&format!(
+                            "__obj.push((::std::string::String::from({f:?}), ::serde::Serialize::serialize(&self.{f})));\n"
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(__obj)");
+                    s
+                }
+                Body::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Body::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Body::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn serialize(&self) -> ::serde::Value {{\n {body_code}\n }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),\n"
+                    )),
+                    Body::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut __f: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__f.push((::std::string::String::from({f:?}), ::serde::Serialize::serialize({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n {inner} ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Object(__f))])\n }},\n"
+                        ));
+                    }
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__x{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(__x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn serialize(&self) -> ::serde::Value {{\n match self {{\n {arms} }}\n }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let body_code = match body {
+                Body::Named(fields) => {
+                    let mut s = format!(
+                        "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n"
+                    );
+                    s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+                    for f in fields {
+                        s.push_str(&format!(
+                            "{f}: ::serde::Deserialize::deserialize(::serde::field(__obj, {f:?})?)?,\n"
+                        ));
+                    }
+                    s.push_str("})");
+                    s
+                }
+                Body::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+                ),
+                Body::Tuple(n) => {
+                    let mut s = format!(
+                        "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n"
+                    );
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::deserialize(&__arr[{k}])?"))
+                        .collect();
+                    s.push_str(&format!(
+                        "::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    ));
+                    s
+                }
+                Body::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n {body_code}\n }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            // Unit variants arrive as strings; data variants as
+            // single-key objects (externally tagged).
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Body::Named(fields) => {
+                        let mut inner = format!(
+                            "let __obj = __payload.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object payload for {name}::{vn}\"))?;\n"
+                        );
+                        inner.push_str(&format!(
+                            "return ::std::result::Result::Ok({name}::{vn} {{\n"
+                        ));
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::Deserialize::deserialize(::serde::field(__obj, {f:?})?)?,\n"
+                            ));
+                        }
+                        inner.push_str("});");
+                        tagged_arms.push_str(&format!("{vn:?} => {{\n {inner}\n }}\n"));
+                    }
+                    Body::Tuple(n) => {
+                        let inner = if *n == 1 {
+                            format!(
+                                "return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(__payload)?));"
+                            )
+                        } else {
+                            let mut s = format!(
+                                "let __arr = __payload.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload for {name}::{vn}\"))?;\n\
+                                 if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong payload arity for {name}::{vn}\")); }}\n"
+                            );
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::deserialize(&__arr[{k}])?"))
+                                .collect();
+                            s.push_str(&format!(
+                                "return ::std::result::Result::Ok({name}::{vn}({}));",
+                                items.join(", ")
+                            ));
+                            s
+                        };
+                        tagged_arms.push_str(&format!("{vn:?} => {{\n {inner}\n }}\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n \
+                 if let ::std::option::Option::Some(__s) = __v.as_str() {{\n match __s {{\n {unit_arms} _ => {{}}\n }}\n }}\n \
+                 if let ::std::option::Option::Some(__obj) = __v.as_object() {{\n \
+                 if __obj.len() == 1 {{\n let (__tag, __payload) = (&__obj[0].0, &__obj[0].1);\n match __tag.as_str() {{\n {tagged_arms} _ => {{}}\n }}\n }}\n }}\n \
+                 ::std::result::Result::Err(::serde::Error::custom(\"no matching variant of {name}\"))\n }}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (the shim's `Value`-producing trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (the shim's `Value`-consuming trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}

@@ -2,8 +2,8 @@
 //! coverage of the CPU models' transition and register-access semantics.
 
 use hvx::arch::{
-    resolve, ArchVersion, ArmCpu, EretError, ExceptionLevel, ExitReason, HcrEl2, PhysReg, SysReg,
-    SysRegError, Syndrome, TrapCause, Vmcs, VmxError, X86Cpu, X86State,
+    resolve, ArchVersion, ArmCpu, EretError, ExceptionLevel, ExitReason, HcrEl2, PhysReg, Syndrome,
+    SysReg, SysRegError, TrapCause, Vmcs, VmxError, X86Cpu, X86State,
 };
 use ExceptionLevel::{El0, El1, El2};
 
@@ -131,7 +131,15 @@ fn exception_routing_table() {
         (TrapCause::Sync(Syndrome::Svc { imm: 0 }), off, El0, El1),
         (TrapCause::Sync(Syndrome::Svc { imm: 0 }), vhe_tge, El0, El2),
         (TrapCause::Sync(Syndrome::WfiWfe), guest, El1, El2),
-        (TrapCause::Sync(Syndrome::DataAbort { ipa: 0, write: false }), guest, El1, El2),
+        (
+            TrapCause::Sync(Syndrome::DataAbort {
+                ipa: 0,
+                write: false,
+            }),
+            guest,
+            El1,
+            El2,
+        ),
         (TrapCause::Sync(Syndrome::FpAccess), guest, El1, El2),
     ];
     for (cause, hcr, from, want) in cases {
@@ -177,7 +185,10 @@ fn esr_encodings_are_distinct_per_class() {
         Syndrome::Svc { imm: 0 },
         Syndrome::WfiWfe,
         Syndrome::SysRegTrap { write: false },
-        Syndrome::DataAbort { ipa: 0, write: false },
+        Syndrome::DataAbort {
+            ipa: 0,
+            write: false,
+        },
         Syndrome::InstrAbort { ipa: 0 },
         Syndrome::FpAccess,
     ];
@@ -194,11 +205,17 @@ fn vmx_state_machine_rejects_out_of_protocol_transitions() {
     let mut cpu = X86Cpu::new();
     let mut vmcs = Vmcs::default();
     // Double entry, exit from root, entry after exit — full matrix.
-    assert_eq!(cpu.vmexit(&mut vmcs, ExitReason::Hlt), Err(VmxError::NotInNonRoot));
+    assert_eq!(
+        cpu.vmexit(&mut vmcs, ExitReason::Hlt),
+        Err(VmxError::NotInNonRoot)
+    );
     cpu.vmentry(&mut vmcs).unwrap();
     assert_eq!(cpu.vmentry(&mut vmcs), Err(VmxError::AlreadyNonRoot));
     cpu.vmexit(&mut vmcs, ExitReason::Hlt).unwrap();
-    assert_eq!(cpu.vmexit(&mut vmcs, ExitReason::Hlt), Err(VmxError::NotInNonRoot));
+    assert_eq!(
+        cpu.vmexit(&mut vmcs, ExitReason::Hlt),
+        Err(VmxError::NotInNonRoot)
+    );
 }
 
 #[test]
@@ -206,8 +223,14 @@ fn vmcs_isolates_two_vms_sharing_a_cpu() {
     // The x86 VM Switch mechanism: two VMCSs, one CPU; each VM's
     // progress survives arbitrary interleaving.
     let mut cpu = X86Cpu::new();
-    let mut a = Vmcs { guest: X86State::fill_pattern(1), ..Vmcs::default() };
-    let mut b = Vmcs { guest: X86State::fill_pattern(2), ..Vmcs::default() };
+    let mut a = Vmcs {
+        guest: X86State::fill_pattern(1),
+        ..Vmcs::default()
+    };
+    let mut b = Vmcs {
+        guest: X86State::fill_pattern(2),
+        ..Vmcs::default()
+    };
     for round in 0..5u64 {
         cpu.vmentry(&mut a).unwrap();
         cpu.live.gp[0] += 1;
@@ -216,7 +239,10 @@ fn vmcs_isolates_two_vms_sharing_a_cpu() {
         cpu.live.gp[0] += 100;
         cpu.vmexit(&mut b, ExitReason::Hlt).unwrap();
         assert_eq!(a.guest.gp[0], X86State::fill_pattern(1).gp[0] + round + 1);
-        assert_eq!(b.guest.gp[0], X86State::fill_pattern(2).gp[0] + (round + 1) * 100);
+        assert_eq!(
+            b.guest.gp[0],
+            X86State::fill_pattern(2).gp[0] + (round + 1) * 100
+        );
     }
 }
 
@@ -239,7 +265,11 @@ fn vhe_enablement_matrix() {
 fn write_read_consistency_across_all_legal_encodings() {
     // Every encoding that resolves must read back what was written.
     for vhe in [false, true] {
-        let mut cpu = ArmCpu::new(if vhe { ArchVersion::V8_1 } else { ArchVersion::V8_0 });
+        let mut cpu = ArmCpu::new(if vhe {
+            ArchVersion::V8_1
+        } else {
+            ArchVersion::V8_0
+        });
         if vhe {
             cpu.enable_vhe().unwrap();
         }

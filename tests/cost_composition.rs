@@ -32,8 +32,7 @@ fn kvm_arm_hypercall_identity() {
 #[test]
 fn xen_arm_hypercall_identity() {
     let m = c();
-    let expected =
-        m.hw_trap + m.xen_frame.save + m.xen_dispatch + m.xen_frame.restore + m.hw_eret;
+    let expected = m.hw_trap + m.xen_frame.save + m.xen_dispatch + m.xen_frame.restore + m.hw_eret;
     assert_eq!(expected, Cycles::new(376));
     assert_eq!(XenArm::new().hypercall(0), expected);
 }
@@ -41,8 +40,14 @@ fn xen_arm_hypercall_identity() {
 #[test]
 fn x86_hypercall_identities() {
     let m = CostModel::x86();
-    assert_eq!(m.vmexit + m.kvm_x86_dispatch + m.vmentry, Cycles::new(1_300));
-    assert_eq!(m.vmexit + m.xen_x86_dispatch + m.vmentry, Cycles::new(1_228));
+    assert_eq!(
+        m.vmexit + m.kvm_x86_dispatch + m.vmentry,
+        Cycles::new(1_300)
+    );
+    assert_eq!(
+        m.vmexit + m.xen_x86_dispatch + m.vmentry,
+        Cycles::new(1_228)
+    );
     assert_eq!(KvmX86::new().hypercall(0), Cycles::new(1_300));
     assert_eq!(XenX86::new().hypercall(0), Cycles::new(1_228));
 }
@@ -73,12 +78,7 @@ fn vm_switch_identities() {
     // one scheduler pick.
     assert_eq!(
         XenArm::new().vm_switch(),
-        m.hw_trap
-            + m.xen_frame.save
-            + m.xen_sched
-            + m.full_save()
-            + m.full_restore()
-            + m.hw_eret
+        m.hw_trap + m.xen_frame.save + m.xen_sched + m.full_save() + m.full_restore() + m.hw_eret
     );
 }
 
@@ -89,10 +89,7 @@ fn lazy_fp_is_skipped_on_interrupt_paths_but_not_hypercalls() {
     let mut kvm = KvmArm::new();
     kvm.machine_mut().trace_mut().clear();
     kvm.hypercall(0);
-    assert_eq!(
-        kvm.machine().trace().total_by_label("save:fp"),
-        c().fp.save
-    );
+    assert_eq!(kvm.machine().trace().total_by_label("save:fp"), c().fp.save);
     kvm.machine_mut().trace_mut().clear();
     kvm.io_latency_in(0);
     assert_eq!(

@@ -1,9 +1,7 @@
 //! End-to-end data integrity through the two paravirtual I/O stacks,
 //! built from the public substrate APIs the hypervisor models use.
 
-use hvx::mem::{
-    Access, DomId, GrantTable, Ipa, Pa, PhysMemory, S2Perms, Stage2Tables, PAGE_SIZE,
-};
+use hvx::mem::{Access, DomId, GrantTable, Ipa, Pa, PhysMemory, S2Perms, Stage2Tables, PAGE_SIZE};
 use hvx::vio::{
     Descriptor, EventChannels, NetBack, NetFront, Packet, VhostNet, VioError, Virtqueue,
 };
@@ -39,7 +37,10 @@ fn virtio_echo_server_round_trip() {
     // Guest reads the request out of its own memory...
     let (head, len) = rx.take_used().unwrap().unwrap();
     assert_eq!((head, len as usize), (0, request.len()));
-    let pa = s2.translate(Ipa::new(0x8000_0000), Access::Read).unwrap().pa;
+    let pa = s2
+        .translate(Ipa::new(0x8000_0000), Access::Read)
+        .unwrap()
+        .pa;
     let mut got = vec![0u8; len as usize];
     mem.read(pa, &mut got).unwrap();
     assert_eq!(&got, b"GET /index.html");
@@ -70,16 +71,28 @@ fn xen_pv_echo_round_trip_with_events() {
     let mut ring = hvx::vio::XenNetRing::new();
     let mut front = NetFront::new(
         DOMU,
-        (0..4).map(|i| Ipa::new(0x8000_0000 + i * PAGE_SIZE)).collect(),
+        (0..4)
+            .map(|i| Ipa::new(0x8000_0000 + i * PAGE_SIZE))
+            .collect(),
     );
     let mut back = NetBack::new(Pa::new(0x80_0000), 8);
 
     // RX: netback fills a granted frame, notifies DomU.
     front
-        .post_rx(&mut ring, &mut grants, &s2, Ipa::new(0x8000_0000 + 8 * PAGE_SIZE))
+        .post_rx(
+            &mut ring,
+            &mut grants,
+            &s2,
+            Ipa::new(0x8000_0000 + 8 * PAGE_SIZE),
+        )
         .unwrap();
-    back.deliver_rx(&mut ring, &mut grants, &mut mem, &Packet::new(1, &b"ping"[..]))
-        .unwrap();
+    back.deliver_rx(
+        &mut ring,
+        &mut grants,
+        &mut mem,
+        &Packet::new(1, &b"ping"[..]),
+    )
+    .unwrap();
     assert_eq!(evtchn.notify(port, DomId::DOM0).unwrap(), DOMU);
     assert!(evtchn.has_pending(DOMU));
     let rxed = front

@@ -62,7 +62,10 @@ fn section4_xen_wins_interrupt_benchmarks_by_hypercall_margin() {
     kvm.machine_mut().barrier();
     xen.machine_mut().barrier();
     let ict_gap = kvm.gicd_trap(0).as_f64() - xen.gicd_trap(0).as_f64();
-    assert!((ict_gap / hc_gap - 1.0).abs() < 0.1, "{ict_gap} vs {hc_gap}");
+    assert!(
+        (ict_gap / hc_gap - 1.0).abs() < 0.1,
+        "{ict_gap} vs {hc_gap}"
+    );
 }
 
 #[test]
@@ -117,16 +120,30 @@ fn section4_kvm_arm_exit_dearer_than_entry_unlike_x86() {
     kvm.machine_mut().trace_mut().clear();
     kvm.hypercall(0);
     let trace = kvm.machine().trace();
-    let save: u64 = ["save:gp", "save:fp", "save:el1-sys", "save:vgic", "save:timer",
-                     "save:el2-config", "save:el2-vm"]
-        .iter()
-        .map(|l| trace.total_by_label(l).as_u64())
-        .sum();
-    let restore: u64 = ["restore:gp", "restore:fp", "restore:el1-sys", "restore:vgic",
-                        "restore:timer", "restore:el2-config", "restore:el2-vm"]
-        .iter()
-        .map(|l| trace.total_by_label(l).as_u64())
-        .sum();
+    let save: u64 = [
+        "save:gp",
+        "save:fp",
+        "save:el1-sys",
+        "save:vgic",
+        "save:timer",
+        "save:el2-config",
+        "save:el2-vm",
+    ]
+    .iter()
+    .map(|l| trace.total_by_label(l).as_u64())
+    .sum();
+    let restore: u64 = [
+        "restore:gp",
+        "restore:fp",
+        "restore:el1-sys",
+        "restore:vgic",
+        "restore:timer",
+        "restore:el2-config",
+        "restore:el2-vm",
+    ]
+    .iter()
+    .map(|l| trace.total_by_label(l).as_u64())
+    .sum();
     assert!(save > 2 * restore, "save {save} vs restore {restore}");
 }
 
@@ -156,7 +173,10 @@ fn section5_irq_distribution_restores_parity() {
         mix,
         VirqPolicy::RoundRobin,
     );
-    assert!((kvm - xen).abs() < 0.15, "post-distribution parity: {kvm} vs {xen}");
+    assert!(
+        (kvm - xen).abs() < 0.15,
+        "post-distribution parity: {kvm} vs {xen}"
+    );
 }
 
 #[test]
@@ -166,10 +186,25 @@ fn conclusion_kvm_arm_exceeds_xen_arm_on_io_workloads() {
     use hvx::suite::workloads::{self, Mix};
     for mix in [
         Mix::NetRr { transactions: 10 },
-        Mix::StreamRx { chunks: 44, chunk_len: 1_490, bursts: 8, link_mbit: 10_000 },
+        Mix::StreamRx {
+            chunks: 44,
+            chunk_len: 1_490,
+            bursts: 8,
+            link_mbit: 10_000,
+        },
     ] {
-        let kvm = workloads::overhead(&mut KvmArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
-        let xen = workloads::overhead(&mut XenArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
+        let kvm = workloads::overhead(
+            &mut KvmArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
+        let xen = workloads::overhead(
+            &mut XenArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        );
         assert!(kvm < xen, "{mix:?}: {kvm} vs {xen}");
     }
 }
@@ -202,8 +237,22 @@ fn microbenchmarks_do_not_predict_application_performance() {
     let micro_winner_is_xen = xen.hypercall(0) < kvm.hypercall(0);
     assert!(micro_winner_is_xen);
     use hvx::suite::workloads::{self, Mix};
-    let mix = Mix::StreamRx { chunks: 44, chunk_len: 1_490, bursts: 8, link_mbit: 10_000 };
-    let app_winner_is_kvm = workloads::overhead(&mut KvmArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0)
-        < workloads::overhead(&mut XenArm::new(), &mut Native::new(), mix, VirqPolicy::Vcpu0);
+    let mix = Mix::StreamRx {
+        chunks: 44,
+        chunk_len: 1_490,
+        bursts: 8,
+        link_mbit: 10_000,
+    };
+    let app_winner_is_kvm = workloads::overhead(
+        &mut KvmArm::new(),
+        &mut Native::new(),
+        mix,
+        VirqPolicy::Vcpu0,
+    ) < workloads::overhead(
+        &mut XenArm::new(),
+        &mut Native::new(),
+        mix,
+        VirqPolicy::Vcpu0,
+    );
     assert!(app_winner_is_kvm);
 }

@@ -35,6 +35,34 @@ proptest! {
         }
     }
 
+    /// The flat four-ary heap stays a stable priority queue at scale:
+    /// 10,000 schedules over a narrow time range (forcing heavy instant
+    /// collisions) pop in nondecreasing time order and FIFO among equals.
+    #[test]
+    fn flat_heap_is_fifo_for_ten_thousand_schedules(
+        times in prop::collection::vec(0u64..64, 10_000..10_001),
+    ) {
+        let mut q = EventQueue::with_capacity(times.len());
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(Cycles::new(*t), i);
+        }
+        prop_assert_eq!(q.len(), times.len());
+        let mut popped = 0usize;
+        let mut last: Option<(Cycles, usize)> = None;
+        while let Some((when, idx)) = q.pop() {
+            if let Some((lw, li)) = last {
+                prop_assert!(when >= lw, "time order violated");
+                if when == lw {
+                    prop_assert!(idx > li, "FIFO among equal instants");
+                }
+            }
+            prop_assert_eq!(Cycles::new(times[idx]), when);
+            last = Some((when, idx));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
     /// Summary statistics are order-invariant and bounded by min/max.
     #[test]
     fn summary_is_permutation_invariant(mut vals in prop::collection::vec(0u64..1_000_000, 1..100)) {

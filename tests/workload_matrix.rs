@@ -20,22 +20,56 @@ fn virtualized() -> Vec<(&'static str, HvBuilder)> {
 /// Shrinks a mix so the matrix stays fast.
 fn shrink(mix: Mix) -> Mix {
     match mix {
-        Mix::CpuBound { unit_work, ticks_per_unit, .. } => {
-            Mix::CpuBound { unit_work, ticks_per_unit, units: 8 }
-        }
-        Mix::IpiBound { unit_work, ipis_per_unit, .. } => {
-            Mix::IpiBound { unit_work, ipis_per_unit, units: 8 }
-        }
+        Mix::CpuBound {
+            unit_work,
+            ticks_per_unit,
+            ..
+        } => Mix::CpuBound {
+            unit_work,
+            ticks_per_unit,
+            units: 8,
+        },
+        Mix::IpiBound {
+            unit_work,
+            ipis_per_unit,
+            ..
+        } => Mix::IpiBound {
+            unit_work,
+            ipis_per_unit,
+            units: 8,
+        },
         Mix::NetRr { .. } => Mix::NetRr { transactions: 6 },
-        Mix::StreamRx { chunks, chunk_len, link_mbit, .. } => {
-            Mix::StreamRx { chunks, chunk_len, bursts: 6, link_mbit }
-        }
-        Mix::StreamTx { chunks, chunk_len, tso_capped_chunks, link_mbit, .. } => {
-            Mix::StreamTx { chunks, chunk_len, bursts: 6, tso_capped_chunks, link_mbit }
-        }
-        Mix::DiskIo { sectors, device, .. } => {
-            Mix::DiskIo { requests: 6, sectors, device }
-        }
+        Mix::StreamRx {
+            chunks,
+            chunk_len,
+            link_mbit,
+            ..
+        } => Mix::StreamRx {
+            chunks,
+            chunk_len,
+            bursts: 6,
+            link_mbit,
+        },
+        Mix::StreamTx {
+            chunks,
+            chunk_len,
+            tso_capped_chunks,
+            link_mbit,
+            ..
+        } => Mix::StreamTx {
+            chunks,
+            chunk_len,
+            bursts: 6,
+            tso_capped_chunks,
+            link_mbit,
+        },
+        Mix::DiskIo {
+            sectors, device, ..
+        } => Mix::DiskIo {
+            requests: 6,
+            sectors,
+            device,
+        },
         Mix::RequestServer {
             app_work,
             request_bytes,
