@@ -38,6 +38,14 @@ pub trait Hypervisor {
     /// (the §V ablation).
     fn set_virq_policy(&mut self, policy: VirqPolicy);
 
+    /// Samples the model's device/substrate lifetime counters (vGIC
+    /// injections, vhost packets, event-channel notifications, grant
+    /// copies, ...) into the machine's metrics registry. No-op by
+    /// default and while profiling is disabled; the profiling harness
+    /// calls it once after a run, so counter values are end-of-run
+    /// totals.
+    fn sample_metrics(&mut self) {}
+
     // ------------------------------------------------------------------
     // Table I microbenchmarks
     // ------------------------------------------------------------------

@@ -31,7 +31,7 @@
 use crate::context::{ArmGuestContext, ArmHostContext};
 use crate::{CostModel, HvKind, Hypervisor, VirqPolicy};
 use hvx_arch::{ArchVersion, ArmCpu, ExceptionLevel, HcrEl2, Syndrome, TrapCause};
-use hvx_engine::{CoreId, Cycles, Machine, Topology, TraceKind};
+use hvx_engine::{CoreId, Cycles, Machine, Topology, TraceKind, TransitionId};
 use hvx_gic::{dist_reg, Distributor, IntId, VgicCpuInterface};
 use hvx_mem::{Ipa, Pa, PhysMemory, S2Perms, Stage2Tables, PAGE_SIZE};
 use hvx_vio::{Descriptor, Nic, VhostNet, Virtqueue};
@@ -242,8 +242,14 @@ impl KvmArm {
 
     /// Charges the hardware trap and takes the exception on `core`.
     fn trap_to_el2(&mut self, core: CoreId, cause: TrapCause) {
-        self.machine
-            .charge(core, "hw:trap-el2", TraceKind::Trap, self.cost.hw_trap);
+        self.machine.bump("kvm.traps", 1);
+        self.machine.charge_as(
+            core,
+            "hw:trap-el2",
+            TraceKind::Trap,
+            self.cost.hw_trap,
+            TransitionId::TrapToEl2,
+        );
         let to = self.cpus[core.index()].take_exception(cause);
         debug_assert_eq!(to, ExceptionLevel::El2, "guest traps route to EL2");
     }
@@ -259,22 +265,32 @@ impl KvmArm {
         let c = self.cost;
         let m = &mut self.machine;
         if self.vhe {
-            m.charge(
+            m.charge_as(
                 core,
                 "vhe:frame-save",
                 TraceKind::ContextSave,
                 c.xen_frame.save,
+                TransitionId::ContextSave,
             );
             // Host == hypervisor: already running in EL2; nothing else.
             self.guest_loaded[core.index()] = None;
             return;
         }
+        m.span_enter(TransitionId::ContextSave);
         m.charge(core, "save:gp", TraceKind::ContextSave, c.gp.save);
         if !lazy_fp {
             m.charge(core, "save:fp", TraceKind::ContextSave, c.fp.save);
         }
         m.charge(core, "save:el1-sys", TraceKind::ContextSave, c.el1_sys.save);
-        m.charge(core, "save:vgic", TraceKind::ContextSave, c.vgic.save);
+        // The VGIC window dominates Table III; span it separately so the
+        // profile can answer "how much of context save is VGIC?".
+        m.charge_as(
+            core,
+            "save:vgic",
+            TraceKind::ContextSave,
+            c.vgic.save,
+            TransitionId::VgicLrSave,
+        );
         m.charge(core, "save:timer", TraceKind::ContextSave, c.timer.save);
         m.charge(
             core,
@@ -283,6 +299,7 @@ impl KvmArm {
             c.el2_config.save,
         );
         m.charge(core, "save:el2-vm", TraceKind::ContextSave, c.el2_vm.save);
+        m.span_exit(TransitionId::ContextSave);
 
         // Capture the real context. The guest PC was banked into ELR_EL2
         // by the trap.
@@ -294,18 +311,24 @@ impl KvmArm {
 
         // Disable Stage-2 and traps so the host owns the hardware (§IV
         // overhead #3), then install the host and return to EL1.
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "kvm:disable-virt",
             TraceKind::Emulation,
             c.kvm_toggle_traps,
+            TransitionId::VirtToggle,
         );
         let cpu = &mut self.cpus[idx];
         self.host_ctxs[idx].install(cpu);
         cpu.el2.spsr_el2 = 0b0101; // EL1h: return into the host kernel
         cpu.el2.elr_el2 = 0xFFFF_0000_0000_0000 + idx as u64; // host resume point
-        self.machine
-            .charge(core, "hw:eret", TraceKind::Return, c.hw_eret);
+        self.machine.charge_as(
+            core,
+            "hw:eret",
+            TraceKind::Return,
+            c.hw_eret,
+            TransitionId::Eret,
+        );
         cpu.eret().expect("EL2 to EL1 host return is legal");
         self.guest_loaded[idx] = None;
     }
@@ -324,14 +347,20 @@ impl KvmArm {
     fn switch_in(&mut self, core: CoreId, vcpu: usize, lazy_fp: bool) {
         let c = self.cost;
         if self.vhe {
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "vhe:frame-restore",
                 TraceKind::ContextRestore,
                 c.xen_frame.restore,
+                TransitionId::ContextRestore,
             );
-            self.machine
-                .charge(core, "hw:eret", TraceKind::Return, c.hw_eret);
+            self.machine.charge_as(
+                core,
+                "hw:eret",
+                TraceKind::Return,
+                c.hw_eret,
+                TransitionId::Eret,
+            );
             let cpu = &mut self.cpus[core.index()];
             cpu.el2.spsr_el2 = 0b0101;
             cpu.el2.elr_el2 = self.vm.ctxs[vcpu].gp.pc;
@@ -339,11 +368,18 @@ impl KvmArm {
             self.guest_loaded[core.index()] = Some(vcpu);
             return;
         }
-        self.machine
-            .charge(core, "hw:trap-el2", TraceKind::Trap, c.hw_trap);
+        self.machine.bump("kvm.traps", 1);
+        self.machine.charge_as(
+            core,
+            "hw:trap-el2",
+            TraceKind::Trap,
+            c.hw_trap,
+            TransitionId::TrapToEl2,
+        );
         let idx = core.index();
         self.cpus[idx].take_exception(TrapCause::HYPERCALL); // host -> lowvisor
         let m = &mut self.machine;
+        m.span_enter(TransitionId::ContextRestore);
         m.charge(core, "restore:gp", TraceKind::ContextRestore, c.gp.restore);
         if !lazy_fp {
             m.charge(core, "restore:fp", TraceKind::ContextRestore, c.fp.restore);
@@ -354,11 +390,12 @@ impl KvmArm {
             TraceKind::ContextRestore,
             c.el1_sys.restore,
         );
-        m.charge(
+        m.charge_as(
             core,
             "restore:vgic",
             TraceKind::ContextRestore,
             c.vgic.restore,
+            TransitionId::VgicLrRestore,
         );
         m.charge(
             core,
@@ -378,11 +415,13 @@ impl KvmArm {
             TraceKind::ContextRestore,
             c.el2_vm.restore,
         );
-        m.charge(
+        m.span_exit(TransitionId::ContextRestore);
+        m.charge_as(
             core,
             "kvm:enable-virt",
             TraceKind::Emulation,
             c.kvm_toggle_traps,
+            TransitionId::VirtToggle,
         );
 
         let ctx = if self.alt_loaded && idx == 0 {
@@ -395,8 +434,13 @@ impl KvmArm {
         cpu.start_at(ExceptionLevel::El2);
         cpu.el2.spsr_el2 = 0b0101;
         cpu.el2.elr_el2 = ctx.gp.pc;
-        self.machine
-            .charge(core, "hw:eret", TraceKind::Return, c.hw_eret);
+        self.machine.charge_as(
+            core,
+            "hw:eret",
+            TraceKind::Return,
+            c.hw_eret,
+            TransitionId::Eret,
+        );
         cpu.eret().expect("EL2 to EL1 guest return");
         self.guest_loaded[idx] = Some(vcpu);
     }
@@ -415,17 +459,19 @@ impl KvmArm {
         self.switch_out(core, vcpu, true);
         // Every exit passes through the vcpu_run dispatch loop before the
         // MMIO emulation proper.
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "kvm:host-dispatch",
             TraceKind::Host,
             self.cost.kvm_host_dispatch,
+            TransitionId::HostDispatch,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "kvm:mmio-decode",
             TraceKind::Emulation,
             self.cost.kvm_mmio_decode,
+            TransitionId::MmioDecode,
         );
     }
 
@@ -451,17 +497,19 @@ impl KvmArm {
             }),
         );
         self.switch_out(core, vcpu, true);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "kvm:host-dispatch",
             TraceKind::Host,
             self.cost.kvm_host_dispatch,
+            TransitionId::HostDispatch,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "kvm:page-alloc",
             TraceKind::Host,
             self.cost.page_alloc,
+            TransitionId::HostDispatch,
         );
         let pa = Pa::new(0x0100_0000 + self.vm.s2.mapped_pages() * PAGE_SIZE);
         self.vm
@@ -520,11 +568,12 @@ impl KvmArm {
         self.trap_to_el2(target_core, TrapCause::Irq);
         self.switch_out(target_core, target_vcpu, true);
         // Host acks the SGI and programs a list register.
-        self.machine.charge(
+        self.machine.charge_as(
             target_core,
             "gic:phys-ack",
             TraceKind::Host,
             c.gic_phys_access,
+            TransitionId::GicAccess,
         );
         self.phys_gic
             .acknowledge(target_core.index())
@@ -532,11 +581,13 @@ impl KvmArm {
         self.phys_gic
             .complete(target_core.index(), HOST_KICK_SGI)
             .expect("sgi active");
-        self.machine.charge(
+        self.machine.bump("kvm.virq_injections", 1);
+        self.machine.charge_as(
             target_core,
             "kvm:vgic-inject",
             TraceKind::Emulation,
             c.kvm_vgic_inject,
+            TransitionId::VirqInject,
         );
         if self.vhe {
             // The VHE host runs in EL2 and programs the list register
@@ -549,25 +600,28 @@ impl KvmArm {
             vgic_tmp.restore(self.vm.ctxs[target_vcpu].vgic);
             let _ = vgic_tmp.inject(virq.raw(), 0x80);
             self.vm.ctxs[target_vcpu].vgic = vgic_tmp.save();
+            self.vgics[target_core.index()].absorb_counters(&vgic_tmp);
         }
         self.switch_in(target_core, target_vcpu, true);
         // Guest sees and acknowledges the virtual interrupt — no trap.
-        self.machine.charge(
+        self.machine.charge_as(
             target_core,
             "gic:vif-ack",
             TraceKind::Guest,
             c.gic_vif_access,
+            TransitionId::GicAccess,
         );
         let acked = self.vgics[target_core.index()].guest_ack();
         debug_assert_eq!(acked, Some(virq.raw()));
         // Completion happens in the guest later; keep the LR active until
         // `virq_complete`-style EOI. For workload paths we complete
         // immediately at vIF cost.
-        self.machine.charge(
+        self.machine.charge_as(
             target_core,
             "gic:vif-eoi",
             TraceKind::Guest,
             c.gic_vif_access,
+            TransitionId::GicAccess,
         );
         let _ = self.vgics[target_core.index()].guest_eoi(virq.raw());
         self.machine.now(target_core)
@@ -609,17 +663,29 @@ impl Hypervisor for KvmArm {
         self.policy = policy;
     }
 
+    fn sample_metrics(&mut self) {
+        let tx = self.vm.vhost.tx_packets();
+        let rx = self.vm.vhost.rx_packets();
+        let injected: u64 = self.vgics.iter().map(|v| v.injected_count()).sum();
+        let completed: u64 = self.vgics.iter().map(|v| v.completed_count()).sum();
+        self.machine.bump("vio.vhost_tx_packets", tx);
+        self.machine.bump("vio.vhost_rx_packets", rx);
+        self.machine.bump("gic.virq_injected", injected);
+        self.machine.bump("gic.virq_completed", completed);
+    }
+
     fn hypercall(&mut self, vcpu: usize) -> Cycles {
         self.ensure_primary();
         let core = self.machine.topology().guest_core(vcpu);
         let t0 = self.machine.now(core);
         self.trap_to_el2(core, TrapCause::HYPERCALL);
         self.switch_out(core, vcpu, false);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "kvm:host-dispatch",
             TraceKind::Host,
             self.cost.kvm_host_dispatch,
+            TransitionId::HostDispatch,
         );
         self.switch_in(core, vcpu, false);
         self.machine.now(core) - t0
@@ -637,23 +703,26 @@ impl Hypervisor for KvmArm {
             }),
         );
         self.switch_out(core, vcpu, false);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "kvm:host-dispatch",
             TraceKind::Host,
             self.cost.kvm_host_dispatch,
+            TransitionId::HostDispatch,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "kvm:mmio-decode",
             TraceKind::Emulation,
             self.cost.kvm_mmio_decode,
+            TransitionId::MmioDecode,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "kvm:gicd-emulate",
             TraceKind::Emulation,
             self.cost.kvm_gicd_emulate,
+            TransitionId::GicdEmulate,
         );
         let _ = self
             .vm
@@ -672,11 +741,12 @@ impl Hypervisor for KvmArm {
         // Sender: GICD_SGIR write traps (MMIO), host emulates the
         // distributor and discovers the SGI fan-out.
         self.mmio_trap(from_core, from, GICD_IPA + dist_reg::GICD_SGIR, true);
-        self.machine.charge(
+        self.machine.charge_as(
             from_core,
             "kvm:gicd-emulate",
             TraceKind::Emulation,
             self.cost.kvm_gicd_emulate,
+            TransitionId::GicdEmulate,
         );
         let effect = self
             .vm
@@ -703,11 +773,12 @@ impl Hypervisor for KvmArm {
             .expect("LR available");
         vgic.guest_ack().expect("pending virq");
         let t0 = self.machine.now(core);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "gic:vif-eoi",
             TraceKind::Guest,
             self.cost.gic_vif_access,
+            TransitionId::GicAccess,
         );
         self.vgics[core.index()]
             .guest_eoi(VIRTIO_NET_VIRQ.raw())
@@ -723,8 +794,13 @@ impl Hypervisor for KvmArm {
         let (out_vcpu, in_vcpu) = (0, 0);
         self.trap_to_el2(core, TrapCause::HYPERCALL); // yield
         self.switch_out(core, out_vcpu, false);
-        self.machine
-            .charge(core, "kvm:sched", TraceKind::Sched, self.cost.kvm_sched);
+        self.machine.charge_as(
+            core,
+            "kvm:sched",
+            TraceKind::Sched,
+            self.cost.kvm_sched,
+            TransitionId::Sched,
+        );
         self.alt_loaded = !self.alt_loaded;
         self.switch_in(core, in_vcpu, false);
         self.machine.now(core) - t0
@@ -736,21 +812,24 @@ impl Hypervisor for KvmArm {
         let backend = self.machine.topology().backend_core();
         let t0 = self.machine.now(core);
         self.mmio_trap(core, vcpu, VIRTIO_IPA + VIRTIO_QUEUE_NOTIFY, true);
-        self.machine.charge(
+        self.machine.bump("kvm.vhost_kicks", 1);
+        self.machine.charge_as(
             core,
             "kvm:ioeventfd",
             TraceKind::Io,
             self.cost.kvm_ioeventfd,
+            TransitionId::VhostKick,
         );
         let arrival = self.machine.signal(core, backend, self.cost.ipi_wire);
         // Sender resumes, off the critical path.
         self.switch_in(core, vcpu, true);
         self.machine.wait_until(backend, arrival);
-        self.machine.charge(
+        self.machine.charge_as(
             backend,
             "kvm:vhost-wake",
             TraceKind::Io,
             self.cost.kvm_vhost_wake,
+            TransitionId::VhostBackend,
         );
         self.machine.now(backend) - t0
     }
@@ -762,33 +841,38 @@ impl Hypervisor for KvmArm {
         let t0 = self.machine.now(backend);
         // vhost signals the irqfd and must wake/kick the VCPU thread —
         // the heavyweight host-side path §IV attributes the asymmetry to.
-        self.machine.charge(
+        self.machine.charge_as(
             backend,
             "kvm:irqfd-signal",
             TraceKind::Io,
             self.cost.kvm_ioeventfd,
+            TransitionId::VhostKick,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             backend,
             "kvm:io-in-host",
             TraceKind::Host,
             self.cost.kvm_io_in_host,
+            TransitionId::HostDispatch,
         );
         let arrival = self.machine.signal(backend, core, self.cost.ipi_wire);
         self.machine.wait_until(core, arrival);
         self.trap_to_el2(core, TrapCause::Irq);
         self.switch_out(core, vcpu, true);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "gic:phys-ack",
             TraceKind::Host,
             self.cost.gic_phys_access,
+            TransitionId::GicAccess,
         );
-        self.machine.charge(
+        self.machine.bump("kvm.virq_injections", 1);
+        self.machine.charge_as(
             core,
             "kvm:vgic-inject",
             TraceKind::Emulation,
             self.cost.kvm_vgic_inject,
+            TransitionId::VirqInject,
         );
         if self.vhe {
             let _ = self.vgics[core.index()].inject(VIRTIO_NET_VIRQ.raw(), 0x80);
@@ -797,13 +881,15 @@ impl Hypervisor for KvmArm {
             vgic_tmp.restore(self.vm.ctxs[vcpu].vgic);
             let _ = vgic_tmp.inject(VIRTIO_NET_VIRQ.raw(), 0x80);
             self.vm.ctxs[vcpu].vgic = vgic_tmp.save();
+            self.vgics[core.index()].absorb_counters(&vgic_tmp);
         }
         self.switch_in(core, vcpu, true);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "gic:vif-ack",
             TraceKind::Guest,
             self.cost.gic_vif_access,
+            TransitionId::GicAccess,
         );
         let acked = self.vgics[core.index()].guest_ack();
         debug_assert_eq!(acked, Some(VIRTIO_NET_VIRQ.raw()));
@@ -815,8 +901,13 @@ impl Hypervisor for KvmArm {
 
     fn guest_compute(&mut self, vcpu: usize, work: Cycles) {
         let core = self.machine.topology().guest_core(vcpu);
-        self.machine
-            .charge(core, "guest:compute", TraceKind::Guest, work);
+        self.machine.charge_as(
+            core,
+            "guest:compute",
+            TraceKind::Guest,
+            work,
+            TransitionId::GuestRun,
+        );
     }
 
     fn transmit(&mut self, vcpu: usize, len: usize) -> Cycles {
@@ -825,11 +916,12 @@ impl Hypervisor for KvmArm {
         let core = self.machine.topology().guest_core(vcpu);
         let backend = self.machine.topology().backend_core();
         // Guest stack + driver: build the frame in a guest buffer.
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "guest:net-stack-tx",
             TraceKind::Guest,
             c.stack_tx_per_packet + c.stack_bytes(len) + c.kvm_guest_virtio / 2,
+            TransitionId::GuestStack,
         );
         let buf = self.vm.tx_bufs[self.vm.next_tx_buf % self.vm.tx_bufs.len()];
         self.vm.next_tx_buf += 1;
@@ -851,19 +943,31 @@ impl Hypervisor for KvmArm {
             .expect("TX queue has room");
         // Kick.
         self.mmio_trap(core, vcpu, VIRTIO_IPA + VIRTIO_QUEUE_NOTIFY, true);
-        self.machine
-            .charge(core, "kvm:ioeventfd", TraceKind::Io, c.kvm_ioeventfd);
+        self.machine.bump("kvm.vhost_kicks", 1);
+        self.machine.charge_as(
+            core,
+            "kvm:ioeventfd",
+            TraceKind::Io,
+            c.kvm_ioeventfd,
+            TransitionId::VhostKick,
+        );
         let arrival = self.machine.signal(core, backend, c.ipi_wire);
         self.switch_in(core, vcpu, true);
         // vhost drains the ring with direct guest-memory access.
         self.machine.wait_until(backend, arrival);
-        self.machine
-            .charge(backend, "kvm:vhost-wake", TraceKind::Io, c.kvm_vhost_wake);
-        self.machine.charge(
+        self.machine.charge_as(
+            backend,
+            "kvm:vhost-wake",
+            TraceKind::Io,
+            c.kvm_vhost_wake,
+            TransitionId::VhostBackend,
+        );
+        self.machine.charge_as(
             backend,
             "kvm:vhost-tx",
             TraceKind::Io,
             c.kvm_vhost_per_packet,
+            TransitionId::VhostBackend,
         );
         let pkts = self
             .vm
@@ -871,10 +975,20 @@ impl Hypervisor for KvmArm {
             .process_tx(&mut self.vm.tx_vq, &self.vm.s2, &mut self.mem)
             .expect("mapped TX chain");
         debug_assert_eq!(pkts.len(), 1);
-        self.machine
-            .charge(backend, "host:net-stack-tx", TraceKind::Host, c.host_net_tx);
-        self.machine
-            .charge(backend, "nic:dma", TraceKind::Io, c.nic_dma);
+        self.machine.charge_as(
+            backend,
+            "host:net-stack-tx",
+            TraceKind::Host,
+            c.host_net_tx,
+            TransitionId::HostStack,
+        );
+        self.machine.charge_as(
+            backend,
+            "nic:dma",
+            TraceKind::Io,
+            c.nic_dma,
+            TransitionId::NicDma,
+        );
         for p in pkts {
             self.nic.transmit(p);
         }
@@ -892,18 +1006,38 @@ impl Hypervisor for KvmArm {
             .receive_from_wire(hvx_vio::Packet::new(0, vec![0xCDu8; len]));
         self.phys_gic.raise(NIC_SPI, io.index()).expect("spi");
         self.machine.wait_until(io, arrival);
-        self.machine
-            .charge(io, "host:irq", TraceKind::Host, c.native_irq);
-        self.machine
-            .charge(io, "gic:phys-ack", TraceKind::Host, c.gic_phys_access);
+        self.machine.charge_as(
+            io,
+            "host:irq",
+            TraceKind::Host,
+            c.native_irq,
+            TransitionId::HostIrq,
+        );
+        self.machine.charge_as(
+            io,
+            "gic:phys-ack",
+            TraceKind::Host,
+            c.gic_phys_access,
+            TransitionId::GicAccess,
+        );
         self.phys_gic.acknowledge(io.index()).expect("core");
         self.phys_gic.complete(io.index(), NIC_SPI).expect("active");
         // Host stack up to the TAP device, then vhost writes straight
         // into the guest RX buffer (zero copy).
-        self.machine
-            .charge(io, "host:net-stack-rx", TraceKind::Host, c.host_net_rx);
-        self.machine
-            .charge(io, "kvm:vhost-rx", TraceKind::Io, c.kvm_vhost_per_packet);
+        self.machine.charge_as(
+            io,
+            "host:net-stack-rx",
+            TraceKind::Host,
+            c.host_net_rx,
+            TransitionId::HostStack,
+        );
+        self.machine.charge_as(
+            io,
+            "kvm:vhost-rx",
+            TraceKind::Io,
+            c.kvm_vhost_per_packet,
+            TransitionId::VhostBackend,
+        );
         let pkt = self.nic.take_rx().expect("packet queued");
         self.vm
             .vhost
@@ -922,11 +1056,12 @@ impl Hypervisor for KvmArm {
         // Inject the virtio interrupt into the running VCPU.
         self.inject_virq_running(io, vcpu, VIRTIO_NET_VIRQ);
         let core = self.machine.topology().guest_core(vcpu);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "guest:net-stack-rx",
             TraceKind::Guest,
             c.stack_rx_per_packet + c.stack_bytes(len) + c.kvm_guest_virtio / 2,
+            TransitionId::GuestStack,
         );
         (self.machine.now(core), vcpu)
     }
@@ -966,21 +1101,42 @@ impl Hypervisor for KvmArm {
         // stack once; vhost writes every chunk straight into guest
         // buffers (zero copy — no per-chunk charge beyond the byte cost
         // already in the guest stack term).
-        self.machine
-            .charge(io, "host:irq", TraceKind::Host, c.native_irq);
-        self.machine
-            .charge(io, "gic:phys-ack", TraceKind::Host, c.gic_phys_access);
-        self.machine
-            .charge(io, "host:net-stack-rx", TraceKind::Host, c.host_net_rx);
-        self.machine
-            .charge(io, "kvm:vhost-rx", TraceKind::Io, c.kvm_vhost_per_packet);
+        self.machine.charge_as(
+            io,
+            "host:irq",
+            TraceKind::Host,
+            c.native_irq,
+            TransitionId::HostIrq,
+        );
+        self.machine.charge_as(
+            io,
+            "gic:phys-ack",
+            TraceKind::Host,
+            c.gic_phys_access,
+            TransitionId::GicAccess,
+        );
+        self.machine.charge_as(
+            io,
+            "host:net-stack-rx",
+            TraceKind::Host,
+            c.host_net_rx,
+            TransitionId::HostStack,
+        );
+        self.machine.charge_as(
+            io,
+            "kvm:vhost-rx",
+            TraceKind::Io,
+            c.kvm_vhost_per_packet,
+            TransitionId::VhostBackend,
+        );
         self.inject_virq_running(io, vcpu, VIRTIO_NET_VIRQ);
         let core = self.machine.topology().guest_core(vcpu);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "guest:net-stack-rx",
             TraceKind::Guest,
             c.stack_rx_per_packet + c.stack_bytes(total) + c.kvm_guest_virtio / 2,
+            TransitionId::GuestStack,
         );
         (self.machine.now(core), vcpu)
     }
@@ -991,31 +1147,54 @@ impl Hypervisor for KvmArm {
         let total = chunks * chunk_len;
         let core = self.machine.topology().guest_core(vcpu);
         let backend = self.machine.topology().backend_core();
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "guest:net-stack-tx",
             TraceKind::Guest,
             c.stack_tx_per_packet + c.stack_bytes(total) + c.kvm_guest_virtio / 2,
+            TransitionId::GuestStack,
         );
         // One kick for the whole burst.
         self.mmio_trap(core, vcpu, VIRTIO_IPA + VIRTIO_QUEUE_NOTIFY, true);
-        self.machine
-            .charge(core, "kvm:ioeventfd", TraceKind::Io, c.kvm_ioeventfd);
+        self.machine.bump("kvm.vhost_kicks", 1);
+        self.machine.charge_as(
+            core,
+            "kvm:ioeventfd",
+            TraceKind::Io,
+            c.kvm_ioeventfd,
+            TransitionId::VhostKick,
+        );
         let arrival = self.machine.signal(core, backend, c.ipi_wire);
         self.switch_in(core, vcpu, true);
         self.machine.wait_until(backend, arrival);
-        self.machine
-            .charge(backend, "kvm:vhost-wake", TraceKind::Io, c.kvm_vhost_wake);
-        self.machine.charge(
+        self.machine.charge_as(
+            backend,
+            "kvm:vhost-wake",
+            TraceKind::Io,
+            c.kvm_vhost_wake,
+            TransitionId::VhostBackend,
+        );
+        self.machine.charge_as(
             backend,
             "kvm:vhost-tx",
             TraceKind::Io,
             c.kvm_vhost_per_packet,
+            TransitionId::VhostBackend,
         );
-        self.machine
-            .charge(backend, "host:net-stack-tx", TraceKind::Host, c.host_net_tx);
-        self.machine
-            .charge(backend, "nic:dma", TraceKind::Io, c.nic_dma);
+        self.machine.charge_as(
+            backend,
+            "host:net-stack-tx",
+            TraceKind::Host,
+            c.host_net_tx,
+            TransitionId::HostStack,
+        );
+        self.machine.charge_as(
+            backend,
+            "nic:dma",
+            TraceKind::Io,
+            c.nic_dma,
+            TransitionId::NicDma,
+        );
         self.machine.now(backend)
     }
 }

@@ -49,16 +49,19 @@
 
 mod context;
 mod cost;
+mod error;
 mod hypervisor;
 mod kind;
 mod kvm_arm;
 mod native;
 pub mod sched;
+mod sim;
 mod x86;
 mod xen_arm;
 
 pub use context::{ArmGuestContext, ArmHostContext};
 pub use cost::{ClassCosts, CostModel};
+pub use error::Error;
 pub use hypervisor::{Hypervisor, HypervisorExt};
 pub use kind::{HvKind, HvType, Platform, VirqPolicy};
 pub use kvm_arm::{
@@ -66,5 +69,6 @@ pub use kvm_arm::{
     VIRTIO_IPA, VIRTIO_NET_VIRQ, VIRTIO_QUEUE_NOTIFY,
 };
 pub use native::Native;
+pub use sim::{Sim, SimBuilder, Workload, PAPER_VCPUS};
 pub use x86::{KvmX86, X86Hv, XenX86, RESCHED_VECTOR, VIRTIO_VECTOR};
 pub use xen_arm::{XenArm, DOMU, EVTCHN_VIRQ};

@@ -8,7 +8,7 @@
 //! VM transitions at all.
 
 use crate::{CostModel, HvKind, Hypervisor, VirqPolicy};
-use hvx_engine::{Cycles, Machine, Topology, TraceKind};
+use hvx_engine::{Cycles, Machine, Topology, TraceKind, TransitionId};
 
 /// Bare-metal Linux on the paper's server topology (capped at 4 cores +
 /// 12 GB like every configuration, §III).
@@ -91,11 +91,12 @@ impl Hypervisor for Native {
     fn gicd_trap(&mut self, vcpu: usize) -> Cycles {
         let core = self.machine.topology().guest_core(vcpu);
         let t0 = self.machine.now(core);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "gic:phys-access",
             TraceKind::Host,
             self.cost.gic_phys_access,
+            TransitionId::GicAccess,
         );
         self.machine.now(core) - t0
     }
@@ -108,21 +109,28 @@ impl Hypervisor for Native {
         let from_core = self.machine.topology().guest_core(from);
         let to_core = self.machine.topology().guest_core(to);
         let t0 = self.machine.now(from_core);
-        self.machine.charge(
+        self.machine.charge_as(
             from_core,
             "gic:sgi-send",
             TraceKind::Host,
             self.cost.gic_phys_access,
+            TransitionId::GicAccess,
         );
         let arrival = self.machine.signal(from_core, to_core, self.cost.ipi_wire);
         self.machine.wait_until(to_core, arrival);
-        self.machine
-            .charge(to_core, "host:irq", TraceKind::Host, self.cost.native_irq);
-        self.machine.charge(
+        self.machine.charge_as(
+            to_core,
+            "host:irq",
+            TraceKind::Host,
+            self.cost.native_irq,
+            TransitionId::HostIrq,
+        );
+        self.machine.charge_as(
             to_core,
             "gic:phys-ack",
             TraceKind::Host,
             self.cost.gic_phys_access,
+            TransitionId::GicAccess,
         );
         self.machine.now(to_core) - t0
     }
@@ -131,11 +139,12 @@ impl Hypervisor for Native {
     fn virq_complete(&mut self, vcpu: usize) -> Cycles {
         let core = self.machine.topology().guest_core(vcpu);
         let t0 = self.machine.now(core);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "gic:phys-eoi",
             TraceKind::Host,
             self.cost.gic_phys_access,
+            TransitionId::GicAccess,
         );
         self.machine.now(core) - t0
     }
@@ -157,21 +166,32 @@ impl Hypervisor for Native {
 
     fn guest_compute(&mut self, vcpu: usize, work: Cycles) {
         let core = self.machine.topology().guest_core(vcpu);
-        self.machine
-            .charge(core, "native:compute", TraceKind::Guest, work);
+        self.machine.charge_as(
+            core,
+            "native:compute",
+            TraceKind::Guest,
+            work,
+            TransitionId::GuestRun,
+        );
     }
 
     fn transmit(&mut self, vcpu: usize, len: usize) -> Cycles {
         let c = self.cost;
         let core = self.machine.topology().guest_core(vcpu);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "native:net-stack-tx",
             TraceKind::Guest,
             c.stack_tx_per_packet + c.stack_bytes(len),
+            TransitionId::HostStack,
         );
-        self.machine
-            .charge(core, "nic:dma", TraceKind::Io, c.nic_dma);
+        self.machine.charge_as(
+            core,
+            "nic:dma",
+            TraceKind::Io,
+            c.nic_dma,
+            TransitionId::NicDma,
+        );
         self.machine.now(core)
     }
 
@@ -180,15 +200,26 @@ impl Hypervisor for Native {
         let target = self.pick_irq_core();
         let core = self.machine.topology().guest_core(target);
         self.machine.wait_until(core, arrival);
-        self.machine
-            .charge(core, "host:irq", TraceKind::Host, c.native_irq);
-        self.machine
-            .charge(core, "gic:phys-ack", TraceKind::Host, c.gic_phys_access);
-        self.machine.charge(
+        self.machine.charge_as(
+            core,
+            "host:irq",
+            TraceKind::Host,
+            c.native_irq,
+            TransitionId::HostIrq,
+        );
+        self.machine.charge_as(
+            core,
+            "gic:phys-ack",
+            TraceKind::Host,
+            c.gic_phys_access,
+            TransitionId::GicAccess,
+        );
+        self.machine.charge_as(
             core,
             "native:net-stack-rx",
             TraceKind::Guest,
             c.stack_rx_per_packet + c.stack_bytes(len),
+            TransitionId::HostStack,
         );
         (self.machine.now(core), target)
     }
@@ -197,13 +228,19 @@ impl Hypervisor for Native {
     fn deliver_virq(&mut self, vcpu: usize) -> Cycles {
         let core = self.machine.topology().guest_core(vcpu);
         let t0 = self.machine.now(core);
-        self.machine
-            .charge(core, "host:irq", TraceKind::Host, self.cost.native_irq);
-        self.machine.charge(
+        self.machine.charge_as(
+            core,
+            "host:irq",
+            TraceKind::Host,
+            self.cost.native_irq,
+            TransitionId::HostIrq,
+        );
+        self.machine.charge_as(
             core,
             "gic:phys-ack",
             TraceKind::Host,
             self.cost.gic_phys_access,
+            TransitionId::GicAccess,
         );
         self.machine.now(core) - t0
     }
@@ -230,15 +267,26 @@ impl Hypervisor for Native {
         self.machine.wait_until(core, arrival);
         // One coalesced interrupt; GRO folds the burst through the stack
         // once. The NIC DMAs straight to kernel buffers.
-        self.machine
-            .charge(core, "host:irq", TraceKind::Host, c.native_irq);
-        self.machine
-            .charge(core, "gic:phys-ack", TraceKind::Host, c.gic_phys_access);
-        self.machine.charge(
+        self.machine.charge_as(
+            core,
+            "host:irq",
+            TraceKind::Host,
+            c.native_irq,
+            TransitionId::HostIrq,
+        );
+        self.machine.charge_as(
+            core,
+            "gic:phys-ack",
+            TraceKind::Host,
+            c.gic_phys_access,
+            TransitionId::GicAccess,
+        );
+        self.machine.charge_as(
             core,
             "native:net-stack-rx",
             TraceKind::Guest,
             c.stack_rx_per_packet + c.stack_bytes(total),
+            TransitionId::HostStack,
         );
         (self.machine.now(core), target)
     }
@@ -247,14 +295,20 @@ impl Hypervisor for Native {
         let c = self.cost;
         let total = chunks * chunk_len;
         let core = self.machine.topology().guest_core(vcpu);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "native:net-stack-tx",
             TraceKind::Guest,
             c.stack_tx_per_packet + c.stack_bytes(total),
+            TransitionId::HostStack,
         );
-        self.machine
-            .charge(core, "nic:dma", TraceKind::Io, c.nic_dma);
+        self.machine.charge_as(
+            core,
+            "nic:dma",
+            TraceKind::Io,
+            c.nic_dma,
+            TransitionId::NicDma,
+        );
         self.machine.now(core)
     }
 }

@@ -1,0 +1,397 @@
+//! The unified public entry point: [`SimBuilder`] → [`Sim`].
+//!
+//! Every consumer of the workspace — the artifact runner, the examples,
+//! external callers of the `hvx` facade — previously assembled hypervisor
+//! models through per-model constructors and ad-hoc machine fiddling.
+//! [`SimBuilder`] is the single documented way in: pick a configuration,
+//! set the knobs the paper's experimental design exposes (VCPU count,
+//! trace mode, cycle-attribution profiling, virtual-interrupt policy,
+//! cost model), and [`SimBuilder::build`] validates the combination and
+//! returns a ready [`Sim`].
+
+use crate::{
+    CostModel, Error, HvKind, Hypervisor, KvmArm, KvmX86, Native, VirqPolicy, XenArm, XenX86,
+};
+use core::fmt;
+use hvx_engine::TraceMode;
+
+/// The number of VCPUs of the paper's measured VM configuration (§III:
+/// "we configured both hypervisors with 4-way SMP virtual machines").
+pub const PAPER_VCPUS: usize = 4;
+
+/// A named Figure 4 workload, selectable on a [`SimBuilder`].
+///
+/// These are identities, not mixes: the operation mixes (and the code
+/// that runs them) live in `hvx-suite`, which maps each variant to its
+/// calibrated catalog entry. [`Workload::Netperf`] is an alias for the
+/// paper's canonical netperf TCP_RR latency workload (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Workload {
+    /// Linux kernel compilation (CPU-bound).
+    Kernbench,
+    /// Scheduler/IPC stress over Unix domain sockets.
+    Hackbench,
+    /// Java runtime benchmark suite (CPU-bound).
+    SpecJvm2008,
+    /// netperf TCP_RR — the paper's canonical latency workload.
+    Netperf,
+    /// netperf TCP_RR (explicit name).
+    TcpRr,
+    /// netperf TCP_STREAM — bulk receive.
+    TcpStream,
+    /// netperf TCP_MAERTS — bulk transmit.
+    TcpMaerts,
+    /// Apache serving concurrent ApacheBench requests.
+    Apache,
+    /// memcached driven by memtier.
+    Memcached,
+    /// MySQL running SysBench transactions.
+    Mysql,
+}
+
+impl Workload {
+    /// Every distinct workload, in Figure 4 order (the `Netperf` alias is
+    /// omitted — it names the same workload as [`Workload::TcpRr`]).
+    pub const ALL: [Workload; 9] = [
+        Workload::Kernbench,
+        Workload::Hackbench,
+        Workload::SpecJvm2008,
+        Workload::TcpRr,
+        Workload::TcpStream,
+        Workload::TcpMaerts,
+        Workload::Apache,
+        Workload::Memcached,
+        Workload::Mysql,
+    ];
+
+    /// The workload's name in the Figure 4 catalog.
+    pub fn catalog_name(self) -> &'static str {
+        match self {
+            Workload::Kernbench => "Kernbench",
+            Workload::Hackbench => "Hackbench",
+            Workload::SpecJvm2008 => "SPECjvm2008",
+            Workload::Netperf | Workload::TcpRr => "TCP_RR",
+            Workload::TcpStream => "TCP_STREAM",
+            Workload::TcpMaerts => "TCP_MAERTS",
+            Workload::Apache => "Apache",
+            Workload::Memcached => "Memcached",
+            Workload::Mysql => "MySQL",
+        }
+    }
+
+    /// Parses a workload name (catalog spelling, case-insensitive;
+    /// `netperf` is accepted as the TCP_RR alias).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownWorkload`] when the name matches nothing.
+    pub fn parse(name: &str) -> Result<Workload, Error> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "kernbench" => Ok(Workload::Kernbench),
+            "hackbench" => Ok(Workload::Hackbench),
+            "specjvm2008" | "specjvm" => Ok(Workload::SpecJvm2008),
+            "netperf" => Ok(Workload::Netperf),
+            "tcp_rr" | "tcp-rr" => Ok(Workload::TcpRr),
+            "tcp_stream" | "tcp-stream" => Ok(Workload::TcpStream),
+            "tcp_maerts" | "tcp-maerts" => Ok(Workload::TcpMaerts),
+            "apache" => Ok(Workload::Apache),
+            "memcached" => Ok(Workload::Memcached),
+            "mysql" => Ok(Workload::Mysql),
+            _ => Err(Error::UnknownWorkload { name: name.into() }),
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.catalog_name())
+    }
+}
+
+/// Fluent builder for a configured simulation.
+///
+/// # Examples
+///
+/// The canonical entry point of the workspace:
+///
+/// ```
+/// use hvx_core::{HvKind, SimBuilder, Workload};
+/// use hvx_engine::TraceMode;
+///
+/// let mut sim = SimBuilder::new(HvKind::KvmArm)
+///     .cpus(4)
+///     .workload(Workload::Netperf)
+///     .tracing(TraceMode::Aggregate)
+///     .build()
+///     .expect("paper configuration is valid");
+/// // Table II, row 1: a KVM ARM hypercall costs 6,500 cycles.
+/// assert_eq!(sim.hypercall(0).as_u64(), 6_500);
+/// ```
+///
+/// Invalid combinations are rejected instead of panicking:
+///
+/// ```
+/// use hvx_core::{Error, HvKind, SimBuilder};
+///
+/// let err = SimBuilder::new(HvKind::XenArm).cpus(2).build().unwrap_err();
+/// assert!(matches!(err, Error::InvalidCpus { requested: 2, .. }));
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct SimBuilder {
+    kind: HvKind,
+    cpus: usize,
+    workload: Option<Workload>,
+    trace: TraceMode,
+    trace_enabled: bool,
+    profiling: bool,
+    policy: VirqPolicy,
+    cost: Option<CostModel>,
+}
+
+impl SimBuilder {
+    /// Starts a builder for `kind` with the paper's defaults: 4 VCPUs,
+    /// full tracing, profiling off, interrupts to VCPU0.
+    pub fn new(kind: HvKind) -> SimBuilder {
+        SimBuilder {
+            kind,
+            cpus: PAPER_VCPUS,
+            workload: None,
+            trace: TraceMode::Full,
+            trace_enabled: true,
+            profiling: false,
+            policy: VirqPolicy::Vcpu0,
+            cost: None,
+        }
+    }
+
+    /// Requests `cpus` VCPUs. The models implement exactly the paper's
+    /// pinned [`PAPER_VCPUS`]-way SMP configuration; any other value is
+    /// rejected by [`SimBuilder::build`].
+    pub fn cpus(mut self, cpus: usize) -> SimBuilder {
+        self.cpus = cpus;
+        self
+    }
+
+    /// Names the workload this simulation is being built for. Purely an
+    /// annotation on the [`Sim`] — the suite's workload engine reads it
+    /// back via [`Sim::workload`] to pick the operation mix.
+    pub fn workload(mut self, workload: Workload) -> SimBuilder {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Selects the trace mode ([`TraceMode::Aggregate`] keeps the hot
+    /// path allocation-free; [`TraceMode::Full`] stores every event).
+    pub fn tracing(mut self, mode: TraceMode) -> SimBuilder {
+        self.trace = mode;
+        self.trace_enabled = true;
+        self
+    }
+
+    /// Disables the step trace entirely (bulk workload runs).
+    pub fn without_tracing(mut self) -> SimBuilder {
+        self.trace_enabled = false;
+        self
+    }
+
+    /// Enables span-based cycle attribution and the metrics registry
+    /// ([`hvx_engine::Machine::enable_profiling`]). Off by default: the
+    /// paper's pinned cycle counts are identical either way, profiling
+    /// only adds attribution.
+    pub fn profiling(mut self, on: bool) -> SimBuilder {
+        self.profiling = on;
+        self
+    }
+
+    /// Sets the virtual-interrupt distribution policy (the §V ablation).
+    pub fn virq_policy(mut self, policy: VirqPolicy) -> SimBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the calibrated cost model (ablations, what-if studies).
+    /// Ignored by the x86 models, which carry their own platform
+    /// calibration, and by [`HvKind::KvmArmVhe`]'s VHE flag.
+    pub fn cost_model(mut self, cost: CostModel) -> SimBuilder {
+        self.cost = Some(cost);
+        self
+    }
+
+    /// Validates the configuration and constructs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidCpus`] if the VCPU count is not [`PAPER_VCPUS`].
+    pub fn build(self) -> Result<Sim, Error> {
+        if self.cpus != PAPER_VCPUS {
+            return Err(Error::InvalidCpus {
+                requested: self.cpus,
+                supported: PAPER_VCPUS,
+            });
+        }
+        let mut hv: Box<dyn Hypervisor> = match (self.kind, self.cost) {
+            (HvKind::KvmArm, Some(c)) => Box::new(KvmArm::with_cost(c, false)),
+            (HvKind::KvmArm, None) => Box::new(KvmArm::new()),
+            (HvKind::KvmArmVhe, Some(c)) => Box::new(KvmArm::with_cost(c, true)),
+            (HvKind::KvmArmVhe, None) => Box::new(KvmArm::new_vhe()),
+            (HvKind::XenArm, Some(c)) => Box::new(XenArm::with_cost(c)),
+            (HvKind::XenArm, None) => Box::new(XenArm::new()),
+            (HvKind::KvmX86, _) => Box::new(KvmX86::new()),
+            (HvKind::XenX86, _) => Box::new(XenX86::new()),
+            (HvKind::Native, Some(c)) => Box::new(Native::with_cost(c)),
+            (HvKind::Native, None) => Box::new(Native::new()),
+        };
+        let machine = hv.machine_mut();
+        machine.trace_mut().set_mode(self.trace);
+        machine.trace_mut().set_enabled(self.trace_enabled);
+        if self.profiling {
+            machine.enable_profiling();
+        }
+        hv.set_virq_policy(self.policy);
+        Ok(Sim {
+            hv,
+            workload: self.workload,
+        })
+    }
+}
+
+/// A configured, ready-to-run simulation.
+///
+/// Derefs to [`Hypervisor`], so every microbenchmark and workload
+/// primitive is available directly (see the [`SimBuilder`] example).
+pub struct Sim {
+    hv: Box<dyn Hypervisor>,
+    workload: Option<Workload>,
+}
+
+impl Sim {
+    /// The workload this simulation was built for, if one was named.
+    pub fn workload(&self) -> Option<Workload> {
+        self.workload
+    }
+
+    /// Unwraps the underlying hypervisor model.
+    pub fn into_inner(self) -> Box<dyn Hypervisor> {
+        self.hv
+    }
+
+    /// Borrows the underlying hypervisor as a trait object (for APIs
+    /// taking `&mut dyn Hypervisor`).
+    pub fn as_dyn_mut(&mut self) -> &mut dyn Hypervisor {
+        self.hv.as_mut()
+    }
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("kind", &self.hv.kind())
+            .field("workload", &self.workload)
+            .finish_non_exhaustive()
+    }
+}
+
+impl core::ops::Deref for Sim {
+    type Target = dyn Hypervisor;
+    fn deref(&self) -> &Self::Target {
+        self.hv.as_ref()
+    }
+}
+
+impl core::ops::DerefMut for Sim {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.hv.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_builds_every_kind() {
+        for kind in [
+            HvKind::KvmArm,
+            HvKind::XenArm,
+            HvKind::KvmX86,
+            HvKind::XenX86,
+            HvKind::KvmArmVhe,
+            HvKind::Native,
+        ] {
+            let sim = SimBuilder::new(kind).build().expect("default is valid");
+            assert_eq!(sim.kind(), kind);
+            assert_eq!(sim.num_vcpus(), PAPER_VCPUS);
+        }
+    }
+
+    #[test]
+    fn invalid_cpu_count_is_rejected_not_panicked() {
+        for n in [0, 1, 3, 5, 64] {
+            let err = SimBuilder::new(HvKind::KvmArm).cpus(n).build().unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidCpus { requested, supported: 4 } if requested == n)
+            );
+        }
+        assert!(SimBuilder::new(HvKind::KvmArm).cpus(4).build().is_ok());
+    }
+
+    #[test]
+    fn builder_knobs_reach_the_machine() {
+        let sim = SimBuilder::new(HvKind::KvmArm)
+            .tracing(TraceMode::Aggregate)
+            .profiling(true)
+            .build()
+            .unwrap();
+        assert_eq!(sim.machine().trace().mode(), TraceMode::Aggregate);
+        assert!(sim.machine().profiling());
+
+        let sim = SimBuilder::new(HvKind::XenArm)
+            .without_tracing()
+            .build()
+            .unwrap();
+        assert!(!sim.machine().trace().is_enabled());
+        assert!(!sim.machine().profiling());
+    }
+
+    #[test]
+    fn pinned_table2_costs_survive_the_builder() {
+        let mut kvm = SimBuilder::new(HvKind::KvmArm).build().unwrap();
+        let mut xen = SimBuilder::new(HvKind::XenArm).build().unwrap();
+        assert_eq!(kvm.hypercall(0).as_u64(), 6_500);
+        assert_eq!(xen.hypercall(0).as_u64(), 376);
+        // Profiling must not change them (attribution, not cost).
+        let mut kvm_p = SimBuilder::new(HvKind::KvmArm)
+            .profiling(true)
+            .build()
+            .unwrap();
+        assert_eq!(kvm_p.hypercall(0).as_u64(), 6_500);
+    }
+
+    #[test]
+    fn workload_names_round_trip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::parse(w.catalog_name()).unwrap(), w);
+        }
+        assert_eq!(Workload::parse("netperf").unwrap(), Workload::Netperf);
+        assert_eq!(
+            Workload::Netperf.catalog_name(),
+            Workload::TcpRr.catalog_name()
+        );
+        assert!(matches!(
+            Workload::parse("doom"),
+            Err(Error::UnknownWorkload { .. })
+        ));
+    }
+
+    #[test]
+    fn sim_carries_its_workload_annotation() {
+        let sim = SimBuilder::new(HvKind::Native)
+            .workload(Workload::Mysql)
+            .build()
+            .unwrap();
+        assert_eq!(sim.workload(), Some(Workload::Mysql));
+        assert!(format!("{sim:?}").contains("Mysql"));
+    }
+}

@@ -15,7 +15,7 @@
 
 use crate::{CostModel, HvKind, Hypervisor, VirqPolicy};
 use hvx_arch::{ExitReason, Vmcs, X86Cpu, X86State};
-use hvx_engine::{CoreId, Cycles, Machine, Topology, TraceKind};
+use hvx_engine::{CoreId, Cycles, Machine, Topology, TraceKind, TransitionId};
 use hvx_gic::Lapic;
 use hvx_vio::Nic;
 
@@ -151,8 +151,14 @@ impl X86Hv {
     /// CPU register state to the VMCS in memory", §IV) and loads host
     /// state.
     fn exit(&mut self, core: CoreId, vcpu: usize, reason: ExitReason) {
-        self.machine
-            .charge(core, "hw:vmexit", TraceKind::Trap, self.cost.vmexit);
+        self.machine.bump("x86.vmexits", 1);
+        self.machine.charge_as(
+            core,
+            "hw:vmexit",
+            TraceKind::Trap,
+            self.cost.vmexit,
+            TransitionId::VmcsWorldSwitch,
+        );
         let vmcs = if self.alt_loaded && vcpu == 0 {
             &mut self.alt_vmcs
         } else {
@@ -165,8 +171,13 @@ impl X86Hv {
 
     /// VM entry on `core` for VCPU `vcpu`.
     fn enter(&mut self, core: CoreId, vcpu: usize) {
-        self.machine
-            .charge(core, "hw:vmentry", TraceKind::Return, self.cost.vmentry);
+        self.machine.charge_as(
+            core,
+            "hw:vmentry",
+            TraceKind::Return,
+            self.cost.vmentry,
+            TransitionId::VmcsWorldSwitch,
+        );
         let vmcs = if self.alt_loaded && vcpu == 0 {
             &mut self.alt_vmcs
         } else {
@@ -186,7 +197,7 @@ impl X86Hv {
         let core = self.machine.topology().guest_core(vcpu);
         let t0 = self.machine.now(core);
         self.exit(core, vcpu, ExitReason::EptViolation { gpa: 0x8000_0000 });
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             if self.is_kvm() {
                 "kvm:x86-dispatch"
@@ -195,12 +206,14 @@ impl X86Hv {
             },
             TraceKind::Host,
             self.dispatch_cost(),
+            TransitionId::HostDispatch,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "x86:page-alloc",
             TraceKind::Host,
             self.cost.page_alloc,
+            TransitionId::HostDispatch,
         );
         self.enter(core, vcpu);
         self.machine.now(core) - t0
@@ -240,7 +253,8 @@ impl X86Hv {
         let arrival = self.machine.signal(from, core, wire);
         self.machine.wait_until(core, arrival);
         self.exit(core, vcpu, ExitReason::ExternalInterrupt);
-        self.machine.charge(
+        self.machine.bump("x86.virq_injections", 1);
+        self.machine.charge_as(
             core,
             if self.is_kvm() {
                 "kvm:x86-inject"
@@ -249,6 +263,7 @@ impl X86Hv {
             },
             TraceKind::Emulation,
             self.inject_cost(),
+            TransitionId::VirqInject,
         );
         self.lapics[vcpu].set_irr(vector).expect("valid vector");
         self.enter(core, vcpu);
@@ -275,17 +290,23 @@ impl X86Hv {
                     write: true,
                 },
             );
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "x86:apic-eoi-emulate",
                 TraceKind::Emulation,
                 self.apic_emulate_cost(),
+                TransitionId::GicdEmulate,
             );
             self.lapics[vcpu].eoi().expect("in service");
             self.enter(core, vcpu);
         } else {
-            self.machine
-                .charge(core, "x86:vapic-eoi", TraceKind::Guest, Cycles::new(100));
+            self.machine.charge_as(
+                core,
+                "x86:vapic-eoi",
+                TraceKind::Guest,
+                Cycles::new(100),
+                TransitionId::GicAccess,
+            );
             self.lapics[vcpu].eoi().expect("in service");
         }
     }
@@ -321,7 +342,7 @@ impl Hypervisor for X86Hv {
         let core = self.machine.topology().guest_core(vcpu);
         let t0 = self.machine.now(core);
         self.exit(core, vcpu, ExitReason::Vmcall);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             if self.is_kvm() {
                 "kvm:x86-dispatch"
@@ -330,6 +351,7 @@ impl Hypervisor for X86Hv {
             },
             TraceKind::Host,
             self.dispatch_cost(),
+            TransitionId::HostDispatch,
         );
         self.enter(core, vcpu);
         self.machine.now(core) - t0
@@ -348,7 +370,7 @@ impl Hypervisor for X86Hv {
                 write: false,
             },
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             if self.is_kvm() {
                 "kvm:x86-dispatch"
@@ -357,8 +379,9 @@ impl Hypervisor for X86Hv {
             },
             TraceKind::Host,
             self.dispatch_cost(),
+            TransitionId::HostDispatch,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "x86:mmio-decode",
             TraceKind::Emulation,
@@ -367,12 +390,14 @@ impl Hypervisor for X86Hv {
             } else {
                 self.cost.xen_x86_mmio_decode
             },
+            TransitionId::MmioDecode,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "x86:apic-emulate",
             TraceKind::Emulation,
             self.apic_emulate_cost(),
+            TransitionId::GicdEmulate,
         );
         self.enter(core, vcpu);
         self.machine.now(core) - t0
@@ -385,7 +410,7 @@ impl Hypervisor for X86Hv {
         let t0 = self.machine.now(from_core);
         // Sender: trapped ICR write.
         self.exit(from_core, from, ExitReason::MsrWrite { msr: 0x830 });
-        self.machine.charge(
+        self.machine.charge_as(
             from_core,
             if self.is_kvm() {
                 "kvm:x86-dispatch"
@@ -394,12 +419,14 @@ impl Hypervisor for X86Hv {
             },
             TraceKind::Host,
             self.dispatch_cost(),
+            TransitionId::HostDispatch,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             from_core,
             "x86:apic-icr-emulate",
             TraceKind::Emulation,
             self.apic_emulate_cost(),
+            TransitionId::GicdEmulate,
         );
         let effect = self.lapics[from]
             .icr_write(to, RESCHED_VECTOR)
@@ -427,7 +454,7 @@ impl Hypervisor for X86Hv {
         let core = self.machine.topology().guest_core(0);
         let t0 = self.machine.now(core);
         self.exit(core, 0, ExitReason::Hlt);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             if self.is_kvm() {
                 "kvm:x86-sched"
@@ -440,6 +467,7 @@ impl Hypervisor for X86Hv {
             } else {
                 self.cost.xen_x86_sched
             },
+            TransitionId::Sched,
         );
         self.alt_loaded = !self.alt_loaded;
         self.enter(core, 0);
@@ -454,11 +482,12 @@ impl Hypervisor for X86Hv {
         if self.is_kvm() {
             // The ioeventfd is signalled right in the exit handler — the
             // 560-cycle row of Table II.
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "kvm:x86-ioeventfd",
                 TraceKind::Io,
                 self.cost.kvm_x86_ioeventfd,
+                TransitionId::VhostKick,
             );
             let t1 = self.machine.now(core);
             self.enter(core, vcpu);
@@ -466,36 +495,45 @@ impl Hypervisor for X86Hv {
         } else {
             // Xen: evtchn to Dom0 + idle-domain wake on the backend core.
             let backend = self.machine.topology().backend_core();
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "xen:x86-dispatch",
                 TraceKind::Host,
                 self.cost.xen_x86_dispatch,
+                TransitionId::HostDispatch,
             );
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "xen:evtchn-send",
                 TraceKind::Emulation,
                 self.cost.xen_evtchn_send,
+                TransitionId::EventChannelSignal,
             );
             let arrival = self
                 .machine
                 .signal(core, backend, self.cost.x86_doorbell_wire);
             self.enter(core, vcpu);
             self.machine.wait_until(backend, arrival);
-            self.machine.charge(
+            self.machine.charge_as(
                 backend,
                 "xen:x86-wake-blocked",
                 TraceKind::Sched,
                 self.cost.xen_x86_wake_blocked,
+                TransitionId::Sched,
             );
-            self.machine
-                .charge(backend, "hw:vmentry", TraceKind::Return, self.cost.vmentry);
-            self.machine.charge(
+            self.machine.charge_as(
+                backend,
+                "hw:vmentry",
+                TraceKind::Return,
+                self.cost.vmentry,
+                TransitionId::VmcsWorldSwitch,
+            );
+            self.machine.charge_as(
                 backend,
                 "xen:event-upcall",
                 TraceKind::Host,
                 self.cost.xen_event_upcall,
+                TransitionId::EventUpcall,
             );
             self.machine.now(backend) - t0
         }
@@ -506,57 +544,75 @@ impl Hypervisor for X86Hv {
         let backend = self.machine.topology().backend_core();
         let t0 = self.machine.now(backend);
         if self.is_kvm() {
-            self.machine.charge(
+            self.machine.charge_as(
                 backend,
                 "kvm:x86-irqfd",
                 TraceKind::Io,
                 self.cost.kvm_x86_ioeventfd,
+                TransitionId::VhostKick,
             );
-            self.machine.charge(
+            self.machine.charge_as(
                 backend,
                 "kvm:x86-io-in-host",
                 TraceKind::Host,
                 self.cost.kvm_x86_io_in_host,
+                TransitionId::HostDispatch,
             );
             let t_ack =
                 self.inject_running(backend, vcpu, VIRTIO_VECTOR, self.cost.x86_doorbell_wire);
             self.guest_eoi(vcpu);
             t_ack - t0
         } else {
-            self.machine
-                .charge(backend, "hw:vmexit", TraceKind::Trap, self.cost.vmexit);
-            self.machine.charge(
+            self.machine.bump("x86.vmexits", 1);
+            self.machine.charge_as(
+                backend,
+                "hw:vmexit",
+                TraceKind::Trap,
+                self.cost.vmexit,
+                TransitionId::VmcsWorldSwitch,
+            );
+            self.machine.charge_as(
                 backend,
                 "xen:x86-dispatch",
                 TraceKind::Host,
                 self.cost.xen_x86_dispatch,
+                TransitionId::HostDispatch,
             );
-            self.machine.charge(
+            self.machine.charge_as(
                 backend,
                 "xen:evtchn-send",
                 TraceKind::Emulation,
                 self.cost.xen_evtchn_send,
+                TransitionId::EventChannelSignal,
             );
             let core = self.machine.topology().guest_core(vcpu);
             let arrival = self
                 .machine
                 .signal(backend, core, self.cost.x86_doorbell_wire);
             self.machine.wait_until(core, arrival);
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "xen:x86-wake-domu",
                 TraceKind::Sched,
                 self.cost.xen_x86_wake_domu,
+                TransitionId::Sched,
             );
-            self.machine.charge(
+            self.machine.bump("x86.virq_injections", 1);
+            self.machine.charge_as(
                 core,
                 "xen:x86-inject",
                 TraceKind::Emulation,
                 self.cost.xen_x86_inject,
+                TransitionId::VirqInject,
             );
             self.lapics[vcpu].set_irr(VIRTIO_VECTOR).expect("vector");
-            self.machine
-                .charge(core, "hw:vmentry", TraceKind::Return, self.cost.vmentry);
+            self.machine.charge_as(
+                core,
+                "hw:vmentry",
+                TraceKind::Return,
+                self.cost.vmentry,
+                TransitionId::VmcsWorldSwitch,
+            );
             let got = self.lapics[vcpu].ack();
             debug_assert_eq!(got, Some(VIRTIO_VECTOR));
             let t1 = self.machine.now(core);
@@ -567,8 +623,13 @@ impl Hypervisor for X86Hv {
 
     fn guest_compute(&mut self, vcpu: usize, work: Cycles) {
         let core = self.machine.topology().guest_core(vcpu);
-        self.machine
-            .charge(core, "guest:compute", TraceKind::Guest, work);
+        self.machine.charge_as(
+            core,
+            "guest:compute",
+            TraceKind::Guest,
+            work,
+            TransitionId::GuestRun,
+        );
     }
 
     fn transmit(&mut self, vcpu: usize, len: usize) -> Cycles {
@@ -581,60 +642,86 @@ impl Hypervisor for X86Hv {
         } else {
             c.xen_guest_pv / 2
         };
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "guest:net-stack-tx",
             TraceKind::Guest,
             c.stack_tx_per_packet + c.stack_bytes(len) + driver_extra,
+            TransitionId::GuestStack,
         );
         self.exit(core, vcpu, ExitReason::IoInstruction);
         if self.is_kvm() {
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "kvm:x86-ioeventfd",
                 TraceKind::Io,
                 c.kvm_x86_ioeventfd,
+                TransitionId::VhostKick,
             );
             let arrival = self.machine.signal(core, backend, c.x86_doorbell_wire);
             self.enter(core, vcpu);
             self.machine.wait_until(backend, arrival);
-            self.machine
-                .charge(backend, "kvm:vhost-wake", TraceKind::Io, c.kvm_vhost_wake);
-            self.machine.charge(
+            self.machine.charge_as(
+                backend,
+                "kvm:vhost-wake",
+                TraceKind::Io,
+                c.kvm_vhost_wake,
+                TransitionId::VhostBackend,
+            );
+            self.machine.charge_as(
                 backend,
                 "kvm:vhost-tx",
                 TraceKind::Io,
                 c.kvm_vhost_per_packet,
+                TransitionId::VhostBackend,
             );
         } else {
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "xen:evtchn-send",
                 TraceKind::Emulation,
                 c.xen_evtchn_send,
+                TransitionId::EventChannelSignal,
             );
             let arrival = self.machine.signal(core, backend, c.x86_doorbell_wire);
             self.enter(core, vcpu);
             self.machine.wait_until(backend, arrival);
-            self.machine.charge(
+            self.machine.charge_as(
                 backend,
                 "xen:x86-wake-blocked",
                 TraceKind::Sched,
                 c.xen_x86_wake_blocked,
+                TransitionId::Sched,
             );
-            self.machine.charge(
+            self.machine.charge_as(
                 backend,
                 "xen:netback-tx",
                 TraceKind::Io,
                 c.xen_net_per_packet,
+                TransitionId::Netback,
             );
-            self.machine
-                .charge(backend, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
+            self.machine.charge_as(
+                backend,
+                "xen:grant-copy",
+                TraceKind::Copy,
+                c.xen_grant_copy,
+                TransitionId::GrantCopy,
+            );
         }
-        self.machine
-            .charge(backend, "host:net-stack-tx", TraceKind::Host, c.host_net_tx);
-        self.machine
-            .charge(backend, "nic:dma", TraceKind::Io, c.nic_dma);
+        self.machine.charge_as(
+            backend,
+            "host:net-stack-tx",
+            TraceKind::Host,
+            c.host_net_tx,
+            TransitionId::HostStack,
+        );
+        self.machine.charge_as(
+            backend,
+            "nic:dma",
+            TraceKind::Io,
+            c.nic_dma,
+            TransitionId::NicDma,
+        );
         self.nic.transmit(hvx_vio::Packet::new(0, vec![0u8; len]));
         self.machine.now(backend)
     }
@@ -645,31 +732,63 @@ impl Hypervisor for X86Hv {
         let vcpu = self.pick_irq_vcpu();
         let io = self.machine.topology().io_core();
         self.machine.wait_until(io, arrival);
-        self.machine
-            .charge(io, "host:irq", TraceKind::Host, c.native_irq);
+        self.machine.charge_as(
+            io,
+            "host:irq",
+            TraceKind::Host,
+            c.native_irq,
+            TransitionId::HostIrq,
+        );
         if self.is_kvm() {
-            self.machine
-                .charge(io, "host:net-stack-rx", TraceKind::Host, c.host_net_rx);
-            self.machine
-                .charge(io, "kvm:vhost-rx", TraceKind::Io, c.kvm_vhost_per_packet);
+            self.machine.charge_as(
+                io,
+                "host:net-stack-rx",
+                TraceKind::Host,
+                c.host_net_rx,
+                TransitionId::HostStack,
+            );
+            self.machine.charge_as(
+                io,
+                "kvm:vhost-rx",
+                TraceKind::Io,
+                c.kvm_vhost_per_packet,
+                TransitionId::VhostBackend,
+            );
         } else {
-            self.machine.charge(
+            self.machine.charge_as(
                 io,
                 "xen:x86-wake-blocked",
                 TraceKind::Sched,
                 c.xen_x86_wake_blocked / 2,
+                TransitionId::Sched,
             );
-            self.machine
-                .charge(io, "host:net-stack-rx", TraceKind::Host, c.host_net_rx);
-            self.machine
-                .charge(io, "xen:netback-rx", TraceKind::Io, c.xen_net_per_packet);
-            self.machine
-                .charge(io, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
-            self.machine.charge(
+            self.machine.charge_as(
+                io,
+                "host:net-stack-rx",
+                TraceKind::Host,
+                c.host_net_rx,
+                TransitionId::HostStack,
+            );
+            self.machine.charge_as(
+                io,
+                "xen:netback-rx",
+                TraceKind::Io,
+                c.xen_net_per_packet,
+                TransitionId::Netback,
+            );
+            self.machine.charge_as(
+                io,
+                "xen:grant-copy",
+                TraceKind::Copy,
+                c.xen_grant_copy,
+                TransitionId::GrantCopy,
+            );
+            self.machine.charge_as(
                 io,
                 "xen:evtchn-send",
                 TraceKind::Emulation,
                 c.xen_evtchn_send,
+                TransitionId::EventChannelSignal,
             );
         }
         self.inject_running(io, vcpu, VIRTIO_VECTOR, c.x86_doorbell_wire);
@@ -680,11 +799,12 @@ impl Hypervisor for X86Hv {
         } else {
             c.xen_guest_pv / 2
         };
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "guest:net-stack-rx",
             TraceKind::Guest,
             c.stack_rx_per_packet + c.stack_bytes(len) + driver_extra,
+            TransitionId::GuestStack,
         );
         (self.machine.now(core), vcpu)
     }
@@ -708,11 +828,12 @@ impl Hypervisor for X86Hv {
         let t0 = self.machine.now(core);
         if !self.is_kvm() {
             // Xen x86 wakes the blocked DomU on its own core.
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "xen:x86-wake-domu",
                 TraceKind::Sched,
                 self.cost.xen_x86_wake_domu,
+                TransitionId::Sched,
             );
         }
         self.inject_running(core, vcpu, VIRTIO_VECTOR, Cycles::ZERO);
@@ -732,27 +853,58 @@ impl Hypervisor for X86Hv {
         let vcpu = self.pick_irq_vcpu();
         let io = self.machine.topology().io_core();
         self.machine.wait_until(io, arrival);
-        self.machine
-            .charge(io, "host:irq", TraceKind::Host, c.native_irq);
+        self.machine.charge_as(
+            io,
+            "host:irq",
+            TraceKind::Host,
+            c.native_irq,
+            TransitionId::HostIrq,
+        );
         if self.is_kvm() {
-            self.machine
-                .charge(io, "host:net-stack-rx", TraceKind::Host, c.host_net_rx);
-            self.machine
-                .charge(io, "kvm:vhost-rx", TraceKind::Io, c.kvm_vhost_per_packet);
+            self.machine.charge_as(
+                io,
+                "host:net-stack-rx",
+                TraceKind::Host,
+                c.host_net_rx,
+                TransitionId::HostStack,
+            );
+            self.machine.charge_as(
+                io,
+                "kvm:vhost-rx",
+                TraceKind::Io,
+                c.kvm_vhost_per_packet,
+                TransitionId::VhostBackend,
+            );
         } else {
-            self.machine
-                .charge(io, "host:net-stack-rx", TraceKind::Host, c.host_net_rx);
-            self.machine
-                .charge(io, "xen:netback-rx", TraceKind::Io, c.xen_net_per_packet);
+            self.machine.charge_as(
+                io,
+                "host:net-stack-rx",
+                TraceKind::Host,
+                c.host_net_rx,
+                TransitionId::HostStack,
+            );
+            self.machine.charge_as(
+                io,
+                "xen:netback-rx",
+                TraceKind::Io,
+                c.xen_net_per_packet,
+                TransitionId::Netback,
+            );
             for _ in 0..chunks {
-                self.machine
-                    .charge(io, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
+                self.machine.charge_as(
+                    io,
+                    "xen:grant-copy",
+                    TraceKind::Copy,
+                    c.xen_grant_copy,
+                    TransitionId::GrantCopy,
+                );
             }
-            self.machine.charge(
+            self.machine.charge_as(
                 io,
                 "xen:evtchn-send",
                 TraceKind::Emulation,
                 c.xen_evtchn_send,
+                TransitionId::EventChannelSignal,
             );
         }
         self.inject_running(io, vcpu, VIRTIO_VECTOR, c.x86_doorbell_wire);
@@ -763,11 +915,12 @@ impl Hypervisor for X86Hv {
         } else {
             c.xen_guest_pv / 2
         };
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "guest:net-stack-rx",
             TraceKind::Guest,
             c.stack_rx_per_packet + c.stack_bytes(total) + driver_extra,
+            TransitionId::GuestStack,
         );
         (self.machine.now(core), vcpu)
     }
@@ -783,62 +936,88 @@ impl Hypervisor for X86Hv {
         } else {
             c.xen_guest_pv / 2
         };
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "guest:net-stack-tx",
             TraceKind::Guest,
             c.stack_tx_per_packet + c.stack_bytes(total) + driver_extra,
+            TransitionId::GuestStack,
         );
         self.exit(core, vcpu, ExitReason::IoInstruction);
         if self.is_kvm() {
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "kvm:x86-ioeventfd",
                 TraceKind::Io,
                 c.kvm_x86_ioeventfd,
+                TransitionId::VhostKick,
             );
             let arrival = self.machine.signal(core, backend, c.x86_doorbell_wire);
             self.enter(core, vcpu);
             self.machine.wait_until(backend, arrival);
-            self.machine
-                .charge(backend, "kvm:vhost-wake", TraceKind::Io, c.kvm_vhost_wake);
-            self.machine.charge(
+            self.machine.charge_as(
+                backend,
+                "kvm:vhost-wake",
+                TraceKind::Io,
+                c.kvm_vhost_wake,
+                TransitionId::VhostBackend,
+            );
+            self.machine.charge_as(
                 backend,
                 "kvm:vhost-tx",
                 TraceKind::Io,
                 c.kvm_vhost_per_packet,
+                TransitionId::VhostBackend,
             );
         } else {
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "xen:evtchn-send",
                 TraceKind::Emulation,
                 c.xen_evtchn_send,
+                TransitionId::EventChannelSignal,
             );
             let arrival = self.machine.signal(core, backend, c.x86_doorbell_wire);
             self.enter(core, vcpu);
             self.machine.wait_until(backend, arrival);
-            self.machine.charge(
+            self.machine.charge_as(
                 backend,
                 "xen:x86-wake-blocked",
                 TraceKind::Sched,
                 c.xen_x86_wake_blocked,
+                TransitionId::Sched,
             );
-            self.machine.charge(
+            self.machine.charge_as(
                 backend,
                 "xen:netback-tx",
                 TraceKind::Io,
                 c.xen_net_per_packet,
+                TransitionId::Netback,
             );
             for _ in 0..chunks {
-                self.machine
-                    .charge(backend, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
+                self.machine.charge_as(
+                    backend,
+                    "xen:grant-copy",
+                    TraceKind::Copy,
+                    c.xen_grant_copy,
+                    TransitionId::GrantCopy,
+                );
             }
         }
-        self.machine
-            .charge(backend, "host:net-stack-tx", TraceKind::Host, c.host_net_tx);
-        self.machine
-            .charge(backend, "nic:dma", TraceKind::Io, c.nic_dma);
+        self.machine.charge_as(
+            backend,
+            "host:net-stack-tx",
+            TraceKind::Host,
+            c.host_net_tx,
+            TransitionId::HostStack,
+        );
+        self.machine.charge_as(
+            backend,
+            "nic:dma",
+            TraceKind::Io,
+            c.nic_dma,
+            TransitionId::NicDma,
+        );
         self.machine.now(backend)
     }
 }

@@ -21,7 +21,7 @@
 use crate::context::ArmGuestContext;
 use crate::{CostModel, HvKind, Hypervisor, VirqPolicy};
 use hvx_arch::{ArchVersion, ArmCpu, ExceptionLevel, Syndrome, TrapCause};
-use hvx_engine::{CoreId, Cycles, Machine, Topology, TraceKind};
+use hvx_engine::{CoreId, Cycles, Machine, Topology, TraceKind, TransitionId};
 use hvx_gic::{dist_reg, Distributor, IntId, VgicCpuInterface};
 use hvx_mem::{DomId, GrantTable, Ipa, Pa, PhysMemory, S2Perms, Stage2Tables, PAGE_SIZE};
 use hvx_vio::{EventChannels, NetBack, NetFront, Nic, Port, XenNetRing};
@@ -188,28 +188,41 @@ impl XenArm {
 
     /// Trap into Xen (EL2) and push the GP trap frame.
     fn xen_trap(&mut self, core: CoreId, cause: TrapCause) {
-        self.machine
-            .charge(core, "hw:trap-el2", TraceKind::Trap, self.cost.hw_trap);
+        self.machine.bump("xen.traps", 1);
+        self.machine.charge_as(
+            core,
+            "hw:trap-el2",
+            TraceKind::Trap,
+            self.cost.hw_trap,
+            TransitionId::TrapToEl2,
+        );
         let to = self.cpus[core.index()].take_exception(cause);
         debug_assert_eq!(to, ExceptionLevel::El2);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "xen:frame-save",
             TraceKind::ContextSave,
             self.cost.xen_frame.save,
+            TransitionId::ContextSave,
         );
     }
 
     /// Pop the frame and return to the interrupted guest.
     fn xen_return(&mut self, core: CoreId) {
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "xen:frame-restore",
             TraceKind::ContextRestore,
             self.cost.xen_frame.restore,
+            TransitionId::ContextRestore,
         );
-        self.machine
-            .charge(core, "hw:eret", TraceKind::Return, self.cost.hw_eret);
+        self.machine.charge_as(
+            core,
+            "hw:eret",
+            TraceKind::Return,
+            self.cost.hw_eret,
+            TransitionId::Eret,
+        );
         self.cpus[core.index()].eret().expect("return to guest");
     }
 
@@ -223,14 +236,20 @@ impl XenArm {
         let c = self.cost;
         // Save the outgoing domain's full context.
         if from != Running::Idle {
+            self.machine.span_enter(TransitionId::ContextSave);
             self.machine
                 .charge(core, "save:gp", TraceKind::ContextSave, c.gp.save);
             self.machine
                 .charge(core, "save:fp", TraceKind::ContextSave, c.fp.save);
             self.machine
                 .charge(core, "save:el1-sys", TraceKind::ContextSave, c.el1_sys.save);
-            self.machine
-                .charge(core, "save:vgic", TraceKind::ContextSave, c.vgic.save);
+            self.machine.charge_as(
+                core,
+                "save:vgic",
+                TraceKind::ContextSave,
+                c.vgic.save,
+                TransitionId::VgicLrSave,
+            );
             self.machine
                 .charge(core, "save:timer", TraceKind::ContextSave, c.timer.save);
             self.machine.charge(
@@ -241,6 +260,7 @@ impl XenArm {
             );
             self.machine
                 .charge(core, "save:el2-vm", TraceKind::ContextSave, c.el2_vm.save);
+            self.machine.span_exit(TransitionId::ContextSave);
             let ctx = ArmGuestContext::capture(&self.cpus[idx], &self.vgics[idx]);
             match from {
                 Running::DomU(v) => {
@@ -256,6 +276,7 @@ impl XenArm {
         }
         // Restore the incoming domain's context.
         if to != Running::Idle {
+            self.machine.span_enter(TransitionId::ContextRestore);
             self.machine
                 .charge(core, "restore:gp", TraceKind::ContextRestore, c.gp.restore);
             self.machine
@@ -266,11 +287,12 @@ impl XenArm {
                 TraceKind::ContextRestore,
                 c.el1_sys.restore,
             );
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "restore:vgic",
                 TraceKind::ContextRestore,
                 c.vgic.restore,
+                TransitionId::VgicLrRestore,
             );
             self.machine.charge(
                 core,
@@ -290,6 +312,7 @@ impl XenArm {
                 TraceKind::ContextRestore,
                 c.el2_vm.restore,
             );
+            self.machine.span_exit(TransitionId::ContextRestore);
             let ctx = match to {
                 Running::DomU(v) => {
                     if self.alt_loaded && idx == 0 {
@@ -315,38 +338,57 @@ impl XenArm {
     /// ERET into the domain. Charges the §IV idle-domain-switch path.
     fn wake_into(&mut self, core: CoreId, target: Running, extra_wake: bool, charge_upcall: bool) {
         let c = self.cost;
-        self.machine
-            .charge(core, "gic:phys-ack", TraceKind::Host, c.gic_phys_access);
-        self.machine
-            .charge(core, "xen:sched", TraceKind::Sched, c.xen_sched);
+        self.machine.charge_as(
+            core,
+            "gic:phys-ack",
+            TraceKind::Host,
+            c.gic_phys_access,
+            TransitionId::GicAccess,
+        );
+        self.machine.charge_as(
+            core,
+            "xen:sched",
+            TraceKind::Sched,
+            c.xen_sched,
+            TransitionId::Sched,
+        );
         self.domain_switch(core, target);
-        self.machine.charge(
+        self.machine.bump("xen.virq_injections", 1);
+        self.machine.charge_as(
             core,
             "xen:vgic-inject",
             TraceKind::Emulation,
             c.xen_vgic_inject,
+            TransitionId::VirqInject,
         );
         let idx = core.index();
         let _ = self.vgics[idx].inject(EVTCHN_VIRQ.raw(), 0x40);
-        self.machine
-            .charge(core, "hw:eret", TraceKind::Return, c.hw_eret);
+        self.machine.charge_as(
+            core,
+            "hw:eret",
+            TraceKind::Return,
+            c.hw_eret,
+            TransitionId::Eret,
+        );
         self.cpus[idx].eret().expect("enter domain");
         if charge_upcall {
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "xen:event-upcall",
                 TraceKind::Host,
                 c.xen_event_upcall,
+                TransitionId::EventUpcall,
             );
         }
         let _ = self.vgics[idx].guest_ack();
         let _ = self.vgics[idx].guest_eoi(EVTCHN_VIRQ.raw());
         if extra_wake {
-            self.machine.charge(
+            self.machine.charge_as(
                 core,
                 "xen:wake-blocked",
                 TraceKind::Sched,
                 c.xen_wake_blocked,
+                TransitionId::Sched,
             );
         }
     }
@@ -364,37 +406,60 @@ impl XenArm {
         let arrival = self.machine.signal(from, core, c.ipi_wire);
         self.machine.wait_until(core, arrival);
         self.xen_trap(core, TrapCause::Irq);
-        self.machine
-            .charge(core, "gic:phys-ack", TraceKind::Host, c.gic_phys_access);
+        self.machine.charge_as(
+            core,
+            "gic:phys-ack",
+            TraceKind::Host,
+            c.gic_phys_access,
+            TransitionId::GicAccess,
+        );
         self.phys_gic.acknowledge(core.index()).expect("core");
         self.phys_gic
             .complete(core.index(), IntId::sgi(2))
             .expect("active");
         // Xen syncs the LR state from the hardware before merging the new
         // virtual interrupt, then writes it back.
-        self.machine
-            .charge(core, "save:vgic", TraceKind::ContextSave, c.vgic.save);
-        self.machine.charge(
+        self.machine.charge_as(
+            core,
+            "save:vgic",
+            TraceKind::ContextSave,
+            c.vgic.save,
+            TransitionId::VgicLrSave,
+        );
+        self.machine.bump("xen.virq_injections", 1);
+        self.machine.charge_as(
             core,
             "xen:vgic-inject",
             TraceKind::Emulation,
             c.xen_vgic_inject,
+            TransitionId::VirqInject,
         );
         let _ = self.vgics[core.index()].inject(virq.raw(), 0x80);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "restore:vgic",
             TraceKind::ContextRestore,
             c.vgic.restore,
+            TransitionId::VgicLrRestore,
         );
         self.xen_return(core);
-        self.machine
-            .charge(core, "gic:vif-ack", TraceKind::Guest, c.gic_vif_access);
+        self.machine.charge_as(
+            core,
+            "gic:vif-ack",
+            TraceKind::Guest,
+            c.gic_vif_access,
+            TransitionId::GicAccess,
+        );
         let acked = self.vgics[core.index()].guest_ack();
         debug_assert_eq!(acked, Some(virq.raw()));
         let t_ack = self.machine.now(core);
-        self.machine
-            .charge(core, "gic:vif-eoi", TraceKind::Guest, c.gic_vif_access);
+        self.machine.charge_as(
+            core,
+            "gic:vif-eoi",
+            TraceKind::Guest,
+            c.gic_vif_access,
+            TransitionId::GicAccess,
+        );
         let _ = self.vgics[core.index()].guest_eoi(virq.raw());
         t_ack
     }
@@ -415,17 +480,19 @@ impl XenArm {
                 write: true,
             }),
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "xen:dispatch",
             TraceKind::Emulation,
             self.cost.xen_dispatch,
+            TransitionId::HostDispatch,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "xen:page-alloc",
             TraceKind::Host,
             self.cost.page_alloc,
+            TransitionId::HostDispatch,
         );
         let pa = Pa::new(DOMU_RAM_PA + self.domu.s2.mapped_pages() * PAGE_SIZE);
         self.domu
@@ -501,16 +568,28 @@ impl Hypervisor for XenArm {
         self.policy = policy;
     }
 
+    fn sample_metrics(&mut self) {
+        let notifications = self.evtchn.notification_count();
+        let copies = self.grants.copy_count();
+        let injected: u64 = self.vgics.iter().map(|v| v.injected_count()).sum();
+        let completed: u64 = self.vgics.iter().map(|v| v.completed_count()).sum();
+        self.machine.bump("vio.evtchn_notifications", notifications);
+        self.machine.bump("vio.grant_copies", copies);
+        self.machine.bump("gic.virq_injected", injected);
+        self.machine.bump("gic.virq_completed", completed);
+    }
+
     fn hypercall(&mut self, vcpu: usize) -> Cycles {
         self.ensure_primary();
         let core = self.machine.topology().guest_core(vcpu);
         let t0 = self.machine.now(core);
         self.xen_trap(core, TrapCause::HYPERCALL);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "xen:dispatch",
             TraceKind::Emulation,
             self.cost.xen_dispatch,
+            TransitionId::HostDispatch,
         );
         self.xen_return(core);
         self.machine.now(core) - t0
@@ -527,23 +606,26 @@ impl Hypervisor for XenArm {
                 write: false,
             }),
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "xen:dispatch",
             TraceKind::Emulation,
             self.cost.xen_dispatch,
+            TransitionId::HostDispatch,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "xen:mmio-decode",
             TraceKind::Emulation,
             self.cost.xen_mmio_decode,
+            TransitionId::MmioDecode,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "xen:gicd-emulate",
             TraceKind::Emulation,
             self.cost.xen_gicd_emulate,
+            TransitionId::GicdEmulate,
         );
         let _ = self
             .domu
@@ -566,23 +648,26 @@ impl Hypervisor for XenArm {
                 write: true,
             }),
         );
-        self.machine.charge(
+        self.machine.charge_as(
             from_core,
             "xen:dispatch",
             TraceKind::Emulation,
             self.cost.xen_dispatch,
+            TransitionId::HostDispatch,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             from_core,
             "xen:mmio-decode",
             TraceKind::Emulation,
             self.cost.xen_mmio_decode,
+            TransitionId::MmioDecode,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             from_core,
             "xen:gicd-emulate",
             TraceKind::Emulation,
             self.cost.xen_gicd_emulate,
+            TransitionId::GicdEmulate,
         );
         let effect = self
             .domu
@@ -606,11 +691,12 @@ impl Hypervisor for XenArm {
             .expect("LR available");
         vgic.guest_ack().expect("pending virq");
         let t0 = self.machine.now(core);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "gic:vif-eoi",
             TraceKind::Guest,
             self.cost.gic_vif_access,
+            TransitionId::GicAccess,
         );
         self.vgics[core.index()]
             .guest_eoi(GUEST_IPI_SGI.raw())
@@ -622,16 +708,26 @@ impl Hypervisor for XenArm {
         let core = self.machine.topology().guest_core(0);
         let t0 = self.machine.now(core);
         self.xen_trap(core, TrapCause::HYPERCALL);
-        self.machine
-            .charge(core, "xen:sched", TraceKind::Sched, self.cost.xen_sched);
+        self.machine.charge_as(
+            core,
+            "xen:sched",
+            TraceKind::Sched,
+            self.cost.xen_sched,
+            TransitionId::Sched,
+        );
         // Unlike the hypercall path, switching VMs forces Xen to move the
         // full EL1 state (§IV: "in this case both KVM and Xen ARM need to
         // do this").
         let to = Running::DomU(0);
         self.alt_loaded = !self.alt_loaded;
         self.domain_switch(core, to);
-        self.machine
-            .charge(core, "hw:eret", TraceKind::Return, self.cost.hw_eret);
+        self.machine.charge_as(
+            core,
+            "hw:eret",
+            TraceKind::Return,
+            self.cost.hw_eret,
+            TransitionId::Eret,
+        );
         self.cpus[core.index()].eret().expect("enter domain");
         self.machine.now(core) - t0
     }
@@ -643,17 +739,19 @@ impl Hypervisor for XenArm {
         let t0 = self.machine.now(core);
         // DomU: EVTCHNOP_send hypercall.
         self.xen_trap(core, TrapCause::HYPERCALL);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "xen:dispatch",
             TraceKind::Emulation,
             self.cost.xen_dispatch,
+            TransitionId::HostDispatch,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "xen:evtchn-send",
             TraceKind::Emulation,
             self.cost.xen_evtchn_send,
+            TransitionId::EventChannelSignal,
         );
         let peer = self.evtchn.notify(self.io_port, DOMU).expect("bound port");
         debug_assert_eq!(peer, DomId::DOM0);
@@ -679,17 +777,19 @@ impl Hypervisor for XenArm {
         self.domain_switch_silent(backend_core, Running::Dom0(b));
         let t0 = self.machine.now(backend_core);
         self.xen_trap(backend_core, TrapCause::HYPERCALL);
-        self.machine.charge(
+        self.machine.charge_as(
             backend_core,
             "xen:dispatch",
             TraceKind::Emulation,
             self.cost.xen_dispatch,
+            TransitionId::HostDispatch,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             backend_core,
             "xen:evtchn-send",
             TraceKind::Emulation,
             self.cost.xen_evtchn_send,
+            TransitionId::EventChannelSignal,
         );
         self.evtchn
             .notify(self.io_port, DomId::DOM0)
@@ -701,11 +801,12 @@ impl Hypervisor for XenArm {
         // receiving VM in EL1", §IV).
         self.machine.wait_until(core, arrival);
         self.domain_switch_silent(core, Running::Idle);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "xen:wake-blocked",
             TraceKind::Sched,
             self.cost.xen_wake_blocked,
+            TransitionId::Sched,
         );
         self.wake_into(core, Running::DomU(vcpu), false, false);
         self.evtchn.clear_pending(DOMU, self.io_port);
@@ -714,8 +815,13 @@ impl Hypervisor for XenArm {
 
     fn guest_compute(&mut self, vcpu: usize, work: Cycles) {
         let core = self.machine.topology().guest_core(vcpu);
-        self.machine
-            .charge(core, "guest:compute", TraceKind::Guest, work);
+        self.machine.charge_as(
+            core,
+            "guest:compute",
+            TraceKind::Guest,
+            work,
+            TransitionId::GuestRun,
+        );
     }
 
     fn transmit(&mut self, vcpu: usize, len: usize) -> Cycles {
@@ -724,11 +830,12 @@ impl Hypervisor for XenArm {
         let core = self.machine.topology().guest_core(vcpu);
         let (backend_core, b) = self.backend();
         // Guest stack + netfront (grant issue) — §V guest-side PV cost.
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "guest:net-stack-tx",
             TraceKind::Guest,
             c.stack_tx_per_packet + c.stack_bytes(len) + c.xen_guest_pv / 2,
+            TransitionId::GuestStack,
         );
         let payload = vec![0xABu8; len.min(PAGE_SIZE as usize)];
         self.front
@@ -742,13 +849,19 @@ impl Hypervisor for XenArm {
             .expect("TX pool has room");
         // Kick Dom0 through the event channel.
         self.xen_trap(core, TrapCause::HYPERCALL);
-        self.machine
-            .charge(core, "xen:dispatch", TraceKind::Emulation, c.xen_dispatch);
-        self.machine.charge(
+        self.machine.charge_as(
+            core,
+            "xen:dispatch",
+            TraceKind::Emulation,
+            c.xen_dispatch,
+            TransitionId::HostDispatch,
+        );
+        self.machine.charge_as(
             core,
             "xen:evtchn-send",
             TraceKind::Emulation,
             c.xen_evtchn_send,
+            TransitionId::EventChannelSignal,
         );
         self.evtchn.notify(self.io_port, DOMU).expect("bound port");
         let arrival = self.machine.signal(core, backend_core, c.ipi_wire);
@@ -759,31 +872,39 @@ impl Hypervisor for XenArm {
             self.wake_into(backend_core, Running::Dom0(b), true, true);
         }
         self.evtchn.clear_pending(DomId::DOM0, self.io_port);
-        self.machine.charge(
+        self.machine.charge_as(
             backend_core,
             "xen:netback-tx",
             TraceKind::Io,
             c.xen_net_per_packet,
+            TransitionId::Netback,
         );
-        self.machine.charge(
+        self.machine.charge_as(
             backend_core,
             "xen:grant-copy",
             TraceKind::Copy,
             c.xen_grant_copy,
+            TransitionId::GrantCopy,
         );
         let pkts = self
             .back
             .process_tx(&mut self.ring, &mut self.grants, &mut self.mem)
             .expect("granted TX frame");
         debug_assert_eq!(pkts.len(), 1);
-        self.machine.charge(
+        self.machine.charge_as(
             backend_core,
             "host:net-stack-tx",
             TraceKind::Host,
             c.host_net_tx,
+            TransitionId::HostStack,
         );
-        self.machine
-            .charge(backend_core, "nic:dma", TraceKind::Io, c.nic_dma);
+        self.machine.charge_as(
+            backend_core,
+            "nic:dma",
+            TraceKind::Io,
+            c.nic_dma,
+            TransitionId::NicDma,
+        );
         for p in pkts {
             self.nic.transmit(p);
         }
@@ -815,8 +936,13 @@ impl Hypervisor for XenArm {
         // Physical IRQ lands in Xen; Dom0 holds the NIC driver, so Xen
         // wakes Dom0 on the I/O core (IRQ-driven: no event-channel
         // kthread wake on this side).
-        self.machine
-            .charge(io, "host:irq", TraceKind::Host, c.native_irq);
+        self.machine.charge_as(
+            io,
+            "host:irq",
+            TraceKind::Host,
+            c.native_irq,
+            TransitionId::HostIrq,
+        );
         self.phys_gic.acknowledge(io.index()).expect("core");
         self.phys_gic.complete(io.index(), NIC_SPI).expect("active");
         if self.running[io.index()] != Running::Dom0(io_dom0_vcpu) {
@@ -824,25 +950,46 @@ impl Hypervisor for XenArm {
         }
         // Dom0's Linux stack up to netback, then the grant copy into the
         // DomU frame.
-        self.machine
-            .charge(io, "host:net-stack-rx", TraceKind::Host, c.host_net_rx);
-        self.machine
-            .charge(io, "xen:netback-rx", TraceKind::Io, c.xen_net_per_packet);
-        self.machine
-            .charge(io, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
+        self.machine.charge_as(
+            io,
+            "host:net-stack-rx",
+            TraceKind::Host,
+            c.host_net_rx,
+            TransitionId::HostStack,
+        );
+        self.machine.charge_as(
+            io,
+            "xen:netback-rx",
+            TraceKind::Io,
+            c.xen_net_per_packet,
+            TransitionId::Netback,
+        );
+        self.machine.charge_as(
+            io,
+            "xen:grant-copy",
+            TraceKind::Copy,
+            c.xen_grant_copy,
+            TransitionId::GrantCopy,
+        );
         let pkt = self.nic.take_rx().expect("packet queued");
         self.back
             .deliver_rx(&mut self.ring, &mut self.grants, &mut self.mem, &pkt)
             .expect("RX grant posted");
         // Signal DomU.
         self.xen_trap(io, TrapCause::HYPERCALL);
-        self.machine
-            .charge(io, "xen:dispatch", TraceKind::Emulation, c.xen_dispatch);
-        self.machine.charge(
+        self.machine.charge_as(
+            io,
+            "xen:dispatch",
+            TraceKind::Emulation,
+            c.xen_dispatch,
+            TransitionId::HostDispatch,
+        );
+        self.machine.charge_as(
             io,
             "xen:evtchn-send",
             TraceKind::Emulation,
             c.xen_evtchn_send,
+            TransitionId::EventChannelSignal,
         );
         self.evtchn
             .notify(self.io_port, DomId::DOM0)
@@ -865,11 +1012,12 @@ impl Hypervisor for XenArm {
             .expect("response ring valid");
         debug_assert_eq!(got.len(), 1);
         debug_assert_eq!(got[0].len(), len);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "guest:net-stack-rx",
             TraceKind::Guest,
             c.stack_rx_per_packet + c.stack_bytes(len) + c.xen_guest_pv / 2,
+            TransitionId::GuestStack,
         );
         (self.machine.now(core), vcpu)
     }
@@ -895,11 +1043,12 @@ impl Hypervisor for XenArm {
         let core = self.machine.topology().guest_core(vcpu);
         let t0 = self.machine.now(core);
         self.domain_switch_silent(core, Running::Idle);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "xen:wake-blocked",
             TraceKind::Sched,
             self.cost.xen_wake_blocked,
+            TransitionId::Sched,
         );
         self.wake_into(core, Running::DomU(vcpu), false, false);
         self.machine.now(core) - t0
@@ -918,31 +1067,57 @@ impl Hypervisor for XenArm {
         let io = self.machine.topology().io_core();
         let io_dom0_vcpu = io.index() - self.num_vcpus();
         self.machine.wait_until(io, arrival);
-        self.machine
-            .charge(io, "host:irq", TraceKind::Host, c.native_irq);
+        self.machine.charge_as(
+            io,
+            "host:irq",
+            TraceKind::Host,
+            c.native_irq,
+            TransitionId::HostIrq,
+        );
         if self.running[io.index()] != Running::Dom0(io_dom0_vcpu) {
             self.wake_into(io, Running::Dom0(io_dom0_vcpu), false, true);
         }
-        self.machine
-            .charge(io, "host:net-stack-rx", TraceKind::Host, c.host_net_rx);
-        self.machine
-            .charge(io, "xen:netback-rx", TraceKind::Io, c.xen_net_per_packet);
+        self.machine.charge_as(
+            io,
+            "host:net-stack-rx",
+            TraceKind::Host,
+            c.host_net_rx,
+            TransitionId::HostStack,
+        );
+        self.machine.charge_as(
+            io,
+            "xen:netback-rx",
+            TraceKind::Io,
+            c.xen_net_per_packet,
+            TransitionId::Netback,
+        );
         // THE Xen cost: one grant copy per page of the burst — "Dom0
         // cannot configure the network device to DMA the data directly
         // into guest buffers, because Dom0 does not have access to the
         // VM's memory" (§V).
         for _ in 0..chunks {
-            self.machine
-                .charge(io, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
+            self.machine.charge_as(
+                io,
+                "xen:grant-copy",
+                TraceKind::Copy,
+                c.xen_grant_copy,
+                TransitionId::GrantCopy,
+            );
         }
         self.xen_trap(io, TrapCause::HYPERCALL);
-        self.machine
-            .charge(io, "xen:dispatch", TraceKind::Emulation, c.xen_dispatch);
-        self.machine.charge(
+        self.machine.charge_as(
+            io,
+            "xen:dispatch",
+            TraceKind::Emulation,
+            c.xen_dispatch,
+            TransitionId::HostDispatch,
+        );
+        self.machine.charge_as(
             io,
             "xen:evtchn-send",
             TraceKind::Emulation,
             c.xen_evtchn_send,
+            TransitionId::EventChannelSignal,
         );
         self.evtchn
             .notify(self.io_port, DomId::DOM0)
@@ -952,11 +1127,12 @@ impl Hypervisor for XenArm {
         self.evtchn.clear_pending(DOMU, self.io_port);
         self.domain_switch_silent(io, Running::Idle);
         let core = self.machine.topology().guest_core(vcpu);
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "guest:net-stack-rx",
             TraceKind::Guest,
             c.stack_rx_per_packet + c.stack_bytes(total) + c.xen_guest_pv / 2,
+            TransitionId::GuestStack,
         );
         (self.machine.now(core), vcpu)
     }
@@ -967,21 +1143,28 @@ impl Hypervisor for XenArm {
         let total = chunks * chunk_len;
         let core = self.machine.topology().guest_core(vcpu);
         let (backend_core, b) = self.backend();
-        self.machine.charge(
+        self.machine.charge_as(
             core,
             "guest:net-stack-tx",
             TraceKind::Guest,
             c.stack_tx_per_packet + c.stack_bytes(total) + c.xen_guest_pv / 2,
+            TransitionId::GuestStack,
         );
         // One kick for the burst.
         self.xen_trap(core, TrapCause::HYPERCALL);
-        self.machine
-            .charge(core, "xen:dispatch", TraceKind::Emulation, c.xen_dispatch);
-        self.machine.charge(
+        self.machine.charge_as(
+            core,
+            "xen:dispatch",
+            TraceKind::Emulation,
+            c.xen_dispatch,
+            TransitionId::HostDispatch,
+        );
+        self.machine.charge_as(
             core,
             "xen:evtchn-send",
             TraceKind::Emulation,
             c.xen_evtchn_send,
+            TransitionId::EventChannelSignal,
         );
         self.evtchn.notify(self.io_port, DOMU).expect("bound port");
         let arrival = self.machine.signal(core, backend_core, c.ipi_wire);
@@ -991,28 +1174,36 @@ impl Hypervisor for XenArm {
             self.wake_into(backend_core, Running::Dom0(b), true, true);
         }
         self.evtchn.clear_pending(DomId::DOM0, self.io_port);
-        self.machine.charge(
+        self.machine.charge_as(
             backend_core,
             "xen:netback-tx",
             TraceKind::Io,
             c.xen_net_per_packet,
+            TransitionId::Netback,
         );
         for _ in 0..chunks {
-            self.machine.charge(
+            self.machine.charge_as(
                 backend_core,
                 "xen:grant-copy",
                 TraceKind::Copy,
                 c.xen_grant_copy,
+                TransitionId::GrantCopy,
             );
         }
-        self.machine.charge(
+        self.machine.charge_as(
             backend_core,
             "host:net-stack-tx",
             TraceKind::Host,
             c.host_net_tx,
+            TransitionId::HostStack,
         );
-        self.machine
-            .charge(backend_core, "nic:dma", TraceKind::Io, c.nic_dma);
+        self.machine.charge_as(
+            backend_core,
+            "nic:dma",
+            TraceKind::Io,
+            c.nic_dma,
+            TransitionId::NicDma,
+        );
         self.domain_switch_silent(backend_core, Running::Idle);
         self.machine.now(backend_core)
     }

@@ -14,7 +14,10 @@
 //! * [`TraceLog`] — the per-step decomposition that regenerates the paper's
 //!   breakdown tables and lets tests assert exact transition sequences;
 //! * [`EventQueue`] — a deterministic calendar for workload simulations;
-//! * [`Samples`] / [`Summary`] — iteration statistics.
+//! * [`Samples`] / [`Summary`] — iteration statistics;
+//! * re-exported [`TransitionId`] spans and [`MetricsRegistry`] metrics
+//!   (from `hvx-obs`) — opt-in cycle attribution behind
+//!   [`Machine::enable_profiling`].
 //!
 //! Higher layers (architectural state, interrupt controller, memory, I/O,
 //! the hypervisor models themselves) all express their costs through
@@ -47,6 +50,12 @@ mod trace;
 
 pub use cycles::{Cycles, Frequency};
 pub use event::EventQueue;
+// Observability primitives, re-exported so instrumented layers (core,
+// gic, vio, suite) need only an `hvx-engine` dependency.
+pub use hvx_obs::{
+    CounterSnapshot, HistogramSketch, HistogramSnapshot, MetricsRegistry, ProfileSnapshot, SpanRow,
+    SpanSnapshotRow, SpanTracer, TransitionId,
+};
 pub use machine::Machine;
 pub use stats::{Histogram, Samples, Streaming, Summary};
 pub use topology::{CoreId, Topology};

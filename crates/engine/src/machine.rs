@@ -11,6 +11,17 @@
 //! emerges in the application-level simulations.
 
 use crate::{CoreId, Cycles, Topology, TraceEvent, TraceKind, TraceLog};
+use hvx_obs::{MetricsRegistry, SpanTracer, TransitionId};
+
+/// The machine's optional observability state: a span tracer fed by
+/// every [`Machine::charge`] plus a metrics registry. Boxed so a
+/// non-profiling machine pays one pointer of space and a single branch
+/// per charge.
+#[derive(Debug, Clone, Default)]
+struct Profiler {
+    spans: SpanTracer,
+    metrics: MetricsRegistry,
+}
 
 /// A simulated multi-core machine.
 ///
@@ -38,6 +49,9 @@ pub struct Machine {
     /// skipped by [`Machine::wait_until`] — i.e. minus idle waiting).
     busy: Vec<Cycles>,
     trace: TraceLog,
+    /// `Some` once profiling is enabled; `None` keeps the charge hot
+    /// path identical to the pre-observability engine.
+    profiler: Option<Box<Profiler>>,
 }
 
 impl Machine {
@@ -50,6 +64,7 @@ impl Machine {
             clocks,
             busy,
             trace: TraceLog::new(),
+            profiler: None,
         }
     }
 
@@ -112,9 +127,29 @@ impl Machine {
             kind,
             label,
         });
+        if let Some(p) = &mut self.profiler {
+            p.spans.charge(cost.as_u64());
+        }
         let end = start + cost;
         self.clocks[core.index()] = end;
         self.busy[core.index()] += cost;
+        end
+    }
+
+    /// Spends `cost` cycles attributed to transition `id`: shorthand
+    /// for a single-charge span (`span_enter(id)`, [`Machine::charge`],
+    /// `span_exit(id)`).
+    pub fn charge_as(
+        &mut self,
+        core: CoreId,
+        label: &'static str,
+        kind: TraceKind,
+        cost: Cycles,
+        id: TransitionId,
+    ) -> Cycles {
+        self.span_enter(id);
+        let end = self.charge(core, label, kind, cost);
+        self.span_exit(id);
         end
     }
 
@@ -188,6 +223,116 @@ impl Machine {
     #[inline]
     pub fn trace_mut(&mut self) -> &mut TraceLog {
         &mut self.trace
+    }
+
+    // --- observability -------------------------------------------------
+
+    /// Turns on span attribution and metrics collection. Call before
+    /// any work is charged so the span totals cover the whole run
+    /// (conservation: `spans().total() == Σ busy(core)`). Idempotent.
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::default());
+        }
+    }
+
+    /// Whether profiling is enabled.
+    #[inline]
+    pub fn profiling(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// Opens a span: until the matching [`Machine::span_exit`], every
+    /// charge on this machine is attributed to `id` (unless an inner
+    /// span opens). No-op while profiling is disabled, so models can
+    /// instrument unconditionally.
+    #[inline]
+    pub fn span_enter(&mut self, id: TransitionId) {
+        if let Some(p) = &mut self.profiler {
+            p.spans.enter(id);
+        }
+    }
+
+    /// Closes the innermost span, which must be `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with profiling enabled) if `id` is not the innermost
+    /// open span — unbalanced instrumentation is a bug.
+    #[inline]
+    pub fn span_exit(&mut self, id: TransitionId) {
+        if let Some(p) = &mut self.profiler {
+            p.spans.exit(id);
+        }
+    }
+
+    /// Adds `n` to the named counter. No-op while profiling is
+    /// disabled.
+    #[inline]
+    pub fn bump(&mut self, name: &'static str, n: u64) {
+        if let Some(p) = &mut self.profiler {
+            p.metrics.bump(name, n);
+        }
+    }
+
+    /// Records one histogram observation. No-op while profiling is
+    /// disabled.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        if let Some(p) = &mut self.profiler {
+            p.metrics.observe(name, value);
+        }
+    }
+
+    /// The span tracer, if profiling is enabled.
+    pub fn spans(&self) -> Option<&SpanTracer> {
+        self.profiler.as_ref().map(|p| &p.spans)
+    }
+
+    /// The metrics registry, if profiling is enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.profiler.as_ref().map(|p| &p.metrics)
+    }
+
+    /// Mutable metrics registry access (suite-level sampling), if
+    /// profiling is enabled.
+    pub fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.profiler.as_mut().map(|p| &mut p.metrics)
+    }
+
+    /// Sum of every core's charged work — the run total that the span
+    /// breakdown must account for.
+    pub fn total_busy(&self) -> Cycles {
+        self.busy.iter().copied().sum()
+    }
+
+    /// Asserts span/charge conservation: with profiling enabled, the
+    /// attributed exclusive cycles plus the unattributed remainder must
+    /// equal both the tracer's running total and the machine's summed
+    /// busy time. Returns the verified total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if profiling is disabled or the identity does not hold.
+    pub fn assert_conservation(&self) -> Cycles {
+        let spans = self
+            .spans()
+            .expect("assert_conservation requires profiling to be enabled");
+        let excl_sum: u64 = TransitionId::ALL
+            .into_iter()
+            .map(|id| spans.exclusive(id))
+            .sum();
+        assert_eq!(
+            excl_sum + spans.unattributed(),
+            spans.total(),
+            "span exclusive totals do not sum to the tracer total"
+        );
+        assert_eq!(
+            spans.total(),
+            self.total_busy().as_u64(),
+            "span totals diverge from the machine's busy cycles"
+        );
+        self.total_busy()
     }
 }
 
@@ -278,6 +423,67 @@ mod tests {
     fn utilization_of_fresh_machine_is_zero() {
         let m = two_core_machine();
         assert_eq!(m.utilization(CoreId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn profiling_attributes_charges_to_innermost_span() {
+        let mut m = two_core_machine();
+        m.enable_profiling();
+        let c0 = CoreId::new(0);
+        m.charge(c0, "boot", TraceKind::Other, Cycles::new(10)); // unattributed
+        m.span_enter(TransitionId::ContextSave);
+        m.charge(c0, "save:gp", TraceKind::ContextSave, Cycles::new(152));
+        m.charge_as(
+            c0,
+            "save:vgic",
+            TraceKind::ContextSave,
+            Cycles::new(500),
+            TransitionId::VgicLrSave,
+        );
+        m.span_exit(TransitionId::ContextSave);
+        m.bump("traps", 2);
+        m.observe("lat", 662);
+        let spans = m.spans().unwrap();
+        assert_eq!(spans.exclusive(TransitionId::ContextSave), 152);
+        assert_eq!(spans.exclusive(TransitionId::VgicLrSave), 500);
+        assert_eq!(spans.inclusive(TransitionId::ContextSave), 652);
+        assert_eq!(spans.unattributed(), 10);
+        assert_eq!(m.metrics().unwrap().counter("traps"), 2);
+        assert_eq!(m.assert_conservation(), Cycles::new(662));
+    }
+
+    #[test]
+    fn profiling_disabled_makes_spans_free_noops() {
+        let mut m = two_core_machine();
+        m.span_enter(TransitionId::TrapToEl2);
+        m.charge(CoreId::new(0), "t", TraceKind::Trap, Cycles::new(40));
+        m.span_exit(TransitionId::TrapToEl2);
+        m.bump("traps", 1);
+        assert!(m.spans().is_none());
+        assert!(m.metrics().is_none());
+        assert!(!m.profiling());
+    }
+
+    #[test]
+    fn conservation_spans_multiple_cores() {
+        let mut m = two_core_machine();
+        m.enable_profiling();
+        m.charge_as(
+            CoreId::new(0),
+            "g",
+            TraceKind::Guest,
+            Cycles::new(100),
+            TransitionId::GuestRun,
+        );
+        m.charge_as(
+            CoreId::new(1),
+            "h",
+            TraceKind::Host,
+            Cycles::new(300),
+            TransitionId::HostDispatch,
+        );
+        assert_eq!(m.total_busy(), Cycles::new(400));
+        assert_eq!(m.assert_conservation(), Cycles::new(400));
     }
 
     #[test]

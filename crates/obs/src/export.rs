@@ -1,0 +1,165 @@
+//! Serializable snapshots of a profile run.
+//!
+//! The live [`SpanTracer`](crate::SpanTracer) and
+//! [`MetricsRegistry`](crate::MetricsRegistry) are optimized for the
+//! charge hot path; exporters convert them into plain, serializable
+//! snapshot structs whose JSON field order is fixed, so exported
+//! profiles are byte-stable. The folded-stack flamegraph text comes
+//! straight from [`SpanTracer::folded`](crate::SpanTracer::folded).
+
+use crate::{MetricsRegistry, SpanTracer, TransitionId};
+use serde::Serialize;
+
+/// One exported breakdown row.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanSnapshotRow {
+    /// Transition name ([`TransitionId::name`]).
+    pub transition: &'static str,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Cycles charged while innermost.
+    pub exclusive_cycles: u64,
+    /// Cycles charged while open (self + children).
+    pub inclusive_cycles: u64,
+    /// Exclusive share of the run total, in percent.
+    pub share_pct: f64,
+}
+
+/// One exported counter.
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One exported histogram.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Power-of-two-bucketed median upper bound.
+    pub p50: u64,
+    /// Power-of-two-bucketed 99th-percentile upper bound.
+    pub p99: u64,
+}
+
+/// The complete exported profile of one scenario: the span breakdown
+/// (with its conservation remainder) plus sampled metrics.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileSnapshot {
+    /// Total cycles charged during the profiled run.
+    pub total_cycles: u64,
+    /// Cycles charged with no open span.
+    pub unattributed_cycles: u64,
+    /// Per-transition rows, in [`TransitionId::ALL`] order.
+    pub spans: Vec<SpanSnapshotRow>,
+    /// Counters, name-sorted.
+    pub counters: Vec<CounterSnapshot>,
+    /// Histograms, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl ProfileSnapshot {
+    /// Snapshots a tracer and a registry into an exportable form.
+    pub fn capture(spans: &SpanTracer, metrics: &MetricsRegistry) -> ProfileSnapshot {
+        let total = spans.total();
+        let pct = |c: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                c as f64 * 100.0 / total as f64
+            }
+        };
+        ProfileSnapshot {
+            total_cycles: total,
+            unattributed_cycles: spans.unattributed(),
+            spans: spans
+                .rows()
+                .into_iter()
+                .map(|r| SpanSnapshotRow {
+                    transition: r.id.name(),
+                    count: r.count,
+                    exclusive_cycles: r.exclusive,
+                    inclusive_cycles: r.inclusive,
+                    share_pct: pct(r.exclusive),
+                })
+                .collect(),
+            counters: metrics
+                .counters_sorted()
+                .into_iter()
+                .map(|(name, value)| CounterSnapshot { name, value })
+                .collect(),
+            histograms: metrics
+                .histograms_sorted()
+                .into_iter()
+                .map(|(name, h)| HistogramSnapshot {
+                    name,
+                    count: h.count(),
+                    sum: h.sum(),
+                    mean: h.mean(),
+                    min: h.min().unwrap_or(0),
+                    max: h.max().unwrap_or(0),
+                    p50: h.approx_quantile(0.5).unwrap_or(0),
+                    p99: h.approx_quantile(0.99).unwrap_or(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Sum of the exported exclusive cycles plus the unattributed
+    /// remainder — equals [`ProfileSnapshot::total_cycles`] whenever the
+    /// source tracer was conservation-clean.
+    pub fn accounted_cycles(&self) -> u64 {
+        self.spans.iter().map(|r| r.exclusive_cycles).sum::<u64>() + self.unattributed_cycles
+    }
+}
+
+/// Lists every transition name, for exporters that want a schema.
+pub fn transition_names() -> Vec<&'static str> {
+    TransitionId::ALL
+        .into_iter()
+        .map(TransitionId::name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_preserves_conservation() {
+        let mut t = SpanTracer::new();
+        t.charge(5);
+        t.enter(TransitionId::TrapToEl2);
+        t.charge(95);
+        t.exit(TransitionId::TrapToEl2);
+        let mut m = MetricsRegistry::new();
+        m.bump("traps", 1);
+        m.observe("lat", 95);
+        let snap = ProfileSnapshot::capture(&t, &m);
+        assert_eq!(snap.total_cycles, 100);
+        assert_eq!(snap.accounted_cycles(), 100);
+        assert_eq!(snap.spans.len(), 1);
+        assert!((snap.spans[0].share_pct - 95.0).abs() < 1e-9);
+        assert_eq!(snap.counters[0].value, 1);
+        assert_eq!(snap.histograms[0].max, 95);
+    }
+
+    #[test]
+    fn transition_names_cover_all() {
+        assert_eq!(transition_names().len(), TransitionId::COUNT);
+        assert!(transition_names().contains(&"vgic_lr_save"));
+    }
+}

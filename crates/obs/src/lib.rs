@@ -1,0 +1,34 @@
+//! # hvx-obs — observability primitives for the hvx simulator
+//!
+//! The paper's core contribution is *attributing* cycles to individual
+//! architectural transitions (Table III's hypercall breakdown, Figure
+//! 4's per-workload overheads). This crate provides the machinery to do
+//! the same from instrumentation instead of from summed cost constants:
+//!
+//! * [`TransitionId`] / [`SpanTracer`] — nested spans keyed by static
+//!   transition identities; cycles are charged to the innermost open
+//!   span, so exclusive totals are exact and, with the unattributed
+//!   remainder, sum to the run total (conservation);
+//! * [`MetricsRegistry`] / [`HistogramSketch`] — named counters and
+//!   power-of-two histograms, lock-free in steady state, with a
+//!   deterministic cross-thread merge;
+//! * [`ProfileSnapshot`] and [`SpanTracer::folded`] — exporters: JSON
+//!   (via the in-tree serde shim) and folded-stack flamegraph text.
+//!
+//! The crate is deliberately substrate-free: it counts raw `u64`
+//! cycles and knows nothing about machines, cores, or hypervisors, so
+//! every layer of the workspace (engine, models, suite) can depend on
+//! it without cycles in the crate graph.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod export;
+mod metrics;
+mod span;
+
+pub use export::{
+    transition_names, CounterSnapshot, HistogramSnapshot, ProfileSnapshot, SpanSnapshotRow,
+};
+pub use metrics::{HistogramSketch, MetricsRegistry};
+pub use span::{SpanRow, SpanTracer, TransitionId};

@@ -1,25 +1,39 @@
 //! `hvx-repro` — one-command reproduction of every artifact in the
-//! paper, with optional JSON export and a parallel scenario runner.
+//! paper, with optional JSON export, a parallel scenario runner, and an
+//! instrumentation-driven profiler.
 //!
 //! ```text
-//! hvx-repro [--json DIR] [--jobs N] [--timing] [--bench FILE] [ARTIFACT...]
+//! hvx-repro [run] [--json DIR] [--jobs N] [--timing] [--bench FILE] [ARTIFACT...]
+//! hvx-repro bench --out FILE [--jobs N]
+//! hvx-repro profile [--scenario NAME]... [--jobs N] [--json DIR]
+//! hvx-repro list-scenarios
 //!
 //! ARTIFACTs: table2 table3 table5 fig4 irq vhe zerocopy link vapic
 //!            oversub storage all   (default: all)
 //! ```
 //!
-//! `--jobs N` fans independent scenarios (each Figure 4 cell, each
-//! table, each ablation) across N OS threads; output is byte-identical
-//! to `--jobs 1`. `--timing` reports per-artifact wall-clock on stderr.
-//! `--bench FILE` times the full suite serial then parallel, checks the
-//! outputs match byte-for-byte, and writes the measurements to FILE.
+//! Invoking the binary with no subcommand (or with legacy flags and
+//! artifact names directly) behaves exactly like `run`: it reproduces
+//! the requested artifact matrix. `--jobs N` fans independent scenarios
+//! across N OS threads; output is byte-identical to `--jobs 1`.
+//! `--timing` reports per-artifact wall-clock on stderr. `--bench FILE`
+//! (or the `bench` subcommand) times the full suite serial then
+//! parallel, checks the outputs match byte-for-byte, and writes the
+//! measurements to the named file.
+//!
+//! `profile` runs scenarios with the observability layer enabled and
+//! prints a Table-3-style cycle-attribution breakdown per scenario; the
+//! per-transition exclusive cycles sum exactly to the run's total busy
+//! cycles (conservation), and output is byte-identical across `--jobs`.
 
+use hvx_core::Error;
+use hvx_suite::profile::{self, ProfileScenario};
 use hvx_suite::runner::{self, ArtifactId};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Instant;
 
-struct Args {
+struct RunArgs {
     json_dir: Option<PathBuf>,
     jobs: usize,
     timing: bool,
@@ -27,41 +41,60 @@ struct Args {
     artifacts: Vec<ArtifactId>,
 }
 
+struct ProfileArgs {
+    scenarios: Vec<ProfileScenario>,
+    jobs: usize,
+    json_dir: Option<PathBuf>,
+}
+
 fn usage() -> String {
     let names: Vec<&str> = ArtifactId::ALL.iter().map(|a| a.cli_name()).collect();
     format!(
-        "usage: hvx-repro [--json DIR] [--jobs N] [--timing] [--bench FILE] [ARTIFACT...]\n\
-         artifacts: {} all",
+        "usage: hvx-repro [run] [--json DIR] [--jobs N] [--timing] [--bench FILE] [ARTIFACT...]\n\
+         \x20      hvx-repro bench --out FILE [--jobs N]\n\
+         \x20      hvx-repro profile [--scenario NAME]... [--jobs N] [--json DIR]\n\
+         \x20      hvx-repro list-scenarios\n\
+         artifacts: {} all\n\
+         profile scenarios: <workload>-<hypervisor>, e.g. netperf-kvm-arm \
+         (see list-scenarios)",
         names.join(" ")
     )
 }
 
 enum Parsed {
-    Run(Args),
+    Run(RunArgs),
+    Bench { out: PathBuf, jobs: usize },
+    Profile(ProfileArgs),
+    ListScenarios,
     Help,
 }
 
-fn parse_args() -> Result<Parsed, String> {
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn parse_jobs(it: &mut impl Iterator<Item = String>) -> Result<usize, String> {
+    let n = it.next().ok_or("--jobs requires a count")?;
+    n.parse::<usize>()
+        .ok()
+        .filter(|n| *n >= 1)
+        .ok_or_else(|| format!("--jobs needs a positive integer, got '{n}'"))
+}
+
+/// Parses the legacy flag set (also the `run` subcommand's flags).
+fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
     let mut json_dir = None;
-    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut jobs = default_jobs();
     let mut timing = false;
     let mut bench = None;
     let mut requested = Vec::new();
-    let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => {
                 let dir = it.next().ok_or("--json requires a directory")?;
                 json_dir = Some(PathBuf::from(dir));
             }
-            "--jobs" => {
-                let n = it.next().ok_or("--jobs requires a count")?;
-                jobs = n
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|n| *n >= 1)
-                    .ok_or_else(|| format!("--jobs needs a positive integer, got '{n}'"))?;
-            }
+            "--jobs" => jobs = parse_jobs(it)?,
             "--timing" => timing = true,
             "--bench" => {
                 let file = it.next().ok_or("--bench requires an output file")?;
@@ -83,13 +116,94 @@ fn parse_args() -> Result<Parsed, String> {
         .into_iter()
         .filter(|a| requested.contains(a))
         .collect();
-    Ok(Parsed::Run(Args {
+    Ok(Parsed::Run(RunArgs {
         json_dir,
         jobs,
         timing,
         bench,
         artifacts,
     }))
+}
+
+fn parse_bench(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut out = None;
+    let mut jobs = default_jobs();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                let file = it.next().ok_or("--out requires an output file")?;
+                out = Some(PathBuf::from(file));
+            }
+            "--jobs" => jobs = parse_jobs(it)?,
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("bench: unexpected argument '{other}'; try --help")),
+        }
+    }
+    let out = out.ok_or("bench requires --out FILE")?;
+    Ok(Parsed::Bench { out, jobs })
+}
+
+fn parse_profile(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut scenarios = Vec::new();
+    let mut jobs = default_jobs();
+    let mut json_dir = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenario" => {
+                let name = it.next().ok_or("--scenario requires a name")?;
+                scenarios.push(ProfileScenario::parse(&name).map_err(|e| e.to_string())?);
+            }
+            "--jobs" => jobs = parse_jobs(it)?,
+            "--json" => {
+                let dir = it.next().ok_or("--json requires a directory")?;
+                json_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => {
+                return Err(format!(
+                    "profile: unexpected argument '{other}'; try --help"
+                ))
+            }
+        }
+    }
+    if scenarios.is_empty() {
+        scenarios = ProfileScenario::default_set();
+    }
+    Ok(Parsed::Profile(ProfileArgs {
+        scenarios,
+        jobs,
+        json_dir,
+    }))
+}
+
+fn parse_args() -> Result<Parsed, String> {
+    let mut it = std::env::args().skip(1).peekable();
+    match it.peek().map(String::as_str) {
+        Some("run") => {
+            it.next();
+            parse_run(&mut it)
+        }
+        Some("bench") => {
+            it.next();
+            parse_bench(&mut it)
+        }
+        Some("profile") => {
+            it.next();
+            parse_profile(&mut it)
+        }
+        Some("list-scenarios") => {
+            it.next();
+            match it.next() {
+                None => Ok(Parsed::ListScenarios),
+                Some(other) => Err(format!(
+                    "list-scenarios: unexpected argument '{other}'; try --help"
+                )),
+            }
+        }
+        // Compat shim: no subcommand means the legacy interface — flags
+        // and artifact names straight on the command line.
+        _ => parse_run(&mut it),
+    }
 }
 
 #[derive(Serialize)]
@@ -110,15 +224,15 @@ struct BenchReport {
 
 /// Runs the full suite serial then parallel, asserts the outputs are
 /// byte-identical, and writes the wall-clock comparison to `path`.
-fn bench(path: &PathBuf, jobs: usize) {
+fn bench(path: &PathBuf, jobs: usize) -> Result<(), Error> {
     let artifacts = ArtifactId::ALL;
     eprintln!("bench: running full suite with --jobs 1 ...");
     let t0 = Instant::now();
-    let serial = runner::run_artifacts(&artifacts, 1);
+    let serial = runner::run_artifacts(&artifacts, 1)?;
     let serial_seconds = t0.elapsed().as_secs_f64();
     eprintln!("bench: running full suite with --jobs {jobs} ...");
     let t1 = Instant::now();
-    let parallel = runner::run_artifacts(&artifacts, jobs);
+    let parallel = runner::run_artifacts(&artifacts, jobs)?;
     let parallel_seconds = t1.elapsed().as_secs_f64();
     for (s, p) in serial.iter().zip(&parallel) {
         assert_eq!(s.text, p.text, "{} text diverged", s.id.cli_name());
@@ -139,44 +253,35 @@ fn bench(path: &PathBuf, jobs: usize) {
             })
             .collect(),
     };
-    let data = serde_json::to_string_pretty(&report).expect("serialize bench report");
-    std::fs::write(path, data).expect("write bench report");
+    let data = serde_json::to_string_pretty(&report).map_err(|e| Error::Serialize {
+        what: "bench report",
+        detail: e.to_string(),
+    })?;
+    std::fs::write(path, data)?;
     eprintln!(
         "bench: serial {serial_seconds:.3}s, parallel {parallel_seconds:.3}s \
          ({:.2}x, outputs byte-identical), wrote {}",
         report.speedup,
         path.display()
     );
+    Ok(())
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(Parsed::Run(a)) => a,
-        Ok(Parsed::Help) => {
-            println!("{}", usage());
-            return;
-        }
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-
+fn run(args: &RunArgs) -> Result<(), Error> {
     if let Some(path) = &args.bench {
-        bench(path, args.jobs);
-        return;
+        return bench(path, args.jobs);
     }
 
     println!("hvx — reproducing \"ARM Virtualization: Performance and Architectural");
     println!("Implications\" (ISCA 2016) on the simulator. Paper values in parentheses.\n");
 
-    let reports = runner::run_artifacts(&args.artifacts, args.jobs);
+    let reports = runner::run_artifacts(&args.artifacts, args.jobs)?;
     for r in &reports {
         print!("{}", r.text);
         if let Some(dir) = &args.json_dir {
-            std::fs::create_dir_all(dir).expect("create json dir");
+            std::fs::create_dir_all(dir)?;
             let path = dir.join(format!("{}.json", r.id.json_name()));
-            std::fs::write(&path, &r.json).expect("write json");
+            std::fs::write(&path, &r.json)?;
             eprintln!("wrote {}", path.display());
         }
         if args.timing {
@@ -193,5 +298,67 @@ fn main() {
             "[timing] {:<10} {total:>9.3}s (sum over scenarios, --jobs {})",
             "total", args.jobs
         );
+    }
+    Ok(())
+}
+
+fn run_profile(args: &ProfileArgs) -> Result<(), Error> {
+    let reports = profile::run_profiles(&args.scenarios, args.jobs)?;
+    print!("{}", profile::render_profiles(&reports));
+    if let Some(dir) = &args.json_dir {
+        std::fs::create_dir_all(dir)?;
+        for r in &reports {
+            let data = serde_json::to_string_pretty(r).map_err(|e| Error::Serialize {
+                what: "profile report",
+                detail: e.to_string(),
+            })?;
+            let path = dir.join(format!("profile-{}.json", r.scenario));
+            std::fs::write(&path, data)?;
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn list_scenarios() {
+    println!("artifacts (run):");
+    for a in ArtifactId::ALL {
+        println!("  {}", a.cli_name());
+    }
+    println!("\nprofile scenarios (profile --scenario NAME):");
+    println!("  default set:");
+    for s in ProfileScenario::default_set() {
+        println!("    {}", s.name());
+    }
+    println!("  any <workload>-<hypervisor> combination, e.g. mysql-xen-arm;");
+    println!("  workloads: kernbench hackbench specjvm2008 netperf tcp_rr");
+    println!("             tcp_stream tcp_maerts apache memcached mysql");
+    println!("  hypervisors: kvm-arm xen-arm kvm-x86 xen-x86 kvm-arm-vhe native");
+}
+
+fn main() {
+    let parsed = match parse_args() {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let result = match &parsed {
+        Parsed::Help => {
+            println!("{}", usage());
+            return;
+        }
+        Parsed::ListScenarios => {
+            list_scenarios();
+            return;
+        }
+        Parsed::Run(args) => run(args),
+        Parsed::Bench { out, jobs } => bench(out, *jobs),
+        Parsed::Profile(args) => run_profile(args),
+    };
+    if let Err(e) = result {
+        eprintln!("hvx-repro: {e}");
+        std::process::exit(1);
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::paper::{self, TargetSource};
 use crate::workloads::{self, Workload};
-use hvx_core::{CostModel, HvKind, Hypervisor, KvmArm, KvmX86, Native, VirqPolicy, XenArm, XenX86};
+use hvx_core::{CostModel, HvKind, Hypervisor, Sim, SimBuilder, VirqPolicy};
 use serde::Serialize;
 
 /// One reproduced Figure 4 bar.
@@ -36,21 +36,20 @@ pub struct Figure4 {
 }
 
 fn build(kind: HvKind) -> Box<dyn Hypervisor> {
-    match kind {
-        HvKind::KvmArm => Box::new(KvmArm::new()),
-        HvKind::XenArm => Box::new(XenArm::new()),
-        HvKind::KvmX86 => Box::new(KvmX86::new()),
-        HvKind::XenX86 => Box::new(XenX86::new()),
-        HvKind::KvmArmVhe => Box::new(KvmArm::new_vhe()),
-        HvKind::Native => Box::new(Native::new()),
-    }
+    SimBuilder::new(kind)
+        .build()
+        .expect("paper configuration is valid")
+        .into_inner()
 }
 
-fn native_for(kind: HvKind) -> Native {
+fn native_for(kind: HvKind) -> Sim {
+    let builder = SimBuilder::new(HvKind::Native);
     match kind.platform() {
-        hvx_core::Platform::X86 => Native::with_cost(CostModel::x86()),
-        _ => Native::new(),
+        hvx_core::Platform::X86 => builder.cost_model(CostModel::x86()),
+        _ => builder,
     }
+    .build()
+    .expect("paper configuration is valid")
 }
 
 /// Measures one workload on one configuration (against its platform's
@@ -64,7 +63,7 @@ pub fn measure_bar(workload: &Workload, kind: HvKind, policy: VirqPolicy) -> Opt
     let mut native = native_for(kind);
     Some(workloads::overhead(
         hv.as_mut(),
-        &mut native,
+        native.as_dyn_mut(),
         workload.mix,
         policy,
     ))

@@ -15,6 +15,8 @@
 //!   zero-copy analysis, and the §VI VHE projection;
 //! * [`runner`] — the parallel scenario runner fanning the full artifact
 //!   matrix across OS threads with byte-identical output to a serial run;
+//! * [`profile`] — workload profiling via the observability layer's span
+//!   tracer: conservation-checked Table-3-style breakdowns per scenario;
 //! * [`paper`] — the published numbers every report compares against.
 
 #![warn(missing_docs)]
@@ -25,6 +27,7 @@ pub mod fig4;
 pub mod micro;
 pub mod netperf;
 pub mod paper;
+pub mod profile;
 pub mod runner;
 pub mod table3;
 pub mod workloads;

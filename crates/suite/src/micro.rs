@@ -1,7 +1,7 @@
 //! The Table I microbenchmark suite and the Table II runner.
 
 use crate::paper;
-use hvx_core::{HvKind, Hypervisor, HypervisorExt, KvmArm, KvmX86, XenArm, XenX86};
+use hvx_core::{HvKind, Hypervisor, HypervisorExt, SimBuilder};
 use hvx_engine::Cycles;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -143,21 +143,20 @@ impl Table2 {
     /// Runs the full microbenchmark suite on all four measured
     /// configurations.
     pub fn measure(iters: usize) -> Table2 {
-        let mut hvs: Vec<Box<dyn Hypervisor>> = vec![
-            Box::new(KvmArm::new()),
-            Box::new(XenArm::new()),
-            Box::new(KvmX86::new()),
-            Box::new(XenX86::new()),
-        ];
         // Thousands of iterations × dozens of charged steps each: keep
         // only (kind, label) totals instead of storing every TraceEvent.
         // Breakdown queries stay exact; the charge hot path stops
         // allocating.
-        for hv in &mut hvs {
-            hv.machine_mut()
-                .trace_mut()
-                .set_mode(hvx_engine::TraceMode::Aggregate);
-        }
+        let mut hvs: Vec<Box<dyn Hypervisor>> = paper::COLUMNS
+            .into_iter()
+            .map(|kind| {
+                SimBuilder::new(kind)
+                    .tracing(hvx_engine::TraceMode::Aggregate)
+                    .build()
+                    .expect("paper configuration is valid")
+                    .into_inner()
+            })
+            .collect();
         let mut rows = Vec::new();
         for (mi, micro) in Micro::ALL.into_iter().enumerate() {
             let paper_row = paper::TABLE2[mi].1;

@@ -15,7 +15,7 @@
 //!   driver (`guest:net-stack-tx` end);
 //! * **send** — the NIC DMA of the response completes (`nic:dma` end).
 
-use hvx_core::{Hypervisor, KvmArm, Native, XenArm};
+use hvx_core::{HvKind, Hypervisor, SimBuilder, Workload};
 use hvx_engine::{Cycles, Frequency};
 use serde::{Deserialize, Serialize};
 
@@ -149,9 +149,15 @@ impl Table5 {
     /// Runs the full Table V experiment.
     pub fn measure(transactions: usize) -> Table5 {
         let freq = Frequency::ARM_M400;
-        let mut native_col = run_rr(&mut Native::new(), transactions, freq);
-        let mut kvm_col = run_rr(&mut KvmArm::new(), transactions, freq);
-        let mut xen_col = run_rr(&mut XenArm::new(), transactions, freq);
+        let build = |kind| {
+            SimBuilder::new(kind)
+                .workload(Workload::Netperf)
+                .build()
+                .expect("paper configuration is valid")
+        };
+        let mut native_col = run_rr(build(HvKind::Native).as_dyn_mut(), transactions, freq);
+        let mut kvm_col = run_rr(build(HvKind::KvmArm).as_dyn_mut(), transactions, freq);
+        let mut xen_col = run_rr(build(HvKind::XenArm).as_dyn_mut(), transactions, freq);
         native_col.overhead = None;
         kvm_col.overhead = Some(kvm_col.time_per_trans - native_col.time_per_trans);
         xen_col.overhead = Some(xen_col.time_per_trans - native_col.time_per_trans);

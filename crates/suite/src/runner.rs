@@ -14,13 +14,14 @@
 //! use hvx_suite::runner::{self, ArtifactId};
 //!
 //! let plan = runner::plan(&[ArtifactId::Table3]);
-//! let serial = runner::assemble(&[ArtifactId::Table3], &runner::run_scenarios(&plan, 1));
-//! let parallel = runner::assemble(&[ArtifactId::Table3], &runner::run_scenarios(&plan, 4));
+//! let serial = runner::assemble(&[ArtifactId::Table3], &runner::run_scenarios(&plan, 1)?)?;
+//! let parallel = runner::assemble(&[ArtifactId::Table3], &runner::run_scenarios(&plan, 4)?)?;
 //! assert_eq!(serial[0].json, parallel[0].json);
+//! # Ok::<(), hvx_core::Error>(())
 //! ```
 
 use crate::{ablations, fig4, micro, netperf, paper, table3, workloads};
-use hvx_core::VirqPolicy;
+use hvx_core::{Error, VirqPolicy};
 use hvx_engine::{Cycles, EventQueue};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -271,13 +272,19 @@ fn run_one(scenario: Scenario) -> ScenarioResult {
 /// returned vector — and everything assembled from it — is identical to
 /// a serial run regardless of completion order.
 ///
+/// # Errors
+///
+/// [`Error::InvalidJobs`] if `jobs == 0`.
+///
 /// # Panics
 ///
-/// Panics if `jobs == 0` or a worker thread panics.
-pub fn run_scenarios(plan: &[Scenario], jobs: usize) -> Vec<ScenarioResult> {
-    assert!(jobs >= 1, "need at least one job");
+/// Panics if a worker thread panics.
+pub fn run_scenarios(plan: &[Scenario], jobs: usize) -> Result<Vec<ScenarioResult>, Error> {
+    if jobs == 0 {
+        return Err(Error::InvalidJobs { jobs });
+    }
     if jobs == 1 || plan.len() <= 1 {
-        return plan.iter().map(|s| run_one(*s)).collect();
+        return Ok(plan.iter().map(|s| run_one(*s)).collect());
     }
 
     // The work queue is the engine's own EventQueue: it pops the smallest
@@ -301,14 +308,14 @@ pub fn run_scenarios(plan: &[Scenario], jobs: usize) -> Vec<ScenarioResult> {
         }
     });
 
-    slots
+    Ok(slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("slot lock")
                 .expect("every scheduled scenario ran")
         })
-        .collect()
+        .collect())
 }
 
 /// One assembled artifact: the exact text `hvx-repro` prints and the
@@ -326,21 +333,35 @@ pub struct ArtifactReport {
     pub wall: Duration,
 }
 
-fn to_json<T: serde::Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("serialize artifact")
+fn to_json<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    serde_json::to_string_pretty(value).map_err(|e| Error::Serialize {
+        what: "artifact report",
+        detail: e.to_string(),
+    })
 }
 
 /// Folds scenario results back into per-artifact reports. `artifacts`
 /// must be the same list (same order) that produced the plan; results
 /// must be in plan order, as returned by [`run_scenarios`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `results` does not match the plan of `artifacts`.
-pub fn assemble(artifacts: &[ArtifactId], results: &[ScenarioResult]) -> Vec<ArtifactReport> {
+/// [`Error::PlanMismatch`] if `results` does not line up with the plan
+/// of `artifacts`; [`Error::Serialize`] if a report fails to export.
+pub fn assemble(
+    artifacts: &[ArtifactId],
+    results: &[ScenarioResult],
+) -> Result<Vec<ArtifactReport>, Error> {
+    let expected = plan(artifacts).len();
+    if results.len() != expected {
+        return Err(Error::PlanMismatch {
+            expected,
+            got: results.len(),
+        });
+    }
     let mut reports = Vec::new();
     let mut it = results.iter();
-    let mut next = || it.next().expect("results shorter than plan");
+    let mut next = || it.next().expect("length checked against the plan");
     for id in artifacts {
         let report = match id {
             ArtifactId::Fig4 => {
@@ -350,10 +371,10 @@ pub fn assemble(artifacts: &[ArtifactId], results: &[ScenarioResult]) -> Vec<Art
                 for _ in 0..n_cells {
                     let r = next();
                     let Output::Fig4Cell(cell) = &r.output else {
-                        panic!(
-                            "plan/result mismatch: expected Fig4Cell, got {:?}",
-                            r.scenario
-                        )
+                        return Err(Error::PlanMismatch {
+                            expected: n_cells,
+                            got: cells.len(),
+                        });
                     };
                     cells.push(*cell);
                     wall += r.wall;
@@ -366,7 +387,7 @@ pub fn assemble(artifacts: &[ArtifactId], results: &[ScenarioResult]) -> Vec<Art
                         workloads::render_table4(),
                         f.render()
                     ),
-                    json: to_json(&f),
+                    json: to_json(&f)?,
                     wall,
                 }
             }
@@ -379,61 +400,64 @@ pub fn assemble(artifacts: &[ArtifactId], results: &[ScenarioResult]) -> Vec<Art
                             t.render(),
                             t.worst_error() * 100.0
                         ),
-                        to_json(t),
+                        to_json(t)?,
                     ),
                     Output::Table3(t) => (
                         format!("== Table III: KVM ARM hypercall breakdown ==\n\n{}\n", t.render()),
-                        to_json(t),
+                        to_json(t)?,
                     ),
                     Output::Table5(t) => (
                         format!("== Table V: netperf TCP_RR decomposition ==\n\n{}\n", t.render()),
-                        to_json(t),
+                        to_json(t)?,
                     ),
                     Output::Irq(rows) => (
                         format!(
                             "== Section V: interrupt-distribution ablation ==\n\n{}\n",
                             ablations::render_irq_distribution(rows)
                         ),
-                        to_json(rows),
+                        to_json(rows)?,
                     ),
                     Output::Vhe(p) => (
                         format!("== Section VI: VHE projection ==\n\n{}\n", ablations::render_vhe(p)),
-                        to_json(p),
+                        to_json(p)?,
                     ),
                     Output::ZeroCopy(z) => (
                         format!(
                             "== Section V: zero-copy trade ==\n\n{}\n",
                             ablations::render_zero_copy(z)
                         ),
-                        to_json(z),
+                        to_json(z)?,
                     ),
                     Output::Link(l) => (
                         format!(
                             "== Section III: link-speed observation ==\n\n{}\n",
                             ablations::render_link_speed(l)
                         ),
-                        to_json(l),
+                        to_json(l)?,
                     ),
                     Output::Vapic(v) => (
                         format!("== Section IV: vAPIC note ==\n\n{}\n", ablations::render_vapic(v)),
-                        to_json(v),
+                        to_json(v)?,
                     ),
                     Output::Storage(s) => (
                         format!(
                             "== Section III devices: storage ablation ==\n\n{}\n",
                             ablations::render_storage(s)
                         ),
-                        to_json(s),
+                        to_json(s)?,
                     ),
                     Output::Oversub(o) => (
                         format!(
                             "== Table I motivation: oversubscription sweep ==\n\n{}\n",
                             ablations::render_oversubscription(o)
                         ),
-                        to_json(o),
+                        to_json(o)?,
                     ),
                     Output::Fig4Cell(_) => {
-                        panic!("plan/result mismatch: stray Fig4Cell for {id:?}")
+                        return Err(Error::PlanMismatch {
+                            expected: 1,
+                            got: 0,
+                        });
                     }
                 };
                 ArtifactReport {
@@ -446,14 +470,18 @@ pub fn assemble(artifacts: &[ArtifactId], results: &[ScenarioResult]) -> Vec<Art
         };
         reports.push(report);
     }
-    assert!(it.next().is_none(), "results longer than plan");
-    reports
+    debug_assert!(it.next().is_none(), "length checked against the plan");
+    Ok(reports)
 }
 
 /// Convenience wrapper: plan, run with `jobs` workers, assemble.
-pub fn run_artifacts(artifacts: &[ArtifactId], jobs: usize) -> Vec<ArtifactReport> {
+///
+/// # Errors
+///
+/// As for [`run_scenarios`] and [`assemble`].
+pub fn run_artifacts(artifacts: &[ArtifactId], jobs: usize) -> Result<Vec<ArtifactReport>, Error> {
     let plan = plan(artifacts);
-    let results = run_scenarios(&plan, jobs);
+    let results = run_scenarios(&plan, jobs)?;
     assemble(artifacts, &results)
 }
 
@@ -489,8 +517,8 @@ mod tests {
     fn parallel_ablations_match_serial() {
         let artifacts = [ArtifactId::Table3, ArtifactId::Vhe, ArtifactId::Link];
         let p = plan(&artifacts);
-        let serial = assemble(&artifacts, &run_scenarios(&p, 1));
-        let parallel = assemble(&artifacts, &run_scenarios(&p, 3));
+        let serial = assemble(&artifacts, &run_scenarios(&p, 1).unwrap()).unwrap();
+        let parallel = assemble(&artifacts, &run_scenarios(&p, 3).unwrap()).unwrap();
         for (s, q) in serial.iter().zip(&parallel) {
             assert_eq!(s.json, q.json, "{:?} diverged", s.id);
             assert_eq!(s.text, q.text, "{:?} text diverged", s.id);
@@ -501,14 +529,29 @@ mod tests {
     fn fig4_cells_assemble_to_measure() {
         let artifacts = [ArtifactId::Fig4];
         let p = plan(&artifacts);
-        let reports = assemble(&artifacts, &run_scenarios(&p, 4));
+        let reports = assemble(&artifacts, &run_scenarios(&p, 4).unwrap()).unwrap();
         let direct = fig4::Figure4::measure();
-        assert_eq!(reports[0].json, super::to_json(&direct));
+        assert_eq!(reports[0].json, super::to_json(&direct).unwrap());
     }
 
     #[test]
-    #[should_panic(expected = "at least one job")]
-    fn zero_jobs_is_rejected() {
-        let _ = run_scenarios(&[], 0);
+    fn zero_jobs_is_an_error_not_a_panic() {
+        assert!(matches!(
+            run_scenarios(&[], 0),
+            Err(Error::InvalidJobs { jobs: 0 })
+        ));
+    }
+
+    #[test]
+    fn short_results_are_a_plan_mismatch() {
+        let artifacts = [ArtifactId::Fig4];
+        let err = assemble(&artifacts, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::PlanMismatch {
+                expected: 36,
+                got: 0
+            }
+        ));
     }
 }

@@ -6,7 +6,7 @@
 //! switch charged during one hypercall.
 
 use crate::paper;
-use hvx_core::{Hypervisor, KvmArm};
+use hvx_core::{HvKind, SimBuilder};
 use serde::Serialize;
 
 /// One row of the reproduced Table III.
@@ -47,7 +47,9 @@ const CLASS_LABELS: [(&str, &str, &str); 7] = [
 impl Table3 {
     /// Runs one traced hypercall on KVM ARM and decomposes it.
     pub fn measure() -> Table3 {
-        let mut kvm = KvmArm::new();
+        let mut kvm = SimBuilder::new(HvKind::KvmArm)
+            .build()
+            .expect("paper configuration is valid");
         kvm.machine_mut().trace_mut().clear();
         let total = kvm.hypercall(0);
         let trace = kvm.machine().trace();

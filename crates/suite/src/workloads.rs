@@ -13,7 +13,7 @@
 //! documented character (Table IV).
 
 use hvx_core::{HvType, Hypervisor, VirqPolicy};
-use hvx_engine::Cycles;
+use hvx_engine::{Cycles, TransitionId};
 use serde::{Deserialize, Serialize};
 
 /// Storage device class of the paper's testbeds (§III).
@@ -448,7 +448,13 @@ fn run_disk_io(hv: &mut dyn Hypervisor, requests: u32, sectors: u32, device: Dis
         if is_native {
             let m = hv.machine_mut();
             let core = m.topology().guest_core(vcpu);
-            m.charge(core, "disk:service", TraceKind::Io, service);
+            m.charge_as(
+                core,
+                "disk:service",
+                TraceKind::Io,
+                service,
+                TransitionId::DeviceService,
+            );
             hv.deliver_virq(vcpu); // completion IRQ
         } else {
             // Kick: one VM-to-hypervisor transition round trip.
@@ -458,22 +464,36 @@ fn run_disk_io(hv: &mut dyn Hypervisor, requests: u32, sectors: u32, device: Dis
             let submitted = m.now(m.topology().guest_core(vcpu));
             m.wait_until(io_core, submitted);
             if type1 {
-                m.charge(
+                m.charge_as(
                     io_core,
                     "xen:blkback",
                     TraceKind::Io,
                     c.xen_net_per_packet / 2,
+                    TransitionId::Netback,
                 );
-                m.charge(io_core, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
+                m.charge_as(
+                    io_core,
+                    "xen:grant-copy",
+                    TraceKind::Copy,
+                    c.xen_grant_copy,
+                    TransitionId::GrantCopy,
+                );
             } else {
-                m.charge(
+                m.charge_as(
                     io_core,
                     "kvm:vhost-blk",
                     TraceKind::Io,
                     c.kvm_vhost_per_packet / 2,
+                    TransitionId::VhostBackend,
                 );
             }
-            m.charge(io_core, "disk:service", TraceKind::Io, service);
+            m.charge_as(
+                io_core,
+                "disk:service",
+                TraceKind::Io,
+                service,
+                TransitionId::DeviceService,
+            );
             // The completion interrupt reaches the issuing VCPU, which
             // blocked on the request.
             let done = m.now(io_core);
@@ -549,55 +569,74 @@ fn run_request_server(
         // --- host/Dom0 per-request work (virtualized only) ---
         if !is_native {
             let m = hv.machine_mut();
-            m.charge(
+            m.charge_as(
                 io_core,
                 "host:request-rx",
                 TraceKind::Host,
                 scale(c.host_net_rx),
+                TransitionId::HostStack,
             );
             if type1 {
-                m.charge(
+                m.charge_as(
                     io_core,
                     "xen:netback-rx",
                     TraceKind::Io,
                     c.xen_net_per_packet,
+                    TransitionId::Netback,
                 );
-                m.charge(io_core, "xen:grant-copy", TraceKind::Copy, c.xen_grant_copy);
+                m.charge_as(
+                    io_core,
+                    "xen:grant-copy",
+                    TraceKind::Copy,
+                    c.xen_grant_copy,
+                    TransitionId::GrantCopy,
+                );
                 for _ in 0..response_chunks {
-                    m.charge(
+                    m.charge_as(
                         backend_core,
                         "xen:grant-copy",
                         TraceKind::Copy,
                         c.xen_grant_copy,
+                        TransitionId::GrantCopy,
                     );
                 }
-                m.charge(
+                m.charge_as(
                     backend_core,
                     "xen:netback-tx",
                     TraceKind::Io,
                     c.xen_net_per_packet,
+                    TransitionId::Netback,
                 );
             } else {
-                m.charge(
+                m.charge_as(
                     io_core,
                     "kvm:vhost-rx",
                     TraceKind::Io,
                     c.kvm_vhost_per_packet,
+                    TransitionId::VhostBackend,
                 );
-                m.charge(
+                m.charge_as(
                     backend_core,
                     "kvm:vhost-tx",
                     TraceKind::Io,
                     c.kvm_vhost_per_packet,
+                    TransitionId::VhostBackend,
                 );
             }
-            m.charge(
+            m.charge_as(
                 backend_core,
                 "host:request-tx",
                 TraceKind::Host,
                 scale(c.host_net_tx),
+                TransitionId::HostStack,
             );
-            m.charge(backend_core, "nic:dma", TraceKind::Io, c.nic_dma);
+            m.charge_as(
+                backend_core,
+                "nic:dma",
+                TraceKind::Io,
+                c.nic_dma,
+                TransitionId::NicDma,
+            );
         }
         // --- application + response build (syscall side) ---
         let app_vcpu = r as usize % vcpus;
@@ -611,7 +650,13 @@ fn run_request_server(
         if is_native {
             let m = hv.machine_mut();
             let core = m.topology().guest_core(app_vcpu);
-            m.charge(core, "nic:dma", TraceKind::Io, c.nic_dma);
+            m.charge_as(
+                core,
+                "nic:dma",
+                TraceKind::Io,
+                c.nic_dma,
+                TransitionId::NicDma,
+            );
         }
     }
 }

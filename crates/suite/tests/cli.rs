@@ -71,3 +71,79 @@ fn jobs_and_timing_leave_stdout_byte_identical() {
     let stderr = String::from_utf8(parallel.stderr).unwrap();
     assert!(stderr.contains("[timing]"), "stderr: {stderr}");
 }
+
+/// The `run` subcommand is the legacy bare interface under a name:
+/// identical stdout for the same artifact selection.
+#[test]
+fn run_subcommand_matches_legacy_invocation() {
+    let legacy = hvx_repro()
+        .args(["--jobs", "1", "table3"])
+        .output()
+        .expect("run hvx-repro");
+    let sub = hvx_repro()
+        .args(["run", "--jobs", "1", "table3"])
+        .output()
+        .expect("run hvx-repro");
+    assert!(legacy.status.success() && sub.status.success());
+    assert_eq!(legacy.stdout, sub.stdout);
+}
+
+/// `list-scenarios` names every artifact and the default profile set.
+#[test]
+fn list_scenarios_exits_zero_and_is_complete() {
+    let out = hvx_repro().arg("list-scenarios").output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in [
+        "table2",
+        "fig4",
+        "oversub",
+        "netperf-kvm-arm",
+        "netperf-xen-x86",
+    ] {
+        assert!(stdout.contains(name), "missing {name} in: {stdout}");
+    }
+}
+
+/// `profile` prints a conservation-checked breakdown for all four
+/// measured hypervisors, byte-identical across `--jobs 1` and
+/// `--jobs 8` (the ISSUE's acceptance criterion).
+#[test]
+fn profile_is_conserved_and_jobs_invariant() {
+    let serial = hvx_repro()
+        .args(["profile", "--jobs", "1"])
+        .output()
+        .expect("run hvx-repro");
+    let parallel = hvx_repro()
+        .args(["profile", "--jobs", "8"])
+        .output()
+        .expect("run hvx-repro");
+    assert!(serial.status.success() && parallel.status.success());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "profile stdout must not depend on --jobs"
+    );
+    let stdout = String::from_utf8(serial.stdout).unwrap();
+    for scenario in [
+        "netperf-kvm-arm",
+        "netperf-xen-arm",
+        "netperf-kvm-x86",
+        "netperf-xen-x86",
+    ] {
+        assert!(
+            stdout.contains(&format!("== Profile: {scenario}")),
+            "missing {scenario} in: {stdout}"
+        );
+    }
+    assert!(stdout.contains("conservation exact"));
+}
+
+/// Unknown profile scenarios are a usage error like unknown artifacts.
+#[test]
+fn unknown_profile_scenario_exits_two() {
+    let out = hvx_repro()
+        .args(["profile", "--scenario", "not-a-thing"])
+        .output()
+        .expect("run hvx-repro");
+    assert_eq!(out.status.code(), Some(2));
+}

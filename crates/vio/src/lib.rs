@@ -15,6 +15,18 @@
 //!
 //! Plus the hardware at the edges: [`Nic`] and the 10 GbE [`Wire`].
 //! All state is functional; costs are charged by `hvx-core`.
+//!
+//! ## Observability
+//!
+//! Every substrate keeps lifetime counters — [`VhostNet::tx_packets`],
+//! [`VhostNet::rx_packets`], [`EventChannels::notification_count`],
+//! [`Disk::read_count`]/[`Disk::write_count`], [`Nic::tx_count`]/
+//! [`Nic::rx_count`] — which the hypervisor models sample into the
+//! metrics registry after a profiled run (as `vio.vhost_tx_packets`,
+//! `vio.evtchn_notifications`, …), so `hvx-repro profile` reports the
+//! I/O traffic alongside the cycle breakdown. Failures are typed
+//! ([`VioError`], with `source()` chaining to the memory layer) and are
+//! wrapped by `hvx_core::Error::Vio` at the public API boundary.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -5,17 +5,18 @@
 //! Run with: `cargo run --release --example oversubscription`
 
 use hvx::core::sched::{oversubscription_point, CreditScheduler};
-use hvx::core::{Hypervisor, KvmArm, KvmX86, XenArm, XenX86};
 use hvx::engine::Cycles;
+use hvx::{HvKind, SimBuilder};
 
 fn main() {
     // The per-switch costs come from the models, not constants:
-    let costs: Vec<(&str, Cycles)> = vec![
-        ("KVM ARM", KvmArm::new().vm_switch()),
-        ("Xen ARM", XenArm::new().vm_switch()),
-        ("KVM x86", KvmX86::new().vm_switch()),
-        ("Xen x86", XenX86::new().vm_switch()),
-    ];
+    let costs: Vec<(String, Cycles)> = HvKind::MEASURED
+        .into_iter()
+        .map(|kind| {
+            let mut sim = SimBuilder::new(kind).build().unwrap();
+            (kind.to_string(), sim.vm_switch())
+        })
+        .collect();
     println!("Measured VM Switch costs (Table II row 5):");
     for (name, c) in &costs {
         println!("  {name:<8} {c} cycles");

@@ -3,12 +3,12 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use hvx::core::{Hypervisor, KvmArm, XenArm};
 use hvx::engine::timeline;
+use hvx::{HvKind, SimBuilder};
 
 fn main() {
-    let mut kvm = KvmArm::new();
-    let mut xen = XenArm::new();
+    let mut kvm = SimBuilder::new(HvKind::KvmArm).build().unwrap();
+    let mut xen = SimBuilder::new(HvKind::XenArm).build().unwrap();
 
     let k = kvm.hypercall(0);
     let x = xen.hypercall(0);
@@ -44,7 +44,7 @@ fn main() {
     // A cross-core path, rendered as a per-core timeline: the virtual
     // IPI of Table II, with the sender's world switch, the wire, and the
     // receiver's injection visible as lanes.
-    let mut kvm2 = KvmArm::new();
+    let mut kvm2 = SimBuilder::new(HvKind::KvmArm).build().unwrap();
     kvm2.virtual_ipi(0, 2);
     println!("\nVirtual IPI (VCPU0 -> VCPU2) on KVM ARM, per-core timeline:");
     print!(

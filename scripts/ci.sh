@@ -12,4 +12,7 @@ cargo build --release
 echo "== cargo test -q (workspace) =="
 cargo test -q --workspace
 
+echo "== cargo doc --no-deps (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "ci: all checks passed"

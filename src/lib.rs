@@ -22,16 +22,29 @@
 //!
 //! # Quickstart
 //!
-//! ```
-//! use hvx::core::{Hypervisor, KvmArm, XenArm};
+//! [`SimBuilder`] is the single documented entry point: name a
+//! configuration, set the knobs of the paper's experimental design, and
+//! run microbenchmarks or workloads on the returned [`Sim`]:
 //!
-//! let mut kvm = KvmArm::new();
-//! let mut xen = XenArm::new();
-//! // Table II's first row, mechanistically: 6,500 vs 376 cycles.
-//! let (k, x) = (kvm.hypercall(0), xen.hypercall(0));
-//! assert_eq!(k.as_u64(), 6_500);
-//! assert_eq!(x.as_u64(), 376);
 //! ```
+//! use hvx::{HvKind, SimBuilder, Workload};
+//! use hvx::engine::TraceMode;
+//!
+//! let mut kvm = SimBuilder::new(HvKind::KvmArm)
+//!     .cpus(4)
+//!     .workload(Workload::Netperf)
+//!     .tracing(TraceMode::Aggregate)
+//!     .build()?;
+//! let mut xen = SimBuilder::new(HvKind::XenArm).build()?;
+//! // Table II's first row, mechanistically: 6,500 vs 376 cycles.
+//! assert_eq!(kvm.hypercall(0).as_u64(), 6_500);
+//! assert_eq!(xen.hypercall(0).as_u64(), 376);
+//! # Ok::<(), hvx::Error>(())
+//! ```
+//!
+//! Enable `.profiling(true)` and every cycle the machine charges is
+//! attributed to the innermost open transition span; see
+//! [`engine::ProfileSnapshot`] and `hvx-repro profile`.
 
 #![warn(missing_docs)]
 
@@ -42,3 +55,5 @@ pub use hvx_gic as gic;
 pub use hvx_mem as mem;
 pub use hvx_suite as suite;
 pub use hvx_vio as vio;
+
+pub use hvx_core::{Error, HvKind, Sim, SimBuilder, Workload};

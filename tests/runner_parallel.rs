@@ -13,8 +13,8 @@ fn parallel_artifacts_are_byte_identical_to_serial() {
     // Fig4 alone contributes 36 independent cell scenarios.
     assert!(plan.len() >= 36 + artifacts.len() - 1);
 
-    let serial = runner::assemble(&artifacts, &runner::run_scenarios(&plan, 1));
-    let parallel = runner::assemble(&artifacts, &runner::run_scenarios(&plan, 4));
+    let serial = runner::assemble(&artifacts, &runner::run_scenarios(&plan, 1).unwrap()).unwrap();
+    let parallel = runner::assemble(&artifacts, &runner::run_scenarios(&plan, 4).unwrap()).unwrap();
 
     assert_eq!(serial.len(), parallel.len());
     for (s, p) in serial.iter().zip(&parallel) {
@@ -45,9 +45,11 @@ fn any_job_count_agrees() {
         ArtifactId::Storage,
     ];
     let plan = runner::plan(&artifacts);
-    let reference = runner::assemble(&artifacts, &runner::run_scenarios(&plan, 1));
+    let reference =
+        runner::assemble(&artifacts, &runner::run_scenarios(&plan, 1).unwrap()).unwrap();
     for jobs in [2, 3, 8, 16] {
-        let run = runner::assemble(&artifacts, &runner::run_scenarios(&plan, jobs));
+        let run =
+            runner::assemble(&artifacts, &runner::run_scenarios(&plan, jobs).unwrap()).unwrap();
         for (a, b) in reference.iter().zip(&run) {
             assert_eq!(
                 a.json,
@@ -64,7 +66,7 @@ fn any_job_count_agrees() {
 /// fresh full-trace measurement.
 #[test]
 fn runner_table2_matches_full_trace_measurement() {
-    let reports = runner::run_artifacts(&[ArtifactId::Table2], 1);
+    let reports = runner::run_artifacts(&[ArtifactId::Table2], 1).unwrap();
     let fresh = hvx::suite::micro::Table2::measure(runner::TABLE2_ITERS);
     let direct = serde_json::to_string_pretty(&fresh).unwrap();
     assert_eq!(reports[0].json, direct);
