@@ -83,6 +83,39 @@ pub enum Error {
     Vio(VioError),
     /// An OS-level I/O operation (writing a report file) failed.
     Io(std::io::Error),
+    /// A scenario failed inside the hardened runner (isolated by
+    /// `catch_unwind`; other scenarios in the same run completed).
+    Scenario {
+        /// The failing scenario's display name.
+        scenario: String,
+        /// How it failed.
+        kind: ScenarioFailureKind,
+        /// Human-readable failure detail (panic message, budget
+        /// numbers, livelock streak).
+        detail: String,
+    },
+}
+
+/// How an isolated scenario failed (see [`Error::Scenario`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioFailureKind {
+    /// The scenario panicked (a model invariant or `expect` tripped).
+    Panicked,
+    /// The scenario exceeded its simulated-cycle budget or wall-clock
+    /// timeout.
+    TimedOut,
+    /// The scenario's watchdog detected zero simulated progress.
+    Livelocked,
+}
+
+impl fmt::Display for ScenarioFailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScenarioFailureKind::Panicked => "panicked",
+            ScenarioFailureKind::TimedOut => "timed out",
+            ScenarioFailureKind::Livelocked => "livelocked",
+        })
+    }
 }
 
 impl fmt::Display for Error {
@@ -114,6 +147,11 @@ impl fmt::Display for Error {
             }
             Error::Vio(e) => write!(f, "paravirtual I/O failed: {e}"),
             Error::Io(e) => write!(f, "I/O failed: {e}"),
+            Error::Scenario {
+                scenario,
+                kind,
+                detail,
+            } => write!(f, "scenario '{scenario}' {kind}: {detail}"),
         }
     }
 }

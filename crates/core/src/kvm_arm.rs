@@ -31,7 +31,7 @@
 use crate::context::{ArmGuestContext, ArmHostContext};
 use crate::{CostModel, HvKind, Hypervisor, VirqPolicy};
 use hvx_arch::{ArchVersion, ArmCpu, ExceptionLevel, HcrEl2, Syndrome, TrapCause};
-use hvx_engine::{CoreId, Cycles, Machine, Topology, TraceKind, TransitionId};
+use hvx_engine::{CoreId, Cycles, FaultPoint, Machine, Topology, TraceKind, TransitionId};
 use hvx_gic::{dist_reg, Distributor, IntId, VgicCpuInterface};
 use hvx_mem::{Ipa, Pa, PhysMemory, S2Perms, Stage2Tables, PAGE_SIZE};
 use hvx_vio::{Descriptor, Nic, VhostNet, Virtqueue};
@@ -672,6 +672,14 @@ impl Hypervisor for KvmArm {
         self.machine.bump("vio.vhost_rx_packets", rx);
         self.machine.bump("gic.virq_injected", injected);
         self.machine.bump("gic.virq_completed", completed);
+        // Fault-recovery counters register only when faults actually
+        // fired, keeping the fault-free profile output unchanged.
+        let stalls = self.nic.stall_count();
+        if stalls > 0 {
+            self.machine.bump("vio.nic_stalls", stalls);
+            self.machine
+                .bump("vio.nic_rekicks", self.nic.rekick_count());
+        }
     }
 
     fn hypercall(&mut self, vcpu: usize) -> Cycles {
@@ -955,6 +963,25 @@ impl Hypervisor for KvmArm {
         self.switch_in(core, vcpu, true);
         // vhost drains the ring with direct guest-memory access.
         self.machine.wait_until(backend, arrival);
+        if self.machine.fault(FaultPoint::VhostDelay) {
+            // Fault: the vhost worker is preempted before servicing the
+            // kick. The virtio driver's TX watchdog fires and re-kicks
+            // the queue — a second doorbell charged as recovery.
+            self.machine.charge_as(
+                backend,
+                "kvm:vhost-delay",
+                TraceKind::Sched,
+                c.kvm_sched * 2,
+                TransitionId::Sched,
+            );
+            self.machine.charge_as(
+                core,
+                "virtio:tx-rekick",
+                TraceKind::Io,
+                c.kvm_ioeventfd + c.kvm_mmio_decode,
+                TransitionId::VirtioRekick,
+            );
+        }
         self.machine.charge_as(
             backend,
             "kvm:vhost-wake",
@@ -982,6 +1009,18 @@ impl Hypervisor for KvmArm {
             c.host_net_tx,
             TransitionId::HostStack,
         );
+        if self.machine.fault(FaultPoint::NicStall) {
+            self.nic.record_stall_and_rekick();
+            // Fault: the NIC misses the tail-pointer update and stalls
+            // before DMA. The driver times out and re-kicks the ring.
+            self.machine.charge_as(
+                backend,
+                "nic:stall-rekick",
+                TraceKind::Io,
+                c.nic_dma * 4 + c.kvm_ioeventfd,
+                TransitionId::VirtioRekick,
+            );
+        }
         self.machine.charge_as(
             backend,
             "nic:dma",
@@ -1053,9 +1092,33 @@ impl Hypervisor for KvmArm {
                 device_writes: true,
             }]);
         }
+        if self.machine.fault(FaultPoint::VirqDrop) {
+            // Fault: the virtio interrupt is lost before the guest sees
+            // it. vhost's resample path notices the unhandled ring and
+            // re-signals the irqfd — recovery charged before the real
+            // injection below.
+            self.machine.charge_as(
+                io,
+                "kvm:irqfd-resignal",
+                TraceKind::Io,
+                c.kvm_ioeventfd + c.kvm_vgic_inject,
+                TransitionId::VirtioRekick,
+            );
+        }
         // Inject the virtio interrupt into the running VCPU.
         self.inject_virq_running(io, vcpu, VIRTIO_NET_VIRQ);
         let core = self.machine.topology().guest_core(vcpu);
+        if self.machine.fault(FaultPoint::VirqSpurious) {
+            // Fault: a spurious virtio interrupt — the guest traps to
+            // its handler, finds no work, acks and EOIs for nothing.
+            self.machine.charge_as(
+                core,
+                "guest:spurious-virq",
+                TraceKind::Guest,
+                c.gic_vif_access * 2,
+                TransitionId::GicAccess,
+            );
+        }
         self.machine.charge_as(
             core,
             "guest:net-stack-rx",

@@ -61,7 +61,7 @@ mod xen_arm;
 
 pub use context::{ArmGuestContext, ArmHostContext};
 pub use cost::{ClassCosts, CostModel};
-pub use error::Error;
+pub use error::{Error, ScenarioFailureKind};
 pub use hypervisor::{Hypervisor, HypervisorExt};
 pub use kind::{HvKind, HvType, Platform, VirqPolicy};
 pub use kvm_arm::{

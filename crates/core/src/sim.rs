@@ -13,7 +13,7 @@ use crate::{
     CostModel, Error, HvKind, Hypervisor, KvmArm, KvmX86, Native, VirqPolicy, XenArm, XenX86,
 };
 use core::fmt;
-use hvx_engine::TraceMode;
+use hvx_engine::{FaultPlan, TraceMode};
 
 /// The number of VCPUs of the paper's measured VM configuration (§III:
 /// "we configured both hypervisors with 4-way SMP virtual machines").
@@ -148,6 +148,7 @@ pub struct SimBuilder {
     profiling: bool,
     policy: VirqPolicy,
     cost: Option<CostModel>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl SimBuilder {
@@ -163,6 +164,7 @@ impl SimBuilder {
             profiling: false,
             policy: VirqPolicy::Vcpu0,
             cost: None,
+            fault_plan: None,
         }
     }
 
@@ -219,6 +221,16 @@ impl SimBuilder {
         self
     }
 
+    /// Installs a deterministic fault plan
+    /// ([`hvx_engine::fault`]) on the built machine. An empty plan is
+    /// equivalent to not calling this: the machine keeps no fault
+    /// state and the simulation is byte-identical to the fault-free
+    /// default.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> SimBuilder {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Validates the configuration and constructs the simulation.
     ///
     /// # Errors
@@ -248,6 +260,9 @@ impl SimBuilder {
         machine.trace_mut().set_enabled(self.trace_enabled);
         if self.profiling {
             machine.enable_profiling();
+        }
+        if let Some(plan) = self.fault_plan {
+            machine.set_fault_plan(plan);
         }
         hv.set_virq_policy(self.policy);
         Ok(Sim {
@@ -367,6 +382,22 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(kvm_p.hypercall(0).as_u64(), 6_500);
+    }
+
+    #[test]
+    fn fault_plan_knob_reaches_the_machine() {
+        use hvx_engine::{FaultPlan, FaultPoint};
+        let sim = SimBuilder::new(HvKind::KvmArm)
+            .fault_plan(FaultPlan::new(7).with_rate(FaultPoint::WireDrop, 0.5))
+            .build()
+            .unwrap();
+        assert!(sim.machine().faults_enabled());
+        // Empty plan == no plan: the machine stays fault-free.
+        let sim = SimBuilder::new(HvKind::KvmArm)
+            .fault_plan(FaultPlan::new(7))
+            .build()
+            .unwrap();
+        assert!(!sim.machine().faults_enabled());
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! constants. The VMX mechanics ([`hvx_arch::X86Cpu`], [`hvx_arch::Vmcs`])
 //! and the interrupt controller ([`hvx_gic::Lapic`]) are real state.
 
+use crate::xen_arm::grant_copy_with_retry;
 use crate::{CostModel, HvKind, Hypervisor, VirqPolicy};
 use hvx_arch::{ExitReason, Vmcs, X86Cpu, X86State};
-use hvx_engine::{CoreId, Cycles, Machine, Topology, TraceKind, TransitionId};
+use hvx_engine::{CoreId, Cycles, FaultPoint, Machine, Topology, TraceKind, TransitionId};
 use hvx_gic::Lapic;
 use hvx_vio::Nic;
 
@@ -661,6 +662,24 @@ impl Hypervisor for X86Hv {
             let arrival = self.machine.signal(core, backend, c.x86_doorbell_wire);
             self.enter(core, vcpu);
             self.machine.wait_until(backend, arrival);
+            if self.machine.fault(FaultPoint::VhostDelay) {
+                // Fault: vhost worker preempted before the kick is
+                // serviced; the driver's TX watchdog re-kicks.
+                self.machine.charge_as(
+                    backend,
+                    "kvm:vhost-delay",
+                    TraceKind::Sched,
+                    c.kvm_x86_sched * 2,
+                    TransitionId::Sched,
+                );
+                self.machine.charge_as(
+                    core,
+                    "virtio:tx-rekick",
+                    TraceKind::Io,
+                    c.kvm_x86_ioeventfd + c.kvm_x86_mmio_decode,
+                    TransitionId::VirtioRekick,
+                );
+            }
             self.machine.charge_as(
                 backend,
                 "kvm:vhost-wake",
@@ -700,13 +719,7 @@ impl Hypervisor for X86Hv {
                 c.xen_net_per_packet,
                 TransitionId::Netback,
             );
-            self.machine.charge_as(
-                backend,
-                "xen:grant-copy",
-                TraceKind::Copy,
-                c.xen_grant_copy,
-                TransitionId::GrantCopy,
-            );
+            grant_copy_with_retry(&mut self.machine, backend, c.xen_grant_copy);
         }
         self.machine.charge_as(
             backend,
@@ -715,6 +728,18 @@ impl Hypervisor for X86Hv {
             c.host_net_tx,
             TransitionId::HostStack,
         );
+        if self.machine.fault(FaultPoint::NicStall) {
+            self.nic.record_stall_and_rekick();
+            // Fault: NIC stall before DMA; the driver times out and
+            // re-kicks the ring.
+            self.machine.charge_as(
+                backend,
+                "nic:stall-rekick",
+                TraceKind::Io,
+                c.nic_dma * 4,
+                TransitionId::VirtioRekick,
+            );
+        }
         self.machine.charge_as(
             backend,
             "nic:dma",
@@ -776,13 +801,7 @@ impl Hypervisor for X86Hv {
                 c.xen_net_per_packet,
                 TransitionId::Netback,
             );
-            self.machine.charge_as(
-                io,
-                "xen:grant-copy",
-                TraceKind::Copy,
-                c.xen_grant_copy,
-                TransitionId::GrantCopy,
-            );
+            grant_copy_with_retry(&mut self.machine, io, c.xen_grant_copy);
             self.machine.charge_as(
                 io,
                 "xen:evtchn-send",
@@ -791,9 +810,42 @@ impl Hypervisor for X86Hv {
                 TransitionId::EventChannelSignal,
             );
         }
+        if self.machine.fault(FaultPoint::VirqDrop) {
+            // Fault: the interrupt is lost before the guest observes
+            // it; the backend notices the unhandled ring and re-raises
+            // the notification. KVM re-signals the irqfd, Xen re-sends
+            // the event channel — each charged as its own recovery.
+            if self.is_kvm() {
+                self.machine.charge_as(
+                    io,
+                    "kvm:irqfd-resignal",
+                    TraceKind::Io,
+                    c.kvm_x86_ioeventfd + c.x86_inject,
+                    TransitionId::VirtioRekick,
+                );
+            } else {
+                self.machine.charge_as(
+                    io,
+                    "xen:evtchn-redeliver",
+                    TraceKind::Emulation,
+                    c.xen_evtchn_send + c.xen_x86_inject,
+                    TransitionId::EvtchnRedeliver,
+                );
+            }
+        }
         self.inject_running(io, vcpu, VIRTIO_VECTOR, c.x86_doorbell_wire);
         self.guest_eoi(vcpu);
         let core = self.machine.topology().guest_core(vcpu);
+        if self.machine.fault(FaultPoint::VirqSpurious) {
+            // Fault: a spurious interrupt — ack, find nothing, EOI.
+            self.machine.charge_as(
+                core,
+                "guest:spurious-virq",
+                TraceKind::Guest,
+                c.x86_inject / 2,
+                TransitionId::VirqInject,
+            );
+        }
         let driver_extra = if self.is_kvm() {
             c.kvm_guest_virtio / 2
         } else {

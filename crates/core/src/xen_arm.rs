@@ -21,7 +21,7 @@
 use crate::context::ArmGuestContext;
 use crate::{CostModel, HvKind, Hypervisor, VirqPolicy};
 use hvx_arch::{ArchVersion, ArmCpu, ExceptionLevel, Syndrome, TrapCause};
-use hvx_engine::{CoreId, Cycles, Machine, Topology, TraceKind, TransitionId};
+use hvx_engine::{CoreId, Cycles, FaultPoint, Machine, Topology, TraceKind, TransitionId};
 use hvx_gic::{dist_reg, Distributor, IntId, VgicCpuInterface};
 use hvx_mem::{DomId, GrantTable, Ipa, Pa, PhysMemory, S2Perms, Stage2Tables, PAGE_SIZE};
 use hvx_vio::{EventChannels, NetBack, NetFront, Nic, Port, XenNetRing};
@@ -398,6 +398,25 @@ impl XenArm {
     /// reads the VGIC state back to merge the new interrupt), return,
     /// guest acknowledge. Returns the instant after the guest ack.
     fn inject_virq_running(&mut self, from: CoreId, vcpu: usize, virq: IntId) -> Cycles {
+        if self.machine.fault(FaultPoint::VirqDrop) {
+            // Fault: the upcall is lost before DomU observes it. Xen's
+            // event-channel pending bit survives, so the next scan
+            // re-notifies — charged as recovery before the injection
+            // that actually lands.
+            let c = self.cost;
+            self.machine.charge_as(
+                from,
+                "xen:evtchn-redeliver",
+                TraceKind::Emulation,
+                c.xen_evtchn_send + c.xen_event_upcall,
+                TransitionId::EvtchnRedeliver,
+            );
+        }
+        self.inject_virq_running_reliable(from, vcpu, virq)
+    }
+
+    /// The always-delivered tail of [`Self::inject_virq_running`].
+    fn inject_virq_running_reliable(&mut self, from: CoreId, vcpu: usize, virq: IntId) -> Cycles {
         let c = self.cost;
         let core = self.machine.topology().guest_core(vcpu);
         self.phys_gic
@@ -577,6 +596,14 @@ impl Hypervisor for XenArm {
         self.machine.bump("vio.grant_copies", copies);
         self.machine.bump("gic.virq_injected", injected);
         self.machine.bump("gic.virq_completed", completed);
+        // Fault-recovery counters register only when faults actually
+        // fired, keeping the fault-free profile output unchanged.
+        let stalls = self.nic.stall_count();
+        if stalls > 0 {
+            self.machine.bump("vio.nic_stalls", stalls);
+            self.machine
+                .bump("vio.nic_rekicks", self.nic.rekick_count());
+        }
     }
 
     fn hypercall(&mut self, vcpu: usize) -> Cycles {
@@ -879,13 +906,7 @@ impl Hypervisor for XenArm {
             c.xen_net_per_packet,
             TransitionId::Netback,
         );
-        self.machine.charge_as(
-            backend_core,
-            "xen:grant-copy",
-            TraceKind::Copy,
-            c.xen_grant_copy,
-            TransitionId::GrantCopy,
-        );
+        grant_copy_with_retry(&mut self.machine, backend_core, c.xen_grant_copy);
         let pkts = self
             .back
             .process_tx(&mut self.ring, &mut self.grants, &mut self.mem)
@@ -898,6 +919,19 @@ impl Hypervisor for XenArm {
             c.host_net_tx,
             TransitionId::HostStack,
         );
+        if self.machine.fault(FaultPoint::NicStall) {
+            self.nic.record_stall_and_rekick();
+            // Fault: NIC stall before DMA — Dom0's driver times out and
+            // re-kicks the ring (same recovery shape as KVM's, minus
+            // the ioeventfd; the doorbell is a plain MMIO write).
+            self.machine.charge_as(
+                backend_core,
+                "nic:stall-rekick",
+                TraceKind::Io,
+                c.nic_dma * 4,
+                TransitionId::VirtioRekick,
+            );
+        }
         self.machine.charge_as(
             backend_core,
             "nic:dma",
@@ -964,13 +998,7 @@ impl Hypervisor for XenArm {
             c.xen_net_per_packet,
             TransitionId::Netback,
         );
-        self.machine.charge_as(
-            io,
-            "xen:grant-copy",
-            TraceKind::Copy,
-            c.xen_grant_copy,
-            TransitionId::GrantCopy,
-        );
+        grant_copy_with_retry(&mut self.machine, io, c.xen_grant_copy);
         let pkt = self.nic.take_rx().expect("packet queued");
         self.back
             .deliver_rx(&mut self.ring, &mut self.grants, &mut self.mem, &pkt)
@@ -1012,6 +1040,17 @@ impl Hypervisor for XenArm {
             .expect("response ring valid");
         debug_assert_eq!(got.len(), 1);
         debug_assert_eq!(got[0].len(), len);
+        if self.machine.fault(FaultPoint::VirqSpurious) {
+            // Fault: a spurious event upcall — DomU scans the pending
+            // bitmap, finds nothing, and returns.
+            self.machine.charge_as(
+                core,
+                "guest:spurious-upcall",
+                TraceKind::Guest,
+                c.xen_event_upcall,
+                TransitionId::EventUpcall,
+            );
+        }
         self.machine.charge_as(
             core,
             "guest:net-stack-rx",
@@ -1250,6 +1289,35 @@ impl XenArm {
             self.cpus[idx].start_at(ExceptionLevel::El1);
         }
         self.running[idx] = to;
+    }
+}
+
+/// Charges one grant copy, then consults the [`FaultPoint::GrantCopyFail`]
+/// plan: each transient failure charges a retry — backoff plus a fresh
+/// copy — with the backoff doubling, bounded at three retries (netback's
+/// real recovery shape). With no fault plan installed this is exactly
+/// one charge and one branch.
+pub(crate) fn grant_copy_with_retry(machine: &mut Machine, core: CoreId, copy: Cycles) {
+    machine.charge_as(
+        core,
+        "xen:grant-copy",
+        TraceKind::Copy,
+        copy,
+        TransitionId::GrantCopy,
+    );
+    let mut backoff = copy / 2;
+    for _ in 0..3 {
+        if !machine.fault(FaultPoint::GrantCopyFail) {
+            break;
+        }
+        machine.charge_as(
+            core,
+            "xen:grant-retry",
+            TraceKind::Copy,
+            backoff + copy,
+            TransitionId::GrantRetry,
+        );
+        backoff = backoff * 2;
     }
 }
 

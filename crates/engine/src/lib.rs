@@ -14,6 +14,9 @@
 //! * [`TraceLog`] — the per-step decomposition that regenerates the paper's
 //!   breakdown tables and lets tests assert exact transition sequences;
 //! * [`EventQueue`] — a deterministic calendar for workload simulations;
+//! * [`FaultPlan`] / [`Watchdog`] — seeded deterministic fault
+//!   injection plus in-simulation cycle-budget and livelock watchdogs
+//!   (the [`fault`] module);
 //! * [`Samples`] / [`Summary`] — iteration statistics;
 //! * re-exported [`TransitionId`] spans and [`MetricsRegistry`] metrics
 //!   (from `hvx-obs`) — opt-in cycle attribution behind
@@ -42,6 +45,7 @@
 
 mod cycles;
 mod event;
+pub mod fault;
 mod machine;
 mod stats;
 pub mod timeline;
@@ -50,6 +54,7 @@ mod trace;
 
 pub use cycles::{Cycles, Frequency};
 pub use event::EventQueue;
+pub use fault::{FaultPlan, FaultPoint, Watchdog};
 // Observability primitives, re-exported so instrumented layers (core,
 // gic, vio, suite) need only an `hvx-engine` dependency.
 pub use hvx_obs::{

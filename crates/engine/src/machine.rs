@@ -10,6 +10,9 @@
 //! the signal simply finds it later, which is precisely how queueing delay
 //! emerges in the application-level simulations.
 
+use crate::fault::{
+    self, CycleBudgetExceeded, FaultPlan, FaultPoint, FaultState, Livelocked, Watchdog,
+};
 use crate::{CoreId, Cycles, Topology, TraceEvent, TraceKind, TraceLog};
 use hvx_obs::{MetricsRegistry, SpanTracer, TransitionId};
 
@@ -52,20 +55,46 @@ pub struct Machine {
     /// `Some` once profiling is enabled; `None` keeps the charge hot
     /// path identical to the pre-observability engine.
     profiler: Option<Box<Profiler>>,
+    /// `Some` once a non-empty [`FaultPlan`] is installed; `None`
+    /// keeps every fault consult a single branch.
+    faults: Option<Box<FaultState>>,
+    /// Cycle-budget ceiling enforced in [`Machine::charge`]
+    /// (`u64::MAX` = unlimited, so the hot-path check is one compare).
+    cycle_budget: u64,
+    /// Livelock threshold (`u64::MAX` = unlimited).
+    livelock_limit: u64,
+    /// Running total of charged cycles (watchdog bookkeeping).
+    total_charged: u64,
+    /// Consecutive zero-cost charges (watchdog bookkeeping).
+    zero_streak: u64,
 }
 
 impl Machine {
-    /// Creates a machine with all core clocks at zero and tracing enabled.
+    /// Creates a machine with all core clocks at zero and tracing
+    /// enabled. Picks up the thread's ambient fault configuration (see
+    /// [`fault::install_ambient`]); with none installed — the default —
+    /// the machine carries no fault state and no watchdog.
     pub fn new(topology: Topology) -> Self {
         let clocks = vec![Cycles::ZERO; topology.num_cores()];
         let busy = clocks.clone();
-        Machine {
+        let (plan, watchdog) = fault::ambient();
+        let mut m = Machine {
             topology,
             clocks,
             busy,
             trace: TraceLog::new(),
             profiler: None,
+            faults: None,
+            cycle_budget: u64::MAX,
+            livelock_limit: u64::MAX,
+            total_charged: 0,
+            zero_streak: 0,
+        };
+        if let Some(plan) = plan {
+            m.set_fault_plan(plan);
         }
+        m.set_watchdog(watchdog);
+        m
     }
 
     /// Creates a machine with tracing disabled (bulk workload runs).
@@ -133,7 +162,31 @@ impl Machine {
         let end = start + cost;
         self.clocks[core.index()] = end;
         self.busy[core.index()] += cost;
+        self.watchdog_tick(cost);
         end
+    }
+
+    /// Watchdog bookkeeping for one charge; trips raise typed panic
+    /// payloads a harness can downcast after `catch_unwind`.
+    #[inline]
+    fn watchdog_tick(&mut self, cost: Cycles) {
+        self.total_charged = self.total_charged.saturating_add(cost.as_u64());
+        if self.total_charged > self.cycle_budget {
+            std::panic::panic_any(CycleBudgetExceeded {
+                budget: self.cycle_budget,
+                reached: self.total_charged,
+            });
+        }
+        if cost.is_zero() {
+            self.zero_streak += 1;
+            if self.zero_streak > self.livelock_limit {
+                std::panic::panic_any(Livelocked {
+                    streak: self.zero_streak,
+                });
+            }
+        } else {
+            self.zero_streak = 0;
+        }
     }
 
     /// Spends `cost` cycles attributed to transition `id`: shorthand
@@ -223,6 +276,66 @@ impl Machine {
     #[inline]
     pub fn trace_mut(&mut self) -> &mut TraceLog {
         &mut self.trace
+    }
+
+    // --- fault injection & watchdog ------------------------------------
+
+    /// Installs `plan` as this machine's fault plan, resetting all
+    /// occurrence counters. An empty plan clears fault state entirely,
+    /// restoring the zero-cost default.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(Box::new(FaultState::new(plan)))
+        };
+    }
+
+    /// Applies watchdog limits (enforced from the next charge on).
+    pub fn set_watchdog(&mut self, watchdog: Watchdog) {
+        self.cycle_budget = watchdog.cycle_budget.unwrap_or(u64::MAX);
+        self.livelock_limit = watchdog.livelock_threshold.unwrap_or(u64::MAX);
+    }
+
+    /// Whether a non-empty fault plan is installed.
+    #[inline]
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Consults the fault plan at `point`. Returns `false` (one
+    /// branch, no other work) when no plan is installed; otherwise
+    /// advances the point's occurrence counter, bumps the
+    /// `fault.<point>` metric on injection, and returns the decision.
+    #[inline]
+    pub fn fault(&mut self, point: FaultPoint) -> bool {
+        let Some(f) = &mut self.faults else {
+            return false;
+        };
+        let hit = f.should_fault(point);
+        if hit {
+            if let Some(p) = &mut self.profiler {
+                p.metrics.bump(point.metric(), 1);
+            }
+        }
+        hit
+    }
+
+    /// Faults injected at `point` so far (0 with no plan installed).
+    pub fn faults_injected(&self, point: FaultPoint) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.injected(point))
+    }
+
+    /// Total faults injected across all points.
+    pub fn total_faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.total_injected())
+    }
+
+    /// Total cycles charged since construction (watchdog's measure —
+    /// equals [`Machine::total_busy`]).
+    #[inline]
+    pub fn total_charged(&self) -> u64 {
+        self.total_charged
     }
 
     // --- observability -------------------------------------------------
@@ -484,6 +597,111 @@ mod tests {
         );
         assert_eq!(m.total_busy(), Cycles::new(400));
         assert_eq!(m.assert_conservation(), Cycles::new(400));
+    }
+
+    #[test]
+    fn fault_consult_without_plan_is_false_and_free() {
+        let mut m = two_core_machine();
+        assert!(!m.faults_enabled());
+        for p in FaultPoint::ALL {
+            assert!(!m.fault(p));
+            assert_eq!(m.faults_injected(p), 0);
+        }
+    }
+
+    #[test]
+    fn fault_plan_decisions_bump_metrics_when_profiling() {
+        use crate::FaultPlan;
+        let mut m = two_core_machine();
+        m.enable_profiling();
+        m.set_fault_plan(FaultPlan::new(1).with_rate(FaultPoint::VirqDrop, 1.0));
+        assert!(m.faults_enabled());
+        assert!(m.fault(FaultPoint::VirqDrop));
+        assert!(!m.fault(FaultPoint::NicStall));
+        assert_eq!(m.faults_injected(FaultPoint::VirqDrop), 1);
+        assert_eq!(m.total_faults_injected(), 1);
+        assert_eq!(m.metrics().unwrap().counter("fault.virq_drop"), 1);
+    }
+
+    #[test]
+    fn empty_fault_plan_clears_state() {
+        use crate::FaultPlan;
+        let mut m = two_core_machine();
+        m.set_fault_plan(FaultPlan::new(1).with_rate(FaultPoint::WireDrop, 1.0));
+        assert!(m.faults_enabled());
+        m.set_fault_plan(FaultPlan::new(1));
+        assert!(!m.faults_enabled());
+    }
+
+    #[test]
+    fn cycle_budget_watchdog_trips_with_typed_payload() {
+        use crate::fault::CycleBudgetExceeded;
+        use crate::Watchdog;
+        let payload = std::panic::catch_unwind(|| {
+            let mut m = two_core_machine();
+            m.set_watchdog(Watchdog {
+                cycle_budget: Some(1_000),
+                livelock_threshold: None,
+            });
+            for _ in 0..100 {
+                m.charge(CoreId::new(0), "w", TraceKind::Guest, Cycles::new(100));
+            }
+        })
+        .expect_err("budget must trip");
+        let trip = payload
+            .downcast_ref::<CycleBudgetExceeded>()
+            .expect("typed payload");
+        assert_eq!(trip.budget, 1_000);
+        assert!(trip.reached > 1_000);
+    }
+
+    #[test]
+    fn livelock_watchdog_trips_on_zero_progress() {
+        use crate::fault::Livelocked;
+        use crate::Watchdog;
+        let payload = std::panic::catch_unwind(|| {
+            let mut m = two_core_machine();
+            m.set_watchdog(Watchdog {
+                cycle_budget: None,
+                livelock_threshold: Some(10),
+            });
+            loop {
+                m.charge(CoreId::new(0), "spin", TraceKind::Other, Cycles::ZERO);
+            }
+        })
+        .expect_err("livelock must trip");
+        assert!(payload.downcast_ref::<Livelocked>().is_some());
+    }
+
+    #[test]
+    fn nonzero_charges_reset_livelock_streak() {
+        use crate::Watchdog;
+        let mut m = two_core_machine();
+        m.set_watchdog(Watchdog {
+            cycle_budget: None,
+            livelock_threshold: Some(5),
+        });
+        for _ in 0..10 {
+            for _ in 0..5 {
+                m.charge(CoreId::new(0), "z", TraceKind::Other, Cycles::ZERO);
+            }
+            m.charge(CoreId::new(0), "w", TraceKind::Guest, Cycles::new(1));
+        }
+        assert_eq!(m.total_charged(), 10);
+    }
+
+    #[test]
+    fn machine_new_picks_up_ambient_plan() {
+        use crate::fault::install_ambient;
+        use crate::{FaultPlan, Watchdog};
+        let plan = FaultPlan::new(12).with_rate(FaultPoint::WireDrop, 1.0);
+        let _g = install_ambient(Some(plan), Watchdog::UNLIMITED);
+        let mut m = two_core_machine();
+        assert!(m.faults_enabled());
+        assert!(m.fault(FaultPoint::WireDrop));
+        drop(_g);
+        let m2 = two_core_machine();
+        assert!(!m2.faults_enabled());
     }
 
     #[test]

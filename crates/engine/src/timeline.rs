@@ -71,11 +71,15 @@ pub fn render(trace: &TraceLog, opts: TimelineOptions) -> String {
         .iter()
         .filter(|e| e.duration >= opts.min_duration)
         .collect();
-    if events.is_empty() {
+    // No unwrap/expect on the bounds: a trace that filters down to
+    // nothing (or is empty outright) renders as an explicit marker
+    // instead of panicking.
+    let (Some(t0), Some(t1)) = (
+        events.iter().map(|e| e.start).min(),
+        events.iter().map(|e| e.end()).max(),
+    ) else {
         return "(empty trace)\n".to_string();
-    }
-    let t0 = events.iter().map(|e| e.start).min().expect("non-empty");
-    let t1 = events.iter().map(|e| e.end()).max().expect("non-empty");
+    };
     let span = (t1 - t0).as_u64().max(1);
     let width = opts.width.max(8);
 
@@ -147,6 +151,22 @@ mod tests {
     fn empty_trace_is_explicit() {
         let log = TraceLog::new();
         assert_eq!(render(&log, TimelineOptions::default()), "(empty trace)\n");
+    }
+
+    /// Regression: a non-empty trace whose every event is filtered out
+    /// by `min_duration` must render the empty marker, not panic on a
+    /// missing minimum (the old `expect("non-empty")` path).
+    #[test]
+    fn fully_filtered_trace_renders_empty_marker() {
+        let m = sample_machine();
+        let art = render(
+            m.trace(),
+            TimelineOptions {
+                width: 40,
+                min_duration: Cycles::MAX,
+            },
+        );
+        assert_eq!(art, "(empty trace)\n");
     }
 
     #[test]

@@ -77,11 +77,25 @@ pub enum TransitionId {
     NicDma,
     /// Device service time (disk, emulated I/O port).
     DeviceService,
+    // Recovery transitions (fault injection). New ids append here so
+    // earlier indices — and every pinned profile artifact — are stable.
+    /// Virtio driver re-kicking a queue after a lost doorbell or a TX
+    /// completion timeout.
+    VirtioRekick,
+    /// Re-sending a Xen event-channel notification after a dropped
+    /// upcall.
+    EvtchnRedeliver,
+    /// Retrying a transiently-failed grant copy (bounded exponential
+    /// backoff in netfront/netback).
+    GrantRetry,
+    /// Guest TCP retransmit-timer processing (timeout detection plus
+    /// the retransmitted segment's stack work).
+    TcpRetransmit,
 }
 
 impl TransitionId {
     /// Every transition, in breakdown-table row order.
-    pub const ALL: [TransitionId; 26] = [
+    pub const ALL: [TransitionId; 30] = [
         TransitionId::GuestRun,
         TransitionId::GuestStack,
         TransitionId::TrapToEl2,
@@ -108,6 +122,10 @@ impl TransitionId {
         TransitionId::Sched,
         TransitionId::NicDma,
         TransitionId::DeviceService,
+        TransitionId::VirtioRekick,
+        TransitionId::EvtchnRedeliver,
+        TransitionId::GrantRetry,
+        TransitionId::TcpRetransmit,
     ];
 
     /// Number of transition classes.
@@ -142,6 +160,10 @@ impl TransitionId {
             TransitionId::Sched => "sched",
             TransitionId::NicDma => "nic_dma",
             TransitionId::DeviceService => "device_service",
+            TransitionId::VirtioRekick => "virtio_rekick",
+            TransitionId::EvtchnRedeliver => "evtchn_redeliver",
+            TransitionId::GrantRetry => "grant_retry",
+            TransitionId::TcpRetransmit => "tcp_retransmit",
         }
     }
 

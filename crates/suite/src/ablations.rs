@@ -11,9 +11,10 @@
 //!   shootdowns beat the copy), and the open ARM question (hardware
 //!   broadcast TLBI could make mapping cheap).
 
+use crate::netperf::{self, RrFaultStats};
 use crate::workloads::{self, DiskDevice, Mix};
-use hvx_core::{HvKind, Hypervisor, KvmArm, Native, VirqPolicy, XenArm};
-use hvx_engine::Cycles;
+use hvx_core::{HvKind, Hypervisor, KvmArm, Native, SimBuilder, VirqPolicy, XenArm};
+use hvx_engine::{Cycles, FaultPlan, FaultPoint, Frequency, TransitionId};
 use hvx_mem::{Ipa, ShootdownMethod, TlbModel};
 use serde::Serialize;
 
@@ -531,6 +532,142 @@ pub fn render_storage(st: &StorageAblation) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// Fault recovery
+// ---------------------------------------------------------------------
+
+/// Seed for the fault-recovery sweep; fixed so the artifact is
+/// reproducible byte-for-byte.
+pub const FAULT_RECOVERY_SEED: u64 = 42;
+
+/// TCP_RR transactions per fault-recovery cell.
+pub const FAULT_RECOVERY_TRANSACTIONS: usize = 40;
+
+/// One (hypervisor, loss-rate) cell of the fault-recovery sweep.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct FaultRecoveryCell {
+    /// Configuration.
+    pub hv: HvKind,
+    /// Wire loss probability applied to the response path.
+    pub loss: f64,
+    /// Resulting µs per transaction.
+    pub time_per_trans: f64,
+    /// Total faults the machine injected (all fault points).
+    pub faults_injected: u64,
+    /// TCP retransmissions the guest issued.
+    pub retransmits: u64,
+    /// Busy cycles attributed to recovery spans ([`TransitionId`]s
+    /// `VirtioRekick`, `EvtchnRedeliver`, `GrantRetry`, `TcpRetransmit`).
+    pub recovery_span_cycles: u64,
+    /// Idle µs spent waiting on retransmit timers (recovery latency).
+    pub rto_idle_us: f64,
+}
+
+/// The fault-recovery ablation: TCP_RR under a wire-loss sweep on all
+/// four measured hypervisors, with the recovery work visible as
+/// attributed spans rather than folded into unattributed time.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultRecoveryAblation {
+    /// The deterministic seed every plan used.
+    pub seed: u64,
+    /// 4 hypervisors × 4 loss rates, hypervisor-major.
+    pub cells: Vec<FaultRecoveryCell>,
+}
+
+/// The loss rates swept (fraction of response segments lost).
+pub const FAULT_RECOVERY_LOSSES: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
+
+/// The four [`TransitionId`]s that attribute recovery work.
+pub const RECOVERY_SPANS: [TransitionId; 4] = [
+    TransitionId::VirtioRekick,
+    TransitionId::EvtchnRedeliver,
+    TransitionId::GrantRetry,
+    TransitionId::TcpRetransmit,
+];
+
+fn fault_recovery_plan(loss: f64) -> FaultPlan {
+    // Wire loss is the swept variable; the infrastructure fault points
+    // ride along at lower rates so every recovery mechanism exercises
+    // (vIRQ redelivery, grant retries, NIC re-kicks, vhost delays).
+    FaultPlan::new(FAULT_RECOVERY_SEED)
+        .with_rate(FaultPoint::WireDrop, loss)
+        .with_rate(FaultPoint::WireCorrupt, loss / 2.0)
+        .with_rate(FaultPoint::VirqDrop, loss / 4.0)
+        .with_rate(FaultPoint::GrantCopyFail, loss / 2.0)
+        .with_rate(FaultPoint::NicStall, loss / 8.0)
+        .with_rate(FaultPoint::VhostDelay, loss / 8.0)
+}
+
+/// Runs the TCP_RR loss sweep. With `loss == 0` the plan is empty, the
+/// machine carries no fault state, and the cell reproduces the plain
+/// Table V path exactly.
+pub fn fault_recovery() -> FaultRecoveryAblation {
+    let freq = Frequency::ARM_M400;
+    let mut cells = Vec::new();
+    for kind in HvKind::MEASURED {
+        for loss in FAULT_RECOVERY_LOSSES {
+            let mut sim = SimBuilder::new(kind)
+                .workload(hvx_core::Workload::Netperf)
+                .profiling(true)
+                .fault_plan(fault_recovery_plan(loss))
+                .build()
+                .expect("paper configuration is valid");
+            let (col, stats): (netperf::RrColumn, RrFaultStats) =
+                netperf::run_rr_lossy(sim.as_dyn_mut(), FAULT_RECOVERY_TRANSACTIONS, freq);
+            sim.sample_metrics();
+            let machine = sim.machine();
+            let spans = machine.spans().expect("profiling enabled");
+            let recovery_span_cycles: u64 = RECOVERY_SPANS
+                .into_iter()
+                .map(|id| spans.exclusive(id))
+                .sum();
+            cells.push(FaultRecoveryCell {
+                hv: kind,
+                loss,
+                time_per_trans: col.time_per_trans,
+                faults_injected: machine.total_faults_injected(),
+                retransmits: stats.retransmits,
+                recovery_span_cycles,
+                rto_idle_us: stats.rto_idle_cycles as f64 / freq.cycles_per_micro(),
+            });
+        }
+    }
+    FaultRecoveryAblation {
+        seed: FAULT_RECOVERY_SEED,
+        cells,
+    }
+}
+
+/// Renders the fault-recovery sweep.
+pub fn render_fault_recovery(f: &FaultRecoveryAblation) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "netperf TCP_RR under wire loss (seed {}): recovery work is charged\n\
+         through the span tracer, so every retry shows up in profiles and\n\
+         conservation still holds.\n\n",
+        f.seed
+    ));
+    out.push_str(&format!(
+        "{:<10}{:>7}{:>14}{:>10}{:>9}{:>16}{:>14}\n",
+        "HV", "loss", "us/trans", "faults", "retx", "recovery cyc", "RTO idle us"
+    ));
+    out.push_str(&"-".repeat(80));
+    out.push('\n');
+    for c in &f.cells {
+        out.push_str(&format!(
+            "{:<10}{:>6.0}%{:>14.1}{:>10}{:>9}{:>16}{:>14.1}\n",
+            c.hv.to_string(),
+            c.loss * 100.0,
+            c.time_per_trans,
+            c.faults_injected,
+            c.retransmits,
+            c.recovery_span_cycles,
+            c.rto_idle_us
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,6 +753,43 @@ mod tests {
             "RAID5 hides: {:?}",
             st.raid5
         );
+    }
+
+    #[test]
+    fn fault_recovery_sweep_degrades_monotonically() {
+        let f = fault_recovery();
+        assert_eq!(f.cells.len(), 16);
+        for kind in HvKind::MEASURED {
+            let per_hv: Vec<&FaultRecoveryCell> = f.cells.iter().filter(|c| c.hv == kind).collect();
+            assert_eq!(per_hv.len(), 4);
+            let clean = per_hv[0];
+            assert_eq!(clean.loss, 0.0);
+            assert_eq!(
+                clean.faults_injected, 0,
+                "{kind}: clean cell injects nothing"
+            );
+            assert_eq!(clean.recovery_span_cycles, 0);
+            let lossy = per_hv[3];
+            assert!(lossy.faults_injected > 0, "{kind}: 10% loss injects faults");
+            assert!(lossy.retransmits > 0, "{kind}: loss forces retransmits");
+            assert!(
+                lossy.recovery_span_cycles > 0,
+                "{kind}: recovery is span-attributed"
+            );
+            assert!(
+                lossy.time_per_trans > clean.time_per_trans,
+                "{kind}: loss slows transactions: {} vs {}",
+                lossy.time_per_trans,
+                clean.time_per_trans
+            );
+        }
+    }
+
+    #[test]
+    fn fault_recovery_is_deterministic() {
+        let a = fault_recovery();
+        let b = fault_recovery();
+        assert_eq!(render_fault_recovery(&a), render_fault_recovery(&b));
     }
 
     #[test]

@@ -3,14 +3,26 @@
 //! instrumentation-driven profiler.
 //!
 //! ```text
-//! hvx-repro [run] [--json DIR] [--jobs N] [--timing] [--bench FILE] [ARTIFACT...]
+//! hvx-repro [run] [--json DIR] [--jobs N] [--timing] [--bench FILE]
+//!           [--fault-plan SPEC] [--fault-seed N] [--keep-going]
+//!           [--cycle-budget N] [--livelock-limit N] [--wall-timeout SECS]
+//!           [--chaos KIND] [ARTIFACT...]
 //! hvx-repro bench --out FILE [--jobs N]
 //! hvx-repro profile [--scenario NAME]... [--jobs N] [--json DIR]
+//!           [--fault-plan SPEC] [--fault-seed N]
 //! hvx-repro list-scenarios
 //!
 //! ARTIFACTs: table2 table3 table5 fig4 irq vhe zerocopy link vapic
-//!            oversub storage all   (default: all)
+//!            oversub storage faultrec all   (default: all)
 //! ```
+//!
+//! `--fault-plan` installs a seeded deterministic fault plan (wire
+//! drops, vIRQ loss, grant-copy failures, ...) that every scenario
+//! consults; recovery costs are charged through the normal transition
+//! accounting so profiles stay conservative. Scenario failures are
+//! isolated: a panicking, timed-out, or livelocked scenario degrades to
+//! a marked gap in its artifact and the process exits 3 (0 with
+//! `--keep-going`, which demotes failures to stderr warnings).
 //!
 //! Invoking the binary with no subcommand (or with legacy flags and
 //! artifact names directly) behaves exactly like `run`: it reproduces
@@ -27,11 +39,12 @@
 //! cycles (conservation), and output is byte-identical across `--jobs`.
 
 use hvx_core::Error;
+use hvx_engine::{FaultPlan, Watchdog};
 use hvx_suite::profile::{self, ProfileScenario};
-use hvx_suite::runner::{self, ArtifactId};
+use hvx_suite::runner::{self, ArtifactId, ChaosKind, RunnerConfig};
 use serde::Serialize;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct RunArgs {
     json_dir: Option<PathBuf>,
@@ -39,12 +52,15 @@ struct RunArgs {
     timing: bool,
     bench: Option<PathBuf>,
     artifacts: Vec<ArtifactId>,
+    cfg: RunnerConfig,
+    keep_going: bool,
 }
 
 struct ProfileArgs {
     scenarios: Vec<ProfileScenario>,
     jobs: usize,
     json_dir: Option<PathBuf>,
+    fault_plan: Option<FaultPlan>,
 }
 
 fn usage() -> String {
@@ -54,6 +70,16 @@ fn usage() -> String {
          \x20      hvx-repro bench --out FILE [--jobs N]\n\
          \x20      hvx-repro profile [--scenario NAME]... [--jobs N] [--json DIR]\n\
          \x20      hvx-repro list-scenarios\n\
+         run/profile fault options:\n\
+         \x20 --fault-plan SPEC    inject faults, e.g. 'wire_drop=0.02,grant_copy_fail=0.01'\n\
+         \x20 --fault-seed N       seed for the fault plan's deterministic RNG (default 42)\n\
+         run robustness options:\n\
+         \x20 --keep-going         report failed scenarios on stderr but exit 0\n\
+         \x20 --cycle-budget N     abort any scenario past N simulated cycles (timed out)\n\
+         \x20 --livelock-limit N   abort after N consecutive zero-progress charges\n\
+         \x20 --wall-timeout SECS  classify scenarios over SECS wall seconds as timed out\n\
+         \x20 --chaos KIND         append a chaos scenario: panic, spin, or livelock\n\
+         exit codes: 0 ok, 1 runtime error, 2 usage error, 3 scenario failure\n\
          artifacts: {} all\n\
          profile scenarios: <workload>-<hypervisor>, e.g. netperf-kvm-arm \
          (see list-scenarios)",
@@ -81,6 +107,19 @@ fn parse_jobs(it: &mut impl Iterator<Item = String>) -> Result<usize, String> {
         .ok_or_else(|| format!("--jobs needs a positive integer, got '{n}'"))
 }
 
+fn parse_u64(flag: &str, it: &mut impl Iterator<Item = String>) -> Result<u64, String> {
+    let n = it
+        .next()
+        .ok_or_else(|| format!("{flag} requires a count"))?;
+    n.parse::<u64>()
+        .map_err(|_| format!("{flag} needs a non-negative integer, got '{n}'"))
+}
+
+fn build_fault_plan(spec: Option<&str>, seed: u64) -> Result<Option<FaultPlan>, String> {
+    spec.map(|s| FaultPlan::parse(s, seed).map_err(|e| format!("--fault-plan: {e}")))
+        .transpose()
+}
+
 /// Parses the legacy flag set (also the `run` subcommand's flags).
 fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
     let mut json_dir = None;
@@ -88,6 +127,13 @@ fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
     let mut timing = false;
     let mut bench = None;
     let mut requested = Vec::new();
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed = 42u64;
+    let mut keep_going = false;
+    let mut cycle_budget = None;
+    let mut livelock_limit = None;
+    let mut wall_timeout = None;
+    let mut chaos = Vec::new();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => {
@@ -99,6 +145,31 @@ fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
             "--bench" => {
                 let file = it.next().ok_or("--bench requires an output file")?;
                 bench = Some(PathBuf::from(file));
+            }
+            "--fault-plan" => {
+                let spec = it.next().ok_or("--fault-plan requires a spec")?;
+                fault_spec = Some(spec);
+            }
+            "--fault-seed" => fault_seed = parse_u64("--fault-seed", it)?,
+            "--keep-going" => keep_going = true,
+            "--cycle-budget" => cycle_budget = Some(parse_u64("--cycle-budget", it)?),
+            "--livelock-limit" => livelock_limit = Some(parse_u64("--livelock-limit", it)?),
+            "--wall-timeout" => {
+                let secs = it.next().ok_or("--wall-timeout requires seconds")?;
+                let secs = secs
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s >= 0.0)
+                    .ok_or_else(|| {
+                        format!("--wall-timeout needs non-negative seconds, got '{secs}'")
+                    })?;
+                wall_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--chaos" => {
+                let kind = it.next().ok_or("--chaos requires a kind")?;
+                chaos.push(ChaosKind::parse(&kind).ok_or_else(|| {
+                    format!("--chaos needs panic, spin, or livelock, got '{kind}'")
+                })?);
             }
             "--help" | "-h" => return Ok(Parsed::Help),
             "all" => requested.extend(ArtifactId::ALL),
@@ -116,12 +187,23 @@ fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
         .into_iter()
         .filter(|a| requested.contains(a))
         .collect();
+    let cfg = RunnerConfig {
+        fault_plan: build_fault_plan(fault_spec.as_deref(), fault_seed)?,
+        watchdog: Watchdog {
+            cycle_budget,
+            livelock_threshold: livelock_limit,
+        },
+        wall_timeout,
+        chaos,
+    };
     Ok(Parsed::Run(RunArgs {
         json_dir,
         jobs,
         timing,
         bench,
         artifacts,
+        cfg,
+        keep_going,
     }))
 }
 
@@ -147,6 +229,8 @@ fn parse_profile(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String
     let mut scenarios = Vec::new();
     let mut jobs = default_jobs();
     let mut json_dir = None;
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed = 42u64;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scenario" => {
@@ -158,6 +242,11 @@ fn parse_profile(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String
                 let dir = it.next().ok_or("--json requires a directory")?;
                 json_dir = Some(PathBuf::from(dir));
             }
+            "--fault-plan" => {
+                let spec = it.next().ok_or("--fault-plan requires a spec")?;
+                fault_spec = Some(spec);
+            }
+            "--fault-seed" => fault_seed = parse_u64("--fault-seed", it)?,
             "--help" | "-h" => return Ok(Parsed::Help),
             other => {
                 return Err(format!(
@@ -173,6 +262,7 @@ fn parse_profile(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String
         scenarios,
         jobs,
         json_dir,
+        fault_plan: build_fault_plan(fault_spec.as_deref(), fault_seed)?,
     }))
 }
 
@@ -275,8 +365,9 @@ fn run(args: &RunArgs) -> Result<(), Error> {
     println!("hvx — reproducing \"ARM Virtualization: Performance and Architectural");
     println!("Implications\" (ISCA 2016) on the simulator. Paper values in parentheses.\n");
 
-    let reports = runner::run_artifacts(&args.artifacts, args.jobs)?;
-    for r in &reports {
+    let outcome = runner::run_artifacts_with(&args.artifacts, args.jobs, &args.cfg)?;
+    let reports = &outcome.reports;
+    for r in reports {
         print!("{}", r.text);
         if let Some(dir) = &args.json_dir {
             std::fs::create_dir_all(dir)?;
@@ -299,11 +390,31 @@ fn run(args: &RunArgs) -> Result<(), Error> {
             "total", args.jobs
         );
     }
-    Ok(())
+
+    let failures = outcome.failures();
+    for (label, f) in &failures {
+        eprintln!("hvx-repro: warning: scenario '{label}' {f}");
+    }
+    match failures.into_iter().next() {
+        None => Ok(()),
+        Some((scenario, f)) if args.keep_going => {
+            eprintln!(
+                "hvx-repro: warning: continuing despite failures \
+                 (--keep-going); first was '{scenario}' ({})",
+                f.kind
+            );
+            Ok(())
+        }
+        Some((scenario, f)) => Err(Error::Scenario {
+            scenario,
+            kind: f.kind,
+            detail: f.detail,
+        }),
+    }
 }
 
 fn run_profile(args: &ProfileArgs) -> Result<(), Error> {
-    let reports = profile::run_profiles(&args.scenarios, args.jobs)?;
+    let reports = profile::run_profiles_with(&args.scenarios, args.jobs, args.fault_plan.as_ref())?;
     print!("{}", profile::render_profiles(&reports));
     if let Some(dir) = &args.json_dir {
         std::fs::create_dir_all(dir)?;
@@ -359,6 +470,10 @@ fn main() {
     };
     if let Err(e) = result {
         eprintln!("hvx-repro: {e}");
-        std::process::exit(1);
+        let code = match e {
+            Error::Scenario { .. } => 3,
+            _ => 1,
+        };
+        std::process::exit(code);
     }
 }

@@ -21,10 +21,10 @@
 
 use crate::workloads::{self, Mix};
 use hvx_core::{Error, HvKind, SimBuilder, VirqPolicy, Workload};
-use hvx_engine::{ProfileSnapshot, TraceMode, TransitionId};
+use hvx_engine::{fault, FaultPlan, ProfileSnapshot, TraceMode, TransitionId, Watchdog};
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// One profiling scenario: a Figure 4 workload on one configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -200,11 +200,33 @@ pub fn run_profiles(
     scenarios: &[ProfileScenario],
     jobs: usize,
 ) -> Result<Vec<ProfileReport>, Error> {
+    run_profiles_with(scenarios, jobs, None)
+}
+
+/// [`run_profiles`] with a fault plan installed around every scenario,
+/// so recovery cycles show up as attributed spans in the breakdowns
+/// (and the conservation check still holds over them). `None` is
+/// byte-identical to [`run_profiles`].
+///
+/// # Errors
+///
+/// As for [`run_profiles`].
+pub fn run_profiles_with(
+    scenarios: &[ProfileScenario],
+    jobs: usize,
+    plan: Option<&FaultPlan>,
+) -> Result<Vec<ProfileReport>, Error> {
     if jobs == 0 {
         return Err(Error::InvalidJobs { jobs });
     }
+    // The ambient plan is thread-local, so it must be (re)installed on
+    // whichever thread builds the machine — inline or worker.
+    let profile_one = |sc: ProfileScenario| -> Result<ProfileReport, Error> {
+        let _ambient = plan.map(|p| fault::install_ambient(Some(p.clone()), Watchdog::UNLIMITED));
+        run_profile(sc)
+    };
     if jobs == 1 || scenarios.len() <= 1 {
-        return scenarios.iter().map(|s| run_profile(*s)).collect();
+        return scenarios.iter().map(|s| profile_one(*s)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<ProfileReport, Error>>>> =
@@ -216,7 +238,8 @@ pub fn run_profiles(
                 if idx >= scenarios.len() {
                     break;
                 }
-                *slots[idx].lock().expect("slot lock") = Some(run_profile(scenarios[idx]));
+                *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some(profile_one(scenarios[idx]));
             });
         }
     });
@@ -224,7 +247,7 @@ pub fn run_profiles(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("slot lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every scheduled scenario ran")
         })
         .collect()
@@ -367,5 +390,49 @@ mod tests {
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.folded, p.folded, "{} folded diverged", s.scenario);
         }
+    }
+
+    #[test]
+    fn fault_plan_shows_recovery_spans_and_conserves() {
+        use hvx_engine::FaultPoint;
+        let plan = FaultPlan::new(11)
+            .with_rate(FaultPoint::WireDrop, 0.2)
+            .with_rate(FaultPoint::GrantCopyFail, 0.2);
+        let set = ProfileScenario::default_set();
+        let reports = run_profiles_with(&set, 2, Some(&plan)).unwrap();
+        for r in &reports {
+            // The conservation check inside run_profile already passed;
+            // double-check through the snapshot arithmetic.
+            assert_eq!(r.snapshot.accounted_cycles(), r.snapshot.total_cycles);
+        }
+        let any_retransmit = reports.iter().any(|r| {
+            r.snapshot
+                .spans
+                .iter()
+                .any(|s| s.transition == "tcp_retransmit" && s.exclusive_cycles > 0)
+        });
+        assert!(any_retransmit, "wire loss must surface as retransmit spans");
+        let xen = &reports[1];
+        assert!(
+            xen.snapshot
+                .spans
+                .iter()
+                .any(|s| s.transition == "grant_retry" && s.exclusive_cycles > 0),
+            "grant-copy failures must surface as retry spans on Xen"
+        );
+        // Fault counters folded into the metrics registry.
+        assert!(reports.iter().any(|r| r
+            .snapshot
+            .counters
+            .iter()
+            .any(|c| c.name.starts_with("fault."))));
+    }
+
+    #[test]
+    fn no_plan_is_byte_identical_to_plain_profiles() {
+        let set = ProfileScenario::default_set();
+        let plain = run_profiles(&set, 1).unwrap();
+        let with_none = run_profiles_with(&set, 1, None).unwrap();
+        assert_eq!(render_profiles(&plain), render_profiles(&with_none));
     }
 }

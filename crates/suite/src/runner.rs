@@ -21,9 +21,9 @@
 //! ```
 
 use crate::{ablations, fig4, micro, netperf, paper, table3, workloads};
-use hvx_core::{Error, VirqPolicy};
-use hvx_engine::{Cycles, EventQueue};
-use std::sync::Mutex;
+use hvx_core::{Error, Hypervisor, KvmArm, ScenarioFailureKind, VirqPolicy};
+use hvx_engine::{fault, Cycles, EventQueue, FaultPlan, TraceKind, Watchdog};
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Iterations used for the Table II microbenchmark sweep.
@@ -56,11 +56,13 @@ pub enum ArtifactId {
     Storage,
     /// Table I motivation: oversubscription sweep.
     Oversub,
+    /// Fault-injection & recovery loss sweep.
+    FaultRec,
 }
 
 impl ArtifactId {
     /// Every artifact, in the order `hvx-repro` prints them.
-    pub const ALL: [ArtifactId; 11] = [
+    pub const ALL: [ArtifactId; 12] = [
         ArtifactId::Table2,
         ArtifactId::Table3,
         ArtifactId::Table5,
@@ -72,6 +74,7 @@ impl ArtifactId {
         ArtifactId::Vapic,
         ArtifactId::Storage,
         ArtifactId::Oversub,
+        ArtifactId::FaultRec,
     ];
 
     /// The CLI name (`hvx-repro [ARTIFACT...]`).
@@ -88,6 +91,7 @@ impl ArtifactId {
             ArtifactId::Vapic => "vapic",
             ArtifactId::Storage => "storage",
             ArtifactId::Oversub => "oversub",
+            ArtifactId::FaultRec => "faultrec",
         }
     }
 
@@ -105,6 +109,7 @@ impl ArtifactId {
             ArtifactId::Vapic => "vapic",
             ArtifactId::Storage => "storage",
             ArtifactId::Oversub => "oversubscription",
+            ArtifactId::FaultRec => "fault_recovery",
         }
     }
 
@@ -139,6 +144,41 @@ pub enum Scenario {
     },
     /// One ablation study.
     Ablation(ArtifactId),
+    /// A deliberately misbehaving scenario for exercising the runner's
+    /// isolation machinery. Never emitted by [`plan`]; injected only via
+    /// [`RunnerConfig::chaos`] (the CLI's `--chaos`) and tests.
+    Chaos(ChaosKind),
+}
+
+/// How a [`Scenario::Chaos`] scenario misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// Panics outright.
+    Panic,
+    /// Charges ~2×10¹² simulated cycles while burning ~0.1 s of wall
+    /// clock — trips cycle budgets and wall-clock timeouts.
+    Spin,
+    /// Issues a long run of zero-cost charges that advance no clock —
+    /// trips the livelock detector.
+    Livelock,
+}
+
+impl ChaosKind {
+    /// The CLI name (`--chaos NAME`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosKind::Panic => "panic",
+            ChaosKind::Spin => "spin",
+            ChaosKind::Livelock => "livelock",
+        }
+    }
+
+    /// Parses a `--chaos` argument.
+    pub fn parse(s: &str) -> Option<ChaosKind> {
+        [ChaosKind::Panic, ChaosKind::Spin, ChaosKind::Livelock]
+            .into_iter()
+            .find(|k| k.name() == s)
+    }
 }
 
 impl Scenario {
@@ -151,7 +191,28 @@ impl Scenario {
             Scenario::Table5 { transactions } => 10 + transactions as u64 / 5,
             Scenario::Fig4Cell { .. } => 25,
             Scenario::Ablation(ArtifactId::Oversub) => 15,
+            Scenario::Ablation(ArtifactId::FaultRec) => 20,
             Scenario::Ablation(_) => 5,
+            Scenario::Chaos(_) => 1,
+        }
+    }
+
+    /// A short human-readable name for failure reports.
+    pub fn label(self) -> String {
+        match self {
+            Scenario::Table2 { .. } => "table2".to_string(),
+            Scenario::Table3 => "table3".to_string(),
+            Scenario::Table5 { .. } => "table5".to_string(),
+            Scenario::Fig4Cell { workload, column } => {
+                let cat = workloads::catalog();
+                let w = cat.get(workload).map_or("?", |w| w.name);
+                let hv = paper::COLUMNS
+                    .get(column)
+                    .map_or_else(|| "?".to_string(), |k| k.to_string());
+                format!("fig4[{w}/{hv}]")
+            }
+            Scenario::Ablation(a) => a.cli_name().to_string(),
+            Scenario::Chaos(k) => format!("chaos-{}", k.name()),
         }
     }
 
@@ -163,7 +224,7 @@ impl Scenario {
             Scenario::Table2 { iters } => Output::Table2(micro::Table2::measure(iters)),
             Scenario::Table3 => Output::Table3(table3::Table3::measure()),
             Scenario::Table5 { transactions } => {
-                Output::Table5(netperf::Table5::measure(transactions))
+                Output::Table5(Box::new(netperf::Table5::measure(transactions)))
             }
             Scenario::Fig4Cell { workload, column } => {
                 let cat = workloads::catalog();
@@ -182,7 +243,30 @@ impl Scenario {
             Scenario::Ablation(ArtifactId::Oversub) => {
                 Output::Oversub(ablations::oversubscription())
             }
+            Scenario::Ablation(ArtifactId::FaultRec) => {
+                Output::FaultRec(ablations::fault_recovery())
+            }
             Scenario::Ablation(other) => unreachable!("{other:?} is not an ablation"),
+            Scenario::Chaos(ChaosKind::Panic) => {
+                panic!("chaos: deliberate panic for isolation testing")
+            }
+            Scenario::Chaos(ChaosKind::Spin) => {
+                let mut hv = KvmArm::new();
+                for _ in 0..200 {
+                    hv.guest_compute(0, Cycles::new(10_000_000_000));
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Output::Chaos
+            }
+            Scenario::Chaos(ChaosKind::Livelock) => {
+                let mut hv = KvmArm::new();
+                let core = hv.machine().topology().guest_core(0);
+                for _ in 0..200_000 {
+                    hv.machine_mut()
+                        .charge(core, "chaos:livelock", TraceKind::Guest, Cycles::ZERO);
+                }
+                Output::Chaos
+            }
         }
     }
 }
@@ -194,8 +278,8 @@ pub enum Output {
     Table2(micro::Table2),
     /// Table III result.
     Table3(table3::Table3),
-    /// Table V result.
-    Table5(netperf::Table5),
+    /// Table V result (boxed: by far the largest payload).
+    Table5(Box<netperf::Table5>),
     /// One Figure 4 cell (`None` = unrunnable combination).
     Fig4Cell(Option<f64>),
     /// Interrupt-distribution rows.
@@ -212,6 +296,25 @@ pub enum Output {
     Storage(ablations::StorageAblation),
     /// Oversubscription sweep.
     Oversub(ablations::OversubscriptionAblation),
+    /// Fault-recovery sweep.
+    FaultRec(ablations::FaultRecoveryAblation),
+    /// A chaos scenario that (unexpectedly) survived.
+    Chaos,
+}
+
+/// Why a scenario failed instead of producing an [`Output`].
+#[derive(Debug, Clone)]
+pub struct ScenarioFailure {
+    /// The failure class (panic, timeout, livelock).
+    pub kind: ScenarioFailureKind,
+    /// Human-readable detail (panic message, tripped budget, ...).
+    pub detail: String,
+}
+
+impl std::fmt::Display for ScenarioFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
 }
 
 /// A completed scenario with its wall-clock cost.
@@ -219,10 +322,30 @@ pub enum Output {
 pub struct ScenarioResult {
     /// What ran.
     pub scenario: Scenario,
-    /// What it produced.
-    pub output: Output,
+    /// What it produced — or why it failed. A failed scenario never
+    /// poisons the run: its siblings complete and the artifact renders
+    /// with the failed cell marked.
+    pub outcome: Result<Output, ScenarioFailure>,
     /// How long it took on the host.
     pub wall: Duration,
+}
+
+/// Shared configuration for one runner invocation: the fault plan and
+/// watchdog installed around every scenario, an optional wall-clock
+/// budget, and any chaos scenarios to inject. The default is inert —
+/// no faults, no limits — and leaves every artifact byte-identical.
+#[derive(Debug, Clone, Default)]
+pub struct RunnerConfig {
+    /// Deterministic fault plan ambient during every scenario.
+    pub fault_plan: Option<FaultPlan>,
+    /// Simulated-cycle budget and livelock detector.
+    pub watchdog: Watchdog,
+    /// Host wall-clock budget per scenario. The simulation itself is
+    /// aborted by the (in-band) cycle budget; this classifies scenarios
+    /// that exceeded the wall allowance as timed out after the fact.
+    pub wall_timeout: Option<Duration>,
+    /// Chaos scenarios appended to the plan (isolation smoke tests).
+    pub chaos: Vec<ChaosKind>,
 }
 
 /// Expands the requested artifacts (in the given order) into the flat
@@ -253,18 +376,70 @@ pub fn plan(artifacts: &[ArtifactId]) -> Vec<Scenario> {
     out
 }
 
-fn run_one(scenario: Scenario) -> ScenarioResult {
+/// Maps a caught panic payload to a typed failure: the watchdog's
+/// typed payloads classify as timeouts/livelocks, everything else as a
+/// panic with its message.
+fn classify_panic(payload: &(dyn std::any::Any + Send)) -> ScenarioFailure {
+    if let Some(e) = payload.downcast_ref::<fault::CycleBudgetExceeded>() {
+        ScenarioFailure {
+            kind: ScenarioFailureKind::TimedOut,
+            detail: e.to_string(),
+        }
+    } else if let Some(e) = payload.downcast_ref::<fault::Livelocked>() {
+        ScenarioFailure {
+            kind: ScenarioFailureKind::Livelocked,
+            detail: e.to_string(),
+        }
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        ScenarioFailure {
+            kind: ScenarioFailureKind::Panicked,
+            detail: (*s).to_string(),
+        }
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        ScenarioFailure {
+            kind: ScenarioFailureKind::Panicked,
+            detail: s.clone(),
+        }
+    } else {
+        ScenarioFailure {
+            kind: ScenarioFailureKind::Panicked,
+            detail: "non-string panic payload".to_string(),
+        }
+    }
+}
+
+fn run_one(scenario: Scenario, cfg: &RunnerConfig) -> ScenarioResult {
     let start = Instant::now();
-    let output = scenario.execute();
+    let outcome = {
+        // Ambient so machines built deep inside scenario code pick the
+        // plan and watchdog up; the guard restores on unwind, so a
+        // tripped scenario cannot leak its plan into the next one this
+        // worker runs.
+        let _ambient = fault::install_ambient(cfg.fault_plan.clone(), cfg.watchdog);
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.execute()))
+            .map_err(|payload| classify_panic(payload.as_ref()))
+    };
+    let wall = start.elapsed();
+    let outcome = match (outcome, cfg.wall_timeout) {
+        (Ok(_), Some(limit)) if wall > limit => Err(ScenarioFailure {
+            kind: ScenarioFailureKind::TimedOut,
+            detail: format!(
+                "wall clock {:.3}s exceeded the {:.3}s budget",
+                wall.as_secs_f64(),
+                limit.as_secs_f64()
+            ),
+        }),
+        (outcome, _) => outcome,
+    };
     ScenarioResult {
         scenario,
-        output,
-        wall: start.elapsed(),
+        outcome,
+        wall,
     }
 }
 
 /// Runs every scenario in `plan` on up to `jobs` OS threads and returns
-/// the results **in plan order**.
+/// the results **in plan order**, with the default (inert) config.
 ///
 /// `jobs == 1` runs inline on the caller's thread (no pool, no locks).
 /// With more jobs, workers pull from a shared heaviest-first queue and
@@ -274,17 +449,28 @@ fn run_one(scenario: Scenario) -> ScenarioResult {
 ///
 /// # Errors
 ///
-/// [`Error::InvalidJobs`] if `jobs == 0`.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics.
+/// [`Error::InvalidJobs`] if `jobs == 0`. A panicking, over-budget, or
+/// livelocked scenario is **not** an error here: it lands in its slot
+/// as a failed [`ScenarioResult`] and every other scenario completes.
 pub fn run_scenarios(plan: &[Scenario], jobs: usize) -> Result<Vec<ScenarioResult>, Error> {
+    run_scenarios_with(plan, jobs, &RunnerConfig::default())
+}
+
+/// [`run_scenarios`] with an explicit [`RunnerConfig`].
+///
+/// # Errors
+///
+/// [`Error::InvalidJobs`] if `jobs == 0`.
+pub fn run_scenarios_with(
+    plan: &[Scenario],
+    jobs: usize,
+    cfg: &RunnerConfig,
+) -> Result<Vec<ScenarioResult>, Error> {
     if jobs == 0 {
         return Err(Error::InvalidJobs { jobs });
     }
     if jobs == 1 || plan.len() <= 1 {
-        return Ok(plan.iter().map(|s| run_one(*s)).collect());
+        return Ok(plan.iter().map(|s| run_one(*s, cfg)).collect());
     }
 
     // The work queue is the engine's own EventQueue: it pops the smallest
@@ -300,20 +486,33 @@ pub fn run_scenarios(plan: &[Scenario], jobs: usize) -> Result<Vec<ScenarioResul
     std::thread::scope(|scope| {
         for _ in 0..jobs.min(plan.len()) {
             scope.spawn(|| loop {
-                let next = queue.lock().expect("queue lock").pop();
+                // Scenario panics are caught inside run_one, but a
+                // poisoned lock (from a defect in the runner itself)
+                // must not cascade: the queue and slots hold plain
+                // data that is valid at every instant, so recover the
+                // guard and keep draining.
+                let next = queue.lock().unwrap_or_else(PoisonError::into_inner).pop();
                 let Some((_, idx)) = next else { break };
-                let result = run_one(plan[idx]);
-                *slots[idx].lock().expect("slot lock") = Some(result);
+                let result = run_one(plan[idx], cfg);
+                *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
     });
 
     Ok(slots
         .into_iter()
-        .map(|slot| {
+        .enumerate()
+        .map(|(idx, slot)| {
             slot.into_inner()
-                .expect("slot lock")
-                .expect("every scheduled scenario ran")
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| ScenarioResult {
+                    scenario: plan[idx],
+                    outcome: Err(ScenarioFailure {
+                        kind: ScenarioFailureKind::Panicked,
+                        detail: "worker thread died before recording a result".to_string(),
+                    }),
+                    wall: Duration::ZERO,
+                })
         })
         .collect())
 }
@@ -325,12 +524,17 @@ pub struct ArtifactReport {
     /// Which artifact this is.
     pub id: ArtifactId,
     /// The full stdout block for this artifact (header included),
-    /// byte-identical to what the pre-runner `hvx-repro` printed.
+    /// byte-identical to what the pre-runner `hvx-repro` printed. When
+    /// scenarios failed, the affected cells are marked and `!!` warning
+    /// lines are appended — a fault-free run never carries them.
     pub text: String,
     /// Pretty-printed JSON export.
     pub json: String,
     /// Sum of the artifact's scenario wall-clocks.
     pub wall: Duration,
+    /// Scenarios of this artifact that failed: `(label, failure)`.
+    /// Empty on a clean run.
+    pub failures: Vec<(String, ScenarioFailure)>,
 }
 
 fn to_json<T: serde::Serialize>(value: &T) -> Result<String, Error> {
@@ -338,6 +542,34 @@ fn to_json<T: serde::Serialize>(value: &T) -> Result<String, Error> {
         what: "artifact report",
         detail: e.to_string(),
     })
+}
+
+/// JSON shape exported for an artifact whose only scenario failed.
+#[derive(Debug, serde::Serialize)]
+struct FailedArtifact {
+    scenario: String,
+    failed: String,
+    error: String,
+}
+
+/// The artifact's `== ... ==` banner, used when the artifact cannot
+/// render because its scenario failed. Must match the success-path
+/// headers byte-for-byte.
+fn artifact_header(id: ArtifactId) -> &'static str {
+    match id {
+        ArtifactId::Table2 => "== Table II: microbenchmark cycle counts ==",
+        ArtifactId::Table3 => "== Table III: KVM ARM hypercall breakdown ==",
+        ArtifactId::Table5 => "== Table V: netperf TCP_RR decomposition ==",
+        ArtifactId::Fig4 => "== Figure 4: application benchmarks ==",
+        ArtifactId::Irq => "== Section V: interrupt-distribution ablation ==",
+        ArtifactId::Vhe => "== Section VI: VHE projection ==",
+        ArtifactId::ZeroCopy => "== Section V: zero-copy trade ==",
+        ArtifactId::Link => "== Section III: link-speed observation ==",
+        ArtifactId::Vapic => "== Section IV: vAPIC note ==",
+        ArtifactId::Storage => "== Section III devices: storage ablation ==",
+        ArtifactId::Oversub => "== Table I motivation: oversubscription sweep ==",
+        ArtifactId::FaultRec => "== Ablation: fault injection & recovery ==",
+    }
 }
 
 /// Folds scenario results back into per-artifact reports. `artifacts`
@@ -368,32 +600,76 @@ pub fn assemble(
                 let n_cells = workloads::catalog().len() * paper::COLUMNS.len();
                 let mut cells = Vec::with_capacity(n_cells);
                 let mut wall = Duration::ZERO;
+                let mut failures = Vec::new();
                 for _ in 0..n_cells {
                     let r = next();
-                    let Output::Fig4Cell(cell) = &r.output else {
-                        return Err(Error::PlanMismatch {
-                            expected: n_cells,
-                            got: cells.len(),
-                        });
-                    };
-                    cells.push(*cell);
+                    match &r.outcome {
+                        Ok(Output::Fig4Cell(cell)) => cells.push(*cell),
+                        Ok(_) => {
+                            return Err(Error::PlanMismatch {
+                                expected: n_cells,
+                                got: cells.len(),
+                            });
+                        }
+                        // Degrade, don't abort: the failed cell renders
+                        // as the same n/a marker the paper's missing
+                        // Apache/Xen-x86 bar uses, and the warning
+                        // lines below say why.
+                        Err(f) => {
+                            cells.push(None);
+                            failures.push((r.scenario.label(), f.clone()));
+                        }
+                    }
                     wall += r.wall;
                 }
                 let f = fig4::Figure4::from_cells(&cells);
+                let mut text = format!(
+                    "{}\n== Figure 4: application benchmarks ==\n\n{}\n",
+                    workloads::render_table4(),
+                    f.render()
+                );
+                if !failures.is_empty() {
+                    text.push_str(&format!(
+                        "!! {} of {n_cells} cells failed and render as n/a:\n",
+                        failures.len()
+                    ));
+                    for (label, failure) in &failures {
+                        text.push_str(&format!("!!   {label}: {failure}\n"));
+                    }
+                    text.push('\n');
+                }
                 ArtifactReport {
                     id: *id,
-                    text: format!(
-                        "{}\n== Figure 4: application benchmarks ==\n\n{}\n",
-                        workloads::render_table4(),
-                        f.render()
-                    ),
+                    text,
                     json: to_json(&f)?,
                     wall,
+                    failures,
                 }
             }
             _ => {
                 let r = next();
-                let (text, json) = match &r.output {
+                let output = match &r.outcome {
+                    Ok(output) => output,
+                    Err(f) => {
+                        let label = r.scenario.label();
+                        reports.push(ArtifactReport {
+                            id: *id,
+                            text: format!(
+                                "{}\n\n!! scenario '{label}' {f}\n!! artifact unavailable this run\n\n",
+                                artifact_header(*id)
+                            ),
+                            json: to_json(&FailedArtifact {
+                                scenario: label.clone(),
+                                failed: f.kind.to_string(),
+                                error: f.detail.clone(),
+                            })?,
+                            wall: r.wall,
+                            failures: vec![(label.clone(), f.clone())],
+                        });
+                        continue;
+                    }
+                };
+                let (text, json) = match output {
                     Output::Table2(t) => (
                         format!(
                             "== Table II: microbenchmark cycle counts ==\n\n{}\nworst residual: {:.1}%\n\n",
@@ -408,7 +684,7 @@ pub fn assemble(
                     ),
                     Output::Table5(t) => (
                         format!("== Table V: netperf TCP_RR decomposition ==\n\n{}\n", t.render()),
-                        to_json(t)?,
+                        to_json(t.as_ref())?,
                     ),
                     Output::Irq(rows) => (
                         format!(
@@ -453,7 +729,14 @@ pub fn assemble(
                         ),
                         to_json(o)?,
                     ),
-                    Output::Fig4Cell(_) => {
+                    Output::FaultRec(f) => (
+                        format!(
+                            "== Ablation: fault injection & recovery ==\n\n{}\n",
+                            ablations::render_fault_recovery(f)
+                        ),
+                        to_json(f)?,
+                    ),
+                    Output::Fig4Cell(_) | Output::Chaos => {
                         return Err(Error::PlanMismatch {
                             expected: 1,
                             got: 0,
@@ -465,6 +748,7 @@ pub fn assemble(
                     text,
                     json,
                     wall: r.wall,
+                    failures: Vec::new(),
                 }
             }
         };
@@ -480,9 +764,66 @@ pub fn assemble(
 ///
 /// As for [`run_scenarios`] and [`assemble`].
 pub fn run_artifacts(artifacts: &[ArtifactId], jobs: usize) -> Result<Vec<ArtifactReport>, Error> {
-    let plan = plan(artifacts);
-    let results = run_scenarios(&plan, jobs)?;
-    assemble(artifacts, &results)
+    run_artifacts_with(artifacts, jobs, &RunnerConfig::default()).map(|o| o.reports)
+}
+
+/// Everything one configured run produced: the assembled artifacts and
+/// the outcomes of any injected chaos scenarios.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Per-artifact reports, in request order.
+    pub reports: Vec<ArtifactReport>,
+    /// Failures from [`RunnerConfig::chaos`] scenarios (which belong to
+    /// no artifact). A chaos scenario that survives its run reports
+    /// nothing.
+    pub chaos_failures: Vec<(String, ScenarioFailure)>,
+}
+
+impl RunOutcome {
+    /// Every failure in the run — artifact scenarios first (request
+    /// order), then chaos scenarios.
+    pub fn failures(&self) -> Vec<(String, ScenarioFailure)> {
+        let mut all: Vec<(String, ScenarioFailure)> = self
+            .reports
+            .iter()
+            .flat_map(|r| r.failures.iter().cloned())
+            .collect();
+        all.extend(self.chaos_failures.iter().cloned());
+        all
+    }
+}
+
+/// [`run_artifacts`] with an explicit [`RunnerConfig`]: appends any
+/// chaos scenarios to the plan, fans the whole thing out, assembles
+/// the artifacts (degrading failed cells), and reports chaos outcomes
+/// separately.
+///
+/// # Errors
+///
+/// As for [`run_scenarios_with`] and [`assemble`].
+pub fn run_artifacts_with(
+    artifacts: &[ArtifactId],
+    jobs: usize,
+    cfg: &RunnerConfig,
+) -> Result<RunOutcome, Error> {
+    let mut full_plan = plan(artifacts);
+    let base = full_plan.len();
+    full_plan.extend(cfg.chaos.iter().map(|k| Scenario::Chaos(*k)));
+    let results = run_scenarios_with(&full_plan, jobs, cfg)?;
+    let reports = assemble(artifacts, &results[..base])?;
+    let chaos_failures = results[base..]
+        .iter()
+        .filter_map(|r| {
+            r.outcome
+                .as_ref()
+                .err()
+                .map(|f| (r.scenario.label(), f.clone()))
+        })
+        .collect();
+    Ok(RunOutcome {
+        reports,
+        chaos_failures,
+    })
 }
 
 #[cfg(test)]
@@ -553,5 +894,138 @@ mod tests {
                 got: 0
             }
         ));
+    }
+
+    #[test]
+    fn a_panicking_scenario_does_not_prevent_its_siblings() {
+        let p = [
+            Scenario::Table3,
+            Scenario::Chaos(ChaosKind::Panic),
+            Scenario::Ablation(ArtifactId::Vhe),
+        ];
+        for jobs in [1, 3] {
+            let results = run_scenarios(&p, jobs).unwrap();
+            assert_eq!(results.len(), 3);
+            assert!(results[0].outcome.is_ok(), "jobs={jobs}: table3 completed");
+            assert!(results[2].outcome.is_ok(), "jobs={jobs}: vhe completed");
+            let failure = results[1].outcome.as_ref().unwrap_err();
+            assert_eq!(failure.kind, ScenarioFailureKind::Panicked);
+            assert!(failure.detail.contains("deliberate panic"));
+        }
+    }
+
+    #[test]
+    fn cycle_budget_classifies_as_timed_out() {
+        let cfg = RunnerConfig {
+            watchdog: Watchdog {
+                cycle_budget: Some(1_000_000),
+                livelock_threshold: None,
+            },
+            ..RunnerConfig::default()
+        };
+        let results = run_scenarios_with(&[Scenario::Chaos(ChaosKind::Spin)], 1, &cfg).unwrap();
+        let failure = results[0].outcome.as_ref().unwrap_err();
+        assert_eq!(failure.kind, ScenarioFailureKind::TimedOut);
+        assert!(
+            failure.detail.contains("cycle budget"),
+            "{}",
+            failure.detail
+        );
+    }
+
+    #[test]
+    fn zero_progress_spin_classifies_as_livelocked() {
+        let cfg = RunnerConfig {
+            watchdog: Watchdog {
+                cycle_budget: None,
+                livelock_threshold: Some(10_000),
+            },
+            ..RunnerConfig::default()
+        };
+        let results = run_scenarios_with(&[Scenario::Chaos(ChaosKind::Livelock)], 1, &cfg).unwrap();
+        let failure = results[0].outcome.as_ref().unwrap_err();
+        assert_eq!(failure.kind, ScenarioFailureKind::Livelocked);
+    }
+
+    #[test]
+    fn wall_timeout_classifies_after_the_fact() {
+        let cfg = RunnerConfig {
+            wall_timeout: Some(Duration::ZERO),
+            ..RunnerConfig::default()
+        };
+        let results = run_scenarios_with(&[Scenario::Table3], 1, &cfg).unwrap();
+        let failure = results[0].outcome.as_ref().unwrap_err();
+        assert_eq!(failure.kind, ScenarioFailureKind::TimedOut);
+        assert!(failure.detail.contains("wall clock"));
+    }
+
+    #[test]
+    fn failed_fig4_cell_degrades_to_marked_gap() {
+        let artifacts = [ArtifactId::Fig4];
+        let p = plan(&artifacts);
+        let mut results = run_scenarios(&p, 4).unwrap();
+        results[5].outcome = Err(ScenarioFailure {
+            kind: ScenarioFailureKind::Panicked,
+            detail: "induced for the test".to_string(),
+        });
+        let reports = assemble(&artifacts, &results).unwrap();
+        assert_eq!(reports[0].failures.len(), 1);
+        assert!(reports[0].text.contains("!! 1 of 36 cells failed"));
+        assert!(reports[0].text.contains("induced for the test"));
+        // The JSON keeps the Figure4 shape; the failed cell is null.
+        assert!(reports[0].json.contains("\"measured\": null"));
+    }
+
+    #[test]
+    fn failed_single_scenario_artifact_reports_but_does_not_abort() {
+        let artifacts = [ArtifactId::Table3, ArtifactId::Vhe];
+        let p = plan(&artifacts);
+        let mut results = run_scenarios(&p, 1).unwrap();
+        results[0].outcome = Err(ScenarioFailure {
+            kind: ScenarioFailureKind::Livelocked,
+            detail: "induced".to_string(),
+        });
+        let reports = assemble(&artifacts, &results).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].text.contains("== Table III"));
+        assert!(reports[0].text.contains("!! scenario 'table3' livelocked"));
+        assert!(reports[0].json.contains("\"failed\": \"livelocked\""));
+        assert!(reports[1].failures.is_empty());
+        assert!(reports[1].text.contains("VHE"));
+    }
+
+    #[test]
+    fn chaos_failures_surface_without_touching_artifacts() {
+        let cfg = RunnerConfig {
+            chaos: vec![ChaosKind::Panic],
+            ..RunnerConfig::default()
+        };
+        let outcome = run_artifacts_with(&[ArtifactId::Table3], 2, &cfg).unwrap();
+        assert_eq!(outcome.reports.len(), 1);
+        assert!(outcome.reports[0].failures.is_empty());
+        assert_eq!(outcome.chaos_failures.len(), 1);
+        assert_eq!(outcome.chaos_failures[0].0, "chaos-panic");
+        assert_eq!(outcome.failures().len(), 1);
+    }
+
+    #[test]
+    fn chaos_kinds_parse_and_label() {
+        for k in [ChaosKind::Panic, ChaosKind::Spin, ChaosKind::Livelock] {
+            assert_eq!(ChaosKind::parse(k.name()), Some(k));
+            assert!(Scenario::Chaos(k).label().starts_with("chaos-"));
+        }
+        assert_eq!(ChaosKind::parse("explode"), None);
+    }
+
+    #[test]
+    fn default_config_matches_legacy_run_byte_for_byte() {
+        let artifacts = [ArtifactId::Table2, ArtifactId::Table3];
+        let legacy = run_artifacts(&artifacts, 2).unwrap();
+        let configured = run_artifacts_with(&artifacts, 2, &RunnerConfig::default()).unwrap();
+        for (a, b) in legacy.iter().zip(&configured.reports) {
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.json, b.json);
+        }
+        assert!(configured.chaos_failures.is_empty());
     }
 }

@@ -311,7 +311,14 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Cycles {
                 let arrival = t_send + client_rtt;
                 let (_, vcpu) = hv.receive(1, arrival);
                 hv.guest_compute(vcpu, crate::netperf::APP_WORK);
-                t_send = hv.transmit(vcpu, 1);
+                let sent = hv.transmit(vcpu, 1);
+                t_send = crate::netperf::tcp_reply_with_retransmits(
+                    hv,
+                    vcpu,
+                    sent,
+                    hvx_engine::Frequency::ARM_M400,
+                    None,
+                );
             }
         }
         Mix::StreamRx {

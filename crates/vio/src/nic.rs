@@ -28,6 +28,8 @@ pub struct Nic {
     rx_queue: VecDeque<Packet>,
     tx_count: u64,
     rx_count: u64,
+    stall_count: u64,
+    rekick_count: u64,
 }
 
 impl Nic {
@@ -38,6 +40,8 @@ impl Nic {
             rx_queue: VecDeque::new(),
             tx_count: 0,
             rx_count: 0,
+            stall_count: 0,
+            rekick_count: 0,
         }
     }
 
@@ -79,6 +83,24 @@ impl Nic {
     /// Packets received.
     pub fn rx_count(&self) -> u64 {
         self.rx_count
+    }
+
+    /// Records a DMA stall: the NIC missed a doorbell and the driver's
+    /// TX watchdog had to re-kick the ring. Counts both events so the
+    /// recovery invariant (`rekicks == stalls`) is checkable.
+    pub fn record_stall_and_rekick(&mut self) {
+        self.stall_count += 1;
+        self.rekick_count += 1;
+    }
+
+    /// DMA stalls observed (fault injection).
+    pub fn stall_count(&self) -> u64 {
+        self.stall_count
+    }
+
+    /// Driver re-kicks issued to recover from stalls.
+    pub fn rekick_count(&self) -> u64 {
+        self.rekick_count
     }
 }
 

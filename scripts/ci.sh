@@ -12,7 +12,13 @@ cargo build --release
 echo "== cargo test -q (workspace) =="
 cargo test -q --workspace
 
+echo "== cargo clippy (warnings denied) =="
+cargo clippy --workspace -- -D warnings
+
 echo "== cargo doc --no-deps (warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== fault smoke =="
+sh scripts/fault_smoke.sh
 
 echo "ci: all checks passed"

@@ -87,14 +87,13 @@ fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
 fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
     let mut angle: i32 = 0;
     while i < toks.len() {
-        match &toks[i] {
-            TokenTree::Punct(p) => match p.as_char() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
                 '<' => angle += 1,
                 '>' => angle -= 1,
                 ',' if angle == 0 => return i,
                 _ => {}
-            },
-            _ => {}
+            }
         }
         i += 1;
     }
