@@ -12,7 +12,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n=== Link-speed ablation (Section III) ===\n");
-    println!("{}", ablations::render_link_speed(&ablations::link_speed()));
+    println!(
+        "{}",
+        ablations::render_link_speed(&ablations::link_speed().unwrap())
+    );
     println!("=== vAPIC ablation (Section IV) ===\n");
     println!("{}", ablations::render_vapic(&ablations::vapic()));
     println!("=== Oversubscription sweep (Table I motivation) ===\n");
@@ -21,7 +24,10 @@ fn bench(c: &mut Criterion) {
         ablations::render_oversubscription(&ablations::oversubscription())
     );
     println!("=== Storage ablation (Section III devices) ===\n");
-    println!("{}", ablations::render_storage(&ablations::storage()));
+    println!(
+        "{}",
+        ablations::render_storage(&ablations::storage().unwrap())
+    );
     println!("=== Stage-2 demand-fault cost (Section V aside) ===\n");
     let mut kvm = KvmArm::new();
     let mut vhe = KvmArm::new_vhe();

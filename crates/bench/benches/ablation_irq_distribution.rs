@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     println!("\n=== Section V ablation: virtual-interrupt distribution ===\n");
     println!(
         "{}",
-        ablations::render_irq_distribution(&ablations::irq_distribution())
+        ablations::render_irq_distribution(&ablations::irq_distribution().unwrap())
     );
     let apache = workloads::catalog()
         .into_iter()
@@ -24,20 +24,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("irq_distribution");
     group.bench_function("apache/kvm-arm/concentrated", |b| {
         b.iter(|| {
-            black_box(workloads::run(
-                &mut KvmArm::new(),
-                apache,
-                VirqPolicy::Vcpu0,
-            ))
+            black_box(workloads::run(&mut KvmArm::new(), apache, VirqPolicy::Vcpu0).unwrap())
         });
     });
     group.bench_function("apache/xen-arm/distributed", |b| {
         b.iter(|| {
-            black_box(workloads::run(
-                &mut XenArm::new(),
-                apache,
-                VirqPolicy::RoundRobin,
-            ))
+            black_box(workloads::run(&mut XenArm::new(), apache, VirqPolicy::RoundRobin).unwrap())
         });
     });
     group.finish();

@@ -10,7 +10,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n=== Section VI: VHE projection ===\n");
-    println!("{}", ablations::render_vhe(&ablations::vhe()));
+    println!("{}", ablations::render_vhe(&ablations::vhe().unwrap()));
     let mut group = c.benchmark_group("vhe");
     group.bench_function("hypercall/classic-split-mode", |b| {
         let mut hv = KvmArm::new();

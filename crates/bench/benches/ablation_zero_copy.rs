@@ -10,7 +10,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n=== Section V: zero-copy trade analysis ===\n");
-    println!("{}", ablations::render_zero_copy(&ablations::zero_copy()));
+    println!(
+        "{}",
+        ablations::render_zero_copy(&ablations::zero_copy().unwrap())
+    );
     let mut group = c.benchmark_group("zero_copy");
     group.bench_function("grant-copy-per-packet", |b| {
         let mut grants = GrantTable::new(64);

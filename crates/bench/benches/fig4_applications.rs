@@ -12,7 +12,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n=== Figure 4: Application Benchmark Performance ===\n");
-    let fig = Figure4::measure();
+    let fig = Figure4::measure().expect("paper configuration is valid");
     println!("{}", fig.render());
     println!(
         "Worst deviation from a verbatim paper number: {:.2}\n",
@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4");
     let rr = Mix::NetRr { transactions: 10 };
     group.bench_function("tcp-rr/kvm-arm", |b| {
-        b.iter(|| black_box(workloads::run(&mut KvmArm::new(), rr, VirqPolicy::Vcpu0)));
+        b.iter(|| black_box(workloads::run(&mut KvmArm::new(), rr, VirqPolicy::Vcpu0).unwrap()));
     });
     let stream = Mix::StreamRx {
         chunks: 44,
@@ -31,11 +31,7 @@ fn bench(c: &mut Criterion) {
     };
     group.bench_function("tcp-stream/xen-arm", |b| {
         b.iter(|| {
-            black_box(workloads::run(
-                &mut XenArm::new(),
-                stream,
-                VirqPolicy::Vcpu0,
-            ))
+            black_box(workloads::run(&mut XenArm::new(), stream, VirqPolicy::Vcpu0).unwrap())
         });
     });
     let apache = workloads::catalog()
@@ -45,11 +41,7 @@ fn bench(c: &mut Criterion) {
         .mix;
     group.bench_function("apache/native-baseline", |b| {
         b.iter(|| {
-            black_box(workloads::run(
-                &mut Native::new(),
-                apache,
-                VirqPolicy::Vcpu0,
-            ))
+            black_box(workloads::run(&mut Native::new(), apache, VirqPolicy::Vcpu0).unwrap())
         });
     });
     group.finish();

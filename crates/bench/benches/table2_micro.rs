@@ -10,7 +10,7 @@ use std::hint::black_box;
 
 fn print_table() {
     println!("\n=== Table II: Microbenchmark Measurements (cycle counts) ===\n");
-    let t = Table2::measure(10);
+    let t = Table2::measure(10).unwrap();
     println!("{}", t.render());
     println!("Worst residual vs paper: {:.1}%\n", t.worst_error() * 100.0);
 }

@@ -10,7 +10,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n=== Table III: KVM ARM Hypercall Analysis (cycle counts) ===\n");
-    println!("{}", Table3::measure().render());
+    println!("{}", Table3::measure().unwrap().render());
     let mut group = c.benchmark_group("table3");
     group.bench_function("traced-hypercall", |b| {
         let mut kvm = KvmArm::new();
@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
         });
     });
     group.bench_function("breakdown-extraction", |b| {
-        b.iter(|| black_box(Table3::measure()));
+        b.iter(|| black_box(Table3::measure().unwrap()));
     });
     group.finish();
 }

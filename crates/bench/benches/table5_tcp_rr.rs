@@ -11,7 +11,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n=== Table V: Netperf TCP_RR Analysis on ARM ===\n");
-    println!("{}", Table5::measure(50).render());
+    println!("{}", Table5::measure(50).unwrap().render());
     let mut group = c.benchmark_group("table5");
     group.bench_function("rr-transaction/native", |b| {
         b.iter(|| black_box(run_rr(&mut Native::new(), 5, Frequency::ARM_M400)));

@@ -24,7 +24,7 @@
 use hvx_engine::Cycles;
 
 /// Per-register-class context-switch costs — Table III, paper-verbatim.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct ClassCosts {
     /// Cost to save this class to memory.
     pub save: Cycles,
@@ -43,7 +43,7 @@ const fn class(save: u64, restore: u64) -> ClassCosts {
 ///
 /// Obtain via [`CostModel::arm()`], [`CostModel::x86()`], or
 /// [`CostModel::uncalibrated()`]; adjust individual fields for ablations.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct CostModel {
     // ------------------------------------------------------------------
     // ARM hardware transition costs
@@ -249,6 +249,24 @@ pub struct CostModel {
     pub xen_guest_pv: Cycles,
 }
 
+/// Generates [`CostModel::PERTURBABLE`] and the name → field lookup
+/// used by [`CostModel::apply_perturbation`], so the two can never
+/// fall out of sync.
+macro_rules! perturbable_fields {
+    ($($name:ident),* $(,)?) => {
+        /// `Cycles`-typed field names accepted by
+        /// [`CostModel::apply_perturbation`].
+        pub const PERTURBABLE: &'static [&'static str] = &[$(stringify!($name)),*];
+
+        fn field_mut(&mut self, name: &str) -> Option<&mut Cycles> {
+            match name {
+                $(stringify!($name) => Some(&mut self.$name),)*
+                _ => None,
+            }
+        }
+    };
+}
+
 impl CostModel {
     /// The calibrated ARM (HP m400, 2.4 GHz) model.
     pub const fn arm() -> Self {
@@ -437,6 +455,80 @@ impl CostModel {
     /// Per-byte network-stack cost for `len` payload bytes.
     pub fn stack_bytes(&self, len: usize) -> Cycles {
         Cycles::new(len as u64 * self.stack_per_byte_milli / 1000)
+    }
+
+    /// Content fingerprint over every field of the model. Part of the
+    /// scenario input closure hashed by the suite's result cache: any
+    /// pinned-cost change moves this digest (and is therefore
+    /// classified as a schema bump, not silent drift).
+    pub fn fingerprint(&self) -> hvx_engine::Fingerprint {
+        let mut h = hvx_engine::FingerprintHasher::new();
+        self.fingerprint_into(&mut h);
+        h.finish()
+    }
+
+    /// Absorbs every field of the model into `h` (declaration order).
+    pub fn fingerprint_into(&self, h: &mut hvx_engine::FingerprintHasher) {
+        h.write_str("cost_model");
+        h.write_serialize(self);
+    }
+
+    /// Applies a comma-separated perturbation spec to the model in
+    /// place: `field=+N` adds, `field=-N` subtracts (saturating), and
+    /// `field=N` sets the named cost outright. Field names are the
+    /// `Cycles`-typed struct fields (see [`CostModel::PERTURBABLE`]).
+    ///
+    /// This exists for the baseline regression gate's drift drill: it
+    /// changes *charging behaviour* without touching the pinned
+    /// constants that scenario fingerprints hash, which is exactly the
+    /// "same fingerprint, different bytes" condition `hvx-repro check`
+    /// must flag as drift.
+    pub fn apply_perturbation(&mut self, spec: &str) -> Result<(), String> {
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (name, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("bad perturbation clause '{clause}' (want field=value)"))?;
+            let slot = self
+                .field_mut(name.trim())
+                .ok_or_else(|| format!("unknown cost field '{}'", name.trim()))?;
+            let value = value.trim();
+            let current = slot.as_u64();
+            let next = if let Some(delta) = value.strip_prefix('+') {
+                let d: u64 = delta
+                    .parse()
+                    .map_err(|_| format!("bad delta '{value}' for {name}"))?;
+                current.saturating_add(d)
+            } else if let Some(delta) = value.strip_prefix('-') {
+                let d: u64 = delta
+                    .parse()
+                    .map_err(|_| format!("bad delta '{value}' for {name}"))?;
+                current.saturating_sub(d)
+            } else {
+                value
+                    .parse()
+                    .map_err(|_| format!("bad value '{value}' for {name}"))?
+            };
+            *slot = Cycles::new(next);
+        }
+        Ok(())
+    }
+
+    perturbable_fields! {
+        hw_trap, hw_eret, gic_vif_access, ipi_wire, gic_phys_access,
+        kvm_toggle_traps, kvm_host_dispatch, kvm_mmio_decode, kvm_gicd_emulate,
+        kvm_vgic_inject, kvm_sched, kvm_ioeventfd, kvm_vhost_wake,
+        kvm_io_in_host, kvm_vhost_per_packet,
+        xen_dispatch, xen_mmio_decode, xen_gicd_emulate, xen_vgic_inject,
+        xen_sched, xen_evtchn_send, xen_event_upcall, xen_net_per_packet,
+        xen_grant_copy, xen_wake_blocked,
+        vmexit, vmentry, x86_ipi_wire, x86_doorbell_wire,
+        kvm_x86_dispatch, xen_x86_dispatch, kvm_x86_apic_emulate,
+        xen_x86_apic_emulate, kvm_x86_mmio_decode, xen_x86_mmio_decode,
+        kvm_x86_sched, xen_x86_sched, kvm_x86_io_in_host, xen_x86_io_backend,
+        x86_inject, xen_x86_inject, kvm_x86_ioeventfd, xen_x86_wake_blocked,
+        xen_x86_wake_domu,
+        page_alloc, native_irq, stack_tx_per_packet, stack_rx_per_packet,
+        host_net_rx, host_net_tx, nic_dma, kvm_guest_virtio, xen_guest_pv,
     }
 }
 

@@ -94,6 +94,35 @@ pub enum Error {
         /// numbers, livelock streak).
         detail: String,
     },
+    /// A workload was asked to do something the modelled hardware
+    /// cannot (e.g. a disk request larger than the device).
+    Workload {
+        /// The workload's catalog name.
+        workload: &'static str,
+        /// What was wrong with the request.
+        detail: String,
+    },
+    /// A cost-model perturbation spec (`HVX_COST_PERTURB`) did not
+    /// parse or named an unknown field.
+    Perturbation {
+        /// The parser's message.
+        detail: String,
+    },
+    /// A baseline to read back (manifest or artifact snapshot) was
+    /// missing or malformed.
+    Baseline {
+        /// The offending path or entry.
+        what: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// `hvx-repro check` found artifacts whose bytes diverged from the
+    /// golden baseline while their input fingerprints were unchanged —
+    /// silent behavioural drift. Mapped to exit code 4 by the CLI.
+    BaselineDrift {
+        /// How many artifacts drifted.
+        drifted: usize,
+    },
 }
 
 /// How an isolated scenario failed (see [`Error::Scenario`]).
@@ -106,6 +135,9 @@ pub enum ScenarioFailureKind {
     TimedOut,
     /// The scenario's watchdog detected zero simulated progress.
     Livelocked,
+    /// The scenario returned a typed error (no unwinding involved) —
+    /// a malformed request degraded gracefully instead of panicking.
+    Failed,
 }
 
 impl fmt::Display for ScenarioFailureKind {
@@ -114,6 +146,7 @@ impl fmt::Display for ScenarioFailureKind {
             ScenarioFailureKind::Panicked => "panicked",
             ScenarioFailureKind::TimedOut => "timed out",
             ScenarioFailureKind::Livelocked => "livelocked",
+            ScenarioFailureKind::Failed => "failed",
         })
     }
 }
@@ -152,6 +185,20 @@ impl fmt::Display for Error {
                 kind,
                 detail,
             } => write!(f, "scenario '{scenario}' {kind}: {detail}"),
+            Error::Workload { workload, detail } => {
+                write!(f, "workload '{workload}' rejected: {detail}")
+            }
+            Error::Perturbation { detail } => {
+                write!(f, "bad HVX_COST_PERTURB spec: {detail}")
+            }
+            Error::Baseline { what, detail } => {
+                write!(f, "bad baseline {what}: {detail}")
+            }
+            Error::BaselineDrift { drifted } => write!(
+                f,
+                "baseline drift: {drifted} artifact(s) changed bytes with unchanged \
+                 input fingerprints"
+            ),
         }
     }
 }

@@ -10,7 +10,8 @@
 //! returns a ready [`Sim`].
 
 use crate::{
-    CostModel, Error, HvKind, Hypervisor, KvmArm, KvmX86, Native, VirqPolicy, XenArm, XenX86,
+    CostModel, Error, HvKind, Hypervisor, KvmArm, KvmX86, Native, Platform, VirqPolicy, XenArm,
+    XenX86,
 };
 use core::fmt;
 use hvx_engine::{FaultPlan, TraceMode};
@@ -243,7 +244,25 @@ impl SimBuilder {
                 supported: PAPER_VCPUS,
             });
         }
-        let mut hv: Box<dyn Hypervisor> = match (self.kind, self.cost) {
+        // Drift drill: `HVX_COST_PERTURB` mutates the *effective*
+        // charging constants without touching the pinned `CostModel`
+        // consts that scenario fingerprints hash — the exact condition
+        // the baseline gate must classify as drift. The x86 models
+        // ignore cost overrides, so perturbation reaches the ARM and
+        // native paths (all Figure 4 columns the gate profiles).
+        let cost = match std::env::var("HVX_COST_PERTURB") {
+            Ok(spec) if !spec.trim().is_empty() => {
+                let mut c = self.cost.unwrap_or_else(|| match self.kind.platform() {
+                    Platform::X86 => CostModel::x86(),
+                    _ => CostModel::arm(),
+                });
+                c.apply_perturbation(&spec)
+                    .map_err(|detail| Error::Perturbation { detail })?;
+                Some(c)
+            }
+            _ => self.cost,
+        };
+        let mut hv: Box<dyn Hypervisor> = match (self.kind, cost) {
             (HvKind::KvmArm, Some(c)) => Box::new(KvmArm::with_cost(c, false)),
             (HvKind::KvmArm, None) => Box::new(KvmArm::new()),
             (HvKind::KvmArmVhe, Some(c)) => Box::new(KvmArm::with_cost(c, true)),

@@ -186,6 +186,23 @@ impl FaultPlan {
         self.rate_ppm[point.index()]
     }
 
+    /// Absorbs the plan's full identity — seed, per-point rates, and
+    /// forced-occurrence schedules — into `h`. Part of the scenario
+    /// input closure content-addressed by the suite's result cache.
+    pub fn fingerprint_into(&self, h: &mut crate::fingerprint::FingerprintHasher) {
+        h.write_str("fault_plan");
+        h.write_u64(self.seed);
+        for &rate in &self.rate_ppm {
+            h.write_u32(rate);
+        }
+        for sched in &self.schedule {
+            h.write_u64(sched.len() as u64);
+            for &occ in sched {
+                h.write_u64(occ);
+            }
+        }
+    }
+
     /// Parses a plan spec: comma-separated `point=probability` (rate)
     /// and `point@occurrence` (forced, 0-based) clauses.
     ///
@@ -313,6 +330,14 @@ impl Watchdog {
         cycle_budget: None,
         livelock_threshold: None,
     };
+
+    /// Absorbs the watchdog limits into `h`. A tripped watchdog changes
+    /// scenario outcomes, so the limits belong to the input closure.
+    pub fn fingerprint_into(&self, h: &mut crate::fingerprint::FingerprintHasher) {
+        h.write_str("watchdog");
+        h.write_u64(self.cycle_budget.unwrap_or(u64::MAX));
+        h.write_u64(self.livelock_threshold.unwrap_or(u64::MAX));
+    }
 }
 
 impl Default for Watchdog {

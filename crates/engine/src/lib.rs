@@ -46,6 +46,7 @@
 mod cycles;
 mod event;
 pub mod fault;
+pub mod fingerprint;
 mod machine;
 mod stats;
 pub mod timeline;
@@ -55,11 +56,13 @@ mod trace;
 pub use cycles::{Cycles, Frequency};
 pub use event::EventQueue;
 pub use fault::{FaultPlan, FaultPoint, Watchdog};
+pub use fingerprint::{Fingerprint, FingerprintHasher};
 // Observability primitives, re-exported so instrumented layers (core,
 // gic, vio, suite) need only an `hvx-engine` dependency.
 pub use hvx_obs::{
-    CounterSnapshot, HistogramSketch, HistogramSnapshot, MetricsRegistry, ProfileSnapshot, SpanRow,
-    SpanSnapshotRow, SpanTracer, TransitionId,
+    render_span_deltas, span_deltas, CounterSnapshot, HistogramSketch, HistogramSnapshot,
+    MetricsRegistry, ProfileSnapshot, SpanDelta, SpanRow, SpanSnapshotRow, SpanTracer,
+    TransitionId,
 };
 pub use machine::Machine;
 pub use stats::{Histogram, Samples, Streaming, Summary};

@@ -119,6 +119,31 @@ impl Machine {
         &self.topology
     }
 
+    /// Content fingerprint of the machine's input configuration:
+    /// topology, installed fault plan (if any), and watchdog limits.
+    ///
+    /// Clocks, traces, and other *derived* state are deliberately
+    /// excluded — two machines with the same fingerprint started from
+    /// the same closure, whatever they have executed since.
+    pub fn fingerprint(&self) -> crate::fingerprint::Fingerprint {
+        let mut h = crate::fingerprint::FingerprintHasher::new();
+        self.fingerprint_into(&mut h);
+        h.finish()
+    }
+
+    /// Absorbs the machine's input configuration into `h` (see
+    /// [`Machine::fingerprint`]).
+    pub fn fingerprint_into(&self, h: &mut crate::fingerprint::FingerprintHasher) {
+        h.write_str("machine");
+        h.write_serialize(&self.topology);
+        match &self.faults {
+            Some(state) => state.plan().fingerprint_into(h),
+            None => h.write_str("no_faults"),
+        }
+        h.write_u64(self.cycle_budget);
+        h.write_u64(self.livelock_limit);
+    }
+
     /// The current instant on `core`.
     ///
     /// # Panics

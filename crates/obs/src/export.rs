@@ -8,10 +8,10 @@
 //! straight from [`SpanTracer::folded`](crate::SpanTracer::folded).
 
 use crate::{MetricsRegistry, SpanTracer, TransitionId};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One exported breakdown row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SpanSnapshotRow {
     /// Transition name ([`TransitionId::name`]).
     pub transition: &'static str,
@@ -26,7 +26,7 @@ pub struct SpanSnapshotRow {
 }
 
 /// One exported counter.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CounterSnapshot {
     /// Metric name.
     pub name: &'static str,
@@ -35,7 +35,7 @@ pub struct CounterSnapshot {
 }
 
 /// One exported histogram.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Metric name.
     pub name: &'static str,
@@ -57,7 +57,7 @@ pub struct HistogramSnapshot {
 
 /// The complete exported profile of one scenario: the span breakdown
 /// (with its conservation remainder) plus sampled metrics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProfileSnapshot {
     /// Total cycles charged during the profiled run.
     pub total_cycles: u64,
@@ -132,6 +132,86 @@ pub fn transition_names() -> Vec<&'static str> {
         .into_iter()
         .map(TransitionId::name)
         .collect()
+}
+
+/// One per-transition divergence between two profile snapshots.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanDelta {
+    /// Transition name.
+    pub transition: &'static str,
+    /// Exclusive cycles in the baseline snapshot (0 if absent).
+    pub baseline_cycles: u64,
+    /// Exclusive cycles in the current snapshot (0 if absent).
+    pub current_cycles: u64,
+    /// `current - baseline`, signed.
+    pub delta_cycles: i64,
+}
+
+impl SpanDelta {
+    /// Relative change against the baseline (`+inf` for a span that
+    /// appeared from nothing).
+    pub fn delta_pct(&self) -> f64 {
+        if self.baseline_cycles == 0 {
+            if self.current_cycles == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.delta_cycles as f64 * 100.0 / self.baseline_cycles as f64
+        }
+    }
+}
+
+/// Computes the per-transition exclusive-cycle deltas between two
+/// snapshots, largest absolute delta first. Transitions present in
+/// either snapshot are compared; identical rows are omitted, so an
+/// empty result means the two span breakdowns agree exactly.
+pub fn span_deltas(baseline: &ProfileSnapshot, current: &ProfileSnapshot) -> Vec<SpanDelta> {
+    let mut out = Vec::new();
+    for name in transition_names() {
+        let find = |s: &ProfileSnapshot| {
+            s.spans
+                .iter()
+                .find(|r| r.transition == name)
+                .map_or(0, |r| r.exclusive_cycles)
+        };
+        let b = find(baseline);
+        let c = find(current);
+        if b != c {
+            out.push(SpanDelta {
+                transition: name,
+                baseline_cycles: b,
+                current_cycles: c,
+                delta_cycles: c as i64 - b as i64,
+            });
+        }
+    }
+    out.sort_by_key(|d| std::cmp::Reverse(d.delta_cycles.unsigned_abs()));
+    out
+}
+
+/// Renders a span-delta table for drift reports: one aligned row per
+/// diverging transition, with signed cycle and percentage changes.
+pub fn render_span_deltas(deltas: &[SpanDelta]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "    {:<22}{:>14}{:>14}{:>12}{:>10}\n",
+        "transition", "baseline", "current", "delta", "pct"
+    ));
+    for d in deltas {
+        let pct = d.delta_pct();
+        let pct = if pct.is_infinite() {
+            "new".to_string()
+        } else {
+            format!("{pct:+.1}%")
+        };
+        out.push_str(&format!(
+            "    {:<22}{:>14}{:>14}{:>+12}{:>10}\n",
+            d.transition, d.baseline_cycles, d.current_cycles, d.delta_cycles, pct
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -28,7 +28,8 @@ mod metrics;
 mod span;
 
 pub use export::{
-    transition_names, CounterSnapshot, HistogramSnapshot, ProfileSnapshot, SpanSnapshotRow,
+    render_span_deltas, span_deltas, transition_names, CounterSnapshot, HistogramSnapshot,
+    ProfileSnapshot, SpanDelta, SpanSnapshotRow,
 };
 pub use metrics::{HistogramSketch, MetricsRegistry};
 pub use span::{SpanRow, SpanTracer, TransitionId};

@@ -3,21 +3,25 @@
 use hvx_suite::*;
 
 fn main() {
+    let ok = "paper configuration is valid";
     println!("=== Table II ===");
-    println!("{}", micro::Table2::measure(3).render());
+    println!("{}", micro::Table2::measure(3).expect(ok).render());
     println!("=== Table III ===");
-    println!("{}", table3::Table3::measure().render());
+    println!("{}", table3::Table3::measure().expect(ok).render());
     println!("=== Table V ===");
-    println!("{}", netperf::Table5::measure(20).render());
+    println!("{}", netperf::Table5::measure(20).expect(ok).render());
     println!("=== Figure 4 ===");
-    println!("{}", fig4::Figure4::measure().render());
+    println!("{}", fig4::Figure4::measure().expect(ok).render());
     println!("=== IRQ distribution ablation ===");
     println!(
         "{}",
-        ablations::render_irq_distribution(&ablations::irq_distribution())
+        ablations::render_irq_distribution(&ablations::irq_distribution().expect(ok))
     );
     println!("=== VHE projection ===");
-    println!("{}", ablations::render_vhe(&ablations::vhe()));
+    println!("{}", ablations::render_vhe(&ablations::vhe().expect(ok)));
     println!("=== Zero copy ===");
-    println!("{}", ablations::render_zero_copy(&ablations::zero_copy()));
+    println!(
+        "{}",
+        ablations::render_zero_copy(&ablations::zero_copy().expect(ok))
+    );
 }

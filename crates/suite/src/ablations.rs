@@ -13,17 +13,17 @@
 
 use crate::netperf::{self, RrFaultStats};
 use crate::workloads::{self, DiskDevice, Mix};
-use hvx_core::{HvKind, Hypervisor, KvmArm, Native, SimBuilder, VirqPolicy, XenArm};
+use hvx_core::{Error, HvKind, Hypervisor, KvmArm, Native, SimBuilder, VirqPolicy, XenArm};
 use hvx_engine::{Cycles, FaultPlan, FaultPoint, Frequency, TransitionId};
 use hvx_mem::{Ipa, ShootdownMethod, TlbModel};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 // ---------------------------------------------------------------------
 // Interrupt distribution
 // ---------------------------------------------------------------------
 
 /// One row of the interrupt-distribution ablation.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct IrqDistributionRow {
     /// Workload name.
     pub workload: &'static str,
@@ -39,35 +39,37 @@ pub struct IrqDistributionRow {
 
 /// Runs the §V interrupt-distribution ablation for Apache and Memcached
 /// on both ARM hypervisors.
-pub fn irq_distribution() -> Vec<IrqDistributionRow> {
+pub fn irq_distribution() -> Result<Vec<IrqDistributionRow>, Error> {
     let mut rows = Vec::new();
     for (workload, hv_kind, before, after) in crate::paper::IRQ_DISTRIBUTION {
         let mix = workloads::catalog()
             .into_iter()
             .find(|w| w.name == workload)
-            .expect("catalog workload")
+            .ok_or_else(|| Error::UnknownWorkload {
+                name: workload.to_string(),
+            })?
             .mix;
-        let run = |policy: VirqPolicy| -> f64 {
+        let run = |policy: VirqPolicy| -> Result<f64, Error> {
             let mut native = Native::new();
-            match hv_kind {
+            Ok(match hv_kind {
                 HvKind::KvmArm => {
-                    workloads::overhead(&mut KvmArm::new(), &mut native, mix, policy) - 1.0
+                    workloads::overhead(&mut KvmArm::new(), &mut native, mix, policy)? - 1.0
                 }
                 HvKind::XenArm => {
-                    workloads::overhead(&mut XenArm::new(), &mut native, mix, policy) - 1.0
+                    workloads::overhead(&mut XenArm::new(), &mut native, mix, policy)? - 1.0
                 }
                 _ => unreachable!("ablation is ARM-only"),
-            }
+            })
         };
         rows.push(IrqDistributionRow {
             workload,
             hv: hv_kind,
-            concentrated: run(VirqPolicy::Vcpu0),
-            distributed: run(VirqPolicy::RoundRobin),
+            concentrated: run(VirqPolicy::Vcpu0)?,
+            distributed: run(VirqPolicy::RoundRobin)?,
             paper: (before, after),
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the ablation table.
@@ -98,7 +100,7 @@ pub fn render_irq_distribution(rows: &[IrqDistributionRow]) -> String {
 // ---------------------------------------------------------------------
 
 /// The §VI projection measured on the models.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VheProjection {
     /// (microbenchmark name, classic KVM ARM cycles, VHE cycles, Xen ARM
     /// cycles) for the transition-bound microbenchmarks.
@@ -111,7 +113,7 @@ pub struct VheProjection {
 /// Measures the VHE projection: microbenchmark transition costs and the
 /// I/O-bound application overheads under classic KVM ARM, KVM ARM + VHE,
 /// and Xen ARM.
-pub fn vhe() -> VheProjection {
+pub fn vhe() -> Result<VheProjection, Error> {
     use crate::micro::Micro;
     let micro_set = [
         Micro::Hypercall,
@@ -141,32 +143,32 @@ pub fn vhe() -> VheProjection {
         let mix = workloads::catalog()
             .into_iter()
             .find(|w| w.name == name)
-            .expect("catalog workload")
+            .ok_or_else(|| Error::UnknownWorkload { name: name.into() })?
             .mix;
         let classic = workloads::overhead(
             &mut KvmArm::new(),
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )?;
         let vhe = workloads::overhead(
             &mut KvmArm::new_vhe(),
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )?;
         let xen = workloads::overhead(
             &mut XenArm::new(),
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )?;
         wl.push((name, classic, vhe, xen));
     }
-    VheProjection {
+    Ok(VheProjection {
         micro,
         workloads: wl,
-    }
+    })
 }
 
 /// Renders the VHE projection.
@@ -205,7 +207,7 @@ pub fn render_vhe(p: &VheProjection) -> String {
 // ---------------------------------------------------------------------
 
 /// Per-packet cost comparison of Xen's three possible netback designs.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ZeroCopyAnalysis {
     /// Grant-copy cost per packet (what Xen ships), cycles.
     pub copy: u64,
@@ -225,7 +227,7 @@ pub struct ZeroCopyAnalysis {
 /// Prices the §V zero-copy trade mechanically: grant-table map/unmap
 /// against [`TlbModel`] shootdown plans on both architectures, and its
 /// projected effect on TCP_STREAM.
-pub fn zero_copy() -> ZeroCopyAnalysis {
+pub fn zero_copy() -> Result<ZeroCopyAnalysis, Error> {
     let cost = *XenArm::new().cost();
     let cores = 8;
     // Mapping path: grant map + unmap bookkeeping plus the TLB
@@ -253,20 +255,20 @@ pub fn zero_copy() -> ZeroCopyAnalysis {
         &mut Native::new(),
         mix,
         VirqPolicy::Vcpu0,
-    );
+    )?;
     let mut mapped_cost = cost;
     mapped_cost.xen_grant_copy = bcast_cost;
     let mut mapped_xen = XenArm::with_cost(mapped_cost);
     let stream_mapped =
-        workloads::overhead(&mut mapped_xen, &mut Native::new(), mix, VirqPolicy::Vcpu0);
+        workloads::overhead(&mut mapped_xen, &mut Native::new(), mix, VirqPolicy::Vcpu0)?;
 
-    ZeroCopyAnalysis {
+    Ok(ZeroCopyAnalysis {
         copy: cost.xen_grant_copy.as_u64(),
         map_ipi_shootdown: ipi_cost.as_u64(),
         map_broadcast_tlbi: bcast_cost.as_u64(),
         stream_overhead_copy: stream_copy,
         stream_overhead_mapped_arm: stream_mapped,
-    }
+    })
 }
 
 /// Renders the zero-copy analysis.
@@ -301,7 +303,7 @@ pub fn render_zero_copy(z: &ZeroCopyAnalysis) -> String {
 
 /// TCP_STREAM overhead at two link speeds — §III's methodological
 /// observation, reproduced.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct LinkSpeedAblation {
     /// Overheads at 10 GbE: (KVM ARM, Xen ARM).
     pub ten_gbe: (f64, f64),
@@ -312,33 +314,33 @@ pub struct LinkSpeedAblation {
 /// Runs TCP_STREAM at 10 GbE and 1 GbE. At 1 GbE "the network itself
 /// became the bottleneck" (§III): even Xen's per-packet grant copies
 /// hide behind the slow wire and every overhead collapses toward 1.0.
-pub fn link_speed() -> LinkSpeedAblation {
-    let run = |link_mbit: u64| -> (f64, f64) {
+pub fn link_speed() -> Result<LinkSpeedAblation, Error> {
+    let run = |link_mbit: u64| -> Result<(f64, f64), Error> {
         let mix = Mix::StreamRx {
             chunks: 44,
             chunk_len: 1_490,
             bursts: 24,
             link_mbit,
         };
-        (
+        Ok((
             workloads::overhead(
                 &mut KvmArm::new(),
                 &mut Native::new(),
                 mix,
                 VirqPolicy::Vcpu0,
-            ),
+            )?,
             workloads::overhead(
                 &mut XenArm::new(),
                 &mut Native::new(),
                 mix,
                 VirqPolicy::Vcpu0,
-            ),
-        )
+            )?,
+        ))
     };
-    LinkSpeedAblation {
-        ten_gbe: run(10_000),
-        one_gbe: run(1_000),
-    }
+    Ok(LinkSpeedAblation {
+        ten_gbe: run(10_000)?,
+        one_gbe: run(1_000)?,
+    })
 }
 
 /// Renders the link-speed ablation.
@@ -368,7 +370,7 @@ pub fn render_link_speed(l: &LinkSpeedAblation) -> String {
 // ---------------------------------------------------------------------
 
 /// x86 interrupt-completion costs with and without hardware vAPIC.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct VapicAblation {
     /// Virtual IRQ Completion, pre-vAPIC KVM x86 (cycles).
     pub x86_classic: u64,
@@ -413,7 +415,7 @@ pub fn render_vapic(v: &VapicAblation) -> String {
 /// VM-switch overhead when physical CPUs are oversubscribed, priced at
 /// each hypervisor's Table II VM Switch cost over a credit-scheduler
 /// simulation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OversubscriptionAblation {
     /// (vms per core, timeslice µs, KVM ARM overhead, Xen ARM overhead,
     /// KVM x86 overhead, Xen x86 overhead).
@@ -470,7 +472,7 @@ pub fn render_oversubscription(o: &OversubscriptionAblation) -> String {
 // ---------------------------------------------------------------------
 
 /// Block-I/O overhead across the paper's two storage devices.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct StorageAblation {
     /// Overheads on the m400's SSD: (KVM ARM, Xen ARM).
     pub ssd: (f64, f64),
@@ -482,32 +484,32 @@ pub struct StorageAblation {
 /// the storage analog of the 1 GbE observation — a slow device hides
 /// the paravirtual block stack, a fast SSD exposes it (and Xen's extra
 /// grant copy).
-pub fn storage() -> StorageAblation {
-    let run = |device: DiskDevice, requests: u32| -> (f64, f64) {
+pub fn storage() -> Result<StorageAblation, Error> {
+    let run = |device: DiskDevice, requests: u32| -> Result<(f64, f64), Error> {
         let mix = Mix::DiskIo {
             requests,
             sectors: 8,
             device,
         };
-        (
+        Ok((
             workloads::overhead(
                 &mut KvmArm::new(),
                 &mut Native::new(),
                 mix,
                 VirqPolicy::Vcpu0,
-            ),
+            )?,
             workloads::overhead(
                 &mut XenArm::new(),
                 &mut Native::new(),
                 mix,
                 VirqPolicy::Vcpu0,
-            ),
-        )
+            )?,
+        ))
     };
-    StorageAblation {
-        ssd: run(DiskDevice::Ssd, 32),
-        raid5: run(DiskDevice::Raid5, 8),
-    }
+    Ok(StorageAblation {
+        ssd: run(DiskDevice::Ssd, 32)?,
+        raid5: run(DiskDevice::Raid5, 8)?,
+    })
 }
 
 /// Renders the storage ablation.
@@ -544,7 +546,7 @@ pub const FAULT_RECOVERY_SEED: u64 = 42;
 pub const FAULT_RECOVERY_TRANSACTIONS: usize = 40;
 
 /// One (hypervisor, loss-rate) cell of the fault-recovery sweep.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FaultRecoveryCell {
     /// Configuration.
     pub hv: HvKind,
@@ -566,7 +568,7 @@ pub struct FaultRecoveryCell {
 /// The fault-recovery ablation: TCP_RR under a wire-loss sweep on all
 /// four measured hypervisors, with the recovery work visible as
 /// attributed spans rather than folded into unattributed time.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultRecoveryAblation {
     /// The deterministic seed every plan used.
     pub seed: u64,
@@ -601,7 +603,7 @@ fn fault_recovery_plan(loss: f64) -> FaultPlan {
 /// Runs the TCP_RR loss sweep. With `loss == 0` the plan is empty, the
 /// machine carries no fault state, and the cell reproduces the plain
 /// Table V path exactly.
-pub fn fault_recovery() -> FaultRecoveryAblation {
+pub fn fault_recovery() -> Result<FaultRecoveryAblation, Error> {
     let freq = Frequency::ARM_M400;
     let mut cells = Vec::new();
     for kind in HvKind::MEASURED {
@@ -610,8 +612,7 @@ pub fn fault_recovery() -> FaultRecoveryAblation {
                 .workload(hvx_core::Workload::Netperf)
                 .profiling(true)
                 .fault_plan(fault_recovery_plan(loss))
-                .build()
-                .expect("paper configuration is valid");
+                .build()?;
             let (col, stats): (netperf::RrColumn, RrFaultStats) =
                 netperf::run_rr_lossy(sim.as_dyn_mut(), FAULT_RECOVERY_TRANSACTIONS, freq);
             sim.sample_metrics();
@@ -632,10 +633,10 @@ pub fn fault_recovery() -> FaultRecoveryAblation {
             });
         }
     }
-    FaultRecoveryAblation {
+    Ok(FaultRecoveryAblation {
         seed: FAULT_RECOVERY_SEED,
         cells,
-    }
+    })
 }
 
 /// Renders the fault-recovery sweep.
@@ -674,7 +675,7 @@ mod tests {
 
     #[test]
     fn vhe_collapses_transition_costs() {
-        let p = vhe();
+        let p = vhe().unwrap();
         let hypercall = p.micro.iter().find(|m| m.0 == "Hypercall").unwrap();
         assert!(
             hypercall.1 > 9 * hypercall.2,
@@ -696,7 +697,7 @@ mod tests {
     fn vhe_beats_xen_on_io_workloads() {
         // §VI: "yielding superior performance to a Type 1 hypervisor
         // such as Xen which must still rely on Dom0".
-        let p = vhe();
+        let p = vhe().unwrap();
         for (name, classic, vhe_oh, xen) in &p.workloads {
             assert!(vhe_oh < classic, "{name}: VHE should improve on classic");
             assert!(vhe_oh < xen, "{name}: VHE should beat Xen");
@@ -706,7 +707,7 @@ mod tests {
     #[test]
     fn vhe_improves_io_workloads_by_percents_not_magnitudes() {
         // §VI: "improving more realistic I/O workloads by 10% to 20%".
-        let p = vhe();
+        let p = vhe().unwrap();
         let rr = p.workloads.iter().find(|w| w.0 == "TCP_RR").unwrap();
         let gain = (rr.1 - rr.2) / rr.1;
         assert!(
@@ -717,7 +718,7 @@ mod tests {
 
     #[test]
     fn one_gbe_hides_all_virtualization_overhead() {
-        let l = link_speed();
+        let l = link_speed().unwrap();
         assert!(l.ten_gbe.1 > 2.0, "Xen visible at 10 GbE: {:?}", l.ten_gbe);
         assert!(l.one_gbe.0 < 1.05, "KVM hidden at 1 GbE: {:?}", l.one_gbe);
         assert!(l.one_gbe.1 < 1.05, "Xen hidden at 1 GbE: {:?}", l.one_gbe);
@@ -746,7 +747,7 @@ mod tests {
 
     #[test]
     fn storage_mirrors_the_link_speed_story() {
-        let st = storage();
+        let st = storage().unwrap();
         assert!(st.ssd.1 > st.ssd.0, "Xen pays more on SSD: {:?}", st.ssd);
         assert!(
             st.raid5.0 < 1.02 && st.raid5.1 < 1.05,
@@ -757,7 +758,7 @@ mod tests {
 
     #[test]
     fn fault_recovery_sweep_degrades_monotonically() {
-        let f = fault_recovery();
+        let f = fault_recovery().unwrap();
         assert_eq!(f.cells.len(), 16);
         for kind in HvKind::MEASURED {
             let per_hv: Vec<&FaultRecoveryCell> = f.cells.iter().filter(|c| c.hv == kind).collect();
@@ -787,14 +788,14 @@ mod tests {
 
     #[test]
     fn fault_recovery_is_deterministic() {
-        let a = fault_recovery();
-        let b = fault_recovery();
+        let a = fault_recovery().unwrap();
+        let b = fault_recovery().unwrap();
         assert_eq!(render_fault_recovery(&a), render_fault_recovery(&b));
     }
 
     #[test]
     fn zero_copy_trade_matches_section_v() {
-        let z = zero_copy();
+        let z = zero_copy().unwrap();
         // x86: shootdown cost is in the same league as (or worse than)
         // the copy — "proved more expensive than simply copying".
         assert!(z.map_ipi_shootdown as f64 > 0.9 * z.copy as f64);

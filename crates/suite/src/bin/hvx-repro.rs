@@ -37,13 +37,24 @@
 //! prints a Table-3-style cycle-attribution breakdown per scenario; the
 //! per-transition exclusive cycles sum exactly to the run's total busy
 //! cycles (conservation), and output is byte-identical across `--jobs`.
+//!
+//! `baseline write` snapshots every artifact (bytes + input
+//! fingerprints + Figure 4 span profiles) under `baselines/`;
+//! `check` re-runs and classifies divergences: an expected schema bump
+//! (fingerprints moved) exits 0, silent drift (same fingerprints,
+//! different bytes) exits 4 with a per-cell span-delta report.
+//! `--cache DIR` on `run`/`baseline write`/`check` consults a
+//! content-addressed result cache so warm reruns skip unchanged cells.
 
 use hvx_core::Error;
 use hvx_engine::{FaultPlan, Watchdog};
+use hvx_suite::cache::ResultCache;
+use hvx_suite::diff;
 use hvx_suite::profile::{self, ProfileScenario};
 use hvx_suite::runner::{self, ArtifactId, ChaosKind, RunnerConfig};
 use serde::Serialize;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct RunArgs {
@@ -54,6 +65,14 @@ struct RunArgs {
     artifacts: Vec<ArtifactId>,
     cfg: RunnerConfig,
     keep_going: bool,
+    cache_dir: Option<PathBuf>,
+}
+
+struct BaselineArgs {
+    dir: PathBuf,
+    artifacts: Vec<ArtifactId>,
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
 }
 
 struct ProfileArgs {
@@ -66,9 +85,12 @@ struct ProfileArgs {
 fn usage() -> String {
     let names: Vec<&str> = ArtifactId::ALL.iter().map(|a| a.cli_name()).collect();
     format!(
-        "usage: hvx-repro [run] [--json DIR] [--jobs N] [--timing] [--bench FILE] [ARTIFACT...]\n\
+        "usage: hvx-repro [run] [--json DIR] [--jobs N] [--timing] [--bench FILE]\n\
+         \x20               [--cache DIR] [ARTIFACT...]\n\
          \x20      hvx-repro bench --out FILE [--jobs N]\n\
          \x20      hvx-repro profile [--scenario NAME]... [--jobs N] [--json DIR]\n\
+         \x20      hvx-repro baseline write [--dir DIR] [--jobs N] [--cache DIR] [ARTIFACT...]\n\
+         \x20      hvx-repro check [--baseline DIR] [--jobs N] [--cache DIR] [ARTIFACT...]\n\
          \x20      hvx-repro list-scenarios\n\
          run/profile fault options:\n\
          \x20 --fault-plan SPEC    inject faults, e.g. 'wire_drop=0.02,grant_copy_fail=0.01'\n\
@@ -79,11 +101,19 @@ fn usage() -> String {
          \x20 --livelock-limit N   abort after N consecutive zero-progress charges\n\
          \x20 --wall-timeout SECS  classify scenarios over SECS wall seconds as timed out\n\
          \x20 --chaos KIND         append a chaos scenario: panic, spin, or livelock\n\
-         exit codes: 0 ok, 1 runtime error, 2 usage error, 3 scenario failure\n\
+         caching / baselines:\n\
+         \x20 --cache DIR          content-addressed result cache; warm reruns skip\n\
+         \x20                      unchanged scenarios (bypassed when HVX_COST_PERTURB is set)\n\
+         \x20 baseline write       snapshot artifacts + fingerprints under --dir (default\n\
+         \x20                      '{base}')\n\
+         \x20 check                re-run and diff against the baseline; schema bumps are\n\
+         \x20                      expected, silent drift exits 4 with a span-delta report\n\
+         exit codes: 0 ok, 1 runtime error, 2 usage error, 3 scenario failure, 4 drift\n\
          artifacts: {} all\n\
          profile scenarios: <workload>-<hypervisor>, e.g. netperf-kvm-arm \
          (see list-scenarios)",
-        names.join(" ")
+        names.join(" "),
+        base = diff::DEFAULT_DIR,
     )
 }
 
@@ -91,6 +121,8 @@ enum Parsed {
     Run(RunArgs),
     Bench { out: PathBuf, jobs: usize },
     Profile(ProfileArgs),
+    BaselineWrite(BaselineArgs),
+    Check(BaselineArgs),
     ListScenarios,
     Help,
 }
@@ -134,11 +166,16 @@ fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
     let mut livelock_limit = None;
     let mut wall_timeout = None;
     let mut chaos = Vec::new();
+    let mut cache_dir = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => {
                 let dir = it.next().ok_or("--json requires a directory")?;
                 json_dir = Some(PathBuf::from(dir));
+            }
+            "--cache" => {
+                let dir = it.next().ok_or("--cache requires a directory")?;
+                cache_dir = Some(PathBuf::from(dir));
             }
             "--jobs" => jobs = parse_jobs(it)?,
             "--timing" => timing = true,
@@ -195,6 +232,7 @@ fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
         },
         wall_timeout,
         chaos,
+        cache: None,
     };
     Ok(Parsed::Run(RunArgs {
         json_dir,
@@ -204,6 +242,51 @@ fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
         artifacts,
         cfg,
         keep_going,
+        cache_dir,
+    }))
+}
+
+/// Parses `baseline write` / `check` arguments. `dir_flag` is the flag
+/// that names the baseline directory (`--dir` resp. `--baseline`).
+fn parse_baseline(
+    it: &mut impl Iterator<Item = String>,
+    dir_flag: &str,
+    wrap: fn(BaselineArgs) -> Parsed,
+) -> Result<Parsed, String> {
+    let mut dir = PathBuf::from(diff::DEFAULT_DIR);
+    let mut jobs = default_jobs();
+    let mut cache_dir = None;
+    let mut requested = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            flag if flag == dir_flag => {
+                let d = it
+                    .next()
+                    .ok_or_else(|| format!("{dir_flag} requires a directory"))?;
+                dir = PathBuf::from(d);
+            }
+            "--jobs" => jobs = parse_jobs(it)?,
+            "--cache" => {
+                let d = it.next().ok_or("--cache requires a directory")?;
+                cache_dir = Some(PathBuf::from(d));
+            }
+            "--help" | "-h" => return Ok(Parsed::Help),
+            "all" => requested.extend(ArtifactId::ALL),
+            other => match ArtifactId::parse(other) {
+                Some(a) => requested.push(a),
+                None => return Err(format!("unknown artifact '{other}'; try --help")),
+            },
+        }
+    }
+    let artifacts: Vec<ArtifactId> = ArtifactId::ALL
+        .into_iter()
+        .filter(|a| requested.contains(a))
+        .collect();
+    Ok(wrap(BaselineArgs {
+        dir,
+        artifacts,
+        jobs,
+        cache_dir,
     }))
 }
 
@@ -281,6 +364,20 @@ fn parse_args() -> Result<Parsed, String> {
             it.next();
             parse_profile(&mut it)
         }
+        Some("baseline") => {
+            it.next();
+            match it.next().as_deref() {
+                Some("write") => parse_baseline(&mut it, "--dir", Parsed::BaselineWrite),
+                Some("--help" | "-h") | None => Ok(Parsed::Help),
+                Some(other) => Err(format!(
+                    "baseline: unknown subcommand '{other}' (expected 'write'); try --help"
+                )),
+            }
+        }
+        Some("check") => {
+            it.next();
+            parse_baseline(&mut it, "--baseline", Parsed::Check)
+        }
         Some("list-scenarios") => {
             it.next();
             match it.next() {
@@ -357,6 +454,65 @@ fn bench(path: &PathBuf, jobs: usize) -> Result<(), Error> {
     Ok(())
 }
 
+/// Opens the result cache named by `--cache`, or bypasses it (with a
+/// warning) when `HVX_COST_PERTURB` is set: perturbed charging costs
+/// are deliberately *not* part of the fingerprint — that is the drift
+/// drill — so serving cached unperturbed results would mask exactly
+/// the divergence the perturbation exists to demonstrate.
+fn open_cache(dir: Option<&PathBuf>) -> Result<Option<Arc<ResultCache>>, Error> {
+    let Some(dir) = dir else { return Ok(None) };
+    if std::env::var("HVX_COST_PERTURB").is_ok_and(|s| !s.trim().is_empty()) {
+        eprintln!(
+            "hvx-repro: warning: HVX_COST_PERTURB is set; bypassing the result cache \
+             so perturbed runs are never served from (or stored into) it"
+        );
+        return Ok(None);
+    }
+    Ok(Some(Arc::new(ResultCache::open(dir)?)))
+}
+
+fn report_cache_stats(cache: &Option<Arc<ResultCache>>) {
+    if let Some(cache) = cache {
+        eprintln!("hvx-repro: {}", cache.stats());
+    }
+}
+
+fn baseline_write(args: &BaselineArgs) -> Result<(), Error> {
+    let artifacts: Vec<ArtifactId> = if args.artifacts.is_empty() {
+        ArtifactId::ALL.to_vec()
+    } else {
+        args.artifacts.clone()
+    };
+    let cache = open_cache(args.cache_dir.as_ref())?;
+    let report = diff::write_baseline(&args.dir, &artifacts, args.jobs, cache.clone())?;
+    report_cache_stats(&cache);
+    println!(
+        "baseline: wrote {} artifact(s) and {} span profile(s) to {}",
+        report.artifacts.len(),
+        report.span_profiles,
+        report.dir.display()
+    );
+    Ok(())
+}
+
+fn check(args: &BaselineArgs) -> Result<(), Error> {
+    let cache = open_cache(args.cache_dir.as_ref())?;
+    let report = diff::check_baseline(&args.dir, &args.artifacts, args.jobs, cache.clone())?;
+    report_cache_stats(&cache);
+    print!("{}", report.rendered);
+    let report = report.into_result()?;
+    println!(
+        "check: {} artifact(s) {}",
+        report.verdicts.len(),
+        if report.schema_bump {
+            "checked; divergences are an expected schema bump"
+        } else {
+            "byte-identical to the baseline"
+        }
+    );
+    Ok(())
+}
+
 fn run(args: &RunArgs) -> Result<(), Error> {
     if let Some(path) = &args.bench {
         return bench(path, args.jobs);
@@ -365,7 +521,12 @@ fn run(args: &RunArgs) -> Result<(), Error> {
     println!("hvx — reproducing \"ARM Virtualization: Performance and Architectural");
     println!("Implications\" (ISCA 2016) on the simulator. Paper values in parentheses.\n");
 
-    let outcome = runner::run_artifacts_with(&args.artifacts, args.jobs, &args.cfg)?;
+    let cache = open_cache(args.cache_dir.as_ref())?;
+    let cfg = RunnerConfig {
+        cache: cache.clone(),
+        ..args.cfg.clone()
+    };
+    let outcome = runner::run_artifacts_with(&args.artifacts, args.jobs, &cfg)?;
     let reports = &outcome.reports;
     for r in reports {
         print!("{}", r.text);
@@ -391,6 +552,7 @@ fn run(args: &RunArgs) -> Result<(), Error> {
         );
     }
 
+    report_cache_stats(&cache);
     let failures = outcome.failures();
     for (label, f) in &failures {
         eprintln!("hvx-repro: warning: scenario '{label}' {f}");
@@ -467,11 +629,14 @@ fn main() {
         Parsed::Run(args) => run(args),
         Parsed::Bench { out, jobs } => bench(out, *jobs),
         Parsed::Profile(args) => run_profile(args),
+        Parsed::BaselineWrite(args) => baseline_write(args),
+        Parsed::Check(args) => check(args),
     };
     if let Err(e) = result {
         eprintln!("hvx-repro: {e}");
         let code = match e {
             Error::Scenario { .. } => 3,
+            Error::BaselineDrift { .. } => 4,
             _ => 1,
         };
         std::process::exit(code);

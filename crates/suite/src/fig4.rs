@@ -3,11 +3,11 @@
 
 use crate::paper::{self, TargetSource};
 use crate::workloads::{self, Workload};
-use hvx_core::{CostModel, HvKind, Hypervisor, Sim, SimBuilder, VirqPolicy};
-use serde::Serialize;
+use hvx_core::{CostModel, Error, HvKind, Hypervisor, Sim, SimBuilder, VirqPolicy};
+use serde::{Deserialize, Serialize};
 
 /// One reproduced Figure 4 bar.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Bar {
     /// Configuration.
     pub hv: HvKind,
@@ -20,7 +20,7 @@ pub struct Bar {
 }
 
 /// One bar group (a workload).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BarGroup {
     /// The workload.
     pub workload: Workload,
@@ -29,59 +29,66 @@ pub struct BarGroup {
 }
 
 /// The reproduced figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Figure4 {
     /// One group per workload.
     pub groups: Vec<BarGroup>,
 }
 
-fn build(kind: HvKind) -> Box<dyn Hypervisor> {
-    SimBuilder::new(kind)
-        .build()
-        .expect("paper configuration is valid")
-        .into_inner()
+fn build(kind: HvKind) -> Result<Box<dyn Hypervisor>, Error> {
+    Ok(SimBuilder::new(kind).build()?.into_inner())
 }
 
-fn native_for(kind: HvKind) -> Sim {
+fn native_for(kind: HvKind) -> Result<Sim, Error> {
     let builder = SimBuilder::new(HvKind::Native);
     match kind.platform() {
         hvx_core::Platform::X86 => builder.cost_model(CostModel::x86()),
         _ => builder,
     }
     .build()
-    .expect("paper configuration is valid")
 }
 
 /// Measures one workload on one configuration (against its platform's
-/// native baseline). Returns `None` for the paper's unrunnable
+/// native baseline). Returns `Ok(None)` for the paper's unrunnable
 /// combination (Apache on Xen x86 — Dom0 kernel panic, §V).
-pub fn measure_bar(workload: &Workload, kind: HvKind, policy: VirqPolicy) -> Option<f64> {
+///
+/// # Errors
+///
+/// Propagates configuration and workload failures so the hardened
+/// runner can degrade the cell instead of unwinding.
+pub fn measure_bar(
+    workload: &Workload,
+    kind: HvKind,
+    policy: VirqPolicy,
+) -> Result<Option<f64>, Error> {
     if workload.name == "Apache" && kind == HvKind::XenX86 {
-        return None;
+        return Ok(None);
     }
-    let mut hv = build(kind);
-    let mut native = native_for(kind);
-    Some(workloads::overhead(
+    let mut hv = build(kind)?;
+    let mut native = native_for(kind)?;
+    Ok(Some(workloads::overhead(
         hv.as_mut(),
         native.as_dyn_mut(),
         workload.mix,
         policy,
-    ))
+    )?))
 }
 
 impl Figure4 {
     /// Reproduces the full figure (36 bars, one missing).
-    pub fn measure() -> Figure4 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first cell failure.
+    pub fn measure() -> Result<Figure4, Error> {
         let cat = workloads::catalog();
-        let cells: Vec<Option<f64>> = cat
-            .iter()
-            .flat_map(|w| {
-                paper::COLUMNS
-                    .into_iter()
-                    .map(|kind| measure_bar(w, kind, VirqPolicy::Vcpu0))
-            })
-            .collect();
-        Figure4::from_cells(&cells)
+        let mut cells = Vec::with_capacity(cat.len() * paper::COLUMNS.len());
+        for w in &cat {
+            for kind in paper::COLUMNS {
+                cells.push(measure_bar(w, kind, VirqPolicy::Vcpu0)?);
+            }
+        }
+        Ok(Figure4::from_cells(&cells))
     }
 
     /// Assembles the figure from pre-measured cells in workload-major,
@@ -192,13 +199,17 @@ mod tests {
             .into_iter()
             .find(|w| w.name == "Apache")
             .unwrap();
-        assert!(measure_bar(&w, HvKind::XenX86, VirqPolicy::Vcpu0).is_none());
-        assert!(measure_bar(&w, HvKind::KvmX86, VirqPolicy::Vcpu0).is_some());
+        assert!(measure_bar(&w, HvKind::XenX86, VirqPolicy::Vcpu0)
+            .unwrap()
+            .is_none());
+        assert!(measure_bar(&w, HvKind::KvmX86, VirqPolicy::Vcpu0)
+            .unwrap()
+            .is_some());
     }
 
     #[test]
     fn verbatim_targets_reproduce_within_tolerance() {
-        let fig = Figure4::measure();
+        let fig = Figure4::measure().unwrap();
         for g in &fig.groups {
             for b in &g.bars {
                 let (target, src) = b.paper;
@@ -226,7 +237,7 @@ mod tests {
     #[test]
     fn who_wins_matches_the_paper_everywhere() {
         // The headline shape claims of §V, checked bar by bar.
-        let fig = Figure4::measure();
+        let fig = Figure4::measure().unwrap();
         let get = |w: &str, hv: HvKind| {
             fig.groups
                 .iter()
@@ -264,7 +275,7 @@ mod tests {
     #[test]
     fn render_has_all_nine_groups() {
         // Use a reduced measure for speed: rendering path only.
-        let fig = Figure4::measure();
+        let fig = Figure4::measure().unwrap();
         let s = fig.render();
         for name in ["Kernbench", "TCP_STREAM", "MySQL"] {
             assert!(s.contains(name));

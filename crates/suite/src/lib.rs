@@ -23,6 +23,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod cache;
+pub mod diff;
 pub mod fig4;
 pub mod micro;
 pub mod netperf;

@@ -1,7 +1,7 @@
 //! The Table I microbenchmark suite and the Table II runner.
 
 use crate::paper;
-use hvx_core::{HvKind, Hypervisor, HypervisorExt, SimBuilder};
+use hvx_core::{Error, HvKind, Hypervisor, HypervisorExt, SimBuilder};
 use hvx_engine::Cycles;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -142,21 +142,25 @@ pub struct Table2 {
 impl Table2 {
     /// Runs the full microbenchmark suite on all four measured
     /// configurations.
-    pub fn measure(iters: usize) -> Table2 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration failures (e.g. a rejected cost
+    /// perturbation) so the runner can degrade the artifact.
+    pub fn measure(iters: usize) -> Result<Table2, Error> {
         // Thousands of iterations × dozens of charged steps each: keep
         // only (kind, label) totals instead of storing every TraceEvent.
         // Breakdown queries stay exact; the charge hot path stops
         // allocating.
-        let mut hvs: Vec<Box<dyn Hypervisor>> = paper::COLUMNS
-            .into_iter()
-            .map(|kind| {
+        let mut hvs: Vec<Box<dyn Hypervisor>> = Vec::with_capacity(paper::COLUMNS.len());
+        for kind in paper::COLUMNS {
+            hvs.push(
                 SimBuilder::new(kind)
                     .tracing(hvx_engine::TraceMode::Aggregate)
-                    .build()
-                    .expect("paper configuration is valid")
-                    .into_inner()
-            })
-            .collect();
+                    .build()?
+                    .into_inner(),
+            );
+        }
         let mut rows = Vec::new();
         for (mi, micro) in Micro::ALL.into_iter().enumerate() {
             let paper_row = paper::TABLE2[mi].1;
@@ -171,9 +175,11 @@ impl Table2 {
                     error: (measured as f64 - paper as f64) / paper as f64,
                 });
             }
+            // Static invariant: `paper::COLUMNS` has exactly four
+            // entries, so the per-row cell vector always converts.
             rows.push((micro, cells.try_into().expect("four columns")));
         }
-        Table2 { rows }
+        Ok(Table2 { rows })
     }
 
     /// Largest absolute relative error across all 28 cells.
@@ -228,7 +234,7 @@ mod tests {
 
     #[test]
     fn table2_reproduces_within_five_percent() {
-        let t = Table2::measure(3);
+        let t = Table2::measure(3).unwrap();
         assert_eq!(t.rows.len(), 7);
         assert!(
             t.worst_error() < 0.05,
@@ -240,8 +246,8 @@ mod tests {
 
     #[test]
     fn measurements_are_deterministic_across_iterations() {
-        let a = Table2::measure(2);
-        let b = Table2::measure(5);
+        let a = Table2::measure(2).unwrap();
+        let b = Table2::measure(5).unwrap();
         for (ra, rb) in a.rows.iter().zip(&b.rows) {
             for (ca, cb) in ra.1.iter().zip(&rb.1) {
                 assert_eq!(ca.measured, cb.measured);
@@ -251,7 +257,7 @@ mod tests {
 
     #[test]
     fn render_contains_all_rows_and_columns() {
-        let t = Table2::measure(1);
+        let t = Table2::measure(1).unwrap();
         let s = t.render();
         for (m, _) in &t.rows {
             assert!(s.contains(&m.to_string()));

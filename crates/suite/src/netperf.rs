@@ -15,7 +15,7 @@
 //!   driver (`guest:net-stack-tx` end);
 //! * **send** — the NIC DMA of the response completes (`nic:dma` end).
 
-use hvx_core::{HvKind, Hypervisor, SimBuilder, Workload};
+use hvx_core::{Error, HvKind, Hypervisor, SimBuilder, Workload};
 use hvx_engine::{Cycles, FaultPoint, Frequency, TraceKind, TransitionId};
 use serde::{Deserialize, Serialize};
 
@@ -260,25 +260,25 @@ pub struct Table5 {
 
 impl Table5 {
     /// Runs the full Table V experiment.
-    pub fn measure(transactions: usize) -> Table5 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration failures (e.g. a rejected cost
+    /// perturbation) so the runner can degrade the artifact.
+    pub fn measure(transactions: usize) -> Result<Table5, Error> {
         let freq = Frequency::ARM_M400;
-        let build = |kind| {
-            SimBuilder::new(kind)
-                .workload(Workload::Netperf)
-                .build()
-                .expect("paper configuration is valid")
-        };
-        let mut native_col = run_rr(build(HvKind::Native).as_dyn_mut(), transactions, freq);
-        let mut kvm_col = run_rr(build(HvKind::KvmArm).as_dyn_mut(), transactions, freq);
-        let mut xen_col = run_rr(build(HvKind::XenArm).as_dyn_mut(), transactions, freq);
+        let build = |kind| SimBuilder::new(kind).workload(Workload::Netperf).build();
+        let mut native_col = run_rr(build(HvKind::Native)?.as_dyn_mut(), transactions, freq);
+        let mut kvm_col = run_rr(build(HvKind::KvmArm)?.as_dyn_mut(), transactions, freq);
+        let mut xen_col = run_rr(build(HvKind::XenArm)?.as_dyn_mut(), transactions, freq);
         native_col.overhead = None;
         kvm_col.overhead = Some(kvm_col.time_per_trans - native_col.time_per_trans);
         xen_col.overhead = Some(xen_col.time_per_trans - native_col.time_per_trans);
-        Table5 {
+        Ok(Table5 {
             native: native_col,
             kvm: kvm_col,
             xen: xen_col,
-        }
+        })
     }
 
     /// Renders in the paper's layout alongside the published numbers.
@@ -364,7 +364,7 @@ mod tests {
 
     #[test]
     fn native_column_matches_paper_within_10_percent() {
-        let t5 = Table5::measure(20);
+        let t5 = Table5::measure(20).unwrap();
         assert!(
             close(t5.native.recv_to_send, 14.5, 10.0),
             "native recv_to_send {}",
@@ -375,7 +375,7 @@ mod tests {
 
     #[test]
     fn kvm_column_matches_paper_within_10_percent() {
-        let t5 = Table5::measure(20);
+        let t5 = Table5::measure(20).unwrap();
         assert!(
             close(t5.kvm.recv_to_vm_recv.unwrap(), 21.1, 10.0),
             "recv_to_vm_recv {}",
@@ -400,7 +400,7 @@ mod tests {
 
     #[test]
     fn xen_column_matches_paper_within_12_percent() {
-        let t5 = Table5::measure(20);
+        let t5 = Table5::measure(20).unwrap();
         assert!(
             close(t5.xen.recv_to_vm_recv.unwrap(), 25.9, 12.0),
             "recv_to_vm_recv {}",
@@ -422,7 +422,7 @@ mod tests {
     fn ordering_matches_paper() {
         // Native < KVM < Xen on time/trans; Xen's send_to_recv exceeds
         // the others (the hypervisor delays incoming packets).
-        let t5 = Table5::measure(10);
+        let t5 = Table5::measure(10).unwrap();
         assert!(t5.native.time_per_trans < t5.kvm.time_per_trans);
         assert!(t5.kvm.time_per_trans < t5.xen.time_per_trans);
         assert!(t5.xen.send_to_recv > t5.kvm.send_to_recv + 1.0);
@@ -434,7 +434,7 @@ mod tests {
         // §V: "the dominant overhead for both KVM and Xen is due to the
         // time required by the hypervisor to process packets" — the VM
         // window is only slightly above native recv_to_send.
-        let t5 = Table5::measure(10);
+        let t5 = Table5::measure(10).unwrap();
         let vm_window = t5.kvm.vm_recv_to_vm_send.unwrap();
         assert!(vm_window < t5.native.recv_to_send * 1.35);
         let hypervisor_share = t5.kvm.recv_to_vm_recv.unwrap() + t5.kvm.vm_send_to_send.unwrap();
@@ -521,7 +521,7 @@ mod tests {
 
     #[test]
     fn render_contains_all_rows() {
-        let t5 = Table5::measure(3);
+        let t5 = Table5::measure(3).unwrap();
         let s = t5.render();
         for label in ["Trans/s", "recv to VM recv", "VM send to send"] {
             assert!(s.contains(label), "missing {label}");

@@ -102,7 +102,7 @@ pub const TABLE5: [Table5Row; 8] = [
 ];
 
 /// How a Figure 4 target was obtained.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum TargetSource {
     /// Number appears in the paper's text.
     Verbatim,

@@ -157,7 +157,7 @@ pub fn run_profile(scenario: ProfileScenario) -> Result<ProfileReport, Error> {
         .tracing(TraceMode::Aggregate)
         .profiling(true)
         .build()?;
-    let makespan = workloads::run(sim.as_dyn_mut(), mix, VirqPolicy::Vcpu0);
+    let makespan = workloads::run(sim.as_dyn_mut(), mix, VirqPolicy::Vcpu0)?;
     sim.sample_metrics();
 
     let machine = sim.machine();

@@ -219,12 +219,18 @@ impl Scenario {
     /// Executes the scenario. Self-contained and deterministic: all
     /// state is constructed here, so concurrent executions cannot
     /// interact.
-    pub fn execute(self) -> Output {
-        match self {
-            Scenario::Table2 { iters } => Output::Table2(micro::Table2::measure(iters)),
-            Scenario::Table3 => Output::Table3(table3::Table3::measure()),
+    ///
+    /// # Errors
+    ///
+    /// A malformed configuration or workload surfaces as a typed
+    /// [`Error`] instead of a panic; [`run_scenarios`] degrades it to a
+    /// marked failed cell.
+    pub fn execute(self) -> Result<Output, Error> {
+        Ok(match self {
+            Scenario::Table2 { iters } => Output::Table2(micro::Table2::measure(iters)?),
+            Scenario::Table3 => Output::Table3(table3::Table3::measure()?),
             Scenario::Table5 { transactions } => {
-                Output::Table5(Box::new(netperf::Table5::measure(transactions)))
+                Output::Table5(Box::new(netperf::Table5::measure(transactions)?))
             }
             Scenario::Fig4Cell { workload, column } => {
                 let cat = workloads::catalog();
@@ -232,19 +238,19 @@ impl Scenario {
                     &cat[workload],
                     paper::COLUMNS[column],
                     VirqPolicy::Vcpu0,
-                ))
+                )?)
             }
-            Scenario::Ablation(ArtifactId::Irq) => Output::Irq(ablations::irq_distribution()),
-            Scenario::Ablation(ArtifactId::Vhe) => Output::Vhe(ablations::vhe()),
-            Scenario::Ablation(ArtifactId::ZeroCopy) => Output::ZeroCopy(ablations::zero_copy()),
-            Scenario::Ablation(ArtifactId::Link) => Output::Link(ablations::link_speed()),
+            Scenario::Ablation(ArtifactId::Irq) => Output::Irq(ablations::irq_distribution()?),
+            Scenario::Ablation(ArtifactId::Vhe) => Output::Vhe(ablations::vhe()?),
+            Scenario::Ablation(ArtifactId::ZeroCopy) => Output::ZeroCopy(ablations::zero_copy()?),
+            Scenario::Ablation(ArtifactId::Link) => Output::Link(ablations::link_speed()?),
             Scenario::Ablation(ArtifactId::Vapic) => Output::Vapic(ablations::vapic()),
-            Scenario::Ablation(ArtifactId::Storage) => Output::Storage(ablations::storage()),
+            Scenario::Ablation(ArtifactId::Storage) => Output::Storage(ablations::storage()?),
             Scenario::Ablation(ArtifactId::Oversub) => {
                 Output::Oversub(ablations::oversubscription())
             }
             Scenario::Ablation(ArtifactId::FaultRec) => {
-                Output::FaultRec(ablations::fault_recovery())
+                Output::FaultRec(ablations::fault_recovery()?)
             }
             Scenario::Ablation(other) => unreachable!("{other:?} is not an ablation"),
             Scenario::Chaos(ChaosKind::Panic) => {
@@ -267,7 +273,7 @@ impl Scenario {
                 }
                 Output::Chaos
             }
-        }
+        })
     }
 }
 
@@ -346,6 +352,13 @@ pub struct RunnerConfig {
     pub wall_timeout: Option<Duration>,
     /// Chaos scenarios appended to the plan (isolation smoke tests).
     pub chaos: Vec<ChaosKind>,
+    /// Content-addressed result cache. When set, every cacheable
+    /// scenario is looked up by its input [`Fingerprint`] before
+    /// running and stored after a clean run, so warm reruns skip
+    /// unchanged cells entirely (see [`crate::cache`]).
+    ///
+    /// [`Fingerprint`]: hvx_engine::Fingerprint
+    pub cache: Option<std::sync::Arc<crate::cache::ResultCache>>,
 }
 
 /// Expands the requested artifacts (in the given order) into the flat
@@ -410,6 +423,15 @@ fn classify_panic(payload: &(dyn std::any::Any + Send)) -> ScenarioFailure {
 
 fn run_one(scenario: Scenario, cfg: &RunnerConfig) -> ScenarioResult {
     let start = Instant::now();
+    if let Some(cache) = &cfg.cache {
+        if let Some(output) = cache.lookup(scenario, cfg) {
+            return ScenarioResult {
+                scenario,
+                outcome: Ok(output),
+                wall: start.elapsed(),
+            };
+        }
+    }
     let outcome = {
         // Ambient so machines built deep inside scenario code pick the
         // plan and watchdog up; the guard restores on unwind, so a
@@ -429,8 +451,18 @@ fn run_one(scenario: Scenario, cfg: &RunnerConfig) -> ScenarioResult {
                 limit.as_secs_f64()
             ),
         }),
-        (outcome, _) => outcome,
+        // A typed error from inside the scenario degrades to a failed
+        // cell, exactly like a caught panic — siblings keep running.
+        (Ok(Err(e)), _) => Err(ScenarioFailure {
+            kind: ScenarioFailureKind::Failed,
+            detail: e.to_string(),
+        }),
+        (Ok(Ok(output)), _) => Ok(output),
+        (Err(failure), _) => Err(failure),
     };
+    if let (Some(cache), Ok(output)) = (&cfg.cache, &outcome) {
+        cache.store(scenario, cfg, output);
+    }
     ScenarioResult {
         scenario,
         outcome,
@@ -871,7 +903,7 @@ mod tests {
         let artifacts = [ArtifactId::Fig4];
         let p = plan(&artifacts);
         let reports = assemble(&artifacts, &run_scenarios(&p, 4).unwrap()).unwrap();
-        let direct = fig4::Figure4::measure();
+        let direct = fig4::Figure4::measure().unwrap();
         assert_eq!(reports[0].json, super::to_json(&direct).unwrap());
     }
 

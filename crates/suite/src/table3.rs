@@ -6,11 +6,11 @@
 //! switch charged during one hypercall.
 
 use crate::paper;
-use hvx_core::{HvKind, SimBuilder};
-use serde::Serialize;
+use hvx_core::{Error, HvKind, SimBuilder};
+use serde::{Deserialize, Serialize};
 
 /// One row of the reproduced Table III.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BreakdownRow {
     /// Register class as printed in the paper.
     pub class: &'static str,
@@ -25,7 +25,7 @@ pub struct BreakdownRow {
 }
 
 /// The reproduced Table III.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table3 {
     /// One row per register class.
     pub rows: Vec<BreakdownRow>,
@@ -46,10 +46,13 @@ const CLASS_LABELS: [(&str, &str, &str); 7] = [
 
 impl Table3 {
     /// Runs one traced hypercall on KVM ARM and decomposes it.
-    pub fn measure() -> Table3 {
-        let mut kvm = SimBuilder::new(HvKind::KvmArm)
-            .build()
-            .expect("paper configuration is valid");
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration failures (e.g. a rejected cost
+    /// perturbation) so the runner can degrade the artifact.
+    pub fn measure() -> Result<Table3, Error> {
+        let mut kvm = SimBuilder::new(HvKind::KvmArm).build()?;
         kvm.machine_mut().trace_mut().clear();
         let total = kvm.hypercall(0);
         let trace = kvm.machine().trace();
@@ -63,10 +66,10 @@ impl Table3 {
                 paper_restore: paper::TABLE3[i].2,
             });
         }
-        Table3 {
+        Ok(Table3 {
             rows,
             hypercall_total: total.as_u64(),
-        }
+        })
     }
 
     /// Sum of all save cells.
@@ -111,7 +114,7 @@ mod tests {
 
     #[test]
     fn breakdown_is_paper_verbatim() {
-        let t = Table3::measure();
+        let t = Table3::measure().unwrap();
         for r in &t.rows {
             assert_eq!(r.save, r.paper_save, "{} save", r.class);
             assert_eq!(r.restore, r.paper_restore, "{} restore", r.class);
@@ -122,7 +125,7 @@ mod tests {
     fn context_switching_dominates_the_hypercall() {
         // §IV: "The cost of saving and restoring this state accounts for
         // almost all of the Hypercall time".
-        let t = Table3::measure();
+        let t = Table3::measure().unwrap();
         let switching = t.total_save() + t.total_restore();
         assert!(switching as f64 > 0.85 * t.hypercall_total as f64);
         assert_eq!(t.hypercall_total, 6_500);
@@ -131,7 +134,7 @@ mod tests {
     #[test]
     fn saving_is_much_more_expensive_than_restoring() {
         // §IV: due to reading back the VGIC state.
-        let t = Table3::measure();
+        let t = Table3::measure().unwrap();
         assert!(t.total_save() > 2 * t.total_restore());
         let vgic = t.rows.iter().find(|r| r.class == "VGIC Regs").unwrap();
         assert!(vgic.save > 15 * vgic.restore);
@@ -139,7 +142,7 @@ mod tests {
 
     #[test]
     fn render_is_complete() {
-        let t = Table3::measure();
+        let t = Table3::measure().unwrap();
         let s = t.render();
         assert!(s.contains("VGIC Regs"));
         assert!(s.contains("3250") || s.contains("3,250"));

@@ -12,7 +12,7 @@
 //! analysis) and otherwise chosen to represent the benchmark's
 //! documented character (Table IV).
 
-use hvx_core::{HvType, Hypervisor, VirqPolicy};
+use hvx_core::{Error, HvType, Hypervisor, VirqPolicy};
 use hvx_engine::{Cycles, TransitionId};
 use serde::{Deserialize, Serialize};
 
@@ -134,7 +134,7 @@ pub enum Mix {
 }
 
 /// A named workload: Table IV's description plus its mix.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Workload {
     /// Name as printed in Figure 4.
     pub name: &'static str,
@@ -268,7 +268,14 @@ pub fn render_table4() -> String {
 ///
 /// Deterministic: the same mix on the same configuration always yields
 /// the same makespan.
-pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Cycles {
+///
+/// # Errors
+///
+/// [`Error::Workload`] / [`Error::Vio`] when the mix asks the modelled
+/// hardware for something it cannot do (e.g. a disk request larger than
+/// the device). The hardened runner degrades such cells to marked n/a
+/// entries instead of unwinding.
+pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Result<Cycles, Error> {
     hv.set_virq_policy(policy);
     hv.machine_mut().trace_mut().set_enabled(false);
     let start = hv.machine_mut().barrier();
@@ -376,7 +383,7 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Cycles {
             sectors,
             device,
         } => {
-            run_disk_io(hv, requests, sectors, device);
+            run_disk_io(hv, requests, sectors, device)?;
         }
         Mix::RequestServer {
             app_work,
@@ -400,20 +407,24 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Cycles {
             );
         }
     }
-    hv.machine_mut().barrier() - start
+    Ok(hv.machine_mut().barrier() - start)
 }
 
 /// Runs `mix` on a virtualized configuration and the matching native
 /// baseline; returns the Figure 4 normalized overhead (1.0 = native).
+///
+/// # Errors
+///
+/// Propagates whatever [`run`] rejects on either configuration.
 pub fn overhead(
     hv: &mut dyn Hypervisor,
     native: &mut dyn Hypervisor,
     mix: Mix,
     policy: VirqPolicy,
-) -> f64 {
-    let virt = run(hv, mix, policy);
-    let base = run(native, mix, policy);
-    virt.as_f64() / base.as_f64()
+) -> Result<f64, Error> {
+    let virt = run(hv, mix, policy)?;
+    let base = run(native, mix, policy)?;
+    Ok(virt.as_f64() / base.as_f64())
 }
 
 /// The DiskIo engine: a closed-loop random-read benchmark through the
@@ -421,26 +432,44 @@ pub fn overhead(
 /// VM-to-hypervisor transition), backend + device service on the I/O
 /// core, and a completion interrupt back to the issuing VCPU. Natively
 /// the device interrupts the issuing core directly.
-fn run_disk_io(hv: &mut dyn Hypervisor, requests: u32, sectors: u32, device: DiskDevice) {
+fn run_disk_io(
+    hv: &mut dyn Hypervisor,
+    requests: u32,
+    sectors: u32,
+    device: DiskDevice,
+) -> Result<(), Error> {
     use hvx_core::{HvKind, HvType};
     use hvx_engine::TraceKind;
     let c = *hv.cost();
     let kind = hv.kind();
-    let vcpus = hv.num_vcpus();
     let is_native = kind == HvKind::Native;
     let type1 = kind.hv_type() == Some(HvType::Type1);
     let mut disk = match device {
         DiskDevice::Ssd => hvx_vio::Disk::ssd_m400(1 << 30),
         DiskDevice::Raid5 => hvx_vio::Disk::raid5_r320(1 << 30),
     };
+    let capacity = disk.capacity_sectors();
+    let span = u64::from(sectors);
+    if span == 0 || span > capacity {
+        return Err(Error::Workload {
+            workload: "disk-io",
+            detail: format!(
+                "request of {span} sectors outside the modelled device \
+                 (capacity {capacity} sectors)"
+            ),
+        });
+    }
+    // Random reads wrap around the device: any start sector in
+    // `[0, capacity - span]` keeps the whole request in range, however
+    // many requests the mix issues.
+    let wrap = capacity - span + 1;
     let io_core = hv.machine().topology().io_core();
-    // Single-threaded closed loop (fio numjobs=1, iodepth=1): the issuing
-    // thread blocks on every request, so device service serializes with
-    // submission in every configuration.
-    let _ = vcpus;
     for r in 0..requests {
         let vcpu = 0;
-        // Guest block layer + driver.
+        // Guest block layer + driver. Single-threaded closed loop (fio
+        // numjobs=1, iodepth=1): the issuing thread blocks on every
+        // request, so device service serializes with submission in
+        // every configuration.
         let driver_extra = match kind {
             HvKind::KvmArm | HvKind::KvmArmVhe | HvKind::KvmX86 => c.kvm_guest_virtio / 4,
             HvKind::XenArm | HvKind::XenX86 => c.xen_guest_pv / 4,
@@ -448,10 +477,11 @@ fn run_disk_io(hv: &mut dyn Hypervisor, requests: u32, sectors: u32, device: Dis
         };
         hv.guest_compute(vcpu, Cycles::new(2_500) + driver_extra);
         let service = disk.service_time(sectors);
-        let data = disk
-            .read_sectors(u64::from(r) * u64::from(sectors), 64)
-            .expect("in range");
-        debug_assert_eq!(data.len(), 64);
+        let data = disk.read_sectors(
+            u64::from(r) * span % wrap,
+            sectors as usize * hvx_vio::SECTOR_SIZE,
+        )?;
+        debug_assert_eq!(data.len(), sectors as usize * hvx_vio::SECTOR_SIZE);
         if is_native {
             let m = hv.machine_mut();
             let core = m.topology().guest_core(vcpu);
@@ -509,6 +539,7 @@ fn run_disk_io(hv: &mut dyn Hypervisor, requests: u32, sectors: u32, device: Dis
             hv.deliver_virq_blocked(vcpu);
         }
     }
+    Ok(())
 }
 
 /// The RequestServer engine — see [`Mix::RequestServer`] for the model.
@@ -718,7 +749,8 @@ mod tests {
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         assert!(oh > 1.0 && oh < 1.12, "CPU-bound overhead modest: {oh}");
     }
 
@@ -737,13 +769,15 @@ mod tests {
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         let xen = overhead(
             &mut XenArm::new(),
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         assert!(kvm > xen, "Xen wins hackbench: {kvm} vs {xen}");
         assert!(kvm - xen < 0.10, "but only modestly: {kvm} vs {xen}");
     }
@@ -761,13 +795,15 @@ mod tests {
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         let xen = overhead(
             &mut XenArm::new(),
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         assert!(kvm < 1.1, "KVM zero-copy keeps line rate: {kvm}");
         assert!(xen > 2.0, "Xen copies fall off line rate: {xen}");
     }
@@ -780,13 +816,15 @@ mod tests {
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         let xen = overhead(
             &mut XenArm::new(),
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         assert!(
             xen > kvm,
             "Xen's wake-on-target makes it worse: {xen} vs {kvm}"
@@ -797,13 +835,15 @@ mod tests {
             &mut Native::new(),
             mix,
             VirqPolicy::RoundRobin,
-        );
+        )
+        .unwrap();
         let xen_rr = overhead(
             &mut XenArm::new(),
             &mut Native::new(),
             mix,
             VirqPolicy::RoundRobin,
-        );
+        )
+        .unwrap();
         assert!(kvm_rr < kvm - 0.05, "KVM improves: {kvm} -> {kvm_rr}");
         assert!(xen_rr < xen - 0.20, "Xen improves more: {xen} -> {xen_rr}");
     }
@@ -815,7 +855,7 @@ mod tests {
         // interrupt delivery cost, fully utilizes the underlying PCPU."
         let mix = small_request_mix();
         let mut kvm = KvmArm::new();
-        run(&mut kvm, mix, VirqPolicy::Vcpu0);
+        run(&mut kvm, mix, VirqPolicy::Vcpu0).unwrap();
         let m = kvm.machine();
         let topo = m.topology().clone();
         let u0 = m.utilization(topo.guest_core(0));
@@ -828,7 +868,7 @@ mod tests {
         }
         // Distribution evens the load out.
         let mut kvm_rr = KvmArm::new();
-        run(&mut kvm_rr, mix, VirqPolicy::RoundRobin);
+        run(&mut kvm_rr, mix, VirqPolicy::RoundRobin).unwrap();
         let m = kvm_rr.machine();
         let spread: Vec<f64> = (0..4).map(|v| m.utilization(topo.guest_core(v))).collect();
         let max = spread.iter().cloned().fold(0.0, f64::max);
@@ -855,19 +895,22 @@ mod tests {
             &mut Native::new(),
             ssd,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         let xen_ssd = overhead(
             &mut XenArm::new(),
             &mut Native::new(),
             ssd,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         let kvm_hdd = overhead(
             &mut KvmArm::new(),
             &mut Native::new(),
             hdd,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         assert!(kvm_ssd > 1.05, "SSD exposes the stack: {kvm_ssd}");
         assert!(
             xen_ssd > kvm_ssd,
@@ -879,8 +922,8 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let mix = small_request_mix();
-        let a = run(&mut XenArm::new(), mix, VirqPolicy::Vcpu0);
-        let b = run(&mut XenArm::new(), mix, VirqPolicy::Vcpu0);
+        let a = run(&mut XenArm::new(), mix, VirqPolicy::Vcpu0).unwrap();
+        let b = run(&mut XenArm::new(), mix, VirqPolicy::Vcpu0).unwrap();
         assert_eq!(a, b);
     }
 }

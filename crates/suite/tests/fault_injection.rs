@@ -61,8 +61,7 @@ proptest! {
         let cfg = RunnerConfig {
             fault_plan: Some(lossy_plan(seed, 50)),
             watchdog: Watchdog::UNLIMITED,
-            wall_timeout: None,
-            chaos: Vec::new(),
+            ..RunnerConfig::default()
         };
         let artifacts = [ArtifactId::Table2, ArtifactId::Fig4, ArtifactId::FaultRec];
         let serial = runner::run_artifacts_with(&artifacts, 1, &cfg).unwrap();

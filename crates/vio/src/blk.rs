@@ -92,6 +92,16 @@ impl Disk {
         }
     }
 
+    /// The device capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// The device capacity in whole sectors.
+    pub fn capacity_sectors(&self) -> u64 {
+        self.size_bytes / SECTOR_SIZE as u64
+    }
+
     fn check(&self, sector: u64, len: usize) -> Result<(), VioError> {
         let end = sector * SECTOR_SIZE as u64 + len as u64;
         if end > self.size_bytes {

@@ -8,9 +8,9 @@ use hvx::suite::{ablations, fig4::Figure4};
 
 fn main() {
     println!("Figure 4: application benchmark performance (normalized to native)\n");
-    let fig = Figure4::measure();
+    let fig = Figure4::measure().expect("paper configuration is valid");
     println!("{}", fig.render());
     println!("Section V ablation: distributing virtual interrupts across VCPUs\n");
-    let rows = ablations::irq_distribution();
+    let rows = ablations::irq_distribution().expect("paper configuration is valid");
     println!("{}", ablations::render_irq_distribution(&rows));
 }

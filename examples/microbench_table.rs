@@ -11,7 +11,7 @@ fn main() {
         println!("{m}:\n  {}\n", m.description());
     }
     println!("Table II: measurements (cycle counts)\n");
-    let table = Table2::measure(10);
+    let table = Table2::measure(10).expect("paper configuration is valid");
     println!("{}", table.render());
     println!(
         "Worst residual vs the paper: {:.1}%",

@@ -7,7 +7,7 @@
 use hvx::suite::netperf::Table5;
 
 fn main() {
-    let t5 = Table5::measure(50);
+    let t5 = Table5::measure(50).expect("paper configuration is valid");
     println!("Table V: Netperf TCP_RR analysis on ARM\n");
     println!("{}", t5.render());
     println!(

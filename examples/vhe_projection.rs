@@ -8,9 +8,9 @@ use hvx::suite::ablations;
 
 fn main() {
     println!("Section VI: Virtualization Host Extensions projection\n");
-    let p = ablations::vhe();
+    let p = ablations::vhe().expect("paper configuration is valid");
     println!("{}", ablations::render_vhe(&p));
     println!("Section V: the zero-copy trade\n");
-    let z = ablations::zero_copy();
+    let z = ablations::zero_copy().expect("paper configuration is valid");
     println!("{}", ablations::render_zero_copy(&z));
 }

@@ -21,4 +21,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "== fault smoke =="
 sh scripts/fault_smoke.sh
 
+echo "== baseline gate =="
+sh scripts/baseline_check.sh
+
 echo "ci: all checks passed"

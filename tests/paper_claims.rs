@@ -166,13 +166,15 @@ fn section5_irq_distribution_restores_parity() {
         &mut Native::new(),
         mix,
         VirqPolicy::RoundRobin,
-    );
+    )
+    .unwrap();
     let xen = workloads::overhead(
         &mut XenArm::new(),
         &mut Native::new(),
         mix,
         VirqPolicy::RoundRobin,
-    );
+    )
+    .unwrap();
     assert!(
         (kvm - xen).abs() < 0.15,
         "post-distribution parity: {kvm} vs {xen}"
@@ -198,13 +200,15 @@ fn conclusion_kvm_arm_exceeds_xen_arm_on_io_workloads() {
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         let xen = workloads::overhead(
             &mut XenArm::new(),
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         assert!(kvm < xen, "{mix:?}: {kvm} vs {xen}");
     }
 }
@@ -214,7 +218,7 @@ fn conclusion_arm_hypervisors_similar_overhead_to_x86_counterparts() {
     // "We show that ARM hypervisors have similar overhead to their x86
     // counterparts on real applications."
     use hvx::suite::fig4::Figure4;
-    let fig = Figure4::measure();
+    let fig = Figure4::measure().unwrap();
     for g in &fig.groups {
         let arm_kvm = g.bars[0].measured;
         let x86_kvm = g.bars[2].measured;
@@ -248,11 +252,14 @@ fn microbenchmarks_do_not_predict_application_performance() {
         &mut Native::new(),
         mix,
         VirqPolicy::Vcpu0,
-    ) < workloads::overhead(
-        &mut XenArm::new(),
-        &mut Native::new(),
-        mix,
-        VirqPolicy::Vcpu0,
-    );
+    )
+    .unwrap()
+        < workloads::overhead(
+            &mut XenArm::new(),
+            &mut Native::new(),
+            mix,
+            VirqPolicy::Vcpu0,
+        )
+        .unwrap();
     assert!(app_winner_is_kvm);
 }

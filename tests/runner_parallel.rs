@@ -67,7 +67,7 @@ fn any_job_count_agrees() {
 #[test]
 fn runner_table2_matches_full_trace_measurement() {
     let reports = runner::run_artifacts(&[ArtifactId::Table2], 1).unwrap();
-    let fresh = hvx::suite::micro::Table2::measure(runner::TABLE2_ITERS);
+    let fresh = hvx::suite::micro::Table2::measure(runner::TABLE2_ITERS).unwrap();
     let direct = serde_json::to_string_pretty(&fresh).unwrap();
     assert_eq!(reports[0].json, direct);
 }

@@ -103,7 +103,7 @@ fn every_workload_runs_on_every_configuration() {
                 };
                 let mut hv = build();
                 let mut native = Native::with_cost(native_cost);
-                let oh = workloads::overhead(hv.as_mut(), &mut native, mix, policy);
+                let oh = workloads::overhead(hv.as_mut(), &mut native, mix, policy).unwrap();
                 assert!(
                     (0.85..6.0).contains(&oh),
                     "{} on {name} ({policy:?}): implausible overhead {oh:.2}",
@@ -124,13 +124,15 @@ fn vhe_never_loses_to_classic_kvm_arm() {
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         let vhe = workloads::overhead(
             &mut KvmArm::new_vhe(),
             &mut Native::new(),
             mix,
             VirqPolicy::Vcpu0,
-        );
+        )
+        .unwrap();
         assert!(
             vhe <= classic + 0.01,
             "{}: VHE {vhe:.3} vs classic {classic:.3}",
@@ -145,8 +147,8 @@ fn distribution_never_hurts() {
     for w in workloads::catalog() {
         let mix = shrink(w.mix);
         for (name, build) in virtualized() {
-            let conc = workloads::run(build().as_mut(), mix, VirqPolicy::Vcpu0);
-            let dist = workloads::run(build().as_mut(), mix, VirqPolicy::RoundRobin);
+            let conc = workloads::run(build().as_mut(), mix, VirqPolicy::Vcpu0).unwrap();
+            let dist = workloads::run(build().as_mut(), mix, VirqPolicy::RoundRobin).unwrap();
             assert!(
                 dist.as_u64() <= conc.as_u64() + conc.as_u64() / 20,
                 "{} on {name}: distribution regressed {conc} -> {dist}",
