@@ -123,6 +123,13 @@ pub enum Error {
         /// How many artifacts drifted.
         drifted: usize,
     },
+    /// `hvx-repro trace query --validate` found structural violations
+    /// in an exported Chrome trace (malformed events, non-monotone
+    /// per-track timestamps, or missing kick→delivery flow chains).
+    TraceInvalid {
+        /// The violations, one human-readable line each.
+        problems: Vec<String>,
+    },
 }
 
 /// How an isolated scenario failed (see [`Error::Scenario`]).
@@ -193,6 +200,13 @@ impl fmt::Display for Error {
             }
             Error::Baseline { what, detail } => {
                 write!(f, "bad baseline {what}: {detail}")
+            }
+            Error::TraceInvalid { problems } => {
+                write!(f, "invalid trace: {} violation(s)", problems.len())?;
+                for p in problems {
+                    write!(f, "\n  {p}")?;
+                }
+                Ok(())
             }
             Error::BaselineDrift { drifted } => write!(
                 f,

@@ -31,7 +31,9 @@
 use crate::context::{ArmGuestContext, ArmHostContext};
 use crate::{CostModel, HvKind, Hypervisor, VirqPolicy};
 use hvx_arch::{ArchVersion, ArmCpu, ExceptionLevel, HcrEl2, Syndrome, TrapCause};
-use hvx_engine::{CoreId, Cycles, FaultPoint, Machine, Topology, TraceKind, TransitionId};
+use hvx_engine::{
+    CoreId, Cycles, FaultPoint, FlowId, FlowKind, Machine, Topology, TraceKind, TransitionId,
+};
 use hvx_gic::{dist_reg, Distributor, IntId, VgicCpuInterface};
 use hvx_mem::{Ipa, Pa, PhysMemory, S2Perms, Stage2Tables, PAGE_SIZE};
 use hvx_vio::{Descriptor, Nic, VhostNet, Virtqueue};
@@ -555,7 +557,16 @@ impl KvmArm {
     /// completion instant on the target core. `from` is the core that
     /// initiates the kick; `signal_at` lets callers account an in-flight
     /// wire before the kick.
-    fn inject_virq_running(&mut self, from: CoreId, target_vcpu: usize, virq: IntId) -> Cycles {
+    /// `flow` (when tracing) links this injection into the causal chain
+    /// that triggered it — e.g. the IRQ-delivery chain opened by
+    /// [`KvmArm::receive`] when the physical NIC interrupt lands.
+    fn inject_virq_running(
+        &mut self,
+        from: CoreId,
+        target_vcpu: usize,
+        virq: IntId,
+        flow: Option<FlowId>,
+    ) -> Cycles {
         let c = self.cost;
         let target_core = self.machine.topology().guest_core(target_vcpu);
         // Kick: physical SGI to the target PCPU.
@@ -582,6 +593,7 @@ impl KvmArm {
             .complete(target_core.index(), HOST_KICK_SGI)
             .expect("sgi active");
         self.machine.bump("kvm.virq_injections", 1);
+        self.machine.flow_step(flow, target_core, "virq:inject");
         self.machine.charge_as(
             target_core,
             "kvm:vgic-inject",
@@ -613,6 +625,11 @@ impl KvmArm {
         );
         let acked = self.vgics[target_core.index()].guest_ack();
         debug_assert_eq!(acked, Some(virq.raw()));
+        debug_assert_eq!(
+            self.vgics[target_core.index()].last_injected(),
+            Some(virq.raw())
+        );
+        self.machine.flow_end(flow, target_core, "guest:ack");
         // Completion happens in the guest later; keep the LR active until
         // `virq_complete`-style EOI. For workload paths we complete
         // immediately at vIF cost.
@@ -679,6 +696,19 @@ impl Hypervisor for KvmArm {
             self.machine.bump("vio.nic_stalls", stalls);
             self.machine
                 .bump("vio.nic_rekicks", self.nic.rekick_count());
+        }
+        // Device-side flow correlators register only under event tracing
+        // so the committed baseline profiles stay byte-identical.
+        if self.machine.event_tracing() {
+            let kicks = self.vm.vhost.kick_count();
+            let irqs = self.nic.irq_count();
+            self.machine.bump("vio.vhost_kick_seq", kicks);
+            self.machine.bump("vio.nic_irq_seq", irqs);
+            let cores: Vec<CoreId> = self.machine.topology().all_cores().collect();
+            for core in cores {
+                let permille = (self.machine.utilization(core) * 1000.0).round() as u64;
+                self.machine.observe("machine.util_permille", permille);
+            }
         }
     }
 
@@ -767,7 +797,7 @@ impl Hypervisor for KvmArm {
             .expect("SGIR modelled");
         debug_assert_eq!(effect.sgi_targets.len(), 1);
         // Kick the target and inject; the receive side completes there.
-        let done = self.inject_virq_running(from_core, to, GUEST_IPI_SGI);
+        let done = self.inject_virq_running(from_core, to, GUEST_IPI_SGI, None);
         // Sender resumes (off the critical path).
         self.switch_in(from_core, from, true);
         done - t0
@@ -952,6 +982,10 @@ impl Hypervisor for KvmArm {
         // Kick.
         self.mmio_trap(core, vcpu, VIRTIO_IPA + VIRTIO_QUEUE_NOTIFY, true);
         self.machine.bump("kvm.vhost_kicks", 1);
+        self.vm.vhost.note_kick();
+        let flow = self
+            .machine
+            .flow_begin(FlowKind::VirtioKick, core, "virtio:kick");
         self.machine.charge_as(
             core,
             "kvm:ioeventfd",
@@ -967,6 +1001,9 @@ impl Hypervisor for KvmArm {
             // Fault: the vhost worker is preempted before servicing the
             // kick. The virtio driver's TX watchdog fires and re-kicks
             // the queue — a second doorbell charged as recovery.
+            let rec =
+                self.machine
+                    .flow_begin(FlowKind::FaultRecovery, backend, "fault:vhost-delay");
             self.machine.charge_as(
                 backend,
                 "kvm:vhost-delay",
@@ -981,7 +1018,9 @@ impl Hypervisor for KvmArm {
                 c.kvm_ioeventfd + c.kvm_mmio_decode,
                 TransitionId::VirtioRekick,
             );
+            self.machine.flow_end(rec, core, "virtio:tx-rekick");
         }
+        self.machine.flow_step(flow, backend, "vhost:wake");
         self.machine.charge_as(
             backend,
             "kvm:vhost-wake",
@@ -1031,6 +1070,7 @@ impl Hypervisor for KvmArm {
         for p in pkts {
             self.nic.transmit(p);
         }
+        self.machine.flow_end(flow, backend, "nic:dma");
         let _ = self.vm.tx_vq.take_used();
         self.machine.now(backend)
     }
@@ -1044,7 +1084,11 @@ impl Hypervisor for KvmArm {
         self.nic
             .receive_from_wire(hvx_vio::Packet::new(0, vec![0xCDu8; len]));
         self.phys_gic.raise(NIC_SPI, io.index()).expect("spi");
+        self.nic.note_irq();
         self.machine.wait_until(io, arrival);
+        let flow = self
+            .machine
+            .flow_begin(FlowKind::IrqDelivery, io, "host:irq");
         self.machine.charge_as(
             io,
             "host:irq",
@@ -1070,6 +1114,7 @@ impl Hypervisor for KvmArm {
             c.host_net_rx,
             TransitionId::HostStack,
         );
+        self.machine.flow_step(flow, io, "vhost:rx");
         self.machine.charge_as(
             io,
             "kvm:vhost-rx",
@@ -1106,7 +1151,7 @@ impl Hypervisor for KvmArm {
             );
         }
         // Inject the virtio interrupt into the running VCPU.
-        self.inject_virq_running(io, vcpu, VIRTIO_NET_VIRQ);
+        self.inject_virq_running(io, vcpu, VIRTIO_NET_VIRQ, flow);
         let core = self.machine.topology().guest_core(vcpu);
         if self.machine.fault(FaultPoint::VirqSpurious) {
             // Fault: a spurious virtio interrupt — the guest traps to
@@ -1133,7 +1178,7 @@ impl Hypervisor for KvmArm {
         self.ensure_primary();
         let core = self.machine.topology().guest_core(vcpu);
         let t0 = self.machine.now(core);
-        self.inject_virq_running(core, vcpu, IntId::VTIMER);
+        self.inject_virq_running(core, vcpu, IntId::VTIMER, None);
         self.machine.now(core) - t0
     }
 
@@ -1164,6 +1209,10 @@ impl Hypervisor for KvmArm {
         // stack once; vhost writes every chunk straight into guest
         // buffers (zero copy — no per-chunk charge beyond the byte cost
         // already in the guest stack term).
+        self.nic.note_irq();
+        let flow = self
+            .machine
+            .flow_begin(FlowKind::IrqDelivery, io, "host:irq");
         self.machine.charge_as(
             io,
             "host:irq",
@@ -1192,7 +1241,8 @@ impl Hypervisor for KvmArm {
             c.kvm_vhost_per_packet,
             TransitionId::VhostBackend,
         );
-        self.inject_virq_running(io, vcpu, VIRTIO_NET_VIRQ);
+        self.machine.flow_step(flow, io, "vhost:rx");
+        self.inject_virq_running(io, vcpu, VIRTIO_NET_VIRQ, flow);
         let core = self.machine.topology().guest_core(vcpu);
         self.machine.charge_as(
             core,
@@ -1220,6 +1270,10 @@ impl Hypervisor for KvmArm {
         // One kick for the whole burst.
         self.mmio_trap(core, vcpu, VIRTIO_IPA + VIRTIO_QUEUE_NOTIFY, true);
         self.machine.bump("kvm.vhost_kicks", 1);
+        self.vm.vhost.note_kick();
+        let flow = self
+            .machine
+            .flow_begin(FlowKind::VirtioKick, core, "virtio:kick");
         self.machine.charge_as(
             core,
             "kvm:ioeventfd",
@@ -1230,6 +1284,7 @@ impl Hypervisor for KvmArm {
         let arrival = self.machine.signal(core, backend, c.ipi_wire);
         self.switch_in(core, vcpu, true);
         self.machine.wait_until(backend, arrival);
+        self.machine.flow_step(flow, backend, "vhost:wake");
         self.machine.charge_as(
             backend,
             "kvm:vhost-wake",
@@ -1258,6 +1313,7 @@ impl Hypervisor for KvmArm {
             c.nic_dma,
             TransitionId::NicDma,
         );
+        self.machine.flow_end(flow, backend, "nic:dma");
         self.machine.now(backend)
     }
 }

@@ -150,6 +150,8 @@ pub struct SimBuilder {
     policy: VirqPolicy,
     cost: Option<CostModel>,
     fault_plan: Option<FaultPlan>,
+    event_tracing: bool,
+    event_ring: Option<usize>,
 }
 
 impl SimBuilder {
@@ -166,6 +168,8 @@ impl SimBuilder {
             policy: VirqPolicy::Vcpu0,
             cost: None,
             fault_plan: None,
+            event_tracing: false,
+            event_ring: None,
         }
     }
 
@@ -219,6 +223,26 @@ impl SimBuilder {
     /// calibration, and by [`HvKind::KvmArmVhe`]'s VHE flag.
     pub fn cost_model(mut self, cost: CostModel) -> SimBuilder {
         self.cost = Some(cost);
+        self
+    }
+
+    /// Enables causal event tracing
+    /// ([`hvx_engine::Machine::enable_event_tracing`]): timestamped
+    /// slices on per-core tracks plus cross-machine flow chains,
+    /// exportable as Chrome trace-event JSON. Off by default — when
+    /// off, the built machine is byte-identical to one without this
+    /// call.
+    pub fn event_tracing(mut self, on: bool) -> SimBuilder {
+        self.event_tracing = on;
+        self
+    }
+
+    /// Bounds the event tracer to a ring of `slots` retained slices and
+    /// flow points (oldest overwritten first). Implies
+    /// [`SimBuilder::event_tracing`]`(true)`.
+    pub fn event_ring(mut self, slots: usize) -> SimBuilder {
+        self.event_tracing = true;
+        self.event_ring = Some(slots);
         self
     }
 
@@ -279,6 +303,9 @@ impl SimBuilder {
         machine.trace_mut().set_enabled(self.trace_enabled);
         if self.profiling {
             machine.enable_profiling();
+        }
+        if self.event_tracing {
+            machine.enable_event_tracing(self.event_ring);
         }
         if let Some(plan) = self.fault_plan {
             machine.set_fault_plan(plan);

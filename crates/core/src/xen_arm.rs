@@ -21,7 +21,9 @@
 use crate::context::ArmGuestContext;
 use crate::{CostModel, HvKind, Hypervisor, VirqPolicy};
 use hvx_arch::{ArchVersion, ArmCpu, ExceptionLevel, Syndrome, TrapCause};
-use hvx_engine::{CoreId, Cycles, FaultPoint, Machine, Topology, TraceKind, TransitionId};
+use hvx_engine::{
+    CoreId, Cycles, FaultPoint, FlowId, FlowKind, Machine, Topology, TraceKind, TransitionId,
+};
 use hvx_gic::{dist_reg, Distributor, IntId, VgicCpuInterface};
 use hvx_mem::{DomId, GrantTable, Ipa, Pa, PhysMemory, S2Perms, Stage2Tables, PAGE_SIZE};
 use hvx_vio::{EventChannels, NetBack, NetFront, Nic, Port, XenNetRing};
@@ -397,13 +399,22 @@ impl XenArm {
     /// guest mode: physical poke SGI, trap, list-register sync (Xen
     /// reads the VGIC state back to merge the new interrupt), return,
     /// guest acknowledge. Returns the instant after the guest ack.
-    fn inject_virq_running(&mut self, from: CoreId, vcpu: usize, virq: IntId) -> Cycles {
+    fn inject_virq_running(
+        &mut self,
+        from: CoreId,
+        vcpu: usize,
+        virq: IntId,
+        flow: Option<FlowId>,
+    ) -> Cycles {
         if self.machine.fault(FaultPoint::VirqDrop) {
             // Fault: the upcall is lost before DomU observes it. Xen's
             // event-channel pending bit survives, so the next scan
             // re-notifies — charged as recovery before the injection
             // that actually lands.
             let c = self.cost;
+            let rec = self
+                .machine
+                .flow_begin(FlowKind::FaultRecovery, from, "fault:upcall-lost");
             self.machine.charge_as(
                 from,
                 "xen:evtchn-redeliver",
@@ -411,12 +422,22 @@ impl XenArm {
                 c.xen_evtchn_send + c.xen_event_upcall,
                 TransitionId::EvtchnRedeliver,
             );
+            self.machine.flow_end(rec, from, "xen:evtchn-redeliver");
         }
-        self.inject_virq_running_reliable(from, vcpu, virq)
+        self.inject_virq_running_reliable(from, vcpu, virq, flow)
     }
 
     /// The always-delivered tail of [`Self::inject_virq_running`].
-    fn inject_virq_running_reliable(&mut self, from: CoreId, vcpu: usize, virq: IntId) -> Cycles {
+    /// `flow` (when tracing) links the injection into the causal chain
+    /// that produced it — e.g. the IRQ-delivery chain opened when the
+    /// physical NIC interrupt landed on the I/O core.
+    fn inject_virq_running_reliable(
+        &mut self,
+        from: CoreId,
+        vcpu: usize,
+        virq: IntId,
+        flow: Option<FlowId>,
+    ) -> Cycles {
         let c = self.cost;
         let core = self.machine.topology().guest_core(vcpu);
         self.phys_gic
@@ -446,6 +467,7 @@ impl XenArm {
             TransitionId::VgicLrSave,
         );
         self.machine.bump("xen.virq_injections", 1);
+        self.machine.flow_step(flow, core, "virq:inject");
         self.machine.charge_as(
             core,
             "xen:vgic-inject",
@@ -454,6 +476,7 @@ impl XenArm {
             TransitionId::VirqInject,
         );
         let _ = self.vgics[core.index()].inject(virq.raw(), 0x80);
+        debug_assert_eq!(self.vgics[core.index()].last_injected(), Some(virq.raw()));
         self.machine.charge_as(
             core,
             "restore:vgic",
@@ -471,6 +494,7 @@ impl XenArm {
         );
         let acked = self.vgics[core.index()].guest_ack();
         debug_assert_eq!(acked, Some(virq.raw()));
+        self.machine.flow_end(flow, core, "guest:ack");
         let t_ack = self.machine.now(core);
         self.machine.charge_as(
             core,
@@ -604,6 +628,18 @@ impl Hypervisor for XenArm {
             self.machine
                 .bump("vio.nic_rekicks", self.nic.rekick_count());
         }
+        // Device-side flow correlators register only under event tracing
+        // so the committed baseline profiles stay byte-identical.
+        if self.machine.event_tracing() {
+            let port = self.evtchn.last_signal().map_or(0, |p| u64::from(p.0) + 1);
+            self.machine.bump("vio.evtchn_last_port", port);
+            self.machine.bump("vio.nic_irq_seq", self.nic.irq_count());
+            let cores: Vec<CoreId> = self.machine.topology().all_cores().collect();
+            for core in cores {
+                let permille = (self.machine.utilization(core) * 1000.0).round() as u64;
+                self.machine.observe("machine.util_permille", permille);
+            }
+        }
     }
 
     fn hypercall(&mut self, vcpu: usize) -> Cycles {
@@ -706,7 +742,7 @@ impl Hypervisor for XenArm {
             )
             .expect("SGIR modelled");
         debug_assert_eq!(effect.sgi_targets.len(), 1);
-        let t_ack = self.inject_virq_running(from_core, to, GUEST_IPI_SGI);
+        let t_ack = self.inject_virq_running(from_core, to, GUEST_IPI_SGI, None);
         self.xen_return(from_core);
         t_ack - t0
     }
@@ -883,6 +919,9 @@ impl Hypervisor for XenArm {
             c.xen_dispatch,
             TransitionId::HostDispatch,
         );
+        let flow = self
+            .machine
+            .flow_begin(FlowKind::EvtchnSignal, core, "evtchn:send");
         self.machine.charge_as(
             core,
             "xen:evtchn-send",
@@ -899,6 +938,7 @@ impl Hypervisor for XenArm {
             self.wake_into(backend_core, Running::Dom0(b), true, true);
         }
         self.evtchn.clear_pending(DomId::DOM0, self.io_port);
+        self.machine.flow_step(flow, backend_core, "dom0:wake");
         self.machine.charge_as(
             backend_core,
             "xen:netback-tx",
@@ -942,6 +982,7 @@ impl Hypervisor for XenArm {
         for p in pkts {
             self.nic.transmit(p);
         }
+        self.machine.flow_end(flow, backend_core, "nic:dma");
         self.front
             .reap_tx(&mut self.ring, &mut self.grants)
             .expect("grants end cleanly");
@@ -966,10 +1007,14 @@ impl Hypervisor for XenArm {
         self.nic
             .receive_from_wire(hvx_vio::Packet::new(0, vec![0xCDu8; len]));
         self.phys_gic.raise(NIC_SPI, io.index()).expect("spi");
+        self.nic.note_irq();
         self.machine.wait_until(io, arrival);
         // Physical IRQ lands in Xen; Dom0 holds the NIC driver, so Xen
         // wakes Dom0 on the I/O core (IRQ-driven: no event-channel
         // kthread wake on this side).
+        let flow = self
+            .machine
+            .flow_begin(FlowKind::IrqDelivery, io, "host:irq");
         self.machine.charge_as(
             io,
             "host:irq",
@@ -1012,6 +1057,7 @@ impl Hypervisor for XenArm {
             c.xen_dispatch,
             TransitionId::HostDispatch,
         );
+        self.machine.flow_step(flow, io, "evtchn:send");
         self.machine.charge_as(
             io,
             "xen:evtchn-send",
@@ -1022,7 +1068,7 @@ impl Hypervisor for XenArm {
         self.evtchn
             .notify(self.io_port, DomId::DOM0)
             .expect("bound port");
-        self.inject_virq_running(io, vcpu, EVTCHN_VIRQ);
+        self.inject_virq_running(io, vcpu, EVTCHN_VIRQ, flow);
         self.xen_return(io);
         self.evtchn.clear_pending(DOMU, self.io_port);
         // Dom0 returns to idle.
@@ -1065,7 +1111,7 @@ impl Hypervisor for XenArm {
         self.ensure_primary();
         let core = self.machine.topology().guest_core(vcpu);
         let t0 = self.machine.now(core);
-        self.inject_virq_running(core, vcpu, IntId::VTIMER);
+        self.inject_virq_running(core, vcpu, IntId::VTIMER, None);
         self.machine.now(core) - t0
     }
 
@@ -1105,7 +1151,11 @@ impl Hypervisor for XenArm {
         let vcpu = self.pick_irq_vcpu();
         let io = self.machine.topology().io_core();
         let io_dom0_vcpu = io.index() - self.num_vcpus();
+        self.nic.note_irq();
         self.machine.wait_until(io, arrival);
+        let flow = self
+            .machine
+            .flow_begin(FlowKind::IrqDelivery, io, "host:irq");
         self.machine.charge_as(
             io,
             "host:irq",
@@ -1151,6 +1201,7 @@ impl Hypervisor for XenArm {
             c.xen_dispatch,
             TransitionId::HostDispatch,
         );
+        self.machine.flow_step(flow, io, "evtchn:send");
         self.machine.charge_as(
             io,
             "xen:evtchn-send",
@@ -1161,7 +1212,7 @@ impl Hypervisor for XenArm {
         self.evtchn
             .notify(self.io_port, DomId::DOM0)
             .expect("bound port");
-        self.inject_virq_running(io, vcpu, EVTCHN_VIRQ);
+        self.inject_virq_running(io, vcpu, EVTCHN_VIRQ, flow);
         self.xen_return(io);
         self.evtchn.clear_pending(DOMU, self.io_port);
         self.domain_switch_silent(io, Running::Idle);
@@ -1198,6 +1249,9 @@ impl Hypervisor for XenArm {
             c.xen_dispatch,
             TransitionId::HostDispatch,
         );
+        let flow = self
+            .machine
+            .flow_begin(FlowKind::EvtchnSignal, core, "evtchn:send");
         self.machine.charge_as(
             core,
             "xen:evtchn-send",
@@ -1213,6 +1267,7 @@ impl Hypervisor for XenArm {
             self.wake_into(backend_core, Running::Dom0(b), true, true);
         }
         self.evtchn.clear_pending(DomId::DOM0, self.io_port);
+        self.machine.flow_step(flow, backend_core, "dom0:wake");
         self.machine.charge_as(
             backend_core,
             "xen:netback-tx",
@@ -1243,6 +1298,7 @@ impl Hypervisor for XenArm {
             c.nic_dma,
             TransitionId::NicDma,
         );
+        self.machine.flow_end(flow, backend_core, "nic:dma");
         self.domain_switch_silent(backend_core, Running::Idle);
         self.machine.now(backend_core)
     }
@@ -1298,6 +1354,7 @@ impl XenArm {
 /// real recovery shape). With no fault plan installed this is exactly
 /// one charge and one branch.
 pub(crate) fn grant_copy_with_retry(machine: &mut Machine, core: CoreId, copy: Cycles) {
+    let flow = machine.flow_begin(FlowKind::GrantCopy, core, "grant:copy");
     machine.charge_as(
         core,
         "xen:grant-copy",
@@ -1310,6 +1367,7 @@ pub(crate) fn grant_copy_with_retry(machine: &mut Machine, core: CoreId, copy: C
         if !machine.fault(FaultPoint::GrantCopyFail) {
             break;
         }
+        machine.flow_step(flow, core, "grant:retry");
         machine.charge_as(
             core,
             "xen:grant-retry",
@@ -1319,6 +1377,7 @@ pub(crate) fn grant_copy_with_retry(machine: &mut Machine, core: CoreId, copy: C
         );
         backoff = backoff * 2;
     }
+    machine.flow_end(flow, core, "grant:done");
 }
 
 #[cfg(test)]

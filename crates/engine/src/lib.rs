@@ -60,9 +60,9 @@ pub use fingerprint::{Fingerprint, FingerprintHasher};
 // Observability primitives, re-exported so instrumented layers (core,
 // gic, vio, suite) need only an `hvx-engine` dependency.
 pub use hvx_obs::{
-    render_span_deltas, span_deltas, CounterSnapshot, HistogramSketch, HistogramSnapshot,
-    MetricsRegistry, ProfileSnapshot, SpanDelta, SpanRow, SpanSnapshotRow, SpanTracer,
-    TransitionId,
+    render_span_deltas, span_deltas, CounterSnapshot, EventTracer, FlowChain, FlowId, FlowKind,
+    FlowPhase, FlowPoint, HistogramSketch, HistogramSnapshot, MetricsRegistry, ProfileSnapshot,
+    SliceEvent, SpanDelta, SpanRow, SpanSnapshotRow, SpanTracer, TransitionId,
 };
 pub use machine::Machine;
 pub use stats::{Histogram, Samples, Streaming, Summary};

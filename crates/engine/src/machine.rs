@@ -14,7 +14,7 @@ use crate::fault::{
     self, CycleBudgetExceeded, FaultPlan, FaultPoint, FaultState, Livelocked, Watchdog,
 };
 use crate::{CoreId, Cycles, Topology, TraceEvent, TraceKind, TraceLog};
-use hvx_obs::{MetricsRegistry, SpanTracer, TransitionId};
+use hvx_obs::{EventTracer, FlowId, FlowKind, MetricsRegistry, SpanTracer, TransitionId};
 
 /// The machine's optional observability state: a span tracer fed by
 /// every [`Machine::charge`] plus a metrics registry. Boxed so a
@@ -58,6 +58,10 @@ pub struct Machine {
     /// `Some` once a non-empty [`FaultPlan`] is installed; `None`
     /// keeps every fault consult a single branch.
     faults: Option<Box<FaultState>>,
+    /// `Some` once causal event tracing is enabled; `None` keeps the
+    /// charge hot path and every flow hook a single branch, so an
+    /// untraced run is byte-identical to the pre-tracing engine.
+    events: Option<Box<EventTracer>>,
     /// Cycle-budget ceiling enforced in [`Machine::charge`]
     /// (`u64::MAX` = unlimited, so the hot-path check is one compare).
     cycle_budget: u64,
@@ -85,6 +89,7 @@ impl Machine {
             trace: TraceLog::new(),
             profiler: None,
             faults: None,
+            events: None,
             cycle_budget: u64::MAX,
             livelock_limit: u64::MAX,
             total_charged: 0,
@@ -173,6 +178,17 @@ impl Machine {
         kind: TraceKind,
         cost: Cycles,
     ) -> Cycles {
+        self.charge_inner(core, label, kind, cost, None)
+    }
+
+    fn charge_inner(
+        &mut self,
+        core: CoreId,
+        label: &'static str,
+        kind: TraceKind,
+        cost: Cycles,
+        transition: Option<TransitionId>,
+    ) -> Cycles {
         let start = self.clocks[core.index()];
         self.trace.record(TraceEvent {
             core,
@@ -183,6 +199,15 @@ impl Machine {
         });
         if let Some(p) = &mut self.profiler {
             p.spans.charge(cost.as_u64());
+        }
+        if let Some(ev) = &mut self.events {
+            ev.record_slice(
+                core.index() as u8,
+                start.as_u64(),
+                cost.as_u64(),
+                label,
+                transition,
+            );
         }
         let end = start + cost;
         self.clocks[core.index()] = end;
@@ -226,7 +251,7 @@ impl Machine {
         id: TransitionId,
     ) -> Cycles {
         self.span_enter(id);
-        let end = self.charge(core, label, kind, cost);
+        let end = self.charge_inner(core, label, kind, cost, Some(id));
         self.span_exit(id);
         end
     }
@@ -342,6 +367,10 @@ impl Machine {
             if let Some(p) = &mut self.profiler {
                 p.metrics.bump(point.metric(), 1);
             }
+            if let Some(ev) = &mut self.events {
+                // The next charged slice is the recovery path's head.
+                ev.note_fault();
+            }
         }
         hit
     }
@@ -436,6 +465,76 @@ impl Machine {
     /// profiling is enabled.
     pub fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
         self.profiler.as_mut().map(|p| &mut p.metrics)
+    }
+
+    // --- causal event tracing -------------------------------------------
+
+    /// Turns on causal event tracing: from now on every charge records
+    /// a timestamped slice on its core's track, and the flow hooks
+    /// below stitch cross-core chains. `ring` bounds the kept events
+    /// (`None` = unbounded). Tracing reads clocks but never advances
+    /// them, so an identical run with tracing off charges identical
+    /// cycles.
+    pub fn enable_event_tracing(&mut self, ring: Option<usize>) {
+        self.events = Some(Box::new(match ring {
+            Some(n) => EventTracer::with_capacity(n),
+            None => EventTracer::new(),
+        }));
+    }
+
+    /// Whether causal event tracing is enabled.
+    #[inline]
+    pub fn event_tracing(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// The event tracer, if tracing is enabled.
+    pub fn event_tracer(&self) -> Option<&EventTracer> {
+        self.events.as_deref()
+    }
+
+    /// Takes the event tracer out of the machine (export/derivation
+    /// time), disabling further recording.
+    pub fn take_event_tracer(&mut self) -> Option<EventTracer> {
+        self.events.take().map(|b| *b)
+    }
+
+    /// Opens a causal chain anchored at `core`'s current instant.
+    /// Returns `None` (one branch, no other work) while tracing is
+    /// disabled, so models can instrument unconditionally and thread
+    /// the `Option` through [`Machine::flow_step`]/[`Machine::flow_end`].
+    #[inline]
+    pub fn flow_begin(
+        &mut self,
+        kind: FlowKind,
+        core: CoreId,
+        label: &'static str,
+    ) -> Option<FlowId> {
+        let ts = self.now(core).as_u64();
+        self.events
+            .as_mut()
+            .map(|ev| ev.flow_begin(kind, core.index() as u8, ts, label))
+    }
+
+    /// Records an intermediate hop of chain `id` at `core`'s current
+    /// instant. No-op for `None` (tracing disabled at begin time).
+    #[inline]
+    pub fn flow_step(&mut self, id: Option<FlowId>, core: CoreId, label: &'static str) {
+        let Some(id) = id else { return };
+        let ts = self.now(core).as_u64();
+        if let Some(ev) = &mut self.events {
+            ev.flow_step(id, core.index() as u8, ts, label);
+        }
+    }
+
+    /// Ends chain `id` at `core`'s current instant. No-op for `None`.
+    #[inline]
+    pub fn flow_end(&mut self, id: Option<FlowId>, core: CoreId, label: &'static str) {
+        let Some(id) = id else { return };
+        let ts = self.now(core).as_u64();
+        if let Some(ev) = &mut self.events {
+            ev.flow_end(id, core.index() as u8, ts, label);
+        }
     }
 
     /// Sum of every core's charged work — the run total that the span
@@ -727,6 +826,94 @@ mod tests {
         drop(_g);
         let m2 = two_core_machine();
         assert!(!m2.faults_enabled());
+    }
+
+    #[test]
+    fn event_tracing_records_slices_and_flows_without_advancing_time() {
+        let mut m = two_core_machine();
+        m.enable_event_tracing(None);
+        assert!(m.event_tracing());
+        let (a, b) = (CoreId::new(0), CoreId::new(1));
+        m.charge_as(
+            a,
+            "guest:kick",
+            TraceKind::Emulation,
+            Cycles::new(100),
+            TransitionId::VhostKick,
+        );
+        let flow = m.flow_begin(FlowKind::VirtioKick, a, "virtio:kick");
+        assert!(flow.is_some());
+        let arrival = m.signal(a, b, Cycles::new(400));
+        m.wait_until(b, arrival);
+        m.flow_step(flow, b, "vhost:wake");
+        m.charge(b, "vhost:tx", TraceKind::Host, Cycles::new(1_000));
+        m.flow_end(flow, b, "nic:dma");
+
+        // Tracing is read-only on time: clocks match an untraced twin.
+        let mut twin = two_core_machine();
+        twin.charge_as(
+            a,
+            "guest:kick",
+            TraceKind::Emulation,
+            Cycles::new(100),
+            TransitionId::VhostKick,
+        );
+        let arr = twin.signal(a, b, Cycles::new(400));
+        twin.wait_until(b, arr);
+        twin.charge(b, "vhost:tx", TraceKind::Host, Cycles::new(1_000));
+        assert_eq!(m.now(a), twin.now(a));
+        assert_eq!(m.now(b), twin.now(b));
+
+        let tracer = m.take_event_tracer().unwrap();
+        assert!(!m.event_tracing(), "taking the tracer disables tracing");
+        let slices = tracer.slices();
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].transition, Some(TransitionId::VhostKick));
+        assert_eq!(slices[1].track, 1);
+        assert_eq!(slices[1].start, 500);
+        let chains = tracer.chains();
+        assert_eq!(chains.len(), 1);
+        assert!(chains[0].complete);
+        assert_eq!(chains[0].latency, 1_400, "kick at 100, dma at 1,500");
+        assert_eq!(chains[0].track_span(), 2);
+    }
+
+    #[test]
+    fn flow_hooks_are_noops_while_tracing_is_disabled() {
+        let mut m = two_core_machine();
+        let flow = m.flow_begin(FlowKind::IrqDelivery, CoreId::new(0), "irq");
+        assert!(flow.is_none());
+        m.flow_step(flow, CoreId::new(1), "hop");
+        m.flow_end(flow, CoreId::new(1), "done");
+        assert!(m.event_tracer().is_none());
+        assert!(m.take_event_tracer().is_none());
+    }
+
+    #[test]
+    fn fault_injection_marks_the_next_traced_slice() {
+        use crate::FaultPlan;
+        let mut m = two_core_machine();
+        m.enable_event_tracing(None);
+        m.set_fault_plan(FaultPlan::new(1).with_rate(FaultPoint::VirqDrop, 1.0));
+        m.charge(CoreId::new(0), "ok", TraceKind::Guest, Cycles::new(10));
+        assert!(m.fault(FaultPoint::VirqDrop));
+        m.charge(CoreId::new(0), "recover", TraceKind::Host, Cycles::new(20));
+        let slices = m.event_tracer().unwrap().slices();
+        assert!(!slices[0].fault);
+        assert!(slices[1].fault);
+    }
+
+    #[test]
+    fn ring_mode_caps_kept_slices() {
+        let mut m = two_core_machine();
+        m.enable_event_tracing(Some(3));
+        for _ in 0..10 {
+            m.charge(CoreId::new(0), "w", TraceKind::Guest, Cycles::new(5));
+        }
+        let t = m.event_tracer().unwrap();
+        assert_eq!(t.slices().len(), 3);
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(t.dropped_slices(), 7);
     }
 
     #[test]

@@ -136,6 +136,9 @@ pub struct VgicCpuInterface {
     injected: u64,
     /// Lifetime count of guest completions ([`VgicCpuInterface::guest_eoi`]).
     completed: u64,
+    /// Most recently injected vIRQ — the correlation point the causal
+    /// event tracer links a flow's `virq:inject` hop against.
+    last_injected: Option<u32>,
 }
 
 impl VgicCpuInterface {
@@ -149,7 +152,16 @@ impl VgicCpuInterface {
             overflow: Vec::new(),
             injected: 0,
             completed: 0,
+            last_injected: None,
         }
+    }
+
+    /// The vIRQ most recently passed to [`VgicCpuInterface::inject`]
+    /// (directly or absorbed from a scratch interface), if any. Event
+    /// tracers use this to confirm a flow's injection hop refers to the
+    /// interrupt the chain was opened for.
+    pub fn last_injected(&self) -> Option<u32> {
+        self.last_injected
     }
 
     /// Lifetime number of virtual interrupts injected through this
@@ -175,6 +187,9 @@ impl VgicCpuInterface {
     pub fn absorb_counters(&mut self, scratch: &VgicCpuInterface) {
         self.injected += scratch.injected;
         self.completed += scratch.completed;
+        if scratch.last_injected.is_some() {
+            self.last_injected = scratch.last_injected;
+        }
     }
 
     /// Hypervisor-side: injects virtual interrupt `virq` with `priority`.
@@ -197,6 +212,7 @@ impl VgicCpuInterface {
                     LrState::Active => {
                         lr.state = LrState::PendingActive;
                         self.injected += 1;
+                        self.last_injected = Some(virq);
                         Ok(i)
                     }
                     _ => Err(VgicError::AlreadyListed { virq }),
@@ -212,10 +228,12 @@ impl VgicCpuInterface {
                     hw_intid: None,
                 };
                 self.injected += 1;
+                self.last_injected = Some(virq);
                 return Ok(i);
             }
         }
         self.injected += 1;
+        self.last_injected = Some(virq);
         self.overflow.push((virq, priority));
         self.regs.hcr |= GICH_HCR_UIE;
         Err(VgicError::NoFreeLr { virq })

@@ -242,4 +242,69 @@ mod tests {
         assert_eq!(transition_names().len(), TransitionId::COUNT);
         assert!(transition_names().contains(&"vgic_lr_save"));
     }
+
+    fn snapshot_with(cycles: &[(TransitionId, u64)]) -> ProfileSnapshot {
+        let mut t = SpanTracer::new();
+        for (id, c) in cycles {
+            t.enter(*id);
+            t.charge(*c);
+            t.exit(*id);
+        }
+        ProfileSnapshot::capture(&t, &MetricsRegistry::new())
+    }
+
+    #[test]
+    fn empty_profiles_have_no_deltas() {
+        let empty = snapshot_with(&[]);
+        assert!(span_deltas(&empty, &empty).is_empty());
+        // Identical non-empty snapshots agree exactly too.
+        let same = snapshot_with(&[(TransitionId::GrantCopy, 40)]);
+        assert!(span_deltas(&same, &same).is_empty());
+        let rendered = render_span_deltas(&[]);
+        assert_eq!(rendered.lines().count(), 1, "header only");
+        assert!(rendered.contains("transition"));
+    }
+
+    #[test]
+    fn one_sided_transition_renders_as_new_or_vanished() {
+        let empty = snapshot_with(&[]);
+        let current = snapshot_with(&[(TransitionId::VirqInject, 500)]);
+        // Appeared from nothing: +inf pct renders as "new".
+        let appeared = span_deltas(&empty, &current);
+        assert_eq!(appeared.len(), 1);
+        assert_eq!(appeared[0].baseline_cycles, 0);
+        assert_eq!(appeared[0].delta_cycles, 500);
+        assert!(appeared[0].delta_pct().is_infinite());
+        let rendered = render_span_deltas(&appeared);
+        assert!(rendered.contains("virq_inject"));
+        assert!(rendered.contains("new"));
+        // Vanished entirely: finite -100%.
+        let vanished = span_deltas(&current, &empty);
+        assert_eq!(vanished[0].delta_cycles, -500);
+        assert!((vanished[0].delta_pct() + 100.0).abs() < 1e-9);
+        assert!(render_span_deltas(&vanished).contains("-100.0%"));
+    }
+
+    #[test]
+    fn delta_signs_render_explicitly_and_sort_by_magnitude() {
+        let baseline = snapshot_with(&[
+            (TransitionId::GrantCopy, 1_000),
+            (TransitionId::TrapToEl2, 200),
+        ]);
+        let current = snapshot_with(&[
+            (TransitionId::GrantCopy, 900),
+            (TransitionId::TrapToEl2, 600),
+        ]);
+        let deltas = span_deltas(&baseline, &current);
+        assert_eq!(deltas.len(), 2);
+        // Largest |delta| first: trap +400 beats grant -100.
+        assert_eq!(deltas[0].transition, "trap_to_el2");
+        assert_eq!(deltas[0].delta_cycles, 400);
+        assert_eq!(deltas[1].delta_cycles, -100);
+        let rendered = render_span_deltas(&deltas);
+        assert!(rendered.contains("+400"), "positive deltas carry a sign");
+        assert!(rendered.contains("-100"));
+        assert!(rendered.contains("+200.0%"));
+        assert!(rendered.contains("-10.0%"));
+    }
 }

@@ -12,6 +12,10 @@
 //! * [`MetricsRegistry`] / [`HistogramSketch`] — named counters and
 //!   power-of-two histograms, lock-free in steady state, with a
 //!   deterministic cross-thread merge;
+//! * [`EventTracer`] — causal event tracing: timestamped slices on
+//!   per-core tracks plus [`FlowKind`] chains stitching causally-linked
+//!   work across machines, with Chrome trace-event export and a
+//!   derivation pass folding end-to-end latencies into the registry;
 //! * [`ProfileSnapshot`] and [`SpanTracer::folded`] — exporters: JSON
 //!   (via the in-tree serde shim) and folded-stack flamegraph text.
 //!
@@ -26,6 +30,7 @@
 mod export;
 mod metrics;
 mod span;
+mod tracing;
 
 pub use export::{
     render_span_deltas, span_deltas, transition_names, CounterSnapshot, HistogramSnapshot,
@@ -33,3 +38,4 @@ pub use export::{
 };
 pub use metrics::{HistogramSketch, MetricsRegistry};
 pub use span::{SpanRow, SpanTracer, TransitionId};
+pub use tracing::{EventTracer, FlowChain, FlowId, FlowKind, FlowPhase, FlowPoint, SliceEvent};

@@ -414,33 +414,68 @@ impl SpanTracer {
     }
 
     /// Renders the folded-stack flamegraph text: one line per unique
-    /// span path, `root;outer;inner <exclusive cycles>`, sorted so the
-    /// output is byte-stable regardless of discovery order.
-    /// Unattributed cycles fold into the bare `root` frame.
+    /// span path, `root;outer;inner <exclusive cycles>`, with
+    /// zero-cycle frames dropped deterministically and parents emitted
+    /// before children. Siblings order by (subtree cycles descending,
+    /// name ascending), so the heaviest call path reads top-down and
+    /// the bytes are stable regardless of discovery order or worker
+    /// count. Unattributed cycles fold into the bare `root` frame,
+    /// which — when present — always leads.
     pub fn folded(&self, root: &str) -> String {
-        let mut lines: Vec<String> = self
-            .folded
-            .iter()
-            .filter(|(_, cycles)| *cycles > 0)
-            .map(|(path, cycles)| {
-                let mut line = String::from(root);
-                for i in path {
-                    line.push(';');
-                    line.push_str(TransitionId::ALL[*i as usize].name());
+        /// One frame of the reassembled call tree.
+        struct Node {
+            name: &'static str,
+            exclusive: u64,
+            subtree: u64,
+            children: Vec<Node>,
+        }
+        fn insert(node: &mut Node, path: &[u8], cycles: u64) {
+            node.subtree += cycles;
+            let Some((head, rest)) = path.split_first() else {
+                node.exclusive += cycles;
+                return;
+            };
+            let name = TransitionId::ALL[*head as usize].name();
+            let child = match node.children.iter_mut().position(|c| c.name == name) {
+                Some(i) => &mut node.children[i],
+                None => {
+                    node.children.push(Node {
+                        name,
+                        exclusive: 0,
+                        subtree: 0,
+                        children: Vec::new(),
+                    });
+                    node.children.last_mut().expect("just pushed")
                 }
-                line.push(' ');
-                line.push_str(&cycles.to_string());
-                line
-            })
-            .collect();
-        if self.unattributed > 0 {
-            lines.push(format!("{root} {}", self.unattributed));
+            };
+            insert(child, rest, cycles);
         }
-        lines.sort();
-        let mut out = lines.join("\n");
-        if !out.is_empty() {
-            out.push('\n');
+        fn emit(node: &Node, prefix: &str, out: &mut String) {
+            if node.exclusive > 0 {
+                out.push_str(prefix);
+                out.push(' ');
+                out.push_str(&node.exclusive.to_string());
+                out.push('\n');
+            }
+            let mut order: Vec<&Node> = node.children.iter().collect();
+            order.sort_by(|a, b| b.subtree.cmp(&a.subtree).then_with(|| a.name.cmp(b.name)));
+            for child in order {
+                emit(child, &format!("{prefix};{}", child.name), out);
+            }
         }
+        let mut tree = Node {
+            name: "",
+            exclusive: self.unattributed,
+            subtree: self.unattributed,
+            children: Vec::new(),
+        };
+        for (path, cycles) in &self.folded {
+            if *cycles > 0 {
+                insert(&mut tree, path, *cycles);
+            }
+        }
+        let mut out = String::new();
+        emit(&tree, root, &mut out);
         out
     }
 }
@@ -530,6 +565,33 @@ mod tests {
         assert_eq!(
             s,
             "kvm_arm 5\nkvm_arm;context_save;vgic_lr_save 40\nkvm_arm;trap_to_el2 20\n"
+        );
+    }
+
+    #[test]
+    fn folded_orders_siblings_by_cycles_then_name_and_drops_zero_frames() {
+        let mut t = SpanTracer::new();
+        // Two siblings with equal subtree weight: name breaks the tie.
+        t.enter(TransitionId::Eret);
+        t.charge(30);
+        t.exit(TransitionId::Eret);
+        t.enter(TransitionId::ContextSave);
+        t.charge(30);
+        t.exit(TransitionId::ContextSave);
+        // A heavier subtree whose own frame is zero-cost: the parent
+        // frame gets no line, but its child sorts by the subtree sum.
+        t.enter(TransitionId::HostDispatch);
+        t.enter(TransitionId::MmioDecode);
+        t.charge(100);
+        t.exit(TransitionId::MmioDecode);
+        t.exit(TransitionId::HostDispatch);
+        // A zero-cycle leaf path: deterministically dropped.
+        t.enter(TransitionId::Sched);
+        t.charge(0);
+        t.exit(TransitionId::Sched);
+        assert_eq!(
+            t.folded("r"),
+            "r;host_dispatch;mmio_decode 100\nr;context_save 30\nr;eret 30\n"
         );
     }
 

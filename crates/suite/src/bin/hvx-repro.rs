@@ -10,6 +10,10 @@
 //! hvx-repro bench --out FILE [--jobs N]
 //! hvx-repro profile [--scenario NAME]... [--jobs N] [--json DIR]
 //!           [--fault-plan SPEC] [--fault-seed N]
+//! hvx-repro trace <scenario> [--hypervisor HV] [--out FILE] [--ring N]
+//! hvx-repro trace query FILE [--transition NAME] [--track pcpuN]
+//!           [--from CYC] [--to CYC] [--top K] [--validate]
+//! hvx-repro trace bench [--out FILE] [--ring N]
 //! hvx-repro list-scenarios
 //!
 //! ARTIFACTs: table2 table3 table5 fig4 irq vhe zerocopy link vapic
@@ -38,6 +42,13 @@
 //! per-transition exclusive cycles sum exactly to the run's total busy
 //! cycles (conservation), and output is byte-identical across `--jobs`.
 //!
+//! `trace` runs one scenario with the causal event tracer on and writes
+//! Chrome trace-event JSON (open it in <https://ui.perfetto.dev> or
+//! `chrome://tracing`); `trace query` filters an exported trace, ranks
+//! critical chains, and (with `--validate`) gates on its structural
+//! invariants; `trace bench` measures tracing overhead over the Fig. 4
+//! sweep.
+//!
 //! `baseline write` snapshots every artifact (bytes + input
 //! fingerprints + Figure 4 span profiles) under `baselines/`;
 //! `check` re-runs and classifies divergences: an expected schema bump
@@ -52,6 +63,7 @@ use hvx_suite::cache::ResultCache;
 use hvx_suite::diff;
 use hvx_suite::profile::{self, ProfileScenario};
 use hvx_suite::runner::{self, ArtifactId, ChaosKind, RunnerConfig};
+use hvx_suite::trace::{self, TraceScenario};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -82,6 +94,17 @@ struct ProfileArgs {
     fault_plan: Option<FaultPlan>,
 }
 
+struct TraceRunArgs {
+    scenario: TraceScenario,
+    out: Option<PathBuf>,
+}
+
+struct TraceQueryArgs {
+    file: PathBuf,
+    query: trace::Query,
+    validate: bool,
+}
+
 fn usage() -> String {
     let names: Vec<&str> = ArtifactId::ALL.iter().map(|a| a.cli_name()).collect();
     format!(
@@ -89,6 +112,10 @@ fn usage() -> String {
          \x20               [--cache DIR] [ARTIFACT...]\n\
          \x20      hvx-repro bench --out FILE [--jobs N]\n\
          \x20      hvx-repro profile [--scenario NAME]... [--jobs N] [--json DIR]\n\
+         \x20      hvx-repro trace SCENARIO [--hypervisor HV] [--out FILE] [--ring N]\n\
+         \x20      hvx-repro trace query FILE [--transition NAME] [--track pcpuN]\n\
+         \x20                [--from CYC] [--to CYC] [--top K] [--validate]\n\
+         \x20      hvx-repro trace bench [--out FILE] [--ring N]\n\
          \x20      hvx-repro baseline write [--dir DIR] [--jobs N] [--cache DIR] [ARTIFACT...]\n\
          \x20      hvx-repro check [--baseline DIR] [--jobs N] [--cache DIR] [ARTIFACT...]\n\
          \x20      hvx-repro list-scenarios\n\
@@ -108,9 +135,10 @@ fn usage() -> String {
          \x20                      '{base}')\n\
          \x20 check                re-run and diff against the baseline; schema bumps are\n\
          \x20                      expected, silent drift exits 4 with a span-delta report\n\
-         exit codes: 0 ok, 1 runtime error, 2 usage error, 3 scenario failure, 4 drift\n\
+         exit codes: 0 ok, 1 runtime error (incl. invalid trace), 2 usage error,\n\
+         \x20           3 scenario failure, 4 drift\n\
          artifacts: {} all\n\
-         profile scenarios: <workload>-<hypervisor>, e.g. netperf-kvm-arm \
+         profile/trace scenarios: <workload>-<hypervisor>, e.g. netperf-kvm-arm \
          (see list-scenarios)",
         names.join(" "),
         base = diff::DEFAULT_DIR,
@@ -121,6 +149,9 @@ enum Parsed {
     Run(RunArgs),
     Bench { out: PathBuf, jobs: usize },
     Profile(ProfileArgs),
+    TraceRun(TraceRunArgs),
+    TraceQuery(TraceQueryArgs),
+    TraceBench { out: PathBuf, ring: usize },
     BaselineWrite(BaselineArgs),
     Check(BaselineArgs),
     ListScenarios,
@@ -349,6 +380,115 @@ fn parse_profile(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String
     }))
 }
 
+/// Parses the `trace` subcommand family: `trace <scenario> ...`,
+/// `trace query FILE ...`, `trace bench ...`.
+fn parse_trace(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let Some(first) = it.next() else {
+        return Ok(Parsed::Help);
+    };
+    match first.as_str() {
+        "query" => parse_trace_query(it),
+        "bench" => parse_trace_bench(it),
+        "--help" | "-h" => Ok(Parsed::Help),
+        _ => parse_trace_run(first, it),
+    }
+}
+
+fn parse_ring(it: &mut impl Iterator<Item = String>) -> Result<usize, String> {
+    let n = parse_u64("--ring", it)?;
+    usize::try_from(n)
+        .ok()
+        .filter(|n| *n >= 1)
+        .ok_or_else(|| format!("--ring needs a positive slot count, got '{n}'"))
+}
+
+fn parse_trace_run(
+    scenario: String,
+    it: &mut impl Iterator<Item = String>,
+) -> Result<Parsed, String> {
+    let mut hypervisor = None;
+    let mut out = None;
+    let mut ring = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--hypervisor" => {
+                hypervisor = Some(it.next().ok_or("--hypervisor requires a name")?);
+            }
+            "--out" => {
+                let file = it.next().ok_or("--out requires an output file")?;
+                out = Some(PathBuf::from(file));
+            }
+            "--ring" => ring = Some(parse_ring(it)?),
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("trace: unexpected argument '{other}'; try --help")),
+        }
+    }
+    let scenario = TraceScenario::resolve(&scenario, hypervisor.as_deref(), ring)
+        .map_err(|e| format!("trace: {e}"))?;
+    Ok(Parsed::TraceRun(TraceRunArgs { scenario, out }))
+}
+
+fn parse_trace_query(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut file = None;
+    let mut query = trace::Query::default();
+    let mut validate = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--transition" => {
+                query.transition = Some(it.next().ok_or("--transition requires a name")?);
+            }
+            "--track" => query.track = Some(it.next().ok_or("--track requires a track name")?),
+            "--from" => query.from = Some(parse_u64("--from", it)?),
+            "--to" => query.to = Some(parse_u64("--to", it)?),
+            "--top" => {
+                let n = parse_u64("--top", it)?;
+                query.top = usize::try_from(n)
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .map(Some)
+                    .ok_or_else(|| format!("--top needs a positive count, got '{n}'"))?;
+            }
+            "--validate" => validate = true,
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other if file.is_none() && !other.starts_with('-') => {
+                file = Some(PathBuf::from(other));
+            }
+            other => {
+                return Err(format!(
+                    "trace query: unexpected argument '{other}'; try --help"
+                ))
+            }
+        }
+    }
+    let file = file.ok_or("trace query requires a trace file")?;
+    Ok(Parsed::TraceQuery(TraceQueryArgs {
+        file,
+        query,
+        validate,
+    }))
+}
+
+fn parse_trace_bench(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut out = PathBuf::from("BENCH_trace.json");
+    let mut ring = 4096usize;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                let file = it.next().ok_or("--out requires an output file")?;
+                out = PathBuf::from(file);
+            }
+            "--ring" => ring = parse_ring(it)?,
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => {
+                return Err(format!(
+                    "trace bench: unexpected argument '{other}'; try --help"
+                ))
+            }
+        }
+    }
+    Ok(Parsed::TraceBench { out, ring })
+}
+
 fn parse_args() -> Result<Parsed, String> {
     let mut it = std::env::args().skip(1).peekable();
     match it.peek().map(String::as_str) {
@@ -363,6 +503,10 @@ fn parse_args() -> Result<Parsed, String> {
         Some("profile") => {
             it.next();
             parse_profile(&mut it)
+        }
+        Some("trace") => {
+            it.next();
+            parse_trace(&mut it)
         }
         Some("baseline") => {
             it.next();
@@ -526,7 +670,9 @@ fn run(args: &RunArgs) -> Result<(), Error> {
         cache: cache.clone(),
         ..args.cfg.clone()
     };
+    let started = Instant::now();
     let outcome = runner::run_artifacts_with(&args.artifacts, args.jobs, &cfg)?;
+    let elapsed = started.elapsed().as_secs_f64();
     let reports = &outcome.reports;
     for r in reports {
         print!("{}", r.text);
@@ -550,6 +696,31 @@ fn run(args: &RunArgs) -> Result<(), Error> {
             "[timing] {:<10} {total:>9.3}s (sum over scenarios, --jobs {})",
             "total", args.jobs
         );
+        // Self-telemetry: worker utilization distinguishes a warm run
+        // (cache hits, workers mostly idle) from a cold one. stderr
+        // only — artifact stdout/JSON must stay byte-identical.
+        let capacity = args.jobs as f64 * elapsed;
+        let utilization = if capacity > 0.0 {
+            100.0 * total / capacity
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[timing] {:<10} {elapsed:>9.3}s wall, worker utilization {utilization:.1}%",
+            "run"
+        );
+        if let Some(cache) = &cache {
+            let s = cache.stats();
+            let temperature = match (s.hits, s.misses) {
+                (0, _) => "cold",
+                (_, 0) => "warm",
+                _ => "mixed",
+            };
+            eprintln!(
+                "[timing] {:<10} {} hits, {} misses ({temperature})",
+                "cache", s.hits, s.misses
+            );
+        }
     }
 
     report_cache_stats(&cache);
@@ -593,6 +764,52 @@ fn run_profile(args: &ProfileArgs) -> Result<(), Error> {
     Ok(())
 }
 
+fn trace_run(args: &TraceRunArgs) -> Result<(), Error> {
+    let report = trace::run_trace(args.scenario)?;
+    print!("{}", report.render());
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("trace-{}.json", report.scenario)));
+    std::fs::write(&path, &report.json)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+fn trace_query(args: &TraceQueryArgs) -> Result<(), Error> {
+    let text = std::fs::read_to_string(&args.file)?;
+    let parsed = trace::ParsedTrace::parse(&text)?;
+    if args.validate {
+        print!("{}", trace::validate(&parsed)?);
+        return Ok(());
+    }
+    print!(
+        "{}",
+        trace::render_query(&parsed, &args.query, &args.file.display().to_string())
+    );
+    Ok(())
+}
+
+fn trace_bench(out: &PathBuf, ring: usize) -> Result<(), Error> {
+    eprintln!("trace bench: running the Fig. 4 sweep tracing-off, tracing-on, ring({ring}) ...");
+    let report = trace::run_trace_bench(ring)?;
+    let data = serde_json::to_string_pretty(&report).map_err(|e| Error::Serialize {
+        what: "trace bench report",
+        detail: e.to_string(),
+    })?;
+    std::fs::write(out, data)?;
+    eprintln!(
+        "trace bench: off {:.3}s, on {:.3}s ({:.2}x), ring {:.3}s ({:.2}x), wrote {}",
+        report.off_seconds,
+        report.on_seconds,
+        report.on_overhead,
+        report.ring_seconds,
+        report.ring_overhead,
+        out.display()
+    );
+    Ok(())
+}
+
 fn list_scenarios() {
     println!("artifacts (run):");
     for a in ArtifactId::ALL {
@@ -603,6 +820,7 @@ fn list_scenarios() {
     for s in ProfileScenario::default_set() {
         println!("    {}", s.name());
     }
+    println!("  (trace SCENARIO accepts the same names, or <workload> --hypervisor <hv>)");
     println!("  any <workload>-<hypervisor> combination, e.g. mysql-xen-arm;");
     println!("  workloads: kernbench hackbench specjvm2008 netperf tcp_rr");
     println!("             tcp_stream tcp_maerts apache memcached mysql");
@@ -629,6 +847,9 @@ fn main() {
         Parsed::Run(args) => run(args),
         Parsed::Bench { out, jobs } => bench(out, *jobs),
         Parsed::Profile(args) => run_profile(args),
+        Parsed::TraceRun(args) => trace_run(args),
+        Parsed::TraceQuery(args) => trace_query(args),
+        Parsed::TraceBench { out, ring } => trace_bench(out, *ring),
         Parsed::BaselineWrite(args) => baseline_write(args),
         Parsed::Check(args) => check(args),
     };

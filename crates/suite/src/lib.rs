@@ -17,6 +17,9 @@
 //!   matrix across OS threads with byte-identical output to a serial run;
 //! * [`profile`] — workload profiling via the observability layer's span
 //!   tracer: conservation-checked Table-3-style breakdowns per scenario;
+//! * [`trace`] — causal event tracing: Chrome-trace/Perfetto exports of
+//!   traced runs, a trace query/validation pass, and the tracing-overhead
+//!   benchmark;
 //! * [`paper`] — the published numbers every report compares against.
 
 #![warn(missing_docs)]
@@ -32,4 +35,5 @@ pub mod paper;
 pub mod profile;
 pub mod runner;
 pub mod table3;
+pub mod trace;
 pub mod workloads;

@@ -35,7 +35,7 @@ pub struct ProfileScenario {
     pub kind: HvKind,
 }
 
-fn kind_slug(kind: HvKind) -> &'static str {
+pub(crate) fn kind_slug(kind: HvKind) -> &'static str {
     match kind {
         HvKind::KvmArm => "kvm-arm",
         HvKind::XenArm => "xen-arm",
@@ -132,7 +132,7 @@ pub struct ProfileReport {
     pub folded: String,
 }
 
-fn mix_for(workload: Workload) -> Result<Mix, Error> {
+pub(crate) fn mix_for(workload: Workload) -> Result<Mix, Error> {
     workloads::catalog()
         .into_iter()
         .find(|w| w.name == workload.catalog_name())

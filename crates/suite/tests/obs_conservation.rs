@@ -75,7 +75,9 @@ fn profile_reports_are_identical_across_job_counts() {
 /// The folded-stack export of one KVM ARM hypercall, pinned verbatim.
 /// The lines sum to the pinned 6,500-cycle Table II hypercall cost and
 /// show the §IV structure: VGIC save dominating inside the context
-/// save, exactly as Table III reports.
+/// save, exactly as Table III reports. Sibling order is the exporter's
+/// deterministic (subtree cycles desc, name asc) — save's 4,202-cycle
+/// subtree leads, then restore, dispatch, virt_toggle, trap, eret.
 #[test]
 fn hypercall_folded_stack_snapshot() {
     let mut sim = SimBuilder::new(HvKind::KvmArm)
@@ -87,14 +89,14 @@ fn hypercall_folded_stack_snapshot() {
     assert_eq!(cost.as_u64(), 6_500);
     let folded = sim.machine().spans().unwrap().folded("hypercall");
     let expected = "\
-hypercall;context_restore 1325
-hypercall;context_restore;vgic_lr_restore 181
 hypercall;context_save 952
 hypercall;context_save;vgic_lr_save 3250
-hypercall;eret 128
+hypercall;context_restore 1325
+hypercall;context_restore;vgic_lr_restore 181
 hypercall;host_dispatch 340
-hypercall;trap_to_el2 152
 hypercall;virt_toggle 172
+hypercall;trap_to_el2 152
+hypercall;eret 128
 ";
     assert_eq!(folded, expected);
     let total: u64 = folded

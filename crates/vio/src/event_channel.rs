@@ -51,6 +51,7 @@ pub struct EventChannels {
     pending: Vec<BTreeSet<Port>>,
     masked: Vec<BTreeSet<Port>>,
     notifications: u64,
+    last_signal: Option<Port>,
 }
 
 impl EventChannels {
@@ -132,7 +133,15 @@ impl EventChannels {
             self.pending[slot].insert(port);
         }
         self.notifications += 1;
+        self.last_signal = Some(port);
         Ok(peer)
+    }
+
+    /// The port most recently notified (masked or not), if any. Event
+    /// tracers use this to tie an event-channel flow chain's signal hop
+    /// to the port that carried it.
+    pub fn last_signal(&self) -> Option<Port> {
+        self.last_signal
     }
 
     /// Ports pending for `dom`, in ascending order.

@@ -30,6 +30,7 @@ pub struct Nic {
     rx_count: u64,
     stall_count: u64,
     rekick_count: u64,
+    irq_seq: u64,
 }
 
 impl Nic {
@@ -42,7 +43,21 @@ impl Nic {
             rx_count: 0,
             stall_count: 0,
             rekick_count: 0,
+            irq_seq: 0,
         }
+    }
+
+    /// Records one assertion of [`Nic::irq`] and returns its sequence
+    /// number (1-based). Event tracers use this as the correlation id
+    /// that opens an interrupt-delivery flow chain.
+    pub fn note_irq(&mut self) -> u64 {
+        self.irq_seq += 1;
+        self.irq_seq
+    }
+
+    /// Lifetime interrupt assertions recorded via [`Nic::note_irq`].
+    pub fn irq_count(&self) -> u64 {
+        self.irq_seq
     }
 
     /// The SPI this NIC asserts.

@@ -44,6 +44,7 @@ pub struct VhostNet {
     rx_packets: u64,
     tx_bytes: u64,
     rx_bytes: u64,
+    kicks: u64,
 }
 
 impl VhostNet {
@@ -137,6 +138,19 @@ impl VhostNet {
     /// Packets delivered so far.
     pub fn rx_packets(&self) -> u64 {
         self.rx_packets
+    }
+
+    /// Records one guest doorbell (ioeventfd wakeup) and returns its
+    /// sequence number (1-based). Event tracers use this as the
+    /// correlation id that opens a virtio-kick flow chain.
+    pub fn note_kick(&mut self) -> u64 {
+        self.kicks += 1;
+        self.kicks
+    }
+
+    /// Lifetime doorbells recorded via [`VhostNet::note_kick`].
+    pub fn kick_count(&self) -> u64 {
+        self.kicks
     }
 
     /// Payload bytes transmitted so far.

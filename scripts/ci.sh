@@ -21,6 +21,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "== fault smoke =="
 sh scripts/fault_smoke.sh
 
+echo "== trace smoke =="
+sh scripts/trace_smoke.sh
+
 echo "== baseline gate =="
 sh scripts/baseline_check.sh
 
