@@ -1,0 +1,71 @@
+//! Times the steady-state loop compiler against plain interpretation on
+//! the same mixes: the compiled path turns a per-transition interpreter
+//! walk into one bulk block replay, so the gap here is the whole point
+//! of the optimization. Also prints measured simulated-transition
+//! throughput for both paths.
+//!
+//! Run with: `cargo bench --bench compile_replay`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvx_core::{KvmArm, VirqPolicy, XenArm};
+use hvx_engine::thread_transitions;
+use hvx_suite::workloads::{self, Mix};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A mix long enough that recording (the first ~dozen iterations) is
+/// noise and replay dominates.
+fn scaled_mixes() -> Vec<(&'static str, Mix)> {
+    workloads::catalog()
+        .into_iter()
+        .filter(|w| matches!(w.name, "Kernbench" | "Hackbench" | "TCP_RR" | "Apache"))
+        .map(|w| (w.name, w.mix.scaled(500)))
+        .collect()
+}
+
+fn throughput(compile: bool) -> f64 {
+    let before = thread_transitions();
+    let start = Instant::now();
+    for (_, mix) in scaled_mixes() {
+        workloads::run_with(&mut KvmArm::new(), mix, VirqPolicy::Vcpu0, compile).unwrap();
+    }
+    (thread_transitions() - before) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Steady-state loop compilation: replay vs interpretation ===\n");
+    println!(
+        "  interpreted: {:>13.0} transitions/sec\n  compiled:    {:>13.0} transitions/sec\n",
+        throughput(false),
+        throughput(true)
+    );
+
+    let mut group = c.benchmark_group("compile_replay");
+    for (name, mix) in scaled_mixes() {
+        group.bench_function(&format!("{name}/kvm-arm/interpreted"), |b| {
+            b.iter(|| {
+                black_box(
+                    workloads::run_with(&mut KvmArm::new(), mix, VirqPolicy::Vcpu0, false).unwrap(),
+                )
+            });
+        });
+        group.bench_function(&format!("{name}/kvm-arm/compiled"), |b| {
+            b.iter(|| {
+                black_box(
+                    workloads::run_with(&mut KvmArm::new(), mix, VirqPolicy::Vcpu0, true).unwrap(),
+                )
+            });
+        });
+        group.bench_function(&format!("{name}/xen-arm/compiled"), |b| {
+            b.iter(|| {
+                black_box(
+                    workloads::run_with(&mut XenArm::new(), mix, VirqPolicy::Vcpu0, true).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,622 @@
+//! Steady-state loop compilation: record → detect → replay.
+//!
+//! Every scenario in the suite spends almost all of its time in one
+//! iteration loop whose per-iteration transition sequence is *steady*:
+//! the same charges with the same costs, the same signal/wait pairs,
+//! the same span and metric activity, block after block. Interpreting
+//! that loop pays per-transition dispatch (cost-model lookup, tracer
+//! branching, enum matching) millions of times for work that is fully
+//! determined after a handful of iterations.
+//!
+//! This module compiles such loops. While a loop session is open
+//! ([`crate::Machine::loop_begin`]), the machine records each
+//! transition as a [`RawOp`]. After every recorded iteration the
+//! recorder looks for a period `p ≤ MAX_PERIOD` such that the last
+//! [`CONFIRM_BLOCKS`] blocks of `p` iterations are *congruent*:
+//! identical op streams (ignoring variable fields such as wait targets
+//! and signal arrivals) with identical per-core block-start clock
+//! deltas. Once confirmed, the variable fields are classified:
+//!
+//! - a wait target that always equals a signal arrival held in a
+//!   *slot* (covering both same-block signal→wait and cross-block
+//!   pipelining) becomes [`Op::WaitSlot`];
+//! - a target at a constant offset from some core's clock at the wait
+//!   becomes [`Op::WaitNow`];
+//! - a target advancing by a constant stride per block becomes
+//!   [`Op::WaitLin`] (a constant target is the stride-0 case).
+//!
+//! Loop registers (suite-side loop-carried values such as TCP_RR's
+//! next send instant) classify the same way. Anything unclassifiable
+//! fails the compile and the loop stays interpreted — falling back is
+//! always correct, compiling is only ever an optimization.
+//!
+//! The compiled [`Program`] is a flat op array replayed block-at-once
+//! with branch-light straight-line code: clocks advance in place,
+//! busy/charged/transition totals are applied as `delta × blocks`,
+//! and (for profiled machines that opted in) one block's span/metric
+//! delta is folded in via `merge_scaled`. Before a program is
+//! accepted, the compiler replays the final recorded block from its
+//! recorded start clocks and requires the result to equal the
+//! machine's current clocks exactly — a self-check that catches any
+//! misclassification before a single iteration is skipped.
+
+use crate::TraceKind;
+use hvx_obs::{MetricsRegistry, SpanTracer, TransitionId};
+
+/// Longest iteration period (in iterations) the detector considers.
+/// Covers per-iteration round-robin vCPU rotation (period = #vCPUs)
+/// composed with event-coalescing parity (period 2) on 4-vCPU guests.
+pub const MAX_PERIOD: usize = 8;
+
+/// Consecutive congruent blocks required before a loop compiles.
+pub const CONFIRM_BLOCKS: usize = 4;
+
+/// Recorded iterations after which detection gives up and the session
+/// reverts to plain interpretation (bounds recording memory).
+pub const GIVE_UP_ITERS: usize = MAX_PERIOD * CONFIRM_BLOCKS * 2;
+
+/// One machine-level operation captured while recording a loop.
+/// Variable fields (arrivals, targets, clock snapshots, register
+/// values) are excluded from congruence and classified separately.
+#[derive(Debug, Clone)]
+pub(crate) enum RawOp {
+    /// A cost charge on one core (one simulated transition).
+    Charge {
+        core: u8,
+        kind: TraceKind,
+        cost: u64,
+    },
+    /// A cross-core signal; `arrival` is the computed arrival instant.
+    Signal {
+        from: u8,
+        to: u8,
+        latency: u64,
+        arrival: u64,
+    },
+    /// A wait; `clocks` snapshots every core clock *before* the max.
+    Wait {
+        core: u8,
+        target: u64,
+        clocks: Box<[u64]>,
+    },
+    /// Span entry (recorded only on profiled sessions).
+    SpanEnter(TransitionId),
+    /// Span exit (recorded only on profiled sessions).
+    SpanExit(TransitionId),
+    /// Counter bump (recorded only on profiled sessions).
+    Bump { name: &'static str, n: u64 },
+    /// Histogram observation (recorded only on profiled sessions).
+    Observe { name: &'static str, value: u64 },
+    /// Suite-side loop register update, with a clock snapshot.
+    Reg {
+        idx: u8,
+        value: u64,
+        clocks: Box<[u64]>,
+    },
+}
+
+/// Structural equality ignoring variable fields.
+fn congruent(a: &RawOp, b: &RawOp) -> bool {
+    use RawOp::*;
+    match (a, b) {
+        (
+            Charge {
+                core: c1,
+                kind: k1,
+                cost: x1,
+            },
+            Charge {
+                core: c2,
+                kind: k2,
+                cost: x2,
+            },
+        ) => c1 == c2 && k1 == k2 && x1 == x2,
+        (
+            Signal {
+                from: f1,
+                to: t1,
+                latency: l1,
+                ..
+            },
+            Signal {
+                from: f2,
+                to: t2,
+                latency: l2,
+                ..
+            },
+        ) => f1 == f2 && t1 == t2 && l1 == l2,
+        (Wait { core: c1, .. }, Wait { core: c2, .. }) => c1 == c2,
+        (SpanEnter(x), SpanEnter(y)) | (SpanExit(x), SpanExit(y)) => x == y,
+        (Bump { name: n1, n: v1 }, Bump { name: n2, n: v2 }) => n1 == n2 && v1 == v2,
+        (
+            Observe {
+                name: n1,
+                value: v1,
+            },
+            Observe {
+                name: n2,
+                value: v2,
+            },
+        ) => n1 == n2 && v1 == v2,
+        (Reg { idx: i1, .. }, Reg { idx: i2, .. }) => i1 == i2,
+        _ => false,
+    }
+}
+
+/// A pre-resolved compiled operation. No HashMap lookups, no cost
+/// model, no tracer branches — just index arithmetic over `clocks`,
+/// `slots`, and `lin` arrays.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `clocks[core] += cost`.
+    Charge { core: u8, cost: u64 },
+    /// `slots[slot] = clocks[from] + latency`.
+    Signal { slot: u16, from: u8, latency: u64 },
+    /// `clocks[core] = max(clocks[core], slots[slot])`.
+    WaitSlot { core: u8, slot: u16 },
+    /// `clocks[core] = max(clocks[core], clocks[src] ⊞ offset)`
+    /// (`⊞` = wrapping add; `offset` is two's-complement).
+    WaitNow { core: u8, src: u8, offset: u64 },
+    /// `lin[lin] ⊞= step; clocks[core] = max(clocks[core], lin[lin])`.
+    WaitLin { core: u8, lin: u16, step: u64 },
+    /// `regs[idx] = clocks[src] ⊞ offset`.
+    RegNow { idx: u8, src: u8, offset: u64 },
+    /// `lin[lin] ⊞= step; regs[idx] = lin[lin]`.
+    RegLin { idx: u8, lin: u16, step: u64 },
+}
+
+/// Batched span/metric delta for one steady-state block, applied via
+/// `merge_scaled(×blocks)` on replay.
+#[derive(Debug, Clone)]
+pub(crate) struct ProfileDelta {
+    pub(crate) spans: SpanTracer,
+    pub(crate) metrics: MetricsRegistry,
+}
+
+/// A compiled steady-state loop: the flat op array plus its live
+/// state (signal slots, linear accumulators, loop registers) and the
+/// per-block aggregates replay charges in bulk.
+#[derive(Debug, Clone)]
+pub(crate) struct Program {
+    /// Iterations per block.
+    pub(crate) period: u64,
+    ops: Vec<Op>,
+    /// Live signal-arrival slots (cross-block pipelining state).
+    slots: Vec<u64>,
+    /// Live linear accumulators (one per `WaitLin`/`RegLin` op).
+    lin: Vec<u64>,
+    /// Live loop-register values, readable via `Machine::loop_reg`.
+    pub(crate) regs: Vec<u64>,
+    /// Per-core busy-cycle delta per block.
+    pub(crate) busy_delta: Vec<u64>,
+    /// Total charged cycles per block.
+    pub(crate) charged_delta: u64,
+    /// Charges (simulated transitions) per block.
+    pub(crate) charges_per_block: u64,
+    /// Zero-cost charges trailing the last nonzero charge in a block.
+    pub(crate) tail_zero_run: u64,
+    /// True when the block has charges and all of them are zero-cost.
+    pub(crate) all_zero: bool,
+    /// Span/metric delta per block (profiled sessions only).
+    pub(crate) profile_delta: Option<Box<ProfileDelta>>,
+}
+
+impl Program {
+    /// Replays `blocks` blocks in place over `clocks`, advancing the
+    /// program's live slot/linear/register state.
+    pub(crate) fn run_blocks(&mut self, clocks: &mut [u64], blocks: u64) {
+        for _ in 0..blocks {
+            for op in &self.ops {
+                match *op {
+                    Op::Charge { core, cost } => clocks[core as usize] += cost,
+                    Op::Signal {
+                        slot,
+                        from,
+                        latency,
+                    } => {
+                        self.slots[slot as usize] = clocks[from as usize] + latency;
+                    }
+                    Op::WaitSlot { core, slot } => {
+                        let t = self.slots[slot as usize];
+                        let c = &mut clocks[core as usize];
+                        if t > *c {
+                            *c = t;
+                        }
+                    }
+                    Op::WaitNow { core, src, offset } => {
+                        let t = clocks[src as usize].wrapping_add(offset);
+                        let c = &mut clocks[core as usize];
+                        if t > *c {
+                            *c = t;
+                        }
+                    }
+                    Op::WaitLin { core, lin, step } => {
+                        let v = self.lin[lin as usize].wrapping_add(step);
+                        self.lin[lin as usize] = v;
+                        let c = &mut clocks[core as usize];
+                        if v > *c {
+                            *c = v;
+                        }
+                    }
+                    Op::RegNow { idx, src, offset } => {
+                        self.regs[idx as usize] = clocks[src as usize].wrapping_add(offset);
+                    }
+                    Op::RegLin { idx, lin, step } => {
+                        let v = self.lin[lin as usize].wrapping_add(step);
+                        self.lin[lin as usize] = v;
+                        self.regs[idx as usize] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A recording loop session: raw op streams per iteration plus the
+/// clock snapshot taken at each iteration start.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Recorder {
+    iters: Vec<Vec<RawOp>>,
+    starts: Vec<Box<[u64]>>,
+    cur: Vec<RawOp>,
+    pub(crate) iter_open: bool,
+    pub(crate) profiled: bool,
+}
+
+impl Recorder {
+    pub(crate) fn new(profiled: bool) -> Recorder {
+        Recorder {
+            profiled,
+            ..Recorder::default()
+        }
+    }
+
+    /// Records one op. Returns `false` (→ abort the session) when an
+    /// op arrives outside an open iteration: the loop body is then not
+    /// the only thing charging the machine and skipping is unsound.
+    pub(crate) fn record(&mut self, op: RawOp) -> bool {
+        if !self.iter_open {
+            return false;
+        }
+        self.cur.push(op);
+        true
+    }
+
+    /// Opens iteration `n` with the machine's current clocks.
+    pub(crate) fn begin_iter(&mut self, clocks: Box<[u64]>) {
+        if self.iter_open {
+            self.iters.push(std::mem::take(&mut self.cur));
+        }
+        self.starts.push(clocks);
+        self.iter_open = true;
+    }
+
+    /// Closes the current iteration, if one is open.
+    pub(crate) fn close_iter(&mut self) {
+        if self.iter_open {
+            self.iters.push(std::mem::take(&mut self.cur));
+            self.iter_open = false;
+        }
+    }
+
+    pub(crate) fn recorded_iters(&self) -> usize {
+        self.iters.len()
+    }
+
+    /// Attempts to compile: smallest period wins. `current` must be
+    /// the machine's clocks at the end of the last closed iteration.
+    pub(crate) fn try_compile(&self, current: &[u64]) -> Option<Program> {
+        for p in 1..=MAX_PERIOD {
+            if CONFIRM_BLOCKS * p > self.iters.len() {
+                break;
+            }
+            if let Some(prog) = self.try_period(p, current) {
+                return Some(prog);
+            }
+        }
+        None
+    }
+
+    fn try_period(&self, p: usize, current: &[u64]) -> Option<Program> {
+        let w = CONFIRM_BLOCKS;
+        let base = self.iters.len() - w * p;
+        let block: Vec<Vec<&RawOp>> = (0..w)
+            .map(|b| {
+                self.iters[base + b * p..base + (b + 1) * p]
+                    .iter()
+                    .flatten()
+                    .collect()
+            })
+            .collect();
+        let len = block[0].len();
+        if block.iter().any(|b| b.len() != len) {
+            return None;
+        }
+        for (k, &op0) in block[0].iter().enumerate() {
+            if (1..w).any(|b| !congruent(op0, block[b][k])) {
+                return None;
+            }
+        }
+        // Block-start clock deltas must be identical between every
+        // consecutive block pair, per core, with the current clocks
+        // acting as the final block's end.
+        let start = |b: usize| &self.starts[base + b * p];
+        for (c, &cur) in current.iter().enumerate() {
+            let d0 = start(1)[c].wrapping_sub(start(0)[c]);
+            for b in 1..w - 1 {
+                if start(b + 1)[c].wrapping_sub(start(b)[c]) != d0 {
+                    return None;
+                }
+            }
+            if cur.wrapping_sub(start(w - 1)[c]) != d0 {
+                return None;
+            }
+        }
+        self.build(&block, p, base, current)
+    }
+
+    /// Classifies variable fields and assembles the program, then
+    /// self-checks by replaying the final recorded block.
+    #[allow(clippy::too_many_lines)]
+    fn build(
+        &self,
+        block: &[Vec<&RawOp>],
+        p: usize,
+        base: usize,
+        current: &[u64],
+    ) -> Option<Program> {
+        let w = CONFIRM_BLOCKS;
+        let len = block[0].len();
+        // Slot table: one per signal op position in the block.
+        let sig_pos: Vec<usize> = (0..len)
+            .filter(|&k| matches!(block[0][k], RawOp::Signal { .. }))
+            .collect();
+        if sig_pos.len() > u16::MAX as usize {
+            return None;
+        }
+        let arrival = |b: usize, k: usize| match block[b][k] {
+            RawOp::Signal { arrival, .. } => *arrival,
+            _ => unreachable!("slot positions are signals"),
+        };
+        // For each variable value (wait target / reg value), pick a
+        // classification that holds on every recorded instance.
+        let cores = current.len();
+        let classify = |k: usize,
+                        allow_slot: bool,
+                        targets: &dyn Fn(usize) -> u64,
+                        snaps: &dyn Fn(usize, usize) -> u64,
+                        lin_seed: &mut Vec<(u64, u64)>|
+         -> Option<Classified> {
+            // Slot: target equals the value a slot holds at this point
+            // of the block — the arrival from this block for signals
+            // earlier in the block, the previous block's arrival for
+            // signals at or after this position (cross-block
+            // pipelining). Prefer the most recent qualifying signal.
+            let slot_value = |slot: usize, b: usize| -> Option<u64> {
+                let spos = sig_pos[slot];
+                if spos < k {
+                    Some(arrival(b, spos))
+                } else if b > 0 {
+                    Some(arrival(b - 1, spos))
+                } else {
+                    None // unverifiable on the first block; allowed
+                }
+            };
+            if allow_slot {
+                for slot in (0..sig_pos.len()).rev() {
+                    if (0..w).all(|b| slot_value(slot, b).is_none_or(|v| v == targets(b))) {
+                        return Some(Classified::Slot(slot as u16));
+                    }
+                }
+            }
+            // Now: constant offset from some core's clock at this op.
+            for src in 0..cores {
+                let d0 = targets(0).wrapping_sub(snaps(0, src));
+                if (1..w).all(|b| targets(b).wrapping_sub(snaps(b, src)) == d0) {
+                    return Some(Classified::Now {
+                        src: src as u8,
+                        offset: d0,
+                    });
+                }
+            }
+            // Linear: constant stride per block (0 = constant value).
+            let step = targets(1).wrapping_sub(targets(0));
+            if (1..w - 1).all(|b| targets(b + 1).wrapping_sub(targets(b)) == step) {
+                let idx = lin_seed.len() as u16;
+                if idx == u16::MAX {
+                    return None;
+                }
+                // Seed with the value observed in the second-to-last
+                // block (the self-check block steps it to the last).
+                lin_seed.push((targets(w - 2), step));
+                return Some(Classified::Lin { idx, step });
+            }
+            None
+        };
+
+        let mut ops = Vec::with_capacity(len);
+        let mut lin_seed: Vec<(u64, u64)> = Vec::new();
+        let mut max_reg = 0usize;
+        let mut has_reg = false;
+        let mut profile = self.profiled.then(|| ProfileDelta {
+            spans: SpanTracer::new(),
+            metrics: MetricsRegistry::new(),
+        });
+        let mut busy_delta = vec![0u64; current.len()];
+        let mut charged_delta = 0u64;
+        let mut charges = 0u64;
+        let mut tail_zero = 0u64;
+        let mut any_nonzero = false;
+        let mut next_slot = 0u16;
+        for (k, &op0) in block[0].iter().enumerate() {
+            match op0 {
+                RawOp::Charge {
+                    core,
+                    kind: _,
+                    cost,
+                } => {
+                    ops.push(Op::Charge {
+                        core: *core,
+                        cost: *cost,
+                    });
+                    busy_delta[*core as usize] += cost;
+                    charged_delta += cost;
+                    charges += 1;
+                    if *cost == 0 {
+                        tail_zero += 1;
+                    } else {
+                        tail_zero = 0;
+                        any_nonzero = true;
+                    }
+                    if let Some(pd) = &mut profile {
+                        pd.spans.charge(*cost);
+                    }
+                }
+                RawOp::Signal { from, latency, .. } => {
+                    ops.push(Op::Signal {
+                        slot: next_slot,
+                        from: *from,
+                        latency: *latency,
+                    });
+                    next_slot += 1;
+                }
+                RawOp::Wait { core, .. } => {
+                    let targets = |b: usize| match block[b][k] {
+                        RawOp::Wait { target, .. } => *target,
+                        _ => unreachable!(),
+                    };
+                    let snaps = |b: usize, src: usize| -> u64 {
+                        match block[b][k] {
+                            RawOp::Wait { clocks, .. } => clocks[src],
+                            _ => unreachable!(),
+                        }
+                    };
+                    match classify(k, true, &targets, &snaps, &mut lin_seed)? {
+                        Classified::Slot(slot) => ops.push(Op::WaitSlot { core: *core, slot }),
+                        Classified::Now { src, offset } => ops.push(Op::WaitNow {
+                            core: *core,
+                            src,
+                            offset,
+                        }),
+                        Classified::Lin { idx, step } => ops.push(Op::WaitLin {
+                            core: *core,
+                            lin: idx,
+                            step,
+                        }),
+                    }
+                }
+                RawOp::SpanEnter(id) => {
+                    let pd = profile.as_mut()?;
+                    pd.spans.enter(*id);
+                }
+                RawOp::SpanExit(id) => {
+                    let pd = profile.as_mut()?;
+                    pd.spans.exit(*id);
+                }
+                RawOp::Bump { name, n } => {
+                    let pd = profile.as_mut()?;
+                    pd.metrics.bump(name, *n);
+                }
+                RawOp::Observe { name, value } => {
+                    let pd = profile.as_mut()?;
+                    pd.metrics.observe(name, *value);
+                }
+                RawOp::Reg { idx, .. } => {
+                    let targets = |b: usize| match block[b][k] {
+                        RawOp::Reg { value, .. } => *value,
+                        _ => unreachable!(),
+                    };
+                    let snaps = |b: usize, src: usize| -> u64 {
+                        match block[b][k] {
+                            RawOp::Reg { clocks, .. } => clocks[src],
+                            _ => unreachable!(),
+                        }
+                    };
+                    max_reg = max_reg.max(*idx as usize);
+                    has_reg = true;
+                    match classify(k, false, &targets, &snaps, &mut lin_seed)? {
+                        Classified::Slot(_) => unreachable!("regs never classify as slots"),
+                        Classified::Now { src, offset } => ops.push(Op::RegNow {
+                            idx: *idx,
+                            src,
+                            offset,
+                        }),
+                        Classified::Lin { idx: lin, step } => ops.push(Op::RegLin {
+                            idx: *idx,
+                            lin,
+                            step,
+                        }),
+                    }
+                }
+            }
+        }
+        // A profiled block must leave the span stack balanced, or the
+        // batched delta cannot be merged.
+        if let Some(pd) = &profile {
+            if pd.spans.depth() != 0 {
+                return None;
+            }
+        }
+
+        // Live state seeded from the *second-to-last* block so the
+        // self-check replay of the last block starts from truth.
+        let start = |b: usize| &self.starts[base + b * p];
+        let slots_at = |b: usize| -> Vec<u64> { sig_pos.iter().map(|&s| arrival(b, s)).collect() };
+        let regs_at = |b: usize| -> Vec<u64> {
+            let mut regs = vec![0u64; if has_reg { max_reg + 1 } else { 0 }];
+            for op in &block[b] {
+                if let RawOp::Reg { idx, value, .. } = op {
+                    regs[*idx as usize] = *value;
+                }
+            }
+            regs
+        };
+        let mut check = Program {
+            period: p as u64,
+            ops,
+            slots: slots_at(w - 2),
+            lin: lin_seed.iter().map(|&(v, _)| v).collect(),
+            regs: regs_at(w - 2),
+            busy_delta,
+            charged_delta,
+            charges_per_block: charges,
+            tail_zero_run: tail_zero,
+            all_zero: charges > 0 && !any_nonzero,
+            profile_delta: profile.map(Box::new),
+        };
+        // Self-check: replay the last recorded block and require exact
+        // clock agreement with the machine.
+        let mut clocks: Vec<u64> = start(w - 1).to_vec();
+        check.run_blocks(&mut clocks, 1);
+        if clocks != current {
+            return None;
+        }
+        // The check replay stepped lin/slots/regs to the last block's
+        // values, which is exactly the live state replay must resume
+        // from — but recompute from the record to stay obviously
+        // correct even if the replayer drifts.
+        check.slots = slots_at(w - 1);
+        check.regs = regs_at(w - 1);
+        check.lin = lin_seed
+            .iter()
+            .map(|&(v, step)| v.wrapping_add(step))
+            .collect();
+        Some(check)
+    }
+}
+
+/// Result of classifying one variable field.
+enum Classified {
+    Slot(u16),
+    Now { src: u8, offset: u64 },
+    Lin { idx: u16, step: u64 },
+}
+
+/// The state a loop session carries on the machine.
+#[derive(Debug, Clone)]
+pub(crate) enum LoopState {
+    /// Recording iterations, hunting for a steady period.
+    Recording(Recorder),
+    /// Compiled; iterations replay in bulk.
+    Ready(Program),
+}

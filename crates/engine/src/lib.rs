@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod compile;
 mod cycles;
 mod event;
 pub mod fault;
@@ -64,7 +65,7 @@ pub use hvx_obs::{
     FlowPhase, FlowPoint, HistogramSketch, HistogramSnapshot, MetricsRegistry, ProfileSnapshot,
     SliceEvent, SpanDelta, SpanRow, SpanSnapshotRow, SpanTracer, TransitionId,
 };
-pub use machine::Machine;
+pub use machine::{thread_transitions, Machine};
 pub use stats::{Histogram, Samples, Streaming, Summary};
 pub use topology::{CoreId, Topology};
 pub use trace::{TraceEvent, TraceKind, TraceLog, TraceMode};

@@ -10,11 +10,28 @@
 //! the signal simply finds it later, which is precisely how queueing delay
 //! emerges in the application-level simulations.
 
+use crate::compile::{LoopState, Program, RawOp, Recorder, GIVE_UP_ITERS};
 use crate::fault::{
     self, CycleBudgetExceeded, FaultPlan, FaultPoint, FaultState, Livelocked, Watchdog,
 };
 use crate::{CoreId, Cycles, Topology, TraceEvent, TraceKind, TraceLog};
 use hvx_obs::{EventTracer, FlowId, FlowKind, MetricsRegistry, SpanTracer, TransitionId};
+use std::cell::Cell;
+
+thread_local! {
+    /// Simulated transitions (cost charges) executed on this thread,
+    /// interpreted and replayed alike. Thread-local so the counter
+    /// needs no atomics on the charge hot path and parallel runner
+    /// workers count independently.
+    static TRANSITIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total simulated transitions executed by the calling thread since it
+/// started (wrapping). The runner samples this around each scenario to
+/// report per-artifact transition counts and throughput.
+pub fn thread_transitions() -> u64 {
+    TRANSITIONS.with(Cell::get)
+}
 
 /// The machine's optional observability state: a span tracer fed by
 /// every [`Machine::charge`] plus a metrics registry. Boxed so a
@@ -71,6 +88,12 @@ pub struct Machine {
     total_charged: u64,
     /// Consecutive zero-cost charges (watchdog bookkeeping).
     zero_streak: u64,
+    /// `Some` while a loop session (see [`Machine::loop_begin`]) is
+    /// recording or replaying; `None` keeps every hot-path hook a
+    /// single branch.
+    loop_state: Option<Box<LoopState>>,
+    /// Iterations skipped by compiled replay since construction.
+    iters_replayed: u64,
 }
 
 impl Machine {
@@ -94,6 +117,8 @@ impl Machine {
             livelock_limit: u64::MAX,
             total_charged: 0,
             zero_streak: 0,
+            loop_state: None,
+            iters_replayed: 0,
         };
         if let Some(plan) = plan {
             m.set_fault_plan(plan);
@@ -212,6 +237,14 @@ impl Machine {
         let end = start + cost;
         self.clocks[core.index()] = end;
         self.busy[core.index()] += cost;
+        TRANSITIONS.with(|t| t.set(t.get().wrapping_add(1)));
+        if self.loop_state.is_some() {
+            self.loop_record(RawOp::Charge {
+                core: core.index() as u8,
+                kind,
+                cost: cost.as_u64(),
+            });
+        }
         self.watchdog_tick(cost);
         end
     }
@@ -263,6 +296,14 @@ impl Machine {
     /// This models a core blocking until a cross-core signal arrives — or
     /// discovering, when it next looks, that the signal already arrived.
     pub fn wait_until(&mut self, core: CoreId, instant: Cycles) -> Cycles {
+        if self.loop_recording() {
+            let clocks = self.clock_snapshot();
+            self.loop_record(RawOp::Wait {
+                core: core.index() as u8,
+                target: instant.as_u64(),
+                clocks,
+            });
+        }
         let clock = &mut self.clocks[core.index()];
         *clock = (*clock).max(instant);
         *clock
@@ -277,6 +318,14 @@ impl Machine {
     pub fn signal(&mut self, from: CoreId, to: CoreId, latency: Cycles) -> Cycles {
         let depart = self.now(from);
         let arrival = depart + latency;
+        if self.loop_recording() {
+            self.loop_record(RawOp::Signal {
+                from: from.index() as u8,
+                to: to.index() as u8,
+                latency: latency.as_u64(),
+                arrival: arrival.as_u64(),
+            });
+        }
         self.trace.record(TraceEvent {
             core: to,
             start: depart,
@@ -291,6 +340,9 @@ impl Machine {
     /// benchmark iterations so each iteration starts from a common instant,
     /// mirroring the paper's barriers between measurements.
     pub fn barrier(&mut self) -> Cycles {
+        // A barrier mid-loop means the loop body is not self-contained;
+        // drop any compile session rather than skip over it.
+        self.loop_state = None;
         let now = self.global_now();
         for c in &mut self.clocks {
             *c = now;
@@ -334,6 +386,7 @@ impl Machine {
     /// occurrence counters. An empty plan clears fault state entirely,
     /// restoring the zero-cost default.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.loop_state = None;
         self.faults = if plan.is_empty() {
             None
         } else {
@@ -343,6 +396,7 @@ impl Machine {
 
     /// Applies watchdog limits (enforced from the next charge on).
     pub fn set_watchdog(&mut self, watchdog: Watchdog) {
+        self.loop_state = None;
         self.cycle_budget = watchdog.cycle_budget.unwrap_or(u64::MAX);
         self.livelock_limit = watchdog.livelock_threshold.unwrap_or(u64::MAX);
     }
@@ -398,6 +452,7 @@ impl Machine {
     /// any work is charged so the span totals cover the whole run
     /// (conservation: `spans().total() == Σ busy(core)`). Idempotent.
     pub fn enable_profiling(&mut self) {
+        self.loop_state = None;
         if self.profiler.is_none() {
             self.profiler = Some(Box::default());
         }
@@ -415,8 +470,10 @@ impl Machine {
     /// instrument unconditionally.
     #[inline]
     pub fn span_enter(&mut self, id: TransitionId) {
-        if let Some(p) = &mut self.profiler {
-            p.spans.enter(id);
+        let Some(p) = &mut self.profiler else { return };
+        p.spans.enter(id);
+        if self.loop_state.is_some() {
+            self.loop_record(RawOp::SpanEnter(id));
         }
     }
 
@@ -428,8 +485,10 @@ impl Machine {
     /// open span — unbalanced instrumentation is a bug.
     #[inline]
     pub fn span_exit(&mut self, id: TransitionId) {
-        if let Some(p) = &mut self.profiler {
-            p.spans.exit(id);
+        let Some(p) = &mut self.profiler else { return };
+        p.spans.exit(id);
+        if self.loop_state.is_some() {
+            self.loop_record(RawOp::SpanExit(id));
         }
     }
 
@@ -437,8 +496,10 @@ impl Machine {
     /// disabled.
     #[inline]
     pub fn bump(&mut self, name: &'static str, n: u64) {
-        if let Some(p) = &mut self.profiler {
-            p.metrics.bump(name, n);
+        let Some(p) = &mut self.profiler else { return };
+        p.metrics.bump(name, n);
+        if self.loop_state.is_some() {
+            self.loop_record(RawOp::Bump { name, n });
         }
     }
 
@@ -446,8 +507,10 @@ impl Machine {
     /// disabled.
     #[inline]
     pub fn observe(&mut self, name: &'static str, value: u64) {
-        if let Some(p) = &mut self.profiler {
-            p.metrics.observe(name, value);
+        let Some(p) = &mut self.profiler else { return };
+        p.metrics.observe(name, value);
+        if self.loop_state.is_some() {
+            self.loop_record(RawOp::Observe { name, value });
         }
     }
 
@@ -467,6 +530,210 @@ impl Machine {
         self.profiler.as_mut().map(|p| &mut p.metrics)
     }
 
+    // --- steady-state loop compilation ----------------------------------
+
+    /// Opens a loop compile session: until [`Machine::loop_end`], the
+    /// machine records each iteration (delimited by
+    /// [`Machine::loop_iter_begin`] / [`Machine::loop_replay`]) and —
+    /// once a steady-state period is confirmed — replays the compiled
+    /// block in bulk, skipping iterations wholesale.
+    ///
+    /// Returns `false` (and records nothing) when the machine is not
+    /// eligible: tracing enabled, profiling enabled (see
+    /// [`Machine::loop_begin_profiled`]), a fault plan installed,
+    /// event tracing on, or a finite watchdog — in every such case the
+    /// per-transition machinery observes state a bulk replay cannot
+    /// reproduce, so the loop stays interpreted. All other `loop_*`
+    /// calls are cheap no-ops after a `false` here, so drivers need no
+    /// separate code path.
+    pub fn loop_begin(&mut self) -> bool {
+        self.loop_begin_inner(false)
+    }
+
+    /// Like [`Machine::loop_begin`] but also eligible on a profiled
+    /// machine with no open span: the compiled block then carries a
+    /// batched span/metric delta applied via `merge_scaled` per
+    /// replayed block. Only sound when nothing samples model-side
+    /// lifetime counters into the registry mid-loop (the suite's
+    /// profiling harness does, so it never opts in).
+    pub fn loop_begin_profiled(&mut self) -> bool {
+        self.loop_begin_inner(true)
+    }
+
+    fn loop_begin_inner(&mut self, allow_profiled: bool) -> bool {
+        if self.loop_state.is_some() {
+            // Nested sessions are unsupported; drop the outer one
+            // rather than corrupt its iteration structure.
+            self.loop_state = None;
+            return false;
+        }
+        let profiled = self.profiler.is_some();
+        let profile_ok = match &self.profiler {
+            None => true,
+            Some(p) => allow_profiled && p.spans.depth() == 0,
+        };
+        let eligible = !self.trace.is_enabled()
+            && self.faults.is_none()
+            && self.events.is_none()
+            && self.cycle_budget == u64::MAX
+            && self.livelock_limit == u64::MAX
+            && self.clocks.len() <= usize::from(u8::MAX) + 1
+            && profile_ok;
+        if eligible {
+            self.loop_state = Some(Box::new(LoopState::Recording(Recorder::new(profiled))));
+        }
+        eligible
+    }
+
+    /// Marks the start of one loop iteration (clock snapshot while
+    /// recording; no-op otherwise).
+    pub fn loop_iter_begin(&mut self) {
+        if !self.loop_recording() {
+            return;
+        }
+        let clocks = self.clock_snapshot();
+        if let Some(LoopState::Recording(rec)) = self.loop_state.as_deref_mut() {
+            rec.begin_iter(clocks);
+        }
+    }
+
+    /// Closes the current iteration and, once the loop has compiled,
+    /// replays as many whole blocks as fit in `remaining` iterations.
+    /// Returns the number of iterations skipped (0 while recording,
+    /// after give-up, or when `remaining` is below one period). The
+    /// driver must advance its induction variable by the return value
+    /// and refresh loop-carried values from [`Machine::loop_reg`].
+    pub fn loop_replay(&mut self, remaining: u64) -> u64 {
+        let Some(mut state) = self.loop_state.take() else {
+            return 0;
+        };
+        match &mut *state {
+            LoopState::Recording(rec) => {
+                rec.close_iter();
+                let clocks: Vec<u64> = self.clocks.iter().map(|c| c.as_u64()).collect();
+                if let Some(mut program) = rec.try_compile(&clocks) {
+                    let skipped = self.replay(&mut program, remaining);
+                    *state = LoopState::Ready(program);
+                    self.loop_state = Some(state);
+                    skipped
+                } else if rec.recorded_iters() >= GIVE_UP_ITERS {
+                    // No steady period: stop paying recording costs.
+                    0
+                } else {
+                    self.loop_state = Some(state);
+                    0
+                }
+            }
+            LoopState::Ready(program) => {
+                let skipped = self.replay(program, remaining);
+                self.loop_state = Some(state);
+                skipped
+            }
+        }
+    }
+
+    /// Publishes a loop-carried suite value (e.g. TCP_RR's next send
+    /// instant) so compiled replay can reconstruct it across skipped
+    /// iterations. No-op unless recording.
+    pub fn loop_set_reg(&mut self, idx: usize, value: Cycles) {
+        if !self.loop_recording() {
+            return;
+        }
+        if idx > usize::from(u8::MAX) {
+            self.loop_state = None;
+            return;
+        }
+        let clocks = self.clock_snapshot();
+        self.loop_record(RawOp::Reg {
+            idx: idx as u8,
+            value: value.as_u64(),
+            clocks,
+        });
+    }
+
+    /// The current value of loop register `idx` after a replay
+    /// (`None` while interpreting — the driver's own value is then
+    /// already current).
+    pub fn loop_reg(&self, idx: usize) -> Option<Cycles> {
+        match self.loop_state.as_deref() {
+            Some(LoopState::Ready(p)) => p.regs.get(idx).copied().map(Cycles::new),
+            _ => None,
+        }
+    }
+
+    /// Ends the loop session, dropping any recording or compiled
+    /// program.
+    pub fn loop_end(&mut self) {
+        self.loop_state = None;
+    }
+
+    /// Whether the active loop session has compiled to a program.
+    pub fn loop_compiled(&self) -> bool {
+        matches!(self.loop_state.as_deref(), Some(LoopState::Ready(_)))
+    }
+
+    /// Iterations skipped by compiled replay since construction.
+    pub fn iters_replayed(&self) -> u64 {
+        self.iters_replayed
+    }
+
+    #[inline]
+    fn loop_recording(&self) -> bool {
+        matches!(self.loop_state.as_deref(), Some(LoopState::Recording(_)))
+    }
+
+    fn clock_snapshot(&self) -> Box<[u64]> {
+        self.clocks.iter().map(|c| c.as_u64()).collect()
+    }
+
+    /// Feeds one recorded op to the session; aborts the session when
+    /// the op falls outside an open iteration (the loop body is then
+    /// not the only thing charging the machine).
+    fn loop_record(&mut self, op: RawOp) {
+        if let Some(LoopState::Recording(rec)) = self.loop_state.as_deref_mut() {
+            if !rec.record(op) {
+                self.loop_state = None;
+            }
+        }
+    }
+
+    /// Applies `blocks × program` to the machine's aggregate state.
+    fn replay(&mut self, program: &mut Program, remaining: u64) -> u64 {
+        let blocks = remaining / program.period;
+        if blocks == 0 {
+            return 0;
+        }
+        let mut clocks: Vec<u64> = self.clocks.iter().map(|c| c.as_u64()).collect();
+        program.run_blocks(&mut clocks, blocks);
+        for (c, v) in self.clocks.iter_mut().zip(&clocks) {
+            *c = Cycles::new(*v);
+        }
+        for (b, d) in self.busy.iter_mut().zip(&program.busy_delta) {
+            *b += Cycles::new(d * blocks);
+        }
+        self.total_charged = self
+            .total_charged
+            .saturating_add(program.charged_delta.saturating_mul(blocks));
+        let charges = program.charges_per_block * blocks;
+        if program.charges_per_block > 0 {
+            if program.all_zero {
+                self.zero_streak += charges;
+            } else {
+                self.zero_streak = program.tail_zero_run;
+            }
+        }
+        TRANSITIONS.with(|t| t.set(t.get().wrapping_add(charges)));
+        if let Some(delta) = &program.profile_delta {
+            if let Some(p) = &mut self.profiler {
+                p.spans.merge_scaled(&delta.spans, blocks);
+                p.metrics.merge_scaled(&delta.metrics, blocks);
+            }
+        }
+        let skipped = blocks * program.period;
+        self.iters_replayed += skipped;
+        skipped
+    }
+
     // --- causal event tracing -------------------------------------------
 
     /// Turns on causal event tracing: from now on every charge records
@@ -476,6 +743,7 @@ impl Machine {
     /// them, so an identical run with tracing off charges identical
     /// cycles.
     pub fn enable_event_tracing(&mut self, ring: Option<usize>) {
+        self.loop_state = None;
         self.events = Some(Box::new(match ring {
             Some(n) => EventTracer::with_capacity(n),
             None => EventTracer::new(),
@@ -932,5 +1200,279 @@ mod tests {
         assert_eq!(evs[0].end(), Cycles::new(160));
         assert_eq!(evs[1].start, Cycles::new(160));
         assert_eq!(evs[1].end(), Cycles::new(280));
+    }
+
+    // --- steady-state loop compilation ---------------------------------
+
+    /// Runs `iters` iterations of `body` under a loop session, the way
+    /// suite drivers do.
+    fn drive(m: &mut Machine, iters: u64, profiled: bool, mut body: impl FnMut(&mut Machine, u64)) {
+        if profiled {
+            m.loop_begin_profiled();
+        } else {
+            m.loop_begin();
+        }
+        let mut i = 0;
+        while i < iters {
+            let skipped = m.loop_replay(iters - i);
+            if skipped > 0 {
+                i += skipped;
+                continue;
+            }
+            m.loop_iter_begin();
+            body(m, i);
+            i += 1;
+        }
+        m.loop_end();
+    }
+
+    fn assert_replay_matches(compiled: &Machine, interpreted: &Machine) {
+        assert_eq!(compiled.clocks, interpreted.clocks, "clocks diverged");
+        assert_eq!(compiled.busy, interpreted.busy, "busy diverged");
+        assert_eq!(
+            compiled.total_charged, interpreted.total_charged,
+            "total_charged diverged"
+        );
+        assert_eq!(
+            compiled.zero_streak, interpreted.zero_streak,
+            "zero_streak diverged"
+        );
+    }
+
+    /// A ping-pong body: compute on core 0, IPI to core 1, handle,
+    /// reply. Exercises Charge, Signal, and slot-classified waits.
+    fn ping_pong(m: &mut Machine, _i: u64) {
+        let c0 = CoreId::new(0);
+        let c1 = CoreId::new(1);
+        m.charge(c0, "guest:work", TraceKind::Guest, Cycles::new(1000));
+        let there = m.signal(c0, c1, Cycles::new(400));
+        m.wait_until(c1, there);
+        m.charge(c1, "hyp:handle", TraceKind::Emulation, Cycles::new(300));
+        let back = m.signal(c1, c0, Cycles::new(400));
+        m.wait_until(c0, back);
+    }
+
+    #[test]
+    fn loop_replay_is_identical_to_interpretation() {
+        let mut compiled = Machine::without_tracing(Topology::split(2, 1));
+        let mut interpreted = Machine::without_tracing(Topology::split(2, 1));
+        drive(&mut compiled, 500, false, ping_pong);
+        for i in 0..500 {
+            ping_pong(&mut interpreted, i);
+        }
+        assert!(compiled.iters_replayed() > 400, "loop should have compiled");
+        assert_replay_matches(&compiled, &interpreted);
+    }
+
+    #[test]
+    fn loop_replay_handles_period_two() {
+        let body = |m: &mut Machine, i: u64| {
+            let cost = if i % 2 == 0 { 700 } else { 900 };
+            m.charge(CoreId::new(0), "alt", TraceKind::Guest, Cycles::new(cost));
+            ping_pong(m, i);
+        };
+        let mut compiled = Machine::without_tracing(Topology::split(2, 1));
+        let mut interpreted = Machine::without_tracing(Topology::split(2, 1));
+        drive(&mut compiled, 501, false, body);
+        for i in 0..501 {
+            body(&mut interpreted, i);
+        }
+        assert!(compiled.iters_replayed() > 400);
+        assert_replay_matches(&compiled, &interpreted);
+    }
+
+    #[test]
+    fn loop_replay_handles_linear_wait_targets() {
+        // A paced receive loop: arrivals stride by a constant spacing
+        // larger than the per-iteration work, so the wait is binding
+        // and classifies as linear.
+        let body = |m: &mut Machine, i: u64| {
+            let arrival = Cycles::new(5_000 + i * 2_500);
+            m.wait_until(CoreId::new(1), arrival);
+            m.charge(CoreId::new(1), "rx", TraceKind::Io, Cycles::new(600));
+        };
+        let mut compiled = Machine::without_tracing(Topology::split(2, 1));
+        let mut interpreted = Machine::without_tracing(Topology::split(2, 1));
+        drive(&mut compiled, 400, false, body);
+        for i in 0..400 {
+            body(&mut interpreted, i);
+        }
+        assert!(compiled.iters_replayed() > 300);
+        assert_replay_matches(&compiled, &interpreted);
+    }
+
+    #[test]
+    fn loop_registers_reconstruct_loop_carried_values() {
+        // A TCP_RR-style loop carrying the next send instant.
+        let run = |use_loop: bool| -> (Machine, Cycles) {
+            let mut m = Machine::without_tracing(Topology::split(2, 1));
+            let mut t_send = Cycles::ZERO;
+            if use_loop {
+                m.loop_begin();
+            }
+            let iters = 600u64;
+            let mut i = 0;
+            while i < iters {
+                if use_loop {
+                    let skipped = m.loop_replay(iters - i);
+                    if skipped > 0 {
+                        i += skipped;
+                        t_send = m.loop_reg(0).expect("reg after replay");
+                        continue;
+                    }
+                    m.loop_iter_begin();
+                }
+                let arrival = t_send + Cycles::new(2_000);
+                m.wait_until(CoreId::new(0), arrival);
+                t_send = m.charge(CoreId::new(0), "rr", TraceKind::Guest, Cycles::new(1_234));
+                if use_loop {
+                    m.loop_set_reg(0, t_send);
+                }
+                i += 1;
+            }
+            m.loop_end();
+            (m, t_send)
+        };
+        let (compiled, t_compiled) = run(true);
+        let (interpreted, t_interpreted) = run(false);
+        assert!(compiled.iters_replayed() > 500);
+        assert_eq!(t_compiled, t_interpreted);
+        assert_replay_matches(&compiled, &interpreted);
+    }
+
+    #[test]
+    fn profiled_loop_replay_matches_interpreted_observability() {
+        let body = |m: &mut Machine, _i: u64| {
+            m.charge_as(
+                CoreId::new(0),
+                "vm:hypercall",
+                TraceKind::Trap,
+                Cycles::new(520),
+                TransitionId::Eret,
+            );
+            m.bump("loop.iters", 1);
+            m.observe("loop.cost", 520);
+            m.charge(CoreId::new(0), "guest", TraceKind::Guest, Cycles::new(80));
+        };
+        let mk = || {
+            let mut m = Machine::without_tracing(Topology::split(2, 1));
+            m.enable_profiling();
+            m
+        };
+        let mut compiled = mk();
+        let mut interpreted = mk();
+        drive(&mut compiled, 300, true, body);
+        for i in 0..300 {
+            body(&mut interpreted, i);
+        }
+        assert!(compiled.iters_replayed() > 200);
+        assert_replay_matches(&compiled, &interpreted);
+        let (cs, is) = (compiled.spans().unwrap(), interpreted.spans().unwrap());
+        assert_eq!(cs.total(), is.total());
+        assert_eq!(cs.unattributed(), is.unattributed());
+        assert_eq!(
+            cs.exclusive(TransitionId::Eret),
+            is.exclusive(TransitionId::Eret)
+        );
+        assert_eq!(cs.count(TransitionId::Eret), is.count(TransitionId::Eret));
+        assert_eq!(cs.folded("run"), is.folded("run"));
+        let (cm, im) = (compiled.metrics().unwrap(), interpreted.metrics().unwrap());
+        assert_eq!(cm.counter("loop.iters"), im.counter("loop.iters"));
+        let (ch, ih) = (
+            cm.histogram("loop.cost").unwrap(),
+            im.histogram("loop.cost").unwrap(),
+        );
+        assert_eq!(ch.count(), ih.count());
+        assert_eq!(ch.sum(), ih.sum());
+    }
+
+    #[test]
+    fn plain_loop_begin_refuses_profiled_machines() {
+        let mut m = Machine::without_tracing(Topology::split(2, 1));
+        m.enable_profiling();
+        assert!(!m.loop_begin());
+        drive(&mut m, 100, false, ping_pong);
+        assert_eq!(m.iters_replayed(), 0);
+    }
+
+    #[test]
+    fn ineligible_machines_stay_interpreted() {
+        // Tracing on.
+        let mut m = Machine::new(Topology::split(2, 1));
+        assert!(!m.loop_begin());
+        // Fault plan installed.
+        let mut m = Machine::without_tracing(Topology::split(2, 1));
+        m.set_fault_plan(FaultPlan::new(7).with_occurrence(FaultPoint::VirqDrop, 3));
+        assert!(!m.loop_begin());
+        // Finite watchdog.
+        let mut m = Machine::without_tracing(Topology::split(2, 1));
+        m.set_watchdog(Watchdog {
+            cycle_budget: Some(u64::MAX - 1),
+            livelock_threshold: None,
+        });
+        assert!(!m.loop_begin());
+        // Event tracing on.
+        let mut m = Machine::without_tracing(Topology::split(2, 1));
+        m.enable_event_tracing(None);
+        assert!(!m.loop_begin());
+        // Even with a session refused, the loop still runs correctly.
+        let mut refused = Machine::without_tracing(Topology::split(2, 1));
+        refused.enable_event_tracing(None);
+        drive(&mut refused, 50, false, ping_pong);
+        assert_eq!(refused.iters_replayed(), 0);
+        let mut interpreted = Machine::without_tracing(Topology::split(2, 1));
+        interpreted.enable_event_tracing(None);
+        for i in 0..50 {
+            ping_pong(&mut interpreted, i);
+        }
+        assert_eq!(refused.clocks, interpreted.clocks);
+    }
+
+    #[test]
+    fn config_changes_abort_an_open_session() {
+        let mut m = Machine::without_tracing(Topology::split(2, 1));
+        assert!(m.loop_begin());
+        m.loop_iter_begin();
+        ping_pong(&mut m, 0);
+        m.set_watchdog(Watchdog {
+            cycle_budget: Some(1 << 60),
+            livelock_threshold: None,
+        });
+        assert!(m.loop_state.is_none());
+        // Aborted sessions no-op from then on.
+        assert_eq!(m.loop_replay(100), 0);
+    }
+
+    #[test]
+    fn aperiodic_loops_give_up_and_stay_correct() {
+        // Cost grows every iteration: no steady period exists.
+        let body = |m: &mut Machine, i: u64| {
+            m.charge(
+                CoreId::new(0),
+                "grow",
+                TraceKind::Guest,
+                Cycles::new(100 + i),
+            );
+        };
+        let mut compiled = Machine::without_tracing(Topology::split(2, 1));
+        let mut interpreted = Machine::without_tracing(Topology::split(2, 1));
+        drive(&mut compiled, 200, false, body);
+        for i in 0..200 {
+            body(&mut interpreted, i);
+        }
+        assert_eq!(compiled.iters_replayed(), 0);
+        assert!(!compiled.loop_compiled());
+        assert_replay_matches(&compiled, &interpreted);
+    }
+
+    #[test]
+    fn thread_transitions_counts_interpreted_and_replayed_alike() {
+        let before = thread_transitions();
+        let mut m = Machine::without_tracing(Topology::split(2, 1));
+        drive(&mut m, 500, false, ping_pong);
+        let counted = thread_transitions().wrapping_sub(before);
+        // Two charges per iteration, whether interpreted or replayed.
+        assert_eq!(counted, 1000);
+        assert!(m.iters_replayed() > 400);
     }
 }

@@ -1,0 +1,261 @@
+//! The iteration-scaled benchmark grid: the Figure 4 matrix grown until
+//! the loop compiler's throughput — and the parallel runner's speedup —
+//! are measurable.
+//!
+//! The paper-default suite is deliberately small (it reproduces tables,
+//! not load), so per-scenario setup dominates and neither the compiled
+//! replay path nor `--jobs` fan-out has anything to chew on. This grid
+//! runs the same nine workloads on the four measured hypervisors with
+//! every mix's iteration count multiplied by [`DEFAULT_SCALE`]
+//! ([`Mix::scaled`]): identical steady-state loops, run long enough
+//! that the interpreter would take minutes while compiled replay
+//! finishes in under a second.
+//!
+//! [`run`] measures two passes over the 36 cells — serial, then a
+//! work-stealing parallel pass — and asserts cycle-exact identity
+//! between them, so the benchmark doubles as a determinism check.
+//! `transitions_per_sec` (simulated [`Machine::charge`] calls per
+//! serial wall-second) is the headline number the perf-smoke gate
+//! tracks.
+//!
+//! [`Machine::charge`]: hvx_engine::Machine::charge
+//! [`Mix::scaled`]: crate::workloads::Mix::scaled
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use hvx_core::{SimBuilder, VirqPolicy};
+use serde::Serialize;
+
+use crate::paper;
+use crate::workloads::{self, catalog};
+
+/// Default iteration multiplier. Chosen so the serial pass simulates
+/// well past 10^8 transitions in roughly a second of host time: small
+/// enough for CI, large enough that setup cost vanishes and the
+/// parallel pass has real work per cell.
+pub const DEFAULT_SCALE: u32 = 2_000;
+
+/// One grid cell: a (workload, hypervisor) pair at the grid scale.
+#[derive(Debug, Clone, Serialize)]
+pub struct GridCell {
+    /// Figure 4 workload name.
+    pub workload: &'static str,
+    /// Hypervisor column, as printed in Figure 4.
+    pub column: String,
+    /// Makespan in simulated cycles; `None` if the mix was rejected
+    /// (kept as a marked cell so both passes must reject identically).
+    pub makespan_cycles: Option<u64>,
+    /// Simulated transitions this cell charged.
+    pub transitions: u64,
+}
+
+/// The measured grid: cells, totals, and the serial/parallel split.
+#[derive(Debug, Clone, Serialize)]
+pub struct GridReport {
+    /// Iteration multiplier applied to every mix.
+    pub scale: u32,
+    /// Worker threads used by the parallel pass.
+    pub jobs: usize,
+    /// All 36 cells, in catalog × column order (from the serial pass;
+    /// the parallel pass is asserted identical).
+    pub cells: Vec<GridCell>,
+    /// Total simulated transitions across the grid (one pass).
+    pub transitions: u64,
+    /// Wall-clock of the serial pass, seconds.
+    pub serial_seconds: f64,
+    /// Wall-clock of the parallel pass, seconds. Equal to
+    /// `serial_seconds` when `jobs == 1` (the pass is skipped).
+    pub parallel_seconds: f64,
+    /// Simulated transitions per serial wall-second — the headline
+    /// throughput the perf-smoke gate tracks.
+    pub grid_transitions_per_sec: f64,
+    /// `serial_seconds / parallel_seconds` (1.0 when `jobs == 1`).
+    pub parallel_speedup: f64,
+}
+
+/// One measured cell: makespan in cycles (`None` if rejected) and
+/// transitions charged.
+type CellMeasure = (Option<u64>, u64);
+
+/// Runs one cell on a fresh machine and returns `(makespan,
+/// transitions charged)`. Honors the ambient `HVX_COMPILE` toggle, so
+/// `HVX_COMPILE=off hvx-repro bench` measures the interpreter.
+fn run_cell(workload: usize, column: usize, scale: u32) -> CellMeasure {
+    let mix = catalog()[workload].mix.scaled(scale);
+    let kind = paper::COLUMNS[column];
+    let before = hvx_engine::thread_transitions();
+    let makespan = SimBuilder::new(kind)
+        .build()
+        .ok()
+        .map(|sim| sim.into_inner())
+        .and_then(|mut hv| {
+            workloads::run(hv.as_mut(), mix, VirqPolicy::Vcpu0)
+                .ok()
+                .map(|c| c.as_u64())
+        });
+    (makespan, hvx_engine::thread_transitions() - before)
+}
+
+/// Measures the grid: serial pass, parallel pass (when `jobs > 1`),
+/// identity check, report.
+///
+/// # Panics
+///
+/// Panics if the parallel pass produces any cell whose makespan or
+/// transition count differs from the serial pass — that would mean the
+/// simulation is not deterministic, and no benchmark number from such
+/// a build can be trusted.
+pub fn run(jobs: usize, scale: u32) -> GridReport {
+    run_inner(jobs, scale, true)
+}
+
+/// [`run`] with the hardware-parallelism clamp optional, so tests can
+/// force the worker pool (and its identity check) on any host.
+fn run_inner(jobs: usize, scale: u32, clamp_to_hw: bool) -> GridReport {
+    let pairs: Vec<(usize, usize)> = (0..catalog().len())
+        .flat_map(|w| (0..paper::COLUMNS.len()).map(move |c| (w, c)))
+        .collect();
+
+    let serial_start = Instant::now();
+    let serial: Vec<CellMeasure> = pairs.iter().map(|&(w, c)| run_cell(w, c, scale)).collect();
+    let serial_seconds = serial_start.elapsed().as_secs_f64();
+
+    // More workers than hardware threads is pure oversubscription —
+    // context switches with zero extra throughput — so `--jobs 4` on a
+    // small box degrades to break-even instead of a slowdown.
+    let hw = if clamp_to_hw {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        usize::MAX
+    };
+    let workers = jobs.min(pairs.len()).min(hw);
+    let (parallel_seconds, parallel) = if workers > 1 {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CellMeasure>>> =
+            pairs.iter().map(|_| Mutex::new(None)).collect();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(w, c)) = pairs.get(idx) else { break };
+                    let cell = run_cell(w, c, scale);
+                    *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) = Some(cell);
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let results: Vec<CellMeasure> = slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("scoped workers drain every slot")
+            })
+            .collect();
+        (elapsed, Some(results))
+    } else {
+        (serial_seconds, None)
+    };
+
+    if let Some(parallel) = &parallel {
+        for (i, (s, p)) in serial.iter().zip(parallel).enumerate() {
+            let (w, c) = pairs[i];
+            assert_eq!(
+                s,
+                p,
+                "grid cell {}/{} diverged between serial and parallel passes",
+                catalog()[w].name,
+                paper::COLUMNS[c]
+            );
+        }
+    }
+
+    let cells: Vec<GridCell> = pairs
+        .iter()
+        .zip(&serial)
+        .map(|(&(w, c), &(makespan_cycles, transitions))| GridCell {
+            workload: catalog()[w].name,
+            column: paper::COLUMNS[c].to_string(),
+            makespan_cycles,
+            transitions,
+        })
+        .collect();
+    let transitions: u64 = cells.iter().map(|c| c.transitions).sum();
+    GridReport {
+        scale,
+        jobs,
+        cells,
+        transitions,
+        serial_seconds,
+        parallel_seconds,
+        grid_transitions_per_sec: transitions as f64 / serial_seconds.max(1e-9),
+        parallel_speedup: serial_seconds / parallel_seconds.max(1e-9),
+    }
+}
+
+/// Renders the report as the `hvx-repro bench` grid section.
+pub fn render(r: &GridReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "benchmark grid: {} cells at scale {} ({} transitions)\n",
+        r.cells.len(),
+        r.scale,
+        r.transitions
+    ));
+    out.push_str(&format!(
+        "  serial   {:>8.3}s  {:>12.0} transitions/sec\n",
+        r.serial_seconds, r.grid_transitions_per_sec
+    ));
+    out.push_str(&format!(
+        "  parallel {:>8.3}s  {:.2}x with {} jobs\n",
+        r.parallel_seconds, r.parallel_speedup, r.jobs
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scale small enough for tests while still compiling every loop.
+    const TEST_SCALE: u32 = 20;
+
+    #[test]
+    fn grid_cells_are_deterministic_and_nonempty() {
+        let a = run(1, TEST_SCALE);
+        let b = run(1, TEST_SCALE);
+        assert_eq!(a.cells.len(), catalog().len() * paper::COLUMNS.len());
+        assert!(a.transitions > 0);
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(
+                x.makespan_cycles, y.makespan_cycles,
+                "{} {}",
+                x.workload, x.column
+            );
+            assert_eq!(x.transitions, y.transitions, "{} {}", x.workload, x.column);
+        }
+    }
+
+    #[test]
+    fn parallel_pass_matches_serial_pass() {
+        // run_inner() itself asserts per-cell identity between the
+        // passes; bypass the hardware clamp so the pool actually spins
+        // up even on a single-core CI box.
+        let r = run_inner(4, TEST_SCALE, false);
+        assert_eq!(r.jobs, 4);
+        assert!(r.parallel_seconds > 0.0);
+        assert!(r.grid_transitions_per_sec > 0.0);
+        assert!(render(&r).contains("benchmark grid"));
+    }
+
+    #[test]
+    fn scaled_cells_charge_proportionally_more() {
+        let small = run(1, 5);
+        let big = run(1, 50);
+        // 10x iterations => ~10x transitions (setup amortizes away).
+        assert!(big.transitions > small.transitions * 5);
+    }
+}

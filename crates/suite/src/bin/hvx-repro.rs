@@ -59,6 +59,7 @@
 
 use hvx_core::Error;
 use hvx_engine::{FaultPlan, Watchdog};
+use hvx_suite::bench_grid;
 use hvx_suite::cache::ResultCache;
 use hvx_suite::diff;
 use hvx_suite::profile::{self, ProfileScenario};
@@ -542,6 +543,7 @@ struct BenchArtifact {
     name: &'static str,
     serial_seconds: f64,
     parallel_seconds: f64,
+    transitions: u64,
 }
 
 #[derive(Serialize)]
@@ -550,30 +552,54 @@ struct BenchReport {
     serial_seconds: f64,
     parallel_seconds: f64,
     speedup: f64,
+    transitions: u64,
+    transitions_per_sec: f64,
     artifacts: Vec<BenchArtifact>,
+    grid: bench_grid::GridReport,
 }
 
 /// Runs the full suite serial then parallel, asserts the outputs are
-/// byte-identical, and writes the wall-clock comparison to `path`.
+/// byte-identical, runs the iteration-scaled benchmark grid, and
+/// writes the wall-clock comparison to `path`.
 fn bench(path: &PathBuf, jobs: usize) -> Result<(), Error> {
     let artifacts = ArtifactId::ALL;
+    // The whole paper suite takes single-digit milliseconds, so one
+    // sample is mostly allocator/scheduler noise; best-of-3 is the
+    // usual cure and keeps the speedup field meaningful.
+    let best_of_3 = |jobs: usize| -> Result<(Vec<runner::ArtifactReport>, f64), Error> {
+        let mut best: Option<(Vec<runner::ArtifactReport>, f64)> = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let reports = runner::run_artifacts(&artifacts, jobs)?;
+            let secs = t.elapsed().as_secs_f64();
+            if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+                best = Some((reports, secs));
+            }
+        }
+        Ok(best.expect("three runs happened"))
+    };
     eprintln!("bench: running full suite with --jobs 1 ...");
-    let t0 = Instant::now();
-    let serial = runner::run_artifacts(&artifacts, 1)?;
-    let serial_seconds = t0.elapsed().as_secs_f64();
+    let (serial, serial_seconds) = best_of_3(1)?;
     eprintln!("bench: running full suite with --jobs {jobs} ...");
-    let t1 = Instant::now();
-    let parallel = runner::run_artifacts(&artifacts, jobs)?;
-    let parallel_seconds = t1.elapsed().as_secs_f64();
+    let (parallel, parallel_seconds) = best_of_3(jobs)?;
     for (s, p) in serial.iter().zip(&parallel) {
         assert_eq!(s.text, p.text, "{} text diverged", s.id.cli_name());
         assert_eq!(s.json, p.json, "{} JSON diverged", s.id.cli_name());
     }
+    eprintln!(
+        "bench: running the scale-{} grid with --jobs {jobs} ...",
+        bench_grid::DEFAULT_SCALE
+    );
+    let grid = bench_grid::run(jobs, bench_grid::DEFAULT_SCALE);
+    eprint!("{}", bench_grid::render(&grid));
+    let transitions: u64 = serial.iter().map(|r| r.transitions).sum();
     let report = BenchReport {
         jobs,
         serial_seconds,
         parallel_seconds,
         speedup: serial_seconds / parallel_seconds,
+        transitions,
+        transitions_per_sec: transitions as f64 / serial_seconds.max(1e-9),
         artifacts: serial
             .iter()
             .zip(&parallel)
@@ -581,8 +607,10 @@ fn bench(path: &PathBuf, jobs: usize) -> Result<(), Error> {
                 name: s.id.cli_name(),
                 serial_seconds: s.wall.as_secs_f64(),
                 parallel_seconds: p.wall.as_secs_f64(),
+                transitions: s.transitions,
             })
             .collect(),
+        grid,
     };
     let data = serde_json::to_string_pretty(&report).map_err(|e| Error::Serialize {
         what: "bench report",

@@ -26,6 +26,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod bench_grid;
 pub mod cache;
 pub mod diff;
 pub mod fig4;

@@ -334,6 +334,12 @@ pub struct ScenarioResult {
     pub outcome: Result<Output, ScenarioFailure>,
     /// How long it took on the host.
     pub wall: Duration,
+    /// Simulated transitions this scenario charged (every
+    /// [`Machine::charge`] call, whether interpreted or bulk-replayed
+    /// by the loop compiler). Zero for cache hits — nothing simulated.
+    ///
+    /// [`Machine::charge`]: hvx_engine::Machine::charge
+    pub transitions: u64,
 }
 
 /// Shared configuration for one runner invocation: the fault plan and
@@ -429,9 +435,11 @@ fn run_one(scenario: Scenario, cfg: &RunnerConfig) -> ScenarioResult {
                 scenario,
                 outcome: Ok(output),
                 wall: start.elapsed(),
+                transitions: 0,
             };
         }
     }
+    let before = hvx_engine::thread_transitions();
     let outcome = {
         // Ambient so machines built deep inside scenario code pick the
         // plan and watchdog up; the guard restores on unwind, so a
@@ -442,6 +450,7 @@ fn run_one(scenario: Scenario, cfg: &RunnerConfig) -> ScenarioResult {
             .map_err(|payload| classify_panic(payload.as_ref()))
     };
     let wall = start.elapsed();
+    let transitions = hvx_engine::thread_transitions() - before;
     let outcome = match (outcome, cfg.wall_timeout) {
         (Ok(_), Some(limit)) if wall > limit => Err(ScenarioFailure {
             kind: ScenarioFailureKind::TimedOut,
@@ -467,6 +476,7 @@ fn run_one(scenario: Scenario, cfg: &RunnerConfig) -> ScenarioResult {
         scenario,
         outcome,
         wall,
+        transitions,
     }
 }
 
@@ -501,10 +511,23 @@ pub fn run_scenarios_with(
     if jobs == 0 {
         return Err(Error::InvalidJobs { jobs });
     }
-    if jobs == 1 || plan.len() <= 1 {
+    // Thread spawn + queue/slot locking costs real time; a plan lighter
+    // than this runs faster inline than fanned out, so `--jobs N` on a
+    // small plan is break-even instead of a regression. The full paper
+    // suite weighs ~1k; the iteration-scaled benchmark grid (which is
+    // where parallelism pays) weighs well past this cutoff.
+    const PARALLEL_MIN_WEIGHT: u64 = 4_000;
+    let total_weight: u64 = plan.iter().map(|s| s.weight()).sum();
+    if jobs == 1 || plan.len() <= 1 || total_weight < PARALLEL_MIN_WEIGHT {
         return Ok(plan.iter().map(|s| run_one(*s, cfg)).collect());
     }
+    Ok(run_scenarios_pooled(plan, jobs, cfg))
+}
 
+/// The worker-pool path of [`run_scenarios_with`], with no serial
+/// short-circuit: always spawns up to `jobs` threads. Tests target this
+/// directly so small plans still exercise the pool machinery.
+fn run_scenarios_pooled(plan: &[Scenario], jobs: usize, cfg: &RunnerConfig) -> Vec<ScenarioResult> {
     // The work queue is the engine's own EventQueue: it pops the smallest
     // (when, seq) key, so scheduling at `MAX - weight` makes heavier
     // scenarios come out first, FIFO among equals.
@@ -531,7 +554,7 @@ pub fn run_scenarios_with(
         }
     });
 
-    Ok(slots
+    slots
         .into_iter()
         .enumerate()
         .map(|(idx, slot)| {
@@ -544,9 +567,10 @@ pub fn run_scenarios_with(
                         detail: "worker thread died before recording a result".to_string(),
                     }),
                     wall: Duration::ZERO,
+                    transitions: 0,
                 })
         })
-        .collect())
+        .collect()
 }
 
 /// One assembled artifact: the exact text `hvx-repro` prints and the
@@ -564,6 +588,9 @@ pub struct ArtifactReport {
     pub json: String,
     /// Sum of the artifact's scenario wall-clocks.
     pub wall: Duration,
+    /// Sum of the artifact's simulated transitions (zero when every
+    /// scenario was a cache hit).
+    pub transitions: u64,
     /// Scenarios of this artifact that failed: `(label, failure)`.
     /// Empty on a clean run.
     pub failures: Vec<(String, ScenarioFailure)>,
@@ -632,6 +659,7 @@ pub fn assemble(
                 let n_cells = workloads::catalog().len() * paper::COLUMNS.len();
                 let mut cells = Vec::with_capacity(n_cells);
                 let mut wall = Duration::ZERO;
+                let mut transitions = 0u64;
                 let mut failures = Vec::new();
                 for _ in 0..n_cells {
                     let r = next();
@@ -653,6 +681,7 @@ pub fn assemble(
                         }
                     }
                     wall += r.wall;
+                    transitions += r.transitions;
                 }
                 let f = fig4::Figure4::from_cells(&cells);
                 let mut text = format!(
@@ -675,6 +704,7 @@ pub fn assemble(
                     text,
                     json: to_json(&f)?,
                     wall,
+                    transitions,
                     failures,
                 }
             }
@@ -696,6 +726,7 @@ pub fn assemble(
                                 error: f.detail.clone(),
                             })?,
                             wall: r.wall,
+                            transitions: r.transitions,
                             failures: vec![(label.clone(), f.clone())],
                         });
                         continue;
@@ -780,6 +811,7 @@ pub fn assemble(
                     text,
                     json,
                     wall: r.wall,
+                    transitions: r.transitions,
                     failures: Vec::new(),
                 }
             }
@@ -891,11 +923,32 @@ mod tests {
         let artifacts = [ArtifactId::Table3, ArtifactId::Vhe, ArtifactId::Link];
         let p = plan(&artifacts);
         let serial = assemble(&artifacts, &run_scenarios(&p, 1).unwrap()).unwrap();
-        let parallel = assemble(&artifacts, &run_scenarios(&p, 3).unwrap()).unwrap();
-        for (s, q) in serial.iter().zip(&parallel) {
+        // This plan is light enough that run_scenarios(.., 3) would
+        // short-circuit to the inline path; call the pool directly so
+        // the worker machinery stays covered.
+        let pooled = assemble(
+            &artifacts,
+            &run_scenarios_pooled(&p, 3, &RunnerConfig::default()),
+        )
+        .unwrap();
+        for (s, q) in serial.iter().zip(&pooled) {
             assert_eq!(s.json, q.json, "{:?} diverged", s.id);
             assert_eq!(s.text, q.text, "{:?} text diverged", s.id);
+            assert_eq!(s.transitions, q.transitions, "{:?} transitions", s.id);
+            assert!(s.transitions > 0, "{:?} simulated nothing", s.id);
         }
+    }
+
+    #[test]
+    fn light_plans_run_inline_even_with_many_jobs() {
+        // The whole paper suite weighs under the parallel cutoff, so a
+        // multi-job run of a small plan must behave exactly like jobs=1
+        // (the 0.86x fan-out regression this cutoff removes).
+        let p = plan(&[ArtifactId::Vhe]);
+        let many = run_scenarios(&p, 4).unwrap();
+        let one = run_scenarios(&p, 1).unwrap();
+        assert_eq!(many.len(), one.len());
+        assert_eq!(many[0].transitions, one[0].transitions);
     }
 
     #[test]

@@ -133,6 +133,91 @@ pub enum Mix {
     },
 }
 
+impl Mix {
+    /// Returns the mix with its iteration count multiplied by
+    /// `factor` — the same steady-state loop run `factor`× longer.
+    /// The benchmark grid uses this to grow scenarios until
+    /// per-scenario setup stops dominating and parallel workers have
+    /// something to chew on.
+    #[must_use]
+    pub fn scaled(self, factor: u32) -> Mix {
+        let mul = |n: u32| n.saturating_mul(factor);
+        match self {
+            Mix::CpuBound {
+                unit_work,
+                ticks_per_unit,
+                units,
+            } => Mix::CpuBound {
+                unit_work,
+                ticks_per_unit,
+                units: mul(units),
+            },
+            Mix::IpiBound {
+                unit_work,
+                ipis_per_unit,
+                units,
+            } => Mix::IpiBound {
+                unit_work,
+                ipis_per_unit,
+                units: mul(units),
+            },
+            Mix::NetRr { transactions } => Mix::NetRr {
+                transactions: mul(transactions),
+            },
+            Mix::StreamRx {
+                chunks,
+                chunk_len,
+                bursts,
+                link_mbit,
+            } => Mix::StreamRx {
+                chunks,
+                chunk_len,
+                bursts: mul(bursts),
+                link_mbit,
+            },
+            Mix::StreamTx {
+                chunks,
+                chunk_len,
+                bursts,
+                tso_capped_chunks,
+                link_mbit,
+            } => Mix::StreamTx {
+                chunks,
+                chunk_len,
+                bursts: mul(bursts),
+                tso_capped_chunks,
+                link_mbit,
+            },
+            Mix::DiskIo {
+                requests,
+                sectors,
+                device,
+            } => Mix::DiskIo {
+                requests: mul(requests),
+                sectors,
+                device,
+            },
+            Mix::RequestServer {
+                app_work,
+                request_bytes,
+                response_chunks,
+                events_x2,
+                stack_scale_pct,
+                type1_extra_events_x2,
+                requests,
+            } => Mix::RequestServer {
+                app_work,
+                request_bytes,
+                response_chunks,
+                events_x2,
+                stack_scale_pct,
+                type1_extra_events_x2,
+                requests: mul(requests),
+            },
+        }
+    }
+}
+
 /// A named workload: Table IV's description plus its mix.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Workload {
@@ -264,10 +349,54 @@ pub fn render_table4() -> String {
     out
 }
 
+/// Decides compile gating from the two relevant environment values.
+/// Perturbed cost models are steady too, but the perturbation drill
+/// explicitly exercises the interpreted engine, so it opts out.
+fn compile_mode(compile: Option<&str>, perturb: Option<&str>) -> bool {
+    let off = compile.is_some_and(|v| {
+        let v = v.trim();
+        v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")
+    });
+    let perturbed = perturb.is_some_and(|v| !v.trim().is_empty());
+    !off && !perturbed
+}
+
+/// Whether [`run`] compiles steady-state loops: yes unless
+/// `HVX_COMPILE=off|0|false` or `HVX_COST_PERTURB` is set. Read fresh
+/// on every call so tests and drills need no process restart.
+pub fn compile_enabled() -> bool {
+    compile_mode(
+        std::env::var("HVX_COMPILE").ok().as_deref(),
+        std::env::var("HVX_COST_PERTURB").ok().as_deref(),
+    )
+}
+
+/// Runs `iters` iterations of `body` under the machine's loop compile
+/// session. While the machine records (or after it declined the
+/// session), every call is a cheap no-op and `body` runs interpreted;
+/// once the loop compiles, whole blocks are skipped at once.
+fn steady_loop<F>(hv: &mut dyn Hypervisor, iters: u64, mut body: F)
+where
+    F: FnMut(&mut dyn Hypervisor, u64),
+{
+    let mut i = 0u64;
+    while i < iters {
+        let skipped = hv.machine_mut().loop_replay(iters - i);
+        if skipped > 0 {
+            i += skipped;
+            continue;
+        }
+        hv.machine_mut().loop_iter_begin();
+        body(hv, i);
+        i += 1;
+    }
+}
+
 /// Runs `mix` on `hv` under `policy` and returns the makespan in cycles.
 ///
 /// Deterministic: the same mix on the same configuration always yields
-/// the same makespan.
+/// the same makespan — with loop compilation on (the default) or off,
+/// byte-identically.
 ///
 /// # Errors
 ///
@@ -276,9 +405,30 @@ pub fn render_table4() -> String {
 /// the device). The hardened runner degrades such cells to marked n/a
 /// entries instead of unwinding.
 pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Result<Cycles, Error> {
+    run_with(hv, mix, policy, compile_enabled())
+}
+
+/// [`run`] with explicit compile gating: `compile = false` forces the
+/// interpreted engine (differential tests pin the two paths against
+/// each other).
+///
+/// # Errors
+///
+/// As for [`run`].
+pub fn run_with(
+    hv: &mut dyn Hypervisor,
+    mix: Mix,
+    policy: VirqPolicy,
+    compile: bool,
+) -> Result<Cycles, Error> {
     hv.set_virq_policy(policy);
     hv.machine_mut().trace_mut().set_enabled(false);
     let start = hv.machine_mut().barrier();
+    if compile {
+        // May refuse (tracing/faults/profiling/watchdog); every loop_*
+        // call below is then a no-op and the mix runs interpreted.
+        hv.machine_mut().loop_begin();
+    }
     let vcpus = hv.num_vcpus();
     match mix {
         Mix::CpuBound {
@@ -286,35 +436,49 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Result<Cycl
             ticks_per_unit,
             units,
         } => {
-            for u in 0..units {
+            steady_loop(hv, u64::from(units), |hv, u| {
                 let vcpu = u as usize % vcpus;
                 hv.guest_compute(vcpu, Cycles::new(unit_work));
                 for _ in 0..ticks_per_unit {
                     hv.deliver_virq(vcpu);
                 }
-            }
+            });
         }
         Mix::IpiBound {
             unit_work,
             ipis_per_unit,
             units,
         } => {
-            for u in 0..units {
+            steady_loop(hv, u64::from(units), |hv, u| {
                 let from = u as usize % vcpus;
                 let to = (from + 1) % vcpus;
                 hv.guest_compute(from, Cycles::new(unit_work));
                 for _ in 0..ipis_per_unit {
                     hv.virtual_ipi(from, to);
                 }
-            }
+            });
         }
         Mix::NetRr { transactions } => {
             let client_rtt = Cycles::from_micros(
                 crate::netperf::CLIENT_RTT_US,
                 hvx_engine::Frequency::ARM_M400,
             );
+            // The next send instant is loop-carried: published as loop
+            // register 0 so compiled replay reconstructs it across
+            // skipped transactions.
             let mut t_send = start;
-            for _ in 0..transactions {
+            let n = u64::from(transactions);
+            let mut i = 0u64;
+            while i < n {
+                let skipped = hv.machine_mut().loop_replay(n - i);
+                if skipped > 0 {
+                    i += skipped;
+                    if let Some(t) = hv.machine_mut().loop_reg(0) {
+                        t_send = t;
+                    }
+                    continue;
+                }
+                hv.machine_mut().loop_iter_begin();
                 let arrival = t_send + client_rtt;
                 let (_, vcpu) = hv.receive(1, arrival);
                 hv.guest_compute(vcpu, crate::netperf::APP_WORK);
@@ -326,6 +490,8 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Result<Cycl
                     hvx_engine::Frequency::ARM_M400,
                     None,
                 );
+                hv.machine_mut().loop_set_reg(0, t_send);
+                i += 1;
             }
         }
         Mix::StreamRx {
@@ -339,10 +505,10 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Result<Cycl
             let burst_bytes = chunks as u64 * chunk_len as u64;
             let wire = hvx_vio::Wire::from_link(link_mbit, 10.0, hvx_engine::Frequency::ARM_M400);
             let spacing = Cycles::new((burst_bytes as f64 * wire.cycles_per_byte).round() as u64);
-            for b in 0..bursts {
-                let arrival = start + spacing * b as u64;
+            steady_loop(hv, u64::from(bursts), |hv, b| {
+                let arrival = start + spacing * b;
                 hv.receive_burst(chunks as usize, chunk_len as usize, arrival);
-            }
+            });
         }
         Mix::StreamTx {
             chunks,
@@ -369,11 +535,26 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Result<Cycl
             let burst_wire = Cycles::new(
                 (per_burst as f64 * chunk_len as f64 * wire.cycles_per_byte).round() as u64,
             );
+            // The wire-free instant is loop-carried (register 0).
             let mut wire_free = start;
-            for _ in 0..n_bursts {
+            let n = u64::from(n_bursts);
+            let mut i = 0u64;
+            while i < n {
+                let skipped = hv.machine_mut().loop_replay(n - i);
+                if skipped > 0 {
+                    i += skipped;
+                    if let Some(v) = hv.machine_mut().loop_reg(0) {
+                        wire_free = v;
+                    }
+                    continue;
+                }
+                hv.machine_mut().loop_iter_begin();
                 let handoff = hv.transmit_burst(0, per_burst as usize, chunk_len as usize);
                 wire_free = wire_free.max(handoff) + burst_wire;
+                hv.machine_mut().loop_set_reg(0, wire_free);
+                i += 1;
             }
+            hv.machine_mut().loop_end();
             // The run ends when the wire finishes draining.
             let backend = hv.machine().topology().backend_core();
             hv.machine_mut().wait_until(backend, wire_free);
@@ -383,7 +564,9 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Result<Cycl
             sectors,
             device,
         } => {
-            run_disk_io(hv, requests, sectors, device)?;
+            let res = run_disk_io(hv, requests, sectors, device);
+            hv.machine_mut().loop_end();
+            res?;
         }
         Mix::RequestServer {
             app_work,
@@ -407,6 +590,7 @@ pub fn run(hv: &mut dyn Hypervisor, mix: Mix, policy: VirqPolicy) -> Result<Cycl
             );
         }
     }
+    hv.machine_mut().loop_end();
     Ok(hv.machine_mut().barrier() - start)
 }
 
@@ -464,7 +648,15 @@ fn run_disk_io(
     // many requests the mix issues.
     let wrap = capacity - span + 1;
     let io_core = hv.machine().topology().io_core();
-    for r in 0..requests {
+    let n = u64::from(requests);
+    let mut r = 0u64;
+    while r < n {
+        let skipped = hv.machine_mut().loop_replay(n - r);
+        if skipped > 0 {
+            r += skipped;
+            continue;
+        }
+        hv.machine_mut().loop_iter_begin();
         let vcpu = 0;
         // Guest block layer + driver. Single-threaded closed loop (fio
         // numjobs=1, iodepth=1): the issuing thread blocks on every
@@ -477,10 +669,7 @@ fn run_disk_io(
         };
         hv.guest_compute(vcpu, Cycles::new(2_500) + driver_extra);
         let service = disk.service_time(sectors);
-        let data = disk.read_sectors(
-            u64::from(r) * span % wrap,
-            sectors as usize * hvx_vio::SECTOR_SIZE,
-        )?;
+        let data = disk.read_sectors(r * span % wrap, sectors as usize * hvx_vio::SECTOR_SIZE)?;
         debug_assert_eq!(data.len(), sectors as usize * hvx_vio::SECTOR_SIZE);
         if is_native {
             let m = hv.machine_mut();
@@ -538,6 +727,7 @@ fn run_disk_io(
             m.wait_until(core, done);
             hv.deliver_virq_blocked(vcpu);
         }
+        r += 1;
     }
     Ok(())
 }
@@ -578,8 +768,21 @@ fn run_request_server(
     let response_bytes = response_chunks as usize * 4_096;
     let io_core = hv.machine().topology().io_core();
     let backend_core = hv.machine().topology().backend_core();
+    // `event_acc` is always 0 or 1 after the `%= 2` below, and over
+    // one congruent block its net change is zero (a drifting parity
+    // would alter the charge stream and break congruence), so the
+    // accumulator stays correct across compiled skips without a loop
+    // register.
     let mut event_acc = 0u32;
-    for r in 0..requests {
+    let n = u64::from(requests);
+    let mut r = 0u64;
+    while r < n {
+        let skipped = hv.machine_mut().loop_replay(n - r);
+        if skipped > 0 {
+            r += skipped;
+            continue;
+        }
+        hv.machine_mut().loop_iter_begin();
         // --- device events (the virtualization-sensitive part) ---
         event_acc += events_x2;
         if type1 {
@@ -696,6 +899,7 @@ fn run_request_server(
                 TransitionId::NicDma,
             );
         }
+        r += 1;
     }
 }
 

@@ -1,0 +1,187 @@
+//! Differential coverage for the steady-state loop compiler: compiled
+//! replay must be **byte-identical** to plain interpretation across the
+//! full workload catalog, and every ineligible configuration must fall
+//! back to the interpreter with identical results.
+
+use hvx_core::{Error, HvKind, Hypervisor, SimBuilder, VirqPolicy};
+use hvx_engine::{Cycles, FaultPlan, FaultPoint};
+use hvx_suite::workloads::{self, catalog, DiskDevice, Mix};
+use proptest::prelude::*;
+
+/// Every configuration the compiler must match bit-for-bit: the four
+/// measured hypervisors, the VHE projection, and the native baseline.
+const KINDS: [HvKind; 6] = [
+    HvKind::KvmArm,
+    HvKind::XenArm,
+    HvKind::KvmX86,
+    HvKind::XenX86,
+    HvKind::KvmArmVhe,
+    HvKind::Native,
+];
+
+fn build(kind: HvKind) -> Box<dyn Hypervisor> {
+    SimBuilder::new(kind)
+        .build()
+        .expect("paper-default build")
+        .into_inner()
+}
+
+/// Runs `mix` twice on fresh machines — compiled and interpreted — and
+/// returns `(compiled makespan, interpreted makespan, iters replayed)`.
+fn run_both(kind: HvKind, mix: Mix, policy: VirqPolicy) -> Result<(Cycles, Cycles, u64), Error> {
+    let mut compiled = build(kind);
+    let c = workloads::run_with(compiled.as_mut(), mix, policy, true)?;
+    let replayed = compiled.machine().iters_replayed();
+    let mut interpreted = build(kind);
+    let i = workloads::run_with(interpreted.as_mut(), mix, policy, false)?;
+    assert_eq!(interpreted.machine().iters_replayed(), 0);
+    Ok((c, i, replayed))
+}
+
+#[test]
+fn catalog_compiled_equals_interpreted_on_every_configuration() {
+    let mut cells = 0u32;
+    let mut replayed_cells = 0u32;
+    for w in catalog() {
+        for kind in KINDS {
+            let Ok((c, i, replayed)) = run_both(kind, w.mix, VirqPolicy::Vcpu0) else {
+                // n/a cells (the hardened runner marks these) must be
+                // n/a identically on both paths.
+                let mut hv = build(kind);
+                assert!(workloads::run_with(hv.as_mut(), w.mix, VirqPolicy::Vcpu0, false).is_err());
+                continue;
+            };
+            assert_eq!(c, i, "{} on {kind:?}: compiled != interpreted", w.name);
+            cells += 1;
+            if replayed > 0 {
+                replayed_cells += 1;
+            }
+        }
+    }
+    assert!(cells >= 45, "catalog shrank to {cells} runnable cells");
+    // The whole point: the compiler must actually engage on the bulk of
+    // the steady-state catalog, not silently interpret everything.
+    assert!(
+        replayed_cells * 10 >= cells * 8,
+        "compiler engaged on only {replayed_cells}/{cells} cells"
+    );
+}
+
+#[test]
+fn scaled_mixes_and_round_robin_stay_identical() {
+    for w in catalog() {
+        let mix = w.mix.scaled(3);
+        let (c, i, replayed) =
+            run_both(HvKind::KvmArm, mix, VirqPolicy::RoundRobin).expect("runnable");
+        assert_eq!(c, i, "{} scaled(3)/RoundRobin", w.name);
+        assert!(replayed > 0, "{} scaled(3) never replayed", w.name);
+    }
+}
+
+#[test]
+fn disk_io_compiled_equals_interpreted() {
+    for device in [DiskDevice::Ssd, DiskDevice::Raid5] {
+        for kind in [HvKind::KvmArm, HvKind::XenArm, HvKind::Native] {
+            let mix = Mix::DiskIo {
+                requests: 64,
+                sectors: 64,
+                device,
+            };
+            let (c, i, _) = run_both(kind, mix, VirqPolicy::Vcpu0).expect("runnable");
+            assert_eq!(c, i, "DiskIo {device:?} on {kind:?}");
+        }
+    }
+}
+
+#[test]
+fn fault_plans_force_interpretation_with_identical_results() {
+    let mix = catalog()[0].mix;
+    let mut results = Vec::new();
+    for _ in 0..2 {
+        let mut hv = build(HvKind::KvmArm);
+        hv.machine_mut()
+            .set_fault_plan(FaultPlan::new(7).with_occurrence(FaultPoint::VirqDrop, 3));
+        let span = workloads::run_with(hv.as_mut(), mix, VirqPolicy::Vcpu0, true).expect("runs");
+        // An armed fault plan makes the machine ineligible: loop_begin
+        // declines and nothing replays.
+        assert_eq!(hv.machine().iters_replayed(), 0);
+        results.push(span);
+    }
+    assert_eq!(results[0], results[1]);
+}
+
+#[test]
+fn profiled_machines_interpret_under_plain_run() {
+    // workloads::run uses loop_begin(), which refuses profiled
+    // machines; results must match an unprofiled interpreted run in
+    // makespan (profiling must never shift time).
+    let mix = catalog()[2].mix;
+    let mut profiled = build(HvKind::XenArm);
+    profiled.machine_mut().enable_profiling();
+    let p = workloads::run_with(profiled.as_mut(), mix, VirqPolicy::Vcpu0, true).expect("runs");
+    assert_eq!(profiled.machine().iters_replayed(), 0);
+    let mut plain = build(HvKind::XenArm);
+    let q = workloads::run_with(plain.as_mut(), mix, VirqPolicy::Vcpu0, false).expect("runs");
+    assert_eq!(p, q);
+}
+
+#[test]
+fn env_gating_disables_compilation() {
+    // This test owns the two env vars; every other test in this binary
+    // passes the compile flag explicitly and never reads them.
+    std::env::set_var("HVX_COMPILE", "off");
+    assert!(!workloads::compile_enabled());
+    std::env::set_var("HVX_COMPILE", "0");
+    assert!(!workloads::compile_enabled());
+    std::env::set_var("HVX_COMPILE", "FALSE");
+    assert!(!workloads::compile_enabled());
+    std::env::set_var("HVX_COMPILE", "1");
+    assert!(workloads::compile_enabled());
+    std::env::remove_var("HVX_COMPILE");
+    assert!(workloads::compile_enabled());
+    std::env::set_var("HVX_COST_PERTURB", "0.01");
+    assert!(!workloads::compile_enabled());
+    std::env::set_var("HVX_COST_PERTURB", "  ");
+    assert!(workloads::compile_enabled());
+    std::env::remove_var("HVX_COST_PERTURB");
+    assert!(workloads::compile_enabled());
+}
+
+proptest! {
+    /// Random loop lengths around the compiler's confirm/give-up
+    /// boundaries: identity must hold whether the loop compiles, is
+    /// still recording at exit, or gave up.
+    #[test]
+    fn rr_transactions_identity(transactions in 1u32..96) {
+        let mix = Mix::NetRr { transactions };
+        let (c, i, _) = run_both(HvKind::KvmArm, mix, VirqPolicy::Vcpu0).expect("runnable");
+        prop_assert_eq!(c, i);
+    }
+
+    #[test]
+    fn request_server_identity(requests in 1u32..80, events_x2 in 1u32..6) {
+        let mix = Mix::RequestServer {
+            app_work: 30_000,
+            request_bytes: 512,
+            response_chunks: 2,
+            events_x2,
+            stack_scale_pct: 60,
+            type1_extra_events_x2: 1,
+            requests,
+        };
+        let (c, i, _) = run_both(HvKind::XenArm, mix, VirqPolicy::RoundRobin).expect("runnable");
+        prop_assert_eq!(c, i);
+    }
+
+    #[test]
+    fn stream_rx_identity(bursts in 1u32..48, chunks in 1u32..8) {
+        let mix = Mix::StreamRx {
+            chunks,
+            chunk_len: 1500,
+            bursts,
+            link_mbit: 10_000,
+        };
+        let (c, i, _) = run_both(HvKind::KvmX86, mix, VirqPolicy::Vcpu0).expect("runnable");
+        prop_assert_eq!(c, i);
+    }
+}

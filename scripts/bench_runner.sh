@@ -1,8 +1,10 @@
 #!/bin/sh
-# Benchmarks the parallel scenario runner: times the full artifact suite
-# with --jobs 1 and --jobs N (default: all cores), asserts the two runs
-# are byte-identical, and writes per-artifact wall-clock numbers to
-# BENCH_runner.json in the repository root.
+# Benchmarks the runner and the loop compiler: times the full artifact
+# suite with --jobs 1 and --jobs N (default: all cores), asserts the two
+# runs are byte-identical, runs the iteration-scaled benchmark grid, and
+# writes wall-clock + transition-throughput numbers to BENCH_runner.json
+# in the repository root. Prints the throughput delta against the
+# committed file so a regression (or a win) is visible in the run log.
 #
 # usage: scripts/bench_runner.sh [JOBS]
 set -eu
@@ -10,6 +12,28 @@ set -eu
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 OUT="${BENCH_OUT:-BENCH_runner.json}"
 
+grid_tps() {
+    # First match is the grid's headline number (the key is unique).
+    sed -n 's/.*"grid_transitions_per_sec": \([0-9.eE+-]*\).*/\1/p' "$1" | head -n 1
+}
+
+OLD_TPS=""
+if [ -f "$OUT" ]; then
+    OLD_TPS="$(grid_tps "$OUT" || true)"
+fi
+
 cargo build --release -p hvx-suite
 ./target/release/hvx-repro --bench "$OUT" --jobs "$JOBS"
+
+NEW_TPS="$(grid_tps "$OUT")"
+if [ -n "$OLD_TPS" ] && [ -n "$NEW_TPS" ]; then
+    awk -v old="$OLD_TPS" -v new="$NEW_TPS" 'BEGIN {
+        printf "bench: grid %.0f -> %.0f transitions/sec (%+.1f%% vs committed)\n",
+            old, new, (new - old) / old * 100
+    }'
+else
+    awk -v new="${NEW_TPS:-0}" 'BEGIN {
+        printf "bench: grid %.0f transitions/sec (no committed file to compare)\n", new
+    }'
+fi
 echo "bench: wrote $OUT"

@@ -27,4 +27,7 @@ sh scripts/trace_smoke.sh
 echo "== baseline gate =="
 sh scripts/baseline_check.sh
 
+echo "== perf smoke =="
+sh scripts/perf_smoke.sh
+
 echo "ci: all checks passed"

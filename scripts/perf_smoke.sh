@@ -1,0 +1,51 @@
+#!/bin/sh
+# Perf regression gate: reruns the iteration-scaled benchmark grid and
+# fails if simulated-transition throughput dropped more than 30% below
+# the committed BENCH_runner.json. Catches accidental de-optimization of
+# the loop compiler (a disabled compile path shows up as a ~10x drop,
+# far past the gate).
+#
+# Escape hatch for known-slow machines: HVX_PERF_SMOKE_SKIP=1 skips the
+# comparison (the grid still runs, so correctness checks still bite).
+#
+# usage: scripts/perf_smoke.sh [JOBS]
+set -eu
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+COMMITTED="BENCH_runner.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+grid_tps() {
+    sed -n 's/.*"grid_transitions_per_sec": \([0-9.eE+-]*\).*/\1/p' "$1" | head -n 1
+}
+
+cargo build --release -p hvx-suite
+./target/release/hvx-repro --bench "$TMP/bench.json" --jobs "$JOBS"
+NEW_TPS="$(grid_tps "$TMP/bench.json")"
+
+if [ "${HVX_PERF_SMOKE_SKIP:-0}" = "1" ]; then
+    echo "perf-smoke: HVX_PERF_SMOKE_SKIP=1, skipping throughput comparison"
+    echo "perf-smoke: measured $NEW_TPS transitions/sec"
+    exit 0
+fi
+
+if [ ! -f "$COMMITTED" ]; then
+    echo "perf-smoke: no committed $COMMITTED; run scripts/bench_runner.sh first" >&2
+    exit 1
+fi
+OLD_TPS="$(grid_tps "$COMMITTED")"
+if [ -z "$OLD_TPS" ] || [ -z "$NEW_TPS" ]; then
+    echo "perf-smoke: could not read grid_transitions_per_sec" >&2
+    exit 1
+fi
+
+awk -v old="$OLD_TPS" -v new="$NEW_TPS" 'BEGIN {
+    pct = (new - old) / old * 100
+    printf "perf-smoke: grid %.0f -> %.0f transitions/sec (%+.1f%%)\n", old, new, pct
+    if (new < old * 0.70) {
+        printf "perf-smoke: FAIL — throughput dropped more than 30%% below the committed baseline\n"
+        exit 1
+    }
+}'
+echo "perf-smoke: ok"
