@@ -50,6 +50,17 @@ pub enum Error {
         /// The unrecognized name.
         name: String,
     },
+    /// A vCPU scheduler name matched neither `credit` nor `cfs`.
+    UnknownScheduler {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A [`ScenarioSpec`](crate::ScenarioSpec) failed validation or did
+    /// not deserialize.
+    InvalidSpec {
+        /// What was wrong with it.
+        detail: String,
+    },
     /// The parallel runner was asked to run with zero worker threads.
     InvalidJobs {
         /// The rejected job count.
@@ -172,6 +183,10 @@ impl fmt::Display for Error {
             Error::UnknownScenario { name } => write!(f, "unknown scenario '{name}'"),
             Error::UnknownArtifact { name } => write!(f, "unknown artifact '{name}'"),
             Error::UnknownWorkload { name } => write!(f, "unknown workload '{name}'"),
+            Error::UnknownScheduler { name } => {
+                write!(f, "unknown scheduler '{name}' (expected 'credit' or 'cfs')")
+            }
+            Error::InvalidSpec { detail } => write!(f, "invalid scenario spec: {detail}"),
             Error::InvalidJobs { jobs } => {
                 write!(f, "invalid job count {jobs}: need at least one job")
             }

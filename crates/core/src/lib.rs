@@ -56,6 +56,8 @@ mod kvm_arm;
 mod native;
 pub mod sched;
 mod sim;
+pub mod spec;
+pub mod vcpu;
 mod x86;
 mod xen_arm;
 
@@ -69,6 +71,9 @@ pub use kvm_arm::{
     VIRTIO_IPA, VIRTIO_NET_VIRQ, VIRTIO_QUEUE_NOTIFY,
 };
 pub use native::Native;
+pub use sched::{CfsScheduler, CreditVcpuSched, SchedPolicy, VcpuScheduler};
 pub use sim::{Sim, SimBuilder, Workload, PAPER_VCPUS};
+pub use spec::{FaultSpec, ScenarioSpec, SpecShape, TopologySpec};
+pub use vcpu::{VCpu, VcpuState};
 pub use x86::{KvmX86, X86Hv, XenX86, RESCHED_VECTOR, VIRTIO_VECTOR};
 pub use xen_arm::{XenArm, DOMU, EVTCHN_VIRQ};

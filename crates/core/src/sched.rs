@@ -14,8 +14,331 @@
 //! one scheduling decision; this module decides *which* and *how many*
 //! decisions happen.)
 
+use crate::Error;
+use core::fmt;
 use hvx_engine::Cycles;
 use std::collections::VecDeque;
+
+/// Which hypervisor vCPU scheduler multiplexes vCPUs onto a physical
+/// CPU in the consolidation scenarios.
+///
+/// Both algorithms are deterministic: every decision is a pure function
+/// of integer scheduler state, so a consolidation cell simulates
+/// byte-identically regardless of host thread count or cache state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SchedPolicy {
+    /// Xen's credit1: weighted credit refill, UNDER/OVER classes, boost
+    /// on I/O wake ([`CreditScheduler`]).
+    Credit,
+    /// KVM's CFS-style fair scheduler: integer virtual runtime,
+    /// lowest-vruntime-first, wake placement against min_vruntime
+    /// ([`CfsScheduler`]).
+    Cfs,
+}
+
+impl SchedPolicy {
+    /// Both policies, in CLI/report order.
+    pub const ALL: [SchedPolicy; 2] = [SchedPolicy::Credit, SchedPolicy::Cfs];
+
+    /// Stable lowercase name (CLI, specs, fingerprints).
+    pub const fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::Credit => "credit",
+            SchedPolicy::Cfs => "cfs",
+        }
+    }
+
+    /// Parses a policy name.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownScheduler`] when the name matches neither policy.
+    pub fn parse(s: &str) -> Result<SchedPolicy, Error> {
+        SchedPolicy::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| Error::UnknownScheduler { name: s.into() })
+    }
+
+    /// Constructs the scheduler this policy names, as a trait object
+    /// ready to have vCPUs registered.
+    pub fn make(self) -> Box<dyn VcpuScheduler> {
+        match self {
+            SchedPolicy::Credit => Box::new(CreditVcpuSched::new()),
+            SchedPolicy::Cfs => Box::new(CfsScheduler::new()),
+        }
+    }
+}
+
+impl fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.name())
+    }
+}
+
+/// A pluggable per-pCPU hypervisor vCPU scheduler.
+///
+/// The consolidation simulator drives one instance per physical CPU:
+/// it registers the vCPUs pinned there, then interleaves [`pick`],
+/// cycle charges, blocks (WFI), wakes, and periodic [`tick`]s exactly
+/// as the modelled hypervisor's scheduler would see them. All state is
+/// integer and all tie-breaks are by registration order, so the same
+/// call sequence always yields the same decisions.
+///
+/// [`pick`]: VcpuScheduler::pick
+/// [`tick`]: VcpuScheduler::tick
+pub trait VcpuScheduler: fmt::Debug {
+    /// Registers a schedulable vCPU under a scheduling weight.
+    fn add_vcpu(&mut self, id: usize, weight: u32);
+    /// The vCPU currently on the CPU, if any.
+    fn current(&self) -> Option<usize>;
+    /// Picks the next vCPU to run (`None` = idle). Counts a context
+    /// switch when the decision changes the running vCPU.
+    fn pick(&mut self) -> Option<usize>;
+    /// Charges `cycles` of runtime against a vCPU's scheduling account.
+    fn charge_cycles(&mut self, id: usize, cycles: u64);
+    /// The vCPU blocks (WFI / waiting for an event).
+    fn block(&mut self, id: usize);
+    /// Wakes a blocked vCPU; returns `true` if it should preempt the
+    /// currently running one.
+    fn wake(&mut self, id: usize) -> bool;
+    /// The current vCPU is descheduled (end of timeslice or voluntary
+    /// yield): it goes back among the runnable.
+    fn yield_current(&mut self);
+    /// Periodic accounting tick (credit refill; a no-op for CFS, whose
+    /// accounting is continuous).
+    fn tick(&mut self);
+    /// Context switches performed so far.
+    fn switch_count(&self) -> u64;
+}
+
+/// Cycles of runtime that consume one credit: one accounting period's
+/// worth of CPU spread over [`CREDITS_PER_PERIOD`] credits.
+pub const CYCLES_PER_CREDIT: u64 = ACCT_PERIOD.as_u64() / CREDITS_PER_PERIOD as u64;
+
+/// [`CreditScheduler`] behind the [`VcpuScheduler`] interface:
+/// accumulates cycle charges into whole credits (remainders carry, so
+/// many small charges cost exactly what one big charge does).
+#[derive(Debug, Clone, Default)]
+pub struct CreditVcpuSched {
+    inner: CreditScheduler,
+    /// Sub-credit cycle remainders, indexed by vCPU id.
+    acc: Vec<u64>,
+}
+
+impl CreditVcpuSched {
+    /// Creates an empty runqueue and runs the first accounting pass on
+    /// registration, as Xen does when a domain starts.
+    pub fn new() -> Self {
+        CreditVcpuSched::default()
+    }
+
+    /// The wrapped credit scheduler (tests, reports).
+    pub fn inner(&self) -> &CreditScheduler {
+        &self.inner
+    }
+}
+
+impl VcpuScheduler for CreditVcpuSched {
+    fn add_vcpu(&mut self, id: usize, weight: u32) {
+        self.inner.add_vcpu(id, weight);
+        if self.acc.len() <= id {
+            self.acc.resize(id + 1, 0);
+        }
+        // Fresh vCPUs start with a period's share of credit, as after
+        // Xen's first accounting pass; without it everyone is OVER and
+        // boost-on-wake (which needs credit) never engages.
+        self.inner.account();
+    }
+    fn current(&self) -> Option<usize> {
+        self.inner.current()
+    }
+    fn pick(&mut self) -> Option<usize> {
+        self.inner.pick()
+    }
+    fn charge_cycles(&mut self, id: usize, cycles: u64) {
+        let total = self.acc[id] + cycles;
+        self.acc[id] = total % CYCLES_PER_CREDIT;
+        let credits = (total / CYCLES_PER_CREDIT) as i64;
+        if credits > 0 {
+            self.inner.charge(id, credits);
+        }
+    }
+    fn block(&mut self, id: usize) {
+        self.inner.block(id);
+    }
+    fn wake(&mut self, id: usize) -> bool {
+        self.inner.wake(id)
+    }
+    fn yield_current(&mut self) {
+        self.inner.yield_current();
+    }
+    fn tick(&mut self) {
+        self.inner.account();
+    }
+    fn switch_count(&self) -> u64 {
+        self.inner.switch_count()
+    }
+}
+
+/// The weight of a nice-0 task in CFS's fixed-point weight table; the
+/// vruntime of a nice-0 vCPU advances one cycle per cycle run.
+pub const NICE0_WEIGHT: u64 = 1024;
+
+/// Wake-placement credit: a woken vCPU's vruntime is pulled up to no
+/// less than `min_vruntime - WAKEUP_BONUS`, so sleepers get a bounded
+/// latency advantage without starving the runnable (CFS's
+/// `sched_latency/2` placement rule, in cycles).
+pub const WAKEUP_BONUS: u64 = 3_000_000;
+
+/// A woken vCPU preempts only if it undercuts the running vCPU's
+/// vruntime by at least this much (CFS's wakeup granularity, in
+/// cycles) — the anti-thrash hysteresis.
+pub const PREEMPT_GRANULARITY: u64 = 500_000;
+
+#[derive(Debug, Clone)]
+struct CfsEntry {
+    id: usize,
+    weight: u32,
+    vruntime: u64,
+    runnable: bool,
+}
+
+/// A KVM-style completely-fair scheduler over one physical CPU.
+///
+/// Integer virtual runtime only: `vruntime += cycles × NICE0 / weight`,
+/// the runnable vCPU with the smallest `(vruntime, id)` runs next, and
+/// wake placement clamps sleepers to just below the queue's minimum
+/// vruntime. No floats, no randomness — decisions replay exactly.
+///
+/// # Examples
+///
+/// ```
+/// use hvx_core::sched::{CfsScheduler, VcpuScheduler};
+///
+/// let mut s = CfsScheduler::new();
+/// s.add_vcpu(0, 1024);
+/// s.add_vcpu(1, 1024);
+/// assert_eq!(s.pick(), Some(0)); // equal vruntime: lowest id
+/// s.charge_cycles(0, 1_000_000);
+/// s.yield_current();
+/// assert_eq!(s.pick(), Some(1)); // 0 has run; 1 is now behind
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CfsScheduler {
+    entries: Vec<CfsEntry>,
+    current: Option<usize>,
+    switches: u64,
+    /// Monotonic floor used for wake placement.
+    min_vruntime: u64,
+}
+
+impl CfsScheduler {
+    /// Creates an empty runqueue.
+    pub fn new() -> Self {
+        CfsScheduler::default()
+    }
+
+    fn entry_mut(&mut self, id: usize) -> &mut CfsEntry {
+        self.entries
+            .iter_mut()
+            .find(|e| e.id == id)
+            .unwrap_or_else(|| panic!("vcpu {id} not registered"))
+    }
+
+    fn entry(&self, id: usize) -> &CfsEntry {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .unwrap_or_else(|| panic!("vcpu {id} not registered"))
+    }
+
+    /// A vCPU's current virtual runtime (tests, reports).
+    pub fn vruntime_of(&self, id: usize) -> u64 {
+        self.entry(id).vruntime
+    }
+}
+
+impl VcpuScheduler for CfsScheduler {
+    fn add_vcpu(&mut self, id: usize, weight: u32) {
+        assert!(weight > 0, "weight must be positive");
+        assert!(
+            self.entries.iter().all(|e| e.id != id),
+            "vcpu {id} already registered"
+        );
+        self.entries.push(CfsEntry {
+            id,
+            weight,
+            vruntime: self.min_vruntime,
+            runnable: true,
+        });
+    }
+
+    fn current(&self) -> Option<usize> {
+        self.current
+    }
+
+    fn pick(&mut self) -> Option<usize> {
+        let picked = self
+            .entries
+            .iter()
+            .filter(|e| e.runnable)
+            .min_by_key(|e| (e.vruntime, e.id))
+            .map(|e| e.id);
+        if let Some(id) = picked {
+            let v = self.entry(id).vruntime;
+            self.min_vruntime = self.min_vruntime.max(v);
+        }
+        if picked != self.current {
+            self.switches += 1;
+        }
+        self.current = picked;
+        picked
+    }
+
+    fn charge_cycles(&mut self, id: usize, cycles: u64) {
+        let e = self.entry_mut(id);
+        e.vruntime += cycles * NICE0_WEIGHT / u64::from(e.weight);
+    }
+
+    fn block(&mut self, id: usize) {
+        self.entry_mut(id).runnable = false;
+        if self.current == Some(id) {
+            self.current = None;
+        }
+    }
+
+    fn wake(&mut self, id: usize) -> bool {
+        let floor = self.min_vruntime.saturating_sub(WAKEUP_BONUS);
+        let current_v = self.current.map(|c| self.entry(c).vruntime);
+        let e = self.entry_mut(id);
+        if e.runnable {
+            return false;
+        }
+        e.runnable = true;
+        // Long sleepers re-enter near the front of the queue but never
+        // with unbounded banked runtime.
+        e.vruntime = e.vruntime.max(floor);
+        let woken_v = e.vruntime;
+        match current_v {
+            None => true,
+            Some(cv) => woken_v + PREEMPT_GRANULARITY < cv,
+        }
+    }
+
+    fn yield_current(&mut self) {
+        self.current = None;
+    }
+
+    fn tick(&mut self) {
+        // CFS accounts continuously in charge_cycles; the periodic tick
+        // has no batch refill to perform.
+    }
+
+    fn switch_count(&self) -> u64 {
+        self.switches
+    }
+}
 
 /// Scheduling priority, as in Xen's credit1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

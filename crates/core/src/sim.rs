@@ -9,12 +9,13 @@
 //! cost model), and [`SimBuilder::build`] validates the combination and
 //! returns a ready [`Sim`].
 
+use crate::spec::{ScenarioSpec, TopologySpec};
 use crate::{
     CostModel, Error, HvKind, Hypervisor, KvmArm, KvmX86, Native, Platform, VirqPolicy, XenArm,
     XenX86,
 };
 use core::fmt;
-use hvx_engine::{FaultPlan, TraceMode};
+use hvx_engine::{FaultPlan, TraceMode, Watchdog};
 
 /// The number of VCPUs of the paper's measured VM configuration (§III:
 /// "we configured both hypervisors with 4-way SMP virtual machines").
@@ -141,15 +142,15 @@ impl fmt::Display for Workload {
 #[derive(Debug, Clone)]
 #[must_use = "a builder does nothing until .build() is called"]
 pub struct SimBuilder {
-    kind: HvKind,
-    cpus: usize,
-    workload: Option<Workload>,
+    /// The single source of scenario identity: everything the fluent
+    /// methods below set lands here, and [`SimBuilder::build`] reads
+    /// only from it (plus the observability knobs, which are not part
+    /// of a scenario's identity).
+    spec: ScenarioSpec,
     trace: TraceMode,
     trace_enabled: bool,
     profiling: bool,
-    policy: VirqPolicy,
     cost: Option<CostModel>,
-    fault_plan: Option<FaultPlan>,
     event_tracing: bool,
     event_ring: Option<usize>,
 }
@@ -158,26 +159,43 @@ impl SimBuilder {
     /// Starts a builder for `kind` with the paper's defaults: 4 VCPUs,
     /// full tracing, profiling off, interrupts to VCPU0.
     pub fn new(kind: HvKind) -> SimBuilder {
+        SimBuilder::from_spec(ScenarioSpec::paper(kind))
+    }
+
+    /// Starts a builder from an explicit [`ScenarioSpec`] (e.g. one
+    /// deserialized from a `--spec` file). Observability knobs (trace
+    /// mode, profiling, event tracing, cost overrides) are not part of
+    /// a spec and start at their defaults.
+    pub fn from_spec(spec: ScenarioSpec) -> SimBuilder {
         SimBuilder {
-            kind,
-            cpus: PAPER_VCPUS,
-            workload: None,
+            spec,
             trace: TraceMode::Full,
             trace_enabled: true,
             profiling: false,
-            policy: VirqPolicy::Vcpu0,
             cost: None,
-            fault_plan: None,
             event_tracing: false,
             event_ring: None,
         }
+    }
+
+    /// The scenario spec this builder has accumulated so far —
+    /// serialize it to get the `--spec` file equivalent to this
+    /// builder chain.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
     }
 
     /// Requests `cpus` VCPUs. The models implement exactly the paper's
     /// pinned [`PAPER_VCPUS`]-way SMP configuration; any other value is
     /// rejected by [`SimBuilder::build`].
     pub fn cpus(mut self, cpus: usize) -> SimBuilder {
-        self.cpus = cpus;
+        let n = u32::try_from(cpus).unwrap_or(u32::MAX);
+        self.spec.topology = TopologySpec {
+            hosts: 1,
+            pcpus: n,
+            vms: 1,
+            vcpus_per_vm: n,
+        };
         self
     }
 
@@ -185,7 +203,7 @@ impl SimBuilder {
     /// annotation on the [`Sim`] — the suite's workload engine reads it
     /// back via [`Sim::workload`] to pick the operation mix.
     pub fn workload(mut self, workload: Workload) -> SimBuilder {
-        self.workload = Some(workload);
+        self.spec.workload = Some(workload);
         self
     }
 
@@ -214,7 +232,15 @@ impl SimBuilder {
 
     /// Sets the virtual-interrupt distribution policy (the §V ablation).
     pub fn virq_policy(mut self, policy: VirqPolicy) -> SimBuilder {
-        self.policy = policy;
+        self.spec.virq_policy = policy;
+        self
+    }
+
+    /// Sets the watchdog limits the built machine enforces on every
+    /// charge. [`Watchdog::UNLIMITED`] (the default) leaves the machine
+    /// byte-identical to one built without this call.
+    pub fn watchdog(mut self, watchdog: Watchdog) -> SimBuilder {
+        self.spec.watchdog = watchdog;
         self
     }
 
@@ -252,7 +278,7 @@ impl SimBuilder {
     /// state and the simulation is byte-identical to the fault-free
     /// default.
     pub fn fault_plan(mut self, plan: FaultPlan) -> SimBuilder {
-        self.fault_plan = Some(plan);
+        self.spec.set_fault_plan(&plan);
         self
     }
 
@@ -260,23 +286,27 @@ impl SimBuilder {
     ///
     /// # Errors
     ///
-    /// [`Error::InvalidCpus`] if the VCPU count is not [`PAPER_VCPUS`].
+    /// [`Error::InvalidCpus`] if the VCPU count is not [`PAPER_VCPUS`]
+    /// (consolidation topologies are run by `hvx-suite`'s consolidation
+    /// module, not through `build`).
     pub fn build(self) -> Result<Sim, Error> {
-        if self.cpus != PAPER_VCPUS {
+        if self.spec.topology != TopologySpec::paper() {
             return Err(Error::InvalidCpus {
-                requested: self.cpus,
+                requested: self.spec.topology.vcpus_per_vm as usize,
                 supported: PAPER_VCPUS,
             });
         }
+        let fault_plan = self.spec.fault_plan()?;
         // Drift drill: `HVX_COST_PERTURB` mutates the *effective*
         // charging constants without touching the pinned `CostModel`
         // consts that scenario fingerprints hash — the exact condition
         // the baseline gate must classify as drift. The x86 models
         // ignore cost overrides, so perturbation reaches the ARM and
         // native paths (all Figure 4 columns the gate profiles).
+        let kind = self.spec.hypervisor;
         let cost = match std::env::var("HVX_COST_PERTURB") {
             Ok(spec) if !spec.trim().is_empty() => {
-                let mut c = self.cost.unwrap_or_else(|| match self.kind.platform() {
+                let mut c = self.cost.unwrap_or_else(|| match kind.platform() {
                     Platform::X86 => CostModel::x86(),
                     _ => CostModel::arm(),
                 });
@@ -286,7 +316,7 @@ impl SimBuilder {
             }
             _ => self.cost,
         };
-        let mut hv: Box<dyn Hypervisor> = match (self.kind, cost) {
+        let mut hv: Box<dyn Hypervisor> = match (kind, cost) {
             (HvKind::KvmArm, Some(c)) => Box::new(KvmArm::with_cost(c, false)),
             (HvKind::KvmArm, None) => Box::new(KvmArm::new()),
             (HvKind::KvmArmVhe, Some(c)) => Box::new(KvmArm::with_cost(c, true)),
@@ -307,13 +337,16 @@ impl SimBuilder {
         if self.event_tracing {
             machine.enable_event_tracing(self.event_ring);
         }
-        if let Some(plan) = self.fault_plan {
+        if let Some(plan) = fault_plan {
             machine.set_fault_plan(plan);
         }
-        hv.set_virq_policy(self.policy);
+        if self.spec.watchdog != Watchdog::UNLIMITED {
+            machine.set_watchdog(self.spec.watchdog);
+        }
+        hv.set_virq_policy(self.spec.virq_policy);
         Ok(Sim {
             hv,
-            workload: self.workload,
+            workload: self.spec.workload,
         })
     }
 }

@@ -238,6 +238,40 @@ impl FaultPlan {
         }
         Ok(plan)
     }
+
+    /// Renders the plan back to [`FaultPlan::parse`] syntax.
+    ///
+    /// The round trip is exact: rates are stored as integer
+    /// parts-per-million and rendered as `<ppm>e-6`, which
+    /// [`FaultPlan::with_rate`] re-quantizes to the same integer, so
+    /// `FaultPlan::parse(&plan.to_spec(), plan.seed()) == plan` for
+    /// every plan. An empty plan renders as the empty string, which
+    /// parses back to an empty plan.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hvx_engine::fault::{FaultPlan, FaultPoint};
+    ///
+    /// let plan = FaultPlan::new(9)
+    ///     .with_rate(FaultPoint::WireDrop, 0.05)
+    ///     .with_occurrence(FaultPoint::VirqDrop, 3);
+    /// assert_eq!(plan.to_spec(), "wire_drop=50000e-6,virq_drop@3");
+    /// assert_eq!(FaultPlan::parse(&plan.to_spec(), 9).unwrap(), plan);
+    /// ```
+    pub fn to_spec(&self) -> String {
+        let mut clauses = Vec::new();
+        for point in FaultPoint::ALL {
+            let ppm = self.rate_ppm[point.index()];
+            if ppm > 0 {
+                clauses.push(format!("{point}={ppm}e-6"));
+            }
+            for &occ in &self.schedule[point.index()] {
+                clauses.push(format!("{point}@{occ}"));
+            }
+        }
+        clauses.join(",")
+    }
 }
 
 /// Per-machine fault state: the plan plus occurrence counters.
@@ -315,7 +349,7 @@ fn decision(seed: u64, point: FaultPoint, occurrence: u64) -> u64 {
 
 /// In-simulation watchdog limits, enforced by
 /// [`Machine::charge`](crate::Machine::charge).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Watchdog {
     /// Trip once total charged cycles exceed this budget.
     pub cycle_budget: Option<u64>,

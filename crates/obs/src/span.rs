@@ -91,11 +91,17 @@ pub enum TransitionId {
     /// Guest TCP retransmit-timer processing (timeout detection plus
     /// the retransmitted segment's stack work).
     TcpRetransmit,
+    /// Hypervisor scheduler-timer interrupt: timeslice expiry handling
+    /// on an oversubscribed pCPU (consolidation scenarios).
+    SchedTimer,
+    /// Guest cycles burnt spinning on a lock whose holder vCPU was
+    /// preempted by the hypervisor scheduler (lock-holder preemption).
+    LockHolderSpin,
 }
 
 impl TransitionId {
     /// Every transition, in breakdown-table row order.
-    pub const ALL: [TransitionId; 30] = [
+    pub const ALL: [TransitionId; 32] = [
         TransitionId::GuestRun,
         TransitionId::GuestStack,
         TransitionId::TrapToEl2,
@@ -126,6 +132,8 @@ impl TransitionId {
         TransitionId::EvtchnRedeliver,
         TransitionId::GrantRetry,
         TransitionId::TcpRetransmit,
+        TransitionId::SchedTimer,
+        TransitionId::LockHolderSpin,
     ];
 
     /// Number of transition classes.
@@ -164,6 +172,8 @@ impl TransitionId {
             TransitionId::EvtchnRedeliver => "evtchn_redeliver",
             TransitionId::GrantRetry => "grant_retry",
             TransitionId::TcpRetransmit => "tcp_retransmit",
+            TransitionId::SchedTimer => "sched_timer",
+            TransitionId::LockHolderSpin => "lock_holder_spin",
         }
     }
 

@@ -28,8 +28,10 @@ use std::time::Instant;
 use hvx_core::{SimBuilder, VirqPolicy};
 use serde::Serialize;
 
+use crate::consolidation;
 use crate::paper;
 use crate::workloads::{self, catalog};
+use hvx_core::SchedPolicy;
 
 /// Default iteration multiplier. Chosen so the serial pass simulates
 /// well past 10^8 transitions in roughly a second of host time: small
@@ -58,8 +60,9 @@ pub struct GridReport {
     pub scale: u32,
     /// Worker threads used by the parallel pass.
     pub jobs: usize,
-    /// All 36 cells, in catalog × column order (from the serial pass;
-    /// the parallel pass is asserted identical).
+    /// All cells — the Figure 4 block in catalog × column order, then
+    /// the consolidation block in column × ratio order (from the serial
+    /// pass; the parallel pass is asserted identical).
     pub cells: Vec<GridCell>,
     /// Total simulated transitions across the grid (one pass).
     pub transitions: u64,
@@ -68,34 +71,74 @@ pub struct GridReport {
     /// Wall-clock of the parallel pass, seconds. Equal to
     /// `serial_seconds` when `jobs == 1` (the pass is skipped).
     pub parallel_seconds: f64,
-    /// Simulated transitions per serial wall-second — the headline
+    /// Figure 4 transitions per serial wall-second — the headline
     /// throughput the perf-smoke gate tracks.
     pub grid_transitions_per_sec: f64,
     /// `serial_seconds / parallel_seconds` (1.0 when `jobs == 1`).
     pub parallel_speedup: f64,
+    /// Transitions charged by the consolidation-sweep segment alone.
+    pub consolidation_transitions: u64,
+    /// Serial wall-clock of the consolidation segment, seconds.
+    pub consolidation_serial_seconds: f64,
+    /// Consolidation-sweep transitions per serial wall-second — the
+    /// scheduler/SMP path's own throughput number.
+    pub sweep_transitions_per_sec: f64,
 }
 
 /// One measured cell: makespan in cycles (`None` if rejected) and
 /// transitions charged.
 type CellMeasure = (Option<u64>, u64);
 
+/// One unit of grid work: a Figure 4 cell or a consolidation cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GridItem {
+    /// `catalog()[workload]` on `paper::COLUMNS[column]`, scaled.
+    Fig4 { workload: usize, column: usize },
+    /// `paper::COLUMNS[column]` at `ratio`:1 under the credit
+    /// scheduler, transaction count scaled.
+    Consol { column: usize, ratio: u32 },
+}
+
+/// Consolidation ratios the grid samples (the endpoints plus the knee;
+/// the full [`consolidation::RATIOS`] sweep belongs to the artifact).
+const GRID_RATIOS: [u32; 3] = [1, 4, 16];
+
 /// Runs one cell on a fresh machine and returns `(makespan,
 /// transitions charged)`. Honors the ambient `HVX_COMPILE` toggle, so
 /// `HVX_COMPILE=off hvx-repro bench` measures the interpreter.
-fn run_cell(workload: usize, column: usize, scale: u32) -> CellMeasure {
-    let mix = catalog()[workload].mix.scaled(scale);
-    let kind = paper::COLUMNS[column];
+fn run_cell(item: GridItem, scale: u32) -> CellMeasure {
     let before = hvx_engine::thread_transitions();
-    let makespan = SimBuilder::new(kind)
-        .build()
-        .ok()
-        .map(|sim| sim.into_inner())
-        .and_then(|mut hv| {
-            workloads::run(hv.as_mut(), mix, VirqPolicy::Vcpu0)
+    let makespan = match item {
+        GridItem::Fig4 { workload, column } => {
+            let mix = catalog()[workload].mix.scaled(scale);
+            let kind = paper::COLUMNS[column];
+            SimBuilder::new(kind)
+                .build()
                 .ok()
-                .map(|c| c.as_u64())
-        });
+                .map(|sim| sim.into_inner())
+                .and_then(|mut hv| {
+                    workloads::run(hv.as_mut(), mix, VirqPolicy::Vcpu0)
+                        .ok()
+                        .map(|c| c.as_u64())
+                })
+        }
+        GridItem::Consol { column, ratio } => consolidation::run_cell(
+            paper::COLUMNS[column],
+            ratio,
+            SchedPolicy::Credit,
+            consol_txns(scale),
+            workloads::compile_enabled(),
+        )
+        .ok()
+        .map(|c| c.makespan_cycles),
+    };
     (makespan, hvx_engine::thread_transitions() - before)
+}
+
+/// Transactions per VM for grid consolidation cells, scaled like the
+/// Figure 4 iteration counts.
+fn consol_txns(scale: u32) -> u32 {
+    (scale * 2).max(consolidation::TRANSACTIONS_PER_VM)
 }
 
 /// Measures the grid: serial pass, parallel pass (when `jobs > 1`),
@@ -114,12 +157,36 @@ pub fn run(jobs: usize, scale: u32) -> GridReport {
 /// [`run`] with the hardware-parallelism clamp optional, so tests can
 /// force the worker pool (and its identity check) on any host.
 fn run_inner(jobs: usize, scale: u32, clamp_to_hw: bool) -> GridReport {
-    let pairs: Vec<(usize, usize)> = (0..catalog().len())
-        .flat_map(|w| (0..paper::COLUMNS.len()).map(move |c| (w, c)))
+    let mut items: Vec<GridItem> = (0..catalog().len())
+        .flat_map(|w| {
+            (0..paper::COLUMNS.len()).map(move |c| GridItem::Fig4 {
+                workload: w,
+                column: c,
+            })
+        })
         .collect();
+    let fig4_items = items.len();
+    for column in 0..paper::COLUMNS.len() {
+        for ratio in GRID_RATIOS {
+            items.push(GridItem::Consol { column, ratio });
+        }
+    }
 
+    // Serial pass: the Figure 4 segment and the consolidation segment
+    // are timed separately so each path gets its own throughput number.
     let serial_start = Instant::now();
-    let serial: Vec<CellMeasure> = pairs.iter().map(|&(w, c)| run_cell(w, c, scale)).collect();
+    let mut serial: Vec<CellMeasure> = items[..fig4_items]
+        .iter()
+        .map(|&item| run_cell(item, scale))
+        .collect();
+    let fig4_seconds = serial_start.elapsed().as_secs_f64();
+    let consol_start = Instant::now();
+    serial.extend(
+        items[fig4_items..]
+            .iter()
+            .map(|&item| run_cell(item, scale)),
+    );
+    let consolidation_serial_seconds = consol_start.elapsed().as_secs_f64();
     let serial_seconds = serial_start.elapsed().as_secs_f64();
 
     // More workers than hardware threads is pure oversubscription —
@@ -130,18 +197,18 @@ fn run_inner(jobs: usize, scale: u32, clamp_to_hw: bool) -> GridReport {
     } else {
         usize::MAX
     };
-    let workers = jobs.min(pairs.len()).min(hw);
+    let workers = jobs.min(items.len()).min(hw);
     let (parallel_seconds, parallel) = if workers > 1 {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<CellMeasure>>> =
-            pairs.iter().map(|_| Mutex::new(None)).collect();
+            items.iter().map(|_| Mutex::new(None)).collect();
         let start = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(w, c)) = pairs.get(idx) else { break };
-                    let cell = run_cell(w, c, scale);
+                    let Some(&item) = items.get(idx) else { break };
+                    let cell = run_cell(item, scale);
                     *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) = Some(cell);
                 });
             }
@@ -162,28 +229,35 @@ fn run_inner(jobs: usize, scale: u32, clamp_to_hw: bool) -> GridReport {
 
     if let Some(parallel) = &parallel {
         for (i, (s, p)) in serial.iter().zip(parallel).enumerate() {
-            let (w, c) = pairs[i];
             assert_eq!(
-                s,
-                p,
-                "grid cell {}/{} diverged between serial and parallel passes",
-                catalog()[w].name,
-                paper::COLUMNS[c]
+                s, p,
+                "grid cell {:?} diverged between serial and parallel passes",
+                items[i]
             );
         }
     }
 
-    let cells: Vec<GridCell> = pairs
+    let cells: Vec<GridCell> = items
         .iter()
         .zip(&serial)
-        .map(|(&(w, c), &(makespan_cycles, transitions))| GridCell {
-            workload: catalog()[w].name,
-            column: paper::COLUMNS[c].to_string(),
-            makespan_cycles,
-            transitions,
+        .map(|(&item, &(makespan_cycles, transitions))| match item {
+            GridItem::Fig4 { workload, column } => GridCell {
+                workload: catalog()[workload].name,
+                column: paper::COLUMNS[column].to_string(),
+                makespan_cycles,
+                transitions,
+            },
+            GridItem::Consol { column, ratio } => GridCell {
+                workload: "Consolidation",
+                column: format!("{} {ratio}:1", paper::COLUMNS[column]),
+                makespan_cycles,
+                transitions,
+            },
         })
         .collect();
     let transitions: u64 = cells.iter().map(|c| c.transitions).sum();
+    let consolidation_transitions: u64 = cells[fig4_items..].iter().map(|c| c.transitions).sum();
+    let fig4_transitions = transitions - consolidation_transitions;
     GridReport {
         scale,
         jobs,
@@ -191,8 +265,12 @@ fn run_inner(jobs: usize, scale: u32, clamp_to_hw: bool) -> GridReport {
         transitions,
         serial_seconds,
         parallel_seconds,
-        grid_transitions_per_sec: transitions as f64 / serial_seconds.max(1e-9),
+        grid_transitions_per_sec: fig4_transitions as f64 / fig4_seconds.max(1e-9),
         parallel_speedup: serial_seconds / parallel_seconds.max(1e-9),
+        consolidation_transitions,
+        consolidation_serial_seconds,
+        sweep_transitions_per_sec: consolidation_transitions as f64
+            / consolidation_serial_seconds.max(1e-9),
     }
 }
 
@@ -213,6 +291,10 @@ pub fn render(r: &GridReport) -> String {
         "  parallel {:>8.3}s  {:.2}x with {} jobs\n",
         r.parallel_seconds, r.parallel_speedup, r.jobs
     ));
+    out.push_str(&format!(
+        "  sweep    {:>8.3}s  {:>12.0} transitions/sec ({} consolidation transitions)\n",
+        r.consolidation_serial_seconds, r.sweep_transitions_per_sec, r.consolidation_transitions
+    ));
     out
 }
 
@@ -227,8 +309,13 @@ mod tests {
     fn grid_cells_are_deterministic_and_nonempty() {
         let a = run(1, TEST_SCALE);
         let b = run(1, TEST_SCALE);
-        assert_eq!(a.cells.len(), catalog().len() * paper::COLUMNS.len());
+        assert_eq!(
+            a.cells.len(),
+            catalog().len() * paper::COLUMNS.len() + GRID_RATIOS.len() * paper::COLUMNS.len()
+        );
         assert!(a.transitions > 0);
+        assert!(a.consolidation_transitions > 0);
+        assert!(a.transitions > a.consolidation_transitions);
         for (x, y) in a.cells.iter().zip(&b.cells) {
             assert_eq!(
                 x.makespan_cycles, y.makespan_cycles,
@@ -248,6 +335,7 @@ mod tests {
         assert_eq!(r.jobs, 4);
         assert!(r.parallel_seconds > 0.0);
         assert!(r.grid_transitions_per_sec > 0.0);
+        assert!(r.sweep_transitions_per_sec > 0.0);
         assert!(render(&r).contains("benchmark grid"));
     }
 
@@ -256,6 +344,10 @@ mod tests {
         let small = run(1, 5);
         let big = run(1, 50);
         // 10x iterations => ~10x transitions (setup amortizes away).
-        assert!(big.transitions > small.transitions * 5);
+        // Compare the Figure 4 segment: consolidation transaction
+        // counts clamp to the artifact floor at these tiny scales.
+        let small_fig4 = small.transitions - small.consolidation_transitions;
+        let big_fig4 = big.transitions - big.consolidation_transitions;
+        assert!(big_fig4 > small_fig4 * 5);
     }
 }

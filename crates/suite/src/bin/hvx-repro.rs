@@ -3,10 +3,10 @@
 //! instrumentation-driven profiler.
 //!
 //! ```text
-//! hvx-repro [run] [--json DIR] [--jobs N] [--timing] [--bench FILE]
+//! hvx-repro run [--json DIR] [--jobs N] [--timing] [--bench FILE]
 //!           [--fault-plan SPEC] [--fault-seed N] [--keep-going]
 //!           [--cycle-budget N] [--livelock-limit N] [--wall-timeout SECS]
-//!           [--chaos KIND] [ARTIFACT...]
+//!           [--chaos KIND] [--spec FILE] [ARTIFACT...]
 //! hvx-repro bench --out FILE [--jobs N]
 //! hvx-repro profile [--scenario NAME]... [--jobs N] [--json DIR]
 //!           [--fault-plan SPEC] [--fault-seed N]
@@ -28,10 +28,15 @@
 //! a marked gap in its artifact and the process exits 3 (0 with
 //! `--keep-going`, which demotes failures to stderr warnings).
 //!
-//! Invoking the binary with no subcommand (or with legacy flags and
-//! artifact names directly) behaves exactly like `run`: it reproduces
-//! the requested artifact matrix. `--jobs N` fans independent scenarios
-//! across N OS threads; output is byte-identical to `--jobs 1`.
+//! Invoking the binary with no arguments at all behaves like `run`
+//! with every artifact. The historical pre-subcommand spelling
+//! (`hvx-repro table2 --jobs 2` and friends) is retired: any first
+//! token that is not a subcommand exits 2 with a pointer to the
+//! equivalent `run` invocation. `run --spec FILE` runs the single
+//! scenario a JSON [`ScenarioSpec`](hvx_core::ScenarioSpec) file
+//! describes instead of an artifact matrix. `--jobs N` fans
+//! independent scenarios across N OS threads; output is byte-identical
+//! to `--jobs 1`.
 //! `--timing` reports per-artifact wall-clock on stderr. `--bench FILE`
 //! (or the `bench` subcommand) times the full suite serial then
 //! parallel, checks the outputs match byte-for-byte, and writes the
@@ -64,9 +69,10 @@ use hvx_suite::cache::ResultCache;
 use hvx_suite::diff;
 use hvx_suite::profile::{self, ProfileScenario};
 use hvx_suite::runner::{self, ArtifactId, ChaosKind, RunnerConfig};
+use hvx_suite::spec_run;
 use hvx_suite::trace::{self, TraceScenario};
 use serde::Serialize;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -109,8 +115,9 @@ struct TraceQueryArgs {
 fn usage() -> String {
     let names: Vec<&str> = ArtifactId::ALL.iter().map(|a| a.cli_name()).collect();
     format!(
-        "usage: hvx-repro [run] [--json DIR] [--jobs N] [--timing] [--bench FILE]\n\
-         \x20               [--cache DIR] [ARTIFACT...]\n\
+        "usage: hvx-repro run [--json DIR] [--jobs N] [--timing] [--bench FILE]\n\
+         \x20               [--cache DIR] [--spec FILE] [ARTIFACT...]\n\
+         \x20               (no arguments at all: same as 'run all')\n\
          \x20      hvx-repro bench --out FILE [--jobs N]\n\
          \x20      hvx-repro profile [--scenario NAME]... [--jobs N] [--json DIR]\n\
          \x20      hvx-repro trace SCENARIO [--hypervisor HV] [--out FILE] [--ring N]\n\
@@ -123,6 +130,10 @@ fn usage() -> String {
          run/profile fault options:\n\
          \x20 --fault-plan SPEC    inject faults, e.g. 'wire_drop=0.02,grant_copy_fail=0.01'\n\
          \x20 --fault-seed N       seed for the fault plan's deterministic RNG (default 42)\n\
+         run spec option:\n\
+         \x20 --spec FILE          run the one scenario a JSON ScenarioSpec file\n\
+         \x20                      describes (paper or consolidation shape) and print\n\
+         \x20                      its report; combines with no other run options\n\
          run robustness options:\n\
          \x20 --keep-going         report failed scenarios on stderr but exit 0\n\
          \x20 --cycle-budget N     abort any scenario past N simulated cycles (timed out)\n\
@@ -148,6 +159,7 @@ fn usage() -> String {
 
 enum Parsed {
     Run(RunArgs),
+    SpecRun(PathBuf),
     Bench { out: PathBuf, jobs: usize },
     Profile(ProfileArgs),
     TraceRun(TraceRunArgs),
@@ -184,9 +196,11 @@ fn build_fault_plan(spec: Option<&str>, seed: u64) -> Result<Option<FaultPlan>, 
         .transpose()
 }
 
-/// Parses the legacy flag set (also the `run` subcommand's flags).
+/// Parses the `run` subcommand's flags (also what a bare `hvx-repro`
+/// invocation gets: run everything with the defaults).
 fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
     let mut json_dir = None;
+    let mut spec = None;
     let mut jobs = default_jobs();
     let mut timing = false;
     let mut bench = None;
@@ -208,6 +222,10 @@ fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
             "--cache" => {
                 let dir = it.next().ok_or("--cache requires a directory")?;
                 cache_dir = Some(PathBuf::from(dir));
+            }
+            "--spec" => {
+                let file = it.next().ok_or("--spec requires a spec file")?;
+                spec = Some(PathBuf::from(file));
             }
             "--jobs" => jobs = parse_jobs(it)?,
             "--timing" => timing = true,
@@ -247,6 +265,51 @@ fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
                 None => return Err(format!("unknown artifact '{other}'; try --help")),
             },
         }
+    }
+    if let Some(path) = spec {
+        // A spec file is the single source of truth for its scenario;
+        // conflicting knobs are rejected, never silently dropped.
+        let mut extra = Vec::new();
+        if json_dir.is_some() {
+            extra.push("--json");
+        }
+        if timing {
+            extra.push("--timing");
+        }
+        if bench.is_some() {
+            extra.push("--bench");
+        }
+        if fault_spec.is_some() {
+            extra.push("--fault-plan");
+        }
+        if keep_going {
+            extra.push("--keep-going");
+        }
+        if cycle_budget.is_some() {
+            extra.push("--cycle-budget");
+        }
+        if livelock_limit.is_some() {
+            extra.push("--livelock-limit");
+        }
+        if wall_timeout.is_some() {
+            extra.push("--wall-timeout");
+        }
+        if !chaos.is_empty() {
+            extra.push("--chaos");
+        }
+        if cache_dir.is_some() {
+            extra.push("--cache");
+        }
+        if !requested.is_empty() {
+            extra.push("artifact names");
+        }
+        if !extra.is_empty() {
+            return Err(format!(
+                "--spec runs exactly the scenario the file describes; drop {}",
+                extra.join(", ")
+            ));
+        }
+        return Ok(Parsed::SpecRun(path));
     }
     if requested.is_empty() {
         requested.extend(ArtifactId::ALL);
@@ -532,9 +595,15 @@ fn parse_args() -> Result<Parsed, String> {
                 )),
             }
         }
-        // Compat shim: no subcommand means the legacy interface — flags
-        // and artifact names straight on the command line.
-        _ => parse_run(&mut it),
+        Some("--help" | "-h") => Ok(Parsed::Help),
+        // Bare `hvx-repro` still reproduces everything; the historical
+        // pre-subcommand spelling (artifact names or flags as the first
+        // token) is retired and points at the `run` equivalent.
+        None => parse_run(&mut it),
+        Some(other) => Err(format!(
+            "the no-subcommand interface has been retired; \
+             use 'hvx-repro run {other} ...' instead (try --help)"
+        )),
     }
 }
 
@@ -774,6 +843,14 @@ fn run(args: &RunArgs) -> Result<(), Error> {
     }
 }
 
+/// `run --spec FILE`: load the scenario spec, run the one scenario it
+/// describes, print its report.
+fn run_spec_file(path: &Path) -> Result<(), Error> {
+    let spec = spec_run::load(path)?;
+    print!("{}", spec_run::run_spec(&spec)?);
+    Ok(())
+}
+
 fn run_profile(args: &ProfileArgs) -> Result<(), Error> {
     let reports = profile::run_profiles_with(&args.scenarios, args.jobs, args.fault_plan.as_ref())?;
     print!("{}", profile::render_profiles(&reports));
@@ -873,6 +950,7 @@ fn main() {
             return;
         }
         Parsed::Run(args) => run(args),
+        Parsed::SpecRun(path) => run_spec_file(path),
         Parsed::Bench { out, jobs } => bench(out, *jobs),
         Parsed::Profile(args) => run_profile(args),
         Parsed::TraceRun(args) => trace_run(args),

@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Part of every fingerprint **and** the cache/baseline directory
 /// layout: bumping it invalidates all cached entries and turns every
 /// baseline divergence into an expected `schema-bump` instead of drift.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Computes the content fingerprint of one scenario under one runner
 /// configuration, or `None` for scenarios that must never be cached
@@ -84,6 +84,17 @@ pub fn scenario_fingerprint(scenario: Scenario, cfg: &RunnerConfig) -> Option<Fi
             h.write_serialize(workloads::catalog().get(workload)?);
             h.write_str(&paper::COLUMNS.get(column)?.to_string());
         }
+        Scenario::ConsolidationCell {
+            column,
+            ratio,
+            sched,
+        } => {
+            h.write_str("consolidation-cell");
+            h.write_str(&crate::paper::COLUMNS.get(column)?.to_string());
+            h.write_u64(u64::from(ratio));
+            h.write_str(sched.name());
+            h.write_u64(u64::from(crate::consolidation::TRANSACTIONS_PER_VM));
+        }
         Scenario::Ablation(a) => {
             h.write_str("ablation");
             h.write_str(a.cli_name());
@@ -108,6 +119,7 @@ fn encode_output(output: &Output) -> Option<(&'static str, Value)> {
         Output::Vapic(v) => ("vapic", v.serialize()),
         Output::Storage(s) => ("storage", s.serialize()),
         Output::Oversub(o) => ("oversub", o.serialize()),
+        Output::Consolidation(c) => ("consolidation-cell", c.serialize()),
         Output::FaultRec(f) => ("faultrec", f.serialize()),
         Output::Chaos => return None,
     })
@@ -127,6 +139,7 @@ fn decode_output(tag: &str, payload: &Value) -> Option<Output> {
         "vapic" => Output::Vapic(Deserialize::deserialize(payload).ok()?),
         "storage" => Output::Storage(Deserialize::deserialize(payload).ok()?),
         "oversub" => Output::Oversub(Deserialize::deserialize(payload).ok()?),
+        "consolidation-cell" => Output::Consolidation(Deserialize::deserialize(payload).ok()?),
         "faultrec" => Output::FaultRec(Deserialize::deserialize(payload).ok()?),
         _ => return None,
     })

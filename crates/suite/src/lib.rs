@@ -28,6 +28,7 @@
 pub mod ablations;
 pub mod bench_grid;
 pub mod cache;
+pub mod consolidation;
 pub mod diff;
 pub mod fig4;
 pub mod micro;
@@ -35,6 +36,7 @@ pub mod netperf;
 pub mod paper;
 pub mod profile;
 pub mod runner;
+pub mod spec_run;
 pub mod table3;
 pub mod trace;
 pub mod workloads;

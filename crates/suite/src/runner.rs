@@ -20,8 +20,8 @@
 //! # Ok::<(), hvx_core::Error>(())
 //! ```
 
-use crate::{ablations, fig4, micro, netperf, paper, table3, workloads};
-use hvx_core::{Error, Hypervisor, KvmArm, ScenarioFailureKind, VirqPolicy};
+use crate::{ablations, consolidation, fig4, micro, netperf, paper, table3, workloads};
+use hvx_core::{Error, Hypervisor, KvmArm, ScenarioFailureKind, SchedPolicy, VirqPolicy};
 use hvx_engine::{fault, Cycles, EventQueue, FaultPlan, TraceKind, Watchdog};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -142,6 +142,16 @@ pub enum Scenario {
         /// Column index into [`paper::COLUMNS`].
         column: usize,
     },
+    /// One consolidation-sweep cell: `paper::COLUMNS[column]` at
+    /// `ratio`:1 vCPU:pCPU oversubscription under `sched`.
+    ConsolidationCell {
+        /// Column index into [`paper::COLUMNS`].
+        column: usize,
+        /// vCPU:pCPU ratio (= VMs sharing the pCPU pair).
+        ratio: u32,
+        /// The hypervisor vCPU scheduler.
+        sched: SchedPolicy,
+    },
     /// One ablation study.
     Ablation(ArtifactId),
     /// A deliberately misbehaving scenario for exercising the runner's
@@ -190,6 +200,9 @@ impl Scenario {
             Scenario::Table3 => 5,
             Scenario::Table5 { transactions } => 10 + transactions as u64 / 5,
             Scenario::Fig4Cell { .. } => 25,
+            // Contended cells interpret 2×ratio vCPUs; cost scales
+            // roughly with the ratio.
+            Scenario::ConsolidationCell { ratio, .. } => 5 + u64::from(ratio) / 2,
             Scenario::Ablation(ArtifactId::Oversub) => 15,
             Scenario::Ablation(ArtifactId::FaultRec) => 20,
             Scenario::Ablation(_) => 5,
@@ -210,6 +223,16 @@ impl Scenario {
                     .get(column)
                     .map_or_else(|| "?".to_string(), |k| k.to_string());
                 format!("fig4[{w}/{hv}]")
+            }
+            Scenario::ConsolidationCell {
+                column,
+                ratio,
+                sched,
+            } => {
+                let hv = paper::COLUMNS
+                    .get(column)
+                    .map_or_else(|| "?".to_string(), |k| k.to_string());
+                format!("oversub[{hv}/{ratio}:1/{sched}]")
             }
             Scenario::Ablation(a) => a.cli_name().to_string(),
             Scenario::Chaos(k) => format!("chaos-{}", k.name()),
@@ -240,6 +263,17 @@ impl Scenario {
                     VirqPolicy::Vcpu0,
                 )?)
             }
+            Scenario::ConsolidationCell {
+                column,
+                ratio,
+                sched,
+            } => Output::Consolidation(consolidation::run_cell(
+                paper::COLUMNS[column],
+                ratio,
+                sched,
+                consolidation::TRANSACTIONS_PER_VM,
+                workloads::compile_enabled(),
+            )?),
             Scenario::Ablation(ArtifactId::Irq) => Output::Irq(ablations::irq_distribution()?),
             Scenario::Ablation(ArtifactId::Vhe) => Output::Vhe(ablations::vhe()?),
             Scenario::Ablation(ArtifactId::ZeroCopy) => Output::ZeroCopy(ablations::zero_copy()?),
@@ -300,8 +334,10 @@ pub enum Output {
     Vapic(ablations::VapicAblation),
     /// Storage ablation.
     Storage(ablations::StorageAblation),
-    /// Oversubscription sweep.
+    /// Oversubscription sweep (the analytic credit-scheduler model).
     Oversub(ablations::OversubscriptionAblation),
+    /// One simulated consolidation cell.
+    Consolidation(consolidation::CellResult),
     /// Fault-recovery sweep.
     FaultRec(ablations::FaultRecoveryAblation),
     /// A chaos scenario that (unexpectedly) survived.
@@ -386,6 +422,23 @@ pub fn plan(artifacts: &[ArtifactId]) -> Vec<Scenario> {
                 for workload in 0..workloads {
                     for column in 0..paper::COLUMNS.len() {
                         out.push(Scenario::Fig4Cell { workload, column });
+                    }
+                }
+            }
+            ArtifactId::Oversub => {
+                // The analytic sweep first, then the simulated
+                // consolidation grid: scheduler × hypervisor × ratio,
+                // in render order.
+                out.push(Scenario::Ablation(ArtifactId::Oversub));
+                for sched in SchedPolicy::ALL {
+                    for column in 0..paper::COLUMNS.len() {
+                        for ratio in consolidation::RATIOS {
+                            out.push(Scenario::ConsolidationCell {
+                                column,
+                                ratio,
+                                sched,
+                            });
+                        }
                     }
                 }
             }
@@ -611,6 +664,15 @@ struct FailedArtifact {
     error: String,
 }
 
+/// JSON shape of the assembled oversubscription artifact: the analytic
+/// credit-scheduler model plus the simulated consolidation grid
+/// (`None` entries are degraded cells).
+#[derive(Debug, serde::Serialize)]
+struct OversubArtifact {
+    analytic: Option<ablations::OversubscriptionAblation>,
+    cells: Vec<Option<consolidation::CellResult>>,
+}
+
 /// The artifact's `== ... ==` banner, used when the artifact cannot
 /// render because its scenario failed. Must match the success-path
 /// headers byte-for-byte.
@@ -708,6 +770,89 @@ pub fn assemble(
                     failures,
                 }
             }
+            ArtifactId::Oversub => {
+                // Fan-in: the analytic sweep plus the simulated
+                // consolidation grid, all degradable per-cell.
+                let n_cells =
+                    SchedPolicy::ALL.len() * paper::COLUMNS.len() * consolidation::RATIOS.len();
+                let mut wall = Duration::ZERO;
+                let mut transitions = 0u64;
+                let mut failures = Vec::new();
+                let r = next();
+                let analytic = match &r.outcome {
+                    Ok(Output::Oversub(o)) => Some(o.clone()),
+                    Ok(_) => {
+                        return Err(Error::PlanMismatch {
+                            expected: n_cells + 1,
+                            got: 0,
+                        });
+                    }
+                    Err(f) => {
+                        failures.push((r.scenario.label(), f.clone()));
+                        None
+                    }
+                };
+                wall += r.wall;
+                transitions += r.transitions;
+                let mut cells: Vec<Option<consolidation::CellResult>> = Vec::with_capacity(n_cells);
+                for _ in 0..n_cells {
+                    let r = next();
+                    match &r.outcome {
+                        Ok(Output::Consolidation(c)) => cells.push(Some(c.clone())),
+                        Ok(_) => {
+                            return Err(Error::PlanMismatch {
+                                expected: n_cells + 1,
+                                got: cells.len() + 1,
+                            });
+                        }
+                        Err(f) => {
+                            cells.push(None);
+                            failures.push((r.scenario.label(), f.clone()));
+                        }
+                    }
+                    wall += r.wall;
+                    transitions += r.transitions;
+                }
+                let mut text = String::from("== Table I motivation: oversubscription sweep ==\n\n");
+                match &analytic {
+                    Some(o) => {
+                        text.push_str(&ablations::render_oversubscription(o));
+                        text.push('\n');
+                    }
+                    None => text.push_str("!! analytic sweep unavailable this run\n\n"),
+                }
+                text.push_str(&format!(
+                    "-- simulated consolidation: 2 pCPUs, N two-vCPU VMs, TCP_RR \
+                     ({} txns/VM) --\n\n",
+                    consolidation::TRANSACTIONS_PER_VM
+                ));
+                let per_sched = paper::COLUMNS.len() * consolidation::RATIOS.len();
+                for (i, sched) in SchedPolicy::ALL.iter().enumerate() {
+                    let slice = &cells[i * per_sched..(i + 1) * per_sched];
+                    text.push_str(&consolidation::render_sweep(sched.name(), slice));
+                    text.push('\n');
+                }
+                if !failures.is_empty() {
+                    text.push_str(&format!(
+                        "!! {} of {} scenarios failed and render as n/a:\n",
+                        failures.len(),
+                        n_cells + 1
+                    ));
+                    for (label, failure) in &failures {
+                        text.push_str(&format!("!!   {label}: {failure}\n"));
+                    }
+                    text.push('\n');
+                }
+                let artifact = OversubArtifact { analytic, cells };
+                ArtifactReport {
+                    id: *id,
+                    text,
+                    json: to_json(&artifact)?,
+                    wall,
+                    transitions,
+                    failures,
+                }
+            }
             _ => {
                 let r = next();
                 let output = match &r.outcome {
@@ -799,7 +944,7 @@ pub fn assemble(
                         ),
                         to_json(f)?,
                     ),
-                    Output::Fig4Cell(_) | Output::Chaos => {
+                    Output::Fig4Cell(_) | Output::Consolidation(_) | Output::Chaos => {
                         return Err(Error::PlanMismatch {
                             expected: 1,
                             got: 0,

@@ -1,0 +1,212 @@
+//! Running a scenario straight from a [`ScenarioSpec`] file.
+//!
+//! `hvx-repro run --spec FILE` deserializes a JSON [`ScenarioSpec`],
+//! validates its topology shape, and dispatches it to the engine that
+//! implements that shape:
+//!
+//! * **Paper** shape → [`SimBuilder::from_spec`] plus the Figure 4
+//!   workload engine ([`workloads::run`]) — exactly the path a
+//!   builder-constructed run takes, so the output is byte-identical to
+//!   the equivalent fluent-API invocation.
+//! * **Consolidation** shape → [`consolidation::run_cell`], the SMP
+//!   oversubscription cell with the spec's vCPU scheduler.
+//!
+//! The rendered report deliberately omits loop-compiler internals
+//! (`iters_replayed`), so output is byte-identical whether the engine
+//! compiled the steady state or interpreted it — the differential tests
+//! already pin the numbers themselves together.
+
+use crate::consolidation::{self, TRANSACTIONS_PER_VM};
+use crate::profile::mix_for;
+use crate::workloads;
+use hvx_core::{Error, ScenarioSpec, SimBuilder, SpecShape, Workload};
+use std::path::Path;
+
+/// Reads and deserializes a spec file.
+///
+/// # Errors
+///
+/// [`Error::InvalidSpec`] when the file cannot be read or does not
+/// parse as a [`ScenarioSpec`].
+pub fn load(path: &Path) -> Result<ScenarioSpec, Error> {
+    let text = std::fs::read_to_string(path).map_err(|e| Error::InvalidSpec {
+        detail: format!("{}: {e}", path.display()),
+    })?;
+    parse(&text).map_err(|e| match e {
+        Error::InvalidSpec { detail } => Error::InvalidSpec {
+            detail: format!("{}: {detail}", path.display()),
+        },
+        other => other,
+    })
+}
+
+/// Deserializes a spec from JSON text.
+///
+/// # Errors
+///
+/// [`Error::InvalidSpec`] on malformed JSON or a JSON shape that does
+/// not match the spec's data model.
+pub fn parse(text: &str) -> Result<ScenarioSpec, Error> {
+    serde_json::from_str::<ScenarioSpec>(text).map_err(|e| Error::InvalidSpec {
+        detail: format!("spec does not parse: {e}"),
+    })
+}
+
+/// Serializes a spec as pretty-printed JSON (the format [`load`]
+/// reads back; the round trip is lossless).
+pub fn to_json(spec: &ScenarioSpec) -> String {
+    let mut s = serde_json::to_string_pretty(spec).expect("a spec always serializes");
+    s.push('\n');
+    s
+}
+
+/// Runs the scenario a spec describes and renders its report.
+///
+/// # Errors
+///
+/// [`Error::InvalidSpec`] for topologies no model implements or knob
+/// combinations a shape does not support; engine errors pass through.
+pub fn run_spec(spec: &ScenarioSpec) -> Result<String, Error> {
+    match spec.shape()? {
+        SpecShape::Paper => run_paper(spec),
+        SpecShape::Consolidation { ratio } => run_consolidation(spec, ratio),
+    }
+}
+
+fn run_paper(spec: &ScenarioSpec) -> Result<String, Error> {
+    let workload = spec.workload.unwrap_or(Workload::Netperf);
+    let mix = mix_for(workload)?;
+    let mut sim = SimBuilder::from_spec(spec.clone()).build()?;
+    let makespan = workloads::run(sim.as_dyn_mut(), mix, spec.virq_policy)?;
+    let mut out = String::new();
+    out.push_str("== scenario spec run ==\n");
+    out.push_str(&format!("hypervisor:   {}\n", spec.hypervisor));
+    out.push_str("shape:        paper (1 VM, 4 vCPUs on 4 pCPUs, pinned)\n");
+    out.push_str(&format!("workload:     {workload}\n"));
+    out.push_str(&format!("makespan:     {} cycles\n", makespan.as_u64()));
+    Ok(out)
+}
+
+fn run_consolidation(spec: &ScenarioSpec, ratio: u32) -> Result<String, Error> {
+    // The consolidation cell models its own TCP_RR-style transaction
+    // loop; knobs that only the paper-shape machine implements are
+    // rejected rather than silently dropped.
+    if spec.fault.is_some() {
+        return Err(Error::InvalidSpec {
+            detail: "fault plans apply to the paper shape only".into(),
+        });
+    }
+    if let Some(w) = spec.workload {
+        if w != Workload::TcpRr && w != Workload::Netperf {
+            return Err(Error::InvalidSpec {
+                detail: format!("consolidation cells run TCP_RR; got workload '{w}'"),
+            });
+        }
+    }
+    let txns = spec.transactions.unwrap_or(TRANSACTIONS_PER_VM);
+    let cell = consolidation::run_cell(
+        spec.hypervisor,
+        ratio,
+        spec.scheduler,
+        txns,
+        workloads::compile_enabled(),
+    )?;
+    let mut out = String::new();
+    out.push_str("== scenario spec run ==\n");
+    out.push_str(&format!("hypervisor:   {}\n", spec.hypervisor));
+    out.push_str(&format!(
+        "shape:        consolidation ({ratio} VMs x 2 vCPUs on 2 pCPUs, {}:1)\n",
+        ratio
+    ));
+    out.push_str(&format!("scheduler:    {}\n", cell.sched));
+    out.push_str(&format!(
+        "transactions: {} ({} per VM)\n",
+        cell.transactions, cell.txns_per_vm
+    ));
+    out.push_str(&format!("mean TCP_RR:  {:.2} us\n", cell.mean_latency_us()));
+    out.push_str(&format!(
+        "steal:        {} cycles ({:.2}% of 2 pCPUs)\n",
+        cell.steal_cycles,
+        cell.steal_pct()
+    ));
+    out.push_str(&format!("lock spin:    {} cycles\n", cell.lock_spin_cycles));
+    out.push_str(&format!(
+        "vm switches:  {} ({} preemptions, {} timer fires)\n",
+        cell.vm_switches, cell.preemptions, cell.timer_fires
+    ));
+    out.push_str(&format!(
+        "virtual IPIs: {} sent, {} coalesced\n",
+        cell.ipis_sent, cell.ipis_coalesced
+    ));
+    out.push_str(&format!("makespan:     {} cycles\n", cell.makespan_cycles));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvx_core::{HvKind, SchedPolicy, VirqPolicy};
+
+    #[test]
+    fn spec_json_round_trips_losslessly() {
+        let mut spec = ScenarioSpec::consolidation(HvKind::XenArm, 8, SchedPolicy::Cfs);
+        spec.transactions = Some(24);
+        let text = to_json(&spec);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, spec);
+        // And the re-rendered JSON is byte-identical.
+        assert_eq!(to_json(&back), text);
+    }
+
+    #[test]
+    fn paper_spec_matches_the_builder_path_byte_for_byte() {
+        let spec = ScenarioSpec::paper(HvKind::KvmArm).with_workload(Workload::TcpRr);
+        let via_spec = run_spec(&spec).unwrap();
+        // The "equivalent builder run": fluent construction, same engine.
+        let mut sim = SimBuilder::new(HvKind::KvmArm)
+            .workload(Workload::TcpRr)
+            .build()
+            .unwrap();
+        let makespan = workloads::run(
+            sim.as_dyn_mut(),
+            mix_for(Workload::TcpRr).unwrap(),
+            VirqPolicy::Vcpu0,
+        )
+        .unwrap();
+        assert!(via_spec.contains(&format!("makespan:     {} cycles", makespan.as_u64())));
+        // Re-running the spec reproduces the exact bytes.
+        assert_eq!(run_spec(&spec).unwrap(), via_spec);
+    }
+
+    #[test]
+    fn consolidation_spec_runs_a_cell() {
+        let mut spec = ScenarioSpec::consolidation(HvKind::KvmArm, 4, SchedPolicy::Credit);
+        spec.transactions = Some(8);
+        let out = run_spec(&spec).unwrap();
+        assert!(out.contains("consolidation (4 VMs"), "{out}");
+        assert!(out.contains("scheduler:    credit"), "{out}");
+        assert!(out.contains("transactions: 32 (8 per VM)"), "{out}");
+    }
+
+    #[test]
+    fn unsupported_knobs_are_rejected_not_dropped() {
+        let mut spec = ScenarioSpec::consolidation(HvKind::KvmArm, 2, SchedPolicy::Credit);
+        spec.fault = Some(hvx_core::FaultSpec {
+            plan: "wire_drop=10000e-6".into(),
+            seed: 1,
+        });
+        assert!(matches!(run_spec(&spec), Err(Error::InvalidSpec { .. })));
+        let mut wl = ScenarioSpec::consolidation(HvKind::KvmArm, 2, SchedPolicy::Credit);
+        wl.workload = Some(Workload::Mysql);
+        assert!(matches!(run_spec(&wl), Err(Error::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn malformed_spec_text_reports_invalid_spec() {
+        assert!(matches!(parse("{"), Err(Error::InvalidSpec { .. })));
+        assert!(matches!(
+            parse("{\"hypervisor\": \"KvmArm\"}"),
+            Err(Error::InvalidSpec { .. })
+        ));
+    }
+}

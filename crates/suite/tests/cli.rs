@@ -27,7 +27,7 @@ fn help_exits_zero_with_usage_on_stdout() {
 #[test]
 fn unknown_artifact_exits_two() {
     let out = hvx_repro()
-        .arg("not-a-thing")
+        .args(["run", "not-a-thing"])
         .output()
         .expect("run hvx-repro");
     assert_eq!(out.status.code(), Some(2));
@@ -40,7 +40,7 @@ fn unknown_artifact_exits_two() {
 fn invalid_jobs_exits_two() {
     for bad in ["0", "-1", "many"] {
         let out = hvx_repro()
-            .args(["--jobs", bad, "table3"])
+            .args(["run", "--jobs", bad, "table3"])
             .output()
             .expect("run hvx-repro");
         assert_eq!(
@@ -56,11 +56,11 @@ fn invalid_jobs_exits_two() {
 #[test]
 fn jobs_and_timing_leave_stdout_byte_identical() {
     let serial = hvx_repro()
-        .args(["--jobs", "1", "table3", "vhe"])
+        .args(["run", "--jobs", "1", "table3", "vhe"])
         .output()
         .expect("run hvx-repro");
     let parallel = hvx_repro()
-        .args(["--jobs", "4", "--timing", "table3", "vhe"])
+        .args(["run", "--jobs", "4", "--timing", "table3", "vhe"])
         .output()
         .expect("run hvx-repro");
     assert!(serial.status.success() && parallel.status.success());
@@ -72,20 +72,94 @@ fn jobs_and_timing_leave_stdout_byte_identical() {
     assert!(stderr.contains("[timing]"), "stderr: {stderr}");
 }
 
-/// The `run` subcommand is the legacy bare interface under a name:
-/// identical stdout for the same artifact selection.
+/// The pre-subcommand interface is retired: a first token that is not a
+/// subcommand exits 2 and points at the equivalent `run` invocation.
 #[test]
-fn run_subcommand_matches_legacy_invocation() {
-    let legacy = hvx_repro()
-        .args(["--jobs", "1", "table3"])
+fn legacy_invocation_exits_two_with_run_pointer() {
+    for first in ["table3", "--jobs"] {
+        let out = hvx_repro()
+            .args([first, "1"])
+            .output()
+            .expect("run hvx-repro");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "legacy '{first}' should be rejected"
+        );
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains(&format!(
+                "the no-subcommand interface has been retired; \
+                 use 'hvx-repro run {first} ...' instead (try --help)"
+            )),
+            "stderr: {stderr}"
+        );
+    }
+}
+
+/// A bare invocation (no arguments at all) is still `run all`.
+#[test]
+fn bare_invocation_still_runs() {
+    let out = hvx_repro().output().expect("run hvx-repro");
+    assert!(out.status.success(), "exited {:?}", out.status.code());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("ARM Virtualization"), "stdout: {stdout}");
+}
+
+/// `run --spec FILE` runs the scenario the file describes, and the
+/// output is stable across invocations (byte-identity with the builder
+/// path is pinned by the `spec_run` unit tests).
+#[test]
+fn run_spec_runs_a_consolidation_scenario() {
+    let dir = std::env::temp_dir().join(format!("hvx-spec-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("consolidation.json");
+    let spec = hvx_core::ScenarioSpec::consolidation(
+        hvx_core::HvKind::KvmArm,
+        4,
+        hvx_core::SchedPolicy::Credit,
+    );
+    std::fs::write(&path, hvx_suite::spec_run::to_json(&spec)).unwrap();
+    let a = hvx_repro()
+        .args(["run", "--spec", path.to_str().unwrap()])
         .output()
         .expect("run hvx-repro");
-    let sub = hvx_repro()
-        .args(["run", "--jobs", "1", "table3"])
+    let b = hvx_repro()
+        .args(["run", "--spec", path.to_str().unwrap()])
         .output()
         .expect("run hvx-repro");
-    assert!(legacy.status.success() && sub.status.success());
-    assert_eq!(legacy.stdout, sub.stdout);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        a.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&a.stderr)
+    );
+    assert_eq!(a.stdout, b.stdout, "spec runs must be deterministic");
+    let stdout = String::from_utf8(a.stdout).unwrap();
+    assert!(
+        stdout.contains("== scenario spec run =="),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("scheduler:    credit"), "stdout: {stdout}");
+}
+
+/// `--spec` refuses to combine with other run knobs and a missing file
+/// is a runtime error, not a crash.
+#[test]
+fn run_spec_rejects_conflicts_and_missing_files() {
+    let out = hvx_repro()
+        .args(["run", "--spec", "x.json", "table2"])
+        .output()
+        .expect("run hvx-repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--spec runs exactly"), "stderr: {stderr}");
+
+    let missing = hvx_repro()
+        .args(["run", "--spec", "/nonexistent/spec.json"])
+        .output()
+        .expect("run hvx-repro");
+    assert_eq!(missing.status.code(), Some(1));
 }
 
 /// `list-scenarios` names every artifact and the default profile set.

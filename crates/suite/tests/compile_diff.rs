@@ -3,8 +3,9 @@
 //! full workload catalog, and every ineligible configuration must fall
 //! back to the interpreter with identical results.
 
-use hvx_core::{Error, HvKind, Hypervisor, SimBuilder, VirqPolicy};
+use hvx_core::{Error, HvKind, Hypervisor, SchedPolicy, SimBuilder, VirqPolicy};
 use hvx_engine::{Cycles, FaultPlan, FaultPoint};
+use hvx_suite::consolidation;
 use hvx_suite::workloads::{self, catalog, DiskDevice, Mix};
 use proptest::prelude::*;
 
@@ -147,7 +148,59 @@ fn env_gating_disables_compilation() {
     assert!(workloads::compile_enabled());
 }
 
+/// Runs one consolidation cell compiled and interpreted and returns
+/// both results with their replay counters intact.
+fn run_cell_both(
+    kind: HvKind,
+    ratio: u32,
+    policy: SchedPolicy,
+    txns: u32,
+) -> (consolidation::CellResult, consolidation::CellResult) {
+    let c = consolidation::run_cell(kind, ratio, policy, txns, true).expect("compiled cell");
+    let i = consolidation::run_cell(kind, ratio, policy, txns, false).expect("interpreted cell");
+    assert_eq!(i.iters_replayed, 0, "interpreter must never replay");
+    (c, i)
+}
+
+/// Strips the compile-path-only counter so the rest of the struct can
+/// be compared field-for-field.
+fn strip(mut r: consolidation::CellResult) -> consolidation::CellResult {
+    r.iters_replayed = 0;
+    r
+}
+
 proptest! {
+    /// Scheduler determinism across the compile boundary: every
+    /// (hypervisor, scheduler, ratio, transaction-count) consolidation
+    /// cell must be identical compiled and interpreted. At 1:1 the
+    /// compiler may engage (and must not change a single counter); at
+    /// any contended ratio it must decline and both runs interpret.
+    #[test]
+    fn consolidation_cells_identical_across_compile_boundary(
+        kind_idx in 0usize..4,
+        sched_idx in 0usize..2,
+        ratio_idx in 0usize..consolidation::RATIOS.len(),
+        txns in 8u32..96,
+    ) {
+        let kind = hvx_suite::paper::COLUMNS[kind_idx];
+        let policy = SchedPolicy::ALL[sched_idx];
+        let ratio = consolidation::RATIOS[ratio_idx];
+        let (c, i) = run_cell_both(kind, ratio, policy, txns);
+        if ratio > 1 {
+            prop_assert_eq!(c.iters_replayed, 0, "contended cells must interpret");
+        }
+        prop_assert_eq!(strip(c), strip(i));
+    }
+
+    /// Long uncontended cells must actually exercise the compiled
+    /// path, not silently fall back.
+    #[test]
+    fn long_uncontended_cells_replay(txns in 64u32..128) {
+        let (c, i) = run_cell_both(HvKind::KvmArm, 1, SchedPolicy::Credit, txns);
+        prop_assert!(c.iters_replayed > 0, "compiler never engaged at {} txns", txns);
+        prop_assert_eq!(strip(c), strip(i));
+    }
+
     /// Random loop lengths around the compiler's confirm/give-up
     /// boundaries: identity must hold whether the loop compiles, is
     /// still recording at exit, or gave up.

@@ -1,0 +1,90 @@
+//! End-to-end checks of the consolidation sweep as the runner sees it:
+//! the `oversub` artifact fans out into 40 simulated cells plus the
+//! analytic ablation, and every acceptance property — jobs invariance,
+//! cache transparency, steal/latency monotonicity — must hold on the
+//! assembled artifact bytes, not just on individual cells.
+
+use hvx_suite::cache::ResultCache;
+use hvx_suite::runner::{self, ArtifactId, RunnerConfig};
+use std::sync::Arc;
+
+fn run_oversub(jobs: usize, cfg: &RunnerConfig) -> runner::ArtifactReport {
+    let outcome =
+        runner::run_artifacts_with(&[ArtifactId::Oversub], jobs, cfg).expect("oversub runs");
+    let mut reports = outcome.reports;
+    assert_eq!(reports.len(), 1);
+    let report = reports.remove(0);
+    assert!(
+        report.failures.is_empty(),
+        "failures: {:?}",
+        report.failures
+    );
+    report
+}
+
+/// The sweep is byte-identical across `--jobs 1` and `--jobs 8` —
+/// scheduler state lives per cell, never shared across workers.
+#[test]
+fn oversub_artifact_is_jobs_invariant() {
+    let cfg = RunnerConfig::default();
+    let serial = run_oversub(1, &cfg);
+    let parallel = run_oversub(8, &cfg);
+    assert_eq!(serial.text, parallel.text, "text diverged across --jobs");
+    assert_eq!(serial.json, parallel.json, "JSON diverged across --jobs");
+}
+
+/// A cold cache run and a warm rerun produce the same bytes, and the
+/// warm run is served from the cache (consolidation cells are
+/// fingerprinted like every other scenario).
+#[test]
+fn oversub_artifact_is_cache_transparent() {
+    let dir = std::env::temp_dir().join(format!("hvx-consol-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = Arc::new(ResultCache::open(&dir).expect("cache opens"));
+    let cfg = RunnerConfig {
+        cache: Some(cache.clone()),
+        ..RunnerConfig::default()
+    };
+    let cold = run_oversub(2, &cfg);
+    let cold_stats = cache.stats();
+    assert!(cold_stats.stores > 0, "cold run stored nothing");
+    let warm = run_oversub(2, &cfg);
+    let warm_stats = cache.stats();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(cold.text, warm.text, "cache changed the artifact text");
+    assert_eq!(cold.json, warm.json, "cache changed the artifact JSON");
+    assert!(
+        warm_stats.hits > cold_stats.hits,
+        "warm run never hit the cache: {warm_stats:?}"
+    );
+    // The uncached control must match too: the cache is transparent.
+    let uncached = run_oversub(1, &RunnerConfig::default());
+    assert_eq!(uncached.text, cold.text);
+}
+
+/// The rendered sweep carries one table per scheduler and marks no
+/// cell as unavailable on a clean run.
+#[test]
+fn oversub_artifact_renders_both_schedulers() {
+    let report = run_oversub(4, &RunnerConfig::default());
+    assert!(
+        report.text.contains("-- scheduler: credit --"),
+        "missing credit table:\n{}",
+        report.text
+    );
+    assert!(
+        report.text.contains("-- scheduler: cfs --"),
+        "missing cfs table:\n{}",
+        report.text
+    );
+    assert!(
+        !report.text.contains("n/a"),
+        "clean run marked cells n/a:\n{}",
+        report.text
+    );
+    assert!(
+        !report.text.contains("!!"),
+        "clean run carried warnings:\n{}",
+        report.text
+    );
+}

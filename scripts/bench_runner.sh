@@ -23,7 +23,7 @@ if [ -f "$OUT" ]; then
 fi
 
 cargo build --release -p hvx-suite
-./target/release/hvx-repro --bench "$OUT" --jobs "$JOBS"
+./target/release/hvx-repro run --bench "$OUT" --jobs "$JOBS"
 
 NEW_TPS="$(grid_tps "$OUT")"
 if [ -n "$OLD_TPS" ] && [ -n "$NEW_TPS" ]; then

@@ -24,6 +24,9 @@ sh scripts/fault_smoke.sh
 echo "== trace smoke =="
 sh scripts/trace_smoke.sh
 
+echo "== sched smoke =="
+sh scripts/sched_smoke.sh
+
 echo "== baseline gate =="
 sh scripts/baseline_check.sh
 

@@ -21,7 +21,7 @@ grid_tps() {
 }
 
 cargo build --release -p hvx-suite
-./target/release/hvx-repro --bench "$TMP/bench.json" --jobs "$JOBS"
+./target/release/hvx-repro run --bench "$TMP/bench.json" --jobs "$JOBS"
 NEW_TPS="$(grid_tps "$TMP/bench.json")"
 
 if [ "${HVX_PERF_SMOKE_SKIP:-0}" = "1" ]; then
