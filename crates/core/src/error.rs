@@ -134,6 +134,14 @@ pub enum Error {
         /// How many artifacts drifted.
         drifted: usize,
     },
+    /// The sweep server refused or failed an operation (a malformed
+    /// request, a shed submission, a quarantined fingerprint, or an
+    /// I/O failure on the journal). Carried back to clients as the
+    /// structured error body of the HTTP response.
+    Serve {
+        /// What went wrong, human-readable.
+        detail: String,
+    },
     /// `hvx-repro trace query --validate` found structural violations
     /// in an exported Chrome trace (malformed events, non-monotone
     /// per-track timestamps, or missing kick→delivery flow chains).
@@ -144,7 +152,11 @@ pub enum Error {
 }
 
 /// How an isolated scenario failed (see [`Error::Scenario`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializes as its variant name — the machine-readable form the
+/// structured reports (`crate::report`) and the sweep server put on
+/// the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ScenarioFailureKind {
     /// The scenario panicked (a model invariant or `expect` tripped).
     Panicked,
@@ -216,6 +228,7 @@ impl fmt::Display for Error {
             Error::Baseline { what, detail } => {
                 write!(f, "bad baseline {what}: {detail}")
             }
+            Error::Serve { detail } => write!(f, "serve: {detail}"),
             Error::TraceInvalid { problems } => {
                 write!(f, "invalid trace: {} violation(s)", problems.len())?;
                 for p in problems {

@@ -54,6 +54,7 @@ mod hypervisor;
 mod kind;
 mod kvm_arm;
 mod native;
+pub mod report;
 pub mod sched;
 mod sim;
 pub mod spec;

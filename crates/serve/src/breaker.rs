@@ -1,0 +1,210 @@
+//! Per-fingerprint circuit breaker.
+//!
+//! A spec that keeps panicking should stop costing worker time: after
+//! `threshold` consecutive failures its fingerprint is quarantined
+//! (the breaker *opens*) and further submissions are refused with a
+//! retry-after hint. After `cooldown` the breaker goes *half-open*:
+//! exactly one probe submission is admitted; success closes the
+//! breaker, failure re-opens it for another cooldown. Classic
+//! three-state breaker, keyed by content fingerprint so one poisoned
+//! spec cannot quarantine unrelated work.
+//!
+//! Time is passed in by the caller (`Instant::now()` at the server
+//! layer) so every transition is unit-testable without sleeping.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Tuning for [`Breaker`].
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub threshold: u32,
+    /// How long an open breaker refuses work before half-opening.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Admission verdict for one fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerVerdict {
+    /// Breaker closed — admit normally.
+    Admit,
+    /// Breaker just half-opened — admit this one submission as the
+    /// probe; its outcome decides whether the breaker closes.
+    Probe,
+    /// Breaker open (or half-open with a probe already in flight) —
+    /// refuse, suggesting the client retry after this long.
+    Quarantined(Duration),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed { failures: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// The breaker table: fingerprint → breaker state.
+#[derive(Debug, Default)]
+pub struct Breaker {
+    states: HashMap<String, State>,
+}
+
+impl Breaker {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Breaker::default()
+    }
+
+    /// Number of fingerprints currently open or half-open.
+    pub fn quarantined(&self) -> usize {
+        self.states
+            .values()
+            .filter(|s| !matches!(s, State::Closed { .. }))
+            .count()
+    }
+
+    /// Decides whether a submission for `key` may proceed at `now`.
+    pub fn admit(&mut self, cfg: &BreakerConfig, key: &str, now: Instant) -> BreakerVerdict {
+        match self.states.get(key).copied() {
+            None | Some(State::Closed { .. }) => BreakerVerdict::Admit,
+            Some(State::Open { until }) => {
+                if now >= until {
+                    // Cooldown elapsed: this submission becomes the probe.
+                    self.states.insert(key.to_string(), State::HalfOpen);
+                    BreakerVerdict::Probe
+                } else {
+                    BreakerVerdict::Quarantined(until - now)
+                }
+            }
+            // A probe is already in flight; don't pile more work on a
+            // fingerprint that may still be broken.
+            Some(State::HalfOpen) => BreakerVerdict::Quarantined(cfg.cooldown),
+        }
+    }
+
+    /// Records a successful run for `key`.
+    pub fn on_success(&mut self, key: &str) {
+        self.states.remove(key);
+    }
+
+    /// Records a failed run for `key`. Returns `true` when this
+    /// failure opened (or re-opened) the breaker.
+    pub fn on_failure(&mut self, cfg: &BreakerConfig, key: &str, now: Instant) -> bool {
+        let state = self
+            .states
+            .entry(key.to_string())
+            .or_insert(State::Closed { failures: 0 });
+        match state {
+            State::Closed { failures } => {
+                *failures += 1;
+                if *failures >= cfg.threshold {
+                    *state = State::Open {
+                        until: now + cfg.cooldown,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            // A failed probe re-opens for a full cooldown.
+            State::HalfOpen | State::Open { .. } => {
+                *state = State::Open {
+                    until: now + cfg.cooldown,
+                };
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let mut b = Breaker::new();
+        let t0 = Instant::now();
+        assert!(!b.on_failure(&cfg(), "fp", t0));
+        assert!(!b.on_failure(&cfg(), "fp", t0));
+        assert_eq!(b.admit(&cfg(), "fp", t0), BreakerVerdict::Admit);
+        assert!(b.on_failure(&cfg(), "fp", t0)); // third failure opens
+        match b.admit(&cfg(), "fp", t0) {
+            BreakerVerdict::Quarantined(left) => assert!(left <= Duration::from_secs(10)),
+            v => panic!("expected quarantine, got {v:?}"),
+        }
+        assert_eq!(b.quarantined(), 1);
+        // Unrelated fingerprints are unaffected.
+        assert_eq!(b.admit(&cfg(), "other", t0), BreakerVerdict::Admit);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = Breaker::new();
+        let t0 = Instant::now();
+        b.on_failure(&cfg(), "fp", t0);
+        b.on_failure(&cfg(), "fp", t0);
+        b.on_success("fp");
+        b.on_failure(&cfg(), "fp", t0);
+        b.on_failure(&cfg(), "fp", t0);
+        assert_eq!(b.admit(&cfg(), "fp", t0), BreakerVerdict::Admit);
+    }
+
+    #[test]
+    fn half_opens_after_cooldown_and_single_probe_decides() {
+        let mut b = Breaker::new();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(&cfg(), "fp", t0);
+        }
+        let later = t0 + Duration::from_secs(11);
+        // First post-cooldown submission is the probe...
+        assert_eq!(b.admit(&cfg(), "fp", later), BreakerVerdict::Probe);
+        // ...and while it runs, others stay quarantined.
+        assert!(matches!(
+            b.admit(&cfg(), "fp", later),
+            BreakerVerdict::Quarantined(_)
+        ));
+        // Probe success closes the breaker.
+        b.on_success("fp");
+        assert_eq!(b.admit(&cfg(), "fp", later), BreakerVerdict::Admit);
+        assert_eq!(b.quarantined(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_full_cooldown() {
+        let mut b = Breaker::new();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(&cfg(), "fp", t0);
+        }
+        let later = t0 + Duration::from_secs(11);
+        assert_eq!(b.admit(&cfg(), "fp", later), BreakerVerdict::Probe);
+        assert!(b.on_failure(&cfg(), "fp", later));
+        assert!(matches!(
+            b.admit(&cfg(), "fp", later + Duration::from_secs(9)),
+            BreakerVerdict::Quarantined(_)
+        ));
+        assert_eq!(
+            b.admit(&cfg(), "fp", later + Duration::from_secs(10)),
+            BreakerVerdict::Probe
+        );
+    }
+}

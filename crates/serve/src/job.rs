@@ -1,0 +1,160 @@
+//! The job model: what the server admits, runs, retries, and reports.
+//!
+//! `hvx-serve` is deliberately ignorant of scenario semantics — it
+//! never parses a `ScenarioSpec` or touches the runner. Everything
+//! domain-specific is behind [`JobExecutor`], which the suite crate
+//! implements by wiring the spec runner, the content-addressed cache,
+//! and the `catch_unwind` isolation path together. That inversion
+//! keeps the dependency graph acyclic (`serve` → `core`, `suite` →
+//! `serve`) and makes the server testable with a mock executor.
+
+use hvx_core::report::CellReport;
+use hvx_core::ScenarioFailureKind;
+use serde::{Deserialize, Serialize};
+
+/// A submission after validation, ready for admission control.
+///
+/// Produced by [`JobExecutor::prepare`] before the server decides
+/// whether to admit, dedupe, or shed — so a malformed body is rejected
+/// with a 400 before it can occupy queue weight, and the fingerprint
+/// is available for warm-cache dedupe and circuit breaking at
+/// admission time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreparedJob {
+    /// Display name for logs, `/stats`, and status responses.
+    pub label: String,
+    /// Content fingerprint. For cacheable jobs this is the cache key
+    /// (hex of the spec fingerprint); for uncacheable jobs (chaos
+    /// probes) a stable synthetic key like `chaos-panic` so the
+    /// circuit breaker can still group failures by kind.
+    pub fingerprint: String,
+    /// Whether results may be served from / stored to the cache.
+    pub cacheable: bool,
+    /// Admission weight, same scale as the runner's scenario weights
+    /// (a paper artifact ~25, a consolidation cell 5 + ratio/2).
+    pub weight: u64,
+    /// The original request body, kept verbatim so the journal can
+    /// re-prepare the job after a crash.
+    pub body: String,
+}
+
+/// A finished job's payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobOutput {
+    /// The rendered human-readable report, byte-identical to what a
+    /// direct `hvx-repro run --spec` of the same body prints.
+    pub report: String,
+    /// The machine-readable per-cell report.
+    pub cell: CellReport,
+}
+
+/// Why a job attempt failed, and whether retrying could help.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The classified failure.
+    pub kind: ScenarioFailureKind,
+    /// Human-readable detail (panic message, budget numbers, ...).
+    pub detail: String,
+    /// `true` when the failure is plausibly transient and the server
+    /// should retry with backoff before giving up. Deterministic
+    /// failures (validation, watchdog trips) must set `false` so a
+    /// doomed job fails fast and feeds the circuit breaker.
+    pub transient: bool,
+}
+
+/// Lifecycle of an admitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Admitted and waiting for a worker.
+    Queued,
+    /// A worker is executing it (possibly in a retry attempt).
+    Running,
+    /// Finished successfully; output is available.
+    Done,
+    /// Exhausted retries (or failed non-transiently).
+    Failed,
+}
+
+impl JobState {
+    /// Whether the job has reached a terminal state.
+    pub fn terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+
+    /// Lower-case wire name (`"queued"`, `"running"`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// What actually executes jobs. Implemented by the suite crate over
+/// the real runner, and by mock executors in tests.
+///
+/// Implementations must be safe to call from multiple worker threads
+/// concurrently. `run` is expected to contain its own panic isolation
+/// (`catch_unwind`); a panic that escapes `run` kills a worker thread.
+pub trait JobExecutor: Send + Sync {
+    /// Validates a request body and derives its admission metadata.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message describing why the body is not a
+    /// runnable job (returned to the client as a 400).
+    fn prepare(&self, body: &str) -> Result<PreparedJob, String>;
+
+    /// Consults the content-addressed cache for an already-computed
+    /// result. Called at admission time so warm submissions are
+    /// answered without ever entering the worker pool.
+    fn lookup(&self, job: &PreparedJob) -> Option<JobOutput>;
+
+    /// Executes one attempt of the job, storing the result in the
+    /// cache on success when the job is cacheable.
+    ///
+    /// # Errors
+    ///
+    /// A classified [`JobFailure`]; the server retries transient ones
+    /// with bounded exponential backoff.
+    fn run(&self, job: &PreparedJob) -> Result<JobOutput, JobFailure>;
+
+    /// Expands a sweep template body into individual job bodies, for
+    /// batched (all-or-nothing) admission.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the template is malformed.
+    fn expand(&self, body: &str) -> Result<Vec<String>, String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_states_know_their_terminality_and_names() {
+        assert!(!JobState::Queued.terminal());
+        assert!(!JobState::Running.terminal());
+        assert!(JobState::Done.terminal());
+        assert!(JobState::Failed.terminal());
+        assert_eq!(JobState::Queued.as_str(), "queued");
+        assert_eq!(JobState::Failed.as_str(), "failed");
+    }
+
+    #[test]
+    fn prepared_jobs_round_trip_through_serde() {
+        let job = PreparedJob {
+            label: "consolidation 8:1".into(),
+            fingerprint: "deadbeef".into(),
+            cacheable: true,
+            weight: 9,
+            body: "{\"hypervisor\":\"kvm-arm\"}".into(),
+        };
+        let json = serde_json::to_string(&job).unwrap();
+        let back: PreparedJob = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, job);
+    }
+}

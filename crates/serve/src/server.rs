@@ -1,0 +1,836 @@
+//! The sweep server: accept loop, worker pool, admission control,
+//! backpressure, retry, circuit breaking, and journal recovery.
+//!
+//! ## Threading model
+//!
+//! One nonblocking accept loop (the thread that called [`Server::run`])
+//! hands each connection to a short-lived handler thread; handlers
+//! only touch the shared state under a mutex and never execute jobs,
+//! so the accept path stays live no matter what the workers are doing.
+//! A fixed pool of worker threads drains the admitted queue; every
+//! job attempt runs through the executor's own `catch_unwind`
+//! isolation, so a panicking scenario costs one attempt, not a worker.
+//!
+//! ## Admission pipeline (one lock hold, in order)
+//!
+//! 1. drain check — a draining server refuses new work with 503;
+//! 2. circuit breaker — quarantined fingerprints get 409 + retry-after;
+//! 3. per-client in-flight cap — 429 `client-cap`;
+//! 4. warm-cache dedupe — a cache hit is journaled and answered
+//!    `done` immediately, never touching the queue;
+//! 5. queue-weight bound — over budget is shed with 429 carrying the
+//!    queue depth and a retry-after hint;
+//! 6. journal `accepted` (fsynced), then enqueue. A journal write
+//!    failure refuses the job — acceptance is never un-journaled.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use hvx_core::Error;
+use serde_json::Value;
+
+use crate::breaker::{Breaker, BreakerConfig, BreakerVerdict};
+use crate::http::{read_request, request as http_request, write_response, Request};
+use crate::job::{JobExecutor, JobFailure, JobOutput, JobState, PreparedJob};
+use crate::journal::{recover, Journal};
+
+/// Tuning for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Admission bound: total weight of queued (not yet running) jobs.
+    pub max_queue_weight: u64,
+    /// Per-client cap on non-terminal jobs.
+    pub client_inflight_cap: usize,
+    /// Finished results retained before oldest-idle eviction.
+    pub max_results: usize,
+    /// Retries for transient failures (0 = single attempt).
+    pub max_retries: u32,
+    /// Base backoff between retries; doubles per attempt, capped at 1s.
+    pub retry_backoff: Duration,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Journal path; `None` disables crash safety (tests only).
+    pub journal: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            max_queue_weight: 120,
+            client_inflight_cap: 8,
+            max_results: 256,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(50),
+            breaker: BreakerConfig::default(),
+            journal: None,
+        }
+    }
+}
+
+/// One tracked job.
+#[derive(Debug)]
+struct Job {
+    client: String,
+    prepared: PreparedJob,
+    state: JobState,
+    retries: u32,
+    cached: bool,
+    output: Option<JobOutput>,
+    failure: Option<(String, String)>, // (kind, detail)
+    quarantined: bool,
+    last_touch: Instant,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, Job>,
+    next_id: u64,
+    queued_weight: u64,
+    running: usize,
+    breaker: Breaker,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    warm_hits: AtomicU64,
+    evicted: AtomicU64,
+    recovered: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    exec: Arc<dyn JobExecutor>,
+    state: Mutex<Inner>,
+    cvar: Condvar,
+    journal: Option<Journal>,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("cfg", &self.cfg)
+            .field("draining", &self.draining)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The bound-but-not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: String,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener, opens the journal, and replays any
+    /// incomplete work from a previous process.
+    ///
+    /// Recovered jobs keep their original ids and are **not**
+    /// re-journaled as accepted — replaying the same journal twice
+    /// re-admits nothing new. A recovered job whose result is already
+    /// in the cache completes immediately without a worker.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Serve`] for bind or journal failures.
+    pub fn bind(cfg: ServerConfig, exec: Arc<dyn JobExecutor>) -> Result<Server, Error> {
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| Error::Serve {
+            detail: format!("bind {}: {e}", cfg.addr),
+        })?;
+        listener.set_nonblocking(true).map_err(|e| Error::Serve {
+            detail: format!("set nonblocking: {e}"),
+        })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::Serve {
+                detail: format!("local addr: {e}"),
+            })?
+            .to_string();
+
+        let mut inner = Inner::default();
+        let mut journal = None;
+        if let Some(path) = &cfg.journal {
+            let recovery = recover(path).map_err(|e| Error::Serve {
+                detail: format!("recover journal {}: {e}", path.display()),
+            })?;
+            let j = Journal::open(path).map_err(|e| Error::Serve {
+                detail: format!("open journal {}: {e}", path.display()),
+            })?;
+            inner.next_id = recovery.next_id;
+            for rec in recovery.incomplete {
+                let now = Instant::now();
+                let mut job = Job {
+                    client: rec.client,
+                    prepared: rec.job,
+                    state: JobState::Queued,
+                    retries: 0,
+                    cached: false,
+                    output: None,
+                    failure: None,
+                    quarantined: false,
+                    last_touch: now,
+                };
+                if let Some(output) = exec.lookup(&job.prepared) {
+                    job.state = JobState::Done;
+                    job.cached = true;
+                    job.output = Some(output);
+                    let _ = j.terminal(rec.id, "done");
+                } else {
+                    inner.queued_weight += job.prepared.weight;
+                    inner.queue.push_back(rec.id);
+                }
+                inner.jobs.insert(rec.id, job);
+            }
+            journal = Some(j);
+        }
+        let recovered = inner.jobs.len() as u64;
+
+        let shared = Arc::new(Shared {
+            cfg,
+            exec,
+            state: Mutex::new(inner),
+            cvar: Condvar::new(),
+            journal,
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        shared
+            .counters
+            .recovered
+            .store(recovered, Ordering::Relaxed);
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Serves until drained: spawns the worker pool, then accepts
+    /// connections until a `POST /drain` arrives *and* the queue and
+    /// workers are idle. Running cells finish; new ones are refused.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Serve`] for accept-loop failures.
+    pub fn run(self) -> Result<(), Error> {
+        let mut workers = Vec::new();
+        for i in 0..self.shared.cfg.workers.max(1) {
+            let shared = Arc::clone(&self.shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("hvx-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| Error::Serve {
+                        detail: format!("spawn worker: {e}"),
+                    })?,
+            );
+        }
+
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    let _ = std::thread::Builder::new()
+                        .name("hvx-serve-conn".into())
+                        .spawn(move || handle_connection(&shared, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    return Err(Error::Serve {
+                        detail: format!("accept: {e}"),
+                    });
+                }
+            }
+            if self.shared.draining.load(Ordering::SeqCst) {
+                let idle = {
+                    let inner = lock(&self.shared.state);
+                    inner.queue.is_empty() && inner.running == 0
+                };
+                if idle {
+                    self.shared.shutdown.store(true, Ordering::SeqCst);
+                    self.shared.cvar.notify_all();
+                    break;
+                }
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn lock<'a>(m: &'a Mutex<Inner>) -> std::sync::MutexGuard<'a, Inner> {
+    // A panic while holding the lock (a bug, not a scenario failure —
+    // scenarios unwind inside the executor) must not wedge the server.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (id, prepared) = {
+            let mut inner = lock(&shared.state);
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = inner.queue.pop_front() {
+                    let job = inner.jobs.get_mut(&id).expect("queued job exists");
+                    job.state = JobState::Running;
+                    job.last_touch = Instant::now();
+                    let prepared = job.prepared.clone();
+                    inner.queued_weight -= prepared.weight;
+                    inner.running += 1;
+                    break (id, prepared);
+                }
+                inner = shared
+                    .cvar
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+
+        let mut retries = 0u32;
+        let outcome = loop {
+            match shared.exec.run(&prepared) {
+                Ok(output) => break Ok(output),
+                Err(failure) => {
+                    if failure.transient && retries < shared.cfg.max_retries {
+                        let backoff = shared
+                            .cfg
+                            .retry_backoff
+                            .saturating_mul(1 << retries.min(10))
+                            .min(Duration::from_secs(1));
+                        retries += 1;
+                        std::thread::sleep(backoff);
+                        continue;
+                    }
+                    break Err(failure);
+                }
+            }
+        };
+
+        record_outcome(shared, id, retries, outcome);
+    }
+}
+
+fn record_outcome(shared: &Shared, id: u64, retries: u32, outcome: Result<JobOutput, JobFailure>) {
+    let now = Instant::now();
+    let mut inner = lock(&shared.state);
+    inner.running -= 1;
+    let fingerprint = inner.jobs[&id].prepared.fingerprint.clone();
+    let (event, quarantined) = match outcome {
+        Ok(_) => {
+            inner.breaker.on_success(&fingerprint);
+            ("done", false)
+        }
+        Err(_) => {
+            let opened = inner
+                .breaker
+                .on_failure(&shared.cfg.breaker, &fingerprint, now);
+            ("failed", opened)
+        }
+    };
+    let job = inner.jobs.get_mut(&id).expect("running job exists");
+    job.retries = retries;
+    job.last_touch = now;
+    job.quarantined = quarantined;
+    match outcome {
+        Ok(output) => {
+            job.state = JobState::Done;
+            job.output = Some(output);
+        }
+        Err(failure) => {
+            job.state = JobState::Failed;
+            job.failure = Some((failure.kind.to_string(), failure.detail));
+        }
+    }
+    if let Some(j) = &shared.journal {
+        let _ = j.terminal(id, event);
+    }
+    evict_locked(shared, &mut inner);
+    drop(inner);
+    shared.cvar.notify_all();
+}
+
+/// Oldest-idle eviction: finished results beyond `max_results`, least
+/// recently touched first. Queued/running jobs are never evicted.
+fn evict_locked(shared: &Shared, inner: &mut Inner) {
+    let terminal = inner.jobs.values().filter(|j| j.state.terminal()).count();
+    if terminal <= shared.cfg.max_results {
+        return;
+    }
+    let mut idle: Vec<(Instant, u64)> = inner
+        .jobs
+        .iter()
+        .filter(|(_, j)| j.state.terminal())
+        .map(|(id, j)| (j.last_touch, *id))
+        .collect();
+    idle.sort();
+    let excess = terminal - shared.cfg.max_results;
+    for (_, id) in idle.into_iter().take(excess) {
+        inner.jobs.remove(&id);
+        shared.counters.evicted.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> String {
+    let v = Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect());
+    serde_json::to_string(&v).expect("value serializes")
+}
+
+fn error_body(kind: &str, detail: &str, extra: Vec<(&str, Value)>) -> String {
+    let mut pairs = vec![
+        ("error", Value::Str(kind.into())),
+        ("detail", Value::Str(detail.into())),
+    ];
+    pairs.extend(extra);
+    obj(pairs)
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let req = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = write_response(&mut stream, 400, &error_body("bad-request", &e, vec![]));
+            return;
+        }
+    };
+    let (status, body) = route(shared, &req);
+    let _ = write_response(&mut stream, status, &body);
+}
+
+fn route(shared: &Shared, req: &Request) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, obj(vec![("ok", Value::Bool(true))])),
+        ("GET", "/stats") => (200, stats_body(shared)),
+        ("POST", "/jobs") => submit(shared, req, false),
+        ("POST", "/sweep") => submit(shared, req, true),
+        ("POST", "/drain") => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.cvar.notify_all();
+            (200, obj(vec![("draining", Value::Bool(true))]))
+        }
+        ("GET", path) if path.starts_with("/jobs/") => {
+            match path["/jobs/".len()..].parse::<u64>() {
+                Ok(id) => job_status(shared, id),
+                Err(_) => (
+                    400,
+                    error_body("bad-request", "job id must be an integer", vec![]),
+                ),
+            }
+        }
+        _ => (
+            404,
+            error_body(
+                "not-found",
+                &format!("no route {} {}", req.method, req.path),
+                vec![],
+            ),
+        ),
+    }
+}
+
+fn stats_body(shared: &Shared) -> String {
+    let inner = lock(&shared.state);
+    let count = |s: JobState| inner.jobs.values().filter(|j| j.state == s).count() as u64;
+    obj(vec![
+        ("queued", Value::U64(count(JobState::Queued))),
+        ("running", Value::U64(inner.running as u64)),
+        ("done", Value::U64(count(JobState::Done))),
+        ("failed", Value::U64(count(JobState::Failed))),
+        ("queued_weight", Value::U64(inner.queued_weight)),
+        (
+            "breaker_open",
+            Value::U64(inner.breaker.quarantined() as u64),
+        ),
+        (
+            "accepted_total",
+            Value::U64(shared.counters.accepted.load(Ordering::Relaxed)),
+        ),
+        (
+            "shed_total",
+            Value::U64(shared.counters.shed.load(Ordering::Relaxed)),
+        ),
+        (
+            "warm_hits",
+            Value::U64(shared.counters.warm_hits.load(Ordering::Relaxed)),
+        ),
+        (
+            "evicted_total",
+            Value::U64(shared.counters.evicted.load(Ordering::Relaxed)),
+        ),
+        (
+            "recovered_total",
+            Value::U64(shared.counters.recovered.load(Ordering::Relaxed)),
+        ),
+        (
+            "draining",
+            Value::Bool(shared.draining.load(Ordering::SeqCst)),
+        ),
+    ])
+}
+
+/// Handles `POST /jobs` (one body) and `POST /sweep` (a template the
+/// executor expands; admission is all-or-nothing across the batch).
+fn submit(shared: &Shared, req: &Request, sweep: bool) -> (u16, String) {
+    if shared.draining.load(Ordering::SeqCst) {
+        return (
+            503,
+            error_body(
+                "draining",
+                "server is draining; not accepting new work",
+                vec![],
+            ),
+        );
+    }
+    let client = req.query_value("client").unwrap_or("anonymous").to_string();
+
+    // Validate outside the lock: prepare/expand parse JSON and hash
+    // fingerprints, which must not stall admission for other clients.
+    let bodies = if sweep {
+        match shared.exec.expand(&req.body) {
+            Ok(b) if b.is_empty() => {
+                return (
+                    400,
+                    error_body("bad-request", "sweep expanded to no jobs", vec![]),
+                )
+            }
+            Ok(b) => b,
+            Err(e) => return (400, error_body("bad-request", &e, vec![])),
+        }
+    } else {
+        vec![req.body.clone()]
+    };
+    let mut prepared = Vec::with_capacity(bodies.len());
+    for body in &bodies {
+        match shared.exec.prepare(body) {
+            Ok(p) => prepared.push(p),
+            Err(e) => return (400, error_body("bad-request", &e, vec![])),
+        }
+    }
+
+    let now = Instant::now();
+    let mut inner = lock(&shared.state);
+
+    // Circuit breaker: any quarantined fingerprint refuses the batch.
+    for p in &prepared {
+        match inner
+            .breaker
+            .admit(&shared.cfg.breaker, &p.fingerprint, now)
+        {
+            BreakerVerdict::Admit | BreakerVerdict::Probe => {}
+            BreakerVerdict::Quarantined(left) => {
+                return (
+                    409,
+                    error_body(
+                        "quarantined",
+                        &format!("fingerprint {} is quarantined", p.fingerprint),
+                        vec![
+                            ("fingerprint", Value::Str(p.fingerprint.clone())),
+                            ("retry_after_ms", Value::U64(left.as_millis() as u64)),
+                        ],
+                    ),
+                );
+            }
+        }
+    }
+
+    // Per-client in-flight cap.
+    let inflight = inner
+        .jobs
+        .values()
+        .filter(|j| j.client == client && !j.state.terminal())
+        .count();
+    if inflight + prepared.len() > shared.cfg.client_inflight_cap {
+        return (
+            429,
+            error_body(
+                "client-cap",
+                &format!(
+                    "client '{client}' has {inflight} jobs in flight (cap {})",
+                    shared.cfg.client_inflight_cap
+                ),
+                vec![("retry_after_ms", Value::U64(250))],
+            ),
+        );
+    }
+
+    // Warm-cache dedupe, then weight-bounded admission for the rest.
+    let mut warm = Vec::new();
+    let mut cold = Vec::new();
+    for p in prepared {
+        if p.cacheable {
+            if let Some(output) = shared.exec.lookup(&p) {
+                warm.push((p, output));
+                continue;
+            }
+        }
+        cold.push(p);
+    }
+    let cold_weight: u64 = cold.iter().map(|p| p.weight).sum();
+    if !cold.is_empty() && inner.queued_weight + cold_weight > shared.cfg.max_queue_weight {
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        let depth = inner.queue.len() as u64;
+        let retry_ms = 100 + 10 * inner.queued_weight.min(1000);
+        return (
+            429,
+            error_body(
+                "shed",
+                &format!(
+                    "queue weight {} + batch {} exceeds bound {}",
+                    inner.queued_weight, cold_weight, shared.cfg.max_queue_weight
+                ),
+                vec![
+                    ("queue_depth", Value::U64(depth)),
+                    ("queued_weight", Value::U64(inner.queued_weight)),
+                    ("retry_after_ms", Value::U64(retry_ms)),
+                ],
+            ),
+        );
+    }
+
+    // Point of no return: journal, then admit.
+    let mut accepted = Vec::new();
+    for (p, output) in warm {
+        let id = inner.next_id;
+        inner.next_id += 1;
+        if let Some(j) = &shared.journal {
+            if let Err(e) = j.accepted(id, &client, &p) {
+                inner.next_id -= 1;
+                return (500, error_body("journal", &e.to_string(), vec![]));
+            }
+            let _ = j.terminal(id, "done");
+        }
+        inner.jobs.insert(
+            id,
+            Job {
+                client: client.clone(),
+                prepared: p,
+                state: JobState::Done,
+                retries: 0,
+                cached: true,
+                output: Some(output),
+                failure: None,
+                quarantined: false,
+                last_touch: now,
+            },
+        );
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.counters.warm_hits.fetch_add(1, Ordering::Relaxed);
+        accepted.push((id, JobState::Done, true));
+    }
+    for p in cold {
+        let id = inner.next_id;
+        inner.next_id += 1;
+        if let Some(j) = &shared.journal {
+            if let Err(e) = j.accepted(id, &client, &p) {
+                inner.next_id -= 1;
+                return (500, error_body("journal", &e.to_string(), vec![]));
+            }
+        }
+        inner.queued_weight += p.weight;
+        inner.jobs.insert(
+            id,
+            Job {
+                client: client.clone(),
+                prepared: p,
+                state: JobState::Queued,
+                retries: 0,
+                cached: false,
+                output: None,
+                failure: None,
+                quarantined: false,
+                last_touch: now,
+            },
+        );
+        inner.queue.push_back(id);
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        accepted.push((id, JobState::Queued, false));
+    }
+    evict_locked(shared, &mut inner);
+    drop(inner);
+    shared.cvar.notify_all();
+
+    if sweep {
+        let jobs: Vec<Value> = accepted.iter().map(|(id, ..)| Value::U64(*id)).collect();
+        let all_done = accepted.iter().all(|(_, s, _)| s.terminal());
+        (
+            202,
+            obj(vec![
+                ("jobs", Value::Array(jobs)),
+                ("all_cached", Value::Bool(all_done)),
+            ]),
+        )
+    } else {
+        let (id, state, cached) = accepted[0];
+        let status = if state == JobState::Done { 200 } else { 202 };
+        (
+            status,
+            obj(vec![
+                ("job", Value::U64(id)),
+                ("state", Value::Str(state.as_str().into())),
+                ("cached", Value::Bool(cached)),
+            ]),
+        )
+    }
+}
+
+fn job_status(shared: &Shared, id: u64) -> (u16, String) {
+    let mut inner = lock(&shared.state);
+    let Some(job) = inner.jobs.get_mut(&id) else {
+        return (
+            404,
+            error_body("not-found", &format!("job {id} unknown or evicted"), vec![]),
+        );
+    };
+    job.last_touch = Instant::now();
+    let mut pairs = vec![
+        ("job", Value::U64(id)),
+        ("client", Value::Str(job.client.clone())),
+        ("label", Value::Str(job.prepared.label.clone())),
+        ("state", Value::Str(job.state.as_str().into())),
+        ("fingerprint", Value::Str(job.prepared.fingerprint.clone())),
+        ("retries", Value::U64(job.retries as u64)),
+        ("cached", Value::Bool(job.cached)),
+    ];
+    if let Some(output) = &job.output {
+        pairs.push(("report", Value::Str(output.report.clone())));
+        pairs.push((
+            "cell",
+            serde_json::to_value(&output.cell).expect("cell serializes"),
+        ));
+    }
+    if let Some((kind, detail)) = &job.failure {
+        pairs.push((
+            "failure",
+            Value::Object(vec![
+                ("kind".into(), Value::Str(kind.clone())),
+                ("detail".into(), Value::Str(detail.clone())),
+            ]),
+        ));
+        pairs.push(("quarantined", Value::Bool(job.quarantined)));
+    }
+    (200, obj(pairs))
+}
+
+/// Blocking client helpers used by the CLI and the smoke script.
+pub mod client {
+    use super::*;
+
+    /// Submits one job body; returns the parsed response JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or non-JSON responses, as a human-readable
+    /// message. HTTP error statuses are returned as `Ok` — callers
+    /// inspect `status`.
+    pub fn submit(addr: &str, client: &str, body: &str) -> Result<(u16, Value), String> {
+        let (status, body) =
+            http_request(addr, "POST", &format!("/jobs?client={client}"), Some(body))?;
+        parse(status, &body)
+    }
+
+    /// Submits a sweep template.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`].
+    pub fn sweep(addr: &str, client: &str, body: &str) -> Result<(u16, Value), String> {
+        let (status, body) =
+            http_request(addr, "POST", &format!("/sweep?client={client}"), Some(body))?;
+        parse(status, &body)
+    }
+
+    /// Fetches a job's status.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`].
+    pub fn poll(addr: &str, id: u64) -> Result<(u16, Value), String> {
+        let (status, body) = http_request(addr, "GET", &format!("/jobs/{id}"), None)?;
+        parse(status, &body)
+    }
+
+    /// Polls until the job reaches a terminal state or `deadline`
+    /// elapses.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a timeout message.
+    pub fn wait(addr: &str, id: u64, deadline: Duration) -> Result<Value, String> {
+        let start = Instant::now();
+        loop {
+            let (status, v) = poll(addr, id)?;
+            if status != 200 {
+                return Err(format!("job {id}: status {status}: {v:?}"));
+            }
+            match v.get("state").and_then(Value::as_str) {
+                Some("done") | Some("failed") => return Ok(v),
+                _ => {}
+            }
+            if start.elapsed() > deadline {
+                return Err(format!("job {id}: still not terminal after {deadline:?}"));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Fetches `/stats`.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`].
+    pub fn stats(addr: &str) -> Result<Value, String> {
+        let (status, body) = http_request(addr, "GET", "/stats", None)?;
+        if status != 200 {
+            return Err(format!("stats: status {status}"));
+        }
+        Ok(parse(status, &body)?.1)
+    }
+
+    /// Requests a graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`].
+    pub fn drain(addr: &str) -> Result<(), String> {
+        let (status, _) = http_request(addr, "POST", "/drain", None)?;
+        if status != 200 {
+            return Err(format!("drain: status {status}"));
+        }
+        Ok(())
+    }
+
+    fn parse(status: u16, body: &str) -> Result<(u16, Value), String> {
+        serde_json::parse_value(body)
+            .map(|v| (status, v))
+            .map_err(|e| format!("bad response JSON ({e}): {body}"))
+    }
+}

@@ -1,0 +1,433 @@
+//! End-to-end tests of the sweep server over real loopback sockets,
+//! with a mock executor so every failure mode is scriptable.
+//!
+//! The mock's body protocol: `ok:<name>` succeeds; `slow:<name>`
+//! succeeds after a delay; `fail:<name>` always fails (non-transient);
+//! `flaky:<n>:<name>` fails the first `n` run attempts, then
+//! succeeds; `chaos:<name>` succeeds but is uncacheable; `bad`
+//! refuses to prepare. `sweep=` bodies expand to comma-separated
+//! sub-bodies. `retryable:<n>:<name>` fails the first `n` attempts
+//! *transiently* (exercises in-worker retry, not the breaker).
+
+use hvx_core::report::CellReport;
+use hvx_core::ScenarioFailureKind;
+use hvx_serve::{
+    client, BreakerConfig, JobExecutor, JobFailure, JobOutput, Journal, PreparedJob, Server,
+    ServerConfig,
+};
+use serde_json::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[derive(Default)]
+struct MockExec {
+    run_calls: AtomicU64,
+    attempts: Mutex<HashMap<String, u32>>,
+    cache: Mutex<HashMap<String, JobOutput>>,
+    run_delay: Duration,
+}
+
+impl MockExec {
+    fn output(body: &str, retries: u32) -> JobOutput {
+        JobOutput {
+            report: format!("report for {body}"),
+            cell: CellReport {
+                scenario: body.to_string(),
+                fingerprint: Some(format!("fp-{body}")),
+                retries,
+                cached: false,
+                failure: None,
+            },
+        }
+    }
+}
+
+impl JobExecutor for MockExec {
+    fn prepare(&self, body: &str) -> Result<PreparedJob, String> {
+        if body == "bad" {
+            return Err("unparsable body".into());
+        }
+        let weight = if body.starts_with("heavy:") { 10 } else { 2 };
+        Ok(PreparedJob {
+            label: body.to_string(),
+            fingerprint: format!("fp-{body}"),
+            cacheable: !body.starts_with("chaos:"),
+            weight,
+            body: body.to_string(),
+        })
+    }
+
+    fn lookup(&self, job: &PreparedJob) -> Option<JobOutput> {
+        if !job.cacheable {
+            return None;
+        }
+        self.cache.lock().unwrap().get(&job.fingerprint).cloned()
+    }
+
+    fn run(&self, job: &PreparedJob) -> Result<JobOutput, JobFailure> {
+        self.run_calls.fetch_add(1, Ordering::SeqCst);
+        if self.run_delay > Duration::ZERO || job.body.starts_with("slow:") {
+            std::thread::sleep(self.run_delay.max(Duration::from_millis(150)));
+        }
+        if job.body.starts_with("fail:") {
+            return Err(JobFailure {
+                kind: ScenarioFailureKind::Panicked,
+                detail: format!("scripted failure for {}", job.body),
+                transient: false,
+            });
+        }
+        for (prefix, transient) in [("flaky:", false), ("retryable:", true)] {
+            if let Some(rest) = job.body.strip_prefix(prefix) {
+                let n: u32 = rest.split(':').next().unwrap().parse().unwrap();
+                let mut attempts = self.attempts.lock().unwrap();
+                let seen = attempts.entry(job.body.clone()).or_insert(0);
+                *seen += 1;
+                if *seen <= n {
+                    return Err(JobFailure {
+                        kind: ScenarioFailureKind::Panicked,
+                        detail: format!("attempt {seen} of {} fails", job.body),
+                        transient,
+                    });
+                }
+            }
+        }
+        let out = Self::output(&job.body, 0);
+        if job.cacheable {
+            self.cache
+                .lock()
+                .unwrap()
+                .insert(job.fingerprint.clone(), out.clone());
+        }
+        Ok(out)
+    }
+
+    fn expand(&self, body: &str) -> Result<Vec<String>, String> {
+        match body.strip_prefix("sweep=") {
+            Some(rest) => Ok(rest.split(',').map(str::to_string).collect()),
+            None => Err("not a sweep template".into()),
+        }
+    }
+}
+
+fn start(
+    cfg: ServerConfig,
+    exec: Arc<MockExec>,
+) -> (String, std::thread::JoinHandle<()>, Arc<MockExec>) {
+    let server = Server::bind(cfg, exec.clone() as Arc<dyn JobExecutor>).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle, exec)
+}
+
+fn stop(addr: &str, handle: std::thread::JoinHandle<()>) {
+    client::drain(addr).unwrap();
+    handle.join().unwrap();
+}
+
+fn str_of<'v>(v: &'v Value, key: &str) -> &'v str {
+    v.get(key).and_then(Value::as_str).unwrap()
+}
+
+fn u64_of(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap()
+}
+
+#[test]
+fn submit_poll_roundtrip_and_warm_dedupe_skips_the_worker_pool() {
+    let (addr, handle, exec) = start(ServerConfig::default(), Arc::default());
+    let (status, v) = client::submit(&addr, "alice", "ok:roundtrip").unwrap();
+    assert_eq!(status, 202);
+    assert_eq!(str_of(&v, "state"), "queued");
+    let id = u64_of(&v, "job");
+    let done = client::wait(&addr, id, Duration::from_secs(5)).unwrap();
+    assert_eq!(str_of(&done, "state"), "done");
+    assert_eq!(str_of(&done, "report"), "report for ok:roundtrip");
+    assert_eq!(
+        str_of(done.get("cell").unwrap(), "scenario"),
+        "ok:roundtrip"
+    );
+    assert_eq!(exec.run_calls.load(Ordering::SeqCst), 1);
+
+    // Warm resubmission: answered done at admission, zero new runs.
+    let (status, v) = client::submit(&addr, "bob", "ok:roundtrip").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(str_of(&v, "state"), "done");
+    assert_eq!(v.get("cached"), Some(&Value::Bool(true)));
+    assert_eq!(exec.run_calls.load(Ordering::SeqCst), 1);
+    let stats = client::stats(&addr).unwrap();
+    assert_eq!(u64_of(&stats, "warm_hits"), 1);
+    stop(&addr, handle);
+}
+
+#[test]
+fn flood_past_the_admission_bound_sheds_instead_of_hanging() {
+    let cfg = ServerConfig {
+        workers: 1,
+        max_queue_weight: 6, // three weight-2 jobs
+        client_inflight_cap: 64,
+        ..ServerConfig::default()
+    };
+    let (addr, handle, _exec) = start(cfg, Arc::default());
+
+    // Concurrent clients race past the bound; every response must be a
+    // prompt 202 or a structured 429, never a hang.
+    let results: Vec<(u16, Value)> = {
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    client::submit(&addr, &format!("c{i}"), &format!("slow:{i}")).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    };
+    let admitted = results.iter().filter(|(s, _)| *s == 202).count();
+    let shed: Vec<&Value> = results
+        .iter()
+        .filter(|(s, _)| *s == 429)
+        .map(|(_, v)| v)
+        .collect();
+    assert!(admitted >= 1, "at least one job admitted");
+    assert!(!shed.is_empty(), "flood past the bound must shed");
+    for v in &shed {
+        assert_eq!(str_of(v, "error"), "shed");
+        assert!(v.get("queue_depth").is_some());
+        assert!(u64_of(v, "retry_after_ms") > 0);
+    }
+    // The accept loop is still live mid-flood.
+    let stats = client::stats(&addr).unwrap();
+    assert_eq!(u64_of(&stats, "shed_total"), shed.len() as u64);
+    stop(&addr, handle);
+}
+
+#[test]
+fn per_client_inflight_cap_is_enforced() {
+    let cfg = ServerConfig {
+        workers: 1,
+        client_inflight_cap: 2,
+        max_queue_weight: 1000,
+        ..ServerConfig::default()
+    };
+    let (addr, handle, _exec) = start(cfg, Arc::default());
+    assert_eq!(client::submit(&addr, "hog", "slow:1").unwrap().0, 202);
+    assert_eq!(client::submit(&addr, "hog", "slow:2").unwrap().0, 202);
+    let (status, v) = client::submit(&addr, "hog", "slow:3").unwrap();
+    assert_eq!(status, 429);
+    assert_eq!(str_of(&v, "error"), "client-cap");
+    // A different client is unaffected.
+    assert_eq!(client::submit(&addr, "other", "slow:4").unwrap().0, 202);
+    stop(&addr, handle);
+}
+
+#[test]
+fn transient_failures_retry_with_backoff_and_report_the_count() {
+    let cfg = ServerConfig {
+        max_retries: 3,
+        retry_backoff: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, exec) = start(cfg, Arc::default());
+    let (_, v) = client::submit(&addr, "alice", "retryable:2:x").unwrap();
+    let done = client::wait(&addr, u64_of(&v, "job"), Duration::from_secs(5)).unwrap();
+    assert_eq!(str_of(&done, "state"), "done");
+    assert_eq!(u64_of(&done, "retries"), 2);
+    assert_eq!(exec.run_calls.load(Ordering::SeqCst), 3);
+    stop(&addr, handle);
+}
+
+#[test]
+fn breaker_opens_after_threshold_then_half_open_probe_closes_it() {
+    let cfg = ServerConfig {
+        max_retries: 0,
+        breaker: BreakerConfig {
+            threshold: 2,
+            cooldown: Duration::from_millis(200),
+        },
+        ..ServerConfig::default()
+    };
+    let (addr, handle, _exec) = start(cfg, Arc::default());
+
+    // flaky:2 fails its first two runs non-transiently: each failure
+    // feeds the breaker, and the second opens it.
+    for expect_quarantined in [false, true] {
+        let (_, v) = client::submit(&addr, "alice", "flaky:2:fp").unwrap();
+        let done = client::wait(&addr, u64_of(&v, "job"), Duration::from_secs(5)).unwrap();
+        assert_eq!(str_of(&done, "state"), "failed");
+        assert_eq!(str_of(done.get("failure").unwrap(), "kind"), "panicked");
+        assert_eq!(
+            done.get("quarantined"),
+            Some(&Value::Bool(expect_quarantined))
+        );
+    }
+    // Open: submissions for that fingerprint are refused with 409.
+    let (status, v) = client::submit(&addr, "alice", "flaky:2:fp").unwrap();
+    assert_eq!(status, 409);
+    assert_eq!(str_of(&v, "error"), "quarantined");
+    assert!(u64_of(&v, "retry_after_ms") > 0);
+    let stats = client::stats(&addr).unwrap();
+    assert_eq!(u64_of(&stats, "breaker_open"), 1);
+    // Other fingerprints still run.
+    assert_eq!(
+        client::submit(&addr, "alice", "ok:bystander").unwrap().0,
+        202
+    );
+
+    // After the cooldown the breaker half-opens; the probe (third run
+    // of flaky:2) succeeds and closes it.
+    std::thread::sleep(Duration::from_millis(250));
+    let (status, v) = client::submit(&addr, "alice", "flaky:2:fp").unwrap();
+    assert_eq!(status, 202);
+    let done = client::wait(&addr, u64_of(&v, "job"), Duration::from_secs(5)).unwrap();
+    assert_eq!(str_of(&done, "state"), "done");
+    let stats = client::stats(&addr).unwrap();
+    assert_eq!(u64_of(&stats, "breaker_open"), 0);
+    stop(&addr, handle);
+}
+
+#[test]
+fn sweep_admission_is_all_or_nothing() {
+    let cfg = ServerConfig {
+        workers: 1,
+        max_queue_weight: 5, // three weight-2 jobs won't fit
+        ..ServerConfig::default()
+    };
+    let (addr, handle, _exec) = start(cfg, Arc::default());
+    let (status, v) = client::sweep(&addr, "alice", "sweep=ok:s1,ok:s2,ok:s3").unwrap();
+    assert_eq!(status, 429);
+    assert_eq!(str_of(&v, "error"), "shed");
+    let stats = client::stats(&addr).unwrap();
+    assert_eq!(
+        u64_of(&stats, "accepted_total"),
+        0,
+        "nothing partially admitted"
+    );
+
+    // Two fit.
+    let (status, v) = client::sweep(&addr, "alice", "sweep=ok:s1,ok:s2").unwrap();
+    assert_eq!(status, 202);
+    let jobs = v.get("jobs").unwrap().as_array().unwrap();
+    assert_eq!(jobs.len(), 2);
+    for j in jobs {
+        let id = j.as_u64().unwrap();
+        let done = client::wait(&addr, id, Duration::from_secs(5)).unwrap();
+        assert_eq!(str_of(&done, "state"), "done");
+    }
+    stop(&addr, handle);
+}
+
+#[test]
+fn journal_recovery_readmits_incomplete_work_exactly_once() {
+    let dir = std::env::temp_dir().join(format!("hvx-serve-recover-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    // A previous process accepted three jobs and finished only one —
+    // then died (we write the journal it would have left behind).
+    let exec = Arc::new(MockExec::default());
+    let j = Journal::open(&path).unwrap();
+    for (id, body) in [
+        (0, "ok:done-before-crash"),
+        (1, "ok:lost"),
+        (2, "ok:cached"),
+    ] {
+        j.accepted(id, "alice", &exec.prepare(body).unwrap())
+            .unwrap();
+    }
+    j.terminal(0, "done").unwrap();
+    drop(j);
+    // Job 2's result made it into the cache before the crash.
+    exec.cache
+        .lock()
+        .unwrap()
+        .insert("fp-ok:cached".into(), MockExec::output("ok:cached", 0));
+
+    let cfg = ServerConfig {
+        journal: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, exec) = start(cfg, exec);
+    // Job 1 re-ran; job 2 was served from cache without a worker.
+    let done = client::wait(&addr, 1, Duration::from_secs(5)).unwrap();
+    assert_eq!(str_of(&done, "state"), "done");
+    let cached = client::wait(&addr, 2, Duration::from_secs(5)).unwrap();
+    assert_eq!(str_of(&cached, "state"), "done");
+    assert_eq!(cached.get("cached"), Some(&Value::Bool(true)));
+    // Job 0 completed before the crash: not re-admitted.
+    assert_eq!(client::poll(&addr, 0).unwrap().0, 404);
+    assert_eq!(exec.run_calls.load(Ordering::SeqCst), 1);
+    // New ids continue past the journaled ones.
+    let (_, v) = client::submit(&addr, "alice", "ok:fresh").unwrap();
+    assert_eq!(u64_of(&v, "job"), 3);
+    client::wait(&addr, 3, Duration::from_secs(5)).unwrap();
+    stop(&addr, handle);
+
+    // Second restart: every journaled job has a terminal record, so
+    // nothing is re-admitted and nothing re-runs — exactly once.
+    let runs_before = exec.run_calls.load(Ordering::SeqCst);
+    let cfg = ServerConfig {
+        journal: Some(path),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, exec) = start(cfg, exec);
+    let stats = client::stats(&addr).unwrap();
+    assert_eq!(u64_of(&stats, "recovered_total"), 0);
+    assert_eq!(exec.run_calls.load(Ordering::SeqCst), runs_before);
+    stop(&addr, handle);
+}
+
+#[test]
+fn finished_results_are_evicted_oldest_idle_first() {
+    let cfg = ServerConfig {
+        max_results: 2,
+        ..ServerConfig::default()
+    };
+    let (addr, handle, _exec) = start(cfg, Arc::default());
+    let mut ids = Vec::new();
+    for i in 0..4 {
+        let (_, v) = client::submit(&addr, "alice", &format!("ok:evict{i}")).unwrap();
+        let id = u64_of(&v, "job");
+        client::wait(&addr, id, Duration::from_secs(5)).unwrap();
+        ids.push(id);
+        // Polling (above) refreshes last_touch, so completion order is
+        // also idle order here.
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(client::poll(&addr, ids[0]).unwrap().0, 404);
+    assert_eq!(client::poll(&addr, ids[1]).unwrap().0, 404);
+    assert_eq!(client::poll(&addr, ids[3]).unwrap().0, 200);
+    let stats = client::stats(&addr).unwrap();
+    assert_eq!(u64_of(&stats, "evicted_total"), 2);
+    stop(&addr, handle);
+}
+
+#[test]
+fn drain_finishes_running_work_and_refuses_new_submissions() {
+    let (addr, handle, _exec) = start(ServerConfig::default(), Arc::default());
+    let (_, v) = client::submit(&addr, "alice", "slow:drain").unwrap();
+    let id = u64_of(&v, "job");
+    client::drain(&addr).unwrap();
+    let (status, v) = client::submit(&addr, "alice", "ok:late").unwrap();
+    assert_eq!(status, 503);
+    assert_eq!(str_of(&v, "error"), "draining");
+    // The in-flight job still completes; run() then exits on its own.
+    handle.join().unwrap();
+    // (Server is gone now — its final state confirmed the job ran to
+    // completion because run() only exits when running == 0.)
+    let _ = id;
+}
+
+#[test]
+fn malformed_bodies_and_unknown_routes_get_structured_errors() {
+    let (addr, handle, exec) = start(ServerConfig::default(), Arc::default());
+    let (status, v) = client::submit(&addr, "alice", "bad").unwrap();
+    assert_eq!(status, 400);
+    assert_eq!(str_of(&v, "error"), "bad-request");
+    assert_eq!(exec.run_calls.load(Ordering::SeqCst), 0);
+    let (status, _) = client::poll(&addr, 999).unwrap();
+    assert_eq!(status, 404);
+    stop(&addr, handle);
+}

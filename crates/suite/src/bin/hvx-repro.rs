@@ -14,6 +14,16 @@
 //! hvx-repro trace query FILE [--transition NAME] [--track pcpuN]
 //!           [--from CYC] [--to CYC] [--top K] [--validate]
 //! hvx-repro trace bench [--out FILE] [--ring N]
+//! hvx-repro serve [--addr HOST:PORT] [--workers N] [--cache DIR]
+//!           [--journal FILE] [--max-queue-weight N] [--client-cap N]
+//!           [--max-results N] [--retries N]
+//! hvx-repro serve submit --addr A (--spec FILE | --chaos KIND)
+//!           [--client NAME] [--wait SECS]
+//! hvx-repro serve sweep --addr A --template FILE [--client NAME]
+//! hvx-repro serve poll --addr A JOBID
+//! hvx-repro serve stats --addr A
+//! hvx-repro serve drain --addr A
+//! hvx-repro serve bench [--out FILE]
 //! hvx-repro list-scenarios
 //!
 //! ARTIFACTs: table2 table3 table5 fig4 irq vhe zerocopy link vapic
@@ -61,17 +71,31 @@
 //! different bytes) exits 4 with a per-cell span-delta report.
 //! `--cache DIR` on `run`/`baseline write`/`check` consults a
 //! content-addressed result cache so warm reruns skip unchanged cells.
+//!
+//! `serve` starts the crash-safe sweep server (`hvx-serve`): clients
+//! POST spec bodies and poll results over HTTP/JSON while the server
+//! sheds overload, quarantines failing fingerprints, and journals
+//! every acceptance for exactly-once crash recovery. The `serve
+//! submit/sweep/poll/stats/drain` subcommands are a built-in client
+//! (responses print as JSON envelopes carrying the HTTP `status`);
+//! `serve bench` measures cold/warm round-trip latency and the shed
+//! threshold, writing `BENCH_serve.json`. `run --out json` switches
+//! stdout to the structured [`RunReport`](hvx_core::report::RunReport)
+//! (one record per scenario: typed failure kind, retry count, content
+//! fingerprint) instead of rendered artifact text.
 
 use hvx_core::Error;
 use hvx_engine::{FaultPlan, Watchdog};
+use hvx_serve::{client as serve_client, Server, ServerConfig};
 use hvx_suite::bench_grid;
 use hvx_suite::cache::ResultCache;
 use hvx_suite::diff;
 use hvx_suite::profile::{self, ProfileScenario};
 use hvx_suite::runner::{self, ArtifactId, ChaosKind, RunnerConfig};
+use hvx_suite::service::{self, SuiteExecutor};
 use hvx_suite::spec_run;
 use hvx_suite::trace::{self, TraceScenario};
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -85,6 +109,18 @@ struct RunArgs {
     cfg: RunnerConfig,
     keep_going: bool,
     cache_dir: Option<PathBuf>,
+    out_json: bool,
+}
+
+struct ServeArgs {
+    addr: String,
+    workers: usize,
+    cache_dir: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    max_queue_weight: u64,
+    client_cap: usize,
+    max_results: usize,
+    retries: u32,
 }
 
 struct BaselineArgs {
@@ -126,6 +162,15 @@ fn usage() -> String {
          \x20      hvx-repro trace bench [--out FILE] [--ring N]\n\
          \x20      hvx-repro baseline write [--dir DIR] [--jobs N] [--cache DIR] [ARTIFACT...]\n\
          \x20      hvx-repro check [--baseline DIR] [--jobs N] [--cache DIR] [ARTIFACT...]\n\
+         \x20      hvx-repro serve [--addr HOST:PORT] [--workers N] [--cache DIR]\n\
+         \x20                [--journal FILE] [--max-queue-weight N] [--client-cap N]\n\
+         \x20                [--max-results N] [--retries N]\n\
+         \x20      hvx-repro serve submit --addr A (--spec FILE | --chaos KIND)\n\
+         \x20                [--client NAME] [--wait SECS]\n\
+         \x20      hvx-repro serve sweep --addr A --template FILE [--client NAME]\n\
+         \x20      hvx-repro serve poll --addr A JOBID\n\
+         \x20      hvx-repro serve stats --addr A | serve drain --addr A\n\
+         \x20      hvx-repro serve bench [--out FILE]\n\
          \x20      hvx-repro list-scenarios\n\
          run/profile fault options:\n\
          \x20 --fault-plan SPEC    inject faults, e.g. 'wire_drop=0.02,grant_copy_fail=0.01'\n\
@@ -134,6 +179,10 @@ fn usage() -> String {
          \x20 --spec FILE          run the one scenario a JSON ScenarioSpec file\n\
          \x20                      describes (paper or consolidation shape) and print\n\
          \x20                      its report; combines with no other run options\n\
+         run output option:\n\
+         \x20 --out json|text      'json' prints the structured RunReport (one record per\n\
+         \x20                      scenario: label, fingerprint, retries, cached, failure)\n\
+         \x20                      instead of rendered artifact text (default 'text')\n\
          run robustness options:\n\
          \x20 --keep-going         report failed scenarios on stderr but exit 0\n\
          \x20 --cycle-budget N     abort any scenario past N simulated cycles (timed out)\n\
@@ -157,9 +206,43 @@ fn usage() -> String {
     )
 }
 
+enum SubmitSource {
+    Spec(PathBuf),
+    Chaos(String),
+}
+
+enum ServeCmd {
+    Run(ServeArgs),
+    Submit {
+        addr: String,
+        client: String,
+        source: SubmitSource,
+        wait_secs: Option<f64>,
+    },
+    Sweep {
+        addr: String,
+        client: String,
+        template: PathBuf,
+    },
+    Poll {
+        addr: String,
+        job: u64,
+    },
+    Stats {
+        addr: String,
+    },
+    Drain {
+        addr: String,
+    },
+    Bench {
+        out: PathBuf,
+    },
+}
+
 enum Parsed {
     Run(RunArgs),
-    SpecRun(PathBuf),
+    SpecRun { path: PathBuf, out_json: bool },
+    Serve(ServeCmd),
     Bench { out: PathBuf, jobs: usize },
     Profile(ProfileArgs),
     TraceRun(TraceRunArgs),
@@ -213,8 +296,17 @@ fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
     let mut wall_timeout = None;
     let mut chaos = Vec::new();
     let mut cache_dir = None;
+    let mut out_json = false;
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--out" => {
+                let mode = it.next().ok_or("--out requires 'json' or 'text'")?;
+                out_json = match mode.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("--out needs 'json' or 'text', got '{other}'")),
+                };
+            }
             "--json" => {
                 let dir = it.next().ok_or("--json requires a directory")?;
                 json_dir = Some(PathBuf::from(dir));
@@ -309,7 +401,7 @@ fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
                 extra.join(", ")
             ));
         }
-        return Ok(Parsed::SpecRun(path));
+        return Ok(Parsed::SpecRun { path, out_json });
     }
     if requested.is_empty() {
         requested.extend(ArtifactId::ALL);
@@ -328,6 +420,7 @@ fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
         wall_timeout,
         chaos,
         cache: None,
+        retry: runner::RetryPolicy::default(),
     };
     Ok(Parsed::Run(RunArgs {
         json_dir,
@@ -338,6 +431,208 @@ fn parse_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
         cfg,
         keep_going,
         cache_dir,
+        out_json,
+    }))
+}
+
+/// Parses the `serve` subcommand family: bare `serve` starts the
+/// server; `serve submit|sweep|poll|stats|drain|bench` are clients.
+fn parse_serve(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut it = it.peekable();
+    match it.peek().map(String::as_str) {
+        Some("submit") => {
+            it.next();
+            parse_serve_submit(&mut it)
+        }
+        Some("sweep") => {
+            it.next();
+            parse_serve_sweep(&mut it)
+        }
+        Some("poll") => {
+            it.next();
+            parse_serve_poll(&mut it)
+        }
+        Some("stats") => {
+            it.next();
+            Ok(Parsed::Serve(ServeCmd::Stats {
+                addr: parse_addr_only(&mut it, "serve stats")?,
+            }))
+        }
+        Some("drain") => {
+            it.next();
+            Ok(Parsed::Serve(ServeCmd::Drain {
+                addr: parse_addr_only(&mut it, "serve drain")?,
+            }))
+        }
+        Some("bench") => {
+            it.next();
+            let mut out = PathBuf::from("BENCH_serve.json");
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--out" => {
+                        let file = it.next().ok_or("--out requires an output file")?;
+                        out = PathBuf::from(file);
+                    }
+                    "--help" | "-h" => return Ok(Parsed::Help),
+                    other => {
+                        return Err(format!(
+                            "serve bench: unexpected argument '{other}'; try --help"
+                        ))
+                    }
+                }
+            }
+            Ok(Parsed::Serve(ServeCmd::Bench { out }))
+        }
+        _ => parse_serve_run(&mut it),
+    }
+}
+
+fn parse_serve_run(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut args = ServeArgs {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_dir: None,
+        journal: Some(PathBuf::from("hvx-serve.journal.jsonl")),
+        max_queue_weight: 120,
+        client_cap: 8,
+        max_results: 256,
+        retries: 2,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = it.next().ok_or("--addr requires HOST:PORT")?,
+            "--workers" => args.workers = parse_jobs(it)?,
+            "--cache" => {
+                let dir = it.next().ok_or("--cache requires a directory")?;
+                args.cache_dir = Some(PathBuf::from(dir));
+            }
+            "--journal" => {
+                let file = it.next().ok_or("--journal requires a file")?;
+                args.journal = Some(PathBuf::from(file));
+            }
+            "--no-journal" => args.journal = None,
+            "--max-queue-weight" => {
+                args.max_queue_weight = parse_u64("--max-queue-weight", it)?;
+            }
+            "--client-cap" => {
+                args.client_cap = usize::try_from(parse_u64("--client-cap", it)?)
+                    .map_err(|_| "--client-cap out of range".to_string())?;
+            }
+            "--max-results" => {
+                args.max_results = usize::try_from(parse_u64("--max-results", it)?)
+                    .map_err(|_| "--max-results out of range".to_string())?;
+            }
+            "--retries" => {
+                args.retries = u32::try_from(parse_u64("--retries", it)?)
+                    .map_err(|_| "--retries out of range".to_string())?;
+            }
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("serve: unexpected argument '{other}'; try --help")),
+        }
+    }
+    Ok(Parsed::Serve(ServeCmd::Run(args)))
+}
+
+fn parse_addr_only(it: &mut impl Iterator<Item = String>, what: &str) -> Result<String, String> {
+    let mut addr = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("--addr requires HOST:PORT")?),
+            other => return Err(format!("{what}: unexpected argument '{other}'; try --help")),
+        }
+    }
+    addr.ok_or_else(|| format!("{what} requires --addr HOST:PORT"))
+}
+
+fn parse_serve_submit(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut addr = None;
+    let mut client = "cli".to_string();
+    let mut source = None;
+    let mut wait_secs = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("--addr requires HOST:PORT")?),
+            "--client" => client = it.next().ok_or("--client requires a name")?,
+            "--spec" => {
+                let file = it.next().ok_or("--spec requires a spec file")?;
+                source = Some(SubmitSource::Spec(PathBuf::from(file)));
+            }
+            "--chaos" => {
+                let kind = it.next().ok_or("--chaos requires a kind")?;
+                source = Some(SubmitSource::Chaos(kind));
+            }
+            "--wait" => {
+                let secs = it.next().ok_or("--wait requires seconds")?;
+                wait_secs = Some(
+                    secs.parse::<f64>()
+                        .ok()
+                        .filter(|s| *s > 0.0)
+                        .ok_or_else(|| format!("--wait needs positive seconds, got '{secs}'"))?,
+                );
+            }
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => {
+                return Err(format!(
+                    "serve submit: unexpected argument '{other}'; try --help"
+                ))
+            }
+        }
+    }
+    Ok(Parsed::Serve(ServeCmd::Submit {
+        addr: addr.ok_or("serve submit requires --addr HOST:PORT")?,
+        client,
+        source: source.ok_or("serve submit requires --spec FILE or --chaos KIND")?,
+        wait_secs,
+    }))
+}
+
+fn parse_serve_sweep(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut addr = None;
+    let mut client = "cli".to_string();
+    let mut template = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("--addr requires HOST:PORT")?),
+            "--client" => client = it.next().ok_or("--client requires a name")?,
+            "--template" => {
+                let file = it.next().ok_or("--template requires a file")?;
+                template = Some(PathBuf::from(file));
+            }
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => {
+                return Err(format!(
+                    "serve sweep: unexpected argument '{other}'; try --help"
+                ))
+            }
+        }
+    }
+    Ok(Parsed::Serve(ServeCmd::Sweep {
+        addr: addr.ok_or("serve sweep requires --addr HOST:PORT")?,
+        client,
+        template: template.ok_or("serve sweep requires --template FILE")?,
+    }))
+}
+
+fn parse_serve_poll(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut addr = None;
+    let mut job = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("--addr requires HOST:PORT")?),
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => match other.parse::<u64>() {
+                Ok(id) => job = Some(id),
+                Err(_) => {
+                    return Err(format!(
+                        "serve poll: expected a job id, got '{other}'; try --help"
+                    ))
+                }
+            },
+        }
+    }
+    Ok(Parsed::Serve(ServeCmd::Poll {
+        addr: addr.ok_or("serve poll requires --addr HOST:PORT")?,
+        job: job.ok_or("serve poll requires a job id")?,
     }))
 }
 
@@ -572,6 +867,10 @@ fn parse_args() -> Result<Parsed, String> {
             it.next();
             parse_trace(&mut it)
         }
+        Some("serve") => {
+            it.next();
+            parse_serve(&mut it)
+        }
         Some("baseline") => {
             it.next();
             match it.next().as_deref() {
@@ -759,8 +1058,10 @@ fn run(args: &RunArgs) -> Result<(), Error> {
         return bench(path, args.jobs);
     }
 
-    println!("hvx — reproducing \"ARM Virtualization: Performance and Architectural");
-    println!("Implications\" (ISCA 2016) on the simulator. Paper values in parentheses.\n");
+    if !args.out_json {
+        println!("hvx — reproducing \"ARM Virtualization: Performance and Architectural");
+        println!("Implications\" (ISCA 2016) on the simulator. Paper values in parentheses.\n");
+    }
 
     let cache = open_cache(args.cache_dir.as_ref())?;
     let cfg = RunnerConfig {
@@ -772,7 +1073,9 @@ fn run(args: &RunArgs) -> Result<(), Error> {
     let elapsed = started.elapsed().as_secs_f64();
     let reports = &outcome.reports;
     for r in reports {
-        print!("{}", r.text);
+        if !args.out_json {
+            print!("{}", r.text);
+        }
         if let Some(dir) = &args.json_dir {
             std::fs::create_dir_all(dir)?;
             let path = dir.join(format!("{}.json", r.id.json_name()));
@@ -820,6 +1123,16 @@ fn run(args: &RunArgs) -> Result<(), Error> {
         }
     }
 
+    if args.out_json {
+        // The structured report replaces the rendered artifact text on
+        // stdout: one record per scenario (chaos last), carrying the
+        // typed failure kind, retry count, and content fingerprint.
+        let report = hvx_core::report::RunReport {
+            cells: outcome.cells.clone(),
+        };
+        println!("{}", pretty(&Serialize::serialize(&report))?);
+    }
+
     report_cache_stats(&cache);
     let failures = outcome.failures();
     for (label, f) in &failures {
@@ -844,11 +1157,149 @@ fn run(args: &RunArgs) -> Result<(), Error> {
 }
 
 /// `run --spec FILE`: load the scenario spec, run the one scenario it
-/// describes, print its report.
-fn run_spec_file(path: &Path) -> Result<(), Error> {
+/// describes, print its report — as text, or (`--out json`) as the
+/// structured `{report, cell}` record.
+fn run_spec_file(path: &Path, out_json: bool) -> Result<(), Error> {
     let spec = spec_run::load(path)?;
-    print!("{}", spec_run::run_spec(&spec)?);
+    if out_json {
+        let run = spec_run::run_spec_report(&spec)?;
+        let v = Value::Object(vec![
+            ("report".into(), Value::Str(run.report)),
+            ("cell".into(), Serialize::serialize(&run.cell)),
+        ]);
+        println!("{}", pretty(&v)?);
+    } else {
+        print!("{}", spec_run::run_spec(&spec)?);
+    }
     Ok(())
+}
+
+fn pretty(v: &Value) -> Result<String, Error> {
+    serde_json::to_string_pretty(v).map_err(|e| Error::Serialize {
+        what: "JSON output",
+        detail: e.to_string(),
+    })
+}
+
+/// Prints an HTTP client response as a JSON envelope: the response
+/// body's fields with a `status` field prepended. The process exits 0
+/// whenever the round trip succeeded — error *statuses* (shed,
+/// quarantined, draining) are data for the caller to inspect, exactly
+/// like `curl`.
+fn print_envelope(status: u16, body: Value) -> Result<(), Error> {
+    let mut pairs = vec![("status".to_string(), Value::U64(u64::from(status)))];
+    match body {
+        Value::Object(fields) => pairs.extend(fields),
+        other => pairs.push(("body".to_string(), other)),
+    }
+    println!("{}", pretty(&Value::Object(pairs))?);
+    Ok(())
+}
+
+fn serve_err(detail: String) -> Error {
+    Error::Serve { detail }
+}
+
+/// `serve` with no client subcommand: bind, announce, serve until a
+/// drain completes.
+fn serve_run(args: &ServeArgs) -> Result<(), Error> {
+    let cache = open_cache(args.cache_dir.as_ref())?;
+    let cfg = ServerConfig {
+        addr: args.addr.clone(),
+        workers: args.workers,
+        max_queue_weight: args.max_queue_weight,
+        client_inflight_cap: args.client_cap,
+        max_results: args.max_results,
+        max_retries: args.retries,
+        journal: args.journal.clone(),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(cfg, Arc::new(SuiteExecutor::new(cache)))?;
+    // The resolved address goes to stdout (scripts capture it to learn
+    // an ephemeral port); progress chatter stays on stderr.
+    println!("hvx-serve: listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "hvx-serve: journal {}, cache {}",
+        args.journal
+            .as_ref()
+            .map_or("disabled".to_string(), |p| p.display().to_string()),
+        args.cache_dir
+            .as_ref()
+            .map_or("disabled".to_string(), |p| p.display().to_string()),
+    );
+    server.run()
+}
+
+fn serve_cmd(cmd: &ServeCmd) -> Result<(), Error> {
+    match cmd {
+        ServeCmd::Run(args) => serve_run(args),
+        ServeCmd::Submit {
+            addr,
+            client,
+            source,
+            wait_secs,
+        } => {
+            let body = match source {
+                SubmitSource::Spec(path) => std::fs::read_to_string(path)?,
+                SubmitSource::Chaos(kind) => format!("{{\"chaos\": \"{kind}\"}}"),
+            };
+            let (status, v) = serve_client::submit(addr, client, &body).map_err(serve_err)?;
+            if let (Some(secs), Some(id)) = (wait_secs, v.get("job").and_then(Value::as_u64)) {
+                if status == 200 || status == 202 {
+                    let v = serve_client::wait(addr, id, Duration::from_secs_f64(*secs))
+                        .map_err(serve_err)?;
+                    return print_envelope(200, v);
+                }
+            }
+            print_envelope(status, v)
+        }
+        ServeCmd::Sweep {
+            addr,
+            client,
+            template,
+        } => {
+            let body = std::fs::read_to_string(template)?;
+            let (status, v) = serve_client::sweep(addr, client, &body).map_err(serve_err)?;
+            print_envelope(status, v)
+        }
+        ServeCmd::Poll { addr, job } => {
+            let (status, v) = serve_client::poll(addr, *job).map_err(serve_err)?;
+            print_envelope(status, v)
+        }
+        ServeCmd::Stats { addr } => {
+            let v = serve_client::stats(addr).map_err(serve_err)?;
+            print_envelope(200, v)
+        }
+        ServeCmd::Drain { addr } => {
+            serve_client::drain(addr).map_err(serve_err)?;
+            print_envelope(
+                200,
+                Value::Object(vec![("draining".into(), Value::Bool(true))]),
+            )
+        }
+        ServeCmd::Bench { out } => {
+            eprintln!("serve bench: in-process server, cold + warm round trip, shed burst ...");
+            let report = service::bench()?;
+            let data = serde_json::to_string_pretty(&report).map_err(|e| Error::Serialize {
+                what: "serve bench report",
+                detail: e.to_string(),
+            })?;
+            std::fs::write(out, data)?;
+            eprintln!(
+                "serve bench: cold {}us, warm {}us ({:.1}x), shed after {} of weight bound {}, \
+                 wrote {}",
+                report.cold_us,
+                report.warm_us,
+                report.warm_speedup,
+                report.accepted_before_shed,
+                report.max_queue_weight,
+                out.display()
+            );
+            Ok(())
+        }
+    }
 }
 
 fn run_profile(args: &ProfileArgs) -> Result<(), Error> {
@@ -950,7 +1401,8 @@ fn main() {
             return;
         }
         Parsed::Run(args) => run(args),
-        Parsed::SpecRun(path) => run_spec_file(path),
+        Parsed::SpecRun { path, out_json } => run_spec_file(path, *out_json),
+        Parsed::Serve(cmd) => serve_cmd(cmd),
         Parsed::Bench { out, jobs } => bench(out, *jobs),
         Parsed::Profile(args) => run_profile(args),
         Parsed::TraceRun(args) => trace_run(args),

@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Part of every fingerprint **and** the cache/baseline directory
 /// layout: bumping it invalidates all cached entries and turns every
 /// baseline divergence into an expected `schema-bump` instead of drift.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Computes the content fingerprint of one scenario under one runner
 /// configuration, or `None` for scenarios that must never be cached
@@ -102,6 +102,28 @@ pub fn scenario_fingerprint(scenario: Scenario, cfg: &RunnerConfig) -> Option<Fi
         Scenario::Chaos(_) => return None,
     }
     Some(h.finish())
+}
+
+/// Computes the content fingerprint of a full
+/// [`ScenarioSpec`](hvx_core::ScenarioSpec): the
+/// schema version, both pinned cost tables, and every field of the
+/// spec itself (hypervisor, topology, scheduler, workload, virq
+/// policy, transaction count, fault plan, watchdog — all captured by
+/// the spec's canonical serialization).
+///
+/// This is the dedupe key of the sweep server: two clients submitting
+/// byte-different JSON that parses to the same spec share a
+/// fingerprint, and a warm submission is answered from the cache
+/// without re-running. Distinct from [`scenario_fingerprint`] by the
+/// domain tag, so spec entries and scenario entries never collide.
+pub fn spec_fingerprint(spec: &hvx_core::ScenarioSpec) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("hvx-spec");
+    h.write_u32(SCHEMA_VERSION);
+    CostModel::arm().fingerprint_into(&mut h);
+    CostModel::x86().fingerprint_into(&mut h);
+    h.write_serialize(spec);
+    h.finish()
 }
 
 /// Encodes an [`Output`] as a `(tag, payload)` pair, or `None` for the
@@ -279,6 +301,65 @@ impl ResultCache {
         }
     }
 
+    /// Looks up a raw entry by hex fingerprint and kind tag — the
+    /// server-facing face of the cache, where keys are spec
+    /// fingerprints ([`spec_fingerprint`]) rather than [`Scenario`]s.
+    /// Returns the stored payload, validated the same way as scenario
+    /// entries (schema, fingerprint, and kind must all match; anything
+    /// else is a miss).
+    pub fn lookup_raw(&self, fp_hex: &str, kind: &str) -> Option<Value> {
+        let path = self.dir.join(format!("{fp_hex}.json"));
+        let found = (|| {
+            let text = std::fs::read_to_string(path).ok()?;
+            let entry = serde_json::parse_value(&text).ok()?;
+            if entry.get("schema")?.as_u64()? != u64::from(SCHEMA_VERSION) {
+                return None;
+            }
+            if entry.get("fingerprint")?.as_str()? != fp_hex {
+                return None;
+            }
+            if entry.get("kind")?.as_str()? != kind {
+                return None;
+            }
+            Some(entry.get("payload")?.clone())
+        })();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a raw entry under a hex fingerprint. Same atomicity and
+    /// best-effort semantics as [`ResultCache::store`].
+    pub fn store_raw(&self, fp_hex: &str, kind: &str, payload: Value) {
+        let entry = Value::Object(vec![
+            ("schema".to_string(), Value::U64(u64::from(SCHEMA_VERSION))),
+            ("fingerprint".to_string(), Value::Str(fp_hex.to_string())),
+            ("kind".to_string(), Value::Str(kind.to_string())),
+            ("payload".to_string(), payload),
+        ]);
+        let Ok(text) = serde_json::to_string_pretty(&entry) else {
+            return;
+        };
+        let tmp = self.dir.join(format!(
+            "{fp_hex}.{}.{}.tmp",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+        ));
+        let dst = self.dir.join(format!("{fp_hex}.json"));
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, dst).is_ok() {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
     /// Counters accumulated by this handle since [`ResultCache::open`].
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -395,6 +476,33 @@ mod tests {
         assert_eq!(cache.stats().hits, 2);
         assert_eq!(cache.stats().stores, 2);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn raw_entries_round_trip_and_validate_kind_and_fingerprint() {
+        let dir = tmpdir("raw");
+        let cache = ResultCache::open(&dir).unwrap();
+        let payload = Value::Object(vec![
+            ("report".to_string(), Value::Str("text".into())),
+            ("cells".to_string(), Value::Array(vec![])),
+        ]);
+        cache.store_raw("abc123", "spec-result", payload.clone());
+        assert_eq!(cache.lookup_raw("abc123", "spec-result"), Some(payload));
+        // Wrong kind and unknown fingerprints are misses, not errors.
+        assert!(cache.lookup_raw("abc123", "other-kind").is_none());
+        assert!(cache.lookup_raw("def456", "spec-result").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_fingerprints_track_every_spec_field() {
+        let spec: hvx_core::ScenarioSpec =
+            serde_json::from_str(include_str!("../../../specs/consolidation-8to1.json")).unwrap();
+        let a = spec_fingerprint(&spec);
+        assert_eq!(a, spec_fingerprint(&spec), "deterministic");
+        let mut more_txns = spec.clone();
+        more_txns.transactions = Some(more_txns.transactions.unwrap_or(48) + 1);
+        assert_ne!(a, spec_fingerprint(&more_txns));
     }
 
     #[test]

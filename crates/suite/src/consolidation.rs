@@ -47,7 +47,7 @@
 use std::collections::VecDeque;
 
 use hvx_core::{Error, HvKind, Hypervisor, SchedPolicy, SimBuilder, VCpu, VcpuScheduler};
-use hvx_engine::{CoreId, Cycles, Machine, TraceKind, TransitionId};
+use hvx_engine::{CoreId, Cycles, FaultPlan, FaultPoint, Machine, TraceKind, TransitionId};
 use hvx_gic::{dist_reg, Distributor, VgicCpuInterface, VgicError};
 
 use serde::{Deserialize, Serialize};
@@ -84,6 +84,12 @@ const THINK: u64 = 12_000;
 const IPI_WIRE: u64 = 600;
 /// SGI number the guest uses for its cross-vCPU kick.
 const SGI: u32 = 4;
+/// Guest cycles for the primary vCPU to notice its kick never landed
+/// (a softirq watchdog / completion-timeout check at the top of the
+/// next transaction) before it re-sends the SGI. Dominates the
+/// latency penalty a dropped cross-vCPU IPI inflicts on the *next*
+/// transaction — the TCP_RR stall the fault sweep measures.
+const KICK_TIMEOUT: u64 = 20_000;
 
 /// One consolidation cell's results. All fields are integers so cached
 /// JSON is byte-stable; derived rates are computed at render time.
@@ -115,6 +121,11 @@ pub struct CellResult {
     pub ipis_sent: u64,
     /// SGI injections coalesced onto an already-pending vIRQ.
     pub ipis_coalesced: u64,
+    /// Cross-vCPU kicks the fault plan dropped on the delivery path.
+    pub ipis_dropped: u64,
+    /// Kicks the guest re-sent after its completion timeout noticed a
+    /// drop (each charged `KICK_TIMEOUT` + a second SGIR emulation).
+    pub ipis_resent: u64,
     /// Global makespan of the cell, cycles.
     pub makespan_cycles: u64,
     /// Iterations the loop compiler replayed (0 under contention).
@@ -140,7 +151,7 @@ impl CellResult {
 }
 
 /// Full cell configuration (the artifact path uses [`run_cell`]).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CellConfig {
     /// Hypervisor under test.
     pub kind: HvKind,
@@ -155,6 +166,12 @@ pub struct CellConfig {
     /// Enable span profiling + the metrics registry (forces the
     /// interpreter; used by conservation and metrics tests).
     pub profiling: bool,
+    /// Fault plan armed on the cell machine. [`FaultPoint::VirqDrop`]
+    /// is consulted on the emulated `GICD_SGIR` delivery path, so
+    /// dropped cross-vCPU kicks surface as TCP_RR stalls with the
+    /// recovery (timeout + resend) charged through spans. A fault-armed
+    /// machine always interprets: `loop_begin` declines it.
+    pub fault: Option<FaultPlan>,
 }
 
 /// Per-hypervisor costs, probed once per cell from the real model so
@@ -215,6 +232,10 @@ struct VmState {
     done: u32,
     /// Sent-but-undelivered SGI wire arrivals, in send order.
     ipi_q: VecDeque<u64>,
+    /// The last kick was dropped by the fault plan; the primary vCPU
+    /// notices via its completion timeout at the top of the next
+    /// transaction and re-sends.
+    kick_lost: bool,
 }
 
 /// A vCPU with its guest phase.
@@ -246,6 +267,8 @@ struct Counters {
     timer_fires: u64,
     ipis_sent: u64,
     ipis_coalesced: u64,
+    ipis_dropped: u64,
+    ipis_resent: u64,
 }
 
 impl Counters {
@@ -263,6 +286,11 @@ impl Counters {
         self.timer_fires += (self.timer_fires - snap.timer_fires) * k;
         self.ipis_sent += (self.ipis_sent - snap.ipis_sent) * k;
         self.ipis_coalesced += (self.ipis_coalesced - snap.ipis_coalesced) * k;
+        // Fault counters are structurally zero here — a fault-armed
+        // machine never compiles — but scaling them keeps the delta
+        // arithmetic total.
+        self.ipis_dropped += (self.ipis_dropped - snap.ipis_dropped) * k;
+        self.ipis_resent += (self.ipis_resent - snap.ipis_resent) * k;
     }
 }
 
@@ -300,6 +328,7 @@ impl Cell {
                 txn_started: 0,
                 done: 0,
                 ipi_q: VecDeque::new(),
+                kick_lost: false,
             });
         }
         let mk_pcpu = |core: CoreId| {
@@ -543,7 +572,40 @@ impl Cell {
         match phase {
             Phase::Idle => unreachable!("idle vcpu dispatched"),
             Phase::Lock => {
-                if self.vms[v].lock_held {
+                if self.vms[v].kick_lost {
+                    // The previous transaction's kick was dropped: the
+                    // guest's completion timeout fires at the top of
+                    // this transaction, and it re-sends the SGI through
+                    // the same emulated GICD_SGIR path. Both halves of
+                    // the recovery are charged, so the stall shows up
+                    // in this transaction's latency *and* in spans.
+                    self.charge_guest(
+                        m,
+                        p,
+                        v,
+                        "guest:kick-timeout",
+                        KICK_TIMEOUT,
+                        TransitionId::GuestRun,
+                    );
+                    self.charge_guest(
+                        m,
+                        p,
+                        v,
+                        "gicd:sgir-resend",
+                        self.costs.ipi_send,
+                        TransitionId::GicdEmulate,
+                    );
+                    let sgir = (u64::from(SGI) << 24) | (0b10 << 16);
+                    let effect = self.vms[v]
+                        .dist
+                        .mmio_write(dist_reg::GICD_SGIR, sgir, 0)
+                        .expect("SGIR resend");
+                    debug_assert_eq!(effect.sgi_targets.len(), 1);
+                    let arrival = m.signal(self.p[0].core, self.p[1].core, Cycles::new(IPI_WIRE));
+                    self.vms[v].ipi_q.push_back(arrival.as_u64());
+                    self.vms[v].kick_lost = false;
+                    self.n.ipis_resent += 1;
+                } else if self.vms[v].lock_held {
                     // The sibling holds the kernel lock; if it has been
                     // descheduled this is lock-holder preemption and the
                     // spin lasts until the scheduler runs it again.
@@ -596,11 +658,20 @@ impl Cell {
                     .mmio_write(dist_reg::GICD_SGIR, sgir, 0)
                     .expect("SGIR write");
                 debug_assert_eq!(effect.sgi_targets.len(), 1);
-                let arrival = m.signal(self.p[0].core, self.p[1].core, Cycles::new(IPI_WIRE));
-                self.vms[v].ipi_q.push_back(arrival.as_u64());
                 self.n.ipis_sent += 1;
-                if recording {
-                    m.loop_set_reg(1, arrival);
+                if m.fault(FaultPoint::VirqDrop) {
+                    // The distributor accepted the guest's write, but
+                    // the virtual-IRQ delivery to the sibling is lost:
+                    // no wire signal, no wake. The guest only finds out
+                    // through its completion timeout next transaction.
+                    self.n.ipis_dropped += 1;
+                    self.vms[v].kick_lost = true;
+                } else {
+                    let arrival = m.signal(self.p[0].core, self.p[1].core, Cycles::new(IPI_WIRE));
+                    self.vms[v].ipi_q.push_back(arrival.as_u64());
+                    if recording {
+                        m.loop_set_reg(1, arrival);
+                    }
                 }
                 self.a[v].phase = Phase::Finish;
             }
@@ -738,6 +809,7 @@ pub fn run_cell(
         txns_per_vm,
         compile,
         profiling: false,
+        fault: None,
     })
 }
 
@@ -759,6 +831,13 @@ pub fn run_cell_machine(cfg: CellConfig) -> Result<(CellResult, Box<dyn Hypervis
         .profiling(cfg.profiling)
         .build()?
         .into_inner();
+    if let Some(plan) = cfg.fault.clone() {
+        // Arming the plan clears loop-compiler state, so a fault-armed
+        // cell structurally cannot compile: loop_begin() below sees
+        // faults installed and declines (fault sweeps must really
+        // execute every consult, never replay around it).
+        hv.machine_mut().set_fault_plan(plan);
+    }
     let topo = {
         let t = hv.machine().topology();
         [t.guest_core(0), t.guest_core(1)]
@@ -841,6 +920,8 @@ pub fn run_cell_machine(cfg: CellConfig) -> Result<(CellResult, Box<dyn Hypervis
         timer_fires: cell.n.timer_fires,
         ipis_sent: cell.n.ipis_sent,
         ipis_coalesced: cell.n.ipis_coalesced,
+        ipis_dropped: cell.n.ipis_dropped,
+        ipis_resent: cell.n.ipis_resent,
         makespan_cycles: m.global_now().as_u64(),
         iters_replayed: m.iters_replayed(),
     };
@@ -980,6 +1061,7 @@ mod tests {
             txns_per_vm: T,
             compile: true, // profiling forces loop_begin to decline
             profiling: true,
+            fault: None,
         })
         .unwrap();
         assert_eq!(r.iters_replayed, 0);
@@ -1001,6 +1083,68 @@ mod tests {
         // Different algorithms must produce genuinely different
         // interleavings, not just a relabelled copy.
         assert_ne!(credit.makespan_cycles, cfs.makespan_cycles);
+    }
+
+    fn faulted_cfg(ratio: u32, rate: f64, compile: bool) -> CellConfig {
+        CellConfig {
+            kind: HvKind::KvmArm,
+            ratio,
+            policy: SchedPolicy::Credit,
+            txns_per_vm: T,
+            compile,
+            profiling: false,
+            fault: Some(FaultPlan::new(11).with_rate(FaultPoint::VirqDrop, rate)),
+        }
+    }
+
+    #[test]
+    fn dropped_kicks_are_deterministic_and_surface_as_rr_stalls() {
+        let clean = run_cell(HvKind::KvmArm, 4, SchedPolicy::Credit, T, false).unwrap();
+        let a = run_cell_with(faulted_cfg(4, 0.3, false)).unwrap();
+        let b = run_cell_with(faulted_cfg(4, 0.3, false)).unwrap();
+        assert_eq!(a, b, "fault injection must be deterministic");
+        assert!(a.ipis_dropped > 0, "a 30% drop rate must drop kicks");
+        assert_eq!(clean.ipis_dropped, 0);
+        // Every drop except a VM's final transaction is recovered by a
+        // timeout + resend; resends can never exceed drops.
+        assert!(a.ipis_resent <= a.ipis_dropped);
+        assert!(a.ipis_resent > 0, "recovery path must engage");
+        // The same transactions complete on the primary side, but the
+        // stalled kicks inflate latency and stretch the makespan.
+        assert_eq!(a.transactions, clean.transactions);
+        assert!(
+            a.sum_latency_cycles > clean.sum_latency_cycles,
+            "dropped kicks must stall TCP_RR transactions \
+             ({} <= {})",
+            a.sum_latency_cycles,
+            clean.sum_latency_cycles
+        );
+        assert!(a.makespan_cycles > clean.makespan_cycles);
+    }
+
+    #[test]
+    fn fault_armed_cells_interpret_never_compile() {
+        let c = run_cell_with(faulted_cfg(1, 0.2, true)).unwrap();
+        assert_eq!(
+            c.iters_replayed, 0,
+            "a fault-armed 1:1 cell must decline the loop compiler"
+        );
+        // And it is the same result the interpreter produces directly.
+        let i = run_cell_with(faulted_cfg(1, 0.2, false)).unwrap();
+        assert_eq!(c, i);
+    }
+
+    #[test]
+    fn fault_seed_changes_the_drop_pattern() {
+        let a = run_cell_with(faulted_cfg(4, 0.3, false)).unwrap();
+        let mut cfg = faulted_cfg(4, 0.3, false);
+        cfg.fault = Some(FaultPlan::new(12).with_rate(FaultPoint::VirqDrop, 0.3));
+        let b = run_cell_with(cfg).unwrap();
+        assert_ne!(
+            (a.ipis_dropped, a.makespan_cycles),
+            (b.ipis_dropped, b.makespan_cycles),
+            "different seeds must produce different fault schedules"
+        );
     }
 
     #[test]

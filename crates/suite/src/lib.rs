@@ -15,6 +15,8 @@
 //!   zero-copy analysis, and the §VI VHE projection;
 //! * [`runner`] — the parallel scenario runner fanning the full artifact
 //!   matrix across OS threads with byte-identical output to a serial run;
+//! * [`service`] — the sweep-server executor: `hvx-serve`'s domain hooks
+//!   wired to the spec runner and the content-addressed result cache;
 //! * [`profile`] — workload profiling via the observability layer's span
 //!   tracer: conservation-checked Table-3-style breakdowns per scenario;
 //! * [`trace`] — causal event tracing: Chrome-trace/Perfetto exports of
@@ -36,6 +38,7 @@ pub mod netperf;
 pub mod paper;
 pub mod profile;
 pub mod runner;
+pub mod service;
 pub mod spec_run;
 pub mod table3;
 pub mod trace;

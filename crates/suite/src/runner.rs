@@ -376,6 +376,57 @@ pub struct ScenarioResult {
     ///
     /// [`Machine::charge`]: hvx_engine::Machine::charge
     pub transitions: u64,
+    /// Transient-failure retries spent before this outcome settled
+    /// (0 = the first attempt stood). Only panicking scenarios are
+    /// retried, and only when [`RunnerConfig::retry`] allows it.
+    pub retries: u32,
+    /// Content fingerprint of the scenario's full input closure, or
+    /// `None` for uncacheable scenarios (chaos injections).
+    pub fingerprint: Option<hvx_engine::Fingerprint>,
+    /// Whether the outcome was served from the content-addressed cache
+    /// instead of being simulated.
+    pub cached: bool,
+}
+
+impl ScenarioResult {
+    /// The structured per-cell record for this result — what the sweep
+    /// server and `hvx-repro run --out json` put on the wire.
+    pub fn cell_report(&self) -> hvx_core::report::CellReport {
+        hvx_core::report::CellReport {
+            scenario: self.scenario.label(),
+            fingerprint: self.fingerprint.map(hvx_engine::Fingerprint::to_hex),
+            retries: self.retries,
+            cached: self.cached,
+            failure: self
+                .outcome
+                .as_ref()
+                .err()
+                .map(|f| hvx_core::report::FailureReport {
+                    kind: f.kind,
+                    detail: f.detail.clone(),
+                }),
+        }
+    }
+}
+
+/// Bounded retry-with-backoff for panicking scenarios. The default is
+/// zero retries — identical behaviour to the pre-retry runner. Retry
+/// policy never enters a scenario's cache [`Fingerprint`]: retrying
+/// changes how hard the runner tries, not what the scenario computes.
+///
+/// Only [`ScenarioFailureKind::Panicked`] failures are retried:
+/// timeouts and livelocks are deterministic under a fixed plan (the
+/// same budget trips at the same simulated cycle), and typed `Failed`
+/// errors are graceful rejections that will not change on a rerun.
+///
+/// [`Fingerprint`]: hvx_engine::Fingerprint
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry, capped at
+    /// one second.
+    pub backoff: Duration,
 }
 
 /// Shared configuration for one runner invocation: the fault plan and
@@ -401,6 +452,8 @@ pub struct RunnerConfig {
     ///
     /// [`Fingerprint`]: hvx_engine::Fingerprint
     pub cache: Option<std::sync::Arc<crate::cache::ResultCache>>,
+    /// Retry-with-backoff for panicking scenarios (default: none).
+    pub retry: RetryPolicy,
 }
 
 /// Expands the requested artifacts (in the given order) into the flat
@@ -450,8 +503,10 @@ pub fn plan(artifacts: &[ArtifactId]) -> Vec<Scenario> {
 
 /// Maps a caught panic payload to a typed failure: the watchdog's
 /// typed payloads classify as timeouts/livelocks, everything else as a
-/// panic with its message.
-fn classify_panic(payload: &(dyn std::any::Any + Send)) -> ScenarioFailure {
+/// panic with its message. Public so every `catch_unwind` boundary in
+/// the workspace (this runner, the sweep server's job executor)
+/// classifies identically.
+pub fn classify_panic(payload: &(dyn std::any::Any + Send)) -> ScenarioFailure {
     if let Some(e) = payload.downcast_ref::<fault::CycleBudgetExceeded>() {
         ScenarioFailure {
             kind: ScenarioFailureKind::TimedOut,
@@ -482,6 +537,7 @@ fn classify_panic(payload: &(dyn std::any::Any + Send)) -> ScenarioFailure {
 
 fn run_one(scenario: Scenario, cfg: &RunnerConfig) -> ScenarioResult {
     let start = Instant::now();
+    let fingerprint = crate::cache::scenario_fingerprint(scenario, cfg);
     if let Some(cache) = &cfg.cache {
         if let Some(output) = cache.lookup(scenario, cfg) {
             return ScenarioResult {
@@ -489,47 +545,73 @@ fn run_one(scenario: Scenario, cfg: &RunnerConfig) -> ScenarioResult {
                 outcome: Ok(output),
                 wall: start.elapsed(),
                 transitions: 0,
+                retries: 0,
+                fingerprint,
+                cached: true,
             };
         }
     }
-    let before = hvx_engine::thread_transitions();
-    let outcome = {
-        // Ambient so machines built deep inside scenario code pick the
-        // plan and watchdog up; the guard restores on unwind, so a
-        // tripped scenario cannot leak its plan into the next one this
-        // worker runs.
-        let _ambient = fault::install_ambient(cfg.fault_plan.clone(), cfg.watchdog);
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.execute()))
-            .map_err(|payload| classify_panic(payload.as_ref()))
-    };
-    let wall = start.elapsed();
-    let transitions = hvx_engine::thread_transitions() - before;
-    let outcome = match (outcome, cfg.wall_timeout) {
-        (Ok(_), Some(limit)) if wall > limit => Err(ScenarioFailure {
-            kind: ScenarioFailureKind::TimedOut,
-            detail: format!(
-                "wall clock {:.3}s exceeded the {:.3}s budget",
-                wall.as_secs_f64(),
-                limit.as_secs_f64()
-            ),
-        }),
-        // A typed error from inside the scenario degrades to a failed
-        // cell, exactly like a caught panic — siblings keep running.
-        (Ok(Err(e)), _) => Err(ScenarioFailure {
-            kind: ScenarioFailureKind::Failed,
-            detail: e.to_string(),
-        }),
-        (Ok(Ok(output)), _) => Ok(output),
-        (Err(failure), _) => Err(failure),
-    };
-    if let (Some(cache), Ok(output)) = (&cfg.cache, &outcome) {
-        cache.store(scenario, cfg, output);
-    }
-    ScenarioResult {
-        scenario,
-        outcome,
-        wall,
-        transitions,
+    let mut retries = 0u32;
+    loop {
+        let before = hvx_engine::thread_transitions();
+        let outcome = {
+            // Ambient so machines built deep inside scenario code pick the
+            // plan and watchdog up; the guard restores on unwind, so a
+            // tripped scenario cannot leak its plan into the next one this
+            // worker runs.
+            let _ambient = fault::install_ambient(cfg.fault_plan.clone(), cfg.watchdog);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.execute()))
+                .map_err(|payload| classify_panic(payload.as_ref()))
+        };
+        // Wall is cumulative across attempts (backoff included): it
+        // answers "what did this cell cost the run", not "how fast was
+        // the last attempt".
+        let wall = start.elapsed();
+        let transitions = hvx_engine::thread_transitions() - before;
+        let outcome = match (outcome, cfg.wall_timeout) {
+            (Ok(_), Some(limit)) if wall > limit => Err(ScenarioFailure {
+                kind: ScenarioFailureKind::TimedOut,
+                detail: format!(
+                    "wall clock {:.3}s exceeded the {:.3}s budget",
+                    wall.as_secs_f64(),
+                    limit.as_secs_f64()
+                ),
+            }),
+            // A typed error from inside the scenario degrades to a failed
+            // cell, exactly like a caught panic — siblings keep running.
+            (Ok(Err(e)), _) => Err(ScenarioFailure {
+                kind: ScenarioFailureKind::Failed,
+                detail: e.to_string(),
+            }),
+            (Ok(Ok(output)), _) => Ok(output),
+            (Err(failure), _) => Err(failure),
+        };
+        if let Err(failure) = &outcome {
+            if failure.kind == ScenarioFailureKind::Panicked && retries < cfg.retry.max_retries {
+                let delay = cfg
+                    .retry
+                    .backoff
+                    .saturating_mul(1u32 << retries.min(10))
+                    .min(Duration::from_secs(1));
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                retries += 1;
+                continue;
+            }
+        }
+        if let (Some(cache), Ok(output)) = (&cfg.cache, &outcome) {
+            cache.store(scenario, cfg, output);
+        }
+        return ScenarioResult {
+            scenario,
+            outcome,
+            wall,
+            transitions,
+            retries,
+            fingerprint,
+            cached: false,
+        };
     }
 }
 
@@ -621,6 +703,9 @@ fn run_scenarios_pooled(plan: &[Scenario], jobs: usize, cfg: &RunnerConfig) -> V
                     }),
                     wall: Duration::ZERO,
                     transitions: 0,
+                    retries: 0,
+                    fingerprint: None,
+                    cached: false,
                 })
         })
         .collect()
@@ -986,6 +1071,10 @@ pub struct RunOutcome {
     /// no artifact). A chaos scenario that survives its run reports
     /// nothing.
     pub chaos_failures: Vec<(String, ScenarioFailure)>,
+    /// One structured record per scenario, in plan order with chaos
+    /// injections last — the machine-readable counterpart of the
+    /// rendered artifact text (`hvx-repro run --out json`).
+    pub cells: Vec<hvx_core::report::CellReport>,
 }
 
 impl RunOutcome {
@@ -1019,6 +1108,7 @@ pub fn run_artifacts_with(
     let base = full_plan.len();
     full_plan.extend(cfg.chaos.iter().map(|k| Scenario::Chaos(*k)));
     let results = run_scenarios_with(&full_plan, jobs, cfg)?;
+    let cells = results.iter().map(ScenarioResult::cell_report).collect();
     let reports = assemble(artifacts, &results[..base])?;
     let chaos_failures = results[base..]
         .iter()
@@ -1032,6 +1122,7 @@ pub fn run_artifacts_with(
     Ok(RunOutcome {
         reports,
         chaos_failures,
+        cells,
     })
 }
 
@@ -1236,6 +1327,77 @@ mod tests {
         assert_eq!(outcome.chaos_failures.len(), 1);
         assert_eq!(outcome.chaos_failures[0].0, "chaos-panic");
         assert_eq!(outcome.failures().len(), 1);
+    }
+
+    #[test]
+    fn panicked_scenarios_retry_up_to_the_policy_then_settle() {
+        let cfg = RunnerConfig {
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff: Duration::ZERO,
+            },
+            ..RunnerConfig::default()
+        };
+        // A chaos panic is deterministic, so every retry fails too: the
+        // runner must spend exactly max_retries extra attempts and then
+        // report the typed failure with the retry count attached.
+        let results = run_scenarios_with(&[Scenario::Chaos(ChaosKind::Panic)], 1, &cfg).unwrap();
+        assert_eq!(results[0].retries, 2);
+        let failure = results[0].outcome.as_ref().unwrap_err();
+        assert_eq!(failure.kind, ScenarioFailureKind::Panicked);
+
+        // A clean scenario never retries, even with the policy armed.
+        let results = run_scenarios_with(&[Scenario::Table3], 1, &cfg).unwrap();
+        assert_eq!(results[0].retries, 0);
+        assert!(results[0].outcome.is_ok());
+
+        // Typed (non-panic) failures are not retried: they are
+        // deterministic rejections, not transient crashes.
+        let timeout_cfg = RunnerConfig {
+            wall_timeout: Some(Duration::ZERO),
+            retry: RetryPolicy {
+                max_retries: 3,
+                backoff: Duration::ZERO,
+            },
+            ..RunnerConfig::default()
+        };
+        let results = run_scenarios_with(&[Scenario::Table3], 1, &timeout_cfg).unwrap();
+        assert_eq!(results[0].retries, 0);
+        assert_eq!(
+            results[0].outcome.as_ref().unwrap_err().kind,
+            ScenarioFailureKind::TimedOut
+        );
+    }
+
+    #[test]
+    fn run_outcome_carries_structured_cells_for_every_scenario() {
+        let cfg = RunnerConfig {
+            chaos: vec![ChaosKind::Panic],
+            ..RunnerConfig::default()
+        };
+        let outcome = run_artifacts_with(&[ArtifactId::Table3], 1, &cfg).unwrap();
+        // One artifact scenario plus the chaos injection, plan order.
+        assert_eq!(outcome.cells.len(), 2);
+        let table3 = &outcome.cells[0];
+        assert_eq!(table3.scenario, "table3");
+        assert!(table3.ok());
+        assert!(!table3.cached);
+        assert_eq!(table3.retries, 0);
+        // Cacheable scenarios carry their input fingerprint even when
+        // no cache is configured — it names the cell's content.
+        assert_eq!(
+            table3.fingerprint.as_deref().map(str::len),
+            Some(32),
+            "{:?}",
+            table3.fingerprint
+        );
+        let chaos = &outcome.cells[1];
+        assert_eq!(chaos.scenario, "chaos-panic");
+        assert!(chaos.fingerprint.is_none(), "chaos is uncacheable");
+        assert_eq!(
+            chaos.failure.as_ref().map(|f| f.kind),
+            Some(ScenarioFailureKind::Panicked)
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::consolidation::{self, TRANSACTIONS_PER_VM};
 use crate::profile::mix_for;
 use crate::workloads;
+use hvx_core::report::CellReport;
 use hvx_core::{Error, ScenarioSpec, SimBuilder, SpecShape, Workload};
 use std::path::Path;
 
@@ -73,6 +74,49 @@ pub fn run_spec(spec: &ScenarioSpec) -> Result<String, Error> {
     }
 }
 
+/// A spec run's two faces: the rendered report (what `run --spec`
+/// prints) and the machine-readable per-cell record the sweep server
+/// and `--out json` put on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecRun {
+    /// The rendered report text, byte-identical to [`run_spec`].
+    pub report: String,
+    /// The structured record: label, content fingerprint, failure.
+    pub cell: CellReport,
+}
+
+/// A short human-readable label for a spec (`"KVM ARM consolidation
+/// 8:1"`), used by job listings and structured reports.
+pub fn label(spec: &ScenarioSpec) -> String {
+    match spec.shape() {
+        Ok(SpecShape::Paper) => format!("{} paper", spec.hypervisor),
+        Ok(SpecShape::Consolidation { ratio }) => {
+            format!("{} consolidation {ratio}:1", spec.hypervisor)
+        }
+        Err(_) => format!("{} (invalid shape)", spec.hypervisor),
+    }
+}
+
+/// [`run_spec`] with a structured result: the rendered report plus a
+/// [`CellReport`] carrying the spec's content fingerprint.
+///
+/// # Errors
+///
+/// Same as [`run_spec`].
+pub fn run_spec_report(spec: &ScenarioSpec) -> Result<SpecRun, Error> {
+    let report = run_spec(spec)?;
+    Ok(SpecRun {
+        report,
+        cell: CellReport {
+            scenario: label(spec),
+            fingerprint: Some(crate::cache::spec_fingerprint(spec).to_hex()),
+            retries: 0,
+            cached: false,
+            failure: None,
+        },
+    })
+}
+
 fn run_paper(spec: &ScenarioSpec) -> Result<String, Error> {
     let workload = spec.workload.unwrap_or(Workload::Netperf);
     let mix = mix_for(workload)?;
@@ -91,11 +135,6 @@ fn run_consolidation(spec: &ScenarioSpec, ratio: u32) -> Result<String, Error> {
     // The consolidation cell models its own TCP_RR-style transaction
     // loop; knobs that only the paper-shape machine implements are
     // rejected rather than silently dropped.
-    if spec.fault.is_some() {
-        return Err(Error::InvalidSpec {
-            detail: "fault plans apply to the paper shape only".into(),
-        });
-    }
     if let Some(w) = spec.workload {
         if w != Workload::TcpRr && w != Workload::Netperf {
             return Err(Error::InvalidSpec {
@@ -104,13 +143,19 @@ fn run_consolidation(spec: &ScenarioSpec, ratio: u32) -> Result<String, Error> {
         }
     }
     let txns = spec.transactions.unwrap_or(TRANSACTIONS_PER_VM);
-    let cell = consolidation::run_cell(
-        spec.hypervisor,
+    let fault = spec.fault_plan()?;
+    let cell = consolidation::run_cell_with(consolidation::CellConfig {
+        kind: spec.hypervisor,
         ratio,
-        spec.scheduler,
-        txns,
-        workloads::compile_enabled(),
-    )?;
+        policy: spec.scheduler,
+        txns_per_vm: txns,
+        // Fault-armed cells always interpret (loop_begin declines a
+        // machine with faults installed); clean cells keep the
+        // ambient compile toggle.
+        compile: workloads::compile_enabled(),
+        profiling: false,
+        fault: fault.clone(),
+    })?;
     let mut out = String::new();
     out.push_str("== scenario spec run ==\n");
     out.push_str(&format!("hypervisor:   {}\n", spec.hypervisor));
@@ -138,6 +183,15 @@ fn run_consolidation(spec: &ScenarioSpec, ratio: u32) -> Result<String, Error> {
         "virtual IPIs: {} sent, {} coalesced\n",
         cell.ipis_sent, cell.ipis_coalesced
     ));
+    // Fault lines appear only for fault-armed specs, so clean-spec
+    // output stays byte-identical to what it was before fault support
+    // (the smoke scripts and baselines compare those bytes).
+    if fault.is_some() {
+        out.push_str(&format!(
+            "faults:       {} kicks dropped, {} resent after timeout\n",
+            cell.ipis_dropped, cell.ipis_resent
+        ));
+    }
     out.push_str(&format!("makespan:     {} cycles\n", cell.makespan_cycles));
     Ok(out)
 }
@@ -190,15 +244,54 @@ mod tests {
 
     #[test]
     fn unsupported_knobs_are_rejected_not_dropped() {
-        let mut spec = ScenarioSpec::consolidation(HvKind::KvmArm, 2, SchedPolicy::Credit);
-        spec.fault = Some(hvx_core::FaultSpec {
-            plan: "wire_drop=10000e-6".into(),
-            seed: 1,
-        });
-        assert!(matches!(run_spec(&spec), Err(Error::InvalidSpec { .. })));
         let mut wl = ScenarioSpec::consolidation(HvKind::KvmArm, 2, SchedPolicy::Credit);
         wl.workload = Some(Workload::Mysql);
         assert!(matches!(run_spec(&wl), Err(Error::InvalidSpec { .. })));
+        // A malformed fault plan is a spec error, not a panic.
+        let mut bad = ScenarioSpec::consolidation(HvKind::KvmArm, 2, SchedPolicy::Credit);
+        bad.fault = Some(hvx_core::FaultSpec {
+            plan: "not-a-plan".into(),
+            seed: 1,
+        });
+        assert!(matches!(run_spec(&bad), Err(Error::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn consolidation_specs_accept_fault_plans_and_report_them() {
+        let mut spec = ScenarioSpec::consolidation(HvKind::KvmArm, 4, SchedPolicy::Credit);
+        spec.transactions = Some(8);
+        let clean = run_spec(&spec).unwrap();
+        assert!(!clean.contains("faults:"), "clean specs stay byte-stable");
+        spec.fault = Some(hvx_core::FaultSpec {
+            plan: "virq_drop=300000e-6".into(),
+            seed: 11,
+        });
+        let faulted = run_spec(&spec).unwrap();
+        assert!(faulted.contains("faults:"), "{faulted}");
+        assert!(faulted.contains("kicks dropped"), "{faulted}");
+        // Dropped kicks stall transactions: the reports must differ in
+        // more than the fault line.
+        assert_ne!(
+            clean.lines().last(),
+            faulted.lines().last(),
+            "makespan must stretch under drops"
+        );
+        // Determinism: same spec, same bytes.
+        assert_eq!(run_spec(&spec).unwrap(), faulted);
+    }
+
+    #[test]
+    fn structured_reports_carry_the_spec_fingerprint() {
+        let mut spec = ScenarioSpec::consolidation(HvKind::KvmArm, 2, SchedPolicy::Credit);
+        spec.transactions = Some(4);
+        let run = run_spec_report(&spec).unwrap();
+        assert_eq!(run.report, run_spec(&spec).unwrap());
+        assert_eq!(run.cell.scenario, "KVM ARM consolidation 2:1");
+        assert_eq!(
+            run.cell.fingerprint.as_deref(),
+            Some(crate::cache::spec_fingerprint(&spec).to_hex().as_str())
+        );
+        assert!(run.cell.ok());
     }
 
     #[test]

@@ -50,7 +50,7 @@ fn write_only_reports_serialize() {
 
 #[test]
 fn json_is_deterministic_across_runs() {
-    let a = serde_json::to_string(&micro::Table2::measure(2).unwrap()).unwrap();
-    let b = serde_json::to_string(&micro::Table2::measure(2).unwrap()).unwrap();
+    let a = serde_json::to_string(micro::Table2::measure(2).unwrap()).unwrap();
+    let b = serde_json::to_string(micro::Table2::measure(2).unwrap()).unwrap();
     assert_eq!(a, b);
 }
