@@ -60,6 +60,18 @@ impl TopologySpec {
             vcpus_per_vm: 2,
         }
     }
+
+    /// A rack shape: `hosts` paper-style servers (8 pCPUs each), every
+    /// host running `vms_per_host` single-vCPU VMs pinned to its guest
+    /// cores, exchanging TCP_RR traffic over the rack interconnect.
+    pub const fn rack(hosts: u32, vms_per_host: u32) -> TopologySpec {
+        TopologySpec {
+            hosts,
+            pcpus: 8,
+            vms: vms_per_host,
+            vcpus_per_vm: 1,
+        }
+    }
 }
 
 /// A fault plan in its stable textual form (see
@@ -82,6 +94,14 @@ pub enum SpecShape {
     Consolidation {
         /// The vCPU:pCPU ratio (= number of VMs).
         ratio: u32,
+    },
+    /// H multi-VM hosts exchanging TCP_RR traffic over the rack
+    /// interconnect (the sharded multi-host engine).
+    Rack {
+        /// Physical hosts in the rack (2..=16).
+        hosts: u32,
+        /// Single-vCPU VMs pinned per host (1..=4).
+        vms_per_host: u32,
     },
 }
 
@@ -149,6 +169,16 @@ impl ScenarioSpec {
         }
     }
 
+    /// A rack spec: `hosts` paper-style servers each running
+    /// `vms_per_host` single-vCPU VMs, every host under `kind`,
+    /// serving TCP_RR traffic around the rack ring.
+    pub fn rack(kind: HvKind, hosts: u32, vms_per_host: u32) -> ScenarioSpec {
+        ScenarioSpec {
+            topology: TopologySpec::rack(hosts, vms_per_host),
+            ..ScenarioSpec::paper(kind)
+        }
+    }
+
     /// Sets the workload (builder-style).
     #[must_use]
     pub fn with_workload(mut self, workload: Workload) -> ScenarioSpec {
@@ -193,9 +223,31 @@ impl ScenarioSpec {
     /// [`Error::InvalidSpec`] for topologies no model implements.
     pub fn shape(&self) -> Result<SpecShape, Error> {
         let t = self.topology;
-        if t.hosts != 1 {
+        if t.hosts == 0 {
             return Err(Error::InvalidSpec {
-                detail: format!("{} hosts requested; the models simulate exactly 1", t.hosts),
+                detail: "0 hosts requested; need at least 1".to_string(),
+            });
+        }
+        if t.hosts > 1 {
+            // Multi-host topologies run on the sharded rack engine:
+            // paper-style 8-pCPU hosts, single-vCPU VMs pinned to the
+            // guest cores.
+            if (2..=16).contains(&t.hosts)
+                && t.pcpus == 8
+                && t.vcpus_per_vm == 1
+                && (1..=4).contains(&t.vms)
+            {
+                return Ok(SpecShape::Rack {
+                    hosts: t.hosts,
+                    vms_per_host: t.vms,
+                });
+            }
+            return Err(Error::InvalidSpec {
+                detail: format!(
+                    "unsupported multi-host topology {}h/{}p/{}vm/{}vcpu: expected a \
+                     rack shape (2..=16 hosts, 8p, 1..=4 vm, 1vcpu per host)",
+                    t.hosts, t.pcpus, t.vms, t.vcpus_per_vm
+                ),
             });
         }
         if t == TopologySpec::paper() {
@@ -231,12 +283,28 @@ mod tests {
                 .unwrap(),
             SpecShape::Consolidation { ratio: 8 }
         );
+        assert_eq!(
+            ScenarioSpec::rack(HvKind::KvmArm, 8, 4).shape().unwrap(),
+            SpecShape::Rack {
+                hosts: 8,
+                vms_per_host: 4
+            }
+        );
         let mut bad = ScenarioSpec::paper(HvKind::Native);
         bad.topology.vcpus_per_vm = 3;
         assert!(matches!(bad.shape(), Err(Error::InvalidSpec { .. })));
+        // Multi-host only admits the rack shape: 2 hosts with the
+        // paper's 4p/4vcpu layout is still rejected.
         bad.topology = TopologySpec::paper();
         bad.topology.hosts = 2;
         assert!(matches!(bad.shape(), Err(Error::InvalidSpec { .. })));
+        // Rack bounds: 17 hosts and 0 hosts are out.
+        let mut wide = ScenarioSpec::rack(HvKind::KvmArm, 17, 2);
+        assert!(wide.shape().is_err());
+        wide.topology.hosts = 16;
+        assert!(wide.shape().is_ok());
+        wide.topology.hosts = 0;
+        assert!(wide.shape().is_err());
         let mut big = ScenarioSpec::consolidation(HvKind::KvmArm, 65, SchedPolicy::Credit);
         assert!(big.shape().is_err());
         big.topology.vms = 64;

@@ -14,6 +14,9 @@
 //! * [`TraceLog`] — the per-step decomposition that regenerates the paper's
 //!   breakdown tables and lets tests assert exact transition sequences;
 //! * [`EventQueue`] — a deterministic calendar for workload simulations;
+//! * [`shard`] — conservative-PDES sharding: per-host calendars with a
+//!   wire-latency lookahead bound, byte-identical serial and parallel
+//!   execution;
 //! * [`FaultPlan`] / [`Watchdog`] — seeded deterministic fault
 //!   injection plus in-simulation cycle-budget and livelock watchdogs
 //!   (the [`fault`] module);
@@ -49,6 +52,7 @@ mod event;
 pub mod fault;
 pub mod fingerprint;
 mod machine;
+pub mod shard;
 mod stats;
 pub mod timeline;
 mod topology;

@@ -16,7 +16,7 @@
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -54,11 +54,27 @@ pub struct Journal {
 impl Journal {
     /// Opens (creating if needed) the journal at `path` for appending.
     ///
+    /// If the previous process died mid-append, the file can end in a
+    /// torn line with no trailing newline. Appending straight after it
+    /// would splice the next record into the garbage — losing *that*
+    /// record too — so the torn tail is newline-terminated here,
+    /// leaving it as one skippable line.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem failures.
     pub fn open(path: &Path) -> std::io::Result<Journal> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if file.metadata()?.len() > 0 {
+            let mut tail = [0u8; 1];
+            let mut reader = File::open(path)?;
+            reader.seek(SeekFrom::End(-1))?;
+            reader.read_exact(&mut tail)?;
+            if tail[0] != b'\n' {
+                file.write_all(b"\n")?;
+                file.flush()?;
+            }
+        }
         Ok(Journal {
             path: path.to_path_buf(),
             file: Mutex::new(file),
@@ -240,6 +256,27 @@ mod tests {
         }
         let rec = recover(&path).unwrap();
         assert_eq!(rec.incomplete.len(), 1);
+        assert_eq!(rec.skipped, 1);
+    }
+
+    #[test]
+    fn reopening_after_a_torn_tail_does_not_swallow_the_next_record() {
+        let path = temp_path("torn-reopen");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.accepted(1, "alice", &job("a")).unwrap();
+        // kill -9 mid-append: the tail line has no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"event\":\"do").unwrap();
+        }
+        drop(j);
+        // The next process reopens and journals job 1's completion;
+        // that record must not be spliced into the torn garbage.
+        let j = Journal::open(&path).unwrap();
+        j.terminal(1, "done").unwrap();
+        let rec = recover(&path).unwrap();
+        assert!(rec.incomplete.is_empty(), "terminal record survived");
         assert_eq!(rec.skipped, 1);
     }
 

@@ -108,6 +108,20 @@ struct Counters {
     warm_hits: AtomicU64,
     evicted: AtomicU64,
     recovered: AtomicU64,
+    journal_errors: AtomicU64,
+}
+
+/// Journals a terminal transition, surfacing (never swallowing) write
+/// failures: the error is logged and counted so `/stats` exposes a
+/// journal that has started losing records. Losing a terminal record
+/// is survivable — recovery re-runs the job, and the warm cache makes
+/// that cheap — but it must not be silent: a journal device that has
+/// begun failing is exactly what an operator needs to see.
+fn journal_terminal(counters: &Counters, journal: &Journal, id: u64, event: &str) {
+    if let Err(e) = journal.terminal(id, event) {
+        counters.journal_errors.fetch_add(1, Ordering::Relaxed);
+        eprintln!("hvx-serve: journal write for job {id} ({event}) failed: {e}");
+    }
 }
 
 struct Shared {
@@ -164,6 +178,7 @@ impl Server {
             })?
             .to_string();
 
+        let counters = Counters::default();
         let mut inner = Inner::default();
         let mut journal = None;
         if let Some(path) = &cfg.journal {
@@ -191,7 +206,7 @@ impl Server {
                     job.state = JobState::Done;
                     job.cached = true;
                     job.output = Some(output);
-                    let _ = j.terminal(rec.id, "done");
+                    journal_terminal(&counters, &j, rec.id, "done");
                 } else {
                     inner.queued_weight += job.prepared.weight;
                     inner.queue.push_back(rec.id);
@@ -210,7 +225,7 @@ impl Server {
             journal,
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters,
         });
         shared
             .counters
@@ -327,8 +342,12 @@ fn worker_loop(shared: &Shared) {
                             .saturating_mul(1 << retries.min(10))
                             .min(Duration::from_secs(1));
                         retries += 1;
-                        std::thread::sleep(backoff);
-                        continue;
+                        if backoff_or_abort(shared, backoff) {
+                            continue;
+                        }
+                        // Drain/shutdown arrived mid-backoff: give up
+                        // on the retry and record the pending failure
+                        // so the drain idle check can pass.
                     }
                     break Err(failure);
                 }
@@ -336,6 +355,32 @@ fn worker_loop(shared: &Shared) {
         };
 
         record_outcome(shared, id, retries, outcome);
+    }
+}
+
+/// Waits out a retry backoff, waking early if a drain or shutdown
+/// begins. Returns `true` when the full backoff elapsed (retry), or
+/// `false` when the server stopped accepting work mid-wait — a worker
+/// asleep in an exponential backoff must not hold up `POST /drain`,
+/// which only completes once `running == 0`.
+fn backoff_or_abort(shared: &Shared, backoff: Duration) -> bool {
+    let deadline = Instant::now() + backoff;
+    let mut inner = lock(&shared.state);
+    loop {
+        if shared.draining.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return true;
+        }
+        // `/drain` notifies the cvar, so the wait ends promptly; an
+        // unrelated wakeup (job enqueued) just re-waits the remainder.
+        inner = shared
+            .cvar
+            .wait_timeout(inner, left)
+            .unwrap_or_else(PoisonError::into_inner)
+            .0;
     }
 }
 
@@ -371,7 +416,7 @@ fn record_outcome(shared: &Shared, id: u64, retries: u32, outcome: Result<JobOut
         }
     }
     if let Some(j) = &shared.journal {
-        let _ = j.terminal(id, event);
+        journal_terminal(&shared.counters, j, id, event);
     }
     evict_locked(shared, &mut inner);
     drop(inner);
@@ -489,6 +534,10 @@ fn stats_body(shared: &Shared) -> String {
         (
             "recovered_total",
             Value::U64(shared.counters.recovered.load(Ordering::Relaxed)),
+        ),
+        (
+            "journal_errors",
+            Value::U64(shared.counters.journal_errors.load(Ordering::Relaxed)),
         ),
         (
             "draining",
@@ -626,7 +675,7 @@ fn submit(shared: &Shared, req: &Request, sweep: bool) -> (u16, String) {
                 inner.next_id -= 1;
                 return (500, error_body("journal", &e.to_string(), vec![]));
             }
-            let _ = j.terminal(id, "done");
+            journal_terminal(&shared.counters, j, id, "done");
         }
         inner.jobs.insert(
             id,
@@ -832,5 +881,71 @@ pub mod client {
         serde_json::parse_value(body)
             .map(|v| (status, v))
             .map_err(|e| format!("bad response JSON ({e}): {body}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn journal_write_failures_are_counted_not_swallowed() {
+        // /dev/full accepts the open but fails every write with
+        // ENOSPC — the exact shape of a journal disk filling up.
+        let journal = Journal::open(Path::new("/dev/full")).expect("open /dev/full");
+        let counters = Counters::default();
+        journal_terminal(&counters, &journal, 7, "done");
+        journal_terminal(&counters, &journal, 8, "failed");
+        assert_eq!(counters.journal_errors.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn backoff_elapses_in_full_when_nothing_is_draining() {
+        let shared = test_shared();
+        let start = Instant::now();
+        assert!(backoff_or_abort(&shared, Duration::from_millis(30)));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn backoff_aborts_immediately_when_already_draining() {
+        let shared = test_shared();
+        shared.draining.store(true, Ordering::SeqCst);
+        let start = Instant::now();
+        assert!(!backoff_or_abort(&shared, Duration::from_secs(30)));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    fn test_shared() -> Shared {
+        struct NoExec;
+        impl JobExecutor for NoExec {
+            fn prepare(&self, _: &str) -> Result<PreparedJob, String> {
+                Err("test executor".into())
+            }
+            fn lookup(&self, _: &PreparedJob) -> Option<JobOutput> {
+                None
+            }
+            fn run(&self, _: &PreparedJob) -> Result<JobOutput, JobFailure> {
+                Err(JobFailure {
+                    kind: hvx_core::ScenarioFailureKind::Panicked,
+                    detail: "test executor".into(),
+                    transient: false,
+                })
+            }
+            fn expand(&self, _: &str) -> Result<Vec<String>, String> {
+                Err("test executor".into())
+            }
+        }
+        Shared {
+            cfg: ServerConfig::default(),
+            exec: Arc::new(NoExec),
+            state: Mutex::new(Inner::default()),
+            cvar: Condvar::new(),
+            journal: None,
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        }
     }
 }

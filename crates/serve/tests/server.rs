@@ -421,6 +421,92 @@ fn drain_finishes_running_work_and_refuses_new_submissions() {
 }
 
 #[test]
+fn drain_completes_promptly_while_a_worker_is_mid_retry_backoff() {
+    // A job that fails transiently forever keeps a worker cycling
+    // through 1s-capped exponential backoffs for ~100 attempts. Drain
+    // must not wait out those sleeps: the retry backoff is
+    // interruptible, and a drain converts the pending transient
+    // failure into a terminal one so `running` reaches 0 promptly.
+    let cfg = ServerConfig {
+        workers: 1,
+        max_retries: 100,
+        retry_backoff: Duration::from_secs(1),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, exec) = start(cfg, Arc::default());
+    let (status, _) = client::submit(&addr, "alice", "retryable:1000:hang").unwrap();
+    assert_eq!(status, 202);
+    // Let the first attempt fail and the worker enter its backoff.
+    while exec.run_calls.load(Ordering::SeqCst) == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let t0 = std::time::Instant::now();
+    client::drain(&addr).unwrap();
+    handle.join().unwrap();
+    // Without the interruptible backoff this takes minutes (the
+    // remaining retries × capped backoff); with it, milliseconds.
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "drain stalled {:?} behind a retry backoff",
+        t0.elapsed()
+    );
+    // The worker recorded the outcome rather than abandoning the job:
+    // only the attempts that ran before the drain are counted.
+    assert!(exec.run_calls.load(Ordering::SeqCst) < 100);
+}
+
+#[test]
+fn torn_terminal_write_costs_one_cached_replay_not_duplicate_work() {
+    // A terminal record is flushed but not fsynced, so a crash can
+    // tear it off the journal tail. Recovery must treat the job as
+    // incomplete, serve it from the warm cache without a worker, and
+    // report zero journal errors for the healthy re-write.
+    let dir = std::env::temp_dir().join(format!("hvx-serve-torn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let exec = Arc::new(MockExec::default());
+    let j = Journal::open(&path).unwrap();
+    j.accepted(0, "alice", &exec.prepare("ok:torn").unwrap())
+        .unwrap();
+    drop(j);
+    // The result reached the cache, but the `done` record was torn
+    // mid-write by the crash.
+    exec.cache
+        .lock()
+        .unwrap()
+        .insert("fp-ok:torn".into(), MockExec::output("ok:torn", 0));
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"event\":\"do").unwrap();
+    }
+
+    let cfg = ServerConfig {
+        journal: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, exec) = start(cfg, exec);
+    let done = client::wait(&addr, 0, Duration::from_secs(5)).unwrap();
+    assert_eq!(str_of(&done, "state"), "done");
+    assert_eq!(done.get("cached"), Some(&Value::Bool(true)));
+    assert_eq!(exec.run_calls.load(Ordering::SeqCst), 0, "no duplicate run");
+    let stats = client::stats(&addr).unwrap();
+    assert_eq!(u64_of(&stats, "recovered_total"), 1);
+    assert_eq!(u64_of(&stats, "journal_errors"), 0);
+    stop(&addr, handle);
+
+    // The re-written terminal record sticks: a second recovery finds
+    // nothing incomplete.
+    let rec = hvx_serve::recover(&path).unwrap();
+    assert!(rec.incomplete.is_empty());
+}
+
+#[test]
 fn malformed_bodies_and_unknown_routes_get_structured_errors() {
     let (addr, handle, exec) = start(ServerConfig::default(), Arc::default());
     let (status, v) = client::submit(&addr, "alice", "bad").unwrap();

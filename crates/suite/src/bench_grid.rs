@@ -30,6 +30,7 @@ use serde::Serialize;
 
 use crate::consolidation;
 use crate::paper;
+use crate::rack;
 use crate::workloads::{self, catalog};
 use hvx_core::SchedPolicy;
 
@@ -58,7 +59,13 @@ pub struct GridCell {
 pub struct GridReport {
     /// Iteration multiplier applied to every mix.
     pub scale: u32,
-    /// Worker threads used by the parallel pass.
+    /// Worker threads requested (`--jobs`).
+    pub requested_jobs: usize,
+    /// Worker threads the parallel pass actually used, after clamping
+    /// to hardware parallelism and the cell count. On a 1-core box
+    /// this is 1 even when `--jobs 4` was requested — and then
+    /// [`GridReport::parallel_speedup`] is `None`, because serial-vs-
+    /// serial noise is not a speedup.
     pub jobs: usize,
     /// All cells — the Figure 4 block in catalog × column order, then
     /// the consolidation block in column × ratio order (from the serial
@@ -74,8 +81,10 @@ pub struct GridReport {
     /// Figure 4 transitions per serial wall-second — the headline
     /// throughput the perf-smoke gate tracks.
     pub grid_transitions_per_sec: f64,
-    /// `serial_seconds / parallel_seconds` (1.0 when `jobs == 1`).
-    pub parallel_speedup: f64,
+    /// `serial_seconds / parallel_seconds`, or `None` when the
+    /// parallel pass ran with one worker (nothing was parallel, so the
+    /// ratio would be measurement noise polluting the perf trajectory).
+    pub parallel_speedup: Option<f64>,
     /// Transitions charged by the consolidation-sweep segment alone.
     pub consolidation_transitions: u64,
     /// Serial wall-clock of the consolidation segment, seconds.
@@ -83,6 +92,25 @@ pub struct GridReport {
     /// Consolidation-sweep transitions per serial wall-second — the
     /// scheduler/SMP path's own throughput number.
     pub sweep_transitions_per_sec: f64,
+    /// Hosts in the rack bench scenario.
+    pub rack_hosts: u32,
+    /// VMs per host in the rack bench scenario.
+    pub rack_vms_per_host: u32,
+    /// Shard workers the rack's parallel execution used (clamped like
+    /// [`GridReport::jobs`], additionally to the host count).
+    pub rack_jobs: usize,
+    /// Transitions charged by the rack scenario (serial execution).
+    pub rack_transitions: u64,
+    /// Wall-clock of the rack scenario's serial execution, seconds.
+    pub rack_serial_seconds: f64,
+    /// Wall-clock of the same scenario on the sharded parallel
+    /// executor, seconds (equal to serial when `rack_jobs == 1`).
+    pub rack_parallel_seconds: f64,
+    /// Rack serial/parallel ratio — the single-scenario speedup the
+    /// conservative-PDES sharding buys. `None` when `rack_jobs == 1`.
+    pub rack_parallel_speedup: Option<f64>,
+    /// Rack transitions per serial wall-second.
+    pub rack_transitions_per_sec: f64,
 }
 
 /// One measured cell: makespan in cycles (`None` if rejected) and
@@ -139,6 +167,32 @@ fn run_cell(item: GridItem, scale: u32) -> CellMeasure {
 /// Figure 4 iteration counts.
 fn consol_txns(scale: u32) -> u32 {
     (scale * 2).max(consolidation::TRANSACTIONS_PER_VM)
+}
+
+/// Hosts in the rack bench scenario — wide enough that `--jobs 4`
+/// leaves every shard worker two hosts per window.
+const RACK_BENCH_HOSTS: u32 = 8;
+
+/// VMs per host in the rack bench scenario. Far past the artifact's
+/// [`rack::VMS_PER_HOST`]: each conservative window must carry enough
+/// events per host to amortize the per-window thread fan-out, or the
+/// sharded executor measures spawn overhead instead of simulation.
+const RACK_BENCH_VMS: u32 = 192;
+
+/// Ring laps for the rack bench scenario, scaled like the grid.
+fn rack_rounds(scale: u32) -> u32 {
+    (scale / 40).max(4)
+}
+
+fn rack_bench_config(scale: u32, jobs: usize) -> rack::CellConfig {
+    rack::CellConfig {
+        composition: rack::Composition::Mixed,
+        hosts: RACK_BENCH_HOSTS,
+        vms_per_host: RACK_BENCH_VMS,
+        rounds: rack_rounds(scale),
+        jobs,
+        fault: None,
+    }
 }
 
 /// Measures the grid: serial pass, parallel pass (when `jobs > 1`),
@@ -255,22 +309,57 @@ fn run_inner(jobs: usize, scale: u32, clamp_to_hw: bool) -> GridReport {
             },
         })
         .collect();
+    // Rack segment: one ≥8-host scenario run twice on the sharded
+    // executor — serial reference, then window-parallel — timing both
+    // and asserting the results are byte-identical. This is the
+    // single-scenario speedup the PDES sharding exists for; the grid
+    // passes above only parallelize *across* scenarios.
+    let rack_start = Instant::now();
+    let before = hvx_engine::thread_transitions();
+    let rack_serial = rack::run_cell_with(&rack_bench_config(scale, 1))
+        .expect("rack bench cell runs on measured hypervisors");
+    let rack_transitions = hvx_engine::thread_transitions() - before;
+    let rack_serial_seconds = rack_start.elapsed().as_secs_f64();
+    let rack_jobs = jobs.min(RACK_BENCH_HOSTS as usize).min(hw);
+    let (rack_parallel_seconds, rack_parallel_speedup) = if rack_jobs > 1 {
+        let start = Instant::now();
+        let rack_parallel = rack::run_cell_with(&rack_bench_config(scale, rack_jobs))
+            .expect("rack bench cell runs on measured hypervisors");
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(
+            rack_serial, rack_parallel,
+            "rack scenario diverged between serial and sharded-parallel execution"
+        );
+        (secs, Some(rack_serial_seconds / secs.max(1e-9)))
+    } else {
+        (rack_serial_seconds, None)
+    };
+
     let transitions: u64 = cells.iter().map(|c| c.transitions).sum();
     let consolidation_transitions: u64 = cells[fig4_items..].iter().map(|c| c.transitions).sum();
     let fig4_transitions = transitions - consolidation_transitions;
     GridReport {
         scale,
-        jobs,
+        requested_jobs: jobs,
+        jobs: workers,
         cells,
         transitions,
         serial_seconds,
         parallel_seconds,
         grid_transitions_per_sec: fig4_transitions as f64 / fig4_seconds.max(1e-9),
-        parallel_speedup: serial_seconds / parallel_seconds.max(1e-9),
+        parallel_speedup: (workers > 1).then(|| serial_seconds / parallel_seconds.max(1e-9)),
         consolidation_transitions,
         consolidation_serial_seconds,
         sweep_transitions_per_sec: consolidation_transitions as f64
             / consolidation_serial_seconds.max(1e-9),
+        rack_hosts: RACK_BENCH_HOSTS,
+        rack_vms_per_host: RACK_BENCH_VMS,
+        rack_jobs,
+        rack_transitions,
+        rack_serial_seconds,
+        rack_parallel_seconds,
+        rack_parallel_speedup,
+        rack_transitions_per_sec: rack_transitions as f64 / rack_serial_seconds.max(1e-9),
     }
 }
 
@@ -287,14 +376,30 @@ pub fn render(r: &GridReport) -> String {
         "  serial   {:>8.3}s  {:>12.0} transitions/sec\n",
         r.serial_seconds, r.grid_transitions_per_sec
     ));
-    out.push_str(&format!(
-        "  parallel {:>8.3}s  {:.2}x with {} jobs\n",
-        r.parallel_seconds, r.parallel_speedup, r.jobs
-    ));
+    match r.parallel_speedup {
+        Some(speedup) => out.push_str(&format!(
+            "  parallel {:>8.3}s  {:.2}x with {} jobs\n",
+            r.parallel_seconds, speedup, r.jobs
+        )),
+        None => out.push_str(&format!(
+            "  parallel       skipped (1 effective worker, {} requested)\n",
+            r.requested_jobs
+        )),
+    }
     out.push_str(&format!(
         "  sweep    {:>8.3}s  {:>12.0} transitions/sec ({} consolidation transitions)\n",
         r.consolidation_serial_seconds, r.sweep_transitions_per_sec, r.consolidation_transitions
     ));
+    match r.rack_parallel_speedup {
+        Some(speedup) => out.push_str(&format!(
+            "  rack     {:>8.3}s  {:>12.0} transitions/sec, {:.2}x sharded with {} workers\n",
+            r.rack_serial_seconds, r.rack_transitions_per_sec, speedup, r.rack_jobs
+        )),
+        None => out.push_str(&format!(
+            "  rack     {:>8.3}s  {:>12.0} transitions/sec (sharded pass skipped: 1 worker)\n",
+            r.rack_serial_seconds, r.rack_transitions_per_sec
+        )),
+    }
     out
 }
 

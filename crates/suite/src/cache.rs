@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Part of every fingerprint **and** the cache/baseline directory
 /// layout: bumping it invalidates all cached entries and turns every
 /// baseline divergence into an expected `schema-bump` instead of drift.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Computes the content fingerprint of one scenario under one runner
 /// configuration, or `None` for scenarios that must never be cached
@@ -62,6 +62,12 @@ pub fn scenario_fingerprint(scenario: Scenario, cfg: &RunnerConfig) -> Option<Fi
     CostModel::arm().fingerprint_into(&mut h);
     CostModel::x86().fingerprint_into(&mut h);
     h.write_serialize(&Topology::paper_default());
+    // Host-level topology of the multi-host executor: every host in a
+    // rack runs the per-host topology above, and the inter-host wire
+    // latency doubles as the PDES lookahead bound, so changing it
+    // re-times every rack cell.
+    h.write_str("host-topology");
+    h.write_u64(crate::rack::RACK_WIRE);
     match &cfg.fault_plan {
         Some(plan) => plan.fingerprint_into(&mut h),
         None => h.write_str("no_faults"),
@@ -94,6 +100,13 @@ pub fn scenario_fingerprint(scenario: Scenario, cfg: &RunnerConfig) -> Option<Fi
             h.write_u64(u64::from(ratio));
             h.write_str(sched.name());
             h.write_u64(u64::from(crate::consolidation::TRANSACTIONS_PER_VM));
+        }
+        Scenario::RackCell { hosts, composition } => {
+            h.write_str("rack-cell");
+            h.write_u64(u64::from(hosts));
+            h.write_str(composition.name());
+            h.write_u64(u64::from(crate::rack::VMS_PER_HOST));
+            h.write_u64(u64::from(crate::rack::ROUNDS));
         }
         Scenario::Ablation(a) => {
             h.write_str("ablation");
@@ -142,6 +155,7 @@ fn encode_output(output: &Output) -> Option<(&'static str, Value)> {
         Output::Storage(s) => ("storage", s.serialize()),
         Output::Oversub(o) => ("oversub", o.serialize()),
         Output::Consolidation(c) => ("consolidation-cell", c.serialize()),
+        Output::Rack(c) => ("rack-cell", c.serialize()),
         Output::FaultRec(f) => ("faultrec", f.serialize()),
         Output::Chaos => return None,
     })
@@ -162,6 +176,7 @@ fn decode_output(tag: &str, payload: &Value) -> Option<Output> {
         "storage" => Output::Storage(Deserialize::deserialize(payload).ok()?),
         "oversub" => Output::Oversub(Deserialize::deserialize(payload).ok()?),
         "consolidation-cell" => Output::Consolidation(Deserialize::deserialize(payload).ok()?),
+        "rack-cell" => Output::Rack(Deserialize::deserialize(payload).ok()?),
         "faultrec" => Output::FaultRec(Deserialize::deserialize(payload).ok()?),
         _ => return None,
     })

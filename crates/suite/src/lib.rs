@@ -13,6 +13,9 @@
 //!   as operation mixes with emergent overheads;
 //! * [`ablations`] — the §V interrupt-distribution ablation, the §V
 //!   zero-copy analysis, and the §VI VHE projection;
+//! * [`rack`] — the rack sweep: H hosts × N VMs serving TCP_RR traffic
+//!   over the engine's sharded conservative-PDES executor, with per-host
+//!   Xen-vs-KVM composition as the sweep axis;
 //! * [`runner`] — the parallel scenario runner fanning the full artifact
 //!   matrix across OS threads with byte-identical output to a serial run;
 //! * [`service`] — the sweep-server executor: `hvx-serve`'s domain hooks
@@ -37,6 +40,7 @@ pub mod micro;
 pub mod netperf;
 pub mod paper;
 pub mod profile;
+pub mod rack;
 pub mod runner;
 pub mod service;
 pub mod spec_run;

@@ -20,7 +20,7 @@
 //! # Ok::<(), hvx_core::Error>(())
 //! ```
 
-use crate::{ablations, consolidation, fig4, micro, netperf, paper, table3, workloads};
+use crate::{ablations, consolidation, fig4, micro, netperf, paper, rack, table3, workloads};
 use hvx_core::{Error, Hypervisor, KvmArm, ScenarioFailureKind, SchedPolicy, VirqPolicy};
 use hvx_engine::{fault, Cycles, EventQueue, FaultPlan, TraceKind, Watchdog};
 use std::sync::{Mutex, PoisonError};
@@ -58,11 +58,13 @@ pub enum ArtifactId {
     Oversub,
     /// Fault-injection & recovery loss sweep.
     FaultRec,
+    /// Rack-scale TCP_RR over the sharded multi-host engine.
+    Rack,
 }
 
 impl ArtifactId {
     /// Every artifact, in the order `hvx-repro` prints them.
-    pub const ALL: [ArtifactId; 12] = [
+    pub const ALL: [ArtifactId; 13] = [
         ArtifactId::Table2,
         ArtifactId::Table3,
         ArtifactId::Table5,
@@ -75,6 +77,7 @@ impl ArtifactId {
         ArtifactId::Storage,
         ArtifactId::Oversub,
         ArtifactId::FaultRec,
+        ArtifactId::Rack,
     ];
 
     /// The CLI name (`hvx-repro [ARTIFACT...]`).
@@ -92,6 +95,7 @@ impl ArtifactId {
             ArtifactId::Storage => "storage",
             ArtifactId::Oversub => "oversub",
             ArtifactId::FaultRec => "faultrec",
+            ArtifactId::Rack => "rack",
         }
     }
 
@@ -110,6 +114,7 @@ impl ArtifactId {
             ArtifactId::Storage => "storage",
             ArtifactId::Oversub => "oversubscription",
             ArtifactId::FaultRec => "fault_recovery",
+            ArtifactId::Rack => "rack",
         }
     }
 
@@ -151,6 +156,14 @@ pub enum Scenario {
         ratio: u32,
         /// The hypervisor vCPU scheduler.
         sched: SchedPolicy,
+    },
+    /// One rack cell: `hosts` servers in a TCP_RR ring under the given
+    /// per-host hypervisor composition, run on the sharded engine.
+    RackCell {
+        /// Hosts in the ring.
+        hosts: u32,
+        /// Per-host hypervisor assignment.
+        composition: rack::Composition,
     },
     /// One ablation study.
     Ablation(ArtifactId),
@@ -203,6 +216,8 @@ impl Scenario {
             // Contended cells interpret 2×ratio vCPUs; cost scales
             // roughly with the ratio.
             Scenario::ConsolidationCell { ratio, .. } => 5 + u64::from(ratio) / 2,
+            // Work grows with hosts² (each of H×N tokens laps H hosts).
+            Scenario::RackCell { hosts, .. } => 10 + u64::from(hosts) * u64::from(hosts),
             Scenario::Ablation(ArtifactId::Oversub) => 15,
             Scenario::Ablation(ArtifactId::FaultRec) => 20,
             Scenario::Ablation(_) => 5,
@@ -233,6 +248,9 @@ impl Scenario {
                     .get(column)
                     .map_or_else(|| "?".to_string(), |k| k.to_string());
                 format!("oversub[{hv}/{ratio}:1/{sched}]")
+            }
+            Scenario::RackCell { hosts, composition } => {
+                format!("rack[{hosts}h/{}]", composition.name())
             }
             Scenario::Ablation(a) => a.cli_name().to_string(),
             Scenario::Chaos(k) => format!("chaos-{}", k.name()),
@@ -274,6 +292,9 @@ impl Scenario {
                 consolidation::TRANSACTIONS_PER_VM,
                 workloads::compile_enabled(),
             )?),
+            Scenario::RackCell { hosts, composition } => {
+                Output::Rack(rack::run_cell(composition, hosts)?)
+            }
             Scenario::Ablation(ArtifactId::Irq) => Output::Irq(ablations::irq_distribution()?),
             Scenario::Ablation(ArtifactId::Vhe) => Output::Vhe(ablations::vhe()?),
             Scenario::Ablation(ArtifactId::ZeroCopy) => Output::ZeroCopy(ablations::zero_copy()?),
@@ -338,6 +359,8 @@ pub enum Output {
     Oversub(ablations::OversubscriptionAblation),
     /// One simulated consolidation cell.
     Consolidation(consolidation::CellResult),
+    /// One simulated rack cell.
+    Rack(rack::CellResult),
     /// Fault-recovery sweep.
     FaultRec(ablations::FaultRecoveryAblation),
     /// A chaos scenario that (unexpectedly) survived.
@@ -492,6 +515,14 @@ pub fn plan(artifacts: &[ArtifactId]) -> Vec<Scenario> {
                                 sched,
                             });
                         }
+                    }
+                }
+            }
+            ArtifactId::Rack => {
+                // Hosts × composition, in render order.
+                for hosts in rack::HOST_COUNTS {
+                    for composition in rack::Composition::ALL {
+                        out.push(Scenario::RackCell { hosts, composition });
                     }
                 }
             }
@@ -749,6 +780,13 @@ struct FailedArtifact {
     error: String,
 }
 
+/// JSON shape of the assembled rack artifact (`None` entries are
+/// degraded cells).
+#[derive(Debug, serde::Serialize)]
+struct RackArtifact {
+    cells: Vec<Option<rack::CellResult>>,
+}
+
 /// JSON shape of the assembled oversubscription artifact: the analytic
 /// credit-scheduler model plus the simulated consolidation grid
 /// (`None` entries are degraded cells).
@@ -775,6 +813,7 @@ fn artifact_header(id: ArtifactId) -> &'static str {
         ArtifactId::Storage => "== Section III devices: storage ablation ==",
         ArtifactId::Oversub => "== Table I motivation: oversubscription sweep ==",
         ArtifactId::FaultRec => "== Ablation: fault injection & recovery ==",
+        ArtifactId::Rack => "== Rack: multi-host TCP_RR on the sharded engine ==",
     }
 }
 
@@ -938,6 +977,55 @@ pub fn assemble(
                     failures,
                 }
             }
+            ArtifactId::Rack => {
+                let n_cells = rack::HOST_COUNTS.len() * rack::Composition::ALL.len();
+                let mut cells: Vec<Option<rack::CellResult>> = Vec::with_capacity(n_cells);
+                let mut wall = Duration::ZERO;
+                let mut transitions = 0u64;
+                let mut failures = Vec::new();
+                for _ in 0..n_cells {
+                    let r = next();
+                    match &r.outcome {
+                        Ok(Output::Rack(c)) => cells.push(Some(c.clone())),
+                        Ok(_) => {
+                            return Err(Error::PlanMismatch {
+                                expected: n_cells,
+                                got: cells.len(),
+                            });
+                        }
+                        Err(f) => {
+                            cells.push(None);
+                            failures.push((r.scenario.label(), f.clone()));
+                        }
+                    }
+                    wall += r.wall;
+                    transitions += r.transitions;
+                }
+                let mut text =
+                    String::from("== Rack: multi-host TCP_RR on the sharded engine ==\n\n");
+                let ok: Vec<rack::CellResult> = cells.iter().flatten().cloned().collect();
+                text.push_str(&rack::render_sweep(&ok));
+                text.push('\n');
+                if !failures.is_empty() {
+                    text.push_str(&format!(
+                        "!! {} of {n_cells} cells failed and are omitted:\n",
+                        failures.len()
+                    ));
+                    for (label, failure) in &failures {
+                        text.push_str(&format!("!!   {label}: {failure}\n"));
+                    }
+                    text.push('\n');
+                }
+                let artifact = RackArtifact { cells };
+                ArtifactReport {
+                    id: *id,
+                    text,
+                    json: to_json(&artifact)?,
+                    wall,
+                    transitions,
+                    failures,
+                }
+            }
             _ => {
                 let r = next();
                 let output = match &r.outcome {
@@ -1029,7 +1117,10 @@ pub fn assemble(
                         ),
                         to_json(f)?,
                     ),
-                    Output::Fig4Cell(_) | Output::Consolidation(_) | Output::Chaos => {
+                    Output::Fig4Cell(_)
+                    | Output::Consolidation(_)
+                    | Output::Rack(_)
+                    | Output::Chaos => {
                         return Err(Error::PlanMismatch {
                             expected: 1,
                             got: 0,

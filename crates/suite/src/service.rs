@@ -76,6 +76,10 @@ fn spec_weight(shape: SpecShape) -> u64 {
     match shape {
         SpecShape::Paper => PAPER_WEIGHT,
         SpecShape::Consolidation { ratio } => 5 + u64::from(ratio) / 2,
+        SpecShape::Rack {
+            hosts,
+            vms_per_host,
+        } => 5 + u64::from(hosts) * u64::from(vms_per_host),
     }
 }
 

@@ -18,6 +18,7 @@
 
 use crate::consolidation::{self, TRANSACTIONS_PER_VM};
 use crate::profile::mix_for;
+use crate::rack;
 use crate::workloads;
 use hvx_core::report::CellReport;
 use hvx_core::{Error, ScenarioSpec, SimBuilder, SpecShape, Workload};
@@ -71,6 +72,10 @@ pub fn run_spec(spec: &ScenarioSpec) -> Result<String, Error> {
     match spec.shape()? {
         SpecShape::Paper => run_paper(spec),
         SpecShape::Consolidation { ratio } => run_consolidation(spec, ratio),
+        SpecShape::Rack {
+            hosts,
+            vms_per_host,
+        } => run_rack(spec, hosts, vms_per_host),
     }
 }
 
@@ -93,6 +98,10 @@ pub fn label(spec: &ScenarioSpec) -> String {
         Ok(SpecShape::Consolidation { ratio }) => {
             format!("{} consolidation {ratio}:1", spec.hypervisor)
         }
+        Ok(SpecShape::Rack {
+            hosts,
+            vms_per_host,
+        }) => format!("{} rack {hosts}x{vms_per_host}", spec.hypervisor),
         Err(_) => format!("{} (invalid shape)", spec.hypervisor),
     }
 }
@@ -196,6 +205,55 @@ fn run_consolidation(spec: &ScenarioSpec, ratio: u32) -> Result<String, Error> {
     Ok(out)
 }
 
+fn run_rack(spec: &ScenarioSpec, hosts: u32, vms_per_host: u32) -> Result<String, Error> {
+    // The rack ring is a TCP_RR workload by construction.
+    if let Some(w) = spec.workload {
+        if w != Workload::TcpRr && w != Workload::Netperf {
+            return Err(Error::InvalidSpec {
+                detail: format!("rack cells run TCP_RR; got workload '{w}'"),
+            });
+        }
+    }
+    let composition = match spec.hypervisor {
+        hvx_core::HvKind::KvmArm => rack::Composition::AllKvm,
+        hvx_core::HvKind::XenArm => rack::Composition::AllXen,
+        other => {
+            return Err(Error::InvalidSpec {
+                detail: format!("rack cells model ARM hypervisors; got '{other}'"),
+            })
+        }
+    };
+    let rounds = spec.transactions.unwrap_or(rack::ROUNDS);
+    let fault = spec.fault_plan()?;
+    let cell = rack::run_cell_with(&rack::CellConfig {
+        composition,
+        hosts,
+        vms_per_host,
+        rounds,
+        jobs: 1,
+        fault: fault.clone(),
+    })?;
+    let mut out = String::new();
+    out.push_str("== scenario spec run ==\n");
+    out.push_str(&format!("hypervisor:   {}\n", spec.hypervisor));
+    out.push_str(&format!(
+        "shape:        rack ({hosts} hosts x {vms_per_host} VMs, TCP_RR ring, {rounds} rounds)\n"
+    ));
+    out.push_str(&format!(
+        "requests:     {} ({} wire hops, {} windows)\n",
+        cell.requests, cell.wire_hops, cell.windows
+    ));
+    out.push_str(&format!("mean service: {:.2} us\n", cell.mean_service_us()));
+    if fault.is_some() {
+        out.push_str(&format!(
+            "faults:       {} tokens dropped\n",
+            cell.wire_drops
+        ));
+    }
+    out.push_str(&format!("makespan:     {} cycles\n", cell.makespan_cycles));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +336,20 @@ mod tests {
         );
         // Determinism: same spec, same bytes.
         assert_eq!(run_spec(&spec).unwrap(), faulted);
+    }
+
+    #[test]
+    fn rack_spec_runs_a_ring() {
+        let mut spec = ScenarioSpec::rack(HvKind::KvmArm, 4, 2);
+        spec.transactions = Some(2);
+        let out = run_spec(&spec).unwrap();
+        assert!(out.contains("rack (4 hosts x 2 VMs"), "{out}");
+        assert!(out.contains("requests:"), "{out}");
+        assert_eq!(run_spec(&spec).unwrap(), out, "rack runs are deterministic");
+        assert_eq!(label(&spec), "KVM ARM rack 4x2");
+        // x86 kinds have no place in the ARM rack sweep.
+        let x86 = ScenarioSpec::rack(HvKind::KvmX86, 4, 2);
+        assert!(matches!(run_spec(&x86), Err(Error::InvalidSpec { .. })));
     }
 
     #[test]

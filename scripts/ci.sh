@@ -27,6 +27,9 @@ sh scripts/trace_smoke.sh
 echo "== sched smoke =="
 sh scripts/sched_smoke.sh
 
+echo "== rack smoke =="
+sh scripts/rack_smoke.sh
+
 echo "== serve smoke =="
 sh scripts/serve_smoke.sh
 

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Rack smoke: the multi-host artifact on the sharded engine must be
+# byte-identical across --jobs, deterministic under a wire-drop fault
+# plan, and reachable through the ScenarioSpec path. Run from the
+# repository root.
+set -eu
+
+cargo build -q --release -p hvx-suite
+repro="target/release/hvx-repro"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== rack artifact: --jobs 1 vs --jobs 4 byte-identical =="
+"$repro" run rack --jobs 1 >"$tmp/rack-j1.txt"
+"$repro" run rack --jobs 4 >"$tmp/rack-j4.txt"
+if ! cmp -s "$tmp/rack-j1.txt" "$tmp/rack-j4.txt"; then
+    echo "rack_smoke: rack artifact diverged across --jobs" >&2
+    diff "$tmp/rack-j1.txt" "$tmp/rack-j4.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q "== Rack: multi-host TCP_RR on the sharded engine ==" "$tmp/rack-j1.txt"; then
+    echo "rack_smoke: rack artifact output missing its header" >&2
+    exit 1
+fi
+
+echo "== wire-drop fault plan: deterministic, and tokens visibly die =="
+"$repro" run rack --fault-plan wire_drop=0.2 --fault-seed 7 >"$tmp/rack-f1.txt"
+"$repro" run rack --fault-plan wire_drop=0.2 --fault-seed 7 >"$tmp/rack-f2.txt"
+if ! cmp -s "$tmp/rack-f1.txt" "$tmp/rack-f2.txt"; then
+    echo "rack_smoke: faulted rack runs diverged" >&2
+    exit 1
+fi
+drops=$(awk '$1 ~ /^[0-9]+$/ { s += $5 } END { print s + 0 }' "$tmp/rack-f1.txt")
+if [ "$drops" -le 0 ]; then
+    echo "rack_smoke: wire_drop=0.2 dropped no tokens" >&2
+    exit 1
+fi
+
+echo "== rack spec runs the ring reproducibly =="
+one=$("$repro" run --spec specs/rack-8x4.json)
+echo "$one"
+case "$one" in
+*"rack (8 hosts x 4 VMs"*) ;;
+*)
+    echo "rack_smoke: spec report missing the rack shape line" >&2
+    exit 1
+    ;;
+esac
+two=$("$repro" run --spec specs/rack-8x4.json)
+if [ "$one" != "$two" ]; then
+    echo "rack_smoke: two runs of the rack spec diverged" >&2
+    exit 1
+fi
+
+echo "rack_smoke: all checks passed"
