@@ -68,6 +68,7 @@
 //! ```
 
 use crate::{Cycles, EventQueue};
+use hvx_obs::HistogramSketch;
 
 /// Per-host behaviour plugged into a [`ShardSim`].
 ///
@@ -191,8 +192,17 @@ impl<M: HostModel> std::fmt::Debug for Shard<M> {
     }
 }
 
-/// Execution counters of one [`ShardSim`] run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Execution counters and per-window telemetry of one [`ShardSim`]
+/// run.
+///
+/// The histograms make `run_parallel` speedup regressions diagnosable:
+/// small [`ShardStats::window_events`] values mean windows are too
+/// narrow to amortize the barrier, and a wide
+/// [`ShardStats::host_imbalance`] spread means one host serializes each
+/// window while the others idle. Both are computed from the canonical
+/// per-window per-host event counts, so serial and parallel runs
+/// produce byte-identical stats.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardStats {
     /// Synchronization windows executed.
     pub windows: u64,
@@ -200,6 +210,31 @@ pub struct ShardStats {
     pub events: u64,
     /// Cross-host wire messages delivered at window barriers.
     pub wires: u64,
+    /// Host-windows in which a shard held pending events but none below
+    /// the horizon: the host woke at the barrier only to find its next
+    /// event beyond the lookahead bound.
+    pub lookahead_stalls: u64,
+    /// Distribution of events handled per window (all hosts summed).
+    pub window_events: HistogramSketch,
+    /// Distribution of the per-window event spread across hosts
+    /// (`max(per-host events) - min(per-host events)`).
+    pub host_imbalance: HistogramSketch,
+}
+
+impl ShardStats {
+    /// Folds one completed window into the stats: `per_host` holds the
+    /// events each host drained this window, in host-index order. Both
+    /// executors call this with identical inputs — the counts are a
+    /// pure function of the window, never of thread scheduling.
+    fn record_window(&mut self, per_host: &[u64]) {
+        self.windows += 1;
+        let total: u64 = per_host.iter().sum();
+        self.events += total;
+        self.window_events.record(total);
+        let max = per_host.iter().copied().max().unwrap_or(0);
+        let min = per_host.iter().copied().min().unwrap_or(0);
+        self.host_imbalance.record(max - min);
+    }
 }
 
 /// A conservative, windowed multi-host discrete-event executor. See
@@ -302,13 +337,15 @@ impl<M: HostModel> ShardSim<M> {
         let hosts = self.shards.len();
         while let Some(start) = self.next_event() {
             let horizon = start + lookahead;
-            stats.windows += 1;
+            stats.lookahead_stalls += self.stalled_hosts(horizon);
             let mut outboxes: Vec<Vec<Outgoing<M::Event>>> = Vec::with_capacity(hosts);
+            let mut per_host = Vec::with_capacity(hosts);
             for (idx, shard) in self.shards.iter_mut().enumerate() {
                 let (outbox, events) = drain_window(shard, idx, hosts, horizon, lookahead);
-                stats.events += events;
+                per_host.push(events);
                 outboxes.push(outbox);
             }
+            stats.record_window(&per_host);
             stats.wires += self.deliver(outboxes);
         }
         stats
@@ -333,7 +370,7 @@ impl<M: HostModel> ShardSim<M> {
         let lookahead = self.lookahead;
         while let Some(start) = self.next_event() {
             let horizon = start + lookahead;
-            stats.windows += 1;
+            stats.lookahead_stalls += self.stalled_hosts(horizon);
             let chunk = hosts.div_ceil(workers);
             // (host index, outbox, events) triples, collected per chunk
             // and re-sorted into host order below: completion order of
@@ -359,13 +396,26 @@ impl<M: HostModel> ShardSim<M> {
             });
             drained.sort_by_key(|(idx, ..)| *idx);
             let mut outboxes = Vec::with_capacity(hosts);
+            let mut per_host = Vec::with_capacity(hosts);
             for (_, outbox, events) in drained {
-                stats.events += events;
+                per_host.push(events);
                 outboxes.push(outbox);
             }
+            stats.record_window(&per_host);
             stats.wires += self.deliver(outboxes);
         }
         stats
+    }
+
+    /// Hosts whose calendars are non-empty but whose next event lies at
+    /// or beyond `horizon`: they stall this window, waiting out the
+    /// lookahead bound. Evaluated at the window start (before any
+    /// drain), so serial and parallel runs count identically.
+    fn stalled_hosts(&self, horizon: Cycles) -> u64 {
+        self.shards
+            .iter()
+            .filter(|s| s.queue.peek_when().is_some_and(|w| w >= horizon))
+            .count() as u64
     }
 
     /// Step 4: the single-threaded delivery barrier. Outboxes arrive in
@@ -608,5 +658,36 @@ mod tests {
         let stats = sim.run();
         assert_eq!(stats.windows, 1, "a wide window drains the whole chain");
         assert_eq!(sim.host(0).seen, 10);
+    }
+
+    #[test]
+    fn window_telemetry_counts_stalls_and_imbalance() {
+        // A 3-host ring passing one token: every window drains exactly
+        // one event on one host while the other two hosts stall (their
+        // calendars hold nothing, so they are idle, not stalled — a
+        // stall requires a *pending* event beyond the horizon).
+        let mut sim = ring_sim(3, 500);
+        sim.schedule(0, Cycles::ZERO, 5);
+        let stats = sim.run();
+        assert_eq!(stats.window_events.count(), stats.windows);
+        assert_eq!(stats.window_events.sum(), stats.events);
+        // One event per window, on exactly one host: spread is 1.
+        assert_eq!(stats.host_imbalance.max(), Some(1));
+        assert_eq!(stats.lookahead_stalls, 0, "empty calendars never stall");
+
+        // Two tokens far apart in time on one host: the second token
+        // is pending-but-beyond-horizon while the first drains.
+        let mut sim = ring_sim(2, 500);
+        sim.schedule(0, Cycles::ZERO, 1);
+        sim.schedule(0, Cycles::new(1_000_000), 1);
+        let stats = sim.run();
+        assert!(stats.lookahead_stalls > 0, "distant event must stall");
+
+        // The telemetry is byte-identical across executors.
+        let mut a = ring_sim(8, 700);
+        seed(&mut a, 6, 9);
+        let mut b = ring_sim(8, 700);
+        seed(&mut b, 6, 9);
+        assert_eq!(a.run(), b.run_parallel(4));
     }
 }

@@ -51,6 +51,8 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Power-of-two-bucketed median upper bound.
     pub p50: u64,
+    /// Power-of-two-bucketed 95th-percentile upper bound.
+    pub p95: u64,
     /// Power-of-two-bucketed 99th-percentile upper bound.
     pub p99: u64,
 }
@@ -112,6 +114,7 @@ impl ProfileSnapshot {
                     min: h.min().unwrap_or(0),
                     max: h.max().unwrap_or(0),
                     p50: h.approx_quantile(0.5).unwrap_or(0),
+                    p95: h.approx_quantile(0.95).unwrap_or(0),
                     p99: h.approx_quantile(0.99).unwrap_or(0),
                 })
                 .collect(),
@@ -124,6 +127,27 @@ impl ProfileSnapshot {
     pub fn accounted_cycles(&self) -> u64 {
         self.spans.iter().map(|r| r.exclusive_cycles).sum::<u64>() + self.unattributed_cycles
     }
+}
+
+/// Renders a histogram summary table: one aligned line per histogram
+/// with count, mean, and the p50/p95/p99 bucket upper bounds — the
+/// human-readable companion of the raw-bucket JSON export.
+pub fn render_histogram_summary(histograms: &[HistogramSnapshot]) -> String {
+    let mut out = String::new();
+    if histograms.is_empty() {
+        return out;
+    }
+    out.push_str(&format!(
+        "{:<32}{:>10}{:>14}{:>10}{:>10}{:>10}{:>12}\n",
+        "histogram", "count", "mean", "p50", "p95", "p99", "max"
+    ));
+    for h in histograms {
+        out.push_str(&format!(
+            "{:<32}{:>10}{:>14.1}{:>10}{:>10}{:>10}{:>12}\n",
+            h.name, h.count, h.mean, h.p50, h.p95, h.p99, h.max
+        ));
+    }
+    out
 }
 
 /// Lists every transition name, for exporters that want a schema.

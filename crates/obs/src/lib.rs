@@ -17,7 +17,11 @@
 //!   work across machines, with Chrome trace-event export and a
 //!   derivation pass folding end-to-end latencies into the registry;
 //! * [`ProfileSnapshot`] and [`SpanTracer::folded`] — exporters: JSON
-//!   (via the in-tree serde shim) and folded-stack flamegraph text.
+//!   (via the in-tree serde shim) and folded-stack flamegraph text;
+//! * [`log`] — a leveled JSON-lines logger (off by default, `HVX_LOG`
+//!   controlled) for the serving and runner paths;
+//! * [`PromText`] — a Prometheus text-exposition renderer over
+//!   registry counters, gauges, and histogram sketches.
 //!
 //! The crate is deliberately substrate-free: it counts raw `u64`
 //! cycles and knows nothing about machines, cores, or hypervisors, so
@@ -28,14 +32,18 @@
 #![warn(missing_debug_implementations)]
 
 mod export;
+pub mod log;
 mod metrics;
+mod prom;
 mod span;
 mod tracing;
 
 pub use export::{
-    render_span_deltas, span_deltas, transition_names, CounterSnapshot, HistogramSnapshot,
-    ProfileSnapshot, SpanDelta, SpanSnapshotRow,
+    render_histogram_summary, render_span_deltas, span_deltas, transition_names, CounterSnapshot,
+    HistogramSnapshot, ProfileSnapshot, SpanDelta, SpanSnapshotRow,
 };
+pub use log::{LogLevel, LogValue};
 pub use metrics::{HistogramSketch, MetricsRegistry};
+pub use prom::{parse_exposition, sanitize_metric_name, PromSample, PromText};
 pub use span::{SpanRow, SpanTracer, TransitionId};
 pub use tracing::{EventTracer, FlowChain, FlowId, FlowKind, FlowPhase, FlowPoint, SliceEvent};

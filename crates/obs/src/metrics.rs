@@ -16,7 +16,7 @@
 /// `ilog2` is `b - 1` (bucket 0 holds zeros). Covers the full `u64`
 /// range in 65 buckets — enough resolution for latency/size
 /// distributions without per-sample storage.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSketch {
     buckets: [u64; 65],
     count: u64,
@@ -108,6 +108,26 @@ impl HistogramSketch {
             }
         }
         Some(self.max)
+    }
+
+    /// The populated buckets as `(upper bound, count)` pairs, lowest
+    /// bound first, up to and including the highest non-empty bucket.
+    /// Upper bounds are inclusive (`0, 1, 3, 7, 15, ...`); exporters
+    /// turn these into cumulative `le` series.
+    pub fn bucket_counts(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        self.buckets[..last].iter().enumerate().map(|(b, &n)| {
+            let bound = if b == 0 {
+                0
+            } else {
+                (1u64 << (b - 1)).saturating_mul(2) - 1
+            };
+            (bound, n)
+        })
     }
 
     /// Folds `other`'s observations into `self`.

@@ -109,6 +109,18 @@ fn parse_query(q: &str) -> Vec<(String, String)> {
 
 /// Writes one `Connection: close` response with a JSON body.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_response_typed(stream, status, "application/json", body)
+}
+
+/// Writes one `Connection: close` response with an explicit content
+/// type — the Prometheus `/metrics` endpoint serves
+/// `text/plain; version=0.0.4` instead of JSON.
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         202 => "Accepted",
@@ -120,7 +132,7 @@ pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::i
         _ => "Internal Server Error",
     };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\n\
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\n\
          content-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
     );

@@ -128,6 +128,15 @@ pub trait JobExecutor: Send + Sync {
     ///
     /// A human-readable message when the template is malformed.
     fn expand(&self, body: &str) -> Result<Vec<String>, String>;
+
+    /// Returns stored trace-query data (ranked critical chains as a
+    /// JSON string) for a fingerprint, serving `GET /trace/<fp>` from
+    /// the warm cache **without running anything**. `None` means no
+    /// trace is stored for that fingerprint; the default
+    /// implementation stores no traces.
+    fn trace(&self, _fingerprint: &str) -> Option<String> {
+        None
+    }
 }
 
 #[cfg(test)]

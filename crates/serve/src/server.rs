@@ -31,12 +31,19 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use hvx_core::Error;
+use hvx_obs::log::{self as olog, LogValue};
+use hvx_obs::{HistogramSketch, PromText};
 use serde_json::Value;
 
 use crate::breaker::{Breaker, BreakerConfig, BreakerVerdict};
-use crate::http::{read_request, request as http_request, write_response, Request};
+use crate::http::{read_request, request as http_request, write_response_typed, Request};
 use crate::job::{JobExecutor, JobFailure, JobOutput, JobState, PreparedJob};
 use crate::journal::{recover, Journal};
+
+/// Content type of every JSON route.
+const CT_JSON: &str = "application/json";
+/// Content type of the Prometheus exposition.
+const CT_PROM: &str = "text/plain; version=0.0.4";
 
 /// Tuning for [`Server`].
 #[derive(Debug, Clone)]
@@ -89,6 +96,7 @@ struct Job {
     failure: Option<(String, String)>, // (kind, detail)
     quarantined: bool,
     last_touch: Instant,
+    accepted_at: Instant,
 }
 
 #[derive(Debug, Default)]
@@ -109,6 +117,23 @@ struct Counters {
     evicted: AtomicU64,
     recovered: AtomicU64,
     journal_errors: AtomicU64,
+    breaker_opened: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// Per-request latency decomposition, recorded at job completion and
+/// exported as `/metrics` histograms. Guarded by its own mutex (the
+/// sketches are `&mut self`); only taken after the state lock is
+/// released, so the two locks never nest.
+#[derive(Debug, Default)]
+struct Telemetry {
+    queue_wait_us: HistogramSketch,
+    run_us: HistogramSketch,
+    journal_write_us: HistogramSketch,
+}
+
+fn as_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Journals a terminal transition, surfacing (never swallowing) write
@@ -117,11 +142,21 @@ struct Counters {
 /// is survivable — recovery re-runs the job, and the warm cache makes
 /// that cheap — but it must not be silent: a journal device that has
 /// begun failing is exactly what an operator needs to see.
-fn journal_terminal(counters: &Counters, journal: &Journal, id: u64, event: &str) {
+fn journal_terminal(counters: &Counters, journal: &Journal, id: u64, event: &str) -> Duration {
+    let t0 = Instant::now();
     if let Err(e) = journal.terminal(id, event) {
         counters.journal_errors.fetch_add(1, Ordering::Relaxed);
-        eprintln!("hvx-serve: journal write for job {id} ({event}) failed: {e}");
+        olog::error(
+            "serve",
+            "journal_write_failed",
+            &[
+                ("job", LogValue::from(id)),
+                ("terminal", LogValue::from(event)),
+                ("detail", LogValue::from(e.to_string())),
+            ],
+        );
     }
+    t0.elapsed()
 }
 
 struct Shared {
@@ -133,6 +168,12 @@ struct Shared {
     draining: AtomicBool,
     shutdown: AtomicBool,
     counters: Counters,
+    telemetry: Mutex<Telemetry>,
+    started: Instant,
+    /// Connection-handler threads currently between accept and
+    /// response flush; shutdown waits (bounded) for this to reach
+    /// zero so the drain response itself is never torn off the wire.
+    conn_inflight: AtomicU64,
 }
 
 impl std::fmt::Debug for Shared {
@@ -201,6 +242,7 @@ impl Server {
                     failure: None,
                     quarantined: false,
                     last_touch: now,
+                    accepted_at: now,
                 };
                 if let Some(output) = exec.lookup(&job.prepared) {
                     job.state = JobState::Done;
@@ -211,6 +253,15 @@ impl Server {
                     inner.queued_weight += job.prepared.weight;
                     inner.queue.push_back(rec.id);
                 }
+                olog::info(
+                    "serve",
+                    "job_recovered",
+                    &[
+                        ("job", LogValue::from(rec.id)),
+                        ("client", LogValue::from(job.client.as_str())),
+                        ("warm", LogValue::from(job.cached)),
+                    ],
+                );
                 inner.jobs.insert(rec.id, job);
             }
             journal = Some(j);
@@ -226,6 +277,9 @@ impl Server {
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             counters,
+            telemetry: Mutex::new(Telemetry::default()),
+            started: Instant::now(),
+            conn_inflight: AtomicU64::new(0),
         });
         shared
             .counters
@@ -268,9 +322,16 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     let shared = Arc::clone(&self.shared);
-                    let _ = std::thread::Builder::new()
+                    shared.conn_inflight.fetch_add(1, Ordering::SeqCst);
+                    let spawned = std::thread::Builder::new()
                         .name("hvx-serve-conn".into())
-                        .spawn(move || handle_connection(&shared, stream));
+                        .spawn(move || {
+                            handle_connection(&shared, stream);
+                            shared.conn_inflight.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        self.shared.conn_inflight.fetch_sub(1, Ordering::SeqCst);
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -289,6 +350,16 @@ impl Server {
                 if idle {
                     self.shared.shutdown.store(true, Ordering::SeqCst);
                     self.shared.cvar.notify_all();
+                    // Let in-flight handlers flush their responses —
+                    // the drain 200 itself is one of them — before the
+                    // process exits and tears the connection. Bounded:
+                    // a wedged handler costs at most one second.
+                    let t0 = Instant::now();
+                    while self.shared.conn_inflight.load(Ordering::SeqCst) > 0
+                        && t0.elapsed() < Duration::from_secs(1)
+                    {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
                     break;
                 }
             }
@@ -308,7 +379,7 @@ fn lock<'a>(m: &'a Mutex<Inner>) -> std::sync::MutexGuard<'a, Inner> {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let (id, prepared) = {
+        let (id, prepared, queue_wait) = {
             let mut inner = lock(&shared.state);
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -318,10 +389,11 @@ fn worker_loop(shared: &Shared) {
                     let job = inner.jobs.get_mut(&id).expect("queued job exists");
                     job.state = JobState::Running;
                     job.last_touch = Instant::now();
+                    let queue_wait = job.accepted_at.elapsed();
                     let prepared = job.prepared.clone();
                     inner.queued_weight -= prepared.weight;
                     inner.running += 1;
-                    break (id, prepared);
+                    break (id, prepared, queue_wait);
                 }
                 inner = shared
                     .cvar
@@ -329,7 +401,17 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        olog::debug(
+            "serve",
+            "job_started",
+            &[
+                ("job", LogValue::from(id)),
+                ("label", LogValue::from(prepared.label.as_str())),
+                ("queue_wait_us", LogValue::from(as_micros(queue_wait))),
+            ],
+        );
 
+        let run_started = Instant::now();
         let mut retries = 0u32;
         let outcome = loop {
             match shared.exec.run(&prepared) {
@@ -342,6 +424,17 @@ fn worker_loop(shared: &Shared) {
                             .saturating_mul(1 << retries.min(10))
                             .min(Duration::from_secs(1));
                         retries += 1;
+                        olog::info(
+                            "serve",
+                            "job_retry",
+                            &[
+                                ("job", LogValue::from(id)),
+                                ("attempt", LogValue::from(u64::from(retries))),
+                                ("backoff_ms", LogValue::from(backoff.as_millis() as u64)),
+                                ("kind", LogValue::from(failure.kind.to_string())),
+                                ("detail", LogValue::from(failure.detail.as_str())),
+                            ],
+                        );
                         if backoff_or_abort(shared, backoff) {
                             continue;
                         }
@@ -353,8 +446,9 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         };
+        let run_dur = run_started.elapsed();
 
-        record_outcome(shared, id, retries, outcome);
+        record_outcome(shared, id, retries, outcome, queue_wait, run_dur);
     }
 }
 
@@ -384,8 +478,19 @@ fn backoff_or_abort(shared: &Shared, backoff: Duration) -> bool {
     }
 }
 
-fn record_outcome(shared: &Shared, id: u64, retries: u32, outcome: Result<JobOutput, JobFailure>) {
+fn record_outcome(
+    shared: &Shared,
+    id: u64,
+    retries: u32,
+    outcome: Result<JobOutput, JobFailure>,
+    queue_wait: Duration,
+    run_dur: Duration,
+) {
     let now = Instant::now();
+    shared
+        .counters
+        .retries
+        .fetch_add(u64::from(retries), Ordering::Relaxed);
     let mut inner = lock(&shared.state);
     inner.running -= 1;
     let fingerprint = inner.jobs[&id].prepared.fingerprint.clone();
@@ -398,6 +503,17 @@ fn record_outcome(shared: &Shared, id: u64, retries: u32, outcome: Result<JobOut
             let opened = inner
                 .breaker
                 .on_failure(&shared.cfg.breaker, &fingerprint, now);
+            if opened {
+                shared
+                    .counters
+                    .breaker_opened
+                    .fetch_add(1, Ordering::Relaxed);
+                olog::info(
+                    "serve",
+                    "breaker_opened",
+                    &[("fingerprint", LogValue::from(fingerprint.as_str()))],
+                );
+            }
             ("failed", opened)
         }
     };
@@ -409,17 +525,51 @@ fn record_outcome(shared: &Shared, id: u64, retries: u32, outcome: Result<JobOut
         Ok(output) => {
             job.state = JobState::Done;
             job.output = Some(output);
+            olog::debug(
+                "serve",
+                "job_done",
+                &[
+                    ("job", LogValue::from(id)),
+                    ("retries", LogValue::from(u64::from(retries))),
+                    ("run_us", LogValue::from(as_micros(run_dur))),
+                ],
+            );
         }
         Err(failure) => {
+            olog::info(
+                "serve",
+                "job_failed",
+                &[
+                    ("job", LogValue::from(id)),
+                    ("kind", LogValue::from(failure.kind.to_string())),
+                    ("detail", LogValue::from(failure.detail.as_str())),
+                    ("transient", LogValue::from(failure.transient)),
+                    ("retries", LogValue::from(u64::from(retries))),
+                    ("quarantined", LogValue::from(quarantined)),
+                ],
+            );
             job.state = JobState::Failed;
             job.failure = Some((failure.kind.to_string(), failure.detail));
         }
     }
-    if let Some(j) = &shared.journal {
-        journal_terminal(&shared.counters, j, id, event);
-    }
+    let journal_write = shared
+        .journal
+        .as_ref()
+        .map(|j| journal_terminal(&shared.counters, j, id, event));
     evict_locked(shared, &mut inner);
     drop(inner);
+    // Latency decomposition: recorded outside the state lock (the
+    // sketches have their own mutex; the two never nest).
+    let mut tel = shared
+        .telemetry
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    tel.queue_wait_us.record(as_micros(queue_wait));
+    tel.run_us.record(as_micros(run_dur));
+    if let Some(jw) = journal_write {
+        tel.journal_write_us.record(as_micros(jw));
+    }
+    drop(tel);
     shared.cvar.notify_all();
 }
 
@@ -463,15 +613,28 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let req = match read_request(&mut stream) {
         Ok(r) => r,
         Err(e) => {
-            let _ = write_response(&mut stream, 400, &error_body("bad-request", &e, vec![]));
+            let _ = write_response_typed(
+                &mut stream,
+                400,
+                CT_JSON,
+                &error_body("bad-request", &e, vec![]),
+            );
             return;
         }
     };
-    let (status, body) = route(shared, &req);
-    let _ = write_response(&mut stream, status, &body);
+    let (status, content_type, body) = route(shared, &req);
+    let _ = write_response_typed(&mut stream, status, content_type, &body);
 }
 
-fn route(shared: &Shared, req: &Request) -> (u16, String) {
+fn route(shared: &Shared, req: &Request) -> (u16, &'static str, String) {
+    if req.method == "GET" && req.path == "/metrics" {
+        return (200, CT_PROM, metrics_body(shared));
+    }
+    let (status, body) = route_json(shared, req);
+    (status, CT_JSON, body)
+}
+
+fn route_json(shared: &Shared, req: &Request) -> (u16, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, obj(vec![("ok", Value::Bool(true))])),
         ("GET", "/stats") => (200, stats_body(shared)),
@@ -480,6 +643,7 @@ fn route(shared: &Shared, req: &Request) -> (u16, String) {
         ("POST", "/drain") => {
             shared.draining.store(true, Ordering::SeqCst);
             shared.cvar.notify_all();
+            olog::info("serve", "drain_requested", &[]);
             (200, obj(vec![("draining", Value::Bool(true))]))
         }
         ("GET", path) if path.starts_with("/jobs/") => {
@@ -491,6 +655,9 @@ fn route(shared: &Shared, req: &Request) -> (u16, String) {
                 ),
             }
         }
+        ("GET", path) if path.starts_with("/trace/") => {
+            trace_query(shared, req, &path["/trace/".len()..])
+        }
         _ => (
             404,
             error_body(
@@ -500,6 +667,196 @@ fn route(shared: &Shared, req: &Request) -> (u16, String) {
             ),
         ),
     }
+}
+
+/// `GET /trace/<fingerprint>?top=K`: ranked critical chains from the
+/// executor's stored trace for an already-computed result. A pure
+/// cache read — no worker is involved and nothing re-runs.
+fn trace_query(shared: &Shared, req: &Request, fingerprint: &str) -> (u16, String) {
+    let top = match req.query_value("top") {
+        None => 5usize,
+        Some(t) => match t.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return (
+                    400,
+                    error_body("bad-request", "top must be a positive integer", vec![]),
+                )
+            }
+        },
+    };
+    let Some(stored) = shared.exec.trace(fingerprint) else {
+        return (
+            404,
+            error_body(
+                "not-found",
+                &format!("no cached trace for fingerprint {fingerprint}"),
+                vec![("fingerprint", Value::Str(fingerprint.into()))],
+            ),
+        );
+    };
+    let Ok(mut v) = serde_json::parse_value(&stored) else {
+        return (
+            500,
+            error_body("trace", "stored trace is not valid JSON", vec![]),
+        );
+    };
+    let total = v
+        .get("chains")
+        .and_then(Value::as_array)
+        .map_or(0, <[Value]>::len);
+    if let Value::Object(pairs) = &mut v {
+        for (k, val) in pairs.iter_mut() {
+            if k == "chains" {
+                if let Value::Array(chains) = val {
+                    chains.truncate(top);
+                }
+            }
+        }
+        pairs.push(("total_chains".to_string(), Value::U64(total as u64)));
+        pairs.push(("top".to_string(), Value::U64(top as u64)));
+    }
+    olog::debug(
+        "serve",
+        "trace_served",
+        &[
+            ("fingerprint", LogValue::from(fingerprint)),
+            ("top", LogValue::from(top)),
+            ("total_chains", LogValue::from(total)),
+        ],
+    );
+    (200, serde_json::to_string(&v).expect("value serializes"))
+}
+
+/// `GET /metrics`: the Prometheus exposition. Counters come from the
+/// lock-free atomics; gauges take the state lock briefly; latency
+/// histograms take the telemetry lock. Scraping never blocks workers
+/// beyond those two short holds.
+fn metrics_body(shared: &Shared) -> String {
+    let c = &shared.counters;
+    let mut t = PromText::new();
+    t.counter(
+        "hvx_serve_accepted_total",
+        "Jobs admitted (queued or answered warm)",
+        c.accepted.load(Ordering::Relaxed),
+    );
+    t.counter(
+        "hvx_serve_shed_total",
+        "Submissions refused by the queue-weight bound",
+        c.shed.load(Ordering::Relaxed),
+    );
+    t.counter(
+        "hvx_serve_warm_hits_total",
+        "Admissions answered from the result cache",
+        c.warm_hits.load(Ordering::Relaxed),
+    );
+    t.counter(
+        "hvx_serve_evicted_total",
+        "Finished results evicted (oldest-idle)",
+        c.evicted.load(Ordering::Relaxed),
+    );
+    t.counter(
+        "hvx_serve_recovered_total",
+        "Jobs replayed from the journal at startup",
+        c.recovered.load(Ordering::Relaxed),
+    );
+    t.counter(
+        "hvx_serve_journal_errors_total",
+        "Journal write failures (terminal records lost)",
+        c.journal_errors.load(Ordering::Relaxed),
+    );
+    t.counter(
+        "hvx_serve_breaker_opened_total",
+        "Circuit-breaker open transitions",
+        c.breaker_opened.load(Ordering::Relaxed),
+    );
+    t.counter(
+        "hvx_serve_retries_total",
+        "Transient-failure retry attempts",
+        c.retries.load(Ordering::Relaxed),
+    );
+
+    {
+        let inner = lock(&shared.state);
+        t.gauge(
+            "hvx_serve_queue_depth",
+            "Jobs admitted and waiting for a worker",
+            inner.queue.len() as f64,
+        );
+        t.gauge(
+            "hvx_serve_queued_weight",
+            "Total admission weight of queued jobs",
+            inner.queued_weight as f64,
+        );
+        t.gauge(
+            "hvx_serve_running",
+            "Jobs currently executing",
+            inner.running as f64,
+        );
+        t.gauge(
+            "hvx_serve_workers",
+            "Worker threads in the pool",
+            shared.cfg.workers.max(1) as f64,
+        );
+        t.gauge(
+            "hvx_serve_worker_occupancy",
+            "Fraction of the worker pool currently busy",
+            inner.running as f64 / shared.cfg.workers.max(1) as f64,
+        );
+        t.gauge(
+            "hvx_serve_breaker_open",
+            "Fingerprints currently quarantined",
+            inner.breaker.quarantined() as f64,
+        );
+        let mut per_client: Vec<(String, f64)> = Vec::new();
+        for job in inner.jobs.values() {
+            if job.state.terminal() {
+                continue;
+            }
+            let label = format!("client=\"{}\"", job.client.replace('"', "'"));
+            match per_client.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1.0,
+                None => per_client.push((label, 1.0)),
+            }
+        }
+        per_client.sort_by(|a, b| a.0.cmp(&b.0));
+        t.labeled_gauge(
+            "hvx_serve_client_inflight",
+            "Non-terminal jobs per client",
+            &per_client,
+        );
+    }
+    t.gauge(
+        "hvx_serve_uptime_seconds",
+        "Seconds since the server bound its listener",
+        shared.started.elapsed().as_secs_f64(),
+    );
+    t.gauge(
+        "hvx_serve_draining",
+        "1 when the server is draining",
+        u8::from(shared.draining.load(Ordering::SeqCst)) as f64,
+    );
+
+    let tel = shared
+        .telemetry
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    t.histogram(
+        "hvx_serve_queue_wait_us",
+        "Microseconds from admission to a worker picking the job up",
+        &tel.queue_wait_us,
+    );
+    t.histogram(
+        "hvx_serve_run_us",
+        "Microseconds executing a job (all attempts and backoffs)",
+        &tel.run_us,
+    );
+    t.histogram(
+        "hvx_serve_journal_write_us",
+        "Microseconds writing the terminal journal record",
+        &tel.journal_write_us,
+    );
+    t.finish()
 }
 
 fn stats_body(shared: &Shared) -> String {
@@ -540,6 +897,16 @@ fn stats_body(shared: &Shared) -> String {
             Value::U64(shared.counters.journal_errors.load(Ordering::Relaxed)),
         ),
         (
+            "uptime_seconds",
+            Value::U64(shared.started.elapsed().as_secs()),
+        ),
+        ("workers", Value::U64(shared.cfg.workers.max(1) as u64)),
+        (
+            "worker_occupancy",
+            Value::F64(inner.running as f64 / shared.cfg.workers.max(1) as f64),
+        ),
+        ("queue_depth", Value::U64(inner.queue.len() as u64)),
+        (
             "draining",
             Value::Bool(shared.draining.load(Ordering::SeqCst)),
         ),
@@ -549,7 +916,13 @@ fn stats_body(shared: &Shared) -> String {
 /// Handles `POST /jobs` (one body) and `POST /sweep` (a template the
 /// executor expands; admission is all-or-nothing across the batch).
 fn submit(shared: &Shared, req: &Request, sweep: bool) -> (u16, String) {
+    let client = req.query_value("client").unwrap_or("anonymous").to_string();
     if shared.draining.load(Ordering::SeqCst) {
+        olog::info(
+            "serve",
+            "drain_refused",
+            &[("client", LogValue::from(client.as_str()))],
+        );
         return (
             503,
             error_body(
@@ -559,7 +932,6 @@ fn submit(shared: &Shared, req: &Request, sweep: bool) -> (u16, String) {
             ),
         );
     }
-    let client = req.query_value("client").unwrap_or("anonymous").to_string();
 
     // Validate outside the lock: prepare/expand parse JSON and hash
     // fingerprints, which must not stall admission for other clients.
@@ -596,6 +968,15 @@ fn submit(shared: &Shared, req: &Request, sweep: bool) -> (u16, String) {
         {
             BreakerVerdict::Admit | BreakerVerdict::Probe => {}
             BreakerVerdict::Quarantined(left) => {
+                olog::info(
+                    "serve",
+                    "admission_quarantined",
+                    &[
+                        ("client", LogValue::from(client.as_str())),
+                        ("fingerprint", LogValue::from(p.fingerprint.as_str())),
+                        ("retry_after_ms", LogValue::from(left.as_millis() as u64)),
+                    ],
+                );
                 return (
                     409,
                     error_body(
@@ -618,6 +999,15 @@ fn submit(shared: &Shared, req: &Request, sweep: bool) -> (u16, String) {
         .filter(|j| j.client == client && !j.state.terminal())
         .count();
     if inflight + prepared.len() > shared.cfg.client_inflight_cap {
+        olog::info(
+            "serve",
+            "admission_client_cap",
+            &[
+                ("client", LogValue::from(client.as_str())),
+                ("inflight", LogValue::from(inflight)),
+                ("cap", LogValue::from(shared.cfg.client_inflight_cap)),
+            ],
+        );
         return (
             429,
             error_body(
@@ -648,6 +1038,16 @@ fn submit(shared: &Shared, req: &Request, sweep: bool) -> (u16, String) {
         shared.counters.shed.fetch_add(1, Ordering::Relaxed);
         let depth = inner.queue.len() as u64;
         let retry_ms = 100 + 10 * inner.queued_weight.min(1000);
+        olog::info(
+            "serve",
+            "admission_shed",
+            &[
+                ("client", LogValue::from(client.as_str())),
+                ("batch_weight", LogValue::from(cold_weight)),
+                ("queued_weight", LogValue::from(inner.queued_weight)),
+                ("queue_depth", LogValue::from(depth)),
+            ],
+        );
         return (
             429,
             error_body(
@@ -677,6 +1077,15 @@ fn submit(shared: &Shared, req: &Request, sweep: bool) -> (u16, String) {
             }
             journal_terminal(&shared.counters, j, id, "done");
         }
+        olog::debug(
+            "serve",
+            "admission_warm_hit",
+            &[
+                ("job", LogValue::from(id)),
+                ("client", LogValue::from(client.as_str())),
+                ("fingerprint", LogValue::from(p.fingerprint.as_str())),
+            ],
+        );
         inner.jobs.insert(
             id,
             Job {
@@ -689,6 +1098,7 @@ fn submit(shared: &Shared, req: &Request, sweep: bool) -> (u16, String) {
                 failure: None,
                 quarantined: false,
                 last_touch: now,
+                accepted_at: now,
             },
         );
         shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
@@ -705,6 +1115,16 @@ fn submit(shared: &Shared, req: &Request, sweep: bool) -> (u16, String) {
             }
         }
         inner.queued_weight += p.weight;
+        olog::debug(
+            "serve",
+            "admission_accepted",
+            &[
+                ("job", LogValue::from(id)),
+                ("client", LogValue::from(client.as_str())),
+                ("fingerprint", LogValue::from(p.fingerprint.as_str())),
+                ("weight", LogValue::from(p.weight)),
+            ],
+        );
         inner.jobs.insert(
             id,
             Job {
@@ -717,6 +1137,7 @@ fn submit(shared: &Shared, req: &Request, sweep: bool) -> (u16, String) {
                 failure: None,
                 quarantined: false,
                 last_touch: now,
+                accepted_at: now,
             },
         );
         inner.queue.push_back(id);
@@ -864,6 +1285,36 @@ pub mod client {
         Ok(parse(status, &body)?.1)
     }
 
+    /// Fetches the raw Prometheus exposition from `/metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-200 status, as a human-readable
+    /// message.
+    pub fn metrics(addr: &str) -> Result<String, String> {
+        let (status, body) = http_request(addr, "GET", "/metrics", None)?;
+        if status != 200 {
+            return Err(format!("metrics: status {status}"));
+        }
+        Ok(body)
+    }
+
+    /// Fetches ranked critical chains for a cached fingerprint from
+    /// `GET /trace/<fingerprint>?top=K`.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`].
+    pub fn trace(addr: &str, fingerprint: &str, top: usize) -> Result<(u16, Value), String> {
+        let (status, body) = http_request(
+            addr,
+            "GET",
+            &format!("/trace/{fingerprint}?top={top}"),
+            None,
+        )?;
+        parse(status, &body)
+    }
+
     /// Requests a graceful drain.
     ///
     /// # Errors
@@ -946,6 +1397,9 @@ mod tests {
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
+            telemetry: Mutex::new(Telemetry::default()),
+            started: Instant::now(),
+            conn_inflight: AtomicU64::new(0),
         }
     }
 }

@@ -26,6 +26,7 @@ struct MockExec {
     run_calls: AtomicU64,
     attempts: Mutex<HashMap<String, u32>>,
     cache: Mutex<HashMap<String, JobOutput>>,
+    traces: Mutex<HashMap<String, String>>,
     run_delay: Duration,
 }
 
@@ -108,6 +109,10 @@ impl JobExecutor for MockExec {
             Some(rest) => Ok(rest.split(',').map(str::to_string).collect()),
             None => Err("not a sweep template".into()),
         }
+    }
+
+    fn trace(&self, fingerprint: &str) -> Option<String> {
+        self.traces.lock().unwrap().get(fingerprint).cloned()
     }
 }
 
@@ -515,5 +520,159 @@ fn malformed_bodies_and_unknown_routes_get_structured_errors() {
     assert_eq!(exec.run_calls.load(Ordering::SeqCst), 0);
     let (status, _) = client::poll(&addr, 999).unwrap();
     assert_eq!(status, 404);
+    stop(&addr, handle);
+}
+
+/// Scrapes `/metrics` and returns the parsed samples keyed by
+/// `name{labels}`.
+fn scrape(addr: &str) -> HashMap<String, f64> {
+    let text = client::metrics(addr).unwrap();
+    let samples =
+        hvx_obs::parse_exposition(&text).expect("exposition must round-trip through the parser");
+    samples
+        .into_iter()
+        .map(|s| {
+            let key = if s.labels.is_empty() {
+                s.name
+            } else {
+                format!("{}{{{}}}", s.name, s.labels)
+            };
+            (key, s.value)
+        })
+        .collect()
+}
+
+#[test]
+fn metrics_exposition_has_stable_families_and_parses() {
+    let (addr, handle, _exec) = start(ServerConfig::default(), Arc::default());
+    let (_, v) = client::submit(&addr, "alice", "ok:scrape").unwrap();
+    let id = u64_of(&v, "job");
+    client::wait(&addr, id, Duration::from_secs(5)).unwrap();
+
+    let text = client::metrics(&addr).unwrap();
+    // The exposition format gates: HELP/TYPE headers plus parseable
+    // samples for every family the dashboards key on.
+    for family in [
+        "hvx_serve_accepted_total",
+        "hvx_serve_shed_total",
+        "hvx_serve_warm_hits_total",
+        "hvx_serve_retries_total",
+        "hvx_serve_breaker_opened_total",
+        "hvx_serve_journal_errors_total",
+        "hvx_serve_queue_depth",
+        "hvx_serve_running",
+        "hvx_serve_workers",
+        "hvx_serve_worker_occupancy",
+        "hvx_serve_uptime_seconds",
+        "hvx_serve_draining",
+        "hvx_serve_queue_wait_us",
+        "hvx_serve_run_us",
+        "hvx_serve_journal_write_us",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "missing TYPE header for {family} in:\n{text}"
+        );
+    }
+    let m = scrape(&addr);
+    assert_eq!(m["hvx_serve_accepted_total"], 1.0);
+    assert_eq!(m["hvx_serve_queue_wait_us_count"], 1.0);
+    assert_eq!(m["hvx_serve_run_us_count"], 1.0);
+    assert!(m["hvx_serve_run_us_sum"] >= 0.0);
+    assert_eq!(m["hvx_serve_draining"], 0.0);
+    assert!(m["hvx_serve_workers"] >= 1.0);
+    stop(&addr, handle);
+}
+
+#[test]
+fn metrics_counters_stay_monotone_across_retry_and_drain() {
+    let (addr, handle, _exec) = start(ServerConfig::default(), Arc::default());
+
+    let (_, v) = client::submit(&addr, "alice", "ok:mono").unwrap();
+    client::wait(&addr, u64_of(&v, "job"), Duration::from_secs(5)).unwrap();
+    let before = scrape(&addr);
+
+    // A transiently failing job retries in-worker and a warm
+    // resubmission hits the cache: accepted, retries, and warm-hit
+    // counters must all move forward, never backward.
+    let (_, v) = client::submit(&addr, "alice", "retryable:2:mono").unwrap();
+    client::wait(&addr, u64_of(&v, "job"), Duration::from_secs(5)).unwrap();
+    let (status, _) = client::submit(&addr, "bob", "ok:mono").unwrap();
+    assert_eq!(status, 200);
+    let after = scrape(&addr);
+
+    for key in [
+        "hvx_serve_accepted_total",
+        "hvx_serve_shed_total",
+        "hvx_serve_warm_hits_total",
+        "hvx_serve_retries_total",
+        "hvx_serve_run_us_count",
+        "hvx_serve_queue_wait_us_count",
+    ] {
+        assert!(
+            after[key] >= before[key],
+            "{key} went backward: {} -> {}",
+            before[key],
+            after[key]
+        );
+    }
+    // Warm-dedupe admissions count as accepted too: 3 submits total.
+    assert_eq!(after["hvx_serve_accepted_total"], 3.0);
+    assert_eq!(after["hvx_serve_retries_total"], 2.0);
+    assert_eq!(after["hvx_serve_warm_hits_total"], 1.0);
+    stop(&addr, handle);
+}
+
+#[test]
+fn stats_carry_uptime_and_worker_pool_gauges() {
+    let cfg = ServerConfig {
+        workers: 3,
+        ..ServerConfig::default()
+    };
+    let (addr, handle, _exec) = start(cfg, Arc::default());
+    let stats = client::stats(&addr).unwrap();
+    assert!(stats
+        .get("uptime_seconds")
+        .and_then(Value::as_u64)
+        .is_some());
+    assert_eq!(u64_of(&stats, "workers"), 3);
+    assert_eq!(u64_of(&stats, "queue_depth"), 0);
+    let occ = stats
+        .get("worker_occupancy")
+        .and_then(Value::as_f64)
+        .unwrap();
+    assert!((0.0..=1.0).contains(&occ));
+    stop(&addr, handle);
+}
+
+#[test]
+fn trace_queries_answer_from_cache_without_a_worker_run() {
+    let exec = Arc::new(MockExec::default());
+    exec.traces.lock().unwrap().insert(
+        "fp-ok:traced".into(),
+        r#"{"fingerprint":"fp-ok:traced","chains":[
+            {"id":3,"latency_cycles":900},
+            {"id":1,"latency_cycles":500},
+            {"id":2,"latency_cycles":100}]}"#
+            .into(),
+    );
+    let (addr, handle, exec) = start(ServerConfig::default(), exec);
+
+    // Hit: ranked chains come back truncated to `top`, annotated with
+    // the full count — and the worker pool never ran anything.
+    let (status, v) = client::trace(&addr, "fp-ok:traced", 2).unwrap();
+    assert_eq!(status, 200);
+    let chains = v.get("chains").and_then(Value::as_array).unwrap();
+    assert_eq!(chains.len(), 2);
+    assert_eq!(u64_of(&chains[0], "id"), 3);
+    assert_eq!(u64_of(&v, "total_chains"), 3);
+    assert_eq!(u64_of(&v, "top"), 2);
+    assert_eq!(exec.run_calls.load(Ordering::SeqCst), 0);
+
+    // Miss: unknown fingerprints 404 without triggering a re-run.
+    let (status, v) = client::trace(&addr, "fp-unknown", 5).unwrap();
+    assert_eq!(status, 404);
+    assert_eq!(str_of(&v, "error"), "not-found");
+    assert_eq!(exec.run_calls.load(Ordering::SeqCst), 0);
     stop(&addr, handle);
 }

@@ -111,6 +111,18 @@ pub struct GridReport {
     pub rack_parallel_speedup: Option<f64>,
     /// Rack transitions per serial wall-second.
     pub rack_transitions_per_sec: f64,
+    /// Conservative windows the rack scenario executed.
+    pub rack_windows: u64,
+    /// Host-shards found stalled (no event inside the lookahead
+    /// horizon) summed over all windows — the sharding's idle tax.
+    pub rack_lookahead_stalls: u64,
+    /// Median events per window (power-of-two bucket upper bound).
+    pub rack_window_events_p50: u64,
+    /// 99th-percentile events per window.
+    pub rack_window_events_p99: u64,
+    /// 95th-percentile per-window spread between the busiest and
+    /// idlest host — how unevenly work lands across shards.
+    pub rack_imbalance_p95: u64,
 }
 
 /// One measured cell: makespan in cycles (`None` if rejected) and
@@ -360,6 +372,11 @@ fn run_inner(jobs: usize, scale: u32, clamp_to_hw: bool) -> GridReport {
         rack_parallel_seconds,
         rack_parallel_speedup,
         rack_transitions_per_sec: rack_transitions as f64 / rack_serial_seconds.max(1e-9),
+        rack_windows: rack_serial.windows,
+        rack_lookahead_stalls: rack_serial.lookahead_stalls,
+        rack_window_events_p50: rack_serial.window_events_p50,
+        rack_window_events_p99: rack_serial.window_events_p99,
+        rack_imbalance_p95: rack_serial.imbalance_p95,
     }
 }
 
@@ -400,6 +417,14 @@ pub fn render(r: &GridReport) -> String {
             r.rack_serial_seconds, r.rack_transitions_per_sec
         )),
     }
+    out.push_str(&format!(
+        "  rack windows: {} ({} stalls), events/window p50 {} p99 {}, imbalance p95 {}\n",
+        r.rack_windows,
+        r.rack_lookahead_stalls,
+        r.rack_window_events_p50,
+        r.rack_window_events_p99,
+        r.rack_imbalance_p95
+    ));
     out
 }
 

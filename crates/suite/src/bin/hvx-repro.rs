@@ -22,6 +22,8 @@
 //! hvx-repro serve sweep --addr A --template FILE [--client NAME]
 //! hvx-repro serve poll --addr A JOBID
 //! hvx-repro serve stats --addr A
+//! hvx-repro serve metrics --addr A
+//! hvx-repro serve trace --addr A FINGERPRINT [--top K]
 //! hvx-repro serve drain --addr A
 //! hvx-repro serve bench [--out FILE]
 //! hvx-repro list-scenarios
@@ -170,6 +172,8 @@ fn usage() -> String {
          \x20      hvx-repro serve sweep --addr A --template FILE [--client NAME]\n\
          \x20      hvx-repro serve poll --addr A JOBID\n\
          \x20      hvx-repro serve stats --addr A | serve drain --addr A\n\
+         \x20      hvx-repro serve metrics --addr A\n\
+         \x20      hvx-repro serve trace --addr A FINGERPRINT [--top K]\n\
          \x20      hvx-repro serve bench [--out FILE]\n\
          \x20      hvx-repro list-scenarios\n\
          run/profile fault options:\n\
@@ -189,6 +193,12 @@ fn usage() -> String {
          \x20 --livelock-limit N   abort after N consecutive zero-progress charges\n\
          \x20 --wall-timeout SECS  classify scenarios over SECS wall seconds as timed out\n\
          \x20 --chaos KIND         append a chaos scenario: panic, spin, or livelock\n\
+         observability:\n\
+         \x20 --log-level LEVEL    structured JSON logs on stderr: off, error, info,\n\
+         \x20                      debug (default off; HVX_LOG=LEVEL sets the same knob;\n\
+         \x20                      accepted before or after any subcommand)\n\
+         \x20 GET /metrics         a running 'serve' exports Prometheus text; /trace/FP\n\
+         \x20                      serves ranked critical chains from the warm cache\n\
          caching / baselines:\n\
          \x20 --cache DIR          content-addressed result cache; warm reruns skip\n\
          \x20                      unchanged scenarios (bypassed when HVX_COST_PERTURB is set)\n\
@@ -230,6 +240,14 @@ enum ServeCmd {
     },
     Stats {
         addr: String,
+    },
+    Metrics {
+        addr: String,
+    },
+    TraceQuery {
+        addr: String,
+        fingerprint: String,
+        top: usize,
     },
     Drain {
         addr: String,
@@ -458,6 +476,16 @@ fn parse_serve(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> 
                 addr: parse_addr_only(&mut it, "serve stats")?,
             }))
         }
+        Some("metrics") => {
+            it.next();
+            Ok(Parsed::Serve(ServeCmd::Metrics {
+                addr: parse_addr_only(&mut it, "serve metrics")?,
+            }))
+        }
+        Some("trace") => {
+            it.next();
+            parse_serve_trace(&mut it)
+        }
         Some("drain") => {
             it.next();
             Ok(Parsed::Serve(ServeCmd::Drain {
@@ -633,6 +661,39 @@ fn parse_serve_poll(it: &mut impl Iterator<Item = String>) -> Result<Parsed, Str
     Ok(Parsed::Serve(ServeCmd::Poll {
         addr: addr.ok_or("serve poll requires --addr HOST:PORT")?,
         job: job.ok_or("serve poll requires a job id")?,
+    }))
+}
+
+fn parse_serve_trace(it: &mut impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut addr = None;
+    let mut fingerprint = None;
+    let mut top = 5usize;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("--addr requires HOST:PORT")?),
+            "--top" => {
+                let n = it.next().ok_or("--top requires a count")?;
+                top = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or(format!("--top expects a positive integer, got '{n}'"))?;
+            }
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other if !other.starts_with('-') && fingerprint.is_none() => {
+                fingerprint = Some(other.to_string());
+            }
+            other => {
+                return Err(format!(
+                    "serve trace: unexpected argument '{other}'; try --help"
+                ))
+            }
+        }
+    }
+    Ok(Parsed::Serve(ServeCmd::TraceQuery {
+        addr: addr.ok_or("serve trace requires --addr HOST:PORT")?,
+        fingerprint: fingerprint.ok_or("serve trace requires a scenario fingerprint")?,
+        top,
     }))
 }
 
@@ -849,7 +910,24 @@ fn parse_trace_bench(it: &mut impl Iterator<Item = String>) -> Result<Parsed, St
 }
 
 fn parse_args() -> Result<Parsed, String> {
-    let mut it = std::env::args().skip(1).peekable();
+    // Structured logging is off unless HVX_LOG or --log-level turns it
+    // on; either way the setting only ever writes to stderr, so
+    // artifact stdout stays byte-identical.
+    hvx_obs::log::init_from_env();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    while let Some(pos) = args.iter().position(|a| a == "--log-level") {
+        let Some(level) = args.get(pos + 1).cloned() else {
+            return Err("--log-level requires a level (off, error, info, debug)".into());
+        };
+        let Some(lv) = hvx_obs::LogLevel::parse(&level) else {
+            return Err(format!(
+                "unknown log level '{level}' (off, error, info, debug)"
+            ));
+        };
+        hvx_obs::log::set_level(lv);
+        args.drain(pos..pos + 2);
+    }
+    let mut it = args.into_iter().peekable();
     match it.peek().map(String::as_str) {
         Some("run") => {
             it.next();
@@ -929,6 +1007,16 @@ struct BenchReport {
     speedup: Option<f64>,
     transitions: u64,
     transitions_per_sec: f64,
+    /// Parallel-pass worker utilization: busy worker-seconds over
+    /// available worker-seconds, percent — the number `--timing`
+    /// prints, recorded so the perf trajectory keeps it.
+    worker_utilization_pct: f64,
+    /// Cacheable scenarios that ran live during a cold pass over a
+    /// fresh result cache.
+    cache_cold_misses: u64,
+    /// Lookups served from disk when the same suite immediately
+    /// re-ran warm.
+    cache_warm_hits: u64,
     artifacts: Vec<BenchArtifact>,
     grid: bench_grid::GridReport,
 }
@@ -967,6 +1055,25 @@ fn bench(path: &PathBuf, jobs: usize) -> Result<(), Error> {
         assert_eq!(s.text, p.text, "{} text diverged", s.id.cli_name());
         assert_eq!(s.json, p.json, "{} JSON diverged", s.id.cli_name());
     }
+    // Cold/warm cache passes over a fresh temp cache: the same
+    // hit/miss telemetry `--timing` prints, made part of the recorded
+    // perf trajectory.
+    eprintln!("bench: cold + warm cached pass ...");
+    let cache_dir = std::env::temp_dir().join(format!("hvx-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let bench_cache = Arc::new(ResultCache::open(&cache_dir)?);
+    let cached_cfg = RunnerConfig {
+        cache: Some(Arc::clone(&bench_cache)),
+        ..RunnerConfig::default()
+    };
+    runner::run_artifacts_with(&artifacts, effective_jobs, &cached_cfg)?;
+    let cold = bench_cache.stats();
+    runner::run_artifacts_with(&artifacts, effective_jobs, &cached_cfg)?;
+    let total_stats = bench_cache.stats();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache_cold_misses = cold.misses;
+    let cache_warm_hits = total_stats.hits - cold.hits;
+
     eprintln!(
         "bench: running the scale-{} grid with --jobs {jobs} ...",
         bench_grid::DEFAULT_SCALE
@@ -974,6 +1081,9 @@ fn bench(path: &PathBuf, jobs: usize) -> Result<(), Error> {
     let grid = bench_grid::run(jobs, bench_grid::DEFAULT_SCALE);
     eprint!("{}", bench_grid::render(&grid));
     let transitions: u64 = serial.iter().map(|r| r.transitions).sum();
+    let parallel_busy: f64 = parallel.iter().map(|r| r.wall.as_secs_f64()).sum();
+    let worker_utilization_pct =
+        100.0 * parallel_busy / (effective_jobs as f64 * parallel_seconds.max(1e-9));
     let report = BenchReport {
         requested_jobs: jobs,
         jobs: effective_jobs,
@@ -982,6 +1092,9 @@ fn bench(path: &PathBuf, jobs: usize) -> Result<(), Error> {
         speedup: (effective_jobs > 1).then(|| serial_seconds / parallel_seconds),
         transitions,
         transitions_per_sec: transitions as f64 / serial_seconds.max(1e-9),
+        worker_utilization_pct,
+        cache_cold_misses,
+        cache_warm_hits,
         artifacts: serial
             .iter()
             .zip(&parallel)
@@ -1007,6 +1120,10 @@ fn bench(path: &PathBuf, jobs: usize) -> Result<(), Error> {
         "bench: serial {serial_seconds:.3}s, parallel {parallel_seconds:.3}s \
          ({speedup}), wrote {}",
         path.display()
+    );
+    eprintln!(
+        "bench: worker utilization {worker_utilization_pct:.1}%, cache cold \
+         {cache_cold_misses} misses / warm {cache_warm_hits} hits"
     );
     Ok(())
 }
@@ -1289,6 +1406,19 @@ fn serve_cmd(cmd: &ServeCmd) -> Result<(), Error> {
             let v = serve_client::stats(addr).map_err(serve_err)?;
             print_envelope(200, v)
         }
+        ServeCmd::Metrics { addr } => {
+            let text = serve_client::metrics(addr).map_err(serve_err)?;
+            print!("{text}");
+            Ok(())
+        }
+        ServeCmd::TraceQuery {
+            addr,
+            fingerprint,
+            top,
+        } => {
+            let (status, v) = serve_client::trace(addr, fingerprint, *top).map_err(serve_err)?;
+            print_envelope(status, v)
+        }
         ServeCmd::Drain { addr } => {
             serve_client::drain(addr).map_err(serve_err)?;
             print_envelope(
@@ -1313,6 +1443,14 @@ fn serve_cmd(cmd: &ServeCmd) -> Result<(), Error> {
                 report.accepted_before_shed,
                 report.max_queue_weight,
                 out.display()
+            );
+            eprintln!(
+                "serve bench: scrape {}us, warm submit {}us plain vs {}us scraped \
+                 ({:.1}% overhead)",
+                report.scrape_us,
+                report.warm_plain_us,
+                report.warm_scraped_us,
+                report.scrape_overhead_pct
             );
             Ok(())
         }

@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Part of every fingerprint **and** the cache/baseline directory
 /// layout: bumping it invalidates all cached entries and turns every
 /// baseline divergence into an expected `schema-bump` instead of drift.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Computes the content fingerprint of one scenario under one runner
 /// configuration, or `None` for scenarios that must never be cached

@@ -305,6 +305,12 @@ impl ProfileReport {
                 out.push_str(&format!("{:<32}{:>16}\n", c.name, c.value));
             }
         }
+        if !self.snapshot.histograms.is_empty() {
+            out.push('\n');
+            out.push_str(&hvx_obs::render_histogram_summary(
+                &self.snapshot.histograms,
+            ));
+        }
         out
     }
 }

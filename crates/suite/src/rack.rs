@@ -158,6 +158,22 @@ pub struct CellResult {
     pub windows: u64,
     /// Events handled across all shards.
     pub events: u64,
+    /// Host-windows stalled on the lookahead bound: a shard woke at the
+    /// barrier holding only events at or beyond the horizon.
+    pub lookahead_stalls: u64,
+    /// Median events per window (power-of-two bucket upper bound).
+    pub window_events_p50: u64,
+    /// 95th-percentile events per window (bucket upper bound).
+    pub window_events_p95: u64,
+    /// 99th-percentile events per window (bucket upper bound).
+    pub window_events_p99: u64,
+    /// Largest single-window event count.
+    pub window_events_max: u64,
+    /// 95th-percentile per-window host event spread (`max - min`
+    /// events across hosts; bucket upper bound).
+    pub imbalance_p95: u64,
+    /// Largest per-window host event spread.
+    pub imbalance_max: u64,
     /// Final virtual clock per host, cycles (index = host).
     pub per_host_now: Vec<u64>,
     /// Rack-wide makespan: the maximum per-host clock, cycles.
@@ -342,6 +358,13 @@ pub fn run_cell_with(cfg: &CellConfig) -> Result<CellResult, Error> {
         wire_drops: models.iter().map(|m| m.drops).sum(),
         windows: stats.windows,
         events: stats.events,
+        lookahead_stalls: stats.lookahead_stalls,
+        window_events_p50: stats.window_events.approx_quantile(0.5).unwrap_or(0),
+        window_events_p95: stats.window_events.approx_quantile(0.95).unwrap_or(0),
+        window_events_p99: stats.window_events.approx_quantile(0.99).unwrap_or(0),
+        window_events_max: stats.window_events.max().unwrap_or(0),
+        imbalance_p95: stats.host_imbalance.approx_quantile(0.95).unwrap_or(0),
+        imbalance_max: stats.host_imbalance.max().unwrap_or(0),
         makespan_cycles: per_host_now.iter().copied().max().unwrap_or(0),
         per_host_now,
     })
@@ -357,10 +380,12 @@ pub fn run_cell(composition: Composition, hosts: u32) -> Result<CellResult, Erro
 /// (hosts, composition) cell.
 pub fn render_sweep(cells: &[CellResult]) -> String {
     let mut out = String::new();
-    out.push_str("hosts  comp    vms  requests  drops    mean-svc-us   req/sec     windows\n");
+    out.push_str(
+        "hosts  comp    vms  requests  drops    mean-svc-us   req/sec     windows     stalls\n",
+    );
     for c in cells {
         out.push_str(&format!(
-            "{:>5}  {:<6}  {:>3}  {:>8}  {:>5}  {:>12.2}  {:>9.0}  {:>9}\n",
+            "{:>5}  {:<6}  {:>3}  {:>8}  {:>5}  {:>12.2}  {:>9.0}  {:>9}  {:>9}\n",
             c.hosts,
             c.composition,
             c.vms_per_host,
@@ -369,6 +394,7 @@ pub fn render_sweep(cells: &[CellResult]) -> String {
             c.mean_service_us(),
             c.requests_per_sec(),
             c.windows,
+            c.lookahead_stalls,
         ));
     }
     out
@@ -395,6 +421,11 @@ mod tests {
         assert_eq!(r.events, r.requests);
         assert_eq!(r.per_host_now.len(), 3);
         assert!(r.makespan_cycles > 0);
+        // Window telemetry is populated and internally consistent.
+        assert!(r.window_events_max >= 1);
+        assert!(r.window_events_p50 <= r.window_events_p95);
+        assert!(r.window_events_p95 <= r.window_events_p99);
+        assert!(r.lookahead_stalls <= r.windows * u64::from(r.hosts));
     }
 
     #[test]

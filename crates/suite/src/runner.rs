@@ -618,6 +618,22 @@ fn run_one(scenario: Scenario, cfg: &RunnerConfig) -> ScenarioResult {
             (Err(failure), _) => Err(failure),
         };
         if let Err(failure) = &outcome {
+            if matches!(
+                failure.kind,
+                ScenarioFailureKind::TimedOut | ScenarioFailureKind::Livelocked
+            ) {
+                // Watchdog trips are deterministic under a fixed config:
+                // worth a structured record even though they never retry.
+                hvx_obs::log::error(
+                    "runner",
+                    "watchdog_tripped",
+                    &[
+                        ("scenario", hvx_obs::LogValue::from(scenario.label())),
+                        ("kind", hvx_obs::LogValue::from(failure.kind.to_string())),
+                        ("detail", hvx_obs::LogValue::from(failure.detail.as_str())),
+                    ],
+                );
+            }
             if failure.kind == ScenarioFailureKind::Panicked && retries < cfg.retry.max_retries {
                 let delay = cfg
                     .retry
@@ -628,6 +644,15 @@ fn run_one(scenario: Scenario, cfg: &RunnerConfig) -> ScenarioResult {
                     std::thread::sleep(delay);
                 }
                 retries += 1;
+                hvx_obs::log::info(
+                    "runner",
+                    "scenario_retry",
+                    &[
+                        ("scenario", hvx_obs::LogValue::from(scenario.label())),
+                        ("attempt", hvx_obs::LogValue::from(u64::from(retries))),
+                        ("detail", hvx_obs::LogValue::from(failure.detail.as_str())),
+                    ],
+                );
                 continue;
             }
         }

@@ -22,7 +22,9 @@
 use crate::cache::{self, ResultCache};
 use crate::runner::{self, ChaosKind, RunnerConfig, Scenario};
 use crate::spec_run;
+use crate::trace::{ParsedTrace, TraceScenario};
 use hvx_core::report::CellReport;
+use hvx_core::Workload;
 use hvx_core::{Error, ScenarioFailureKind, ScenarioSpec, SchedPolicy, SpecShape, TopologySpec};
 use hvx_engine::{fault, Watchdog};
 use hvx_serve::{client, JobExecutor, JobFailure, JobOutput, PreparedJob, Server, ServerConfig};
@@ -32,6 +34,19 @@ use std::time::{Duration, Instant};
 
 /// Cache entry tag for spec-run results (`{"report", "cell"}` payloads).
 const SPEC_RESULT_KIND: &str = "spec-result";
+
+/// Cache entry tag for stored trace queries (ranked critical chains).
+const TRACE_RESULT_KIND: &str = "trace-query";
+
+/// Ranked chains kept per stored trace. Bounds the cache entry; the
+/// server truncates further per request (`?top=K`).
+const MAX_STORED_CHAINS: usize = 64;
+
+/// Derived cache key for a fingerprint's stored trace: the spec result
+/// lives at `<fp>.json`, its trace at `<fp>-trace.json`.
+fn trace_key(fingerprint: &str) -> String {
+    format!("{fingerprint}-trace")
+}
 
 /// Admission weight of a paper-shape spec (a full Figure-4-style
 /// workload run), on the same scale as the runner's scenario weights.
@@ -55,6 +70,70 @@ impl SuiteExecutor {
     /// to) `cache`; `None` disables caching entirely.
     pub fn new(cache: Option<Arc<ResultCache>>) -> SuiteExecutor {
         SuiteExecutor { cache }
+    }
+
+    /// Stores ranked critical chains for a just-completed cold
+    /// paper-shape run, so `GET /trace/<fp>` answers from the warm
+    /// cache without re-running anything. Best-effort: a trace that
+    /// fails to run or parse simply leaves no stored trace (the
+    /// endpoint 404s), never failing the job itself.
+    fn store_trace(&self, fingerprint: &str, spec: &ScenarioSpec) {
+        let Some(cache) = &self.cache else { return };
+        if spec.shape().ok() != Some(SpecShape::Paper) {
+            return;
+        }
+        let scenario = TraceScenario {
+            workload: spec.workload.unwrap_or(Workload::Netperf),
+            kind: spec.hypervisor,
+            ring: None,
+        };
+        let Ok(report) = crate::trace::run_trace(scenario) else {
+            return;
+        };
+        let Ok(parsed) = ParsedTrace::parse(&report.json) else {
+            return;
+        };
+        let mut chains = parsed.chains();
+        // The query ranking: longest end-to-end latency first, chain id
+        // as the deterministic tiebreak.
+        chains.sort_by(|a, b| b.latency.cmp(&a.latency).then(a.id.cmp(&b.id)));
+        chains.truncate(MAX_STORED_CHAINS);
+        let chains_json: Vec<Value> = chains
+            .iter()
+            .map(|c| {
+                Value::Object(vec![
+                    ("kind".into(), Value::Str(c.kind.clone())),
+                    ("id".into(), Value::U64(c.id)),
+                    ("complete".into(), Value::Bool(c.complete)),
+                    ("latency_cycles".into(), Value::U64(c.latency)),
+                    (
+                        "hops".into(),
+                        Value::Array(
+                            c.hops
+                                .iter()
+                                .map(|h| {
+                                    Value::Object(vec![
+                                        ("ph".into(), Value::Str(h.ph.clone())),
+                                        ("ts".into(), Value::U64(h.ts)),
+                                        ("tid".into(), Value::U64(h.tid)),
+                                        ("hop".into(), Value::Str(h.hop.clone())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        cache.store_raw(
+            &trace_key(fingerprint),
+            TRACE_RESULT_KIND,
+            Value::Object(vec![
+                ("scenario".into(), Value::Str(scenario.name())),
+                ("fingerprint".into(), Value::Str(fingerprint.to_string())),
+                ("chains".into(), Value::Array(chains_json)),
+            ]),
+        );
     }
 }
 
@@ -175,6 +254,7 @@ impl JobExecutor for SuiteExecutor {
                             ]),
                         );
                     }
+                    self.store_trace(&job.fingerprint, &spec);
                 }
                 Ok(JobOutput {
                     report: run.report,
@@ -182,6 +262,12 @@ impl JobExecutor for SuiteExecutor {
                 })
             }
         }
+    }
+
+    fn trace(&self, fingerprint: &str) -> Option<String> {
+        let cache = self.cache.as_ref()?;
+        let payload = cache.lookup_raw(&trace_key(fingerprint), TRACE_RESULT_KIND)?;
+        serde_json::to_string(&payload).ok()
     }
 
     fn expand(&self, body: &str) -> Result<Vec<String>, String> {
@@ -286,6 +372,16 @@ pub struct ServeBench {
     pub accepted_before_shed: u64,
     /// The queue-weight bound the shed fired against.
     pub max_queue_weight: u64,
+    /// Mean `GET /metrics` scrape latency, microseconds.
+    pub scrape_us: u64,
+    /// Mean warm-submit latency with no scraper running, microseconds.
+    pub warm_plain_us: u64,
+    /// Mean warm-submit latency while a concurrent scraper hammers
+    /// `/metrics` in a loop, microseconds.
+    pub warm_scraped_us: u64,
+    /// Relative slowdown the scraper imposed on the serving path,
+    /// percent (0 when scraping measured faster — noise floor).
+    pub scrape_overhead_pct: f64,
 }
 
 /// Benchmarks the serving path end to end: binds an in-process server
@@ -335,6 +431,46 @@ pub fn bench() -> Result<ServeBench, Error> {
     let cold_us = round_trip("cold")?;
     let warm_us = round_trip("warm")?.max(1);
 
+    // Scrape cost and scrape-on overhead: mean warm-submit latency with
+    // and without a concurrent scraper looping over /metrics. Warm
+    // submissions never touch a worker, so this isolates the admission
+    // path — the lock the scraper contends on.
+    let scrape_us = {
+        let reps = 20u32;
+        let start = Instant::now();
+        for _ in 0..reps {
+            client::metrics(&addr).map_err(serve_err)?;
+        }
+        (start.elapsed().as_micros() as u64 / u64::from(reps)).max(1)
+    };
+    let warm_burst = |reps: u32| -> Result<u64, Error> {
+        let start = Instant::now();
+        for _ in 0..reps {
+            let (status, _) = client::submit(&addr, "bench", &body).map_err(serve_err)?;
+            if status != 200 {
+                return Err(serve_err(format!("warm burst: status {status}")));
+            }
+        }
+        Ok((start.elapsed().as_micros() as u64 / u64::from(reps)).max(1))
+    };
+    let reps = 30u32;
+    let warm_plain_us = warm_burst(reps)?;
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = client::metrics(&addr);
+            }
+        })
+    };
+    let warm_scraped_us = warm_burst(reps)?;
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let _ = scraper.join();
+    let scrape_overhead_pct =
+        ((warm_scraped_us as f64 - warm_plain_us as f64) / warm_plain_us as f64 * 100.0).max(0.0);
+
     // Burst: distinct heavy cells (transaction counts never repeat, so
     // nothing dedupes) until the weight bound sheds.
     let mut accepted_before_shed = 0u64;
@@ -362,6 +498,10 @@ pub fn bench() -> Result<ServeBench, Error> {
         warm_speedup: cold_us as f64 / warm_us as f64,
         accepted_before_shed,
         max_queue_weight,
+        scrape_us,
+        warm_plain_us,
+        warm_scraped_us,
+        scrape_overhead_pct,
     })
 }
 

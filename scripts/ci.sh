@@ -33,6 +33,9 @@ sh scripts/rack_smoke.sh
 echo "== serve smoke =="
 sh scripts/serve_smoke.sh
 
+echo "== observability smoke =="
+sh scripts/obs_serve_smoke.sh
+
 echo "== baseline gate =="
 sh scripts/baseline_check.sh
 
